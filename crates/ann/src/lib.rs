@@ -1,0 +1,16 @@
+//! Artificial neural network baseline (Table 1A's *ANN* approach).
+//!
+//! The paper's comparison model is a multi-layer artificial network
+//! (10 hidden layers × 100 neurons) that maps sprinting policies and
+//! workload conditions *directly* to response time. Because response
+//! time is discontinuous in policy parameters, the ANN needs 6–54X more
+//! training data than the hybrid approach to reach comparable accuracy
+//! (§3.1) — a result this reproduction confirms.
+//!
+//! Implementation: fully-connected MLP with ReLU hidden activations and
+//! a linear output, trained with Adam on mean-squared error over
+//! z-score-normalized features and targets.
+
+pub mod mlp;
+
+pub use mlp::{AnnConfig, Mlp};

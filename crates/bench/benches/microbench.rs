@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks for the performance-critical paths:
+//! the queue simulator (prediction latency, Fig. 11's engine), the
+//! ground-truth testbed replay, forest training/prediction, ANN
+//! training, and effective-sprint-rate calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mechanisms::{Dvfs, Mechanism};
+use mlcore::Dataset;
+use profiler::{Condition, ProfilingRun, WorkloadProfile};
+use qsim::{Qsim, QsimConfig};
+use simcore::dist::{Dist, DistKind};
+use simcore::time::{Rate, SimDuration};
+use sprint_core::{effective_sprint_rate, CalibrationOptions, SimOptions};
+use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
+use workloads::{QueryMix, WorkloadKind};
+
+fn profile_fixture() -> WorkloadProfile {
+    WorkloadProfile {
+        mix: QueryMix::single(WorkloadKind::Jacobi),
+        mechanism: "DVFS".into(),
+        mu: Rate::per_hour(51.0),
+        mu_m: Rate::per_hour(74.0),
+        service_samples_secs: (0..200).map(|i| 62.0 + (i % 17) as f64).collect(),
+        profiling_hours: 1.0,
+    }
+}
+
+fn condition_fixture() -> Condition {
+    Condition {
+        utilization: 0.75,
+        arrival_kind: DistKind::Exponential,
+        timeout_secs: 80.0,
+        budget_frac: 0.4,
+        refill_secs: 200.0,
+    }
+}
+
+fn bench_qsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsim");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("run", n), &n, |b, &n| {
+            let mut cfg = QsimConfig::mm1(
+                Rate::per_hour(45.0),
+                Dist::exponential(SimDuration::from_secs(70)),
+                7,
+            );
+            cfg.sprint_speedup = 1.4;
+            cfg.timeout = SimDuration::from_secs(80);
+            cfg.budget_capacity_secs = 80.0;
+            cfg.refill_secs = 400.0;
+            cfg.num_queries = n;
+            cfg.warmup = n / 10;
+            b.iter(|| Qsim::new(cfg.clone()).run().mean_response_secs());
+        });
+    }
+    group.finish();
+}
+
+fn bench_testbed(c: &mut Criterion) {
+    let mech = Dvfs::new();
+    c.bench_function("testbed/replay_400_queries", |b| {
+        let cfg = ServerConfig {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            arrivals: ArrivalSpec::poisson(Rate::per_hour(38.0)),
+            policy: SprintPolicy::new(
+                SimDuration::from_secs(80),
+                BudgetSpec::FractionOfRefill(0.4),
+                SimDuration::from_secs(200),
+            ),
+            slots: 1,
+            num_queries: 400,
+            warmup: 40,
+            seed: 9,
+        };
+        b.iter(|| testbed::server::run(cfg.clone(), &mech).mean_response_secs());
+    });
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut data = Dataset::new(profiler::FEATURE_NAMES.to_vec());
+    let p = profile_fixture();
+    for i in 0..200 {
+        let cond = Condition {
+            utilization: 0.3 + 0.003 * (i % 200) as f64,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 50.0 + (i % 7) as f64 * 15.0,
+            budget_frac: 0.14 + (i % 5) as f64 * 0.1,
+            refill_secs: 200.0 + (i % 4) as f64 * 200.0,
+        };
+        data.push(cond.features(p.mu, p.mu_m), 60.0 + (i % 13) as f64);
+    }
+    c.bench_function("forest/train_200x10", |b| {
+        b.iter(|| {
+            forest::RandomForest::train(
+                &data,
+                profiler::features::MU_M_FEATURE,
+                forest::ForestConfig::default(),
+            )
+        });
+    });
+    let trained = forest::RandomForest::train(
+        &data,
+        profiler::features::MU_M_FEATURE,
+        forest::ForestConfig::default(),
+    );
+    let row = condition_fixture().features(p.mu, p.mu_m);
+    c.bench_function("forest/predict", |b| {
+        b.iter(|| trained.predict(&row));
+    });
+}
+
+fn bench_ann(c: &mut Criterion) {
+    let mut data = Dataset::new(vec!["a", "b", "c"]);
+    for i in 0..100 {
+        let x = (i % 10) as f64;
+        let y = ((i * 3) % 7) as f64;
+        let z = ((i * 5) % 11) as f64;
+        data.push(vec![x, y, z], x * 2.0 - y + 0.5 * z);
+    }
+    c.bench_function("ann/train_3x64_100epochs", |b| {
+        let cfg = ann::AnnConfig {
+            epochs: 100,
+            ..ann::AnnConfig::default()
+        };
+        b.iter(|| ann::Mlp::train(&data, &cfg));
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let p = profile_fixture();
+    let opts = CalibrationOptions {
+        max_steps: 20,
+        sim: SimOptions {
+            sim_queries: 800,
+            warmup: 80,
+            replications: 2,
+            ..SimOptions::default()
+        },
+        ..CalibrationOptions::default()
+    };
+    // A target the search has to walk toward.
+    let observed = opts.sim.simulate(&p, &condition_fixture(), 64.0 / 51.0);
+    let run = ProfilingRun {
+        condition: condition_fixture(),
+        observed_response_secs: observed,
+    };
+    c.bench_function("calibration/effective_sprint_rate", |b| {
+        b.iter(|| effective_sprint_rate(&p, &run, &opts));
+    });
+}
+
+fn bench_end_to_end_prediction(c: &mut Criterion) {
+    let p = profile_fixture();
+    let sim = SimOptions {
+        sim_queries: 2_000,
+        warmup: 200,
+        replications: 3,
+        ..SimOptions::default()
+    };
+    c.bench_function("predict/one_response_time", |b| {
+        b.iter(|| sim.simulate(&p, &condition_fixture(), 1.4));
+    });
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mech = Dvfs::new();
+    let jacobi = workloads::Workload::get(WorkloadKind::Jacobi);
+    c.bench_function("mechanisms/dvfs_phase_speedup", |b| {
+        b.iter(|| mech.phase_speedup(WorkloadKind::Jacobi, &jacobi.phases[1]));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Small sample counts keep the full sweep tractable on modest
+    // hosts; the measured operations are deterministic simulations, so
+    // variance across samples is tiny anyway.
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_qsim,
+        bench_testbed,
+        bench_forest,
+        bench_ann,
+        bench_calibration,
+        bench_end_to_end_prediction,
+        bench_mechanisms
+}
+criterion_main!(benches);

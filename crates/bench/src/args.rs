@@ -1,0 +1,93 @@
+//! Minimal command-line flag parsing for the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `--flag` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked value exists");
+                        args.values.insert(name.to_string(), v);
+                    }
+                    _ => args.flags.push(name.to_string()),
+                }
+            }
+        }
+        args
+    }
+
+    /// A `--key value` as a string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A numeric value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// An integer value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = parse(&["--seed", "42", "--quick", "--conditions", "30"]);
+        assert_eq!(a.get("seed"), Some("42"));
+        assert_eq!(a.get_usize("conditions", 10), 30);
+        assert!(a.has_flag("quick"));
+        assert!(!a.has_flag("slow"));
+        assert_eq!(a.get_f64("missing", 1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = parse(&["--n", "abc"]);
+        let _ = a.get_usize("n", 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates Figure 11: prediction throughput (predictions/minute)
+//! and estimate variance (CoV) of the timeout-aware simulator as the
+//! number of simulated queries per prediction grows, at 1 thread and
+//! at the machine's core count.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11_throughput
+//! ```
+
+use bench::eval::num_threads;
+use bench::Args;
+use mechanisms::Dvfs;
+use profiler::{Condition, Profiler};
+use simcore::dist::DistKind;
+use simcore::table::{fmt_f, TextTable};
+use sprint_core::throughput::measure_throughput;
+use workloads::{QueryMix, WorkloadKind};
+
+fn main() {
+    let args = Args::parse();
+    let cores = args.get_usize("cores", num_threads().min(12));
+    let predictions = args.get_usize("predictions", 24);
+
+    // Profile once to get realistic service samples.
+    let mech = Dvfs::new();
+    eprintln!("profiling Jacobi for service samples ...");
+    let profile = Profiler::default().measure_rates(&QueryMix::single(WorkloadKind::Jacobi), &mech);
+    let cond = Condition {
+        utilization: 0.75,
+        arrival_kind: DistKind::Exponential,
+        timeout_secs: 80.0,
+        budget_frac: 0.4,
+        refill_secs: 200.0,
+    };
+
+    println!(
+        "\nFigure 11: prediction throughput and variance vs simulated \
+         queries per prediction\n"
+    );
+    if cores <= 1 {
+        println!(
+            "note: this host exposes a single core; thread fan-out cannot \
+             show wall-clock scaling here. The paper's 11.4X on 12 cores \
+             comes from embarrassingly parallel replications (see \
+             qsim::run_batch), which this binary exercises with {cores} \
+             worker(s).\n"
+        );
+    }
+    let mut table = TextTable::new(vec![
+        "queries/prediction".to_string(),
+        "1-thread preds/min".to_string(),
+        format!("{cores}-thread preds/min"),
+        "scaling".to_string(),
+        "CoV (%)".to_string(),
+    ]);
+    let sizes = [1_000, 10_000, 100_000, 1_000_000];
+    for &q in &sizes {
+        eprintln!("measuring {q} queries/prediction ...");
+        let single = measure_throughput(&profile, &cond, q, 1, predictions);
+        let multi = measure_throughput(&profile, &cond, q, cores, predictions);
+        table.row(vec![
+            format!("{q}"),
+            fmt_f(single.predictions_per_minute, 0),
+            fmt_f(multi.predictions_per_minute, 0),
+            format!(
+                "{:.1}X",
+                multi.predictions_per_minute / single.predictions_per_minute
+            ),
+            fmt_f(multi.cov_percent, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper (on a 12-core Xeon): ~100 preds/min at 100K queries per");
+    println!("prediction, 11.4X scaling from 1 to 12 cores, CoV knee at 100K.");
+    println!(
+        "(This Rust simulator is substantially faster per prediction than \
+         the paper's implementation; the shape — throughput falling and \
+         variance shrinking with simulation size, near-linear core scaling — \
+         is the reproduced claim.)"
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates Figure 14: cumulative revenue over a node's lifetime,
+//! accounting for the offline profiling cost of model-driven
+//! sprinting. The hybrid model profiles ~7.2 h per workload and breaks
+//! even after ~2.5 days; the ANN needs far more training data and
+//! breaks even later; over the 552-hour median server lifetime the
+//! hybrid approach earns ~1.6X the AWS default.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig14_breakeven
+//! ```
+
+use bench::Args;
+use cloud::colocate::combo;
+use cloud::revenue::{break_even_hours, break_even_timeline, SERVER_LIFETIME_HOURS};
+use cloud::{colocate, SloOptions, Strategy};
+use simcore::table::{fmt_f, TextTable};
+
+fn main() {
+    let args = Args::parse();
+    let opts = SloOptions {
+        sim_queries: args.get_usize("queries", 1_600),
+        warmup: 160,
+        replications: 2,
+        ..SloOptions::default()
+    };
+
+    // Revenue rates come from the combo-3 colocation outcomes.
+    eprintln!("computing combo-3 colocation under both strategies ...");
+    let demands = combo(3);
+    let aws_rate = colocate(&demands, Strategy::Aws, &opts).revenue_per_hour();
+    let md_rate = colocate(&demands, Strategy::ModelDrivenSprinting, &opts).revenue_per_hour();
+    println!(
+        "\nFigure 14: revenue vs hours (combo 3: aws ${aws_rate:.3}/h, \
+         model-driven ${md_rate:.3}/h, {} workloads to profile)\n",
+        demands.len()
+    );
+
+    let timeline = break_even_timeline(
+        aws_rate,
+        md_rate,
+        demands.len(),
+        SERVER_LIFETIME_HOURS,
+        4.0,
+    );
+    let mut table = TextTable::new(vec![
+        "hours",
+        "aws ($)",
+        "model-driven hybrid ($)",
+        "model-driven ann ($)",
+    ]);
+    for p in timeline
+        .iter()
+        .filter(|p| (p.hours as u64) % 48 == 0 || p.hours >= SERVER_LIFETIME_HOURS - 2.0)
+    {
+        table.row(vec![
+            fmt_f(p.hours, 0),
+            fmt_f(p.aws, 2),
+            fmt_f(p.model_hybrid, 2),
+            fmt_f(p.model_ann, 2),
+        ]);
+    }
+    println!("{}", table.render());
+
+    match break_even_hours(&timeline) {
+        Some(h) => println!(
+            "hybrid break-even after {h:.0} h (~{:.1} days; paper: ~2.5 days)",
+            h / 24.0
+        ),
+        None => println!("hybrid never breaks even within the lifetime"),
+    }
+    let last = timeline.last().expect("timeline non-empty");
+    println!(
+        "lifetime ({SERVER_LIFETIME_HOURS:.0} h) revenue: hybrid {:.2}X aws, ann {:.2}X aws \
+         (paper: 1.6X for the hybrid model)",
+        last.model_hybrid / last.aws,
+        last.model_ann / last.aws
+    );
+}

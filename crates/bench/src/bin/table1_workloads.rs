@@ -1,0 +1,50 @@
+//! Regenerates Table 1(C): sustained and burst throughput per cloud
+//! server workload on the DVFS platform.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1_workloads
+//! ```
+
+use bench::{Args, EvalSettings};
+use mechanisms::Dvfs;
+use profiler::Profiler;
+use simcore::table::{fmt_f, TextTable};
+use workloads::{QueryMix, Workload, WorkloadKind};
+
+fn main() {
+    let args = Args::parse();
+    let queries = args.get_usize("queries", 400);
+    let settings = EvalSettings::default();
+    let mech = Dvfs::new();
+    let profiler = Profiler {
+        queries_per_run: queries,
+        warmup: queries / 10,
+        replays: 1,
+        threads: settings.threads,
+        seed: args.get_usize("seed", 0x7AB1) as u64,
+    };
+
+    println!("Table 1(C): cloud server workloads on DVFS");
+    println!("(measured on the testbed vs the paper's published qph)\n");
+    let mut table = TextTable::new(vec![
+        "Wrkld ID",
+        "Sustained (meas)",
+        "Burst (meas)",
+        "Sustained (paper)",
+        "Burst (paper)",
+        "Speedup (meas)",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let w = Workload::get(kind);
+        let p = profiler.measure_rates(&QueryMix::single(kind), &mech);
+        table.row(vec![
+            kind.name().to_string(),
+            fmt_f(p.mu.qph(), 1),
+            fmt_f(p.mu_m.qph(), 1),
+            fmt_f(w.dvfs_sustained.qph(), 0),
+            fmt_f(w.dvfs_burst.qph(), 0),
+            format!("{:.2}X", p.marginal_speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+}

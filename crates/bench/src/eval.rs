@@ -1,0 +1,215 @@
+//! The profile → train → evaluate pipeline shared by the accuracy
+//! experiments (Figs. 7–10).
+
+use mechanisms::Mechanism;
+use profiler::{ProfileData, Profiler, ProfilingRun, SamplingGrid};
+use sprint_core::{train_ann, train_hybrid, ResponseTimeModel, TrainOptions};
+use workloads::{QueryMix, WorkloadKind};
+
+/// Sizing knobs for an evaluation campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalSettings {
+    /// Centroid conditions profiled per workload.
+    pub conditions: usize,
+    /// Queries replayed per profiling run.
+    pub queries_per_run: usize,
+    /// Independent replays averaged per profiled condition.
+    pub replays: usize,
+    /// Fraction of runs used for training.
+    pub train_frac: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for EvalSettings {
+    fn default() -> Self {
+        EvalSettings {
+            conditions: 60,
+            queries_per_run: 400,
+            replays: 1,
+            train_frac: 0.8,
+            seed: 0xE7A1,
+            threads: num_threads(),
+        }
+    }
+}
+
+/// Usable worker threads on this machine.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Profiles a single workload (or mix) over sampled grid centroids.
+pub fn profile_single(
+    mix: &QueryMix,
+    mech: &dyn Mechanism,
+    grid: &SamplingGrid,
+    s: &EvalSettings,
+) -> ProfileData {
+    let profiler = Profiler {
+        queries_per_run: s.queries_per_run,
+        warmup: s.queries_per_run / 10,
+        replays: s.replays,
+        threads: s.threads,
+        seed: s.seed,
+    };
+    let conditions = grid.sample_conditions(s.conditions, s.seed ^ 0xC0);
+    profiler.profile(mix, mech, &conditions)
+}
+
+/// Splits a campaign's runs into train/test campaigns (deterministic).
+pub fn split_runs(data: &ProfileData, train_frac: f64, seed: u64) -> (ProfileData, ProfileData) {
+    let mut idx: Vec<usize> = (0..data.runs.len()).collect();
+    let mut rng = simcore::SimRng::new(seed);
+    rng.shuffle(&mut idx);
+    let n_train = ((data.runs.len() as f64 * train_frac).round() as usize).min(data.runs.len());
+    let pick = |ids: &[usize]| ProfileData {
+        profile: data.profile.clone(),
+        runs: ids.iter().map(|&i| data.runs[i]).collect(),
+    };
+    (pick(&idx[..n_train]), pick(&idx[n_train..]))
+}
+
+/// One evaluated test condition.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalPoint {
+    /// The condition evaluated.
+    pub run: ProfilingRun,
+    /// Model prediction (seconds).
+    pub predicted: f64,
+}
+
+impl EvalPoint {
+    /// Absolute relative error against the observation.
+    pub fn error(&self) -> f64 {
+        (self.predicted - self.run.observed_response_secs).abs()
+            / self.run.observed_response_secs
+    }
+}
+
+/// Predicts every test run with a model.
+pub fn evaluate_model(model: &dyn ResponseTimeModel, test: &ProfileData) -> Vec<EvalPoint> {
+    test.runs
+        .iter()
+        .map(|run| EvalPoint {
+            run: *run,
+            predicted: model.predict_response_secs(&run.condition),
+        })
+        .collect()
+}
+
+/// Median of the absolute relative errors.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn median_error(points: &[EvalPoint]) -> f64 {
+    assert!(!points.is_empty(), "no evaluation points");
+    let mut errs: Vec<f64> = points.iter().map(EvalPoint::error).collect();
+    errs.sort_by(f64::total_cmp);
+    let n = errs.len();
+    if n % 2 == 1 {
+        errs[n / 2]
+    } else {
+        0.5 * (errs[n / 2 - 1] + errs[n / 2])
+    }
+}
+
+/// The three models of Table 1(A), trained on one campaign.
+pub struct TrainedSet {
+    /// The paper's hybrid model.
+    pub hybrid: sprint_core::HybridModel,
+    /// The ANN baseline.
+    pub ann: sprint_core::AnnModel,
+    /// The No-ML baseline.
+    pub no_ml: sprint_core::NoMlModel,
+}
+
+impl TrainedSet {
+    /// Trains all three models on `train`.
+    pub fn train(train: &ProfileData, opts: &TrainOptions) -> TrainedSet {
+        TrainedSet {
+            hybrid: train_hybrid(train, opts),
+            ann: train_ann(train, opts),
+            no_ml: sprint_core::train::no_ml(train, opts),
+        }
+    }
+}
+
+/// Default training options sized for the experiment binaries.
+///
+/// The simulator windows (calibration and prediction) match the
+/// profiler's replay length: near saturation, mean response time
+/// depends on how long the window is, so a simulator running 5X more
+/// queries than the observation would systematically overpredict.
+/// Replications are averaged instead.
+pub fn default_train_options(s: &EvalSettings) -> TrainOptions {
+    let mut opts = TrainOptions::default();
+    opts.threads = s.threads;
+    opts.calibration.max_steps = 40;
+    opts.calibration.sim.sim_queries = s.queries_per_run;
+    opts.calibration.sim.warmup = s.queries_per_run / 10;
+    opts.calibration.sim.replications = 3;
+    opts.sim.sim_queries = s.queries_per_run;
+    opts.sim.warmup = s.queries_per_run / 10;
+    opts.sim.replications = 4;
+    opts.ann.epochs = 400;
+    opts
+}
+
+/// Convenience: the single-workload campaign most experiments start
+/// from.
+pub fn single_workload_campaign(
+    kind: WorkloadKind,
+    mech: &dyn Mechanism,
+    s: &EvalSettings,
+) -> ProfileData {
+    profile_single(&QueryMix::single(kind), mech, &SamplingGrid::paper(), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mechanisms::Dvfs;
+
+    #[test]
+    fn split_partitions_runs() {
+        let mech = Dvfs::new();
+        let s = EvalSettings {
+            conditions: 10,
+            queries_per_run: 120,
+            ..EvalSettings::default()
+        };
+        let data = single_workload_campaign(WorkloadKind::Jacobi, &mech, &s);
+        let (train, test) = split_runs(&data, 0.8, 1);
+        assert_eq!(train.runs.len(), 8);
+        assert_eq!(test.runs.len(), 2);
+    }
+
+    #[test]
+    fn median_error_of_known_points() {
+        let run = ProfilingRun {
+            condition: SamplingGrid::paper().all_conditions()[0],
+            observed_response_secs: 100.0,
+        };
+        let points = vec![
+            EvalPoint {
+                run,
+                predicted: 90.0,
+            },
+            EvalPoint {
+                run,
+                predicted: 105.0,
+            },
+            EvalPoint {
+                run,
+                predicted: 130.0,
+            },
+        ];
+        assert!((median_error(&points) - 0.10).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared machinery for the experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it; this library holds the pieces they
+//! share: a tiny flag parser, the profile → train → evaluate pipeline,
+//! and error bucketing helpers.
+
+pub mod args;
+pub mod eval;
+
+pub use args::Args;
+pub use eval::{
+    evaluate_model, profile_single, split_runs, EvalPoint, EvalSettings, TrainedSet,
+};

@@ -1,0 +1,156 @@
+//! Burstable-instance policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Hourly price per hosted workload (Fig. 13 reports revenue as
+/// $0.03 × n).
+pub const PRICE_PER_WORKLOAD_HOUR: f64 = 0.03;
+
+/// Sprint-seconds-per-hour equivalent CPU reserve of the AWS default
+/// (`720/3600 × (5−1) × 0.2 = 0.16` of a core): model-driven budgeting
+/// trades sprint rate against budget along this iso-resource curve.
+pub const AWS_EXTRA_CPU_BUDGET: f64 = 0.16;
+
+/// A burstable-instance sprinting policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstablePolicy {
+    /// Baseline (sustained) CPU share in `(0, 1]`.
+    pub share: f64,
+    /// Processing-speed multiplier while sprinting (≤ `1/share`; the
+    /// sprinted share is `share × sprint_multiplier`).
+    pub sprint_multiplier: f64,
+    /// Sprint-seconds earned per hour.
+    pub budget_secs_per_hour: f64,
+    /// Timeout triggering a sprint, seconds after arrival (AWS
+    /// semantics are 0: burst whenever there is work and credits).
+    pub timeout_secs: f64,
+}
+
+impl BurstablePolicy {
+    /// AWS T2.small: 20% of a core, 5X sprint, 720 sprint-seconds per
+    /// hour, bursting immediately.
+    pub fn aws_t2_small() -> BurstablePolicy {
+        BurstablePolicy {
+            share: 0.2,
+            sprint_multiplier: 5.0,
+            budget_secs_per_hour: 720.0,
+            timeout_secs: 0.0,
+        }
+    }
+
+    /// Creates a policy on the AWS iso-resource curve: pick a sprint
+    /// multiplier and receive the largest budget that keeps expected
+    /// extra CPU within [`AWS_EXTRA_CPU_BUDGET`], capped at continuous
+    /// sprinting (3600 s/h).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 < multiplier <= 1/share`.
+    pub fn with_multiplier(share: f64, multiplier: f64, timeout_secs: f64) -> BurstablePolicy {
+        assert!(multiplier > 1.0, "sprint must speed things up");
+        assert!(
+            share * multiplier <= 1.0 + 1e-9,
+            "sprinted share exceeds a full core"
+        );
+        let budget = (AWS_EXTRA_CPU_BUDGET * 3_600.0 / (share * (multiplier - 1.0))).min(3_600.0);
+        BurstablePolicy {
+            share,
+            sprint_multiplier: multiplier,
+            budget_secs_per_hour: budget,
+            timeout_secs,
+        }
+    }
+
+    /// Peak CPU this policy can demand: the sprinted share. A provider
+    /// with *no model* of the workload must reserve this to guarantee
+    /// the SLO — which is why the fixed AWS policy effectively
+    /// dedicates a node (§4.4: "AWS policy hosts 1 workload per
+    /// server").
+    pub fn peak_commitment(&self) -> f64 {
+        self.share * self.sprint_multiplier
+    }
+
+    /// Model-certified CPU commitment: the sustained share plus the
+    /// extra CPU the budget allows per hour (§4.4: "the sum of
+    /// sustained rate and sprinting"). The budget cap bounds sprint
+    /// usage, so a model-driven provider can commit this instead of
+    /// the peak.
+    pub fn commitment(&self) -> f64 {
+        self.share
+            + self.share * (self.sprint_multiplier - 1.0) * (self.budget_secs_per_hour / 3_600.0)
+    }
+
+    /// Returns a copy with the hourly budget scaled by `factor` —
+    /// model-driven sprinting shrinks the certified budget once
+    /// timeouts concentrate sprinting on the queries that need it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn with_budget_scaled(&self, factor: f64) -> BurstablePolicy {
+        assert!(factor > 0.0 && factor <= 1.0, "invalid budget factor");
+        BurstablePolicy {
+            budget_secs_per_hour: self.budget_secs_per_hour * factor,
+            ..*self
+        }
+    }
+
+    /// Budget bucket capacity in seconds (one hour of accrual).
+    pub fn budget_capacity_secs(&self) -> f64 {
+        self.budget_secs_per_hour
+    }
+
+    /// Time for an empty bucket to refill at the hourly accrual rate.
+    pub fn refill_secs(&self) -> f64 {
+        3_600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aws_default_matches_published_numbers() {
+        let p = BurstablePolicy::aws_t2_small();
+        assert_eq!(p.share, 0.2);
+        assert_eq!(p.sprint_multiplier, 5.0);
+        assert_eq!(p.budget_secs_per_hour, 720.0);
+        // Peak reservation is a full core: one T2.small per core.
+        assert!((p.peak_commitment() - 1.0).abs() < 1e-12);
+        // Model-certified commitment: 0.2 + 0.8 × 0.2 = 0.36.
+        assert!((p.commitment() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iso_resource_budget_grows_as_multiplier_shrinks() {
+        let fast = BurstablePolicy::with_multiplier(0.2, 5.0, 0.0);
+        let slow = BurstablePolicy::with_multiplier(0.2, 2.0, 0.0);
+        assert!((fast.budget_secs_per_hour - 720.0).abs() < 1e-9);
+        assert!((slow.budget_secs_per_hour - 2_880.0).abs() < 1e-9);
+        assert!(slow.peak_commitment() < fast.peak_commitment());
+        // On the iso-resource curve the certified commitment is the
+        // same (share + 0.16) until the continuous-sprint cap bites.
+        assert!((slow.commitment() - fast.commitment()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinking_budget_reduces_commitment() {
+        let p = BurstablePolicy::aws_t2_small();
+        let half = p.with_budget_scaled(0.5);
+        assert!((half.commitment() - 0.28).abs() < 1e-12);
+        assert!(half.commitment() < p.commitment());
+    }
+
+    #[test]
+    fn budget_capped_at_continuous_sprinting() {
+        let p = BurstablePolicy::with_multiplier(0.2, 1.1, 0.0);
+        assert_eq!(p.budget_secs_per_hour, 3_600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a full core")]
+    fn rejects_oversprint() {
+        let _ = BurstablePolicy::with_multiplier(0.5, 3.0, 0.0);
+    }
+}

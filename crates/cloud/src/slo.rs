@@ -1,0 +1,245 @@
+//! SLO admission: predicted response time under a burstable policy.
+//!
+//! §4.3's SLO allows response time to rise at most 15% over running
+//! unthrottled. CPU throttling applies a uniform speedup to every
+//! execution phase, so the first-principles simulator driven by the
+//! policy's multiplier is an accurate model here — this is exactly the
+//! regime where the paper's §4 experiments operate.
+
+use crate::burstable::BurstablePolicy;
+use qsim::{predict_mean_response, QsimConfig};
+use simcore::dist::DistKind;
+use simcore::time::{Rate, SimDuration};
+use workloads::{Workload, WorkloadKind};
+
+/// Prediction settings for SLO checks.
+#[derive(Debug, Clone, Copy)]
+pub struct SloOptions {
+    /// Allowed response-time inflation over unthrottled (1.15 in §4.3).
+    pub slo_factor: f64,
+    /// Queries per simulated run.
+    pub sim_queries: usize,
+    /// Warmup queries excluded.
+    pub warmup: usize,
+    /// Replications averaged per prediction.
+    pub replications: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SloOptions {
+    fn default() -> Self {
+        SloOptions {
+            slo_factor: 1.15,
+            sim_queries: 2_000,
+            warmup: 200,
+            replications: 3,
+            seed: 0xC10D,
+        }
+    }
+}
+
+/// The node's peak processing rate for a workload: CPU throttling caps
+/// a share of the *sprint* (burst) throughput, per §4.3 where Jacobi's
+/// 20% share yields 14.8 qph sustained and 74 qph when sprinting.
+pub fn burst_rate(kind: WorkloadKind) -> Rate {
+    Workload::get(kind).dvfs_burst
+}
+
+/// The "throttling turned off" reference rate — the node's normal
+/// sustained throughput (Table 1C sustained), *not* the burst rate.
+/// This is why intermediate sprint multipliers can meet the SLO: a 3X
+/// sprint of Jacobi (44.4 qph) already beats the 51-qph no-throttle
+/// service when it covers most of the work (§4.3's small-burst policy
+/// sprints at exactly 44 qph).
+pub fn unthrottled_rate(kind: WorkloadKind) -> Rate {
+    Workload::get(kind).dvfs_sustained
+}
+
+/// Demand arrival rate: `utilization` of the AWS-baseline sustained
+/// rate (20% share of burst), matching §4.3's "Jacobi ... queries
+/// arrived at 11.8 qph (80% utilization)".
+pub fn demand_rate(kind: WorkloadKind, utilization: f64) -> Rate {
+    burst_rate(kind).scale(0.2 * utilization)
+}
+
+fn sim_config(
+    kind: WorkloadKind,
+    lambda: Rate,
+    processing_rate: Rate,
+    sprint_multiplier: f64,
+    budget_capacity_secs: f64,
+    refill_secs: f64,
+    timeout_secs: f64,
+    opts: &SloOptions,
+) -> QsimConfig {
+    let w = Workload::get(kind);
+    let mean = SimDuration::from_secs_f64(3_600.0 / processing_rate.qph());
+    let timeout = if timeout_secs.is_finite() {
+        SimDuration::from_secs_f64(timeout_secs)
+    } else {
+        SimDuration::MAX
+    };
+    QsimConfig {
+        arrival_rate: lambda,
+        arrival_kind: DistKind::Exponential,
+        service: w.service_dist(mean),
+        sprint_speedup: sprint_multiplier.max(1.0),
+        timeout,
+        budget_capacity_secs,
+        refill_secs,
+        slots: 1,
+        num_queries: opts.sim_queries,
+        warmup: opts.warmup,
+        seed: opts.seed,
+    }
+}
+
+/// Predicted mean response time (seconds) for `kind` at arrival rate
+/// `lambda` under `policy`.
+pub fn predict_response_secs(
+    kind: WorkloadKind,
+    lambda: Rate,
+    policy: &BurstablePolicy,
+    opts: &SloOptions,
+) -> f64 {
+    let cfg = sim_config(
+        kind,
+        lambda,
+        burst_rate(kind).scale(policy.share),
+        policy.sprint_multiplier,
+        policy.budget_capacity_secs(),
+        policy.refill_secs(),
+        policy.timeout_secs,
+        opts,
+    );
+    predict_mean_response(&cfg, opts.replications, 1)
+}
+
+/// Predicted mean response time with no throttling at all (the SLO
+/// reference point: the node's normal sustained rate).
+pub fn unthrottled_response_secs(kind: WorkloadKind, lambda: Rate, opts: &SloOptions) -> f64 {
+    let cfg = sim_config(
+        kind,
+        lambda,
+        unthrottled_rate(kind),
+        1.0,
+        0.0,
+        3_600.0,
+        f64::MAX,
+        opts,
+    );
+    predict_mean_response(&cfg, opts.replications, 1)
+}
+
+/// Whether `policy` keeps `kind`'s response time within the SLO.
+pub fn meets_slo(
+    kind: WorkloadKind,
+    lambda: Rate,
+    policy: &BurstablePolicy,
+    opts: &SloOptions,
+) -> bool {
+    let reference = unthrottled_response_secs(kind, lambda, opts);
+    let throttled = predict_response_secs(kind, lambda, policy, opts);
+    throttled <= opts.slo_factor * reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_rate_matches_section_4_3() {
+        // Jacobi at 80% utilization arrives at 11.84 qph.
+        let r = demand_rate(WorkloadKind::Jacobi, 0.8);
+        assert!((r.qph() - 11.84).abs() < 0.01, "{r}");
+    }
+
+    #[test]
+    fn unthrottled_is_fastest() {
+        let lambda = demand_rate(WorkloadKind::Jacobi, 0.7);
+        let opts = SloOptions::default();
+        let reference = unthrottled_response_secs(WorkloadKind::Jacobi, lambda, &opts);
+        let aws = predict_response_secs(
+            WorkloadKind::Jacobi,
+            lambda,
+            &BurstablePolicy::aws_t2_small(),
+            &opts,
+        );
+        // Unthrottled Jacobi service is ~70.6 s (51 qph); light load
+        // keeps the response near that. AWS's 5X sprint can actually
+        // beat the no-throttle reference (74 qph > 51 qph), so only
+        // sanity-check both are in a sane band.
+        assert!(reference > 65.0 && reference < 140.0, "{reference}");
+        assert!(aws > 45.0 && aws < 140.0, "{aws}");
+    }
+
+    #[test]
+    fn no_sprint_low_share_violates_slo() {
+        // Pure 20% throttling with no sprint at 70% utilization is 5X
+        // slower — far outside a 1.15X SLO.
+        let lambda = demand_rate(WorkloadKind::Jacobi, 0.7);
+        let policy = BurstablePolicy {
+            share: 0.2,
+            sprint_multiplier: 1.0,
+            budget_secs_per_hour: 0.0,
+            timeout_secs: f64::MAX,
+        };
+        assert!(!meets_slo(
+            WorkloadKind::Jacobi,
+            lambda,
+            &policy,
+            &SloOptions::default()
+        ));
+    }
+
+    #[test]
+    fn generous_sprinting_meets_slo_at_moderate_load() {
+        // 5X sprint with a large budget approximates unthrottled.
+        let lambda = demand_rate(WorkloadKind::Jacobi, 0.5);
+        let policy = BurstablePolicy {
+            share: 0.2,
+            sprint_multiplier: 5.0,
+            budget_secs_per_hour: 3_600.0,
+            timeout_secs: 0.0,
+        };
+        assert!(meets_slo(
+            WorkloadKind::Jacobi,
+            lambda,
+            &policy,
+            &SloOptions::default()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod debug_probe {
+    use super::*;
+    use crate::burstable::BurstablePolicy;
+
+    #[test]
+    #[ignore]
+    fn probe_multipliers() {
+        let opts = SloOptions {
+            sim_queries: 2_000,
+            warmup: 200,
+            replications: 2,
+            ..SloOptions::default()
+        };
+        for (kind, util) in [
+            (WorkloadKind::Jacobi, 0.7),
+            (WorkloadKind::SparkStream, 0.5),
+            (WorkloadKind::Bfs, 0.6),
+            (WorkloadKind::Knn, 0.8),
+        ] {
+            let lambda = demand_rate(kind, util);
+            let reference = unthrottled_response_secs(kind, lambda, &opts);
+            println!("{} util {util}: lambda {:.1}, ref {:.1}, slo {:.1}", kind.name(), lambda.qph(), reference, reference*1.15);
+            for m in [1.5, 2.0, 2.5, 3.0, 4.0, 5.0] {
+                let p = BurstablePolicy::with_multiplier(0.2, m, 0.0);
+                let rt = predict_response_secs(kind, lambda, &p, &opts);
+                println!("  m={m}: B={:.0} rt {:.1} {}", p.budget_secs_per_hour, rt, if rt <= 1.15*reference {"PASS"} else {"fail"});
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Model-driven computational sprinting — the paper's contribution.
+//!
+//! This crate ties the substrates together into the modeling pipeline
+//! of Fig. 2:
+//!
+//! ```text
+//! profiling data ──► effective-sprint-rate calibration (Eq. 2)
+//!        │                      │
+//!        │                      ▼
+//!        │            random decision forest  ──► µe
+//!        │                                         │
+//!        ▼                                         ▼
+//!   service samples ─────────► timeout-aware queue simulator ──► RT
+//! ```
+//!
+//! Three [`ResponseTimeModel`]s are provided, matching Table 1(A):
+//!
+//! - [`HybridModel`] — the paper's approach: a random forest maps
+//!   conditions to *effective sprint rate* µe, which drives the
+//!   first-principles simulator.
+//! - [`NoMlModel`] — the simulator fed the profiled *marginal* sprint
+//!   rate µm (no machine learning).
+//! - [`AnnModel`] — an MLP mapping conditions directly to response
+//!   time.
+//!
+//! [`throughput`] measures predictions per minute (Fig. 11), and
+//! [`train`] builds models from a profiling campaign.
+
+pub mod calibrate;
+pub mod model;
+pub mod online;
+pub mod throughput;
+pub mod train;
+
+pub use calibrate::{effective_sprint_rate, CalibrationOptions};
+pub use model::{AnnModel, HybridModel, NoMlModel, ResponseTimeModel, SimOptions};
+pub use online::{ArrivalRateEstimator, OnlineModel};
+pub use train::{train_ann, train_hybrid, TrainOptions};

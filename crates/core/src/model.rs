@@ -1,0 +1,318 @@
+//! Response-time models (Table 1A) and the simulator bridge.
+
+use ann::Mlp;
+use forest::RandomForest;
+use profiler::{Condition, WorkloadProfile};
+use qsim::{predict_mean_response, QsimConfig};
+use simcore::dist::Dist;
+use simcore::time::SimDuration;
+
+/// Queue-simulation settings used when a model predicts response time.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Queries per simulated run; fewer is faster but noisier
+    /// (Fig. 11's knee is around 100K for tight variance; a few
+    /// thousand suffices for mean-response prediction).
+    pub sim_queries: usize,
+    /// Leading queries excluded from statistics.
+    pub warmup: usize,
+    /// Replicated runs averaged per prediction.
+    pub replications: usize,
+    /// Worker threads for replications.
+    pub threads: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            sim_queries: 2_000,
+            warmup: 200,
+            replications: 3,
+            threads: 1,
+            seed: 0x51B,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Builds the simulator configuration for a condition with the
+    /// given sprint speedup (µx/µ).
+    pub fn config(
+        &self,
+        profile: &WorkloadProfile,
+        cond: &Condition,
+        sprint_speedup: f64,
+    ) -> QsimConfig {
+        let service = Dist::empirical(
+            profile
+                .service_samples_secs
+                .iter()
+                .map(|&s| SimDuration::from_secs_f64(s))
+                .collect(),
+        );
+        QsimConfig {
+            arrival_rate: cond.arrival_rate(profile.mu),
+            arrival_kind: cond.arrival_kind,
+            service,
+            // Effective rates below µ are legal (Eq. 2's correction can
+            // be negative); guard only against nonsense.
+            sprint_speedup: sprint_speedup.max(0.1),
+            timeout: cond.timeout(),
+            budget_capacity_secs: cond.budget_capacity_secs(),
+            refill_secs: cond.refill_secs,
+            slots: 1,
+            num_queries: self.sim_queries,
+            warmup: self.warmup,
+            seed: self.seed,
+        }
+    }
+
+    /// Simulated mean response time for a condition at the given
+    /// sprint speedup.
+    pub fn simulate(
+        &self,
+        profile: &WorkloadProfile,
+        cond: &Condition,
+        sprint_speedup: f64,
+    ) -> f64 {
+        let cfg = self.config(profile, cond, sprint_speedup);
+        predict_mean_response(&cfg, self.replications, self.threads)
+    }
+}
+
+/// A model that maps workload conditions and sprinting policies to
+/// expected response time for one profiled (mix, mechanism) pair.
+pub trait ResponseTimeModel: Send + Sync {
+    /// Short identifier matching Table 1(A).
+    fn name(&self) -> &'static str;
+
+    /// Expected mean response time (seconds) under `cond`.
+    fn predict_response_secs(&self, cond: &Condition) -> f64;
+
+    /// The profile this model was built from.
+    fn profile(&self) -> &WorkloadProfile;
+}
+
+/// Table 1(A) *No-ML*: the timeout-aware simulator driven by the
+/// profiled marginal sprint rate.
+#[derive(Debug, Clone)]
+pub struct NoMlModel {
+    profile: WorkloadProfile,
+    sim: SimOptions,
+}
+
+impl NoMlModel {
+    /// Builds the model from a profile.
+    pub fn new(profile: WorkloadProfile, sim: SimOptions) -> NoMlModel {
+        NoMlModel { profile, sim }
+    }
+}
+
+impl ResponseTimeModel for NoMlModel {
+    fn name(&self) -> &'static str {
+        "No-ML"
+    }
+
+    fn predict_response_secs(&self, cond: &Condition) -> f64 {
+        self.sim
+            .simulate(&self.profile, cond, self.profile.marginal_speedup())
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+/// Table 1(A) *Hybrid*: random forest → effective sprint rate →
+/// timeout-aware simulation. The paper's approach.
+#[derive(Debug, Clone)]
+pub struct HybridModel {
+    profile: WorkloadProfile,
+    forest: RandomForest,
+    sim: SimOptions,
+}
+
+impl HybridModel {
+    /// Builds the model from a profile and a forest trained on
+    /// calibrated effective sprint rates (see [`crate::train`]).
+    pub fn new(profile: WorkloadProfile, forest: RandomForest, sim: SimOptions) -> HybridModel {
+        HybridModel {
+            profile,
+            forest,
+            sim,
+        }
+    }
+
+    /// Effective sprint rate (qph) inferred for a condition.
+    pub fn effective_rate_qph(&self, cond: &Condition) -> f64 {
+        let features = cond.features(self.profile.mu, self.profile.mu_m);
+        self.forest
+            .predict(&features)
+            // The effective rate may dip below µ (negative runtime
+            // correction) but never wildly outside the physical band.
+            .clamp(self.profile.mu.qph() * 0.6, self.profile.mu_m.qph() * 1.5)
+    }
+}
+
+impl ResponseTimeModel for HybridModel {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn predict_response_secs(&self, cond: &Condition) -> f64 {
+        let mu_e = self.effective_rate_qph(cond);
+        let speedup = mu_e / self.profile.mu.qph();
+        self.sim.simulate(&self.profile, cond, speedup)
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+/// Table 1(A) *ANN*: a neural network mapping conditions directly to
+/// response time, no simulation. A small ensemble (averaged
+/// predictions of independently initialized networks) tames the
+/// initialization variance that dominates at profiling-sized training
+/// sets.
+#[derive(Debug, Clone)]
+pub struct AnnModel {
+    profile: WorkloadProfile,
+    ensemble: Vec<Mlp>,
+    log_space: bool,
+}
+
+impl AnnModel {
+    /// Builds the model from a profile and one or more trained MLPs.
+    /// `log_space` indicates the networks regress `ln(RT)` — the
+    /// treatment response times need because they span orders of
+    /// magnitude across utilizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ensemble` is empty.
+    pub fn new(profile: WorkloadProfile, ensemble: Vec<Mlp>, log_space: bool) -> AnnModel {
+        assert!(!ensemble.is_empty(), "ANN ensemble needs a network");
+        AnnModel {
+            profile,
+            ensemble,
+            log_space,
+        }
+    }
+
+    /// Number of networks in the ensemble.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble.len()
+    }
+}
+
+impl ResponseTimeModel for AnnModel {
+    fn name(&self) -> &'static str {
+        "ANN"
+    }
+
+    fn predict_response_secs(&self, cond: &Condition) -> f64 {
+        let features = cond.features(self.profile.mu, self.profile.mu_m);
+        let mean = self
+            .ensemble
+            .iter()
+            .map(|m| m.predict(&features))
+            .sum::<f64>()
+            / self.ensemble.len() as f64;
+        let rt = if self.log_space { mean.exp() } else { mean };
+        // Response time cannot be faster than a fully sprinted service.
+        let floor = 3_600.0 / self.profile.mu_m.qph();
+        rt.max(floor)
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::DistKind;
+    use simcore::time::Rate;
+    use workloads::{QueryMix, WorkloadKind};
+
+    fn fake_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            mechanism: "DVFS".into(),
+            mu: Rate::per_hour(50.0),
+            mu_m: Rate::per_hour(75.0),
+            service_samples_secs: (0..100).map(|i| 60.0 + (i % 21) as f64).collect(),
+            profiling_hours: 1.0,
+        }
+    }
+
+    fn cond(util: f64) -> Condition {
+        Condition {
+            utilization: util,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 80.0,
+            budget_frac: 0.4,
+            refill_secs: 200.0,
+        }
+    }
+
+    #[test]
+    fn no_ml_predicts_reasonable_response() {
+        let m = NoMlModel::new(fake_profile(), SimOptions::default());
+        let rt = m.predict_response_secs(&cond(0.5));
+        // Service ~70 s; with sprinting and 50% load the response must
+        // be between the sprinted service time and a loaded no-sprint
+        // M/G/1 response.
+        assert!(rt > 40.0, "rt {rt}");
+        assert!(rt < 300.0, "rt {rt}");
+    }
+
+    #[test]
+    fn higher_utilization_increases_prediction() {
+        let m = NoMlModel::new(fake_profile(), SimOptions::default());
+        let low = m.predict_response_secs(&cond(0.3));
+        let high = m.predict_response_secs(&cond(0.9));
+        assert!(high > low, "{high} !> {low}");
+    }
+
+    #[test]
+    fn sim_options_config_uses_empirical_service() {
+        let p = fake_profile();
+        let cfg = SimOptions::default().config(&p, &cond(0.5), 1.5);
+        assert!(matches!(cfg.service, Dist::Empirical { .. }));
+        assert!((cfg.arrival_rate.qph() - 25.0).abs() < 1e-9);
+        assert_eq!(cfg.budget_capacity_secs, 80.0);
+        assert_eq!(cfg.sprint_speedup, 1.5);
+    }
+
+    #[test]
+    fn speedup_floor_guards_against_nonsense() {
+        let p = fake_profile();
+        let cfg = SimOptions::default().config(&p, &cond(0.5), 0.01);
+        assert_eq!(cfg.sprint_speedup, 0.1);
+        // Sub-unit (negative-correction) speedups pass through.
+        let cfg = SimOptions::default().config(&p, &cond(0.5), 0.8);
+        assert_eq!(cfg.sprint_speedup, 0.8);
+    }
+
+    #[test]
+    fn hybrid_effective_rate_clamped() {
+        use forest::{ForestConfig, RandomForest};
+        use mlcore::Dataset;
+        // Train a forest that predicts an absurdly low rate.
+        let mut d = Dataset::new(profiler::FEATURE_NAMES.to_vec());
+        let p = fake_profile();
+        for i in 0..20 {
+            let c = cond(0.3 + 0.03 * i as f64);
+            d.push(c.features(p.mu, p.mu_m), 1.0); // 1 qph — nonsense.
+        }
+        let f = RandomForest::train(&d, profiler::features::MU_M_FEATURE, ForestConfig::default());
+        let m = HybridModel::new(p, f, SimOptions::default());
+        // Clamp must lift it to at least 0.6 µ.
+        assert!(m.effective_rate_qph(&cond(0.5)) >= 0.6 * 50.0);
+    }
+}

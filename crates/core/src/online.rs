@@ -1,0 +1,247 @@
+//! Online runtime-condition estimation (§5).
+//!
+//! The paper evaluates its models under *known* workload conditions
+//! and names estimating them online — "sliding window approaches can
+//! be used to estimate runtime conditions" — as the key open challenge
+//! for deployment. This module implements that extension: a sliding
+//! window over observed arrival timestamps estimates the current
+//! arrival rate, and [`OnlineModel`] feeds the estimate into any
+//! trained [`ResponseTimeModel`] so predictions track drifting load.
+
+use crate::model::ResponseTimeModel;
+use profiler::Condition;
+use simcore::time::{Rate, SimTime};
+use std::collections::VecDeque;
+
+/// Sliding-window arrival-rate estimator.
+///
+/// Keeps the most recent arrival instants within a time window and
+/// estimates λ from their count and span. Robust to drift: old
+/// arrivals age out of the window.
+#[derive(Debug, Clone)]
+pub struct ArrivalRateEstimator {
+    window_secs: f64,
+    min_samples: usize,
+    arrivals: VecDeque<SimTime>,
+}
+
+impl ArrivalRateEstimator {
+    /// Creates an estimator over a trailing window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not positive or `min_samples < 2`.
+    pub fn new(window_secs: f64, min_samples: usize) -> ArrivalRateEstimator {
+        assert!(
+            window_secs > 0.0 && window_secs.is_finite(),
+            "invalid window"
+        );
+        assert!(min_samples >= 2, "need at least two samples for a rate");
+        ArrivalRateEstimator {
+            window_secs,
+            min_samples,
+            arrivals: VecDeque::new(),
+        }
+    }
+
+    /// Records an arrival and evicts everything older than the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals go backwards in time.
+    pub fn record(&mut self, at: SimTime) {
+        if let Some(&last) = self.arrivals.back() {
+            assert!(at >= last, "arrivals must be time-ordered");
+        }
+        self.arrivals.push_back(at);
+        let cutoff = at.since(SimTime::ZERO).as_secs_f64() - self.window_secs;
+        while let Some(&front) = self.arrivals.front() {
+            if front.as_secs_f64() < cutoff {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of arrivals currently inside the window.
+    pub fn samples(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Current arrival-rate estimate, or `None` until enough samples
+    /// accumulated.
+    ///
+    /// Uses the span between the oldest and newest in-window arrival
+    /// (an unbiased inter-arrival estimate, rather than count/window
+    /// which is biased low right after a quiet period).
+    pub fn rate(&self) -> Option<Rate> {
+        if self.arrivals.len() < self.min_samples {
+            return None;
+        }
+        let first = *self.arrivals.front().expect("non-empty");
+        let last = *self.arrivals.back().expect("non-empty");
+        let span = last.since(first).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        let intervals = (self.arrivals.len() - 1) as f64;
+        Some(Rate::per_sec(intervals / span))
+    }
+}
+
+/// Wraps a trained model with online arrival-rate tracking: the
+/// wrapped prediction always reflects the *currently estimated* load
+/// instead of a fixed utilization.
+pub struct OnlineModel<'m> {
+    model: &'m dyn ResponseTimeModel,
+    estimator: ArrivalRateEstimator,
+}
+
+impl<'m> OnlineModel<'m> {
+    /// Wraps `model` with a fresh estimator.
+    pub fn new(model: &'m dyn ResponseTimeModel, estimator: ArrivalRateEstimator) -> Self {
+        OnlineModel { model, estimator }
+    }
+
+    /// Feeds one observed arrival.
+    pub fn observe_arrival(&mut self, at: SimTime) {
+        self.estimator.record(at);
+    }
+
+    /// The current utilization estimate (λ̂ / µ), if available.
+    pub fn estimated_utilization(&self) -> Option<f64> {
+        let mu = self.model.profile().mu;
+        self.estimator.rate().map(|l| l.qph() / mu.qph())
+    }
+
+    /// Predicts response time for `policy` under the *estimated*
+    /// current load; `None` until the estimator warms up.
+    pub fn predict_response_secs(&self, policy: &Condition) -> Option<f64> {
+        let utilization = self.estimated_utilization()?;
+        let mut c = *policy;
+        c.utilization = utilization.clamp(0.01, 0.99);
+        Some(self.model.predict_response_secs(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::{Dist, DistKind};
+    use simcore::rng::SimRng;
+    use simcore::time::SimDuration;
+
+    fn feed_poisson(est: &mut ArrivalRateEstimator, rate_qph: f64, n: usize, seed: u64) -> SimTime {
+        let mut rng = SimRng::new(seed);
+        let d = Dist::exponential(Rate::per_hour(rate_qph).mean_interval());
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            t = t + d.sample(&mut rng);
+            est.record(t);
+        }
+        t
+    }
+
+    #[test]
+    fn estimates_stationary_rate() {
+        let mut est = ArrivalRateEstimator::new(36_000.0, 5);
+        feed_poisson(&mut est, 40.0, 300, 1);
+        let rate = est.rate().expect("warm");
+        assert!(
+            (rate.qph() - 40.0).abs() / 40.0 < 0.15,
+            "estimate {rate} vs 40 qph"
+        );
+    }
+
+    #[test]
+    fn tracks_drift() {
+        // 10 qph for a while, then 50 qph; a 1-hour window must follow.
+        let mut est = ArrivalRateEstimator::new(3_600.0, 5);
+        let t_end = feed_poisson(&mut est, 10.0, 50, 2);
+        let mut rng = SimRng::new(3);
+        let d = Dist::exponential(Rate::per_hour(50.0).mean_interval());
+        let mut t = t_end;
+        for _ in 0..200 {
+            t = t + d.sample(&mut rng);
+            est.record(t);
+        }
+        let rate = est.rate().expect("warm");
+        assert!(
+            (rate.qph() - 50.0).abs() / 50.0 < 0.2,
+            "post-drift estimate {rate}"
+        );
+    }
+
+    #[test]
+    fn cold_start_returns_none() {
+        let mut est = ArrivalRateEstimator::new(600.0, 5);
+        assert!(est.rate().is_none());
+        est.record(SimTime::from_secs(1));
+        est.record(SimTime::from_secs(2));
+        assert!(est.rate().is_none(), "below min_samples");
+    }
+
+    #[test]
+    fn window_evicts_old_arrivals() {
+        let mut est = ArrivalRateEstimator::new(100.0, 2);
+        est.record(SimTime::from_secs(0));
+        est.record(SimTime::from_secs(10));
+        est.record(SimTime::from_secs(500));
+        // The first two aged out.
+        assert_eq!(est.samples(), 1);
+    }
+
+    #[test]
+    fn online_model_tracks_load() {
+        use profiler::WorkloadProfile;
+        use workloads::{QueryMix, WorkloadKind};
+
+        /// Response time directly proportional to utilization.
+        struct Linear(WorkloadProfile);
+        impl ResponseTimeModel for Linear {
+            fn name(&self) -> &'static str {
+                "linear"
+            }
+            fn predict_response_secs(&self, c: &Condition) -> f64 {
+                100.0 * c.utilization
+            }
+            fn profile(&self) -> &WorkloadProfile {
+                &self.0
+            }
+        }
+        let model = Linear(WorkloadProfile {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            mechanism: "x".into(),
+            mu: Rate::per_hour(50.0),
+            mu_m: Rate::per_hour(75.0),
+            service_samples_secs: vec![70.0],
+            profiling_hours: 0.0,
+        });
+        let mut online = OnlineModel::new(&model, ArrivalRateEstimator::new(36_000.0, 5));
+        let policy = Condition {
+            utilization: 0.0, // Overridden by the estimator.
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 60.0,
+            budget_frac: 0.2,
+            refill_secs: 200.0,
+        };
+        assert!(online.predict_response_secs(&policy).is_none());
+        // Arrivals at 25 qph -> utilization 0.5 -> predicted ~50.
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            t = t + SimDuration::from_secs_f64(3_600.0 / 25.0);
+            online.observe_arrival(t);
+        }
+        let rt = online.predict_response_secs(&policy).expect("warm");
+        assert!((rt - 50.0).abs() < 5.0, "rt {rt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_out_of_order_arrivals() {
+        let mut est = ArrivalRateEstimator::new(100.0, 2);
+        est.record(SimTime::from_secs(10));
+        est.record(SimTime::from_secs(5));
+    }
+}

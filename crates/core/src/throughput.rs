@@ -1,0 +1,125 @@
+//! Prediction throughput measurement (Fig. 11).
+//!
+//! The paper reports predictions per minute as a function of queries
+//! simulated per prediction and core count, plus the coefficient of
+//! variation of the resulting estimates (knee around 100K queries).
+
+use crate::model::SimOptions;
+use profiler::{Condition, WorkloadProfile};
+use qsim::run_batch;
+use simcore::stats::StreamingStats;
+use std::time::Instant;
+
+/// Result of one throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Queries simulated per prediction.
+    pub queries_per_prediction: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Predictions completed per minute of wall-clock time.
+    pub predictions_per_minute: f64,
+    /// Coefficient of variation of the prediction estimates (%).
+    pub cov_percent: f64,
+}
+
+/// Measures prediction throughput: how many response-time predictions
+/// per minute the simulator sustains at the given simulation size and
+/// thread count, and how much the estimates vary run to run.
+///
+/// # Panics
+///
+/// Panics if `num_predictions` is zero.
+pub fn measure_throughput(
+    profile: &WorkloadProfile,
+    cond: &Condition,
+    queries_per_prediction: usize,
+    threads: usize,
+    num_predictions: usize,
+) -> ThroughputPoint {
+    assert!(num_predictions > 0, "need at least one prediction");
+    let sim = SimOptions {
+        sim_queries: queries_per_prediction,
+        warmup: queries_per_prediction / 10,
+        replications: 1,
+        threads: 1,
+        ..SimOptions::default()
+    };
+    let configs: Vec<_> = (0..num_predictions)
+        .map(|i| {
+            let mut cfg = sim.config(profile, cond, profile.marginal_speedup());
+            cfg.seed = 0xF16_11 + i as u64 * 7;
+            cfg
+        })
+        .collect();
+    let start = Instant::now();
+    let results = run_batch(configs, threads);
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut stats = StreamingStats::new();
+    for r in &results {
+        stats.push(r.mean_response_secs());
+    }
+    ThroughputPoint {
+        queries_per_prediction,
+        threads,
+        predictions_per_minute: num_predictions as f64 / elapsed * 60.0,
+        cov_percent: stats.cov() * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::DistKind;
+    use simcore::time::Rate;
+    use workloads::{QueryMix, WorkloadKind};
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            mechanism: "DVFS".into(),
+            mu: Rate::per_hour(50.0),
+            mu_m: Rate::per_hour(75.0),
+            service_samples_secs: (0..100).map(|i| 60.0 + (i % 21) as f64).collect(),
+            profiling_hours: 1.0,
+        }
+    }
+
+    fn cond() -> Condition {
+        Condition {
+            utilization: 0.7,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 80.0,
+            budget_frac: 0.4,
+            refill_secs: 200.0,
+        }
+    }
+
+    #[test]
+    fn throughput_positive_and_cov_finite() {
+        let t = measure_throughput(&profile(), &cond(), 500, 1, 8);
+        assert!(t.predictions_per_minute > 0.0);
+        assert!(t.cov_percent.is_finite());
+        assert_eq!(t.queries_per_prediction, 500);
+    }
+
+    #[test]
+    fn more_queries_reduce_cov() {
+        let small = measure_throughput(&profile(), &cond(), 200, 2, 12);
+        let large = measure_throughput(&profile(), &cond(), 8_000, 2, 12);
+        assert!(
+            large.cov_percent < small.cov_percent,
+            "cov should shrink: {} !< {}",
+            large.cov_percent,
+            small.cov_percent
+        );
+    }
+
+    #[test]
+    fn more_queries_reduce_throughput() {
+        let small = measure_throughput(&profile(), &cond(), 200, 1, 6);
+        let large = measure_throughput(&profile(), &cond(), 20_000, 1, 6);
+        assert!(large.predictions_per_minute < small.predictions_per_minute);
+    }
+}

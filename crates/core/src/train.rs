@@ -1,0 +1,186 @@
+//! Training pipelines: profiling campaign → response-time models.
+
+use crate::calibrate::{effective_sprint_rate, CalibrationOptions};
+use crate::model::{AnnModel, HybridModel, NoMlModel, SimOptions};
+use ann::{AnnConfig, Mlp};
+use forest::{ForestConfig, RandomForest};
+use mlcore::Dataset;
+use profiler::features::MU_M_FEATURE;
+use profiler::{ProfileData, FEATURE_NAMES};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options shared by the training pipelines.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Calibration settings for effective-sprint-rate extraction.
+    pub calibration: CalibrationOptions,
+    /// Forest hyper-parameters.
+    pub forest: ForestConfig,
+    /// ANN hyper-parameters.
+    pub ann: AnnConfig,
+    /// Simulation settings embedded in the trained models.
+    pub sim: SimOptions,
+    /// Worker threads for calibration.
+    pub threads: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            calibration: CalibrationOptions::default(),
+            forest: ForestConfig::default(),
+            ann: AnnConfig::default(),
+            sim: SimOptions::default(),
+            threads: 8,
+        }
+    }
+}
+
+/// Trains the paper's hybrid model: calibrate µe for every profiling
+/// run (in parallel), then fit the random forest over the calibrated
+/// rates.
+///
+/// # Panics
+///
+/// Panics if the campaign has no runs.
+pub fn train_hybrid(data: &ProfileData, opts: &TrainOptions) -> HybridModel {
+    assert!(!data.runs.is_empty(), "no profiling runs to train on");
+    let n = data.runs.len();
+    let rates: Vec<Mutex<Option<f64>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = opts.threads.clamp(1, n);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (rate, _err) =
+                    effective_sprint_rate(&data.profile, &data.runs[i], &opts.calibration);
+                *rates[i].lock().expect("slot poisoned") = Some(rate.qph());
+            });
+        }
+    })
+    .expect("calibration worker panicked");
+
+    let mut train = Dataset::new(FEATURE_NAMES.to_vec());
+    for (run, rate) in data.runs.iter().zip(&rates) {
+        let mu_e = rate.lock().expect("slot poisoned").expect("calibrated");
+        train.push(
+            run.condition.features(data.profile.mu, data.profile.mu_m),
+            mu_e,
+        );
+    }
+    let forest = RandomForest::train(&train, MU_M_FEATURE, opts.forest);
+    HybridModel::new(data.profile.clone(), forest, opts.sim)
+}
+
+/// Trains the ANN baseline: conditions map directly to observed
+/// response time. Three independently seeded networks are averaged.
+///
+/// # Panics
+///
+/// Panics if the campaign has no runs.
+pub fn train_ann(data: &ProfileData, opts: &TrainOptions) -> AnnModel {
+    assert!(!data.runs.is_empty(), "no profiling runs to train on");
+    let mut train = Dataset::new(FEATURE_NAMES.to_vec());
+    for run in &data.runs {
+        // Regress ln(RT): response times span orders of magnitude
+        // across utilizations, and raw-space MSE would let heavy-load
+        // examples dominate.
+        train.push(
+            run.condition.features(data.profile.mu, data.profile.mu_m),
+            run.observed_response_secs.max(1e-6).ln(),
+        );
+    }
+    let ensemble = (0..3)
+        .map(|i| {
+            let mut cfg = opts.ann.clone();
+            cfg.seed = cfg.seed.wrapping_add(i * 0x9E37);
+            Mlp::train(&train, &cfg)
+        })
+        .collect();
+    AnnModel::new(data.profile.clone(), ensemble, true)
+}
+
+/// Builds the No-ML baseline (no training required).
+pub fn no_ml(data: &ProfileData, opts: &TrainOptions) -> NoMlModel {
+    NoMlModel::new(data.profile.clone(), opts.sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ResponseTimeModel;
+    use mechanisms::Dvfs;
+    use profiler::{Condition, Profiler};
+    use simcore::dist::DistKind;
+    use workloads::{QueryMix, WorkloadKind};
+
+    fn small_campaign() -> ProfileData {
+        let mech = Dvfs::new();
+        let mix = QueryMix::single(WorkloadKind::Jacobi);
+        let profiler = Profiler {
+            queries_per_run: 200,
+            warmup: 20,
+        replays: 1,
+            threads: 4,
+            seed: 7,
+        };
+        let conditions: Vec<Condition> = [0.4, 0.6, 0.8]
+            .iter()
+            .flat_map(|&u| {
+                [60.0, 120.0].iter().map(move |&t| Condition {
+                    utilization: u,
+                    arrival_kind: DistKind::Exponential,
+                    timeout_secs: t,
+                    budget_frac: 0.4,
+                    refill_secs: 200.0,
+                })
+            })
+            .collect();
+        profiler.profile(&mix, &mech, &conditions)
+    }
+
+    #[test]
+    fn hybrid_training_produces_sane_model() {
+        let data = small_campaign();
+        let mut opts = TrainOptions::default();
+        opts.calibration.max_steps = 25;
+        opts.calibration.sim.sim_queries = 800;
+        let model = train_hybrid(&data, &opts);
+        // The effective rate must sit between µ and a bit above µm.
+        for run in &data.runs {
+            let mu_e = model.effective_rate_qph(&run.condition);
+            assert!(mu_e >= data.profile.mu.qph() - 1e-9);
+            assert!(mu_e <= data.profile.mu_m.qph() * 1.5 + 1e-9);
+        }
+        // Predictions should be in the right ballpark of observations.
+        let run = &data.runs[0];
+        let pred = model.predict_response_secs(&run.condition);
+        let err = (pred - run.observed_response_secs).abs() / run.observed_response_secs;
+        assert!(err < 0.5, "hybrid error {err} on training condition");
+    }
+
+    #[test]
+    fn ann_training_fits_training_set_roughly() {
+        let data = small_campaign();
+        let mut opts = TrainOptions::default();
+        opts.ann.epochs = 200;
+        let model = train_ann(&data, &opts);
+        let run = &data.runs[2];
+        let pred = model.predict_response_secs(&run.condition);
+        let err = (pred - run.observed_response_secs).abs() / run.observed_response_secs;
+        assert!(err < 0.6, "ann error {err} on training condition");
+    }
+
+    #[test]
+    fn no_ml_requires_no_training() {
+        let data = small_campaign();
+        let m = no_ml(&data, &TrainOptions::default());
+        assert_eq!(m.name(), "No-ML");
+        assert!(m.predict_response_secs(&data.runs[0].condition) > 0.0);
+    }
+}

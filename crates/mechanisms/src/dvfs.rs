@@ -1,0 +1,96 @@
+//! DVFS sprinting on the Xeon 2660 platform (Table 1B).
+//!
+//! Sustained operation runs under a Pupil-governed sustained power cap;
+//! a sprint temporarily raises the cap to the burst level, letting Pupil
+//! move to a faster operating point. Per-workload behaviour comes from
+//! [`crate::calibration`], which reproduces the Table 1(C) sustained and
+//! burst throughputs.
+
+use crate::calibration::{dvfs_calibration, elastic_phase_speedup};
+use crate::{Mechanism, MechanismKind};
+use simcore::time::{Rate, SimDuration};
+use workloads::{Phase, Workload, WorkloadKind};
+
+/// DVFS sprinting mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct Dvfs {
+    _private: (),
+}
+
+impl Dvfs {
+    /// Creates the default DVFS platform.
+    pub fn new() -> Self {
+        Dvfs::default()
+    }
+}
+
+impl Mechanism for Dvfs {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Dvfs
+    }
+
+    fn sustained_rate(&self, w: WorkloadKind) -> Rate {
+        Workload::get(w).dvfs_sustained
+    }
+
+    fn phase_speedup(&self, w: WorkloadKind, phase: &Phase) -> f64 {
+        let c = dvfs_calibration(w);
+        elastic_phase_speedup(phase, c.freq_ratio, c.uncore_ratio, c.elasticity).max(1.0)
+    }
+
+    fn toggle_overhead(&self) -> SimDuration {
+        // Voltage/frequency transitions are microseconds, but raising
+        // the power cap makes the Pupil governor re-learn the best
+        // DVFS setting for the workload, which stalls execution for a
+        // couple of seconds (Zhang & Hoffmann report multi-second
+        // convergence under cap changes).
+        SimDuration::from_secs_f64(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_rates_match_table_1c_burst() {
+        let m = Dvfs::new();
+        for w in Workload::all() {
+            let burst = m.marginal_rate(w.kind).qph();
+            let target = w.dvfs_burst.qph();
+            assert!(
+                (burst - target).abs() / target < 0.02,
+                "{}: {burst:.1} vs {target:.1}",
+                w.kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_rates_match_table_1c() {
+        let m = Dvfs::new();
+        assert_eq!(m.sustained_rate(WorkloadKind::SparkStream).qph(), 87.0);
+        assert_eq!(m.sustained_rate(WorkloadKind::Leuk).qph(), 25.0);
+    }
+
+    #[test]
+    fn phase_speedups_vary_within_workload() {
+        // Leuk's final sync phase must sprint far worse than its first
+        // phase — the source of the paper's late-timeout difficulty.
+        let m = Dvfs::new();
+        let leuk = Workload::get(WorkloadKind::Leuk);
+        let first = m.phase_speedup(WorkloadKind::Leuk, &leuk.phases[0]);
+        let last = m.phase_speedup(WorkloadKind::Leuk, &leuk.phases[2]);
+        assert!(
+            first > last + 0.1,
+            "first {first:.3} should beat last {last:.3}"
+        );
+    }
+
+    #[test]
+    fn toggle_overhead_seconds_scale() {
+        let d = Dvfs::new().toggle_overhead();
+        assert!(d > SimDuration::ZERO);
+        assert!(d <= SimDuration::from_secs(5));
+    }
+}

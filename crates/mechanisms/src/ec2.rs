@@ -1,0 +1,100 @@
+//! EC2 P-state DVFS (Table 1B: EC2 Extra Large C-class, circa 2017).
+//!
+//! Sprinting sets the P-state directly: 1.4 GHz sustained, 2.0 GHz
+//! burst. The frequency ratio is small (1.43X), so EC2DVFS offers the
+//! mildest sprints of the three hardware mechanisms; per-workload
+//! response reuses the frequency elasticity calibrated on the DVFS
+//! platform, since elasticity is a property of the code, not the host.
+
+use crate::calibration::{dvfs_calibration, elastic_phase_speedup};
+use crate::power::uncore_ratio;
+use crate::{Mechanism, MechanismKind};
+use simcore::time::{Rate, SimDuration};
+use workloads::{Phase, Workload, WorkloadKind};
+
+/// Sustained P-state frequency (GHz).
+pub const F_SUSTAINED_GHZ: f64 = 1.4;
+
+/// Burst P-state frequency (GHz).
+pub const F_BURST_GHZ: f64 = 2.0;
+
+/// Throughput scale of the EC2 instance relative to the dedicated DVFS
+/// platform at comparable frequency (virtualization overhead).
+pub const PLATFORM_SCALE: f64 = 0.8;
+
+/// EC2 P-state sprinting mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct Ec2Dvfs {
+    _private: (),
+}
+
+impl Ec2Dvfs {
+    /// Creates the default EC2 platform.
+    pub fn new() -> Self {
+        Ec2Dvfs::default()
+    }
+
+    /// The fixed P-state frequency ratio.
+    pub fn freq_ratio() -> f64 {
+        F_BURST_GHZ / F_SUSTAINED_GHZ
+    }
+}
+
+impl Mechanism for Ec2Dvfs {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Ec2Dvfs
+    }
+
+    fn sustained_rate(&self, w: WorkloadKind) -> Rate {
+        Workload::get(w).dvfs_sustained.scale(PLATFORM_SCALE)
+    }
+
+    fn phase_speedup(&self, w: WorkloadKind, phase: &Phase) -> f64 {
+        let e = dvfs_calibration(w).elasticity;
+        let r = Self::freq_ratio();
+        elastic_phase_speedup(phase, r, uncore_ratio(r), e).max(1.0)
+    }
+
+    fn toggle_overhead(&self) -> SimDuration {
+        // Direct P-state write; faster than a governor round-trip but
+        // still paying the hypervisor's MSR-access path.
+        SimDuration::from_secs_f64(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_milder_than_dvfs() {
+        let ec2 = Ec2Dvfs::new();
+        let dvfs = crate::Dvfs::new();
+        for w in WorkloadKind::ALL {
+            let s_ec2 = ec2.marginal_speedup(w);
+            let s_dvfs = dvfs.marginal_speedup(w);
+            assert!(
+                s_ec2 <= s_dvfs + 1e-9,
+                "{}: ec2 {s_ec2:.3} vs dvfs {s_dvfs:.3}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_freq_ratio() {
+        let m = Ec2Dvfs::new();
+        for w in WorkloadKind::ALL {
+            let s = m.marginal_speedup(w);
+            assert!(s <= Ec2Dvfs::freq_ratio() + 1e-9, "{}: {s:.3}", w.name());
+            assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sustained_rate_scaled_from_dvfs() {
+        let m = Ec2Dvfs::new();
+        let r = m.sustained_rate(WorkloadKind::Jacobi).qph();
+        assert!((r - 51.0 * PLATFORM_SCALE).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Sprinting mechanisms (Table 1B plus §4's CPU throttling).
+//!
+//! A sprinting mechanism determines a workload's *sustained* processing
+//! rate, the instantaneous speedup a sprint provides in each execution
+//! phase, and the latency of toggling the mechanism on. Four mechanisms
+//! are implemented, mirroring the paper's testbeds:
+//!
+//! - [`Dvfs`]: frequency scaling on a Xeon-2660-class ladder, governed
+//!   by a Pupil-style power-capping search over a cubic power model.
+//!   Sustained power caps throttle power-hungry workloads below the
+//!   minimum ladder frequency (RAPL-style duty cycling), which is what
+//!   produces burst ratios above the nominal frequency ratio
+//!   (SparkStream's 2.57X in Table 1C).
+//! - [`CoreScale`]: 8 → 16 active cores at fixed frequency; speedup per
+//!   phase follows Amdahl's law and decays toward the end of executions
+//!   (§3.3's Jacobi example).
+//! - [`Ec2Dvfs`]: P-state switching between 1.4 and 2.0 GHz on an
+//!   EC2-class instance.
+//! - [`CpuThrottle`]: cgroup-style CPU-share capping; sprinting lifts
+//!   the cap entirely (AWS burstable semantics, §4).
+//!
+//! All rate calibration targets come from Table 1(C) via the
+//! `workloads` crate; [`calibration`] solves for the per-workload power
+//! coefficient and frequency elasticity that reproduce them.
+
+pub mod calibration;
+pub mod core_scale;
+pub mod dvfs;
+pub mod ec2;
+pub mod power;
+pub mod throttle;
+
+pub use core_scale::CoreScale;
+pub use dvfs::Dvfs;
+pub use ec2::Ec2Dvfs;
+pub use throttle::CpuThrottle;
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{Rate, SimDuration};
+use workloads::{Phase, Workload, WorkloadKind};
+
+/// Identifier for a sprinting mechanism (Table 1B IDs plus throttling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// DVFS with Pupil-style power capping on the Xeon platform.
+    Dvfs,
+    /// Core scaling 8 → 16 active cores.
+    CoreScale,
+    /// EC2 P-state DVFS (1.4 → 2.0 GHz).
+    Ec2Dvfs,
+    /// CPU-share throttling with a default 20% share and 5X sprint.
+    CpuThrottle,
+}
+
+impl MechanismKind {
+    /// All mechanism kinds.
+    pub const ALL: [MechanismKind; 4] = [
+        MechanismKind::Dvfs,
+        MechanismKind::CoreScale,
+        MechanismKind::Ec2Dvfs,
+        MechanismKind::CpuThrottle,
+    ];
+
+    /// Display name matching the paper's identifiers.
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::Dvfs => "DVFS",
+            MechanismKind::CoreScale => "CoreScale",
+            MechanismKind::Ec2Dvfs => "EC2DVFS",
+            MechanismKind::CpuThrottle => "CPUThrottle",
+        }
+    }
+
+    /// Builds the default-configured mechanism of this kind.
+    pub fn build(self) -> Box<dyn Mechanism> {
+        match self {
+            MechanismKind::Dvfs => Box::new(Dvfs::new()),
+            MechanismKind::CoreScale => Box::new(CoreScale::new()),
+            MechanismKind::Ec2Dvfs => Box::new(Ec2Dvfs::new()),
+            MechanismKind::CpuThrottle => Box::new(CpuThrottle::new(0.2)),
+        }
+    }
+}
+
+/// A sprinting mechanism: how fast a workload runs normally, how much a
+/// sprint helps in each phase, and what toggling costs.
+pub trait Mechanism: Send + Sync {
+    /// Which mechanism this is.
+    fn kind(&self) -> MechanismKind;
+
+    /// Sustained (non-sprinting) processing rate for `w`.
+    fn sustained_rate(&self, w: WorkloadKind) -> Rate;
+
+    /// Instantaneous sprint speedup for `w` while executing `phase`
+    /// (≥ 1).
+    fn phase_speedup(&self, w: WorkloadKind, phase: &Phase) -> f64;
+
+    /// Latency between initiating a sprint and the speedup taking
+    /// effect (voltage transitions, thread migration, cgroup writes).
+    fn toggle_overhead(&self) -> SimDuration;
+
+    /// Full-execution sprint speedup for `w`: the work-weighted
+    /// aggregate of per-phase speedups. This is the paper's *marginal
+    /// sprint rate* divided by the service rate.
+    fn marginal_speedup(&self, w: WorkloadKind) -> f64 {
+        let wl = Workload::get(w);
+        workloads::phase::aggregate_speedup(&wl.phases, |p| self.phase_speedup(w, p))
+    }
+
+    /// The paper's marginal sprint rate µm: processing rate when a whole
+    /// execution is sprinted.
+    fn marginal_rate(&self, w: WorkloadKind) -> Rate {
+        self.sustained_rate(w).scale(self.marginal_speedup(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let mut names: Vec<&str> = MechanismKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn build_constructs_matching_kind() {
+        for k in MechanismKind::ALL {
+            assert_eq!(k.build().kind(), k);
+        }
+    }
+
+    #[test]
+    fn marginal_rate_consistent_with_speedup() {
+        let m = MechanismKind::Dvfs.build();
+        let w = WorkloadKind::Jacobi;
+        let expect = m.sustained_rate(w).qph() * m.marginal_speedup(w);
+        assert!((m.marginal_rate(w).qph() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_speedups_at_least_one() {
+        for k in MechanismKind::ALL {
+            let m = k.build();
+            for w in WorkloadKind::ALL {
+                assert!(
+                    m.marginal_speedup(w) >= 1.0 - 1e-9,
+                    "{} on {} speedup {}",
+                    k.name(),
+                    w.name(),
+                    m.marginal_speedup(w)
+                );
+            }
+        }
+    }
+}

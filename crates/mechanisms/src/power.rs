@@ -1,0 +1,203 @@
+//! Processor power model and Pupil-style power-cap search.
+//!
+//! Pupil (Zhang & Hoffmann, ASPLOS '16) maximizes throughput under a
+//! power cap by learning the power/DVFS relationship and picking the
+//! fastest setting that fits. We model package power with the classic
+//! cubic dynamic-power law
+//!
+//! ```text
+//! P(f) = P_static + κ_w · f³
+//! ```
+//!
+//! where `κ_w` is a per-workload dynamic-power coefficient (power-hungry
+//! workloads draw more at the same frequency). The search picks the
+//! highest ladder frequency whose power fits under the cap; turbo rungs
+//! above the nominal maximum are only usable under burst-class caps.
+//! When even the lowest rung exceeds the cap, the processor duty-cycles
+//! (RAPL-style forced idle), yielding an *effective* frequency below the
+//! ladder minimum — this is how a tight sustained cap can throttle a
+//! workload to well under half of its burst speed.
+
+use serde::{Deserialize, Serialize};
+
+/// Static (leakage + uncore floor) package power in watts.
+pub const P_STATIC_WATTS: f64 = 25.0;
+
+/// Lowest nominal ladder frequency (GHz) — Table 1B: 1.2 GHz.
+pub const F_MIN_GHZ: f64 = 1.2;
+
+/// Highest nominal ladder frequency (GHz) — Table 1B: 2.4 GHz.
+pub const F_NOMINAL_MAX_GHZ: f64 = 2.4;
+
+/// Highest turbo frequency (GHz), available only under burst caps.
+pub const F_TURBO_MAX_GHZ: f64 = 3.0;
+
+/// Ladder step (GHz).
+pub const F_STEP_GHZ: f64 = 0.1;
+
+/// Caps at or above this wattage are burst-class and unlock turbo rungs
+/// (the paper's burst power caps span 90–190 W).
+pub const BURST_CAP_THRESHOLD_WATTS: f64 = 90.0;
+
+/// A frequency operating point chosen by the power-cap search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Effective core frequency in GHz (below [`F_MIN_GHZ`] indicates
+    /// duty cycling).
+    pub freq_ghz: f64,
+    /// Whether the point is reached by duty-cycling the lowest rung.
+    pub duty_cycled: bool,
+    /// Modeled package power at this point, in watts.
+    pub power_watts: f64,
+}
+
+/// Package power at frequency `f` (GHz) for dynamic coefficient `kappa`
+/// (W/GHz³).
+pub fn package_power(kappa: f64, f: f64) -> f64 {
+    P_STATIC_WATTS + kappa * f * f * f
+}
+
+/// Pupil-style search: the fastest operating point with modeled power at
+/// or below `cap_watts`.
+///
+/// # Panics
+///
+/// Panics if `kappa` is not positive/finite or the cap does not exceed
+/// static power (the processor cannot run at all).
+pub fn pupil_search(kappa: f64, cap_watts: f64) -> OperatingPoint {
+    assert!(kappa.is_finite() && kappa > 0.0, "invalid kappa: {kappa}");
+    assert!(
+        cap_watts > P_STATIC_WATTS,
+        "cap {cap_watts} W below static power"
+    );
+    let f_max = if cap_watts >= BURST_CAP_THRESHOLD_WATTS {
+        F_TURBO_MAX_GHZ
+    } else {
+        F_NOMINAL_MAX_GHZ
+    };
+
+    // Highest rung that fits under the cap. Rungs are exact tenths of a
+    // GHz to avoid floating-point ladder drift.
+    let mut best: Option<f64> = None;
+    let lo_tenths = (F_MIN_GHZ * 10.0).round() as u32;
+    let hi_tenths = (f_max * 10.0).round() as u32;
+    for tenths in lo_tenths..=hi_tenths {
+        let f = f64::from(tenths) / 10.0;
+        if package_power(kappa, f) <= cap_watts {
+            best = Some(f);
+        } else {
+            break;
+        }
+    }
+
+    match best {
+        Some(f) => OperatingPoint {
+            freq_ghz: f,
+            duty_cycled: false,
+            power_watts: package_power(kappa, f),
+        },
+        None => {
+            // Even the lowest rung busts the cap: duty-cycle it. The
+            // effective rate scales with the duty fraction of the
+            // dynamic-power headroom.
+            let duty =
+                (cap_watts - P_STATIC_WATTS) / (package_power(kappa, F_MIN_GHZ) - P_STATIC_WATTS);
+            OperatingPoint {
+                freq_ghz: F_MIN_GHZ * duty.clamp(0.0, 1.0),
+                duty_cycled: true,
+                power_watts: cap_watts,
+            }
+        }
+    }
+}
+
+/// Uncore/memory-bandwidth boost accompanying a core-frequency ratio.
+///
+/// Raising the package power budget also speeds the uncore (memory
+/// controller, LLC), but far less than the cores; we model a 25% share
+/// of the core ratio, capped at 1.4X.
+pub fn uncore_ratio(freq_ratio: f64) -> f64 {
+    (1.0 + 0.25 * (freq_ratio - 1.0).max(0.0)).min(1.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_monotone_in_frequency() {
+        let mut prev = 0.0;
+        for i in 0..=18 {
+            let f = 1.2 + 0.1 * i as f64;
+            let p = package_power(10.0, f);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn search_respects_cap() {
+        for kappa in [5.0, 10.0, 20.0, 40.0] {
+            for cap in [40.0, 50.0, 70.0, 90.0, 150.0, 190.0] {
+                let op = pupil_search(kappa, cap);
+                assert!(
+                    op.power_watts <= cap + 1e-9,
+                    "kappa {kappa} cap {cap}: {op:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_cap_never_slower() {
+        for kappa in [5.0, 15.0, 35.0] {
+            let mut prev = 0.0;
+            for cap in [30.0, 44.0, 60.0, 90.0, 130.0, 190.0] {
+                let op = pupil_search(kappa, cap);
+                assert!(op.freq_ghz >= prev, "kappa {kappa} cap {cap}");
+                prev = op.freq_ghz;
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_needs_burst_cap() {
+        // Tiny kappa: everything fits; nominal cap must stop at 2.4.
+        let sustained = pupil_search(0.5, 70.0);
+        assert_eq!(sustained.freq_ghz, F_NOMINAL_MAX_GHZ);
+        let burst = pupil_search(0.5, 190.0);
+        assert_eq!(burst.freq_ghz, F_TURBO_MAX_GHZ);
+    }
+
+    #[test]
+    fn duty_cycling_under_tight_cap() {
+        // kappa 40: P(1.2) = 25 + 69.1 = 94.1 W > 50 W cap.
+        let op = pupil_search(40.0, 50.0);
+        assert!(op.duty_cycled);
+        assert!(op.freq_ghz < F_MIN_GHZ);
+        assert!(op.freq_ghz > 0.0);
+        assert!((op.power_watts - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_fraction_correct() {
+        // Headroom 25 W of 69.1 W dynamic at 1.2 GHz.
+        let op = pupil_search(40.0, 50.0);
+        let expect = 1.2 * 25.0 / (40.0 * 1.2f64.powi(3));
+        assert!((op.freq_ghz - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_ratio_bounds() {
+        assert_eq!(uncore_ratio(1.0), 1.0);
+        assert!((uncore_ratio(2.0) - 1.25).abs() < 1e-12);
+        assert_eq!(uncore_ratio(4.0), 1.4);
+        assert_eq!(uncore_ratio(0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below static power")]
+    fn cap_below_static_panics() {
+        let _ = pupil_search(10.0, 20.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! CPU-share throttling (§4: AWS burstable semantics).
+//!
+//! Resource managers enforce a sustained rate by capping the CPU share
+//! a workload may consume (cgroup quota); a sprint lifts the cap until
+//! the budget drains. Because throttling time-slices the whole
+//! execution, its speedup applies uniformly to every phase — this is
+//! what makes throttling more predictable than DVFS or core scaling,
+//! and it operates within normal thermal limits (§4.1).
+//!
+//! Defaults mirror AWS T2.small: 20% of a core sustained, 5X sprint.
+//! §4.3's Jacobi setup falls out directly: unthrottled 74 qph, 20%
+//! share → 14.8 qph sustained, 74 qph sprint.
+
+use crate::{Mechanism, MechanismKind};
+use simcore::time::{Rate, SimDuration};
+use workloads::{Phase, Workload, WorkloadKind};
+
+/// CPU-throttling sprinting mechanism.
+#[derive(Debug, Clone)]
+pub struct CpuThrottle {
+    share: f64,
+    sprint_multiplier: f64,
+}
+
+impl CpuThrottle {
+    /// Creates a throttle that caps sustained execution at `share` of
+    /// full speed and sprints by lifting the cap entirely (multiplier
+    /// `1 / share`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < share <= 1`.
+    pub fn new(share: f64) -> Self {
+        assert!(
+            share > 0.0 && share <= 1.0 && share.is_finite(),
+            "invalid share: {share}"
+        );
+        CpuThrottle {
+            share,
+            sprint_multiplier: 1.0 / share,
+        }
+    }
+
+    /// Creates a throttle whose sprint raises speed by `multiplier`
+    /// instead of lifting the cap entirely (the paper's *small-burst*
+    /// policy sprints Jacobi at 44 qph instead of 74 qph).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `multiplier >= 1` and the sprinted share
+    /// (`share * multiplier`) stays at or below 1.
+    pub fn with_sprint_multiplier(share: f64, multiplier: f64) -> Self {
+        let mut t = CpuThrottle::new(share);
+        assert!(multiplier >= 1.0, "multiplier {multiplier} below 1");
+        assert!(
+            share * multiplier <= 1.0 + 1e-9,
+            "sprint exceeds full speed: {share} * {multiplier}"
+        );
+        t.sprint_multiplier = multiplier;
+        t
+    }
+
+    /// The sustained CPU share in `(0, 1]`.
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+
+    /// The sprint speed multiplier.
+    pub fn sprint_multiplier(&self) -> f64 {
+        self.sprint_multiplier
+    }
+
+    /// Full-speed (unthrottled) rate for `w`; uses the DVFS platform's
+    /// burst throughput as the node's full capability (§4.3).
+    pub fn unthrottled_rate(&self, w: WorkloadKind) -> Rate {
+        Workload::get(w).dvfs_burst
+    }
+}
+
+impl Mechanism for CpuThrottle {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::CpuThrottle
+    }
+
+    fn sustained_rate(&self, w: WorkloadKind) -> Rate {
+        self.unthrottled_rate(w).scale(self.share)
+    }
+
+    fn phase_speedup(&self, _w: WorkloadKind, _phase: &Phase) -> f64 {
+        // Time-slicing accelerates all phases alike.
+        self.sprint_multiplier
+    }
+
+    fn toggle_overhead(&self) -> SimDuration {
+        // cgroup quota update takes effect at the next scheduler
+        // period.
+        SimDuration::from_secs_f64(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_matches_section_4_3() {
+        // Sustained 14.8 qph, sprint 74 qph under a 20% share.
+        let t = CpuThrottle::new(0.2);
+        let sustained = t.sustained_rate(WorkloadKind::Jacobi).qph();
+        assert!((sustained - 14.8).abs() < 1e-9, "sustained {sustained}");
+        let sprint = t.marginal_rate(WorkloadKind::Jacobi).qph();
+        assert!((sprint - 74.0).abs() < 1e-9, "sprint {sprint}");
+    }
+
+    #[test]
+    fn small_burst_multiplier() {
+        // §4.3 small-burst: sprint at 44 qph instead of 74.
+        let t = CpuThrottle::with_sprint_multiplier(0.2, 44.0 / 14.8);
+        let sprint = t.marginal_rate(WorkloadKind::Jacobi).qph();
+        assert!((sprint - 44.0).abs() < 1e-6, "sprint {sprint}");
+    }
+
+    #[test]
+    fn uniform_speedup_across_phases() {
+        let t = CpuThrottle::new(0.25);
+        let leuk = Workload::get(WorkloadKind::Leuk);
+        let speeds: Vec<f64> = leuk
+            .phases
+            .iter()
+            .map(|p| t.phase_speedup(WorkloadKind::Leuk, p))
+            .collect();
+        assert!(speeds.iter().all(|&s| (s - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid share")]
+    fn rejects_zero_share() {
+        let _ = CpuThrottle::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds full speed")]
+    fn rejects_oversprint() {
+        let _ = CpuThrottle::with_sprint_multiplier(0.5, 3.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Regression error metrics used throughout the evaluation (§3).
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_abs_error(predicted: &[f64], observed: &[f64]) -> f64 {
+    check(predicted, observed);
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(&p, &o)| (p - o).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> f64 {
+    check(predicted, observed);
+    (predicted
+        .iter()
+        .zip(observed)
+        .map(|(&p, &o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// Absolute relative errors `|p - o| / o` per example.
+///
+/// # Panics
+///
+/// Panics if any observation is zero.
+pub fn abs_relative_errors(predicted: &[f64], observed: &[f64]) -> Vec<f64> {
+    check(predicted, observed);
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(&p, &o)| {
+            assert!(o != 0.0, "relative error undefined at observed = 0");
+            (p - o).abs() / o.abs()
+        })
+        .collect()
+}
+
+/// The paper's headline metric: median absolute relative error.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/mismatched or any observation is zero.
+pub fn median_abs_relative_error(predicted: &[f64], observed: &[f64]) -> f64 {
+    error_quantile(predicted, observed, 0.5)
+}
+
+/// A quantile of the absolute relative error distribution.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/mismatched, `q` is out of `[0, 1]`, or
+/// any observation is zero.
+pub fn error_quantile(predicted: &[f64], observed: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let mut errs = abs_relative_errors(predicted, observed);
+    errs.sort_by(f64::total_cmp);
+    let n = errs.len();
+    if n == 1 {
+        return errs[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    errs[lo] * (1.0 - frac) + errs[hi] * frac
+}
+
+fn check(predicted: &[f64], observed: &[f64]) {
+    assert_eq!(predicted.len(), observed.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty prediction set");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_rmse_basic() {
+        let p = [1.0, 2.0, 3.0];
+        let o = [2.0, 2.0, 1.0];
+        assert!((mean_abs_error(&p, &o) - 1.0).abs() < 1e-12);
+        let expected_rmse = ((1.0 + 0.0 + 4.0) / 3.0f64).sqrt();
+        assert!((rmse(&p, &o) - expected_rmse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_relative_error() {
+        let p = [110.0, 95.0, 130.0];
+        let o = [100.0, 100.0, 100.0];
+        assert!((median_abs_relative_error(&p, &o) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let p = [110.0, 120.0];
+        let o = [100.0, 100.0];
+        assert!((error_quantile(&p, &o, 0.0) - 0.10).abs() < 1e-12);
+        assert!((error_quantile(&p, &o, 1.0) - 0.20).abs() < 1e-12);
+        assert!((error_quantile(&p, &o, 0.5) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        let o = [5.0, 6.0];
+        assert_eq!(median_abs_relative_error(&o, &o), 0.0);
+        assert_eq!(rmse(&o, &o), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed = 0")]
+    fn zero_observed_panics() {
+        let _ = median_abs_relative_error(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulated-annealing timeout exploration (§4.2, Equations 4–5).
+
+use profiler::Condition;
+use simcore::rng::SimRng;
+use sprint_core::ResponseTimeModel;
+
+/// Annealing search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealingConfig {
+    /// Total timeout settings explored.
+    pub iterations: usize,
+    /// Neighbor range: new candidates are drawn from
+    /// `[t - range, t + range]` (the paper uses ±100 s).
+    pub neighbor_range_secs: f64,
+    /// Lower and upper bounds on timeout settings.
+    pub bounds_secs: (f64, f64),
+    /// Initial temperature Z as a *fraction of the initial response
+    /// time* (the paper starts Z at 1 in normalized units); decays 10%
+    /// per 100 settings explored (Eq. 5).
+    pub initial_z_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            iterations: 150,
+            neighbor_range_secs: 100.0,
+            bounds_secs: (0.0, 400.0),
+            initial_z_frac: 0.05,
+            seed: 0xA15,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealingResult {
+    /// Best timeout found (seconds).
+    pub best_timeout_secs: f64,
+    /// Expected response time at the best timeout (seconds).
+    pub best_response_secs: f64,
+    /// Every `(timeout, predicted response)` pair evaluated, in order.
+    pub trace: Vec<(f64, f64)>,
+}
+
+/// Explores timeout settings with simulated annealing (§4.2): start
+/// from a random timeout, propose neighbors within ±range, always
+/// accept improvements, accept regressions with probability
+/// `exp((RTo - RTn) / Z)`, and decay Z by 10% per 100 settings.
+///
+/// All other policy parameters are fixed by `base`.
+pub fn explore_timeout(
+    model: &dyn ResponseTimeModel,
+    base: &Condition,
+    cfg: &AnnealingConfig,
+) -> AnnealingResult {
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    assert!(cfg.bounds_secs.0 <= cfg.bounds_secs.1, "invalid bounds");
+    let mut rng = SimRng::new(cfg.seed);
+    let (lo, hi) = cfg.bounds_secs;
+
+    let eval = |t: f64| {
+        let mut c = *base;
+        c.timeout_secs = t;
+        model.predict_response_secs(&c)
+    };
+
+    // Step 1: random initial timeout.
+    let mut current_t = rng.uniform(lo, hi.max(lo + f64::MIN_POSITIVE));
+    let mut current_rt = eval(current_t);
+    let mut best_t = current_t;
+    let mut best_rt = current_rt;
+    let mut trace = vec![(current_t, current_rt)];
+    let mut z = (cfg.initial_z_frac * current_rt).max(1e-9);
+
+    for i in 1..cfg.iterations {
+        // Step 2: neighbor within ±range, clamped to bounds.
+        let t_n = (current_t + rng.uniform(-cfg.neighbor_range_secs, cfg.neighbor_range_secs))
+            .clamp(lo, hi);
+        let rt_n = eval(t_n);
+        trace.push((t_n, rt_n));
+
+        // Step 3: acceptance probability (Eq. 5).
+        let accept = if rt_n < current_rt {
+            true
+        } else {
+            rng.chance(((current_rt - rt_n) / z).exp())
+        };
+        if accept {
+            current_t = t_n;
+            current_rt = rt_n;
+        }
+        if rt_n < best_rt {
+            best_rt = rt_n;
+            best_t = t_n;
+        }
+        // Z decays by 10% per 100 settings explored.
+        if i % 100 == 0 {
+            z *= 0.9;
+        }
+    }
+
+    AnnealingResult {
+        best_timeout_secs: best_t,
+        best_response_secs: best_rt,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiler::WorkloadProfile;
+    use simcore::dist::DistKind;
+    use simcore::time::Rate;
+    use workloads::{QueryMix, WorkloadKind};
+
+    /// A synthetic model with a known V-shaped optimum at t = 120 s.
+    struct VModel {
+        profile: WorkloadProfile,
+    }
+
+    impl VModel {
+        fn new() -> VModel {
+            VModel {
+                profile: WorkloadProfile {
+                    mix: QueryMix::single(WorkloadKind::Jacobi),
+                    mechanism: "test".into(),
+                    mu: Rate::per_hour(50.0),
+                    mu_m: Rate::per_hour(75.0),
+                    service_samples_secs: vec![70.0],
+                    profiling_hours: 0.0,
+                },
+            }
+        }
+    }
+
+    impl ResponseTimeModel for VModel {
+        fn name(&self) -> &'static str {
+            "V"
+        }
+        fn predict_response_secs(&self, cond: &Condition) -> f64 {
+            100.0 + (cond.timeout_secs - 120.0).abs()
+        }
+        fn profile(&self) -> &WorkloadProfile {
+            &self.profile
+        }
+    }
+
+    fn base() -> Condition {
+        Condition {
+            utilization: 0.8,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 0.0,
+            budget_frac: 0.2,
+            refill_secs: 200.0,
+        }
+    }
+
+    #[test]
+    fn finds_v_shaped_minimum() {
+        let m = VModel::new();
+        let r = explore_timeout(&m, &base(), &AnnealingConfig::default());
+        assert!(
+            (r.best_timeout_secs - 120.0).abs() < 15.0,
+            "best timeout {}",
+            r.best_timeout_secs
+        );
+        assert!(r.best_response_secs < 115.0);
+        assert_eq!(r.trace.len(), 150);
+    }
+
+    #[test]
+    fn escapes_local_minimum() {
+        /// Two basins separated by a modest barrier: a shallow local
+        /// minimum at 80 s (RT 120) and the global minimum at 260 s
+        /// (RT 80).
+        struct TwoBasins(WorkloadProfile);
+        impl ResponseTimeModel for TwoBasins {
+            fn name(&self) -> &'static str {
+                "basins"
+            }
+            fn predict_response_secs(&self, c: &Condition) -> f64 {
+                let t = c.timeout_secs;
+                let local = 120.0 + 0.3 * (t - 80.0).abs();
+                let global = 80.0 + 0.5 * (t - 260.0).abs();
+                local.min(global)
+            }
+            fn profile(&self) -> &WorkloadProfile {
+                &self.0
+            }
+        }
+        let m = TwoBasins(VModel::new().profile.clone());
+        let cfg = AnnealingConfig {
+            iterations: 600,
+            initial_z_frac: 0.2,
+            ..AnnealingConfig::default()
+        };
+        let r = explore_timeout(&m, &base(), &cfg);
+        assert!(
+            (r.best_timeout_secs - 260.0).abs() < 30.0,
+            "should find the global basin, got {}",
+            r.best_timeout_secs
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = VModel::new();
+        let a = explore_timeout(&m, &base(), &AnnealingConfig::default());
+        let b = explore_timeout(&m, &base(), &AnnealingConfig::default());
+        assert_eq!(a.best_timeout_secs, b.best_timeout_secs);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let m = VModel::new();
+        let cfg = AnnealingConfig {
+            bounds_secs: (0.0, 60.0),
+            ..AnnealingConfig::default()
+        };
+        let r = explore_timeout(&m, &base(), &cfg);
+        assert!(r.trace.iter().all(|&(t, _)| (0.0..=60.0).contains(&t)));
+        // Constrained optimum is the upper bound.
+        assert!((r.best_timeout_secs - 60.0).abs() < 5.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Sprinting-policy selection (§4.2–4.3).
+//!
+//! Model-driven sprinting compares candidate policies by their
+//! *expected* response time from a [`ResponseTimeModel`], without
+//! touching the live system. This crate provides:
+//!
+//! - [`explore`]: the paper's simulated-annealing timeout search
+//!   (Equations 4–5) — random restarts over the timeout axis with a
+//!   cooling acceptance probability for uphill moves.
+//! - [`baselines`]: the comparison policies of §4.3 — *big-burst*,
+//!   *small-burst*, *Few-to-Many* (largest timeout that exhausts the
+//!   budget) and *Adrenaline* (timeout at the 85th percentile of
+//!   non-sprinting response time).
+//!
+//! [`ResponseTimeModel`]: sprint_core::ResponseTimeModel
+
+pub mod baselines;
+pub mod explore;
+
+pub use baselines::{adrenaline_timeout, few_to_many_timeout};
+pub use explore::{explore_timeout, AnnealingConfig, AnnealingResult};

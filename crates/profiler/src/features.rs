@@ -1,0 +1,129 @@
+//! Workload conditions and their ML feature encoding.
+//!
+//! A *condition* is one point in the space the models must generalize
+//! over: arrival rate and distribution, timeout, budget and refill
+//! (Fig. 2's user inputs). The same encoding feeds both the random
+//! forest (with µ and µm appended from the profile) and the ANN
+//! baseline, so the approaches compete on equal information.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::DistKind;
+use simcore::time::{Rate, SimDuration};
+
+/// Feature column names, in the exact order produced by
+/// [`Condition::features`].
+pub const FEATURE_NAMES: [&str; 7] = [
+    "mu_m_qph",
+    "mu_qph",
+    "lambda_qph",
+    "timeout_secs",
+    "budget_frac",
+    "refill_secs",
+    "pareto_arrivals",
+];
+
+/// Index of the marginal sprint rate µm in the feature vector — the
+/// base feature the forest's leaves regress on (Fig. 5).
+pub const MU_M_FEATURE: usize = 0;
+
+/// One tested combination of workload conditions and sprinting policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Arrival rate as a fraction of the sustained service rate
+    /// (system utilization; the paper samples 30–95%).
+    pub utilization: f64,
+    /// Arrival distribution shape.
+    pub arrival_kind: DistKind,
+    /// Sprinting timeout in seconds.
+    pub timeout_secs: f64,
+    /// Sprint budget as a fraction of the refill time (§3's encoding).
+    pub budget_frac: f64,
+    /// Budget refill time in seconds.
+    pub refill_secs: f64,
+}
+
+impl Condition {
+    /// Absolute arrival rate for a measured service rate.
+    pub fn arrival_rate(&self, mu: Rate) -> Rate {
+        mu.scale(self.utilization)
+    }
+
+    /// Timeout as a duration.
+    pub fn timeout(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.timeout_secs)
+    }
+
+    /// Refill time as a duration.
+    pub fn refill(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.refill_secs)
+    }
+
+    /// Budget capacity in sprint-seconds.
+    pub fn budget_capacity_secs(&self) -> f64 {
+        self.budget_frac * self.refill_secs
+    }
+
+    /// Feature vector for ML models, ordered per [`FEATURE_NAMES`];
+    /// `mu` and `mu_m` come from workload profiling.
+    pub fn features(&self, mu: Rate, mu_m: Rate) -> Vec<f64> {
+        vec![
+            mu_m.qph(),
+            mu.qph(),
+            self.arrival_rate(mu).qph(),
+            self.timeout_secs,
+            self.budget_frac,
+            self.refill_secs,
+            match self.arrival_kind {
+                DistKind::Pareto { .. } => 1.0,
+                _ => 0.0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond() -> Condition {
+        Condition {
+            utilization: 0.75,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 80.0,
+            budget_frac: 0.2,
+            refill_secs: 500.0,
+        }
+    }
+
+    #[test]
+    fn feature_vector_matches_names() {
+        let f = cond().features(Rate::per_hour(51.0), Rate::per_hour(74.0));
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+        assert_eq!(f[MU_M_FEATURE], 74.0);
+        assert_eq!(f[1], 51.0);
+        assert!((f[2] - 38.25).abs() < 1e-9);
+        assert_eq!(f[3], 80.0);
+        assert_eq!(f[4], 0.2);
+        assert_eq!(f[5], 500.0);
+        assert_eq!(f[6], 0.0);
+    }
+
+    #[test]
+    fn pareto_flag_set() {
+        let mut c = cond();
+        c.arrival_kind = DistKind::Pareto { alpha: 0.5 };
+        let f = c.features(Rate::per_hour(51.0), Rate::per_hour(74.0));
+        assert_eq!(f[6], 1.0);
+    }
+
+    #[test]
+    fn budget_capacity_resolves() {
+        assert!((cond().budget_capacity_secs() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_rate_scales_mu() {
+        let r = cond().arrival_rate(Rate::per_hour(40.0));
+        assert!((r.qph() - 30.0).abs() < 1e-12);
+    }
+}

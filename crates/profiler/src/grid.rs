@@ -1,0 +1,181 @@
+//! Cluster-sampling grid (§3's centroid list).
+//!
+//! The paper samples 4 arrival rates, 7 timeouts, 5 refill times and
+//! 7 budgets per workload, plus arrival-distribution and mix choices.
+//! The full cross product is large, so experiments draw seeded random
+//! subsets of centroids ("cluster sampling"), optionally reserving
+//! off-centroid conditions to measure interpolation error (Fig. 10's
+//! cluster in/out comparison).
+
+use crate::features::Condition;
+use serde::{Deserialize, Serialize};
+use simcore::dist::DistKind;
+use simcore::rng::SimRng;
+
+/// The centroid values from §3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingGrid {
+    /// Query arrival rates as fractions of service rate.
+    pub utilizations: Vec<f64>,
+    /// Timeout settings in seconds.
+    pub timeouts_secs: Vec<f64>,
+    /// Refill times in seconds.
+    pub refills_secs: Vec<f64>,
+    /// Sprint budgets as fractions of refill time.
+    pub budget_fracs: Vec<f64>,
+    /// Arrival distribution shapes.
+    pub arrival_kinds: Vec<DistKind>,
+}
+
+impl Default for SamplingGrid {
+    fn default() -> Self {
+        SamplingGrid::paper()
+    }
+}
+
+impl SamplingGrid {
+    /// The paper's published centroids (§3).
+    pub fn paper() -> SamplingGrid {
+        SamplingGrid {
+            utilizations: vec![0.30, 0.50, 0.75, 0.95],
+            timeouts_secs: vec![50.0, 60.0, 70.0, 80.0, 120.0, 130.0, 160.0],
+            refills_secs: vec![50.0, 200.0, 500.0, 800.0, 1000.0],
+            budget_fracs: vec![0.14, 0.16, 0.18, 0.20, 0.40, 0.60, 0.80],
+            arrival_kinds: vec![DistKind::Exponential],
+        }
+    }
+
+    /// The §3.3 augmentation: extra arrival-rate centroids at 60% and
+    /// 85% that cut CoreScale's error below 5%.
+    pub fn extended() -> SamplingGrid {
+        let mut g = SamplingGrid::paper();
+        g.utilizations = vec![0.30, 0.50, 0.60, 0.75, 0.85, 0.95];
+        g
+    }
+
+    /// Total number of centroid combinations.
+    pub fn num_combinations(&self) -> usize {
+        self.utilizations.len()
+            * self.timeouts_secs.len()
+            * self.refills_secs.len()
+            * self.budget_fracs.len()
+            * self.arrival_kinds.len()
+    }
+
+    /// All centroid conditions (the full cross product).
+    pub fn all_conditions(&self) -> Vec<Condition> {
+        let mut out = Vec::with_capacity(self.num_combinations());
+        for &u in &self.utilizations {
+            for &t in &self.timeouts_secs {
+                for &r in &self.refills_secs {
+                    for &b in &self.budget_fracs {
+                        for &a in &self.arrival_kinds {
+                            out.push(Condition {
+                                utilization: u,
+                                arrival_kind: a,
+                                timeout_secs: t,
+                                budget_frac: b,
+                                refill_secs: r,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A seeded random subset of `n` distinct centroid conditions.
+    pub fn sample_conditions(&self, n: usize, seed: u64) -> Vec<Condition> {
+        let all = self.all_conditions();
+        let mut rng = SimRng::new(seed);
+        let idx = rng.sample_indices(all.len(), n);
+        idx.into_iter().map(|i| all[i]).collect()
+    }
+
+    /// `n` off-centroid conditions drawn uniformly *between* centroid
+    /// values — used to quantify interpolation error (Fig. 10).
+    pub fn off_centroid_conditions(&self, n: usize, seed: u64) -> Vec<Condition> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| Condition {
+                utilization: rng.uniform(
+                    min(&self.utilizations),
+                    max(&self.utilizations),
+                ),
+                arrival_kind: self.arrival_kinds[rng.index(self.arrival_kinds.len())],
+                timeout_secs: rng.uniform(min(&self.timeouts_secs), max(&self.timeouts_secs)),
+                budget_frac: rng.uniform(min(&self.budget_fracs), max(&self.budget_fracs)),
+                refill_secs: rng.uniform(min(&self.refills_secs), max(&self.refills_secs)),
+            })
+            .collect()
+    }
+}
+
+fn min(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let g = SamplingGrid::paper();
+        assert_eq!(g.utilizations.len(), 4);
+        assert_eq!(g.timeouts_secs.len(), 7);
+        assert_eq!(g.refills_secs.len(), 5);
+        assert_eq!(g.budget_fracs.len(), 7);
+        assert_eq!(g.num_combinations(), 4 * 7 * 5 * 7);
+        assert_eq!(g.all_conditions().len(), g.num_combinations());
+    }
+
+    #[test]
+    fn extended_grid_adds_utilizations() {
+        let g = SamplingGrid::extended();
+        assert!(g.utilizations.contains(&0.60));
+        assert!(g.utilizations.contains(&0.85));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_seeded() {
+        let g = SamplingGrid::paper();
+        let a = g.sample_conditions(50, 3);
+        let b = g.sample_conditions(50, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        // Distinctness: no two samples identical.
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn off_centroid_values_between_bounds() {
+        let g = SamplingGrid::paper();
+        for c in g.off_centroid_conditions(100, 9) {
+            assert!((0.30..=0.95).contains(&c.utilization));
+            assert!((50.0..=160.0).contains(&c.timeout_secs));
+            assert!((0.14..=0.80).contains(&c.budget_frac));
+            assert!((50.0..=1000.0).contains(&c.refill_secs));
+        }
+    }
+
+    #[test]
+    fn off_centroid_mostly_misses_centroids() {
+        let g = SamplingGrid::paper();
+        let hits = g
+            .off_centroid_conditions(100, 11)
+            .iter()
+            .filter(|c| g.timeouts_secs.contains(&c.timeout_secs))
+            .count();
+        assert!(hits < 5, "continuous draws should not land on centroids");
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration and results for the timeout-aware queue simulator.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{Dist, DistKind};
+use simcore::stats::Percentiles;
+use simcore::time::{Rate, SimDuration};
+
+/// Inputs to one simulation run (the right-hand side of Fig. 2: arrival
+/// rate, timeout, budget, sprinting mechanism rates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QsimConfig {
+    /// Mean arrival rate λ.
+    pub arrival_rate: Rate,
+    /// Inter-arrival distribution shape.
+    pub arrival_kind: DistKind,
+    /// Service-time distribution at the sustained rate µ. Typically
+    /// resampled from profiling data (§2.2 "we randomly sample service
+    /// time data collected during profiling").
+    pub service: Dist,
+    /// Speedup applied to remaining work while sprinting: the quotient
+    /// of effective sprint rate and service rate, µe/µ (Equation 1).
+    pub sprint_speedup: f64,
+    /// Timeout after arrival that triggers sprinting.
+    pub timeout: SimDuration,
+    /// Sprint budget capacity in sprint-seconds.
+    pub budget_capacity_secs: f64,
+    /// Time for an empty budget to refill while nothing sprints.
+    pub refill_secs: f64,
+    /// Execution slots (k in G/G/k).
+    pub slots: usize,
+    /// Queries to simulate.
+    pub num_queries: usize,
+    /// Leading queries excluded from statistics.
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QsimConfig {
+    /// A single-slot configuration with exponential arrivals and the
+    /// given service distribution — the common case in §3.
+    pub fn mm1(arrival_rate: Rate, service: Dist, seed: u64) -> QsimConfig {
+        QsimConfig {
+            arrival_rate,
+            arrival_kind: DistKind::Exponential,
+            service,
+            sprint_speedup: 1.0,
+            timeout: SimDuration::MAX,
+            budget_capacity_secs: 0.0,
+            refill_secs: 1.0,
+            slots: 1,
+            num_queries: 2_000,
+            warmup: 200,
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different seed (for replication).
+    pub fn with_seed(&self, seed: u64) -> QsimConfig {
+        QsimConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-query outcome from the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimQuery {
+    /// Arrival instant (seconds).
+    pub arrival_secs: f64,
+    /// Departure instant (seconds).
+    pub depart_secs: f64,
+    /// Whether the timeout fired.
+    pub timed_out: bool,
+    /// Whether the query sprinted.
+    pub sprinted: bool,
+    /// Wall-clock seconds spent sprinting.
+    pub sprint_secs: f64,
+}
+
+impl SimQuery {
+    /// End-to-end response time in seconds.
+    pub fn response_secs(&self) -> f64 {
+        self.depart_secs - self.arrival_secs
+    }
+}
+
+/// Aggregated output of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QsimResult {
+    /// Steady-state per-query outcomes (warmup removed).
+    pub queries: Vec<SimQuery>,
+}
+
+impl QsimResult {
+    /// Mean response time in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no steady-state queries.
+    pub fn mean_response_secs(&self) -> f64 {
+        assert!(!self.queries.is_empty(), "empty simulation result");
+        self.queries.iter().map(SimQuery::response_secs).sum::<f64>() / self.queries.len() as f64
+    }
+
+    /// Response-time quantile in seconds.
+    pub fn response_quantile_secs(&self, q: f64) -> f64 {
+        Percentiles::from_samples(self.queries.iter().map(SimQuery::response_secs).collect())
+            .quantile(q)
+    }
+
+    /// Fraction of queries that sprinted.
+    pub fn sprint_fraction(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().filter(|q| q.sprinted).count() as f64 / self.queries.len() as f64
+    }
+
+    /// Total sprint-seconds consumed across steady-state queries.
+    pub fn total_sprint_secs(&self) -> f64 {
+        self.queries.iter().map(|q| q.sprint_secs).sum()
+    }
+
+    /// Fraction of queries whose timeout fired but that never got to
+    /// sprint — an indicator that the budget was exhausted.
+    pub fn starved_fraction(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .iter()
+            .filter(|q| q.timed_out && !q.sprinted)
+            .count() as f64
+            / self.queries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    #[test]
+    fn mm1_defaults_disable_sprinting() {
+        let c = QsimConfig::mm1(
+            Rate::per_hour(30.0),
+            Dist::exponential(SimDuration::from_secs(60)),
+            1,
+        );
+        assert_eq!(c.budget_capacity_secs, 0.0);
+        assert_eq!(c.slots, 1);
+        assert_eq!(c.timeout, SimDuration::MAX);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = QsimConfig::mm1(
+            Rate::per_hour(30.0),
+            Dist::exponential(SimDuration::from_secs(60)),
+            1,
+        );
+        let b = a.with_seed(9);
+        assert_eq!(b.seed, 9);
+        assert_eq!(b.num_queries, a.num_queries);
+    }
+
+    #[test]
+    fn sim_query_response() {
+        let q = SimQuery {
+            arrival_secs: 10.0,
+            depart_secs: 35.0,
+            timed_out: false,
+            sprinted: false,
+            sprint_secs: 0.0,
+        };
+        assert_eq!(q.response_secs(), 25.0);
+    }
+
+    fn q(timed_out: bool, sprinted: bool, sprint_secs: f64) -> SimQuery {
+        SimQuery {
+            arrival_secs: 0.0,
+            depart_secs: 10.0,
+            timed_out,
+            sprinted,
+            sprint_secs,
+        }
+    }
+
+    #[test]
+    fn result_aggregates() {
+        let r = QsimResult {
+            queries: vec![
+                q(true, true, 4.0),
+                q(true, false, 0.0), // Starved: timed out, never sprinted.
+                q(false, false, 0.0),
+                q(true, true, 6.0),
+            ],
+        };
+        assert!((r.total_sprint_secs() - 10.0).abs() < 1e-12);
+        assert!((r.starved_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.sprint_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_fractions_are_zero() {
+        let r = QsimResult { queries: vec![] };
+        assert_eq!(r.sprint_fraction(), 0.0);
+        assert_eq!(r.starved_fraction(), 0.0);
+        assert_eq!(r.total_sprint_secs(), 0.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! Multi-class timeout-aware simulation (§5 extension).
+//!
+//! The paper notes that its simulator assumes one sprint rate and one
+//! timeout for all queries, and that "only small modifications to the
+//! simulator are needed to support multiple sprint rates and timeouts"
+//! assigned across workloads. This module is that modification: each
+//! query draws a *class* (weighted), and every class carries its own
+//! service distribution, effective sprint speedup and timeout. The
+//! sprint budget stays shared — that is the whole point of
+//! whole-system sprinting policies.
+//!
+//! Per-class policies matter for mixes: a class with a large sprint
+//! speedup (e.g. SparkStream under DVFS) is worth sprinting eagerly,
+//! while a sync-bound class wastes budget; see the `ablation_multiclass`
+//! experiment binary.
+
+use crate::config::SimQuery;
+use simcore::dist::{Dist, DistKind};
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::time::{Rate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Policy and service description for one query class.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Relative weight of this class in the arrival stream.
+    pub weight: f64,
+    /// Service-time distribution at the sustained rate.
+    pub service: Dist,
+    /// Effective sprint speedup for this class (µe/µ).
+    pub sprint_speedup: f64,
+    /// Timeout after arrival that triggers sprinting for this class.
+    pub timeout: SimDuration,
+}
+
+/// Configuration for a multi-class run.
+#[derive(Debug, Clone)]
+pub struct MultiClassConfig {
+    /// Mean arrival rate λ of the merged stream.
+    pub arrival_rate: Rate,
+    /// Inter-arrival distribution shape.
+    pub arrival_kind: DistKind,
+    /// Query classes; weights are normalized internally.
+    pub classes: Vec<ClassSpec>,
+    /// Shared sprint budget capacity in sprint-seconds.
+    pub budget_capacity_secs: f64,
+    /// Full-refill time while nothing sprints.
+    pub refill_secs: f64,
+    /// Execution slots.
+    pub slots: usize,
+    /// Queries to simulate.
+    pub num_queries: usize,
+    /// Leading queries excluded from statistics.
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Per-class and overall outcomes.
+#[derive(Debug, Clone)]
+pub struct MultiClassResult {
+    /// Steady-state queries with their class index.
+    pub queries: Vec<(usize, SimQuery)>,
+}
+
+impl MultiClassResult {
+    /// Overall mean response time in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no steady-state queries were produced.
+    pub fn mean_response_secs(&self) -> f64 {
+        assert!(!self.queries.is_empty(), "empty result");
+        self.queries
+            .iter()
+            .map(|(_, q)| q.response_secs())
+            .sum::<f64>()
+            / self.queries.len() as f64
+    }
+
+    /// Mean response time of one class, or `None` if it saw no
+    /// steady-state queries.
+    pub fn class_mean_response_secs(&self, class: usize) -> Option<f64> {
+        let rts: Vec<f64> = self
+            .queries
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, q)| q.response_secs())
+            .collect();
+        if rts.is_empty() {
+            None
+        } else {
+            Some(rts.iter().sum::<f64>() / rts.len() as f64)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    Timeout(u64),
+    Slot { slot: usize, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QState {
+    Queued,
+    Running(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct QInfo {
+    class: usize,
+    arrival: SimTime,
+    depart: SimTime,
+    service_secs: f64,
+    timed_out: bool,
+    sprinted: bool,
+    sprint_secs: f64,
+    state: QState,
+}
+
+#[derive(Debug)]
+struct Running {
+    query: u64,
+    remaining_work: f64,
+    speedup: f64,
+    sprinting: bool,
+    sprint_secs: f64,
+    last_update: SimTime,
+    gen: u64,
+}
+
+impl Running {
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        let speed = if self.sprinting { self.speedup } else { 1.0 };
+        if self.sprinting {
+            self.sprint_secs += dt;
+        }
+        self.remaining_work = (self.remaining_work - dt * speed).max(0.0);
+    }
+}
+
+/// The multi-class simulator.
+pub struct MultiClassQsim {
+    cfg: MultiClassConfig,
+    weights: Vec<f64>,
+    events: EventQueue<Ev>,
+    fifo: VecDeque<u64>,
+    slots: Vec<Option<Running>>,
+    budget_level: f64,
+    sprinting: usize,
+    budget_last: SimTime,
+    queries: Vec<QInfo>,
+    done: usize,
+    arrivals_left: usize,
+    arrival_dist: Dist,
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    class_rng: SimRng,
+    next_gen: u64,
+}
+
+impl MultiClassQsim {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty classes, non-positive weights/speedups, or zero
+    /// slots/queries.
+    pub fn new(cfg: MultiClassConfig) -> MultiClassQsim {
+        assert!(!cfg.classes.is_empty(), "need at least one class");
+        assert!(cfg.slots > 0 && cfg.num_queries > 0, "degenerate config");
+        let total: f64 = cfg.classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "class weights sum to zero");
+        for c in &cfg.classes {
+            assert!(c.weight >= 0.0, "negative class weight");
+            assert!(
+                c.sprint_speedup > 0.0 && c.sprint_speedup.is_finite(),
+                "invalid speedup"
+            );
+        }
+        let weights = cfg.classes.iter().map(|c| c.weight / total).collect();
+        let mut root = SimRng::new(cfg.seed);
+        let arrival_rng = root.split(1);
+        let service_rng = root.split(2);
+        let class_rng = root.split(3);
+        let arrival_dist = Dist::Parametric {
+            kind: cfg.arrival_kind,
+            mean: cfg.arrival_rate.mean_interval(),
+        };
+        MultiClassQsim {
+            weights,
+            events: EventQueue::new(),
+            fifo: VecDeque::new(),
+            slots: (0..cfg.slots).map(|_| None).collect(),
+            budget_level: cfg.budget_capacity_secs,
+            sprinting: 0,
+            budget_last: SimTime::ZERO,
+            queries: Vec::with_capacity(cfg.num_queries),
+            done: 0,
+            arrivals_left: cfg.num_queries,
+            arrival_dist,
+            arrival_rng,
+            service_rng,
+            class_rng,
+            next_gen: 0,
+            cfg,
+        }
+    }
+
+    /// Runs to completion.
+    pub fn run(mut self) -> MultiClassResult {
+        let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+        self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
+        while self.done < self.cfg.num_queries {
+            let (now, ev) = self.events.pop().expect("events drained early");
+            match ev {
+                Ev::Arrival => self.on_arrival(now),
+                Ev::Timeout(id) => self.on_timeout(now, id),
+                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen),
+            }
+        }
+        let queries = self
+            .queries
+            .iter()
+            .skip(self.cfg.warmup)
+            .map(|q| {
+                (
+                    q.class,
+                    SimQuery {
+                        arrival_secs: q.arrival.as_secs_f64(),
+                        depart_secs: q.depart.as_secs_f64(),
+                        timed_out: q.timed_out,
+                        sprinted: q.sprinted,
+                        sprint_secs: q.sprint_secs,
+                    },
+                )
+            })
+            .collect();
+        MultiClassResult { queries }
+    }
+
+    fn draw_class(&mut self) -> usize {
+        let mut u = self.class_rng.next_f64();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if u < w {
+                return i;
+            }
+            u -= w;
+        }
+        self.weights.len() - 1
+    }
+
+    fn budget_update(&mut self, now: SimTime) {
+        let dt = now.since(self.budget_last).as_secs_f64();
+        self.budget_last = now;
+        if self.cfg.budget_capacity_secs.is_infinite() {
+            return;
+        }
+        if self.sprinting == 0 {
+            self.budget_level = (self.budget_level
+                + self.cfg.budget_capacity_secs / self.cfg.refill_secs * dt)
+                .min(self.cfg.budget_capacity_secs);
+        } else {
+            self.budget_level = (self.budget_level - self.sprinting as f64 * dt).max(0.0);
+        }
+    }
+
+    fn budget_available(&self) -> bool {
+        self.budget_level > 1e-6 || self.cfg.budget_capacity_secs.is_infinite()
+    }
+
+    fn on_arrival(&mut self, now: SimTime) {
+        let id = self.queries.len() as u64;
+        let class = self.draw_class();
+        let spec = &self.cfg.classes[class];
+        let service_secs = spec.service.sample(&mut self.service_rng).as_secs_f64().max(1e-6);
+        let timeout = spec.timeout;
+        let sprintable = (spec.sprint_speedup - 1.0).abs() > 1e-12
+            && (self.cfg.budget_capacity_secs > 0.0 || self.cfg.budget_capacity_secs.is_infinite());
+        self.queries.push(QInfo {
+            class,
+            arrival: now,
+            depart: SimTime::ZERO,
+            service_secs,
+            timed_out: false,
+            sprinted: false,
+            sprint_secs: 0.0,
+            state: QState::Queued,
+        });
+        if sprintable && timeout < SimDuration::MAX {
+            let at = now.saturating_add(timeout);
+            if at < SimTime::MAX {
+                self.events.schedule(at, Ev::Timeout(id));
+            }
+        }
+        if let Some(slot) = self.slots.iter().position(Option::is_none) {
+            self.dispatch(now, id, slot);
+        } else {
+            self.fifo.push_back(id);
+        }
+        self.arrivals_left -= 1;
+        if self.arrivals_left > 0 {
+            let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+            self.events.schedule(now + gap, Ev::Arrival);
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, id: u64) {
+        match self.queries[id as usize].state {
+            QState::Done => {}
+            QState::Queued => self.queries[id as usize].timed_out = true,
+            QState::Running(slot) => {
+                self.queries[id as usize].timed_out = true;
+                self.budget_update(now);
+                if !self.budget_available() {
+                    return;
+                }
+                let r = self.slots[slot].as_mut().expect("slot occupied");
+                if !r.sprinting {
+                    r.advance(now);
+                    r.sprinting = true;
+                    self.queries[id as usize].sprinted = true;
+                    self.sprinting += 1;
+                    self.reschedule_all_sprinting(now);
+                }
+            }
+        }
+    }
+
+    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) {
+        let Some(r) = self.slots[slot].as_ref() else {
+            return;
+        };
+        if r.gen != gen {
+            return;
+        }
+        self.budget_update(now);
+        let available = self.budget_available();
+        let r = self.slots[slot].as_mut().expect("slot occupied");
+        let was_sprinting = r.sprinting;
+        r.advance(now);
+        let remaining = r.remaining_work;
+        if remaining <= 2e-6 {
+            self.complete(now, slot);
+        } else if was_sprinting && !available {
+            r.sprinting = false;
+            self.sprinting -= 1;
+            self.reschedule_all_sprinting(now);
+            self.reschedule(now, slot);
+        } else {
+            self.reschedule(now, slot);
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, slot: usize) {
+        let r = self.slots[slot].take().expect("completing empty slot");
+        if r.sprinting {
+            self.sprinting -= 1;
+            self.reschedule_all_sprinting(now);
+        }
+        let info = &mut self.queries[r.query as usize];
+        info.state = QState::Done;
+        info.depart = now;
+        info.sprint_secs = r.sprint_secs;
+        self.done += 1;
+        if let Some(next) = self.fifo.pop_front() {
+            self.dispatch(now, next, slot);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+        let info = &mut self.queries[id as usize];
+        info.state = QState::Running(slot);
+        let class = info.class;
+        let remaining_work = info.service_secs;
+        let speedup = self.cfg.classes[class].sprint_speedup;
+        let timed_out = info.timed_out;
+        let mut sprinting = false;
+        if timed_out && (speedup - 1.0).abs() > 1e-12 {
+            self.budget_update(now);
+            if self.budget_available() {
+                sprinting = true;
+                self.queries[id as usize].sprinted = true;
+                self.sprinting += 1;
+            }
+        }
+        self.slots[slot] = Some(Running {
+            query: id,
+            remaining_work,
+            speedup,
+            sprinting,
+            sprint_secs: 0.0,
+            last_update: now,
+            gen: 0,
+        });
+        if sprinting {
+            self.reschedule_all_sprinting(now);
+        } else {
+            self.reschedule(now, slot);
+        }
+    }
+
+    fn reschedule(&mut self, now: SimTime, slot: usize) {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let sprinting_count = self.sprinting;
+        let level = self.budget_level;
+        let unlimited = self.cfg.budget_capacity_secs.is_infinite();
+        let r = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        r.gen = gen;
+        let speed = if r.sprinting { r.speedup } else { 1.0 };
+        let mut horizon = r.remaining_work / speed;
+        if r.sprinting && !unlimited && sprinting_count > 0 {
+            horizon = horizon.min(level / sprinting_count as f64);
+        }
+        self.events.schedule(
+            now + SimDuration::from_secs_f64_ceil(horizon),
+            Ev::Slot { slot, gen },
+        );
+    }
+
+    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+        for i in 0..self.slots.len() {
+            let needs = matches!(&self.slots[i], Some(r) if r.sprinting);
+            if needs {
+                let r = self.slots[i].as_mut().expect("slot occupied");
+                r.advance(now);
+                self.reschedule(now, i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_cfg(seed: u64) -> MultiClassConfig {
+        MultiClassConfig {
+            arrival_rate: Rate::per_hour(30.0),
+            arrival_kind: DistKind::Exponential,
+            classes: vec![
+                ClassSpec {
+                    weight: 0.5,
+                    service: Dist::exponential(SimDuration::from_secs(40)),
+                    sprint_speedup: 2.5,
+                    timeout: SimDuration::from_secs(60),
+                },
+                ClassSpec {
+                    weight: 0.5,
+                    service: Dist::exponential(SimDuration::from_secs(120)),
+                    sprint_speedup: 1.2,
+                    timeout: SimDuration::from_secs(200),
+                },
+            ],
+            budget_capacity_secs: 200.0,
+            refill_secs: 600.0,
+            slots: 1,
+            num_queries: 6_000,
+            warmup: 600,
+            seed,
+        }
+    }
+
+    #[test]
+    fn classes_get_distinct_response_times() {
+        let r = MultiClassQsim::new(two_class_cfg(1)).run();
+        let fast = r.class_mean_response_secs(0).expect("class 0 present");
+        let slow = r.class_mean_response_secs(1).expect("class 1 present");
+        assert!(slow > fast, "slow class {slow} !> fast class {fast}");
+        assert!(r.mean_response_secs() > fast);
+        assert!(r.mean_response_secs() < slow);
+    }
+
+    #[test]
+    fn single_class_matches_base_simulator() {
+        // A one-class multi-class run must agree with `Qsim` given the
+        // same parameters (different RNG stream layout, so compare
+        // statistically).
+        let cfg = MultiClassConfig {
+            arrival_rate: Rate::per_hour(30.0),
+            arrival_kind: DistKind::Exponential,
+            classes: vec![ClassSpec {
+                weight: 1.0,
+                service: Dist::exponential(SimDuration::from_secs(60)),
+                sprint_speedup: 1.0,
+                timeout: SimDuration::MAX,
+            }],
+            budget_capacity_secs: 0.0,
+            refill_secs: 100.0,
+            slots: 1,
+            num_queries: 40_000,
+            warmup: 4_000,
+            seed: 3,
+        };
+        let multi = MultiClassQsim::new(cfg).run().mean_response_secs();
+        // M/M/1 at 50% load with 60 s service: 120 s.
+        assert!((multi - 120.0).abs() / 120.0 < 0.06, "multi {multi}");
+    }
+
+    #[test]
+    fn per_class_timeouts_fire_independently() {
+        let r = MultiClassQsim::new(two_class_cfg(5)).run();
+        // The fast class (short timeout, big speedup) should sprint
+        // much more often than the slow class (long timeout, tiny
+        // speedup).
+        let frac = |class: usize| {
+            let (s, n) = r
+                .queries
+                .iter()
+                .filter(|(c, _)| *c == class)
+                .fold((0usize, 0usize), |(s, n), (_, q)| {
+                    (s + q.sprinted as usize, n + 1)
+                });
+            s as f64 / n as f64
+        };
+        assert!(frac(0) > frac(1), "{} !> {}", frac(0), frac(1));
+    }
+
+    #[test]
+    fn shared_budget_couples_classes() {
+        // Draining the budget with class 0 sprints leaves less for
+        // class 1: with a tighter budget, total sprint seconds shrink.
+        let mut tight = two_class_cfg(7);
+        tight.budget_capacity_secs = 20.0;
+        tight.refill_secs = 5_000.0;
+        let mut loose = two_class_cfg(7);
+        loose.budget_capacity_secs = 2_000.0;
+        loose.refill_secs = 5_000.0;
+        let t: f64 = MultiClassQsim::new(tight)
+            .run()
+            .queries
+            .iter()
+            .map(|(_, q)| q.sprint_secs)
+            .sum();
+        let l: f64 = MultiClassQsim::new(loose)
+            .run()
+            .queries
+            .iter()
+            .map(|(_, q)| q.sprint_secs)
+            .sum();
+        assert!(t < l, "tight {t} !< loose {l}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = MultiClassQsim::new(two_class_cfg(11)).run();
+        let b = MultiClassQsim::new(two_class_cfg(11)).run();
+        assert_eq!(a.queries.len(), b.queries.len());
+        for ((ca, qa), (cb, qb)) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(ca, cb);
+            assert_eq!(qa, qb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_empty_classes() {
+        let mut cfg = two_class_cfg(1);
+        cfg.classes.clear();
+        let _ = MultiClassQsim::new(cfg);
+    }
+}

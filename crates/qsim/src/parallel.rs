@@ -1,0 +1,122 @@
+//! Parallel batch execution of queue simulations.
+//!
+//! §2.2: the simulator "executes quickly, parallelizing execution
+//! across multiple cores and servers easily", and Fig. 11 measures
+//! prediction throughput scaling from 1 to 12 cores. A *prediction*
+//! averages a handful of replicated runs with different seeds; a batch
+//! fans independent configurations out over scoped worker threads.
+
+use crate::config::{QsimConfig, QsimResult};
+use crate::sim::Qsim;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs each configuration to completion, fanning out over `threads`
+/// worker threads (1 = sequential). Results keep input order and are
+/// identical regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker panics.
+pub fn run_batch(configs: Vec<QsimConfig>, threads: usize) -> Vec<QsimResult> {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || configs.len() <= 1 {
+        return configs.into_iter().map(|c| Qsim::new(c).run()).collect();
+    }
+    let n = configs.len();
+    let slots: Vec<Mutex<Option<QsimResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let configs = &configs;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let out = Qsim::new(configs[i].clone()).run();
+                *slots_ref[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+/// Predicts mean response time by averaging `replications` simulator
+/// runs with derived seeds — one "prediction" in the Fig. 11 sense.
+///
+/// # Panics
+///
+/// Panics if `replications` is zero.
+pub fn predict_mean_response(cfg: &QsimConfig, replications: usize, threads: usize) -> f64 {
+    assert!(replications > 0, "need at least one replication");
+    let configs: Vec<QsimConfig> = (0..replications)
+        .map(|i| cfg.with_seed(cfg.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1))))
+        .collect();
+    let results = run_batch(configs, threads);
+    results
+        .iter()
+        .map(QsimResult::mean_response_secs)
+        .sum::<f64>()
+        / replications as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::Dist;
+    use simcore::time::{Rate, SimDuration};
+
+    fn small_cfg(seed: u64) -> QsimConfig {
+        let mut c = QsimConfig::mm1(
+            Rate::per_hour(30.0),
+            Dist::exponential(SimDuration::from_secs(60)),
+            seed,
+        );
+        c.num_queries = 2_000;
+        c.warmup = 200;
+        c
+    }
+
+    #[test]
+    fn batch_preserves_order_and_determinism() {
+        let configs: Vec<QsimConfig> = (0..8).map(small_cfg).collect();
+        let seq = run_batch(configs.clone(), 1);
+        let par = run_batch(configs, 4);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.queries, b.queries);
+        }
+    }
+
+    #[test]
+    fn predict_averages_replications() {
+        let cfg = small_cfg(5);
+        let p1 = predict_mean_response(&cfg, 4, 1);
+        let p2 = predict_mean_response(&cfg, 4, 4);
+        assert_eq!(p1, p2, "thread count must not change the estimate");
+        // Sanity: near the M/M/1 closed form 1/(µ-λ) = 120 s at 50% load.
+        assert!((p1 - 120.0).abs() / 120.0 < 0.15, "estimate {p1}");
+    }
+
+    #[test]
+    fn single_job_batch() {
+        let r = run_batch(vec![small_cfg(1)], 8);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = run_batch(vec![], 0);
+    }
+}

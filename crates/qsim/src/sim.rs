@@ -1,0 +1,591 @@
+//! The timeout-aware G/G/k simulation loop (Algorithm 1, generalized).
+//!
+//! Compared to the ground-truth testbed, this simulator is
+//! deliberately *clean*: service is a single sampled duration, a sprint
+//! multiplies the speed of all remaining work uniformly (Equation 1),
+//! and toggling is free. Runtime effects the model cannot see are
+//! folded into the effective sprint rate supplied via
+//! [`QsimConfig::sprint_speedup`].
+
+use crate::config::{QsimConfig, QsimResult, SimQuery};
+use simcore::dist::Dist;
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    Timeout(u64),
+    Slot { slot: usize, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QState {
+    Queued,
+    Running(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct QInfo {
+    arrival: SimTime,
+    depart: SimTime,
+    service_secs: f64,
+    timed_out: bool,
+    sprinted: bool,
+    sprint_secs: f64,
+    state: QState,
+}
+
+#[derive(Debug)]
+struct RunningQuery {
+    query: u64,
+    /// Work remaining, measured in sustained-rate seconds.
+    remaining_work: f64,
+    sprinting: bool,
+    sprint_secs: f64,
+    last_update: SimTime,
+    gen: u64,
+}
+
+impl RunningQuery {
+    /// Integrates remaining work up to `now` at the current speed.
+    fn advance(&mut self, now: SimTime, sprint_speedup: f64) {
+        let dt = now.since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        let speed = if self.sprinting { sprint_speedup } else { 1.0 };
+        if self.sprinting {
+            self.sprint_secs += dt;
+        }
+        self.remaining_work = (self.remaining_work - dt * speed).max(0.0);
+    }
+}
+
+/// Lazy sprint-budget pool (drains while sprinting, refills when idle).
+#[derive(Debug)]
+struct Pool {
+    capacity: f64,
+    level: f64,
+    refill_secs: f64,
+    sprinting: usize,
+    last: SimTime,
+}
+
+impl Pool {
+    fn update(&mut self, now: SimTime) {
+        let dt = now.since(self.last).as_secs_f64();
+        self.last = now;
+        if self.capacity.is_infinite() {
+            return;
+        }
+        if self.sprinting == 0 {
+            self.level = (self.level + self.capacity / self.refill_secs * dt).min(self.capacity);
+        } else {
+            self.level = (self.level - self.sprinting as f64 * dt).max(0.0);
+        }
+    }
+
+    fn available(&self) -> bool {
+        // Levels below one microsecond count as empty so exhaustion
+        // horizons never round to zero-length events.
+        self.level > 1e-6 || self.capacity.is_infinite()
+    }
+
+    fn seconds_to_exhaustion(&self) -> Option<f64> {
+        if self.sprinting == 0 || self.capacity.is_infinite() {
+            None
+        } else {
+            Some(self.level / self.sprinting as f64)
+        }
+    }
+}
+
+/// The queue simulator.
+pub struct Qsim {
+    cfg: QsimConfig,
+    events: EventQueue<Ev>,
+    fifo: VecDeque<u64>,
+    slots: Vec<Option<RunningQuery>>,
+    pool: Pool,
+    queries: Vec<QInfo>,
+    done: usize,
+    arrivals_left: usize,
+    arrival_dist: Dist,
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    next_gen: u64,
+}
+
+impl Qsim {
+    /// Builds a simulator for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero slots/queries or a sprint speedup below 1.
+    pub fn new(cfg: QsimConfig) -> Qsim {
+        assert!(cfg.slots > 0, "need at least one slot");
+        assert!(cfg.num_queries > 0, "need at least one query");
+        // Effective sprint rates below the service rate are permitted:
+        // Eq. 2's calibration may push µe under µ when runtime drag
+        // (interrupt servicing, toggles) slows loaded systems beyond
+        // what any sprint speedup explains.
+        assert!(
+            cfg.sprint_speedup > 0.0 && cfg.sprint_speedup.is_finite(),
+            "sprint speedup must be positive, got {}",
+            cfg.sprint_speedup
+        );
+        let mut root = SimRng::new(cfg.seed);
+        let arrival_rng = root.split(1);
+        let service_rng = root.split(2);
+        let arrival_dist = Dist::Parametric {
+            kind: cfg.arrival_kind,
+            mean: cfg.arrival_rate.mean_interval(),
+        };
+        Qsim {
+            events: EventQueue::new(),
+            fifo: VecDeque::new(),
+            slots: (0..cfg.slots).map(|_| None).collect(),
+            pool: Pool {
+                capacity: cfg.budget_capacity_secs,
+                level: cfg.budget_capacity_secs,
+                refill_secs: cfg.refill_secs.max(1e-9),
+                sprinting: 0,
+                last: SimTime::ZERO,
+            },
+            queries: Vec::with_capacity(cfg.num_queries),
+            done: 0,
+            arrivals_left: cfg.num_queries,
+            arrival_dist,
+            arrival_rng,
+            service_rng,
+            next_gen: 0,
+            cfg,
+        }
+    }
+
+    /// Runs to completion and returns steady-state per-query outcomes.
+    pub fn run(mut self) -> QsimResult {
+        let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+        self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
+        while self.done < self.cfg.num_queries {
+            let (now, ev) = self
+                .events
+                .pop()
+                .expect("event queue drained with queries outstanding");
+            match ev {
+                Ev::Arrival => self.on_arrival(now),
+                Ev::Timeout(id) => self.on_timeout(now, id),
+                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen),
+            }
+        }
+        let queries = self
+            .queries
+            .iter()
+            .skip(self.cfg.warmup)
+            .map(|q| SimQuery {
+                arrival_secs: q.arrival.as_secs_f64(),
+                depart_secs: q.depart.as_secs_f64(),
+                timed_out: q.timed_out,
+                sprinted: q.sprinted,
+                sprint_secs: q.sprint_secs,
+            })
+            .collect();
+        QsimResult { queries }
+    }
+
+    fn on_arrival(&mut self, now: SimTime) {
+        let id = self.queries.len() as u64;
+        let service_secs = self
+            .cfg
+            .service
+            .sample(&mut self.service_rng)
+            .as_secs_f64()
+            .max(1e-6);
+        self.queries.push(QInfo {
+            arrival: now,
+            depart: SimTime::ZERO,
+            service_secs,
+            timed_out: false,
+            sprinted: false,
+            sprint_secs: 0.0,
+            state: QState::Queued,
+        });
+        if self.sprinting_possible() {
+            let at = now.saturating_add(self.cfg.timeout);
+            if at < SimTime::MAX {
+                self.events.schedule(at, Ev::Timeout(id));
+            }
+        }
+        if let Some(slot) = self.slots.iter().position(Option::is_none) {
+            self.dispatch(now, id, slot);
+        } else {
+            self.fifo.push_back(id);
+        }
+        self.arrivals_left -= 1;
+        if self.arrivals_left > 0 {
+            let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+            self.events.schedule(now + gap, Ev::Arrival);
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, id: u64) {
+        match self.queries[id as usize].state {
+            QState::Done => {}
+            QState::Queued => {
+                self.queries[id as usize].timed_out = true;
+            }
+            QState::Running(slot) => {
+                self.queries[id as usize].timed_out = true;
+                self.pool.update(now);
+                if !self.pool.available() {
+                    return;
+                }
+                let speedup = self.cfg.sprint_speedup;
+                let r = self.slots[slot].as_mut().expect("running slot occupied");
+                if !r.sprinting {
+                    r.advance(now, speedup);
+                    r.sprinting = true;
+                    self.queries[id as usize].sprinted = true;
+                    self.pool.sprinting += 1;
+                    self.reschedule_all_sprinting(now);
+                }
+            }
+        }
+    }
+
+    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) {
+        let Some(r) = self.slots[slot].as_ref() else {
+            return;
+        };
+        if r.gen != gen {
+            return;
+        }
+        self.pool.update(now);
+        let speedup = self.cfg.sprint_speedup;
+        let r = self.slots[slot].as_mut().expect("slot occupied");
+        let was_sprinting = r.sprinting;
+        r.advance(now, speedup);
+        // Two microseconds of slack: completion events are scheduled at
+        // microsecond resolution and may round down by up to half a
+        // microsecond.
+        if r.remaining_work <= 2e-6 {
+            self.complete(now, slot);
+        } else if was_sprinting && !self.pool.available() {
+            // Budget ran dry mid-sprint: fall back to sustained speed.
+            r.sprinting = false;
+            self.pool.sprinting -= 1;
+            self.reschedule_all_sprinting(now);
+            self.reschedule(now, slot);
+        } else {
+            self.reschedule(now, slot);
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, slot: usize) {
+        let r = self.slots[slot].take().expect("completing empty slot");
+        if r.sprinting {
+            self.pool.sprinting -= 1;
+            self.reschedule_all_sprinting(now);
+        }
+        let info = &mut self.queries[r.query as usize];
+        info.state = QState::Done;
+        info.depart = now;
+        info.sprint_secs = r.sprint_secs;
+        self.done += 1;
+        if let Some(next) = self.fifo.pop_front() {
+            self.dispatch(now, next, slot);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+        let info = &mut self.queries[id as usize];
+        info.state = QState::Running(slot);
+        let timed_out = info.timed_out;
+        let remaining_work = info.service_secs;
+        let mut sprinting = false;
+        if timed_out && self.sprinting_possible() {
+            self.pool.update(now);
+            if self.pool.available() {
+                sprinting = true;
+                self.queries[id as usize].sprinted = true;
+                self.pool.sprinting += 1;
+            }
+        }
+        self.slots[slot] = Some(RunningQuery {
+            query: id,
+            remaining_work,
+            sprinting,
+            sprint_secs: 0.0,
+            last_update: now,
+            gen: 0,
+        });
+        if sprinting {
+            // Drain rate changed for every other sprinting slot too.
+            self.reschedule_all_sprinting(now);
+        } else {
+            self.reschedule(now, slot);
+        }
+    }
+
+    fn reschedule(&mut self, now: SimTime, slot: usize) {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let r = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        r.gen = gen;
+        let speed = if r.sprinting {
+            self.cfg.sprint_speedup
+        } else {
+            1.0
+        };
+        let mut horizon = r.remaining_work / speed;
+        if r.sprinting {
+            if let Some(exhaust) = self.pool.seconds_to_exhaustion() {
+                horizon = horizon.min(exhaust);
+            }
+        }
+        self.events.schedule(
+            now + SimDuration::from_secs_f64_ceil(horizon),
+            Ev::Slot { slot, gen },
+        );
+    }
+
+    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+        let speedup = self.cfg.sprint_speedup;
+        for i in 0..self.slots.len() {
+            let needs = matches!(&self.slots[i], Some(r) if r.sprinting);
+            if needs {
+                let r = self.slots[i].as_mut().expect("slot occupied");
+                r.advance(now, speedup);
+                self.reschedule(now, i);
+            }
+        }
+    }
+
+    fn sprinting_possible(&self) -> bool {
+        (self.cfg.sprint_speedup - 1.0).abs() > 1e-12
+            && (self.cfg.budget_capacity_secs > 0.0 || self.cfg.budget_capacity_secs.is_infinite())
+            && self.cfg.timeout < SimDuration::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::DistKind;
+    use simcore::time::Rate;
+
+    fn cfg_mm1(util: f64, mean_service_secs: f64, seed: u64) -> QsimConfig {
+        let mu = 3_600.0 / mean_service_secs;
+        QsimConfig::mm1(
+            Rate::per_hour(mu * util),
+            Dist::exponential(SimDuration::from_secs_f64(mean_service_secs)),
+            seed,
+        )
+    }
+
+    /// M/M/1 mean response time: 1 / (µ - λ).
+    fn mm1_expected(util: f64, mean_service_secs: f64) -> f64 {
+        mean_service_secs / (1.0 - util)
+    }
+
+    #[test]
+    fn mm1_matches_closed_form_low_load() {
+        let mut c = cfg_mm1(0.3, 60.0, 7);
+        c.num_queries = 40_000;
+        c.warmup = 2_000;
+        let r = Qsim::new(c).run();
+        let expect = mm1_expected(0.3, 60.0);
+        let got = r.mean_response_secs();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "M/M/1 at 30%: {got:.1} vs {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn mm1_matches_closed_form_high_load() {
+        let mut c = cfg_mm1(0.8, 60.0, 11);
+        c.num_queries = 200_000;
+        c.warmup = 20_000;
+        let r = Qsim::new(c).run();
+        let expect = mm1_expected(0.8, 60.0);
+        let got = r.mean_response_secs();
+        assert!(
+            (got - expect).abs() / expect < 0.08,
+            "M/M/1 at 80%: {got:.1} vs {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn md1_waiting_time_half_of_mm1() {
+        // M/D/1 mean wait = ρ/(2(1-ρ)) * s — half the M/M/1 wait.
+        let util = 0.7;
+        let s = 60.0;
+        let mut c = cfg_mm1(util, s, 13);
+        c.service = Dist::deterministic(SimDuration::from_secs_f64(s));
+        c.num_queries = 100_000;
+        c.warmup = 10_000;
+        let r = Qsim::new(c).run();
+        let expect = s + util * s / (2.0 * (1.0 - util));
+        let got = r.mean_response_secs();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "M/D/1: {got:.1} vs {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn mmk_runs_and_beats_mm1_wait() {
+        let mut c = cfg_mm1(0.8, 60.0, 17);
+        c.slots = 4;
+        c.arrival_rate = Rate::per_hour(4.0 * 0.8 * 60.0);
+        c.num_queries = 50_000;
+        c.warmup = 5_000;
+        let r = Qsim::new(c).run();
+        // With 4 servers at the same per-server utilization, waiting is
+        // much shorter than M/M/1; response must be below M/M/1's 300 s.
+        assert!(r.mean_response_secs() < 300.0 * 0.7);
+        assert!(r.mean_response_secs() > 60.0);
+    }
+
+    #[test]
+    fn always_sprint_with_unlimited_budget_scales_service() {
+        let mut c = cfg_mm1(0.3, 60.0, 19);
+        c.sprint_speedup = 2.0;
+        c.timeout = SimDuration::ZERO;
+        c.budget_capacity_secs = f64::INFINITY;
+        c.num_queries = 30_000;
+        c.warmup = 3_000;
+        let r = Qsim::new(c).run();
+        // Every query sprints from dispatch: service effectively 30 s,
+        // λ unchanged -> utilization 0.15.
+        let expect = 30.0 / (1.0 - 0.15);
+        let got = r.mean_response_secs();
+        assert!(
+            (got - expect).abs() / expect < 0.06,
+            "sprinted M/M/1: {got:.1} vs {expect:.1}"
+        );
+        assert!((r.sprint_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_never_sprints() {
+        let mut c = cfg_mm1(0.5, 60.0, 23);
+        c.sprint_speedup = 3.0;
+        c.timeout = SimDuration::ZERO;
+        c.budget_capacity_secs = 0.0;
+        c.num_queries = 5_000;
+        c.warmup = 500;
+        let r = Qsim::new(c).run();
+        assert_eq!(r.sprint_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tight_budget_sprints_some_not_all() {
+        let mut c = cfg_mm1(0.9, 60.0, 29);
+        c.sprint_speedup = 2.0;
+        c.timeout = SimDuration::from_secs(90);
+        c.budget_capacity_secs = 120.0;
+        c.refill_secs = 2_000.0;
+        c.num_queries = 20_000;
+        c.warmup = 2_000;
+        let r = Qsim::new(c).run();
+        let f = r.sprint_fraction();
+        assert!(f > 0.0, "some queries must sprint");
+        assert!(f < 0.9, "budget must throttle sprinting, got {f}");
+    }
+
+    #[test]
+    fn sprinting_reduces_response_time_under_load() {
+        let base_cfg = {
+            let mut c = cfg_mm1(0.85, 60.0, 31);
+            c.num_queries = 30_000;
+            c.warmup = 3_000;
+            c
+        };
+        let base = Qsim::new(base_cfg.clone()).run().mean_response_secs();
+        let mut sprint_cfg = base_cfg;
+        sprint_cfg.sprint_speedup = 2.0;
+        sprint_cfg.timeout = SimDuration::from_secs(120);
+        sprint_cfg.budget_capacity_secs = 400.0;
+        sprint_cfg.refill_secs = 800.0;
+        let fast = Qsim::new(sprint_cfg).run().mean_response_secs();
+        assert!(
+            fast < base * 0.85,
+            "sprinting should cut response time: {fast:.0} vs {base:.0}"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut c = cfg_mm1(0.7, 60.0, 37);
+        c.sprint_speedup = 1.8;
+        c.timeout = SimDuration::from_secs(100);
+        c.budget_capacity_secs = 100.0;
+        c.refill_secs = 500.0;
+        c.num_queries = 3_000;
+        c.warmup = 300;
+        let a = Qsim::new(c.clone()).run();
+        let b = Qsim::new(c).run();
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn timeout_marks_only_slow_queries() {
+        let mut c = cfg_mm1(0.8, 60.0, 41);
+        c.sprint_speedup = 2.0;
+        c.timeout = SimDuration::from_secs(100);
+        c.budget_capacity_secs = f64::INFINITY;
+        c.num_queries = 10_000;
+        c.warmup = 1_000;
+        let r = Qsim::new(c).run();
+        for q in &r.queries {
+            if q.timed_out {
+                assert!(q.response_secs() >= 100.0 - 1e-6);
+            } else {
+                assert!(q.response_secs() < 100.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_arrivals_heavier_queueing_than_poisson() {
+        let mut pois = cfg_mm1(0.6, 60.0, 43);
+        pois.num_queries = 40_000;
+        pois.warmup = 4_000;
+        let mut par = pois.clone();
+        par.arrival_kind = DistKind::Pareto { alpha: 0.5 };
+        par.seed = 44;
+        let rp = Qsim::new(pois).run().mean_response_secs();
+        let rr = Qsim::new(par).run().mean_response_secs();
+        assert!(
+            rr > rp,
+            "heavy-tailed arrivals should queue worse: {rr:.0} !> {rp:.0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sprint speedup")]
+    fn rejects_non_positive_speedup() {
+        let mut c = cfg_mm1(0.5, 60.0, 47);
+        c.sprint_speedup = 0.0;
+        let _ = Qsim::new(c);
+    }
+
+    #[test]
+    fn sub_unit_speedup_slows_timed_out_queries() {
+        // A negative effective correction (µe < µ) makes sprinted
+        // queries slower — Eq. 2's way of absorbing runtime drag.
+        let mut c = cfg_mm1(0.5, 60.0, 53);
+        c.num_queries = 20_000;
+        c.warmup = 2_000;
+        let base = Qsim::new(c.clone()).run().mean_response_secs();
+        c.sprint_speedup = 0.8;
+        c.timeout = SimDuration::from_secs(90);
+        c.budget_capacity_secs = f64::INFINITY;
+        let slowed = Qsim::new(c).run().mean_response_secs();
+        assert!(slowed > base, "{slowed} !> {base}");
+    }
+}

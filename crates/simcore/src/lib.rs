@@ -1,0 +1,50 @@
+//! Simulation substrate shared by every crate in the workspace.
+//!
+//! `simcore` provides the building blocks that both the ground-truth
+//! testbed simulator and the first-principles queue simulator are built
+//! on:
+//!
+//! - [`time`]: microsecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]) and throughput rates in queries per hour ([`Rate`]).
+//! - [`rng`]: deterministic, splittable random number generation
+//!   ([`SimRng`]) so every experiment is reproducible from a single seed.
+//! - [`dist`]: the arrival/service distributions the paper evaluates
+//!   (exponential, Pareto, deterministic) plus empirical resampling of
+//!   profiled service times.
+//! - [`event`]: a generic discrete-event calendar with stable FIFO
+//!   ordering for simultaneous events.
+//! - [`stats`]: streaming moments, percentile estimation, histograms and
+//!   error-CDF helpers used throughout the evaluation harness.
+//! - [`table`]: plain-text table rendering for the experiment binaries.
+//!
+//! Everything here is deliberately free of workload or policy semantics;
+//! those live in the `workloads`, `mechanisms`, `testbed` and `qsim`
+//! crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::{Dist, EventQueue, SimDuration, SimRng, SimTime};
+//!
+//! // A deterministic, seeded event loop.
+//! let mut rng = SimRng::new(42);
+//! let service = Dist::exponential(SimDuration::from_secs(60));
+//! let mut calendar = EventQueue::new();
+//! calendar.schedule(SimTime::ZERO + service.sample(&mut rng), "depart");
+//! let (at, what) = calendar.pop().unwrap();
+//! assert_eq!(what, "depart");
+//! assert!(at > SimTime::ZERO);
+//! ```
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use dist::{Dist, DistKind};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Cdf, Histogram, StreamingStats};
+pub use time::{Rate, SimDuration, SimTime};

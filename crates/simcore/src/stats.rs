@@ -1,0 +1,455 @@
+//! Statistics used across profiling, modeling and evaluation.
+//!
+//! The evaluation (§3) reports medians, percentile bars, CDFs of
+//! absolute relative error, and the coefficient of variation of
+//! prediction throughput (Fig. 11). This module provides those
+//! primitives: Welford streaming moments, exact percentile queries over
+//! collected samples, histograms, and error-CDF helpers.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation σ/µ (0 when the mean is 0).
+    pub fn cov(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile queries over a collected sample set.
+///
+/// Uses linear interpolation between order statistics (the common
+/// "type 7" estimator).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Builds from raw samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN sample in percentile set"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after check"));
+        Percentiles { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample set is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample set");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = self.sorted.partition_point(|&s| s <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+}
+
+/// An empirical CDF sampled at fixed points, for figure output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(value, cumulative fraction)` pairs in ascending value order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF evaluated at `resolution` evenly spaced value points
+    /// between the sample min and max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `resolution` < 2.
+    pub fn from_samples(samples: &[f64], resolution: usize) -> Self {
+        assert!(!samples.is_empty(), "CDF of empty sample set");
+        assert!(resolution >= 2, "resolution must be at least 2");
+        let p = Percentiles::from_samples(samples.to_vec());
+        let (lo, hi) = (p.sorted[0], *p.sorted.last().expect("non-empty"));
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let points = (0..resolution)
+            .map(|i| {
+                let x = lo + span * i as f64 / (resolution - 1) as f64;
+                (x, p.cdf_at(x))
+            })
+            .collect();
+        Cdf { points }
+    }
+
+    /// The fraction of mass at or below `x` (step interpolation).
+    pub fn at(&self, x: f64) -> f64 {
+        let mut frac = 0.0;
+        for &(v, f) in &self.points {
+            if v <= x {
+                frac = f;
+            } else {
+                break;
+            }
+        }
+        frac
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "empty histogram range");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+}
+
+/// Absolute relative error `|predicted - observed| / observed`.
+///
+/// # Panics
+///
+/// Panics if `observed` is zero.
+pub fn abs_relative_error(predicted: f64, observed: f64) -> f64 {
+    assert!(observed != 0.0, "relative error undefined at observed = 0");
+    (predicted - observed).abs() / observed.abs()
+}
+
+/// Median of the absolute relative errors of `(predicted, observed)`
+/// pairs — the headline accuracy metric in §3.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any observation is zero.
+pub fn median_abs_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "no prediction pairs");
+    let errs: Vec<f64> = pairs
+        .iter()
+        .map(|&(p, o)| abs_relative_error(p, o))
+        .collect();
+    Percentiles::from_samples(errs).median()
+}
+
+/// Mean of a set of durations as a `SimDuration`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean_duration(xs: &[SimDuration]) -> SimDuration {
+    assert!(!xs.is_empty(), "mean of empty duration set");
+    let total: u128 = xs.iter().map(|d| d.0 as u128).sum();
+    SimDuration((total / xs.len() as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.cov() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&StreamingStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut e = StreamingStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let p = Percentiles::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.quantile(1.0), 4.0);
+        assert!((p.median() - 2.5).abs() < 1e-12);
+        assert!((p.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let p = Percentiles::from_samples(vec![42.0]);
+        assert_eq!(p.median(), 42.0);
+        assert_eq!(p.quantile(0.99), 42.0);
+    }
+
+    #[test]
+    fn cdf_at_counts_inclusive() {
+        let p = Percentiles::from_samples(vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(p.cdf_at(0.5), 0.0);
+        assert_eq!(p.cdf_at(2.0), 0.75);
+        assert_eq!(p.cdf_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_curve_monotone() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let cdf = Cdf::from_samples(&samples, 50);
+        let mut prev = 0.0;
+        for &(_, f) in &cdf.points {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((cdf.points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.99, -1.0, 10.0, 25.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bin(0), 1);
+        assert_eq!(h.bin(1), 2);
+        assert_eq!(h.bin(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.num_bins(), 10);
+    }
+
+    #[test]
+    fn relative_error_metrics() {
+        assert!((abs_relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        let pairs = [(110.0, 100.0), (90.0, 100.0), (150.0, 100.0)];
+        assert!((median_abs_relative_error(&pairs) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_duration_exact() {
+        let xs = [
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(30),
+        ];
+        assert_eq!(mean_duration(&xs), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error undefined")]
+    fn relative_error_rejects_zero_observed() {
+        let _ = abs_relative_error(1.0, 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Simulated time and throughput rates.
+//!
+//! The paper's simulator steps a clock at one-microsecond resolution
+//! (§2.2). We keep the same resolution but represent instants and
+//! durations as integer microsecond counts so event-driven simulation is
+//! exact and hash/ord friendly.
+//!
+//! Throughput in the paper is reported in queries per hour (qph, Table
+//! 1C); [`Rate`] keeps that unit and converts to mean service durations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of simulated microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// Number of simulated microseconds per hour.
+pub const MICROS_PER_HOUR: u64 = 3_600 * MICROS_PER_SEC;
+
+/// An instant in simulated time, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The farthest representable instant; used as an "event never fires"
+    /// sentinel in schedulers.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+        SimTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Creates a duration from fractional seconds, rounding *up* to the
+    /// next microsecond. Schedulers use this for completion horizons so
+    /// an event never fires before the work it waits for is done —
+    /// flooring can strand sub-microsecond residues that re-round to
+    /// zero-length events forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64_ceil(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * MICROS_PER_SEC as f64).ceil() as u64)
+    }
+
+    /// Creates a duration from fractional hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative or not finite.
+    pub fn from_hours_f64(hours: f64) -> Self {
+        Self::from_secs_f64(hours * 3_600.0)
+    }
+
+    /// This duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This duration expressed in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction of another duration.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A processing or arrival rate in queries per hour (qph).
+///
+/// The paper reports all throughputs in qph (Table 1C); queueing
+/// variables µ (service rate), µm (marginal sprint rate) and µe
+/// (effective sprint rate) are all `Rate`s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Rate(pub f64);
+
+impl Rate {
+    /// Creates a rate from queries per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qph` is negative or not finite.
+    pub fn per_hour(qph: f64) -> Self {
+        assert!(qph.is_finite() && qph >= 0.0, "invalid rate: {qph}");
+        Rate(qph)
+    }
+
+    /// Creates a rate from queries per second.
+    pub fn per_sec(qps: f64) -> Self {
+        Self::per_hour(qps * 3_600.0)
+    }
+
+    /// The rate in queries per hour.
+    pub fn qph(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in queries per second.
+    pub fn qps(self) -> f64 {
+        self.0 / 3_600.0
+    }
+
+    /// Mean inter-event duration implied by this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero (infinite interval).
+    pub fn mean_interval(self) -> SimDuration {
+        assert!(self.0 > 0.0, "zero rate has no finite interval");
+        SimDuration::from_secs_f64(3_600.0 / self.0)
+    }
+
+    /// Scales the rate by a non-negative factor.
+    pub fn scale(self, factor: f64) -> Rate {
+        Rate::per_hour(self.0 * factor)
+    }
+
+    /// Returns `true` if this rate is (numerically) zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} qph", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!((a - b).as_secs_f64(), 6.0);
+        assert_eq!((a + b).as_secs_f64(), 14.0);
+        assert_eq!((a * 3).as_secs_f64(), 30.0);
+        assert_eq!((a / 2).as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn time_minus_time_is_duration() {
+        let a = SimTime::from_secs(30);
+        let b = SimTime::from_secs(12);
+        assert_eq!(a - b, SimDuration::from_secs(18));
+        assert_eq!(b.since(a), SimDuration::ZERO);
+        assert_eq!(a.since(b), SimDuration::from_secs(18));
+    }
+
+    #[test]
+    fn duration_mul_f64_rounds() {
+        let d = SimDuration(3);
+        assert_eq!(d.mul_f64(0.5).0, 2); // 1.5 rounds to 2.
+        assert_eq!(d.mul_f64(0.0).0, 0);
+    }
+
+    #[test]
+    fn rate_interval_matches_qph() {
+        // 60 qph -> one query per minute.
+        let r = Rate::per_hour(60.0);
+        assert_eq!(r.mean_interval(), SimDuration::from_secs(60));
+        assert!((r.qps() - 1.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_scale() {
+        let r = Rate::per_hour(20.0).scale(5.0);
+        assert_eq!(r.qph(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rate_rejects_negative() {
+        let _ = Rate::per_hour(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn zero_rate_interval_panics() {
+        let _ = Rate::per_hour(0.0).mean_interval();
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let t = SimTime(u64::MAX - 1);
+        assert_eq!(t.saturating_add(SimDuration::from_secs(5)), SimTime::MAX);
+        let d = SimDuration::from_secs(1);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(2.25)), "2.250s");
+        assert_eq!(format!("{}", Rate::per_hour(51.0)), "51.00 qph");
+    }
+
+    #[test]
+    fn hours_conversions() {
+        let d = SimDuration::from_hours_f64(1.5);
+        assert_eq!(d.as_secs_f64(), 5400.0);
+        assert!((d.as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared sprinting budget with lazy accrual/drain accounting.
+//!
+//! The budget is a pool of sprint-seconds shared by all query
+//! executions (§1). It drains one second per second for each currently
+//! sprinting execution and refills toward capacity while nothing is
+//! sprinting — matching the paper's "after refill time elapses without
+//! sprinting, the budget ... reaches full capacity" (§3).
+
+use simcore::time::SimTime;
+
+/// Sprint budget state, updated lazily at event times.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    capacity: f64,
+    level: f64,
+    refill_secs: f64,
+    sprinting: usize,
+    last: SimTime,
+}
+
+impl Budget {
+    /// Creates a full budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is negative/NaN or `refill_secs` is not
+    /// positive.
+    pub fn new(capacity: f64, refill_secs: f64) -> Budget {
+        assert!(capacity >= 0.0 && !capacity.is_nan(), "bad capacity");
+        assert!(
+            refill_secs > 0.0 && refill_secs.is_finite(),
+            "bad refill time"
+        );
+        Budget {
+            capacity,
+            level: capacity,
+            refill_secs,
+            sprinting: 0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Brings the level up to date at `now`.
+    pub fn update(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "budget time went backwards");
+        let dt = now.since(self.last).as_secs_f64();
+        self.last = now;
+        if self.capacity.is_infinite() {
+            return;
+        }
+        if self.sprinting == 0 {
+            self.level = (self.level + self.capacity / self.refill_secs * dt).min(self.capacity);
+        } else {
+            self.level = (self.level - self.sprinting as f64 * dt).max(0.0);
+        }
+    }
+
+    /// Current level in sprint-seconds (after the last `update`).
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Budget capacity in sprint-seconds.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Whether a usable amount of sprint-seconds remains. Levels below
+    /// one microsecond (the simulation resolution) count as empty so
+    /// exhaustion events cannot round to zero-length.
+    pub fn available(&self) -> bool {
+        self.level > 1e-6 || self.capacity.is_infinite()
+    }
+
+    /// Number of executions currently draining the budget.
+    pub fn sprinting(&self) -> usize {
+        self.sprinting
+    }
+
+    /// Registers a sprint start. Call `update` first.
+    pub fn start_sprint(&mut self) {
+        self.sprinting += 1;
+    }
+
+    /// Registers a sprint end. Call `update` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sprint is active.
+    pub fn end_sprint(&mut self) {
+        assert!(self.sprinting > 0, "no active sprint to end");
+        self.sprinting -= 1;
+    }
+
+    /// Seconds until the pool empties at the current drain rate, or
+    /// `None` if it is not draining (nothing sprinting, or unlimited).
+    pub fn seconds_to_exhaustion(&self) -> Option<f64> {
+        if self.sprinting == 0 || self.capacity.is_infinite() {
+            None
+        } else {
+            Some(self.level / self.sprinting as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn starts_full() {
+        let b = Budget::new(100.0, 500.0);
+        assert_eq!(b.level(), 100.0);
+        assert!(b.available());
+    }
+
+    #[test]
+    fn drains_while_sprinting() {
+        let mut b = Budget::new(100.0, 500.0);
+        b.update(t(0));
+        b.start_sprint();
+        b.update(t(30));
+        assert!((b.level() - 70.0).abs() < 1e-9);
+        assert_eq!(b.seconds_to_exhaustion(), Some(70.0));
+    }
+
+    #[test]
+    fn two_sprints_drain_twice_as_fast() {
+        let mut b = Budget::new(100.0, 500.0);
+        b.start_sprint();
+        b.start_sprint();
+        b.update(t(20));
+        assert!((b.level() - 60.0).abs() < 1e-9);
+        assert_eq!(b.seconds_to_exhaustion(), Some(30.0));
+    }
+
+    #[test]
+    fn refills_when_idle() {
+        let mut b = Budget::new(100.0, 500.0);
+        b.start_sprint();
+        b.update(t(50)); // Level 50.
+        b.end_sprint();
+        b.update(t(50) + SimDuration::from_secs(125));
+        // Refill rate = 100/500 = 0.2/s, so +25 over 125 s.
+        assert!((b.level() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = Budget::new(100.0, 500.0);
+        b.start_sprint();
+        b.update(t(10));
+        b.end_sprint();
+        b.update(t(10_000));
+        assert_eq!(b.level(), 100.0);
+    }
+
+    #[test]
+    fn drain_floors_at_zero() {
+        let mut b = Budget::new(10.0, 100.0);
+        b.start_sprint();
+        b.update(t(50));
+        assert_eq!(b.level(), 0.0);
+        assert!(!b.available());
+    }
+
+    #[test]
+    fn no_refill_while_sprinting() {
+        // Per the paper, refill requires time *without* sprinting.
+        let mut b = Budget::new(100.0, 100.0);
+        b.start_sprint();
+        b.update(t(30));
+        assert!((b.level() - 70.0).abs() < 1e-9);
+        // Still sprinting: continues to drain, never accrues.
+        b.update(t(60));
+        assert!((b.level() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut b = Budget::new(f64::INFINITY, 100.0);
+        b.start_sprint();
+        b.update(t(1_000_000));
+        assert!(b.available());
+        assert_eq!(b.seconds_to_exhaustion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no active sprint")]
+    fn end_without_start_panics() {
+        let mut b = Budget::new(10.0, 10.0);
+        b.end_sprint();
+    }
+}

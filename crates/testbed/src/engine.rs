@@ -1,0 +1,419 @@
+//! Phase-aware query execution.
+//!
+//! The execution engine advances a query through its workload's phases
+//! at a piecewise-constant speed: the sustained rate normally, or the
+//! mechanism's per-phase sprint speedup while sprinting. Progress is
+//! measured as a work fraction in `[0, 1]`; speeds only change at
+//! events (sprint engage/disengage, stall end), so departure times are
+//! exact piecewise integrals.
+
+use mechanisms::Mechanism;
+use simcore::time::SimTime;
+use workloads::{Workload, WorkloadKind};
+
+/// Execution mode of a running query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Paused (dispatch overhead or mechanism toggle); no progress.
+    Stalled {
+        /// When the stall ends.
+        until: SimTime,
+        /// Whether a sprint should engage when the stall ends (budget
+        /// permitting, which the server checks at that instant).
+        then_sprint: bool,
+    },
+    /// Processing at the sustained rate.
+    Normal,
+    /// Processing at the mechanism's per-phase sprint speedup.
+    Sprinting,
+}
+
+/// Wall-clock slack (seconds) treated as completion: events are
+/// scheduled at microsecond resolution, so anything within two
+/// microseconds of done counts as done — otherwise a rounded-down
+/// completion event could leave sub-microsecond work that can never be
+/// scheduled.
+const COMPLETE_SLACK_SECS: f64 = 2e-6;
+
+/// State of one query inside the execution engine.
+#[derive(Debug, Clone)]
+pub struct ExecutionState {
+    kind: WorkloadKind,
+    /// Total processing seconds this query needs at the sustained rate.
+    service_secs: f64,
+    progress: f64,
+    last_update: SimTime,
+    mode: ExecMode,
+    sprint_seconds: f64,
+    ever_sprinted: bool,
+    /// Execution slowdown factor (≥ 1) imposed by the environment —
+    /// the queue manager's per-query polling and HTTP chatter steal
+    /// CPU from the engine, so a long queue drags processing. This
+    /// couples queueing and processing time, the interdependence at
+    /// the heart of the paper's modeling problem.
+    drag: f64,
+}
+
+impl ExecutionState {
+    /// Creates a query execution stalled until `ready` (dispatch
+    /// overhead), then running normally or engaging a sprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_secs` is not positive and finite.
+    pub fn new(
+        kind: WorkloadKind,
+        service_secs: f64,
+        now: SimTime,
+        ready: SimTime,
+        then_sprint: bool,
+    ) -> ExecutionState {
+        assert!(
+            service_secs.is_finite() && service_secs > 0.0,
+            "invalid service time: {service_secs}"
+        );
+        ExecutionState {
+            kind,
+            service_secs,
+            progress: 0.0,
+            last_update: now,
+            mode: ExecMode::Stalled {
+                until: ready,
+                then_sprint,
+            },
+            sprint_seconds: 0.0,
+            ever_sprinted: false,
+            drag: 1.0,
+        }
+    }
+
+    /// Sets the environment slowdown factor. Callers must `advance` to
+    /// the current instant first so past progress is integrated at the
+    /// old drag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drag < 1`.
+    pub fn set_drag(&mut self, drag: f64) {
+        assert!(drag >= 1.0 && drag.is_finite(), "invalid drag: {drag}");
+        self.drag = drag;
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Sets the execution mode. The caller (the server) owns budget
+    /// bookkeeping around sprint transitions.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        if matches!(mode, ExecMode::Sprinting) {
+            self.ever_sprinted = true;
+        }
+        self.mode = mode;
+    }
+
+    /// Work fraction completed.
+    pub fn progress(&self) -> f64 {
+        self.progress
+    }
+
+    /// Whether all work is done.
+    pub fn is_complete(&self) -> bool {
+        self.progress >= 1.0 - self.progress_slack()
+    }
+
+    /// Completion slack in progress units (work fraction equivalent to
+    /// [`COMPLETE_SLACK_SECS`] at the sustained rate).
+    fn progress_slack(&self) -> f64 {
+        (COMPLETE_SLACK_SECS / self.service_secs).min(0.5)
+    }
+
+    /// Wall-clock seconds spent sprinting so far.
+    pub fn sprint_seconds(&self) -> f64 {
+        self.sprint_seconds
+    }
+
+    /// Whether a sprint ever engaged for this query.
+    pub fn ever_sprinted(&self) -> bool {
+        self.ever_sprinted
+    }
+
+    /// Workload kind being executed.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Instantaneous work speed (fraction/sec) in the current mode.
+    fn speed(&self, mech: &dyn Mechanism) -> f64 {
+        let base = 1.0 / (self.service_secs * self.drag);
+        match self.mode {
+            ExecMode::Stalled { .. } => 0.0,
+            ExecMode::Normal => base,
+            ExecMode::Sprinting => {
+                let (phase, _) = Workload::get(self.kind).phase_at(self.progress);
+                base * mech.phase_speedup(self.kind, phase)
+            }
+        }
+    }
+
+    /// Integrates progress up to `now`.
+    ///
+    /// Must not be called past the end of a stall: the server always
+    /// has an event scheduled at the stall boundary and resolves the
+    /// transition there.
+    pub fn advance(&mut self, now: SimTime, mech: &dyn Mechanism) {
+        debug_assert!(now >= self.last_update, "engine time went backwards");
+        if let ExecMode::Stalled { until, .. } = self.mode {
+            debug_assert!(now <= until, "advanced past stall end");
+            self.last_update = now;
+            return;
+        }
+        let mut remaining = now.since(self.last_update).as_secs_f64();
+        self.last_update = now;
+        let workload = Workload::get(self.kind);
+        let sprinting = matches!(self.mode, ExecMode::Sprinting);
+        while remaining > 1e-12 && !self.is_complete() {
+            let speed = self.speed(mech);
+            debug_assert!(speed > 0.0);
+            let phase_end = phase_end_at(workload, self.progress).min(1.0);
+            let work_left = (phase_end - self.progress).max(0.0);
+            let to_boundary = work_left / speed;
+            if to_boundary <= remaining {
+                // Snap exactly onto the boundary — incrementing by
+                // `step * speed` can be absorbed by floating point when
+                // the residue is tiny, which would loop forever.
+                self.progress = phase_end;
+                remaining -= to_boundary;
+                if sprinting {
+                    self.sprint_seconds += to_boundary;
+                }
+            } else {
+                self.progress = (self.progress + remaining * speed).min(1.0);
+                if sprinting {
+                    self.sprint_seconds += remaining;
+                }
+                remaining = 0.0;
+            }
+        }
+    }
+
+    /// Seconds from `last_update` until completion if the current mode
+    /// persists. For a stalled query this includes the stall remainder
+    /// followed by execution in the post-stall mode.
+    pub fn remaining_secs(&self, mech: &dyn Mechanism) -> f64 {
+        let workload = Workload::get(self.kind);
+        let (stall, sprint_after) = match self.mode {
+            ExecMode::Stalled { until, then_sprint } => {
+                (until.since(self.last_update).as_secs_f64(), then_sprint)
+            }
+            ExecMode::Normal => (0.0, false),
+            ExecMode::Sprinting => (0.0, true),
+        };
+        let base = 1.0 / (self.service_secs * self.drag);
+        let mut p = self.progress;
+        let mut time = stall;
+        while p < 1.0 - self.progress_slack() {
+            let speed = if sprint_after {
+                let (phase, _) = workload.phase_at(p);
+                base * mech.phase_speedup(self.kind, phase)
+            } else {
+                base
+            };
+            let phase_end = phase_end_at(workload, p);
+            let work = (phase_end.min(1.0) - p).max(0.0);
+            if work == 0.0 {
+                p = phase_end.min(1.0);
+                continue;
+            }
+            time += work / speed;
+            p = phase_end.min(1.0);
+        }
+        time
+    }
+}
+
+/// Cumulative work fraction at which the phase containing `progress`
+/// ends.
+fn phase_end_at(workload: &Workload, progress: f64) -> f64 {
+    let mut done = 0.0;
+    for p in &workload.phases {
+        done += p.frac;
+        if progress < done {
+            return done;
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mechanisms::{CpuThrottle, Dvfs, Mechanism};
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn normal_exec(kind: WorkloadKind, service: f64) -> ExecutionState {
+        let mut e = ExecutionState::new(kind, service, t(0.0), t(0.0), false);
+        e.set_mode(ExecMode::Normal);
+        e
+    }
+
+    #[test]
+    fn normal_execution_takes_service_time() {
+        let mech = Dvfs::new();
+        let e = normal_exec(WorkloadKind::Jacobi, 100.0);
+        assert!((e.remaining_secs(&mech) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_tracks_progress_linearly_in_normal_mode() {
+        let mech = Dvfs::new();
+        let mut e = normal_exec(WorkloadKind::Jacobi, 100.0);
+        e.advance(t(25.0), &mech);
+        assert!((e.progress() - 0.25).abs() < 1e-9);
+        e.advance(t(100.0), &mech);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn uniform_sprint_divides_time_by_multiplier() {
+        // CPU throttling speeds every phase by exactly 5X.
+        let mech = CpuThrottle::new(0.2);
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        e.set_mode(ExecMode::Sprinting);
+        assert!((e.remaining_secs(&mech) - 20.0).abs() < 1e-6);
+        e.advance(t(20.0), &mech);
+        assert!(e.is_complete());
+        assert!((e.sprint_seconds() - 20.0).abs() < 1e-9);
+        assert!(e.ever_sprinted());
+    }
+
+    #[test]
+    fn full_dvfs_sprint_matches_marginal_speedup() {
+        let mech = Dvfs::new();
+        let mut e = ExecutionState::new(WorkloadKind::Leuk, 144.0, t(0.0), t(0.0), true);
+        e.set_mode(ExecMode::Sprinting);
+        let expect = 144.0 / mech.marginal_speedup(WorkloadKind::Leuk);
+        assert!(
+            (e.remaining_secs(&mech) - expect).abs() < 1e-6,
+            "remaining {} vs {}",
+            e.remaining_secs(&mech),
+            expect
+        );
+        e.advance(t(expect), &mech);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn late_sprint_is_less_effective_than_early() {
+        // Sprinting after 80% completion speeds up only late phases,
+        // which for Leuk are sync-bound.
+        let mech = Dvfs::new();
+        let service = 100.0;
+        let mut late = normal_exec(WorkloadKind::Leuk, service);
+        late.advance(t(80.0), &mech);
+        late.set_mode(ExecMode::Sprinting);
+        let late_total = 80.0 + late.remaining_secs(&mech);
+
+        let mut early = ExecutionState::new(WorkloadKind::Leuk, service, t(0.0), t(0.0), true);
+        early.set_mode(ExecMode::Sprinting);
+        let early_total = early.remaining_secs(&mech);
+
+        assert!(early_total < late_total);
+        // The late sprint's remaining 20% must speed up less than the
+        // workload-wide marginal speedup.
+        let late_tail_speedup = 20.0 / late.remaining_secs(&mech);
+        assert!(late_tail_speedup < mech.marginal_speedup(WorkloadKind::Leuk));
+    }
+
+    #[test]
+    fn stall_pauses_progress() {
+        let mech = Dvfs::new();
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(5.0), false);
+        e.advance(t(3.0), &mech);
+        assert_eq!(e.progress(), 0.0);
+        assert!(matches!(e.mode(), ExecMode::Stalled { .. }));
+        // Remaining time includes the stall tail.
+        assert!((e.remaining_secs(&mech) - (2.0 + 100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_integrates_across_phase_boundaries() {
+        // Sprint from the start; progress through Jacobi's three phases
+        // must accumulate exactly the per-phase speedups.
+        let mech = Dvfs::new();
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        e.set_mode(ExecMode::Sprinting);
+        let total = e.remaining_secs(&mech);
+        // Advance in many small steps; final completion must match the
+        // single-shot integral.
+        let steps = 1000;
+        for i in 1..=steps {
+            e.advance(t(total * i as f64 / steps as f64), &mech);
+        }
+        assert!(e.is_complete());
+        assert!((e.sprint_seconds() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_mode_execution_sums_segments() {
+        // Run Jacobi normally to 50%, then sprint the rest with a
+        // uniform 2X throttle sprint: total = 50 + 25.
+        let mech = CpuThrottle::with_sprint_multiplier(0.5, 2.0);
+        let mut e = normal_exec(WorkloadKind::Jacobi, 100.0);
+        e.advance(t(50.0), &mech);
+        e.set_mode(ExecMode::Sprinting);
+        assert!((e.remaining_secs(&mech) - 25.0).abs() < 1e-6);
+        e.advance(t(75.0), &mech);
+        assert!(e.is_complete());
+        assert!((e.sprint_seconds() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drag_slows_execution_proportionally() {
+        let mech = Dvfs::new();
+        let mut e = normal_exec(WorkloadKind::Jacobi, 100.0);
+        e.set_drag(1.25);
+        assert!((e.remaining_secs(&mech) - 125.0).abs() < 1e-6);
+        e.advance(t(62.5), &mech);
+        assert!((e.progress() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drag_changes_apply_from_now_on() {
+        // Half the work at drag 1, half at drag 2: total 50 + 100.
+        let mech = Dvfs::new();
+        let mut e = normal_exec(WorkloadKind::Jacobi, 100.0);
+        e.advance(t(50.0), &mech);
+        e.set_drag(2.0);
+        assert!((e.remaining_secs(&mech) - 100.0).abs() < 1e-6);
+        e.advance(t(150.0), &mech);
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn drag_also_slows_sprinting() {
+        let mech = CpuThrottle::new(0.2); // Uniform 5X sprint.
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        e.set_mode(ExecMode::Sprinting);
+        e.set_drag(2.0);
+        // 100 s / 5 speedup * 2 drag = 40 s.
+        assert!((e.remaining_secs(&mech) - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drag")]
+    fn rejects_sub_unit_drag() {
+        let mut e = normal_exec(WorkloadKind::Jacobi, 10.0);
+        e.set_drag(0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid service time")]
+    fn rejects_zero_service_time() {
+        let _ = ExecutionState::new(WorkloadKind::Jacobi, 0.0, t(0.0), t(0.0), false);
+    }
+}

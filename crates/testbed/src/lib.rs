@@ -1,0 +1,34 @@
+//! Ground-truth server simulator (the paper's profiling testbed, §2.1).
+//!
+//! This crate plays the role of the physical cluster in the paper: a
+//! query generator feeding a FIFO queue manager that detects timeouts,
+//! triggers sprinting against a shared budget, and dispatches queries to
+//! an execution engine (Fig. 3). Unlike the first-principles `qsim`
+//! simulator, the testbed models the *runtime* effects that make
+//! sprinting hard to predict:
+//!
+//! - per-phase sprint speedups (a sprint that starts late in an
+//!   execution hits different phases than one covering the whole run),
+//! - mechanism toggle overhead,
+//! - queue-manager dispatch overhead that grows with queue length,
+//! - cache/bandwidth interference between kinds in a query mix,
+//! - stochastic service times per workload.
+//!
+//! The gap between this behaviour and `qsim`'s clean model is exactly
+//! what the paper's machine-learned *effective sprint rate* captures.
+//! Model code never reads testbed internals — only the per-query
+//! timestamps a real profiler would log.
+
+pub mod budget;
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod query;
+pub mod server;
+pub mod trace;
+
+pub use budget::Budget;
+pub use metrics::RunResult;
+pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
+pub use query::QueryRecord;
+pub use server::Server;

@@ -1,0 +1,229 @@
+//! Steady-state summaries of a testbed run.
+//!
+//! Profiling (§2.1) captures response time, service time and queueing
+//! delay for each query execution; `RunResult` wraps the per-query
+//! records and exposes the aggregates the modeling pipeline and the
+//! evaluation harness consume.
+
+use crate::query::QueryRecord;
+use serde::{Deserialize, Serialize};
+use simcore::stats::Percentiles;
+use simcore::time::Rate;
+
+/// All records from one run plus the warmup cutoff.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    records: Vec<QueryRecord>,
+    warmup: usize,
+}
+
+impl RunResult {
+    /// Wraps per-query records; the first `warmup` queries (by id) are
+    /// excluded from steady-state statistics.
+    pub fn new(records: Vec<QueryRecord>, warmup: usize) -> RunResult {
+        RunResult { records, warmup }
+    }
+
+    /// All records, including warmup.
+    pub fn records(&self) -> &[QueryRecord] {
+        &self.records
+    }
+
+    /// Steady-state records (warmup excluded).
+    pub fn steady(&self) -> &[QueryRecord] {
+        &self.records[self.warmup.min(self.records.len())..]
+    }
+
+    /// Mean end-to-end response time in seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        mean(self.steady(), |q| q.response_time().as_secs_f64())
+    }
+
+    /// Mean queueing delay in seconds.
+    pub fn mean_queue_delay_secs(&self) -> f64 {
+        mean(self.steady(), |q| q.queue_delay().as_secs_f64())
+    }
+
+    /// Mean processing time in seconds.
+    pub fn mean_processing_secs(&self) -> f64 {
+        mean(self.steady(), |q| q.processing_time().as_secs_f64())
+    }
+
+    /// Response-time quantile (`q` in `[0, 1]`) in seconds.
+    pub fn response_quantile_secs(&self, q: f64) -> f64 {
+        Percentiles::from_samples(
+            self.steady()
+                .iter()
+                .map(|r| r.response_time().as_secs_f64())
+                .collect(),
+        )
+        .quantile(q)
+    }
+
+    /// Fraction of steady-state queries whose response time exceeds
+    /// `secs` (tail mass, §4.4).
+    pub fn tail_fraction(&self, secs: f64) -> f64 {
+        let s = self.steady();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter()
+            .filter(|q| q.response_time().as_secs_f64() > secs)
+            .count() as f64
+            / s.len() as f64
+    }
+
+    /// Fraction of steady-state queries that sprinted.
+    pub fn sprint_fraction(&self) -> f64 {
+        let s = self.steady();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().filter(|q| q.sprinted).count() as f64 / s.len() as f64
+    }
+
+    /// Measured service rate µ from queries that never sprinted
+    /// (inverse mean processing time) — the profiler's µ output.
+    ///
+    /// Returns `None` if no steady-state query ran without sprinting.
+    pub fn measured_service_rate(&self) -> Option<Rate> {
+        let times: Vec<f64> = self
+            .steady()
+            .iter()
+            .filter(|q| !q.sprinted)
+            .map(|q| q.processing_time().as_secs_f64())
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        let mean_secs = times.iter().sum::<f64>() / times.len() as f64;
+        Some(Rate::per_hour(3_600.0 / mean_secs))
+    }
+
+    /// Measured processing rate of queries that sprinted from dispatch
+    /// (timed out while queued) — the profiler's marginal-rate µm
+    /// output when the run uses [`SprintPolicy::always`].
+    ///
+    /// [`SprintPolicy::always`]: crate::policy::SprintPolicy::always
+    pub fn measured_sprinted_rate(&self) -> Option<Rate> {
+        let times: Vec<f64> = self
+            .steady()
+            .iter()
+            .filter(|q| q.sprinted)
+            .map(|q| q.processing_time().as_secs_f64())
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        let mean_secs = times.iter().sum::<f64>() / times.len() as f64;
+        Some(Rate::per_hour(3_600.0 / mean_secs))
+    }
+
+    /// Steady-state response times in seconds (for distribution fits).
+    pub fn response_times_secs(&self) -> Vec<f64> {
+        self.steady()
+            .iter()
+            .map(|q| q.response_time().as_secs_f64())
+            .collect()
+    }
+
+    /// Steady-state processing times in seconds.
+    pub fn processing_times_secs(&self) -> Vec<f64> {
+        self.steady()
+            .iter()
+            .map(|q| q.processing_time().as_secs_f64())
+            .collect()
+    }
+}
+
+fn mean(records: &[QueryRecord], f: impl Fn(&QueryRecord) -> f64) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(f).sum::<f64>() / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimTime;
+    use workloads::WorkloadKind;
+
+    fn rec(id: u64, arrival: u64, dispatch: u64, depart: u64, sprinted: bool) -> QueryRecord {
+        QueryRecord {
+            id,
+            kind: WorkloadKind::Jacobi,
+            arrival: SimTime::from_secs(arrival),
+            dispatch: SimTime::from_secs(dispatch),
+            depart: SimTime::from_secs(depart),
+            timed_out: sprinted,
+            sprinted,
+            sprint_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn warmup_excluded_from_means() {
+        let r = RunResult::new(
+            vec![
+                rec(0, 0, 0, 1000, false), // Warmup outlier.
+                rec(1, 0, 0, 100, false),
+                rec(2, 0, 0, 200, false),
+            ],
+            1,
+        );
+        assert_eq!(r.steady().len(), 2);
+        assert_eq!(r.mean_response_secs(), 150.0);
+    }
+
+    #[test]
+    fn service_rate_uses_non_sprinted_only() {
+        let r = RunResult::new(
+            vec![
+                rec(0, 0, 10, 110, false), // 100 s processing.
+                rec(1, 0, 10, 60, true),   // 50 s, sprinted.
+            ],
+            0,
+        );
+        let mu = r.measured_service_rate().unwrap();
+        assert!((mu.qph() - 36.0).abs() < 1e-9);
+        let mu_m = r.measured_sprinted_rate().unwrap();
+        assert!((mu_m.qph() - 72.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_fraction_counts_exceedances() {
+        let r = RunResult::new(
+            vec![
+                rec(0, 0, 0, 100, false),
+                rec(1, 0, 0, 300, false),
+                rec(2, 0, 0, 400, false),
+                rec(3, 0, 0, 50, false),
+            ],
+            0,
+        );
+        assert_eq!(r.tail_fraction(250.0), 0.5);
+        assert_eq!(r.tail_fraction(1000.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_and_sprint_fraction() {
+        let r = RunResult::new(
+            vec![
+                rec(0, 0, 0, 100, true),
+                rec(1, 0, 0, 200, false),
+                rec(2, 0, 0, 300, false),
+            ],
+            0,
+        );
+        assert_eq!(r.response_quantile_secs(0.5), 200.0);
+        assert!((r.sprint_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sprinted_set_is_none() {
+        let r = RunResult::new(vec![rec(0, 0, 0, 10, false)], 0);
+        assert!(r.measured_sprinted_rate().is_none());
+        assert!(r.measured_service_rate().is_some());
+    }
+}

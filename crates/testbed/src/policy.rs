@@ -1,0 +1,344 @@
+//! Sprinting policy and server run configuration.
+//!
+//! A sprinting policy sets (1) the timeout that triggers sprinting for
+//! a query execution, (2) the sprinting budget, and (3) the budget
+//! refill time (§1–2). The sprint *rate* itself comes from the
+//! mechanism (and, for CPU throttling, its configured multiplier).
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::DistKind;
+use simcore::time::{Rate, SimDuration};
+use workloads::QueryMix;
+
+/// How the sprinting budget is specified.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BudgetSpec {
+    /// Absolute budget capacity in sprint-seconds.
+    Seconds(f64),
+    /// Budget as a fraction of the refill time — the paper's cluster
+    /// sampling expresses budgets as "percentage of maximum query
+    /// throughput during the refill time", which reduces to
+    /// `fraction × refill_time` sprint-seconds (AWS's 720 s/hour is
+    /// 20% in this encoding).
+    FractionOfRefill(f64),
+    /// Effectively unlimited budget (used when profiling marginal
+    /// sprint rates).
+    Unlimited,
+}
+
+impl BudgetSpec {
+    /// Resolves to a capacity in sprint-seconds given the refill time.
+    pub fn capacity_seconds(self, refill: SimDuration) -> f64 {
+        match self {
+            BudgetSpec::Seconds(s) => s,
+            BudgetSpec::FractionOfRefill(f) => f * refill.as_secs_f64(),
+            BudgetSpec::Unlimited => f64::INFINITY,
+        }
+    }
+}
+
+/// A complete sprinting policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SprintPolicy {
+    /// Time after a query's *arrival* at which sprinting is triggered
+    /// for it (timer interrupt, §2.1). A zero timeout sprints every
+    /// query from the start; use [`SprintPolicy::never`] to disable.
+    pub timeout: SimDuration,
+    /// Budget capacity specification.
+    pub budget: BudgetSpec,
+    /// Time for an empty budget to refill completely while no query is
+    /// sprinting.
+    pub refill: SimDuration,
+    /// Master enable; when false the server never sprints.
+    pub sprint_enabled: bool,
+}
+
+impl SprintPolicy {
+    /// Policy that sprints nothing (profiling the sustained rate).
+    pub fn never() -> SprintPolicy {
+        SprintPolicy {
+            timeout: SimDuration::MAX,
+            budget: BudgetSpec::Seconds(0.0),
+            refill: SimDuration::from_secs(1),
+            sprint_enabled: false,
+        }
+    }
+
+    /// Policy that sprints every query fully (profiling the marginal
+    /// sprint rate: timeout zero, unlimited budget).
+    pub fn always() -> SprintPolicy {
+        SprintPolicy {
+            timeout: SimDuration::ZERO,
+            budget: BudgetSpec::Unlimited,
+            refill: SimDuration::from_secs(1),
+            sprint_enabled: true,
+        }
+    }
+
+    /// Standard policy with the given timeout, budget fraction and
+    /// refill time.
+    pub fn new(timeout: SimDuration, budget: BudgetSpec, refill: SimDuration) -> SprintPolicy {
+        SprintPolicy {
+            timeout,
+            budget,
+            refill,
+            sprint_enabled: true,
+        }
+    }
+
+    /// Budget capacity in sprint-seconds.
+    pub fn budget_capacity(&self) -> f64 {
+        if self.sprint_enabled {
+            self.budget.capacity_seconds(self.refill)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One segment of a time-varying arrival pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSegment {
+    /// Segment length in seconds.
+    pub duration_secs: f64,
+    /// Multiplier applied to the base arrival rate during the segment.
+    pub rate_multiplier: f64,
+}
+
+/// Arrival process specification, optionally time-varying.
+///
+/// A modulation is a repeating sequence of [`RateSegment`]s — e.g. a
+/// diurnal pattern or "last week's spike" (§1's what-if questions).
+/// While a segment is active, inter-arrival gaps are drawn at
+/// `base rate × multiplier`; the segment active when a gap is
+/// *scheduled* determines its rate (a standard piecewise
+/// approximation, exact when gaps are short relative to segments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Mean base arrival rate λ.
+    pub rate: Rate,
+    /// Inter-arrival distribution shape.
+    pub kind: DistKind,
+    /// Optional repeating rate modulation; `None` is stationary.
+    pub modulation: Option<Vec<RateSegment>>,
+}
+
+impl ArrivalSpec {
+    /// Poisson arrivals at the given rate.
+    pub fn poisson(rate: Rate) -> ArrivalSpec {
+        ArrivalSpec {
+            rate,
+            kind: DistKind::Exponential,
+            modulation: None,
+        }
+    }
+
+    /// Heavy-tailed Pareto arrivals (§3.4 uses α = 0.5).
+    pub fn pareto(rate: Rate, alpha: f64) -> ArrivalSpec {
+        ArrivalSpec {
+            rate,
+            kind: DistKind::Pareto { alpha },
+            modulation: None,
+        }
+    }
+
+    /// Adds a repeating rate modulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or contains non-positive
+    /// durations/multipliers.
+    pub fn with_modulation(mut self, segments: Vec<RateSegment>) -> ArrivalSpec {
+        assert!(!segments.is_empty(), "modulation needs segments");
+        for s in &segments {
+            assert!(
+                s.duration_secs > 0.0 && s.duration_secs.is_finite(),
+                "invalid segment duration"
+            );
+            assert!(
+                s.rate_multiplier > 0.0 && s.rate_multiplier.is_finite(),
+                "invalid rate multiplier"
+            );
+        }
+        self.modulation = Some(segments);
+        self
+    }
+
+    /// Poisson arrivals with a load spike: `base` rate, multiplied by
+    /// `spike_multiplier` for `spike_secs` out of every `period_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < spike_secs < period_secs`.
+    pub fn poisson_with_spike(
+        base: Rate,
+        spike_multiplier: f64,
+        spike_secs: f64,
+        period_secs: f64,
+    ) -> ArrivalSpec {
+        assert!(
+            spike_secs > 0.0 && spike_secs < period_secs,
+            "spike must fit inside the period"
+        );
+        ArrivalSpec::poisson(base).with_modulation(vec![
+            RateSegment {
+                duration_secs: period_secs - spike_secs,
+                rate_multiplier: 1.0,
+            },
+            RateSegment {
+                duration_secs: spike_secs,
+                rate_multiplier: spike_multiplier,
+            },
+        ])
+    }
+
+    /// The rate multiplier active at simulated second `at_secs`.
+    pub fn multiplier_at(&self, at_secs: f64) -> f64 {
+        let Some(segments) = &self.modulation else {
+            return 1.0;
+        };
+        let period: f64 = segments.iter().map(|s| s.duration_secs).sum();
+        let mut t = at_secs % period;
+        for s in segments {
+            if t < s.duration_secs {
+                return s.rate_multiplier;
+            }
+            t -= s.duration_secs;
+        }
+        segments.last().expect("non-empty").rate_multiplier
+    }
+}
+
+/// Complete configuration for one testbed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Query mix replayed by the generator.
+    pub mix: QueryMix,
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Sprinting policy under test.
+    pub policy: SprintPolicy,
+    /// Concurrent execution slots in the engine (the paper's main
+    /// setup is 1).
+    pub slots: usize,
+    /// Total queries to replay.
+    pub num_queries: usize,
+    /// Leading queries excluded from steady-state statistics.
+    pub warmup: usize,
+    /// RNG seed; everything about the run derives from it.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// A single-workload configuration with Poisson arrivals at
+    /// `utilization × sustained service rate`, the common §3 setup.
+    pub fn single(
+        kind: workloads::WorkloadKind,
+        sustained: Rate,
+        utilization: f64,
+        policy: SprintPolicy,
+        seed: u64,
+    ) -> ServerConfig {
+        ServerConfig {
+            mix: QueryMix::single(kind),
+            arrivals: ArrivalSpec::poisson(sustained.scale(utilization)),
+            policy,
+            slots: 1,
+            num_queries: 400,
+            warmup: 40,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_fraction_resolves_against_refill() {
+        let b = BudgetSpec::FractionOfRefill(0.2);
+        assert_eq!(b.capacity_seconds(SimDuration::from_secs(3600)), 720.0);
+    }
+
+    #[test]
+    fn budget_seconds_ignores_refill() {
+        let b = BudgetSpec::Seconds(42.0);
+        assert_eq!(b.capacity_seconds(SimDuration::from_secs(999)), 42.0);
+    }
+
+    #[test]
+    fn unlimited_budget_is_infinite() {
+        assert!(BudgetSpec::Unlimited
+            .capacity_seconds(SimDuration::from_secs(1))
+            .is_infinite());
+    }
+
+    #[test]
+    fn never_policy_has_zero_capacity() {
+        assert_eq!(SprintPolicy::never().budget_capacity(), 0.0);
+        assert!(!SprintPolicy::never().sprint_enabled);
+    }
+
+    #[test]
+    fn always_policy_sprints_from_arrival() {
+        let p = SprintPolicy::always();
+        assert_eq!(p.timeout, SimDuration::ZERO);
+        assert!(p.budget_capacity().is_infinite());
+    }
+
+    #[test]
+    fn modulation_cycles_through_segments() {
+        let spec = ArrivalSpec::poisson(Rate::per_hour(30.0)).with_modulation(vec![
+            RateSegment {
+                duration_secs: 100.0,
+                rate_multiplier: 1.0,
+            },
+            RateSegment {
+                duration_secs: 50.0,
+                rate_multiplier: 4.0,
+            },
+        ]);
+        assert_eq!(spec.multiplier_at(0.0), 1.0);
+        assert_eq!(spec.multiplier_at(99.0), 1.0);
+        assert_eq!(spec.multiplier_at(100.0), 4.0);
+        assert_eq!(spec.multiplier_at(149.0), 4.0);
+        // Wraps around the 150-second period.
+        assert_eq!(spec.multiplier_at(150.0), 1.0);
+        assert_eq!(spec.multiplier_at(400.0), 4.0);
+    }
+
+    #[test]
+    fn stationary_spec_is_identity() {
+        let spec = ArrivalSpec::poisson(Rate::per_hour(10.0));
+        assert_eq!(spec.multiplier_at(0.0), 1.0);
+        assert_eq!(spec.multiplier_at(1e9), 1.0);
+    }
+
+    #[test]
+    fn spike_helper_builds_two_segments() {
+        let spec = ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 600.0, 3_600.0);
+        assert_eq!(spec.multiplier_at(0.0), 1.0);
+        assert_eq!(spec.multiplier_at(3_100.0), 3.0);
+        assert_eq!(spec.multiplier_at(3_700.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike must fit")]
+    fn spike_longer_than_period_rejected() {
+        let _ = ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 4_000.0, 3_600.0);
+    }
+
+    #[test]
+    fn single_config_sets_arrival_rate() {
+        let cfg = ServerConfig::single(
+            workloads::WorkloadKind::Jacobi,
+            Rate::per_hour(51.0),
+            0.5,
+            SprintPolicy::never(),
+            7,
+        );
+        assert!((cfg.arrivals.rate.qph() - 25.5).abs() < 1e-9);
+        assert_eq!(cfg.slots, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-query state and the timestamp records profiling consumes.
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{SimDuration, SimTime};
+use workloads::WorkloadKind;
+
+/// Everything the queue manager logs about one completed query — the
+/// same observables the paper's profiler records via timestamps (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Sequential query id in arrival order.
+    pub id: u64,
+    /// Workload kind executed.
+    pub kind: WorkloadKind,
+    /// Arrival at the queue manager.
+    pub arrival: SimTime,
+    /// Dispatch to the execution engine.
+    pub dispatch: SimTime,
+    /// Completion.
+    pub depart: SimTime,
+    /// Whether the timeout interrupt fired for this query.
+    pub timed_out: bool,
+    /// Whether the query actually sprinted (timeout fired *and* budget
+    /// was available when the sprint engaged).
+    pub sprinted: bool,
+    /// Wall-clock seconds this query spent sprinting.
+    pub sprint_seconds: f64,
+}
+
+impl QueryRecord {
+    /// End-to-end response time (queueing + processing).
+    pub fn response_time(&self) -> SimDuration {
+        self.depart.since(self.arrival)
+    }
+
+    /// Time spent waiting in the queue manager.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.dispatch.since(self.arrival)
+    }
+
+    /// Time spent in the execution engine.
+    pub fn processing_time(&self) -> SimDuration {
+        self.depart.since(self.dispatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_times_add_up() {
+        let r = QueryRecord {
+            id: 0,
+            kind: WorkloadKind::Jacobi,
+            arrival: SimTime::from_secs(10),
+            dispatch: SimTime::from_secs(25),
+            depart: SimTime::from_secs(100),
+            timed_out: true,
+            sprinted: false,
+            sprint_seconds: 0.0,
+        };
+        assert_eq!(r.queue_delay(), SimDuration::from_secs(15));
+        assert_eq!(r.processing_time(), SimDuration::from_secs(75));
+        assert_eq!(r.response_time(), SimDuration::from_secs(90));
+        assert_eq!(
+            r.response_time(),
+            r.queue_delay() + r.processing_time()
+        );
+    }
+}

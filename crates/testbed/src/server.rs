@@ -1,0 +1,703 @@
+//! The queue manager + execution engine event loop (Fig. 3).
+//!
+//! Queries arrive at the queue manager, which timestamps them, holds
+//! them FIFO, schedules a timeout interrupt per query, dispatches to a
+//! free execution-engine slot, and accounts sprint time against the
+//! shared budget. All transitions happen at discrete events, so the
+//! simulation is exact and deterministic for a given seed.
+
+use crate::budget::Budget;
+use crate::engine::{ExecMode, ExecutionState};
+use crate::metrics::RunResult;
+use crate::policy::ServerConfig;
+use crate::query::QueryRecord;
+use mechanisms::Mechanism;
+use simcore::dist::Dist;
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use workloads::{Workload, WorkloadKind};
+
+/// Fixed queue-manager dispatch overhead (HTTP hand-off, bookkeeping).
+pub const DISPATCH_BASE_SECS: f64 = 0.05;
+
+/// Additional dispatch overhead per query currently waiting — the
+/// queue manager slows down as its queue grows. One of the
+/// load-dependent runtime effects the first-principles simulator does
+/// not model.
+pub const DISPATCH_PER_QUEUED_SECS: f64 = 0.01;
+
+/// Cost of servicing one timeout interrupt: the queue manager wakes,
+/// checks the budget and round-trips to the execution engine over
+/// HTTP. The work accumulates as "manager debt" paid at the next
+/// dispatch — at high utilization nearly every query's timer fires, so
+/// this is a load-dependent drag the first-principles simulator does
+/// not model (the paper's runtime factor "queue length when sprinting
+/// begins").
+pub const INTERRUPT_COST_SECS: f64 = 1.0;
+
+/// Fraction of the mechanism toggle paid when a sprint engages at
+/// dispatch (the transition overlaps the dispatch hand-off); mid-run
+/// sprints pay the full toggle.
+pub const DISPATCH_SPRINT_TOGGLE_FRAC: f64 = 0.25;
+
+/// Execution slowdown per queued query: each waiting query adds
+/// manager polling, timer bookkeeping and HTTP chatter that steal CPU
+/// from the execution engine. Long queues therefore drag processing —
+/// the queueing/processing interdependence (§1) that the
+/// first-principles simulator cannot see and the effective sprint rate
+/// must absorb.
+pub const QUEUE_DRAG_PER_QUERY: f64 = 0.006;
+
+/// Queue length beyond which the drag saturates: the manager's own
+/// time slice bounds how much CPU its chatter can steal, so the
+/// slowdown cannot grow without limit (unbounded drag would also push
+/// a 95%-utilized server into runaway instability that no finite
+/// replay could characterize).
+pub const QUEUE_DRAG_SATURATION: usize = 12;
+
+/// Events driving the server.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A new query reaches the queue manager.
+    Arrival,
+    /// The timeout interrupt for query `id` fires.
+    Timeout(u64),
+    /// Something about slot `slot` needs resolving (stall end, budget
+    /// exhaustion, or completion); stale generations are ignored.
+    Slot { slot: usize, gen: u64 },
+}
+
+/// Where a query currently is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QueryState {
+    Queued,
+    Running(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct QueryInfo {
+    kind: WorkloadKind,
+    arrival: SimTime,
+    service_secs: f64,
+    timed_out: bool,
+    state: QueryState,
+    dispatch: SimTime,
+}
+
+#[derive(Debug)]
+struct Slot {
+    query: u64,
+    engine: ExecutionState,
+    gen: u64,
+}
+
+/// The testbed server simulator.
+pub struct Server<'m> {
+    cfg: ServerConfig,
+    mech: &'m dyn Mechanism,
+    events: EventQueue<Ev>,
+    queue: VecDeque<u64>,
+    slots: Vec<Option<Slot>>,
+    budget: Budget,
+    queries: Vec<QueryInfo>,
+    records: Vec<QueryRecord>,
+    arrivals_left: usize,
+    next_arrival_gap: Dist,
+    arrival_rng: SimRng,
+    service_rng: SimRng,
+    mix_rng: SimRng,
+    next_gen: u64,
+    /// Accumulated interrupt-servicing time the queue manager owes;
+    /// paid as extra overhead at the next dispatch.
+    manager_debt_secs: f64,
+}
+
+impl<'m> Server<'m> {
+    /// Builds a server for the given configuration and mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero slots or zero queries.
+    pub fn new(cfg: ServerConfig, mech: &'m dyn Mechanism) -> Server<'m> {
+        assert!(cfg.slots > 0, "need at least one execution slot");
+        assert!(cfg.num_queries > 0, "need at least one query");
+        let mut root = SimRng::new(cfg.seed);
+        let arrival_rng = root.split(1);
+        let service_rng = root.split(2);
+        let mix_rng = root.split(3);
+        let budget = Budget::new(cfg.policy.budget_capacity(), cfg.policy.refill.as_secs_f64());
+        let next_arrival_gap = Dist::Parametric {
+            kind: cfg.arrivals.kind,
+            mean: cfg.arrivals.rate.mean_interval(),
+        };
+        let slots = (0..cfg.slots).map(|_| None).collect();
+        Server {
+            arrivals_left: cfg.num_queries,
+            cfg,
+            mech,
+            events: EventQueue::new(),
+            queue: VecDeque::new(),
+            slots,
+            budget,
+            queries: Vec::new(),
+            records: Vec::new(),
+            next_arrival_gap,
+            arrival_rng,
+            service_rng,
+            mix_rng,
+            next_gen: 0,
+            manager_debt_secs: 0.0,
+        }
+    }
+
+    /// Runs the configured number of queries to completion and returns
+    /// the per-query records.
+    pub fn run(mut self) -> RunResult {
+        // Seed the first arrival.
+        let gap = self.sample_arrival_gap(SimTime::ZERO);
+        self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
+
+        let mut iterations: u64 = 0;
+        while let Some((now, ev)) = self.events.pop() {
+            iterations += 1;
+            // Safety valve: a healthy run needs a small constant number
+            // of events per query; hitting this bound means a
+            // same-instant event livelock.
+            assert!(
+                iterations < 10_000 * (self.cfg.num_queries as u64 + 1),
+                "event storm at {now}: ev {ev:?}, budget level {:.3e}, sprinting {}, \
+                 records {}/{}",
+                self.budget.level(),
+                self.budget.sprinting(),
+                self.records.len(),
+                self.cfg.num_queries
+            );
+            match ev {
+                Ev::Arrival => self.on_arrival(now),
+                Ev::Timeout(id) => self.on_timeout(now, id),
+                Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen),
+            }
+            if self.records.len() == self.cfg.num_queries {
+                break;
+            }
+        }
+        assert_eq!(
+            self.records.len(),
+            self.cfg.num_queries,
+            "simulation ended with unfinished queries"
+        );
+        self.records.sort_by_key(|r| r.id);
+        RunResult::new(self.records, self.cfg.warmup)
+    }
+
+    fn on_arrival(&mut self, now: SimTime) {
+        let id = self.queries.len() as u64;
+        let kind = self.cfg.mix.sample_kind(&mut self.mix_rng);
+        let workload = Workload::get(kind);
+        let mean = self
+            .mech
+            .sustained_rate(kind)
+            .mean_interval()
+            .mul_f64(self.cfg.mix.interference_inflation(kind));
+        let service_secs = workload
+            .service_dist(mean)
+            .sample(&mut self.service_rng)
+            .as_secs_f64()
+            .max(1e-6);
+        self.queries.push(QueryInfo {
+            kind,
+            arrival: now,
+            service_secs,
+            timed_out: false,
+            state: QueryState::Queued,
+            dispatch: SimTime::ZERO,
+        });
+
+        if self.cfg.policy.sprint_enabled && self.cfg.policy.timeout < SimDuration::MAX {
+            let at = now.saturating_add(self.cfg.policy.timeout);
+            if at < SimTime::MAX {
+                self.events.schedule(at, Ev::Timeout(id));
+            }
+        }
+
+        if let Some(slot) = self.free_slot() {
+            self.dispatch(now, id, slot);
+        } else {
+            self.queue.push_back(id);
+            self.update_drag(now);
+        }
+
+        self.arrivals_left -= 1;
+        if self.arrivals_left > 0 {
+            let gap = self.sample_arrival_gap(now);
+            self.events.schedule(now + gap, Ev::Arrival);
+        }
+    }
+
+    /// Samples the next inter-arrival gap, honouring any time-varying
+    /// rate modulation: the segment active *now* sets the rate.
+    fn sample_arrival_gap(&mut self, now: SimTime) -> SimDuration {
+        let gap = self.next_arrival_gap.sample(&mut self.arrival_rng);
+        let multiplier = self.cfg.arrivals.multiplier_at(now.as_secs_f64());
+        if (multiplier - 1.0).abs() < 1e-12 {
+            gap
+        } else {
+            gap.mul_f64(1.0 / multiplier)
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, id: u64) {
+        let state = self.queries[id as usize].state;
+        // Every live interrupt costs the queue manager service time,
+        // paid at the next dispatch.
+        if state != QueryState::Done {
+            self.manager_debt_secs += INTERRUPT_COST_SECS;
+        }
+        match state {
+            QueryState::Done => {} // Completed before the timer fired.
+            QueryState::Queued => {
+                // Sprint will be initiated when the query is dispatched.
+                self.queries[id as usize].timed_out = true;
+            }
+            QueryState::Running(slot) => {
+                self.queries[id as usize].timed_out = true;
+                self.budget.update(now);
+                let can_sprint = self.budget.available();
+                let toggle = self.mech.toggle_overhead();
+                let slot_ref = self.slots[slot].as_mut().expect("running slot occupied");
+                match slot_ref.engine.mode() {
+                    // §2.1: "if the callback executes after the query is
+                    // dispatched, the queue manager initiates sprinting
+                    // right away — provided the budget is not empty."
+                    ExecMode::Normal if can_sprint => {
+                        slot_ref.engine.advance(now, self.mech);
+                        slot_ref.engine.set_mode(ExecMode::Stalled {
+                            until: now + toggle,
+                            then_sprint: true,
+                        });
+                        self.reschedule_slot(now, slot);
+                    }
+                    // Still inside the dispatch stall: upgrade it to
+                    // engage a sprint when it ends (the toggle may
+                    // lengthen the stall).
+                    ExecMode::Stalled {
+                        until,
+                        then_sprint: false,
+                    } if can_sprint => {
+                        let until = until.max(now + toggle);
+                        slot_ref.engine.set_mode(ExecMode::Stalled {
+                            until,
+                            then_sprint: true,
+                        });
+                        self.reschedule_slot(now, slot);
+                    }
+                    // Already sprinting/engaging, or the budget is dry:
+                    // the interrupt is a no-op.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn on_slot_event(&mut self, now: SimTime, slot: usize, gen: u64) {
+        let Some(s) = self.slots[slot].as_ref() else {
+            return;
+        };
+        if s.gen != gen {
+            return; // Stale event.
+        }
+        self.budget.update(now);
+        let mode = s.engine.mode();
+        match mode {
+            ExecMode::Stalled { until, then_sprint } if now >= until => {
+                let s = self.slots[slot].as_mut().expect("slot occupied");
+                s.engine.advance(now, self.mech);
+                if then_sprint && self.budget.available() {
+                    s.engine.set_mode(ExecMode::Sprinting);
+                    self.budget.start_sprint();
+                    self.reschedule_all_sprinting(now);
+                } else {
+                    s.engine.set_mode(ExecMode::Normal);
+                    self.reschedule_slot(now, slot);
+                }
+            }
+            ExecMode::Sprinting | ExecMode::Normal => {
+                let s = self.slots[slot].as_mut().expect("slot occupied");
+                s.engine.advance(now, self.mech);
+                if s.engine.is_complete() {
+                    self.complete(now, slot);
+                } else if matches!(mode, ExecMode::Sprinting) && !self.budget.available() {
+                    // Budget ran dry mid-sprint: fall back to sustained.
+                    let s = self.slots[slot].as_mut().expect("slot occupied");
+                    s.engine.set_mode(ExecMode::Normal);
+                    self.budget.end_sprint();
+                    self.reschedule_all_sprinting(now);
+                    self.reschedule_slot(now, slot);
+                } else {
+                    // Spurious wake-up; recompute.
+                    self.reschedule_slot(now, slot);
+                }
+            }
+            ExecMode::Stalled { .. } => {
+                // Stall not over yet (event raced a reschedule); the
+                // newer event will resolve it.
+            }
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, slot: usize) {
+        let s = self.slots[slot].take().expect("completing empty slot");
+        if matches!(s.engine.mode(), ExecMode::Sprinting) {
+            self.budget.end_sprint();
+            self.reschedule_all_sprinting(now);
+        }
+        let info = &mut self.queries[s.query as usize];
+        info.state = QueryState::Done;
+        self.records.push(QueryRecord {
+            id: s.query,
+            kind: info.kind,
+            arrival: info.arrival,
+            dispatch: info.dispatch,
+            depart: now,
+            timed_out: info.timed_out,
+            sprinted: s.engine.ever_sprinted(),
+            sprint_seconds: s.engine.sprint_seconds(),
+        });
+        if let Some(next) = self.queue.pop_front() {
+            self.dispatch(now, next, slot);
+            self.update_drag(now);
+        }
+    }
+
+    /// Re-applies the queue-length drag to every running execution
+    /// after the queue changed.
+    fn update_drag(&mut self, now: SimTime) {
+        let effective_queue = self.queue.len().min(QUEUE_DRAG_SATURATION);
+        let drag = 1.0 + QUEUE_DRAG_PER_QUERY * effective_queue as f64;
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_some() {
+                let s = self.slots[i].as_mut().expect("slot occupied");
+                s.engine.advance(now, self.mech);
+                s.engine.set_drag(drag);
+                self.reschedule_slot(now, i);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+        let overhead = DISPATCH_BASE_SECS
+            + DISPATCH_PER_QUEUED_SECS * self.queue.len() as f64
+            + std::mem::take(&mut self.manager_debt_secs);
+        let info = &mut self.queries[id as usize];
+        info.state = QueryState::Running(slot);
+        info.dispatch = now;
+        // A timeout that fired while queued initiates sprinting at
+        // dispatch (§2.1); the toggle partially overlaps the dispatch
+        // hand-off.
+        let sprint_now = info.timed_out && self.cfg.policy.sprint_enabled;
+        let mut ready = now + SimDuration::from_secs_f64(overhead);
+        if sprint_now {
+            ready += self.mech.toggle_overhead().mul_f64(DISPATCH_SPRINT_TOGGLE_FRAC);
+        }
+        let engine = ExecutionState::new(info.kind, info.service_secs, now, ready, sprint_now);
+        self.slots[slot] = Some(Slot {
+            query: id,
+            engine,
+            gen: 0,
+        });
+        self.reschedule_slot(now, slot);
+    }
+
+    fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    /// Schedules the next event for `slot`: stall end, completion, or
+    /// budget exhaustion, whichever comes first.
+    fn reschedule_slot(&mut self, now: SimTime, slot: usize) {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        let s = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        s.gen = gen;
+        let at = match s.engine.mode() {
+            ExecMode::Stalled { until, .. } => until,
+            ExecMode::Normal => {
+                now + SimDuration::from_secs_f64_ceil(s.engine.remaining_secs(self.mech))
+            }
+            ExecMode::Sprinting => {
+                let complete = s.engine.remaining_secs(self.mech);
+                let horizon = match self.budget.seconds_to_exhaustion() {
+                    Some(exhaust) => complete.min(exhaust),
+                    None => complete,
+                };
+                now + SimDuration::from_secs_f64_ceil(horizon)
+            }
+        };
+        self.events.schedule(at.max(now), Ev::Slot { slot, gen });
+    }
+
+    /// Refreshes exhaustion events for every sprinting slot after the
+    /// shared drain rate changed.
+    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+        let sprinting: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|s| matches!(s.engine.mode(), ExecMode::Sprinting))
+                    .map(|_| i)
+            })
+            .collect();
+        for i in sprinting {
+            let s = self.slots[i].as_mut().expect("slot occupied");
+            s.engine.advance(now, self.mech);
+            self.reschedule_slot(now, i);
+        }
+    }
+}
+
+/// Convenience: run one configuration to completion.
+pub fn run(cfg: ServerConfig, mech: &dyn Mechanism) -> RunResult {
+    Server::new(cfg, mech).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
+    use mechanisms::{CpuThrottle, Dvfs};
+    use simcore::time::Rate;
+    use workloads::QueryMix;
+
+    fn base_cfg(policy: SprintPolicy, util: f64, n: usize, seed: u64) -> ServerConfig {
+        ServerConfig {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            arrivals: ArrivalSpec::poisson(Rate::per_hour(51.0 * util)),
+            policy,
+            slots: 1,
+            num_queries: n,
+            warmup: n / 10,
+            seed,
+        }
+    }
+
+    #[test]
+    fn no_sprint_run_matches_service_rate() {
+        let mech = Dvfs::new();
+        let r = run(base_cfg(SprintPolicy::never(), 0.3, 300, 11), &mech);
+        // Mean processing time should be near 1/µ = 70.6 s (plus small
+        // dispatch overhead).
+        let proc = r.mean_processing_secs();
+        assert!((proc - 70.6).abs() < 5.0, "processing {proc:.1}s");
+        assert_eq!(r.records().len(), 300);
+        assert!(r.records().iter().all(|q| !q.sprinted));
+    }
+
+    #[test]
+    fn always_sprint_approaches_marginal_rate() {
+        let mech = Dvfs::new();
+        let r = run(base_cfg(SprintPolicy::always(), 0.3, 300, 12), &mech);
+        let speedup = mech.marginal_speedup(WorkloadKind::Jacobi);
+        let expect = 70.6 / speedup;
+        let proc = r.mean_processing_secs();
+        assert!(
+            (proc - expect).abs() < 5.0,
+            "processing {proc:.1}s vs {expect:.1}s"
+        );
+        assert!(r.records().iter().all(|q| q.sprinted));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mech = Dvfs::new();
+        let p = SprintPolicy::new(
+            SimDuration::from_secs(60),
+            BudgetSpec::FractionOfRefill(0.2),
+            SimDuration::from_secs(200),
+        );
+        let a = run(base_cfg(p, 0.7, 200, 99), &mech);
+        let b = run(base_cfg(p, 0.7, 200, 99), &mech);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mech = Dvfs::new();
+        let a = run(base_cfg(SprintPolicy::never(), 0.7, 100, 1), &mech);
+        let b = run(base_cfg(SprintPolicy::never(), 0.7, 100, 2), &mech);
+        assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mech = Dvfs::new();
+        let r = run(base_cfg(SprintPolicy::never(), 0.9, 200, 5), &mech);
+        let mut dispatches: Vec<(SimTime, SimTime)> = r
+            .records()
+            .iter()
+            .map(|q| (q.arrival, q.dispatch))
+            .collect();
+        dispatches.sort_by_key(|&(a, _)| a);
+        for w in dispatches.windows(2) {
+            assert!(w[0].1 <= w[1].1, "dispatch order violates FIFO");
+        }
+    }
+
+    #[test]
+    fn tight_budget_limits_sprinting() {
+        let mech = CpuThrottle::new(0.2);
+        // Budget for ~1 fully-sprinted query, slow refill.
+        let policy = SprintPolicy::new(
+            SimDuration::ZERO,
+            BudgetSpec::Seconds(60.0),
+            SimDuration::from_secs(100_000),
+        );
+        let mut cfg = base_cfg(policy, 0.8, 150, 21);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(14.8 * 0.8));
+        let r = run(cfg, &mech);
+        // Count *meaningful* sprints: after the 60-second budget drains,
+        // later queries can only grab the trickle the slow refill
+        // provides, so few queries get substantial sprint time.
+        let substantial = r
+            .records()
+            .iter()
+            .filter(|q| q.sprint_seconds > 10.0)
+            .count();
+        assert!(substantial > 0, "at least one query should sprint");
+        assert!(
+            substantial < 20,
+            "budget should cap sprints, got {substantial} of 150"
+        );
+        let total_sprint: f64 = r.records().iter().map(|q| q.sprint_seconds).sum();
+        // Total sprint seconds bounded by capacity plus everything the
+        // slow refill can trickle in over the run.
+        assert!(
+            total_sprint < 60.0 + 150.0 * 304.0 * (60.0 / 100_000.0) + 60.0,
+            "total sprint {total_sprint}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_query_falls_back() {
+        let mech = CpuThrottle::new(0.2);
+        // 10 seconds of budget: the first sprint must cut off mid-run.
+        let policy = SprintPolicy::new(
+            SimDuration::ZERO,
+            BudgetSpec::Seconds(10.0),
+            SimDuration::from_secs(1_000_000),
+        );
+        let mut cfg = base_cfg(policy, 0.2, 50, 31);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(3.0));
+        let r = run(cfg, &mech);
+        let first = r.records().iter().find(|q| q.sprinted).expect("a sprint");
+        assert!(
+            (first.sprint_seconds - 10.0).abs() < 0.5,
+            "first sprint should drain ~10 s, got {}",
+            first.sprint_seconds
+        );
+        // Its processing must take longer than a full sprint would.
+        let full_sprint = 243.0 / 5.0; // 14.8 qph -> 243 s; 5X sprint.
+        assert!(first.processing_time().as_secs_f64() > full_sprint);
+    }
+
+    #[test]
+    fn timeouts_fire_only_for_slow_queries() {
+        let mech = Dvfs::new();
+        let policy = SprintPolicy::new(
+            SimDuration::from_secs(120),
+            BudgetSpec::Unlimited,
+            SimDuration::from_secs(100),
+        );
+        let r = run(base_cfg(policy, 0.75, 300, 41), &mech);
+        for q in r.records() {
+            if q.response_time().as_secs_f64() < 119.0 {
+                assert!(!q.timed_out, "fast query {} marked timed out", q.id);
+            }
+            if q.timed_out {
+                assert!(q.response_time().as_secs_f64() >= 119.0);
+            }
+        }
+        let timed: usize = r.records().iter().filter(|q| q.timed_out).count();
+        assert!(timed > 0, "some queries should time out at 75% load");
+    }
+
+    #[test]
+    fn sprinting_improves_response_time_under_load() {
+        let mech = CpuThrottle::new(0.2);
+        let mut no_sprint = base_cfg(SprintPolicy::never(), 0.8, 300, 55);
+        no_sprint.arrivals = ArrivalSpec::poisson(Rate::per_hour(14.8 * 0.8));
+        let mut sprint = no_sprint.clone();
+        sprint.policy = SprintPolicy::new(
+            SimDuration::from_secs(60),
+            BudgetSpec::FractionOfRefill(0.4),
+            SimDuration::from_secs(200),
+        );
+        let mech2 = CpuThrottle::new(0.2);
+        let base = run(no_sprint, &mech).mean_response_secs();
+        let fast = run(sprint, &mech2).mean_response_secs();
+        assert!(
+            fast < base * 0.9,
+            "sprinting should help: {fast:.0}s vs {base:.0}s"
+        );
+    }
+
+    #[test]
+    fn multi_slot_server_runs() {
+        let mech = Dvfs::new();
+        let mut cfg = base_cfg(SprintPolicy::always(), 0.5, 200, 61);
+        cfg.slots = 4;
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 2.0));
+        let r = run(cfg, &mech);
+        assert_eq!(r.records().len(), 200);
+        // With 4 slots at 2X the single-server service rate, queueing
+        // should be modest: mean response near processing time.
+        assert!(r.mean_response_secs() < 4.0 * r.mean_processing_secs());
+    }
+
+    #[test]
+    fn spike_modulation_compresses_arrivals() {
+        // 3X spike in the second half of every 2000 s period: the
+        // spike windows should hold roughly 3X the arrivals per second
+        // of the calm windows.
+        let mech = Dvfs::new();
+        let mut cfg = base_cfg(SprintPolicy::never(), 0.3, 600, 77);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 0.3)).with_modulation(vec![
+            crate::policy::RateSegment {
+                duration_secs: 1_000.0,
+                rate_multiplier: 1.0,
+            },
+            crate::policy::RateSegment {
+                duration_secs: 1_000.0,
+                rate_multiplier: 3.0,
+            },
+        ]);
+        let r = run(cfg, &mech);
+        let (mut calm, mut spike) = (0usize, 0usize);
+        for q in r.records() {
+            let t = q.arrival.as_secs_f64() % 2_000.0;
+            if t < 1_000.0 {
+                calm += 1;
+            } else {
+                spike += 1;
+            }
+        }
+        let ratio = spike as f64 / calm.max(1) as f64;
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "spike/calm arrival ratio {ratio} should be near 3"
+        );
+    }
+
+    #[test]
+    fn pareto_arrivals_run_to_completion() {
+        let mech = Dvfs::new();
+        let mut cfg = base_cfg(SprintPolicy::never(), 0.5, 200, 71);
+        cfg.arrivals = ArrivalSpec::pareto(Rate::per_hour(25.0), 0.5);
+        let r = run(cfg, &mech);
+        assert_eq!(r.records().len(), 200);
+    }
+}

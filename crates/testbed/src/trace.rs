@@ -1,0 +1,166 @@
+//! Per-query trace export: CSV for offline analysis and an ASCII
+//! timeline renderer in the style of the paper's Fig. 1.
+
+use crate::query::QueryRecord;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders records as CSV with a header row (times in seconds).
+pub fn to_csv(records: &[QueryRecord]) -> String {
+    let mut out = String::from(
+        "id,kind,arrival_s,dispatch_s,depart_s,queue_delay_s,processing_s,\
+         timed_out,sprinted,sprint_s\n",
+    );
+    for q in records {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{:.6}",
+            q.id,
+            q.kind.name(),
+            q.arrival.as_secs_f64(),
+            q.dispatch.as_secs_f64(),
+            q.depart.as_secs_f64(),
+            q.queue_delay().as_secs_f64(),
+            q.processing_time().as_secs_f64(),
+            q.timed_out,
+            q.sprinted,
+            q.sprint_seconds,
+        );
+    }
+    out
+}
+
+/// Writes the CSV trace to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_csv(records: &[QueryRecord], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(records))
+}
+
+/// Renders an ASCII timeline of the first `max_queries` records, one
+/// row per query (Fig. 1 style):
+///
+/// - `.` waiting in the queue manager,
+/// - `=` normal processing,
+/// - `#` processing while the query sprinted at some point,
+/// - a row spans arrival to departure.
+///
+/// # Panics
+///
+/// Panics if `width < 10` or `records` is empty.
+pub fn ascii_timeline(records: &[QueryRecord], max_queries: usize, width: usize) -> String {
+    assert!(width >= 10, "timeline too narrow");
+    assert!(!records.is_empty(), "no records to render");
+    let shown = &records[..max_queries.min(records.len())];
+    let t0 = shown
+        .iter()
+        .map(|q| q.arrival)
+        .min()
+        .expect("non-empty")
+        .as_secs_f64();
+    let t1 = shown
+        .iter()
+        .map(|q| q.depart)
+        .max()
+        .expect("non-empty")
+        .as_secs_f64();
+    let span = (t1 - t0).max(1e-9);
+    let col = |t: f64| -> usize {
+        (((t - t0) / span) * (width - 1) as f64).round() as usize
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time: {t0:.0}s .. {t1:.0}s   ('.' queued, '=' normal, '#' sprinted)"
+    );
+    for q in shown {
+        let mut row = vec![b' '; width];
+        let a = col(q.arrival.as_secs_f64());
+        let d = col(q.dispatch.as_secs_f64());
+        let e = col(q.depart.as_secs_f64());
+        for c in row.iter_mut().take(d.max(a)).skip(a) {
+            *c = b'.';
+        }
+        let glyph = if q.sprinted { b'#' } else { b'=' };
+        for c in row.iter_mut().take(e.max(d) + 1).skip(d) {
+            *c = glyph;
+        }
+        let _ = writeln!(
+            out,
+            "q{:<3} |{}|",
+            q.id + 1,
+            String::from_utf8(row).expect("ascii only")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimTime;
+    use workloads::WorkloadKind;
+
+    fn rec(id: u64, arrival: u64, dispatch: u64, depart: u64, sprinted: bool) -> QueryRecord {
+        QueryRecord {
+            id,
+            kind: WorkloadKind::Jacobi,
+            arrival: SimTime::from_secs(arrival),
+            dispatch: SimTime::from_secs(dispatch),
+            depart: SimTime::from_secs(depart),
+            timed_out: sprinted,
+            sprinted,
+            sprint_seconds: if sprinted { 10.0 } else { 0.0 },
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[rec(0, 0, 5, 50, true), rec(1, 10, 50, 120, false)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("id,kind,arrival_s"));
+        assert!(lines[1].starts_with("0,Jacobi,0.000000,5.000000,50.000000"));
+        assert!(lines[1].ends_with("true,true,10.000000"));
+        assert!(lines[2].contains("false,false,0.000000"));
+    }
+
+    #[test]
+    fn csv_round_trips_through_file() {
+        let dir = std::env::temp_dir().join("model_sprint_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        write_csv(&[rec(0, 0, 1, 10, false)], &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, to_csv(&[rec(0, 0, 1, 10, false)]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timeline_marks_queueing_and_sprinting() {
+        let t = ascii_timeline(&[rec(0, 0, 40, 100, true), rec(1, 20, 100, 180, false)], 10, 60);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains('#'), "sprinted row uses #: {}", lines[1]);
+        assert!(lines[2].contains('.'), "queued row shows .: {}", lines[2]);
+        assert!(lines[2].contains('='), "normal row uses =: {}", lines[2]);
+        assert!(!lines[1].contains('='));
+    }
+
+    #[test]
+    fn timeline_truncates_to_max_queries() {
+        let records: Vec<QueryRecord> =
+            (0..20).map(|i| rec(i, i * 10, i * 10 + 1, i * 10 + 5, false)).collect();
+        let t = ascii_timeline(&records, 5, 40);
+        assert_eq!(t.lines().count(), 6); // Header + 5 rows.
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn rejects_narrow_timeline() {
+        let _ = ascii_timeline(&[rec(0, 0, 1, 2, false)], 5, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload catalog for model-driven computational sprinting.
+//!
+//! The paper evaluates 7 cloud-server workloads (Table 1C) — two Spark
+//! services and five HPC kernels — plus mixes of them (§3.4). We do not
+//! ship Spark or MPI binaries; instead each workload is characterized by
+//! exactly the properties that determine its queueing and sprinting
+//! behaviour:
+//!
+//! - a sustained service rate on the reference DVFS platform,
+//! - a service-time distribution shape (coefficient of variation),
+//! - a sequence of execution [`Phase`]s, each with a memory-bound
+//!   fraction (frequency insensitivity), a parallel fraction (Amdahl
+//!   behaviour under core scaling) and a synchronization fraction,
+//! - a target DVFS burst throughput used to calibrate the power model
+//!   in the `mechanisms` crate.
+//!
+//! The phase structure is what creates the runtime effects the paper's
+//! machine-learned *effective sprint rate* must capture: sprints that
+//! trigger late in an execution hit different phases than sprints that
+//! cover a whole execution (the paper's Jacobi core-scaling example and
+//! Leuk late-timeout discussion, §3.2–3.3).
+
+pub mod catalog;
+pub mod mix;
+pub mod phase;
+
+pub use catalog::{Workload, WorkloadKind};
+pub use mix::QueryMix;
+pub use phase::Phase;

@@ -1,0 +1,244 @@
+//! Execution phases.
+//!
+//! A query execution is modeled as a sequence of phases, each consuming
+//! a fraction of the total work. Phases differ in how they respond to
+//! sprinting mechanisms:
+//!
+//! - `mem_frac`: the share of the phase's time bound by memory bandwidth
+//!   — it does not scale with core frequency (DVFS), only weakly with
+//!   uncore boost.
+//! - `parallel_frac`: the share that benefits from more cores (Amdahl's
+//!   law under core scaling). The paper observes that late phases have
+//!   fewer active software threads (§3.3), so tails typically carry a
+//!   smaller `parallel_frac`.
+//! - `sync_frac`: the share serialized on synchronization — it responds
+//!   to no mechanism at all (Leuk is dominated by this, Table 1C).
+
+use serde::{Deserialize, Serialize};
+
+/// One phase of a query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fraction of the query's total work done in this phase; the
+    /// phases of a workload sum to 1.
+    pub frac: f64,
+    /// Fraction of this phase's time bound by memory bandwidth.
+    pub mem_frac: f64,
+    /// Fraction of this phase's work that parallelizes across cores.
+    pub parallel_frac: f64,
+    /// Fraction of this phase's time serialized on synchronization.
+    pub sync_frac: f64,
+}
+
+impl Phase {
+    /// Creates a phase, validating all fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]` or if
+    /// `mem_frac + sync_frac > 1`.
+    pub fn new(frac: f64, mem_frac: f64, parallel_frac: f64, sync_frac: f64) -> Self {
+        for (name, v) in [
+            ("frac", frac),
+            ("mem_frac", mem_frac),
+            ("parallel_frac", parallel_frac),
+            ("sync_frac", sync_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v) && v.is_finite(),
+                "phase {name} out of range: {v}"
+            );
+        }
+        assert!(
+            mem_frac + sync_frac <= 1.0 + 1e-9,
+            "memory + sync fractions exceed 1: {mem_frac} + {sync_frac}"
+        );
+        Phase {
+            frac,
+            mem_frac,
+            parallel_frac,
+            sync_frac,
+        }
+    }
+
+    /// The frequency-elastic share of this phase: time that scales with
+    /// core frequency under DVFS-style mechanisms.
+    pub fn compute_frac(&self) -> f64 {
+        (1.0 - self.mem_frac - self.sync_frac).max(0.0)
+    }
+
+    /// Phase speedup when core frequency scales by `freq_ratio` and
+    /// uncore/memory bandwidth scales by `uncore_ratio`.
+    ///
+    /// A roofline-style decomposition: the compute share contracts by
+    /// the frequency ratio, the memory share by the uncore ratio, and
+    /// the synchronization share not at all.
+    pub fn freq_speedup(&self, freq_ratio: f64, uncore_ratio: f64) -> f64 {
+        debug_assert!(freq_ratio >= 1.0 && uncore_ratio >= 1.0);
+        let t = self.compute_frac() / freq_ratio + self.mem_frac / uncore_ratio + self.sync_frac;
+        1.0 / t.max(f64::MIN_POSITIVE)
+    }
+
+    /// Phase speedup when the core count scales by `core_ratio`
+    /// (Amdahl's law over `parallel_frac`, with the sync share also held
+    /// serial).
+    pub fn core_speedup(&self, core_ratio: f64) -> f64 {
+        debug_assert!(core_ratio >= 1.0);
+        let par = self.parallel_frac * (1.0 - self.sync_frac);
+        let t = (1.0 - par) + par / core_ratio;
+        1.0 / t.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Validates that a phase sequence covers exactly all work.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty or the work fractions do not sum to 1
+/// (within 1e-6).
+pub fn validate_phases(phases: &[Phase]) {
+    assert!(!phases.is_empty(), "workload needs at least one phase");
+    let total: f64 = phases.iter().map(|p| p.frac).sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "phase fractions sum to {total}, expected 1"
+    );
+}
+
+/// Work-weighted aggregate speedup across phases for a full execution.
+pub fn aggregate_speedup(phases: &[Phase], phase_speedup: impl Fn(&Phase) -> f64) -> f64 {
+    let sprinted_time: f64 = phases.iter().map(|p| p.frac / phase_speedup(p)).sum();
+    1.0 / sprinted_time.max(f64::MIN_POSITIVE)
+}
+
+/// Aggregate speedup when only the trailing `tail_frac` of the work is
+/// sprinted — the paper's partial-sprint scenario (§3.3: sprinting only
+/// the last 22 s of a 202 s Jacobi run yields 1.5X instead of 1.87X).
+pub fn tail_speedup(phases: &[Phase], tail_frac: f64, phase_speedup: impl Fn(&Phase) -> f64) -> f64 {
+    let tail_frac = tail_frac.clamp(0.0, 1.0);
+    let head = 1.0 - tail_frac;
+    let mut done = 0.0;
+    let mut time = 0.0;
+    for p in phases {
+        let phase_start = done;
+        let phase_end = done + p.frac;
+        // Portion of this phase executed at sustained speed.
+        let normal = (head.min(phase_end) - phase_start).max(0.0);
+        // Portion executed under sprint.
+        let sprinted = (phase_end - phase_start.max(head)).max(0.0);
+        time += normal + sprinted / phase_speedup(p);
+        done = phase_end;
+    }
+    1.0 / time.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(frac: f64, mem: f64, par: f64, sync: f64) -> Phase {
+        Phase::new(frac, mem, par, sync)
+    }
+
+    #[test]
+    fn compute_frac_complements() {
+        let ph = p(1.0, 0.3, 0.8, 0.1);
+        assert!((ph.compute_frac() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_speedup_pure_compute_equals_ratio() {
+        let ph = p(1.0, 0.0, 1.0, 0.0);
+        assert!((ph.freq_speedup(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_speedup_pure_sync_is_one() {
+        let ph = p(1.0, 0.0, 0.0, 1.0);
+        assert!((ph.freq_speedup(2.5, 1.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_speedup_memory_uses_uncore() {
+        let ph = p(1.0, 1.0, 0.0, 0.0);
+        assert!((ph.freq_speedup(2.0, 1.25) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_speedup_amdahl() {
+        // 90% parallel, doubling cores: 1/(0.1 + 0.45) ≈ 1.818.
+        let ph = p(1.0, 0.0, 0.9, 0.0);
+        assert!((ph.core_speedup(2.0) - 1.0 / 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_speedup_sync_reduces_parallel_share() {
+        let ph = p(1.0, 0.0, 1.0, 0.5);
+        // Parallel share is 1.0 * (1 - 0.5) = 0.5.
+        assert!((ph.core_speedup(2.0) - 1.0 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_is_harmonic_weighting() {
+        let phases = [p(0.5, 0.0, 1.0, 0.0), p(0.5, 0.0, 0.0, 1.0)];
+        // First phase doubles, second does not: time 0.25 + 0.5 = 0.75.
+        let s = aggregate_speedup(&phases, |ph| ph.freq_speedup(2.0, 1.0));
+        assert!((s - 1.0 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_speedup_full_equals_aggregate() {
+        let phases = [p(0.6, 0.1, 0.9, 0.0), p(0.4, 0.3, 0.5, 0.2)];
+        let f = |ph: &Phase| ph.freq_speedup(2.0, 1.2);
+        let full = tail_speedup(&phases, 1.0, f);
+        let agg = aggregate_speedup(&phases, f);
+        assert!((full - agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_speedup_zero_is_one() {
+        let phases = [p(1.0, 0.0, 1.0, 0.0)];
+        let s = tail_speedup(&phases, 0.0, |ph| ph.freq_speedup(2.0, 1.0));
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_speedup_monotone_in_tail_fraction() {
+        let phases = [p(0.5, 0.0, 1.0, 0.0), p(0.5, 0.2, 0.6, 0.1)];
+        let f = |ph: &Phase| ph.freq_speedup(2.0, 1.3);
+        let mut prev = 0.99;
+        for i in 0..=10 {
+            let s = tail_speedup(&phases, i as f64 / 10.0, f);
+            assert!(s >= prev - 1e-12, "speedup not monotone at {i}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn tail_hits_late_phases_first() {
+        // Elastic head, inelastic tail: sprinting the tail only helps
+        // less per unit of sprinted work than sprinting everything.
+        let phases = [p(0.8, 0.0, 1.0, 0.0), p(0.2, 0.0, 0.0, 1.0)];
+        let f = |ph: &Phase| ph.freq_speedup(2.0, 1.0);
+        let tail_only = tail_speedup(&phases, 0.2, f);
+        assert!((tail_only - 1.0).abs() < 1e-12, "tail is pure sync");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phase_rejects_bad_fraction() {
+        let _ = Phase::new(1.2, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn phase_rejects_overcommitted_shares() {
+        let _ = Phase::new(1.0, 0.7, 0.5, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn validate_rejects_partial_coverage() {
+        validate_phases(&[p(0.5, 0.0, 0.5, 0.0)]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Burstable-instance colocation (§4.4): how many workloads fit on a
+//! node under the SLO with the fixed AWS policy vs model-driven
+//! policies, and what that does to revenue — including the profiling
+//! break-even timeline of Fig. 14.
+//!
+//! ```text
+//! cargo run --release --example colocation
+//! ```
+
+use model_sprint::cloud::colocate::combo;
+use model_sprint::cloud::revenue::{break_even_hours, break_even_timeline, SERVER_LIFETIME_HOURS};
+use model_sprint::cloud::SloOptions;
+use model_sprint::prelude::*;
+
+fn main() {
+    let opts = SloOptions::default();
+
+    // The paper's third combo: four diverse workloads at 50-80% load.
+    let demands = combo(3);
+    println!("demands:");
+    for d in &demands {
+        println!("  {} at {:.0}% utilization", d.kind.name(), d.utilization * 100.0);
+    }
+
+    let mut md_rate = 0.0;
+    let mut aws_rate = 0.0;
+    for strategy in [
+        Strategy::Aws,
+        Strategy::ModelDrivenBudgeting,
+        Strategy::ModelDrivenSprinting,
+    ] {
+        let r = colocate(&demands, strategy, &opts);
+        println!(
+            "\n{}: hosts {}/{} workloads (CPU committed {:.2}), revenue ${:.3}/h",
+            strategy.name(),
+            r.hosted.len(),
+            demands.len(),
+            r.committed_cpu,
+            r.revenue_per_hour()
+        );
+        for (d, p) in &r.hosted {
+            println!(
+                "  {}: {:.1}X sprint, {:.0} s/h budget, timeout {:.0} s",
+                d.kind.name(),
+                p.sprint_multiplier,
+                p.budget_secs_per_hour,
+                p.timeout_secs
+            );
+        }
+        match strategy {
+            Strategy::Aws => aws_rate = r.revenue_per_hour(),
+            Strategy::ModelDrivenSprinting => md_rate = r.revenue_per_hour(),
+            Strategy::ModelDrivenBudgeting => {}
+        }
+    }
+
+    // Profiling costs revenue before it pays off (Fig. 14).
+    let timeline = break_even_timeline(
+        aws_rate,
+        md_rate,
+        demands.len(),
+        SERVER_LIFETIME_HOURS,
+        2.0,
+    );
+    if let Some(h) = break_even_hours(&timeline) {
+        println!("\nmodel-driven sprinting breaks even after {h:.0} hours (~{:.1} days)", h / 24.0);
+    }
+    let last = timeline.last().expect("timeline non-empty");
+    println!(
+        "over a {SERVER_LIFETIME_HOURS:.0}-hour server lifetime: {:.2}X the AWS revenue",
+        last.model_hybrid / last.aws
+    );
+}

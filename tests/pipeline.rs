@@ -1,0 +1,127 @@
+//! End-to-end modeling pipeline: profile → calibrate → train →
+//! predict, checking the hybrid model's headline properties on a
+//! down-sized campaign.
+
+use model_sprint::prelude::*;
+use model_sprint::sprint_core::train::no_ml;
+
+fn small_campaign(kind: WorkloadKind, seed: u64) -> ProfileData {
+    let mech = Dvfs::new();
+    let profiler = Profiler {
+        queries_per_run: 250,
+        warmup: 25,
+        replays: 1,
+        threads: 4,
+        seed,
+    };
+    let conditions = SamplingGrid::paper().sample_conditions(28, seed ^ 0xC0);
+    profiler.profile(&QueryMix::single(kind), &mech, &conditions)
+}
+
+fn small_train_options() -> TrainOptions {
+    let mut opts = TrainOptions::default();
+    opts.threads = 4;
+    opts.calibration.max_steps = 30;
+    // Match simulation windows to the 250-query profiling replays:
+    // near saturation, mean response depends on window length.
+    opts.calibration.sim.sim_queries = 250;
+    opts.calibration.sim.warmup = 25;
+    opts.calibration.sim.replications = 3;
+    opts.sim.sim_queries = 250;
+    opts.sim.warmup = 25;
+    opts.sim.replications = 4;
+    opts.ann.epochs = 150;
+    opts
+}
+
+/// Split helper mirroring the bench crate's.
+fn split(data: &ProfileData, frac: f64, seed: u64) -> (ProfileData, ProfileData) {
+    let mut idx: Vec<usize> = (0..data.runs.len()).collect();
+    let mut rng = model_sprint::simcore::SimRng::new(seed);
+    rng.shuffle(&mut idx);
+    let n = ((data.runs.len() as f64 * frac).round() as usize).min(data.runs.len());
+    let pick = |ids: &[usize]| ProfileData {
+        profile: data.profile.clone(),
+        runs: ids.iter().map(|&i| data.runs[i]).collect(),
+    };
+    (pick(&idx[..n]), pick(&idx[n..]))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn hybrid_model_predicts_held_out_conditions() {
+    let data = small_campaign(WorkloadKind::Jacobi, 31);
+    let (train, test) = split(&data, 0.8, 5);
+    let model = train_hybrid(&train, &small_train_options());
+    let errs: Vec<f64> = test
+        .runs
+        .iter()
+        .map(|r| {
+            let p = model.predict_response_secs(&r.condition);
+            (p - r.observed_response_secs).abs() / r.observed_response_secs
+        })
+        .collect();
+    let med = median(errs);
+    assert!(
+        med < 0.15,
+        "hybrid median error {med} too high on held-out conditions"
+    );
+}
+
+#[test]
+fn effective_rates_stay_in_physical_band() {
+    let data = small_campaign(WorkloadKind::Knn, 37);
+    let model = train_hybrid(&data, &small_train_options());
+    for run in &data.runs {
+        let mu_e = model.effective_rate_qph(&run.condition);
+        assert!(mu_e >= 0.6 * data.profile.mu.qph() - 1e-9);
+        assert!(mu_e <= 1.5 * data.profile.mu_m.qph() + 1e-9);
+    }
+}
+
+#[test]
+fn no_ml_underpredicts_under_heavy_load() {
+    // The marginal rate overestimates in-situ sprinting, so the No-ML
+    // simulator should predict *lower* response times than observed at
+    // the highest utilization — the systematic bias µe corrects.
+    let data = small_campaign(WorkloadKind::SparkKmeans, 41);
+    let opts = small_train_options();
+    let model = no_ml(&data, &opts);
+    let heavy: Vec<_> = data
+        .runs
+        .iter()
+        .filter(|r| r.condition.utilization > 0.9)
+        .collect();
+    if heavy.is_empty() {
+        return; // Sample did not include 95% conditions.
+    }
+    let mut under = 0;
+    for r in &heavy {
+        if model.predict_response_secs(&r.condition) < r.observed_response_secs {
+            under += 1;
+        }
+    }
+    assert!(
+        under * 2 >= heavy.len(),
+        "No-ML should usually underpredict at 95% load: {under}/{}",
+        heavy.len()
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let a = small_campaign(WorkloadKind::Bfs, 51);
+    let b = small_campaign(WorkloadKind::Bfs, 51);
+    assert_eq!(a.profile.mu, b.profile.mu);
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.observed_response_secs, y.observed_response_secs);
+    }
+    let ma = train_hybrid(&a, &small_train_options());
+    let mb = train_hybrid(&b, &small_train_options());
+    let c = &a.runs[0].condition;
+    assert_eq!(ma.effective_rate_qph(c), mb.effective_rate_qph(c));
+}

@@ -1,0 +1,211 @@
+//! Property-based tests on core invariants (proptest).
+
+use model_sprint::prelude::*;
+use model_sprint::simcore::dist::{Dist, DistKind};
+use model_sprint::simcore::stats::StreamingStats;
+use model_sprint::simcore::SimRng;
+use model_sprint::testbed::{ArrivalSpec, BudgetSpec, ServerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every distribution's sample mean tracks its configured mean.
+    #[test]
+    fn distribution_sample_means_track_config(
+        mean_secs in 10.0..500.0f64,
+        seed in 0u64..1_000,
+        which in 0usize..4,
+    ) {
+        let mean = SimDuration::from_secs_f64(mean_secs);
+        let dist = match which {
+            0 => Dist::exponential(mean),
+            1 => Dist::deterministic(mean),
+            2 => Dist::lognormal(mean, 0.5),
+            _ => Dist::hyperexponential(mean, 1.5),
+        };
+        let mut rng = SimRng::new(seed);
+        let n = 40_000;
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum();
+        let sample_mean = total / n as f64;
+        prop_assert!(
+            (sample_mean - mean_secs).abs() / mean_secs < 0.08,
+            "mean {} vs configured {}", sample_mean, mean_secs
+        );
+    }
+
+    /// The queue simulator conserves queries, keeps FIFO order on a
+    /// single slot, and never reports negative response times.
+    #[test]
+    fn qsim_conservation_and_fifo(
+        util in 0.1..0.9f64,
+        speedup in 1.0..4.0f64,
+        timeout in 10.0..400.0f64,
+        budget in 0.0..500.0f64,
+        seed in 0u64..500,
+    ) {
+        let mu = 3_600.0 / 60.0;
+        let mut cfg = QsimConfig::mm1(
+            Rate::per_hour(mu * util),
+            Dist::exponential(SimDuration::from_secs(60)),
+            seed,
+        );
+        cfg.num_queries = 400;
+        cfg.warmup = 0;
+        cfg.sprint_speedup = speedup;
+        cfg.timeout = SimDuration::from_secs_f64(timeout);
+        cfg.budget_capacity_secs = budget;
+        cfg.refill_secs = 800.0;
+        let r = Qsim::new(cfg).run();
+        prop_assert_eq!(r.queries.len(), 400);
+        let mut sorted = r.queries.clone();
+        sorted.sort_by(|a, b| a.arrival_secs.total_cmp(&b.arrival_secs));
+        let mut prev_depart = 0.0;
+        for q in &sorted {
+            prop_assert!(q.depart_secs >= q.arrival_secs);
+            // Single slot FIFO: departures follow arrival order.
+            prop_assert!(q.depart_secs >= prev_depart);
+            prev_depart = q.depart_secs;
+            // Sprint time cannot exceed time in system.
+            prop_assert!(q.sprint_secs <= q.depart_secs - q.arrival_secs + 1e-6);
+        }
+    }
+
+    /// Testbed runs conserve queries, respect FIFO dispatch, and never
+    /// spend more sprint-seconds than the budget could supply.
+    #[test]
+    fn testbed_budget_and_fifo_invariants(
+        util in 0.2..0.9f64,
+        timeout in 20.0..300.0f64,
+        budget_frac in 0.05..0.8f64,
+        refill in 100.0..1000.0f64,
+        seed in 0u64..200,
+    ) {
+        let mech = Dvfs::new();
+        let cfg = ServerConfig {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            arrivals: ArrivalSpec::poisson(Rate::per_hour(51.0 * util)),
+            policy: SprintPolicy::new(
+                SimDuration::from_secs_f64(timeout),
+                BudgetSpec::FractionOfRefill(budget_frac),
+                SimDuration::from_secs_f64(refill),
+            ),
+            slots: 1,
+            num_queries: 150,
+            warmup: 0,
+            seed,
+        };
+        let r = model_sprint::testbed::server::run(cfg, &mech);
+        prop_assert_eq!(r.records().len(), 150);
+
+        let mut by_arrival: Vec<_> = r.records().to_vec();
+        by_arrival.sort_by_key(|q| q.arrival);
+        let mut prev_dispatch = SimTime::ZERO;
+        for q in &by_arrival {
+            prop_assert!(q.dispatch >= q.arrival);
+            prop_assert!(q.depart > q.dispatch);
+            prop_assert!(q.dispatch >= prev_dispatch, "FIFO dispatch violated");
+            prev_dispatch = q.dispatch;
+            prop_assert!(q.sprint_seconds >= 0.0);
+            prop_assert!(
+                q.sprint_seconds <= q.processing_time().as_secs_f64() + 1e-6,
+                "sprinted longer than processing"
+            );
+            if q.sprinted {
+                prop_assert!(q.timed_out, "sprinting requires a timeout");
+            }
+        }
+
+        // Budget conservation: total sprint-seconds cannot exceed the
+        // initial capacity plus the maximum possible refill over the
+        // whole span.
+        let capacity = budget_frac * refill;
+        let span = by_arrival.last().unwrap().depart
+            .since(by_arrival[0].arrival)
+            .as_secs_f64();
+        let max_supply = capacity + capacity / refill * span + 1.0;
+        let consumed: f64 = r.records().iter().map(|q| q.sprint_seconds).sum();
+        prop_assert!(
+            consumed <= max_supply,
+            "consumed {} sprint-seconds, supply bound {}", consumed, max_supply
+        );
+    }
+
+    /// The random forest returns finite predictions inside and
+    /// slightly outside the training range.
+    #[test]
+    fn forest_predictions_finite(seed in 0u64..100, slope in 0.5..3.0f64) {
+        use model_sprint::mlcore::Dataset;
+        let mut d = Dataset::new(vec!["x", "z"]);
+        for i in 0..80 {
+            let x = i as f64;
+            let z = ((i * 13) % 7) as f64;
+            d.push(vec![x, z], slope * x + z);
+        }
+        let cfg = ForestConfig { seed, ..ForestConfig::default() };
+        let f = RandomForest::train(&d, 0, cfg);
+        for probe in [[-5.0, 0.0], [0.0, 3.0], [40.0, 6.0], [90.0, 1.0]] {
+            let p = f.predict(&probe);
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    /// Welford merge equals sequential accumulation.
+    #[test]
+    fn welford_merge_matches_sequential(xs in proptest::collection::vec(-1e3..1e3f64, 2..200), split in 0usize..200) {
+        let split = split % xs.len();
+        let mut whole = StreamingStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// Simulated annealing never evaluates outside its bounds and its
+    /// best value is consistent with its trace.
+    #[test]
+    fn annealing_respects_bounds(lo in 0.0..50.0f64, width in 10.0..300.0f64, seed in 0u64..50) {
+        use model_sprint::policy::explore_timeout;
+        use model_sprint::profiler::{Condition, WorkloadProfile};
+
+        struct Quad(WorkloadProfile);
+        impl ResponseTimeModel for Quad {
+            fn name(&self) -> &'static str { "quad" }
+            fn predict_response_secs(&self, c: &Condition) -> f64 {
+                100.0 + (c.timeout_secs - 77.0).powi(2) / 100.0
+            }
+            fn profile(&self) -> &WorkloadProfile { &self.0 }
+        }
+        let profile = WorkloadProfile {
+            mix: QueryMix::single(WorkloadKind::Jacobi),
+            mechanism: "x".into(),
+            mu: Rate::per_hour(50.0),
+            mu_m: Rate::per_hour(75.0),
+            service_samples_secs: vec![70.0],
+            profiling_hours: 0.0,
+        };
+        let cfg = AnnealingConfig {
+            iterations: 60,
+            bounds_secs: (lo, lo + width),
+            seed,
+            ..AnnealingConfig::default()
+        };
+        let base = Condition {
+            utilization: 0.5,
+            arrival_kind: DistKind::Exponential,
+            timeout_secs: 0.0,
+            budget_frac: 0.2,
+            refill_secs: 200.0,
+        };
+        let r = explore_timeout(&Quad(profile), &base, &cfg);
+        let hi = lo + width;
+        prop_assert!(r.trace.iter().all(|&(t, _)| t >= lo - 1e-9 && t <= hi + 1e-9));
+        let trace_best = r.trace.iter().map(|&(_, rt)| rt).fold(f64::INFINITY, f64::min);
+        prop_assert!((r.best_response_secs - trace_best).abs() < 1e-9);
+    }
+}
