@@ -1,11 +1,10 @@
 //! Multi-layer perceptron with Adam training.
 
 use mlcore::{Dataset, Normalizer};
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simcore::SimRng;
 
 /// MLP architecture and training hyper-parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnConfig {
     /// Hidden layer widths, in order.
     pub hidden: Vec<usize>,
@@ -47,7 +46,7 @@ impl AnnConfig {
 }
 
 /// One dense layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Layer {
     /// Row-major `out × in` weight matrix.
     w: Vec<f64>,
@@ -57,16 +56,11 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut SimRng) -> Layer {
         // He initialization for ReLU stacks.
         let scale = (2.0 / inputs as f64).sqrt();
         let w = (0..inputs * outputs)
-            .map(|_| {
-                // Box–Muller normal draw.
-                let u1: f64 = 1.0 - rng.gen::<f64>();
-                let u2: f64 = rng.gen();
-                scale * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-            })
+            .map(|_| scale * rng.normal())
             .collect();
         Layer {
             w,
@@ -142,7 +136,7 @@ impl Mlp {
             .map(|i| normalizer.transform_target(data.target(i)))
             .collect();
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SimRng::new(cfg.seed);
         let mut sizes = vec![data.num_features()];
         sizes.extend_from_slice(&cfg.hidden);
         sizes.push(1);
@@ -158,10 +152,7 @@ impl Mlp {
         let mut t = 0;
         for _epoch in 0..cfg.epochs {
             // Shuffle example order each epoch.
-            for i in (1..order.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                order.swap(i, j);
-            }
+            rng.shuffle(&mut order);
             for batch in order.chunks(cfg.batch_size) {
                 t += 1;
                 let (gw, gb) = batch_gradients(&layers, &rows, &targets, batch);
@@ -207,7 +198,6 @@ impl Mlp {
 }
 
 /// Mean gradients over a mini-batch (weights and biases per layer).
-#[expect(clippy::type_complexity)]
 fn batch_gradients(
     layers: &[Layer],
     rows: &[Vec<f64>],

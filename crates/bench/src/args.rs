@@ -12,11 +12,11 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments.
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut args = Args::default();
         let mut it = iter.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -45,7 +45,10 @@ impl Args {
     /// Panics if the value does not parse.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -56,7 +59,10 @@ impl Args {
     /// Panics if the value does not parse.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -71,7 +77,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|s| s.to_string()))
+        Args::parse_from(s.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -23,17 +23,23 @@ use mechanisms::Dvfs;
 use mlcore::Dataset;
 use profiler::{ProfileData, SamplingGrid, FEATURE_NAMES};
 use simcore::table::{fmt_pct, TextTable};
+use simcore::SprintError;
 use sprint_core::train_hybrid;
 use workloads::{QueryMix, WorkloadKind};
 
-fn hybrid_error(train: &ProfileData, test: &ProfileData, settings: &EvalSettings, forest: ForestConfig) -> f64 {
+fn hybrid_error(
+    train: &ProfileData,
+    test: &ProfileData,
+    settings: &EvalSettings,
+    forest: ForestConfig,
+) -> Result<f64, SprintError> {
     let mut opts = default_train_options(settings);
     opts.forest = forest;
-    let model = train_hybrid(train, &opts);
-    median_error(&evaluate_model(&model, test))
+    let model = train_hybrid(train, &opts)?;
+    Ok(median_error(&evaluate_model(&model, test)))
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
         conditions: args.get_usize("conditions", 60),
@@ -58,7 +64,7 @@ fn main() {
 
     table.row(vec![
         "hybrid default (10 deep trees, linear leaves)".to_string(),
-        fmt_pct(hybrid_error(&train, &test, &settings, base)),
+        fmt_pct(hybrid_error(&train, &test, &settings, base)?),
     ]);
     table.row(vec![
         "constant-mean leaves".to_string(),
@@ -73,7 +79,7 @@ fn main() {
                 },
                 ..base
             },
-        )),
+        )?),
     ]);
     table.row(vec![
         "shallow trees (depth 3, 'pruned')".to_string(),
@@ -88,7 +94,7 @@ fn main() {
                 },
                 ..base
             },
-        )),
+        )?),
     ]);
     for trees in [1usize, 30] {
         table.row(vec![
@@ -101,7 +107,7 @@ fn main() {
                     num_trees: trees,
                     ..base
                 },
-            )),
+            )?),
         ]);
     }
     table.row(vec![
@@ -114,7 +120,7 @@ fn main() {
                 feature_frac: 1.0,
                 ..base
             },
-        )),
+        )?),
     ]);
 
     // Direct-RT forest: skip the simulator entirely.
@@ -131,8 +137,7 @@ fn main() {
         .iter()
         .map(|run| EvalPoint {
             run: *run,
-            predicted: direct
-                .predict(&run.condition.features(test.profile.mu, test.profile.mu_m)),
+            predicted: direct.predict(&run.condition.features(test.profile.mu, test.profile.mu_m)),
         })
         .collect();
     table.row(vec![
@@ -161,4 +166,5 @@ fn main() {
     for (name, v) in FEATURE_NAMES.iter().zip(imp_forest.feature_importance()) {
         println!("  {name:<16} {:.1}%", v * 100.0);
     }
+    Ok(())
 }

@@ -19,6 +19,7 @@ use qsim::{ClassSpec, MultiClassConfig, MultiClassQsim};
 use simcore::dist::{Dist, DistKind};
 use simcore::table::{fmt_f, TextTable};
 use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
 
 fn config(timeouts: (f64, f64), seed: u64) -> MultiClassConfig {
     MultiClassConfig {
@@ -49,19 +50,18 @@ fn config(timeouts: (f64, f64), seed: u64) -> MultiClassConfig {
     }
 }
 
-fn mean_rt(timeouts: (f64, f64), seed: u64) -> f64 {
+fn mean_rt(timeouts: (f64, f64), seed: u64) -> Result<f64, SprintError> {
     // Average over 3 seeds to tame run-to-run noise.
-    (0..3)
-        .map(|i| {
-            MultiClassQsim::new(config(timeouts, seed + i))
-                .run()
-                .mean_response_secs()
-        })
-        .sum::<f64>()
-        / 3.0
+    let mut total = 0.0;
+    for i in 0..3 {
+        total += MultiClassQsim::new(config(timeouts, seed + i))?
+            .run()
+            .mean_response_secs();
+    }
+    Ok(total / 3.0)
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let seed = args.get_usize("seed", 0xAB2A) as u64;
     let grid = [0.0, 40.0, 80.0, 120.0, 180.0, 260.0, 400.0];
@@ -69,7 +69,7 @@ fn main() {
     // Best single global timeout.
     let mut best_global = (0.0, f64::INFINITY);
     for &t in &grid {
-        let rt = mean_rt((t, t), seed);
+        let rt = mean_rt((t, t), seed)?;
         if rt < best_global.1 {
             best_global = (t, rt);
         }
@@ -79,7 +79,7 @@ fn main() {
     let mut best_pair = ((0.0, 0.0), f64::INFINITY);
     for &tj in &grid {
         for &ts in &grid {
-            let rt = mean_rt((tj, ts), seed);
+            let rt = mean_rt((tj, ts), seed)?;
             if rt < best_pair.1 {
                 best_pair = ((tj, ts), rt);
             }
@@ -112,4 +112,5 @@ fn main() {
     );
     println!("(§5: \"this is also true for different timeouts assigned across");
     println!("workloads. Only small modifications to the simulator are needed\".)");
+    Ok(())
 }

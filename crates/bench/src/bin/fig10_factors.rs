@@ -16,6 +16,7 @@ use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
 use mechanisms::Dvfs;
 use profiler::{Profiler, SamplingGrid};
 use simcore::table::{fmt_pct, TextTable};
+use simcore::SprintError;
 use sprint_core::train_hybrid;
 use workloads::{QueryMix, WorkloadKind};
 
@@ -36,15 +37,10 @@ fn group_row(name: &str, points: &[EvalPoint]) -> Vec<String> {
     let p25 = percentile(&mut errs, 0.25);
     let p50 = percentile(&mut errs, 0.50);
     let p75 = percentile(&mut errs, 0.75);
-    vec![
-        name.to_string(),
-        fmt_pct(p50),
-        fmt_pct(p25),
-        fmt_pct(p75),
-    ]
+    vec![name.to_string(), fmt_pct(p50), fmt_pct(p25), fmt_pct(p75)]
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
         conditions: args.get_usize("conditions", 50),
@@ -65,7 +61,7 @@ fn main() {
         let mix = QueryMix::single(kind);
         let data = profile_single(&mix, &mech, &grid, &settings);
         let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0xA0);
-        let hybrid = train_hybrid(&train, &opts);
+        let hybrid = train_hybrid(&train, &opts)?;
         let mu = data.profile.mu.qph();
         for p in evaluate_model(&hybrid, &test) {
             in_cluster.push((p, mu));
@@ -76,7 +72,7 @@ fn main() {
         let profiler = Profiler {
             queries_per_run: settings.queries_per_run,
             warmup: settings.queries_per_run / 10,
-        replays: 1,
+            replays: 1,
             threads: settings.threads,
             seed: settings.seed ^ 0xC0FF,
         };
@@ -135,4 +131,5 @@ fn main() {
          out-of-cluster median ~10%)",
         out_med / in_med
     );
+    Ok(())
 }

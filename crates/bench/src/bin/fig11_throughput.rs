@@ -13,10 +13,11 @@ use mechanisms::Dvfs;
 use profiler::{Condition, Profiler};
 use simcore::dist::DistKind;
 use simcore::table::{fmt_f, TextTable};
+use simcore::SprintError;
 use sprint_core::throughput::measure_throughput;
 use workloads::{QueryMix, WorkloadKind};
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let cores = args.get_usize("cores", num_threads().min(12));
     let predictions = args.get_usize("predictions", 24);
@@ -56,8 +57,8 @@ fn main() {
     let sizes = [1_000, 10_000, 100_000, 1_000_000];
     for &q in &sizes {
         eprintln!("measuring {q} queries/prediction ...");
-        let single = measure_throughput(&profile, &cond, q, 1, predictions);
-        let multi = measure_throughput(&profile, &cond, q, cores, predictions);
+        let single = measure_throughput(&profile, &cond, q, 1, predictions)?;
+        let multi = measure_throughput(&profile, &cond, q, cores, predictions)?;
         table.row(vec![
             format!("{q}"),
             fmt_f(single.predictions_per_minute, 0),
@@ -78,4 +79,5 @@ fn main() {
          variance shrinking with simulation size, near-linear core scaling — \
          is the reproduced claim.)"
     );
+    Ok(())
 }

@@ -23,6 +23,7 @@ use profiler::{Condition, SamplingGrid};
 use simcore::dist::DistKind;
 use simcore::table::{fmt_f, TextTable};
 use simcore::time::Rate;
+use simcore::SprintError;
 use sprint_core::{train_hybrid, HybridModel, ResponseTimeModel, SimOptions};
 use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
 use workloads::{QueryMix, WorkloadKind};
@@ -58,15 +59,18 @@ fn base_condition(utilization: f64, budget_secs: f64) -> Condition {
 }
 
 /// Trains a hybrid model for one (mix, throttle) setup.
-fn train_model(setup: &Setup, settings: &EvalSettings) -> (HybridModel, profiler::ProfileData) {
+fn train_model(
+    setup: &Setup,
+    settings: &EvalSettings,
+) -> Result<(HybridModel, profiler::ProfileData), SprintError> {
     let data = bench::profile_single(&setup.mix, &setup.mech, &throttle_grid(), settings);
-    let opts = default_train_options(&settings);
-    (train_hybrid(&data, &opts), data)
+    let opts = default_train_options(settings);
+    Ok((train_hybrid(&data, &opts)?, data))
 }
 
 /// Ground-truth response time on the testbed for a condition,
 /// averaged over three independent replays.
-fn observe(setup: &Setup, cond: &Condition, mu: Rate, seed: u64) -> f64 {
+fn observe(setup: &Setup, cond: &Condition, mu: Rate, seed: u64) -> Result<f64, SprintError> {
     let mut total = 0.0;
     for r in 0..3u64 {
         let cfg = ServerConfig {
@@ -82,19 +86,23 @@ fn observe(setup: &Setup, cond: &Condition, mu: Rate, seed: u64) -> f64 {
             warmup: 40,
             seed: seed.wrapping_add(r * 0x9E37),
         };
-        total += testbed::server::run(cfg, &setup.mech).mean_response_secs();
+        total += testbed::server::run(cfg, &setup.mech)?.mean_response_secs();
     }
-    total / 3.0
+    Ok(total / 3.0)
 }
 
-fn panel_timeout_exploration(setup: &Setup, settings: &EvalSettings, utilization: f64) {
+fn panel_timeout_exploration(
+    setup: &Setup,
+    settings: &EvalSettings,
+    utilization: f64,
+) -> Result<(), SprintError> {
     println!(
         "\n=== {}: sprint {:.0} qph, budget {:.0} s ===",
         setup.label,
         setup.mech.marginal_rate(WorkloadKind::Jacobi).qph(),
         setup.budget_secs
     );
-    let (model, data) = train_model(setup, settings);
+    let (model, data) = train_model(setup, settings)?;
     let base = base_condition(utilization, setup.budget_secs);
 
     // Timeout sweep: model predictions.
@@ -103,7 +111,7 @@ fn panel_timeout_exploration(setup: &Setup, settings: &EvalSettings, utilization
         let mut c = base;
         c.timeout_secs = t;
         let predicted = model.predict_response_secs(&c);
-        let observed = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0);
+        let observed = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0)?;
         sweep.row(vec![fmt_f(t, 0), fmt_f(predicted, 1), fmt_f(observed, 1)]);
     }
     println!("{}", sweep.render());
@@ -119,32 +127,37 @@ fn panel_timeout_exploration(setup: &Setup, settings: &EvalSettings, utilization
             seed: settings.seed ^ 0xA11,
             ..AnnealingConfig::default()
         },
-    );
-    let ftm = few_to_many_timeout(&data.profile, &base, &sim, (0.0, 2_000.0), 25.0);
-    let adr = adrenaline_timeout(&data.profile, &base, &sim);
+    )?;
+    let ftm = few_to_many_timeout(&data.profile, &base, &sim, (0.0, 2_000.0), 25.0)?;
+    let adr = adrenaline_timeout(&data.profile, &base, &sim)?;
 
     let mut table = TextTable::new(vec!["policy", "timeout (s)", "observed RT (s)"]);
-    let burst_rt = observe(setup, &base, data.profile.mu, settings.seed ^ 0xD0);
-    table.row(vec!["burst (timeout 0)".to_string(), "0".into(), fmt_f(burst_rt, 1)]);
-    let mut eval_policy = |name: &str, t: f64| {
+    let burst_rt = observe(setup, &base, data.profile.mu, settings.seed ^ 0xD0)?;
+    table.row(vec![
+        "burst (timeout 0)".to_string(),
+        "0".into(),
+        fmt_f(burst_rt, 1),
+    ]);
+    let mut eval_policy = |name: &str, t: f64| -> Result<f64, SprintError> {
         let mut c = base;
         c.timeout_secs = t;
-        let rt = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0);
+        let rt = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0)?;
         table.row(vec![name.to_string(), fmt_f(t, 0), fmt_f(rt, 1)]);
-        rt
+        Ok(rt)
     };
-    let md = eval_policy("model-driven (annealed)", annealed.best_timeout_secs);
-    let ftm_rt = eval_policy("few-to-many", ftm);
-    let adr_rt = eval_policy("adrenaline", adr.min(2_000.0));
+    let md = eval_policy("model-driven (annealed)", annealed.best_timeout_secs)?;
+    let ftm_rt = eval_policy("few-to-many", ftm)?;
+    let adr_rt = eval_policy("adrenaline", adr.min(2_000.0))?;
     println!("{}", table.render());
     println!(
         "model-driven vs adrenaline: {:.2}X; vs few-to-many: {:.2}X",
         adr_rt / md,
         ftm_rt / md
     );
+    Ok(())
 }
 
-fn panel_c(settings: &EvalSettings) {
+fn panel_c(settings: &EvalSettings) -> Result<(), SprintError> {
     println!("\n=== Panel C: response time vs budget at fixed timeouts (Jacobi) ===");
     let setup = Setup {
         label: "big-burst",
@@ -152,7 +165,7 @@ fn panel_c(settings: &EvalSettings) {
         mech: CpuThrottle::new(0.2),
         budget_secs: 243.0,
     };
-    let (model, _) = train_model(&setup, settings);
+    let (model, _) = train_model(&setup, settings)?;
     let mut table = TextTable::new(vec![
         "budget (% of hour)",
         "RT @ 50 s",
@@ -171,9 +184,10 @@ fn panel_c(settings: &EvalSettings) {
     println!("{}", table.render());
     println!("Paper: tight budgets favour loose timeouts (sprint only the");
     println!("slowest queries); loose budgets favour strict timeouts.");
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
         conditions: args.get_usize("conditions", 56),
@@ -195,7 +209,7 @@ fn main() {
             },
             &settings,
             0.8,
-        );
+        )?;
         panel_timeout_exploration(
             &Setup {
                 label: "small-burst",
@@ -205,7 +219,7 @@ fn main() {
             },
             &settings,
             0.8,
-        );
+        )?;
     }
 
     if panel == "all" || panel == "b" {
@@ -219,7 +233,7 @@ fn main() {
             },
             &settings,
             0.8,
-        );
+        )?;
         panel_timeout_exploration(
             &Setup {
                 label: "small-burst",
@@ -229,10 +243,11 @@ fn main() {
             },
             &settings,
             0.8,
-        );
+        )?;
     }
 
     if panel == "all" || panel == "c" {
-        panel_c(&settings);
+        panel_c(&settings)?;
     }
+    Ok(())
 }

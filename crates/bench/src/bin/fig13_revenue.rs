@@ -16,10 +16,11 @@ use cloud::{colocate, BurstablePolicy, SloOptions, Strategy, PRICE_PER_WORKLOAD_
 use mechanisms::CpuThrottle;
 use simcore::table::{fmt_f, TextTable};
 use simcore::time::SimDuration;
+use simcore::SprintError;
 use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
 use workloads::{QueryMix, WorkloadKind};
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let opts = SloOptions {
         sim_queries: args.get_usize("queries", 2_000),
@@ -29,8 +30,7 @@ fn main() {
     };
 
     if args.has_flag("tail") {
-        tail_comparison(args.get_usize("seed", 0x7A11) as u64);
-        return;
+        return tail_comparison(args.get_usize("seed", 0x7A11) as u64);
     }
 
     println!("Figure 13: revenue per node for burstable-instance colocation");
@@ -50,7 +50,7 @@ fn main() {
             Strategy::ModelDrivenSprinting,
         ] {
             eprintln!("combo {c}, {} ...", strategy.name());
-            let r = colocate(&demands, strategy, &opts);
+            let r = colocate(&demands, strategy, &opts)?;
             table.row(vec![
                 format!("#{c}"),
                 strategy.name().to_string(),
@@ -71,6 +71,7 @@ fn main() {
     println!("{}", table.render());
     println!("Paper: combo 1 — AWS hosts 1, budgeting 2, budget+timeout 3;");
     println!("combo 3 — model-driven sprinting hosts all workloads under SLO.");
+    Ok(())
 }
 
 /// §4.4's tail study: 99th/99.9th-percentile behaviour of Jacobi under
@@ -82,7 +83,7 @@ fn main() {
 /// bursting every arrival (the AWS default) drains credits on queries
 /// that were never at risk, while the model-selected timeout saves
 /// them for the tail.
-fn tail_comparison(seed: u64) {
+fn tail_comparison(seed: u64) -> Result<(), SprintError> {
     println!("§4.4 tail latency: Jacobi, AWS burst-on-arrival vs model-driven timeout");
     println!("(equal sprint rate and budget; only the timeout differs)\n");
     let demand = demand_rate(WorkloadKind::Jacobi, 0.9);
@@ -107,7 +108,7 @@ fn tail_comparison(seed: u64) {
             timeout_secs: t,
             ..budget
         };
-        let rt = cloud::predict_response_secs(WorkloadKind::Jacobi, demand, &candidate, &opts);
+        let rt = cloud::predict_response_secs(WorkloadKind::Jacobi, demand, &candidate, &opts)?;
         if rt < best.1 {
             best = (t, rt);
         }
@@ -143,8 +144,8 @@ fn tail_comparison(seed: u64) {
         };
         testbed::server::run(cfg, &mech)
     };
-    let aws_run = observe(&budget);
-    let md_run = observe(&md);
+    let aws_run = observe(&budget)?;
+    let md_run = observe(&md)?;
     let t99 = aws_run.response_quantile_secs(0.99);
     let t999 = aws_run.response_quantile_secs(0.999);
 
@@ -181,4 +182,5 @@ fn tail_comparison(seed: u64) {
         reduction(aws_a, md_a),
         reduction(aws_b, md_b)
     );
+    Ok(())
 }

@@ -14,8 +14,9 @@ use cloud::colocate::combo;
 use cloud::revenue::{break_even_hours, break_even_timeline, SERVER_LIFETIME_HOURS};
 use cloud::{colocate, SloOptions, Strategy};
 use simcore::table::{fmt_f, TextTable};
+use simcore::SprintError;
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let opts = SloOptions {
         sim_queries: args.get_usize("queries", 1_600),
@@ -27,21 +28,16 @@ fn main() {
     // Revenue rates come from the combo-3 colocation outcomes.
     eprintln!("computing combo-3 colocation under both strategies ...");
     let demands = combo(3);
-    let aws_rate = colocate(&demands, Strategy::Aws, &opts).revenue_per_hour();
-    let md_rate = colocate(&demands, Strategy::ModelDrivenSprinting, &opts).revenue_per_hour();
+    let aws_rate = colocate(&demands, Strategy::Aws, &opts)?.revenue_per_hour();
+    let md_rate = colocate(&demands, Strategy::ModelDrivenSprinting, &opts)?.revenue_per_hour();
     println!(
         "\nFigure 14: revenue vs hours (combo 3: aws ${aws_rate:.3}/h, \
          model-driven ${md_rate:.3}/h, {} workloads to profile)\n",
         demands.len()
     );
 
-    let timeline = break_even_timeline(
-        aws_rate,
-        md_rate,
-        demands.len(),
-        SERVER_LIFETIME_HOURS,
-        4.0,
-    );
+    let timeline =
+        break_even_timeline(aws_rate, md_rate, demands.len(), SERVER_LIFETIME_HOURS, 4.0)?;
     let mut table = TextTable::new(vec![
         "hours",
         "aws ($)",
@@ -50,7 +46,7 @@ fn main() {
     ]);
     for p in timeline
         .iter()
-        .filter(|p| (p.hours as u64) % 48 == 0 || p.hours >= SERVER_LIFETIME_HOURS - 2.0)
+        .filter(|p| (p.hours as u64).is_multiple_of(48) || p.hours >= SERVER_LIFETIME_HOURS - 2.0)
     {
         table.row(vec![
             fmt_f(p.hours, 0),
@@ -75,4 +71,5 @@ fn main() {
         last.model_hybrid / last.aws,
         last.model_ann / last.aws
     );
+    Ok(())
 }

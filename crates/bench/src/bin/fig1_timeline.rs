@@ -12,6 +12,7 @@ use bench::Args;
 use mechanisms::CpuThrottle;
 use simcore::table::{fmt_f, TextTable};
 use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
 use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
 use workloads::{QueryMix, WorkloadKind};
 
@@ -37,18 +38,17 @@ fn scenario(timeout_secs: f64, seed: u64) -> ServerConfig {
 
 /// Mean response over several seeds (the paper's Fig. 1 is a single
 /// illustrative trace; the sensitivity claim needs steady state).
-fn mean_rt(timeout_secs: f64, base_seed: u64, reps: u64) -> f64 {
+fn mean_rt(timeout_secs: f64, base_seed: u64, reps: u64) -> Result<f64, SprintError> {
     let mech = CpuThrottle::new(0.2);
-    (0..reps)
-        .map(|i| {
-            testbed::server::run(scenario(timeout_secs, base_seed + i), &mech)
-                .mean_response_secs()
-        })
-        .sum::<f64>()
-        / reps as f64
+    let mut total = 0.0;
+    for i in 0..reps {
+        total += testbed::server::run(scenario(timeout_secs, base_seed + i), &mech)?
+            .mean_response_secs();
+    }
+    Ok(total / reps as f64)
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let seed = args.get_usize("seed", 11) as u64;
     let mech = CpuThrottle::new(0.2);
@@ -57,11 +57,17 @@ fn main() {
     // later ones cannot sprint despite slow responses.
     println!("Figure 1: query executions under a tight sprinting budget");
     println!("(timeout 60s; budget drains after the early sprints)\n");
-    let r = testbed::server::run(scenario(60.0, seed), &mech);
+    let r = testbed::server::run(scenario(60.0, seed), &mech)?;
     let records = &r.records()[..10.min(r.records().len())];
     let t0 = records[0].arrival;
     let mut table = TextTable::new(vec![
-        "query", "arrive", "queue(s)", "process(s)", "sprint(s)", "timed out", "sprinted",
+        "query",
+        "arrive",
+        "queue(s)",
+        "process(s)",
+        "sprint(s)",
+        "timed out",
+        "sprinted",
     ]);
     for q in records {
         table.row(vec![
@@ -81,13 +87,13 @@ fn main() {
     println!("Timeout sensitivity (mean response over 12 replays):\n");
     let reps = args.get_usize("reps", 12) as u64;
     let mut table = TextTable::new(vec!["timeout", "mean response (s)", "vs 1 min"]);
-    let base = mean_rt(60.0, seed + 100, reps);
+    let base = mean_rt(60.0, seed + 100, reps)?;
     for (label, t) in [
         ("1 min (aggressive)", 60.0),
         ("2.5 min (sweet spot)", 150.0),
         ("5 min (conservative)", 300.0),
     ] {
-        let rt = mean_rt(t, seed + 100, reps);
+        let rt = mean_rt(t, seed + 100, reps)?;
         table.row(vec![
             label.to_string(),
             fmt_f(rt, 1),
@@ -99,4 +105,5 @@ fn main() {
     println!("early arrivals; a long one is too conservative and strands budget.");
     println!("Subtle timeout changes move response time in both directions —");
     println!("this is the policy-selection problem the models solve.");
+    Ok(())
 }

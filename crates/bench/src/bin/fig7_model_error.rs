@@ -15,6 +15,7 @@ use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
 use mechanisms::Dvfs;
 use profiler::{ProfileData, Profiler, SamplingGrid};
 use simcore::table::{fmt_pct, TextTable};
+use simcore::SprintError;
 use sprint_core::{train_ann, train_hybrid};
 use workloads::{QueryMix, WorkloadKind};
 
@@ -36,7 +37,7 @@ impl Pool {
     }
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
         conditions: args.get_usize("conditions", 60),
@@ -51,8 +52,7 @@ fn main() {
     let grid = SamplingGrid::paper();
 
     if args.has_flag("training-sweep") {
-        training_sweep(&settings, &mech);
-        return;
+        return training_sweep(&settings, &mech);
     }
 
     let mut hybrid = Pool::default();
@@ -69,8 +69,8 @@ fn main() {
         let data = profile_single(&mix, &mech, &grid, &settings);
         let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x51);
 
-        let hybrid_model = train_hybrid(&train, &opts);
-        let ann_model = train_ann(&train, &opts);
+        let hybrid_model = train_hybrid(&train, &opts)?;
+        let ann_model = train_ann(&train, &opts)?;
         let no_ml_model = sprint_core::train::no_ml(&train, &opts);
 
         // "ANN w/ more training data": enlarge the campaign ~50%
@@ -87,7 +87,7 @@ fn main() {
         let extra = profiler.run_conditions(&data.profile, &mech, &extra_conditions);
         let mut enlarged = train.clone();
         enlarged.runs.extend(extra.into_iter().map(|(r, _)| r));
-        let ann_more_model = train_ann(&enlarged, &opts);
+        let ann_more_model = train_ann(&enlarged, &opts)?;
 
         hybrid.points.extend(evaluate_model(&hybrid_model, &test));
         no_ml.points.extend(evaluate_model(&no_ml_model, &test));
@@ -106,12 +106,15 @@ fn main() {
         };
         let test_conditions: Vec<_> = test.runs.iter().map(|r| r.condition).collect();
         let reruns = refloor.run_conditions(&data.profile, &mech, &test_conditions);
-        floor
-            .points
-            .extend(test.runs.iter().zip(&reruns).map(|(run, (re, _))| EvalPoint {
-                run: *run,
-                predicted: re.observed_response_secs,
-            }));
+        floor.points.extend(
+            test.runs
+                .iter()
+                .zip(&reruns)
+                .map(|(run, (re, _))| EvalPoint {
+                    run: *run,
+                    predicted: re.observed_response_secs,
+                }),
+        );
     }
 
     println!("\nFigure 7: median absolute relative error by modeling approach");
@@ -143,12 +146,13 @@ fn main() {
     println!("{}", table.render());
     println!("Paper: Hybrid ~4% overall; ANN ~30% (improving with data);");
     println!("No-ML competitive at low load but worst under heavy arrivals.");
+    Ok(())
 }
 
 /// §3.1: how much more training data does the ANN need to match the
 /// hybrid approach on Jacobi?
-fn training_sweep(settings: &EvalSettings, mech: &Dvfs) {
-    let opts = default_train_options(&settings);
+fn training_sweep(settings: &EvalSettings, mech: &Dvfs) -> Result<(), SprintError> {
+    let opts = default_train_options(settings);
     let grid = SamplingGrid::paper();
     let mix = QueryMix::single(WorkloadKind::Jacobi);
 
@@ -166,9 +170,12 @@ fn training_sweep(settings: &EvalSettings, mech: &Dvfs) {
         profile: train_all.profile.clone(),
         runs: train_all.runs[..base].to_vec(),
     };
-    let hybrid_model = train_hybrid(&hybrid_train, &opts);
+    let hybrid_model = train_hybrid(&hybrid_train, &opts)?;
     let hybrid_err = median_error(&evaluate_model(&hybrid_model, &test));
-    println!("hybrid trained on {base} runs: median error {}", fmt_pct(hybrid_err));
+    println!(
+        "hybrid trained on {base} runs: median error {}",
+        fmt_pct(hybrid_err)
+    );
 
     let mut table = TextTable::new(vec!["ANN training runs", "vs hybrid data", "median error"]);
     let mut matched: Option<f64> = None;
@@ -178,13 +185,9 @@ fn training_sweep(settings: &EvalSettings, mech: &Dvfs) {
             profile: train_all.profile.clone(),
             runs: train_all.runs[..n].to_vec(),
         };
-        let ann_model = train_ann(&subset, &opts);
+        let ann_model = train_ann(&subset, &opts)?;
         let err = median_error(&evaluate_model(&ann_model, &test));
-        table.row(vec![
-            format!("{n}"),
-            format!("{factor:.1}X"),
-            fmt_pct(err),
-        ]);
+        table.row(vec![format!("{n}"), format!("{factor:.1}X"), fmt_pct(err)]);
         if matched.is_none() && err <= hybrid_err * 1.1 {
             matched = Some(factor);
         }
@@ -197,4 +200,5 @@ fn training_sweep(settings: &EvalSettings, mech: &Dvfs) {
              (the paper reports 6X-54X more data needed)."
         ),
     }
+    Ok(())
 }

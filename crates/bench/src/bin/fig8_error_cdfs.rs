@@ -17,6 +17,7 @@ use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
 use mechanisms::{CoreScale, Dvfs, Ec2Dvfs, Mechanism};
 use profiler::SamplingGrid;
 use simcore::table::{fmt_pct, TextTable};
+use simcore::SprintError;
 use sprint_core::{train_ann, train_hybrid};
 use workloads::{QueryMix, WorkloadKind};
 
@@ -38,12 +39,12 @@ fn quantile_row(points: &[EvalPoint]) -> Vec<String> {
         .collect()
 }
 
-fn main() {
+fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
         conditions: args.get_usize("conditions", 60),
         queries_per_run: args.get_usize("queries", 400),
-        seed: args.get_usize("seed", 0xF160_8) as u64,
+        seed: args.get_usize("seed", 0xF1608) as u64,
         ..EvalSettings::default()
     };
     let opts = default_train_options(&settings);
@@ -62,8 +63,8 @@ fn main() {
                 &settings,
             );
             let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8A);
-            let hybrid = train_hybrid(&train, &opts);
-            let ann = train_ann(&train, &opts);
+            let hybrid = train_hybrid(&train, &opts)?;
+            let ann = train_ann(&train, &opts)?;
             let mut row_a = vec![kind.name().to_string()];
             row_a.extend(quantile_row(&evaluate_model(&hybrid, &test)));
             table_a.row(row_a);
@@ -94,7 +95,7 @@ fn main() {
                 &settings,
             );
             let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8C);
-            let hybrid = train_hybrid(&train, &opts);
+            let hybrid = train_hybrid(&train, &opts)?;
             let mut row = vec![name.to_string()];
             row.extend(quantile_row(&evaluate_model(&hybrid, &test)));
             table.row(row);
@@ -115,7 +116,7 @@ fn main() {
             &extended,
         );
         let (train, test) = split_runs(&data, 0.9, settings.seed ^ 0x8D);
-        let hybrid = train_hybrid(&train, &opts);
+        let hybrid = train_hybrid(&train, &opts)?;
         let points = evaluate_model(&hybrid, &test);
         let mut row = vec!["CoreScale+fix".to_string()];
         row.extend(quantile_row(&points));
@@ -127,4 +128,5 @@ fn main() {
             fmt_pct(median_error(&points))
         );
     }
+    Ok(())
 }

@@ -3,6 +3,7 @@
 
 use mechanisms::Mechanism;
 use profiler::{ProfileData, Profiler, ProfilingRun, SamplingGrid};
+use simcore::SprintError;
 use sprint_core::{train_ann, train_hybrid, ResponseTimeModel, TrainOptions};
 use workloads::{QueryMix, WorkloadKind};
 
@@ -86,8 +87,7 @@ pub struct EvalPoint {
 impl EvalPoint {
     /// Absolute relative error against the observation.
     pub fn error(&self) -> f64 {
-        (self.predicted - self.run.observed_response_secs).abs()
-            / self.run.observed_response_secs
+        (self.predicted - self.run.observed_response_secs).abs() / self.run.observed_response_secs
     }
 }
 
@@ -131,12 +131,17 @@ pub struct TrainedSet {
 
 impl TrainedSet {
     /// Trains all three models on `train`.
-    pub fn train(train: &ProfileData, opts: &TrainOptions) -> TrainedSet {
-        TrainedSet {
-            hybrid: train_hybrid(train, opts),
-            ann: train_ann(train, opts),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::InvalidConfig`] if the campaign has no
+    /// runs or `opts` requests zero worker threads.
+    pub fn train(train: &ProfileData, opts: &TrainOptions) -> Result<TrainedSet, SprintError> {
+        Ok(TrainedSet {
+            hybrid: train_hybrid(train, opts)?,
+            ann: train_ann(train, opts)?,
             no_ml: sprint_core::train::no_ml(train, opts),
-        }
+        })
     }
 }
 
@@ -148,8 +153,10 @@ impl TrainedSet {
 /// queries than the observation would systematically overpredict.
 /// Replications are averaged instead.
 pub fn default_train_options(s: &EvalSettings) -> TrainOptions {
-    let mut opts = TrainOptions::default();
-    opts.threads = s.threads;
+    let mut opts = TrainOptions {
+        threads: s.threads,
+        ..TrainOptions::default()
+    };
     opts.calibration.max_steps = 40;
     opts.calibration.sim.sim_queries = s.queries_per_run;
     opts.calibration.sim.warmup = s.queries_per_run / 10;

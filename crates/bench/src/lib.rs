@@ -9,6 +9,4 @@ pub mod args;
 pub mod eval;
 
 pub use args::Args;
-pub use eval::{
-    evaluate_model, profile_single, split_runs, EvalPoint, EvalSettings, TrainedSet,
-};
+pub use eval::{evaluate_model, profile_single, split_runs, EvalPoint, EvalSettings, TrainedSet};

@@ -1,6 +1,6 @@
 //! Burstable-instance policies.
 
-use serde::{Deserialize, Serialize};
+use simcore::SprintError;
 
 /// Hourly price per hosted workload (Fig. 13 reports revenue as
 /// $0.03 × n).
@@ -12,7 +12,7 @@ pub const PRICE_PER_WORKLOAD_HOUR: f64 = 0.03;
 pub const AWS_EXTRA_CPU_BUDGET: f64 = 0.16;
 
 /// A burstable-instance sprinting policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstablePolicy {
     /// Baseline (sustained) CPU share in `(0, 1]`.
     pub share: f64,
@@ -43,22 +43,38 @@ impl BurstablePolicy {
     /// extra CPU within [`AWS_EXTRA_CPU_BUDGET`], capped at continuous
     /// sprinting (3600 s/h).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `1 < multiplier <= 1/share`.
-    pub fn with_multiplier(share: f64, multiplier: f64, timeout_secs: f64) -> BurstablePolicy {
-        assert!(multiplier > 1.0, "sprint must speed things up");
-        assert!(
-            share * multiplier <= 1.0 + 1e-9,
-            "sprinted share exceeds a full core"
-        );
+    /// Returns [`SprintError::InvalidConfig`] unless
+    /// `0 < share`, `1 < multiplier <= 1/share`, and `timeout_secs` is
+    /// non-negative.
+    pub fn with_multiplier(
+        share: f64,
+        multiplier: f64,
+        timeout_secs: f64,
+    ) -> Result<BurstablePolicy, SprintError> {
+        SprintError::require_positive("BurstablePolicy::share", share)?;
+        if multiplier.is_nan() || multiplier <= 1.0 {
+            return Err(SprintError::invalid(
+                "BurstablePolicy::sprint_multiplier",
+                format!("sprint must speed things up, got {multiplier}"),
+            ));
+        }
+        let sprinted_share = share * multiplier;
+        if sprinted_share.is_nan() || sprinted_share > 1.0 + 1e-9 {
+            return Err(SprintError::invalid(
+                "BurstablePolicy::sprint_multiplier",
+                format!("sprinted share {} exceeds a full core", share * multiplier),
+            ));
+        }
+        SprintError::require_non_negative("BurstablePolicy::timeout_secs", timeout_secs)?;
         let budget = (AWS_EXTRA_CPU_BUDGET * 3_600.0 / (share * (multiplier - 1.0))).min(3_600.0);
-        BurstablePolicy {
+        Ok(BurstablePolicy {
             share,
             sprint_multiplier: multiplier,
             budget_secs_per_hour: budget,
             timeout_secs,
-        }
+        })
     }
 
     /// Peak CPU this policy can demand: the sprinted share. A provider
@@ -84,15 +100,20 @@ impl BurstablePolicy {
     /// model-driven sprinting shrinks the certified budget once
     /// timeouts concentrate sprinting on the queries that need it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < factor <= 1`.
-    pub fn with_budget_scaled(&self, factor: f64) -> BurstablePolicy {
-        assert!(factor > 0.0 && factor <= 1.0, "invalid budget factor");
-        BurstablePolicy {
+    /// Returns [`SprintError::InvalidConfig`] unless `0 < factor <= 1`.
+    pub fn with_budget_scaled(&self, factor: f64) -> Result<BurstablePolicy, SprintError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(SprintError::invalid(
+                "BurstablePolicy::budget_secs_per_hour",
+                format!("invalid budget factor {factor}"),
+            ));
+        }
+        Ok(BurstablePolicy {
             budget_secs_per_hour: self.budget_secs_per_hour * factor,
             ..*self
-        }
+        })
     }
 
     /// Budget bucket capacity in seconds (one hour of accrual).
@@ -124,8 +145,8 @@ mod tests {
 
     #[test]
     fn iso_resource_budget_grows_as_multiplier_shrinks() {
-        let fast = BurstablePolicy::with_multiplier(0.2, 5.0, 0.0);
-        let slow = BurstablePolicy::with_multiplier(0.2, 2.0, 0.0);
+        let fast = BurstablePolicy::with_multiplier(0.2, 5.0, 0.0).unwrap();
+        let slow = BurstablePolicy::with_multiplier(0.2, 2.0, 0.0).unwrap();
         assert!((fast.budget_secs_per_hour - 720.0).abs() < 1e-9);
         assert!((slow.budget_secs_per_hour - 2_880.0).abs() < 1e-9);
         assert!(slow.peak_commitment() < fast.peak_commitment());
@@ -137,20 +158,30 @@ mod tests {
     #[test]
     fn shrinking_budget_reduces_commitment() {
         let p = BurstablePolicy::aws_t2_small();
-        let half = p.with_budget_scaled(0.5);
+        let half = p.with_budget_scaled(0.5).unwrap();
         assert!((half.commitment() - 0.28).abs() < 1e-12);
         assert!(half.commitment() < p.commitment());
     }
 
     #[test]
     fn budget_capped_at_continuous_sprinting() {
-        let p = BurstablePolicy::with_multiplier(0.2, 1.1, 0.0);
+        let p = BurstablePolicy::with_multiplier(0.2, 1.1, 0.0).unwrap();
         assert_eq!(p.budget_secs_per_hour, 3_600.0);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds a full core")]
-    fn rejects_oversprint() {
-        let _ = BurstablePolicy::with_multiplier(0.5, 3.0, 0.0);
+    fn rejects_invalid_policies() {
+        // Sprinted share beyond a full core.
+        assert!(BurstablePolicy::with_multiplier(0.5, 3.0, 0.0).is_err());
+        // A "sprint" that slows things down, and degenerate shares.
+        assert!(BurstablePolicy::with_multiplier(0.2, 1.0, 0.0).is_err());
+        assert!(BurstablePolicy::with_multiplier(0.0, 2.0, 0.0).is_err());
+        assert!(BurstablePolicy::with_multiplier(0.2, f64::NAN, 0.0).is_err());
+        assert!(BurstablePolicy::with_multiplier(0.2, 2.0, -1.0).is_err());
+        // Budget scale outside (0, 1].
+        let p = BurstablePolicy::aws_t2_small();
+        assert!(p.with_budget_scaled(0.0).is_err());
+        assert!(p.with_budget_scaled(1.5).is_err());
+        assert!(p.with_budget_scaled(f64::NAN).is_err());
     }
 }

@@ -2,11 +2,11 @@
 
 use crate::burstable::{BurstablePolicy, PRICE_PER_WORKLOAD_HOUR};
 use crate::slo::{demand_rate, meets_slo, SloOptions};
-use serde::{Deserialize, Serialize};
+use simcore::SprintError;
 use workloads::WorkloadKind;
 
 /// One workload a tenant wants to host.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadDemand {
     /// Which workload.
     pub kind: WorkloadKind,
@@ -81,54 +81,70 @@ pub fn strategy_commitment(strategy: Strategy, policy: &BurstablePolicy) -> f64 
 }
 
 /// Finds the cheapest (lowest-commitment) policy for one demand under
-/// a strategy, or `None` if nothing meets the SLO.
+/// a strategy, or `Ok(None)` if nothing meets the SLO.
+///
+/// # Errors
+///
+/// Propagates prediction errors from the SLO simulations (e.g. an
+/// invalid `opts`).
 pub fn select_policy(
     demand: &WorkloadDemand,
     strategy: Strategy,
     opts: &SloOptions,
-) -> Option<BurstablePolicy> {
+) -> Result<Option<BurstablePolicy>, SprintError> {
     let lambda = demand_rate(demand.kind, demand.utilization);
-    let candidates: Vec<BurstablePolicy> = match strategy {
-        Strategy::Aws => vec![BurstablePolicy::aws_t2_small()],
-        Strategy::ModelDrivenBudgeting => MULTIPLIERS
-            .iter()
-            .map(|&m| BurstablePolicy::with_multiplier(0.2, m, 0.0))
-            .collect(),
-        Strategy::ModelDrivenSprinting => MULTIPLIERS
-            .iter()
-            .flat_map(|&m| {
-                TIMEOUTS.iter().flat_map(move |&t| {
-                    BUDGET_SCALES.iter().map(move |&b| {
-                        BurstablePolicy::with_multiplier(0.2, m, t).with_budget_scaled(b)
-                    })
-                })
-            })
-            .collect(),
-    };
-    let mut candidates = candidates;
+    let mut candidates: Vec<BurstablePolicy> = Vec::new();
+    match strategy {
+        Strategy::Aws => candidates.push(BurstablePolicy::aws_t2_small()),
+        Strategy::ModelDrivenBudgeting => {
+            for &m in &MULTIPLIERS {
+                candidates.push(BurstablePolicy::with_multiplier(0.2, m, 0.0)?);
+            }
+        }
+        Strategy::ModelDrivenSprinting => {
+            for &m in &MULTIPLIERS {
+                for &t in &TIMEOUTS {
+                    for &b in &BUDGET_SCALES {
+                        candidates.push(
+                            BurstablePolicy::with_multiplier(0.2, m, t)?.with_budget_scaled(b)?,
+                        );
+                    }
+                }
+            }
+        }
+    }
     candidates.sort_by(|a, b| {
         strategy_commitment(strategy, a).total_cmp(&strategy_commitment(strategy, b))
     });
-    candidates
-        .into_iter()
-        .find(|p| meets_slo(demand.kind, lambda, p, opts))
+    for p in candidates {
+        if meets_slo(demand.kind, lambda, &p, opts)? {
+            return Ok(Some(p));
+        }
+    }
+    Ok(None)
 }
 
 /// Packs demands onto one node: selects the cheapest SLO-compliant
 /// policy per demand, then admits smallest-commitment-first while the
 /// total stays within one node's CPU (no oversubscription, §4.4).
+///
+/// # Errors
+///
+/// Propagates prediction errors from policy selection.
 pub fn colocate(
     demands: &[WorkloadDemand],
     strategy: Strategy,
     opts: &SloOptions,
-) -> ColocationResult {
-    let mut selected: Vec<(WorkloadDemand, Option<BurstablePolicy>)> = demands
-        .iter()
-        .map(|&d| (d, select_policy(&d, strategy, opts)))
-        .collect();
+) -> Result<ColocationResult, SprintError> {
+    let mut selected: Vec<(WorkloadDemand, Option<BurstablePolicy>)> = Vec::new();
+    for &d in demands {
+        selected.push((d, select_policy(&d, strategy, opts)?));
+    }
     selected.sort_by(|a, b| {
-        let ca = a.1.map_or(f64::INFINITY, |p| strategy_commitment(strategy, &p));
-        let cb = b.1.map_or(f64::INFINITY, |p| strategy_commitment(strategy, &p));
+        let ca =
+            a.1.map_or(f64::INFINITY, |p| strategy_commitment(strategy, &p));
+        let cb =
+            b.1.map_or(f64::INFINITY, |p| strategy_commitment(strategy, &p));
         ca.total_cmp(&cb)
     });
     let mut hosted = Vec::new();
@@ -143,11 +159,11 @@ pub fn colocate(
             _ => rejected.push(d),
         }
     }
-    ColocationResult {
+    Ok(ColocationResult {
         hosted,
         rejected,
         committed_cpu: committed,
-    }
+    })
 }
 
 /// The paper's workload combinations (Fig. 13).
@@ -216,7 +232,7 @@ mod tests {
     #[test]
     fn aws_policy_commits_whole_core() {
         let opts = fast_opts();
-        let r = colocate(&combo(1), Strategy::Aws, &opts);
+        let r = colocate(&combo(1), Strategy::Aws, &opts).unwrap();
         // AWS reserves share × 5 = a full core per workload: at most
         // one Jacobi fits even if SLO is met.
         assert!(r.hosted.len() <= 1, "hosted {}", r.hosted.len());
@@ -231,8 +247,8 @@ mod tests {
         let mut aws_total = 0.0;
         let mut budget_total = 0.0;
         for c in 1..=3 {
-            let aws = colocate(&combo(c), Strategy::Aws, &opts);
-            let budget = colocate(&combo(c), Strategy::ModelDrivenBudgeting, &opts);
+            let aws = colocate(&combo(c), Strategy::Aws, &opts).unwrap();
+            let budget = colocate(&combo(c), Strategy::ModelDrivenBudgeting, &opts).unwrap();
             assert!(
                 budget.hosted.len() >= aws.hosted.len(),
                 "combo {c}: budgeting {} vs aws {}",
@@ -251,8 +267,8 @@ mod tests {
     #[test]
     fn sprinting_at_least_matches_budgeting() {
         let opts = fast_opts();
-        let budget = colocate(&combo(1), Strategy::ModelDrivenBudgeting, &opts);
-        let sprint = colocate(&combo(1), Strategy::ModelDrivenSprinting, &opts);
+        let budget = colocate(&combo(1), Strategy::ModelDrivenBudgeting, &opts).unwrap();
+        let sprint = colocate(&combo(1), Strategy::ModelDrivenSprinting, &opts).unwrap();
         assert!(sprint.hosted.len() >= budget.hosted.len());
     }
 
@@ -265,7 +281,7 @@ mod tests {
             Strategy::ModelDrivenSprinting,
         ] {
             for c in 1..=3 {
-                let r = colocate(&combo(c), s, &opts);
+                let r = colocate(&combo(c), s, &opts).unwrap();
                 assert!(
                     r.committed_cpu <= 1.0 + 1e-9,
                     "{} combo {c}: committed {}",
@@ -279,10 +295,10 @@ mod tests {
     #[test]
     fn selected_policies_meet_slo() {
         let opts = fast_opts();
-        let r = colocate(&combo(3), Strategy::ModelDrivenSprinting, &opts);
+        let r = colocate(&combo(3), Strategy::ModelDrivenSprinting, &opts).unwrap();
         for (d, p) in &r.hosted {
             let lambda = demand_rate(d.kind, d.utilization);
-            assert!(meets_slo(d.kind, lambda, p, &opts), "{:?}", d.kind);
+            assert!(meets_slo(d.kind, lambda, p, &opts).unwrap(), "{:?}", d.kind);
         }
     }
 

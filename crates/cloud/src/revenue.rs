@@ -7,7 +7,7 @@
 //! break-even after ~2.5 days, and 1.6X revenue over the 552-hour
 //! median lifetime of a virtualized server.
 
-use serde::{Deserialize, Serialize};
+use simcore::SprintError;
 
 /// Median lifetime of a virtualized cloud server in hours (the paper
 /// cites 552 hours).
@@ -22,7 +22,7 @@ pub const HYBRID_PROFILING_HOURS_PER_WORKLOAD: f64 = 7.2;
 pub const ANN_PROFILING_HOURS_PER_WORKLOAD: f64 = 43.2;
 
 /// One point on a cumulative revenue timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RevenuePoint {
     /// Hours since the node started hosting.
     pub hours: f64,
@@ -38,21 +38,23 @@ pub struct RevenuePoint {
 /// model-driven policies earn the AWS rate during profiling (the
 /// workload runs on a dedicated node) and the improved rate after.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if rates are negative or `step_hours` is not positive.
+/// Returns [`SprintError::InvalidConfig`] if a rate is negative (or
+/// NaN) or `step_hours` is not positive and finite.
 pub fn break_even_timeline(
     aws_rate_per_hour: f64,
     model_rate_per_hour: f64,
     num_workloads: usize,
     horizon_hours: f64,
     step_hours: f64,
-) -> Vec<RevenuePoint> {
-    assert!(
-        aws_rate_per_hour >= 0.0 && model_rate_per_hour >= 0.0,
-        "negative revenue rate"
-    );
-    assert!(step_hours > 0.0, "step must be positive");
+) -> Result<Vec<RevenuePoint>, SprintError> {
+    SprintError::require_non_negative("break_even_timeline::aws_rate_per_hour", aws_rate_per_hour)?;
+    SprintError::require_non_negative(
+        "break_even_timeline::model_rate_per_hour",
+        model_rate_per_hour,
+    )?;
+    SprintError::require_positive("break_even_timeline::step_hours", step_hours)?;
     let hybrid_prof = HYBRID_PROFILING_HOURS_PER_WORKLOAD * num_workloads as f64;
     let ann_prof = ANN_PROFILING_HOURS_PER_WORKLOAD * num_workloads as f64;
     let mut points = Vec::new();
@@ -66,7 +68,7 @@ pub fn break_even_timeline(
         });
         h += step_hours;
     }
-    points
+    Ok(points)
 }
 
 /// During profiling the provider earns nothing (the profiled node is
@@ -95,14 +97,14 @@ mod tests {
 
     #[test]
     fn aws_earns_from_hour_zero() {
-        let tl = break_even_timeline(0.03, 0.09, 4, 100.0, 1.0);
+        let tl = break_even_timeline(0.03, 0.09, 4, 100.0, 1.0).unwrap();
         assert_eq!(tl[0].aws, 0.0);
         assert!((tl[10].aws - 0.3).abs() < 1e-9);
     }
 
     #[test]
     fn model_earns_nothing_during_profiling() {
-        let tl = break_even_timeline(0.03, 0.09, 4, 100.0, 1.0);
+        let tl = break_even_timeline(0.03, 0.09, 4, 100.0, 1.0).unwrap();
         // 4 workloads × 7.2 h = 28.8 h of profiling.
         let during = tl.iter().find(|p| p.hours == 20.0).unwrap();
         assert_eq!(during.model_hybrid, 0.0);
@@ -114,14 +116,14 @@ mod tests {
     fn break_even_near_paper_value() {
         // 3X revenue rate (1 -> 3 hosted workloads): break-even =
         // 28.8 × 3/2 = 43.2 h ≈ the paper's "after 2.5 days".
-        let tl = break_even_timeline(0.03, 0.09, 4, 200.0, 0.5);
+        let tl = break_even_timeline(0.03, 0.09, 4, 200.0, 0.5).unwrap();
         let be = break_even_hours(&tl).expect("must break even");
         assert!((be - 43.2).abs() < 2.0, "break-even {be}");
     }
 
     #[test]
     fn lifetime_revenue_gain_exceeds_1_5x() {
-        let tl = break_even_timeline(0.03, 0.09, 4, SERVER_LIFETIME_HOURS, 1.0);
+        let tl = break_even_timeline(0.03, 0.09, 4, SERVER_LIFETIME_HOURS, 1.0).unwrap();
         let last = tl.last().unwrap();
         let gain = last.model_hybrid / last.aws;
         assert!(gain > 1.5, "lifetime gain {gain}");
@@ -132,27 +134,29 @@ mod tests {
 
     #[test]
     fn zero_model_rate_never_breaks_even() {
-        let tl = break_even_timeline(0.03, 0.0, 2, 600.0, 10.0);
+        let tl = break_even_timeline(0.03, 0.0, 2, 600.0, 10.0).unwrap();
         assert!(break_even_hours(&tl).is_none());
         assert!(tl.iter().all(|p| p.model_hybrid == 0.0));
     }
 
     #[test]
     fn timeline_step_and_span() {
-        let tl = break_even_timeline(0.03, 0.09, 1, 100.0, 25.0);
+        let tl = break_even_timeline(0.03, 0.09, 1, 100.0, 25.0).unwrap();
         let hours: Vec<f64> = tl.iter().map(|p| p.hours).collect();
         assert_eq!(hours, vec![0.0, 25.0, 50.0, 75.0, 100.0]);
     }
 
     #[test]
-    #[should_panic(expected = "step must be positive")]
-    fn rejects_zero_step() {
-        let _ = break_even_timeline(0.03, 0.09, 1, 100.0, 0.0);
+    fn rejects_bad_timeline_parameters() {
+        assert!(break_even_timeline(0.03, 0.09, 1, 100.0, 0.0).is_err());
+        assert!(break_even_timeline(-0.03, 0.09, 1, 100.0, 1.0).is_err());
+        assert!(break_even_timeline(0.03, f64::NAN, 1, 100.0, 1.0).is_err());
+        assert!(break_even_timeline(0.03, 0.09, 1, 100.0, f64::INFINITY).is_err());
     }
 
     #[test]
     fn ann_breaks_even_later_than_hybrid() {
-        let tl = break_even_timeline(0.03, 0.09, 4, 400.0, 1.0);
+        let tl = break_even_timeline(0.03, 0.09, 4, 400.0, 1.0).unwrap();
         let hybrid_be = break_even_hours(&tl).unwrap();
         let ann_be = tl
             .iter()

@@ -10,6 +10,7 @@ use crate::burstable::BurstablePolicy;
 use qsim::{predict_mean_response, QsimConfig};
 use simcore::dist::DistKind;
 use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
 use workloads::{Workload, WorkloadKind};
 
 /// Prediction settings for SLO checks.
@@ -63,6 +64,7 @@ pub fn demand_rate(kind: WorkloadKind, utilization: f64) -> Rate {
     burst_rate(kind).scale(0.2 * utilization)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sim_config(
     kind: WorkloadKind,
     lambda: Rate,
@@ -97,12 +99,18 @@ fn sim_config(
 
 /// Predicted mean response time (seconds) for `kind` at arrival rate
 /// `lambda` under `policy`.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if `opts` or the policy
+/// yields an invalid simulator configuration (e.g. zero replications
+/// or a non-finite budget).
 pub fn predict_response_secs(
     kind: WorkloadKind,
     lambda: Rate,
     policy: &BurstablePolicy,
     opts: &SloOptions,
-) -> f64 {
+) -> Result<f64, SprintError> {
     let cfg = sim_config(
         kind,
         lambda,
@@ -118,7 +126,16 @@ pub fn predict_response_secs(
 
 /// Predicted mean response time with no throttling at all (the SLO
 /// reference point: the node's normal sustained rate).
-pub fn unthrottled_response_secs(kind: WorkloadKind, lambda: Rate, opts: &SloOptions) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if `opts` yields an invalid
+/// simulator configuration.
+pub fn unthrottled_response_secs(
+    kind: WorkloadKind,
+    lambda: Rate,
+    opts: &SloOptions,
+) -> Result<f64, SprintError> {
     let cfg = sim_config(
         kind,
         lambda,
@@ -133,20 +150,41 @@ pub fn unthrottled_response_secs(kind: WorkloadKind, lambda: Rate, opts: &SloOpt
 }
 
 /// Whether `policy` keeps `kind`'s response time within the SLO.
+///
+/// # Errors
+///
+/// Propagates prediction errors from either simulation.
 pub fn meets_slo(
     kind: WorkloadKind,
     lambda: Rate,
     policy: &BurstablePolicy,
     opts: &SloOptions,
-) -> bool {
-    let reference = unthrottled_response_secs(kind, lambda, opts);
-    let throttled = predict_response_secs(kind, lambda, policy, opts);
-    throttled <= opts.slo_factor * reference
+) -> Result<bool, SprintError> {
+    let reference = unthrottled_response_secs(kind, lambda, opts)?;
+    let throttled = predict_response_secs(kind, lambda, policy, opts)?;
+    Ok(throttled <= opts.slo_factor * reference)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_replications_is_a_typed_error() {
+        let lambda = demand_rate(WorkloadKind::Jacobi, 0.7);
+        let opts = SloOptions {
+            replications: 0,
+            ..SloOptions::default()
+        };
+        assert!(unthrottled_response_secs(WorkloadKind::Jacobi, lambda, &opts).is_err());
+        assert!(meets_slo(
+            WorkloadKind::Jacobi,
+            lambda,
+            &BurstablePolicy::aws_t2_small(),
+            &opts
+        )
+        .is_err());
+    }
 
     #[test]
     fn demand_rate_matches_section_4_3() {
@@ -159,13 +197,14 @@ mod tests {
     fn unthrottled_is_fastest() {
         let lambda = demand_rate(WorkloadKind::Jacobi, 0.7);
         let opts = SloOptions::default();
-        let reference = unthrottled_response_secs(WorkloadKind::Jacobi, lambda, &opts);
+        let reference = unthrottled_response_secs(WorkloadKind::Jacobi, lambda, &opts).unwrap();
         let aws = predict_response_secs(
             WorkloadKind::Jacobi,
             lambda,
             &BurstablePolicy::aws_t2_small(),
             &opts,
-        );
+        )
+        .unwrap();
         // Unthrottled Jacobi service is ~70.6 s (51 qph); light load
         // keeps the response near that. AWS's 5X sprint can actually
         // beat the no-throttle reference (74 qph > 51 qph), so only
@@ -190,7 +229,8 @@ mod tests {
             lambda,
             &policy,
             &SloOptions::default()
-        ));
+        )
+        .unwrap());
     }
 
     #[test]
@@ -208,7 +248,8 @@ mod tests {
             lambda,
             &policy,
             &SloOptions::default()
-        ));
+        )
+        .unwrap());
     }
 }
 
@@ -233,12 +274,27 @@ mod debug_probe {
             (WorkloadKind::Knn, 0.8),
         ] {
             let lambda = demand_rate(kind, util);
-            let reference = unthrottled_response_secs(kind, lambda, &opts);
-            println!("{} util {util}: lambda {:.1}, ref {:.1}, slo {:.1}", kind.name(), lambda.qph(), reference, reference*1.15);
+            let reference = unthrottled_response_secs(kind, lambda, &opts).unwrap();
+            println!(
+                "{} util {util}: lambda {:.1}, ref {:.1}, slo {:.1}",
+                kind.name(),
+                lambda.qph(),
+                reference,
+                reference * 1.15
+            );
             for m in [1.5, 2.0, 2.5, 3.0, 4.0, 5.0] {
-                let p = BurstablePolicy::with_multiplier(0.2, m, 0.0);
-                let rt = predict_response_secs(kind, lambda, &p, &opts);
-                println!("  m={m}: B={:.0} rt {:.1} {}", p.budget_secs_per_hour, rt, if rt <= 1.15*reference {"PASS"} else {"fail"});
+                let p = BurstablePolicy::with_multiplier(0.2, m, 0.0).unwrap();
+                let rt = predict_response_secs(kind, lambda, &p, &opts).unwrap();
+                println!(
+                    "  m={m}: B={:.0} rt {:.1} {}",
+                    p.budget_secs_per_hour,
+                    rt,
+                    if rt <= 1.15 * reference {
+                        "PASS"
+                    } else {
+                        "fail"
+                    }
+                );
             }
         }
     }

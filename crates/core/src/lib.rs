@@ -25,6 +25,12 @@
 //!
 //! [`throughput`] measures predictions per minute (Fig. 11), and
 //! [`train`] builds models from a profiling campaign.
+//!
+//! For deployment, [`online`] adds a model-health circuit breaker
+//! ([`ModelHealthMonitor`]): when observed response times diverge from
+//! predictions it walks the degradation ladder full model → stale
+//! model → no-sprint, and re-closes only after an Eq. 2 recalibration
+//! succeeds.
 
 pub mod calibrate;
 pub mod model;
@@ -34,5 +40,7 @@ pub mod train;
 
 pub use calibrate::{effective_sprint_rate, CalibrationOptions};
 pub use model::{AnnModel, HybridModel, NoMlModel, ResponseTimeModel, SimOptions};
-pub use online::{ArrivalRateEstimator, OnlineModel};
+pub use online::{
+    ArrivalRateEstimator, BreakerConfig, DegradationLevel, ModelHealthMonitor, OnlineModel,
+};
 pub use train::{train_ann, train_hybrid, TrainOptions};

@@ -70,7 +70,8 @@ impl SimOptions {
     }
 
     /// Simulated mean response time for a condition at the given
-    /// sprint speedup.
+    /// sprint speedup. Zero `replications`/`threads` are lifted to one
+    /// so a default-ish `SimOptions` never aborts a prediction.
     pub fn simulate(
         &self,
         profile: &WorkloadProfile,
@@ -78,7 +79,8 @@ impl SimOptions {
         sprint_speedup: f64,
     ) -> f64 {
         let cfg = self.config(profile, cond, sprint_speedup);
-        predict_mean_response(&cfg, self.replications, self.threads)
+        predict_mean_response(&cfg, self.replications.max(1), self.threads.max(1))
+            .expect("config derived from a validated profile simulates")
     }
 }
 
@@ -310,7 +312,11 @@ mod tests {
             let c = cond(0.3 + 0.03 * i as f64);
             d.push(c.features(p.mu, p.mu_m), 1.0); // 1 qph — nonsense.
         }
-        let f = RandomForest::train(&d, profiler::features::MU_M_FEATURE, ForestConfig::default());
+        let f = RandomForest::train(
+            &d,
+            profiler::features::MU_M_FEATURE,
+            ForestConfig::default(),
+        );
         let m = HybridModel::new(p, f, SimOptions::default());
         // Clamp must lift it to at least 0.6 µ.
         assert!(m.effective_rate_qph(&cond(0.5)) >= 0.6 * 50.0);

@@ -8,6 +8,7 @@ use crate::model::SimOptions;
 use profiler::{Condition, WorkloadProfile};
 use qsim::run_batch;
 use simcore::stats::StreamingStats;
+use simcore::SprintError;
 use std::time::Instant;
 
 /// Result of one throughput measurement.
@@ -27,17 +28,22 @@ pub struct ThroughputPoint {
 /// per minute the simulator sustains at the given simulation size and
 /// thread count, and how much the estimates vary run to run.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `num_predictions` is zero.
+/// Returns [`SprintError::InvalidConfig`] if `num_predictions`,
+/// `queries_per_prediction`, or `threads` is zero.
 pub fn measure_throughput(
     profile: &WorkloadProfile,
     cond: &Condition,
     queries_per_prediction: usize,
     threads: usize,
     num_predictions: usize,
-) -> ThroughputPoint {
-    assert!(num_predictions > 0, "need at least one prediction");
+) -> Result<ThroughputPoint, SprintError> {
+    SprintError::require_nonzero("measure_throughput::num_predictions", num_predictions)?;
+    SprintError::require_nonzero(
+        "measure_throughput::queries_per_prediction",
+        queries_per_prediction,
+    )?;
     let sim = SimOptions {
         sim_queries: queries_per_prediction,
         warmup: queries_per_prediction / 10,
@@ -48,24 +54,24 @@ pub fn measure_throughput(
     let configs: Vec<_> = (0..num_predictions)
         .map(|i| {
             let mut cfg = sim.config(profile, cond, profile.marginal_speedup());
-            cfg.seed = 0xF16_11 + i as u64 * 7;
+            cfg.seed = 0xF1611 + i as u64 * 7;
             cfg
         })
         .collect();
     let start = Instant::now();
-    let results = run_batch(configs, threads);
+    let results = run_batch(configs, threads)?;
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
 
     let mut stats = StreamingStats::new();
     for r in &results {
         stats.push(r.mean_response_secs());
     }
-    ThroughputPoint {
+    Ok(ThroughputPoint {
         queries_per_prediction,
         threads,
         predictions_per_minute: num_predictions as f64 / elapsed * 60.0,
         cov_percent: stats.cov() * 100.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -98,7 +104,7 @@ mod tests {
 
     #[test]
     fn throughput_positive_and_cov_finite() {
-        let t = measure_throughput(&profile(), &cond(), 500, 1, 8);
+        let t = measure_throughput(&profile(), &cond(), 500, 1, 8).unwrap();
         assert!(t.predictions_per_minute > 0.0);
         assert!(t.cov_percent.is_finite());
         assert_eq!(t.queries_per_prediction, 500);
@@ -106,8 +112,8 @@ mod tests {
 
     #[test]
     fn more_queries_reduce_cov() {
-        let small = measure_throughput(&profile(), &cond(), 200, 2, 12);
-        let large = measure_throughput(&profile(), &cond(), 8_000, 2, 12);
+        let small = measure_throughput(&profile(), &cond(), 200, 2, 12).unwrap();
+        let large = measure_throughput(&profile(), &cond(), 8_000, 2, 12).unwrap();
         assert!(
             large.cov_percent < small.cov_percent,
             "cov should shrink: {} !< {}",
@@ -118,8 +124,8 @@ mod tests {
 
     #[test]
     fn more_queries_reduce_throughput() {
-        let small = measure_throughput(&profile(), &cond(), 200, 1, 6);
-        let large = measure_throughput(&profile(), &cond(), 20_000, 1, 6);
+        let small = measure_throughput(&profile(), &cond(), 200, 1, 6).unwrap();
+        let large = measure_throughput(&profile(), &cond(), 20_000, 1, 6).unwrap();
         assert!(large.predictions_per_minute < small.predictions_per_minute);
     }
 }

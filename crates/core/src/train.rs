@@ -7,6 +7,7 @@ use forest::{ForestConfig, RandomForest};
 use mlcore::Dataset;
 use profiler::features::MU_M_FEATURE;
 use profiler::{ProfileData, FEATURE_NAMES};
+use simcore::SprintError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -41,18 +42,25 @@ impl Default for TrainOptions {
 /// run (in parallel), then fit the random forest over the calibrated
 /// rates.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign has no runs.
-pub fn train_hybrid(data: &ProfileData, opts: &TrainOptions) -> HybridModel {
-    assert!(!data.runs.is_empty(), "no profiling runs to train on");
+/// Returns [`SprintError::InvalidConfig`] if the campaign has no runs
+/// or `opts.threads` is zero.
+pub fn train_hybrid(data: &ProfileData, opts: &TrainOptions) -> Result<HybridModel, SprintError> {
+    if data.runs.is_empty() {
+        return Err(SprintError::invalid(
+            "ProfileData::runs",
+            "no profiling runs to train on",
+        ));
+    }
+    SprintError::require_nonzero("TrainOptions::threads", opts.threads)?;
     let n = data.runs.len();
     let rates: Vec<Mutex<Option<f64>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let threads = opts.threads.clamp(1, n);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -62,8 +70,7 @@ pub fn train_hybrid(data: &ProfileData, opts: &TrainOptions) -> HybridModel {
                 *rates[i].lock().expect("slot poisoned") = Some(rate.qph());
             });
         }
-    })
-    .expect("calibration worker panicked");
+    });
 
     let mut train = Dataset::new(FEATURE_NAMES.to_vec());
     for (run, rate) in data.runs.iter().zip(&rates) {
@@ -74,17 +81,22 @@ pub fn train_hybrid(data: &ProfileData, opts: &TrainOptions) -> HybridModel {
         );
     }
     let forest = RandomForest::train(&train, MU_M_FEATURE, opts.forest);
-    HybridModel::new(data.profile.clone(), forest, opts.sim)
+    Ok(HybridModel::new(data.profile.clone(), forest, opts.sim))
 }
 
 /// Trains the ANN baseline: conditions map directly to observed
 /// response time. Three independently seeded networks are averaged.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign has no runs.
-pub fn train_ann(data: &ProfileData, opts: &TrainOptions) -> AnnModel {
-    assert!(!data.runs.is_empty(), "no profiling runs to train on");
+/// Returns [`SprintError::InvalidConfig`] if the campaign has no runs.
+pub fn train_ann(data: &ProfileData, opts: &TrainOptions) -> Result<AnnModel, SprintError> {
+    if data.runs.is_empty() {
+        return Err(SprintError::invalid(
+            "ProfileData::runs",
+            "no profiling runs to train on",
+        ));
+    }
     let mut train = Dataset::new(FEATURE_NAMES.to_vec());
     for run in &data.runs {
         // Regress ln(RT): response times span orders of magnitude
@@ -102,7 +114,7 @@ pub fn train_ann(data: &ProfileData, opts: &TrainOptions) -> AnnModel {
             Mlp::train(&train, &cfg)
         })
         .collect();
-    AnnModel::new(data.profile.clone(), ensemble, true)
+    Ok(AnnModel::new(data.profile.clone(), ensemble, true))
 }
 
 /// Builds the No-ML baseline (no training required).
@@ -125,7 +137,7 @@ mod tests {
         let profiler = Profiler {
             queries_per_run: 200,
             warmup: 20,
-        replays: 1,
+            replays: 1,
             threads: 4,
             seed: 7,
         };
@@ -150,7 +162,7 @@ mod tests {
         let mut opts = TrainOptions::default();
         opts.calibration.max_steps = 25;
         opts.calibration.sim.sim_queries = 800;
-        let model = train_hybrid(&data, &opts);
+        let model = train_hybrid(&data, &opts).unwrap();
         // The effective rate must sit between µ and a bit above µm.
         for run in &data.runs {
             let mu_e = model.effective_rate_qph(&run.condition);
@@ -169,7 +181,7 @@ mod tests {
         let data = small_campaign();
         let mut opts = TrainOptions::default();
         opts.ann.epochs = 200;
-        let model = train_ann(&data, &opts);
+        let model = train_ann(&data, &opts).unwrap();
         let run = &data.runs[2];
         let pred = model.predict_response_secs(&run.condition);
         let err = (pred - run.observed_response_secs).abs() / run.observed_response_secs;

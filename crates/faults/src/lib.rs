@@ -1,0 +1,512 @@
+//! Deterministic fault injection for the sprinting testbed.
+//!
+//! The paper's argument (§3) is that sprinting policies must survive
+//! *runtime deviations*: mechanism toggles that fail or stick, budget
+//! sensors that drift, execution slots that crash, load that spikes,
+//! and thermal envelopes that force an emergency unsprint. This crate
+//! provides a seedable, off-by-default [`FaultPlan`] describing those
+//! failures plus a [`FaultInjector`] the testbed event loop consults at
+//! its decision points.
+//!
+//! Two invariants make the subsystem safe to leave compiled in:
+//!
+//! 1. **Empty plan ⇒ no-op.** [`FaultPlan::default`] injects nothing
+//!    and the injector draws no randomness, so a faultless run is
+//!    bit-identical to a build without fault hooks.
+//! 2. **Determinism.** All fault decisions come from a dedicated
+//!    [`SimRng`] stream derived from [`FaultPlan::seed`], so the same
+//!    `(config seed, fault plan)` pair replays the exact same run, and
+//!    the server's own arrival/service streams are never perturbed.
+
+#![deny(unreachable_pub)]
+
+use simcore::error::SprintError;
+use simcore::rng::SimRng;
+
+/// A window of time during which arrivals are compressed by a burst
+/// multiplier — an injected load storm on top of whatever modulation
+/// the arrival spec already carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormWindow {
+    /// Window start, in simulated seconds.
+    pub start_secs: f64,
+    /// Window length, in simulated seconds.
+    pub duration_secs: f64,
+    /// Arrival-rate multiplier inside the window (e.g. `3.0` = 3X).
+    pub multiplier: f64,
+}
+
+/// Declarative description of every fault the testbed can inject.
+///
+/// All fields default to "off"; construct with struct-update syntax:
+///
+/// ```
+/// use faults::FaultPlan;
+/// let plan = FaultPlan {
+///     seed: 7,
+///     engage_failure_prob: 0.2,
+///     ..FaultPlan::default()
+/// };
+/// assert!(!plan.is_noop());
+/// assert!(FaultPlan::default().is_noop());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG streams.
+    pub seed: u64,
+    /// Probability that a sprint engage attempt fails (the DVFS/core
+    /// toggle is issued but the platform stays at sustained speed).
+    pub engage_failure_prob: f64,
+    /// Probability that an *engaged* sprint sticks on: the mechanism
+    /// cannot toggle back until the query completes (or a thermal
+    /// emergency force-unsprints it).
+    pub stuck_sprint_prob: f64,
+    /// Additive budget-sensor drift in sprint-seconds: the queue
+    /// manager *senses* `true_level + drift` (clamped at zero) while
+    /// the real pool drains truthfully. Positive drift makes the
+    /// server sprint blind past exhaustion; negative drift starves
+    /// sprinting while budget is actually available.
+    pub budget_drift_secs: f64,
+    /// Per-dispatch probability that the execution slot crashes partway
+    /// through the query, losing all progress.
+    pub crash_prob: f64,
+    /// Maximum number of crash-requeue retries per query; after the
+    /// limit, the slot is considered quarantined-then-replaced and the
+    /// query runs crash-free.
+    pub max_retries: u32,
+    /// Arrival-burst windows multiplying the configured arrival rate.
+    pub storms: Vec<StormWindow>,
+    /// Period of injected thermal emergencies in seconds (`0.0` = off).
+    /// At each emergency every sprinting slot is forced back to
+    /// sustained speed and the budget drain stops.
+    pub thermal_period_secs: f64,
+    /// Engage lockout after a thermal emergency: sprint engage attempts
+    /// within this many seconds of an emergency are refused.
+    pub thermal_lockout_secs: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            engage_failure_prob: 0.0,
+            stuck_sprint_prob: 0.0,
+            budget_drift_secs: 0.0,
+            crash_prob: 0.0,
+            max_retries: 1,
+            storms: Vec::new(),
+            thermal_period_secs: 0.0,
+            thermal_lockout_secs: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether this plan injects nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.engage_failure_prob == 0.0
+            && self.stuck_sprint_prob == 0.0
+            && self.budget_drift_secs == 0.0
+            && self.crash_prob == 0.0
+            && self.storms.is_empty()
+            && self.thermal_period_secs == 0.0
+    }
+
+    /// Validates every field, returning the first violation.
+    pub fn validate(&self) -> Result<(), SprintError> {
+        for (name, p) in [
+            ("engage_failure_prob", self.engage_failure_prob),
+            ("stuck_sprint_prob", self.stuck_sprint_prob),
+            ("crash_prob", self.crash_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("{name} must be in [0, 1], got {p}"),
+                });
+            }
+        }
+        if !self.budget_drift_secs.is_finite() {
+            return Err(SprintError::InvalidFaultPlan {
+                details: format!(
+                    "budget_drift_secs must be finite, got {}",
+                    self.budget_drift_secs
+                ),
+            });
+        }
+        for (i, w) in self.storms.iter().enumerate() {
+            if !w.start_secs.is_finite() || w.start_secs < 0.0 {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("storm {i}: start_secs must be finite and >= 0"),
+                });
+            }
+            if !w.duration_secs.is_finite() || w.duration_secs <= 0.0 {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("storm {i}: duration_secs must be finite and > 0"),
+                });
+            }
+            if !w.multiplier.is_finite() || w.multiplier <= 0.0 {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("storm {i}: multiplier must be finite and > 0"),
+                });
+            }
+        }
+        if self.thermal_period_secs != 0.0
+            && (!self.thermal_period_secs.is_finite() || self.thermal_period_secs <= 0.0)
+        {
+            return Err(SprintError::InvalidFaultPlan {
+                details: format!(
+                    "thermal_period_secs must be 0 (off) or finite and > 0, got {}",
+                    self.thermal_period_secs
+                ),
+            });
+        }
+        if !self.thermal_lockout_secs.is_finite() || self.thermal_lockout_secs < 0.0 {
+            return Err(SprintError::InvalidFaultPlan {
+                details: format!(
+                    "thermal_lockout_secs must be finite and >= 0, got {}",
+                    self.thermal_lockout_secs
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-fault occurrence counters reported in run metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Sprint engage attempts that failed (toggle fault).
+    pub engage_failures: u64,
+    /// Sprints that engaged but stuck on until completion/thermal.
+    pub stuck_sprints: u64,
+    /// Execution-slot crashes (each loses one in-flight query's work).
+    pub slot_crashes: u64,
+    /// Queries whose crash-retry budget was exhausted (ran crash-free
+    /// afterwards on a replacement slot).
+    pub retries_exhausted: u64,
+    /// Sprinting executions force-unsprinted by thermal emergencies.
+    pub thermal_unsprints: u64,
+    /// Sprint engage attempts refused during a thermal lockout.
+    pub lockout_refusals: u64,
+    /// Arrivals whose inter-arrival gap was compressed by a storm.
+    pub storm_arrivals: u64,
+}
+
+impl FaultCounters {
+    /// Total injected fault events of any kind.
+    pub fn total(&self) -> u64 {
+        self.engage_failures
+            + self.stuck_sprints
+            + self.slot_crashes
+            + self.retries_exhausted
+            + self.thermal_unsprints
+            + self.lockout_refusals
+            + self.storm_arrivals
+    }
+}
+
+/// Outcome of one sprint engage attempt under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngageOutcome {
+    /// Sprint engaged normally.
+    Engaged,
+    /// Sprint engaged but the mechanism is stuck on — it cannot toggle
+    /// back until the query completes or a thermal emergency fires.
+    EngagedStuck,
+    /// The toggle failed; the execution continues at sustained speed.
+    Failed,
+}
+
+/// Stateful fault decision engine for one testbed run.
+///
+/// Owns private RNG streams (derived from the plan seed) so decisions
+/// are deterministic and never perturb the server's own streams.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    engage_rng: SimRng,
+    crash_rng: SimRng,
+    locked_until_secs: f64,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Validates the plan and builds an injector.
+    pub fn new(plan: FaultPlan) -> Result<FaultInjector, SprintError> {
+        plan.validate()?;
+        let mut root = SimRng::new(plan.seed);
+        let engage_rng = root.split(0xFA01);
+        let crash_rng = root.split(0xFA02);
+        Ok(FaultInjector {
+            plan,
+            engage_rng,
+            crash_rng,
+            locked_until_secs: f64::NEG_INFINITY,
+            counters: FaultCounters::default(),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the injector can never fire.
+    pub fn is_noop(&self) -> bool {
+        self.plan.is_noop()
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Decides the outcome of a sprint engage attempt at `now_secs`.
+    ///
+    /// Draws from the engage stream only when the relevant probability
+    /// is non-zero, so a no-op plan consumes no randomness.
+    pub fn engage_outcome(&mut self, now_secs: f64) -> EngageOutcome {
+        if now_secs < self.locked_until_secs {
+            self.counters.lockout_refusals += 1;
+            return EngageOutcome::Failed;
+        }
+        if self.plan.engage_failure_prob > 0.0
+            && self.engage_rng.chance(self.plan.engage_failure_prob)
+        {
+            self.counters.engage_failures += 1;
+            return EngageOutcome::Failed;
+        }
+        if self.plan.stuck_sprint_prob > 0.0 && self.engage_rng.chance(self.plan.stuck_sprint_prob)
+        {
+            self.counters.stuck_sprints += 1;
+            return EngageOutcome::EngagedStuck;
+        }
+        EngageOutcome::Engaged
+    }
+
+    /// The budget level the queue manager *senses* given the true level.
+    ///
+    /// With zero drift this is exactly `true_level`.
+    pub fn sensed_level(&self, true_level: f64) -> f64 {
+        (true_level + self.plan.budget_drift_secs).max(0.0)
+    }
+
+    /// Decides whether the dispatch of a query with `retries_so_far`
+    /// crash-requeues will crash, and if so at what fraction of its
+    /// service time. Returns `None` when the query runs to completion.
+    pub fn crash_point_frac(&mut self, retries_so_far: u32) -> Option<f64> {
+        if self.plan.crash_prob == 0.0 {
+            return None;
+        }
+        if retries_so_far >= self.plan.max_retries {
+            return None;
+        }
+        if !self.crash_rng.chance(self.plan.crash_prob) {
+            return None;
+        }
+        // Crash somewhere in (5%, 95%) of the service time so the
+        // requeue always loses meaningful progress and the crash never
+        // races the completion event at the exact same instant.
+        Some(self.crash_rng.uniform(0.05, 0.95))
+    }
+
+    /// Records that a crash actually happened (the query was still
+    /// in-flight when its crash point arrived).
+    pub fn record_crash(&mut self, was_final_retry: bool) {
+        self.counters.slot_crashes += 1;
+        if was_final_retry {
+            self.counters.retries_exhausted += 1;
+        }
+    }
+
+    /// Storm multiplier active at `now_secs` (product of all matching
+    /// windows; `1.0` outside every window).
+    pub fn storm_multiplier(&self, now_secs: f64) -> f64 {
+        let mut m = 1.0;
+        for w in &self.plan.storms {
+            if now_secs >= w.start_secs && now_secs < w.start_secs + w.duration_secs {
+                m *= w.multiplier;
+            }
+        }
+        m
+    }
+
+    /// Records an arrival sampled under an active storm window.
+    pub fn record_storm_arrival(&mut self) {
+        self.counters.storm_arrivals += 1;
+    }
+
+    /// Time of the first thermal emergency, if the plan schedules any.
+    pub fn first_thermal_secs(&self) -> Option<f64> {
+        (self.plan.thermal_period_secs > 0.0).then_some(self.plan.thermal_period_secs)
+    }
+
+    /// Handles a thermal emergency at `now_secs`: starts the engage
+    /// lockout, counts `unsprinted` forced unsprints, and returns when
+    /// the next emergency fires.
+    pub fn on_thermal(&mut self, now_secs: f64, unsprinted: u64) -> f64 {
+        self.counters.thermal_unsprints += unsprinted;
+        self.locked_until_secs = now_secs + self.plan.thermal_lockout_secs;
+        now_secs + self.plan.thermal_period_secs
+    }
+
+    /// Maximum crash-requeue retries per query.
+    pub fn max_retries(&self) -> u32 {
+        self.plan.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        assert!(plan.validate().is_ok());
+        let mut inj = FaultInjector::new(plan).unwrap();
+        // A no-op injector never alters decisions.
+        assert_eq!(inj.engage_outcome(0.0), EngageOutcome::Engaged);
+        assert_eq!(inj.crash_point_frac(0), None);
+        assert_eq!(inj.sensed_level(5.0), 5.0);
+        assert_eq!(inj.storm_multiplier(123.0), 1.0);
+        assert_eq!(inj.first_thermal_secs(), None);
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn noop_plan_draws_no_randomness() {
+        // Engage decisions on a no-op plan must not consume the stream:
+        // two injectors stay in lockstep regardless of call counts.
+        let mut a = FaultInjector::new(FaultPlan::default()).unwrap();
+        let mut b = FaultInjector::new(FaultPlan::default()).unwrap();
+        for _ in 0..10 {
+            let _ = a.engage_outcome(1.0);
+            let _ = a.crash_point_frac(0);
+        }
+        let _ = b.engage_outcome(1.0);
+        assert_eq!(a.engage_rng.next_u64(), b.engage_rng.next_u64());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad = |f: fn(&mut FaultPlan)| {
+            let mut p = FaultPlan::default();
+            f(&mut p);
+            p.validate()
+        };
+        assert!(bad(|p| p.engage_failure_prob = 1.5).is_err());
+        assert!(bad(|p| p.stuck_sprint_prob = -0.1).is_err());
+        assert!(bad(|p| p.crash_prob = f64::NAN).is_err());
+        assert!(bad(|p| p.budget_drift_secs = f64::INFINITY).is_err());
+        assert!(bad(|p| p.thermal_period_secs = -5.0).is_err());
+        assert!(bad(|p| p.thermal_lockout_secs = f64::NAN).is_err());
+        assert!(bad(|p| {
+            p.storms.push(StormWindow {
+                start_secs: 0.0,
+                duration_secs: 0.0,
+                multiplier: 2.0,
+            })
+        })
+        .is_err());
+        assert!(bad(|p| {
+            p.storms.push(StormWindow {
+                start_secs: 10.0,
+                duration_secs: 5.0,
+                multiplier: -1.0,
+            })
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn engage_failures_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 99,
+            engage_failure_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone()).unwrap();
+        let mut b = FaultInjector::new(plan).unwrap();
+        let xs: Vec<_> = (0..64).map(|_| a.engage_outcome(0.0)).collect();
+        let ys: Vec<_> = (0..64).map(|_| b.engage_outcome(0.0)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.contains(&EngageOutcome::Failed));
+        assert!(xs.contains(&EngageOutcome::Engaged));
+    }
+
+    #[test]
+    fn sensed_level_drifts_and_clamps() {
+        let plan = FaultPlan {
+            budget_drift_secs: 20.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.sensed_level(0.0), 20.0); // Sprinting blind.
+        let neg = FaultInjector::new(FaultPlan {
+            budget_drift_secs: -50.0,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        assert_eq!(neg.sensed_level(30.0), 0.0); // Starved, clamped.
+    }
+
+    #[test]
+    fn crash_respects_retry_budget() {
+        let plan = FaultPlan {
+            seed: 4,
+            crash_prob: 1.0,
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan).unwrap();
+        let f0 = inj.crash_point_frac(0).expect("first dispatch crashes");
+        assert!((0.05..0.95).contains(&f0));
+        assert!(inj.crash_point_frac(1).is_some());
+        assert!(inj.crash_point_frac(2).is_none(), "retries exhausted");
+    }
+
+    #[test]
+    fn storms_compose_and_bound() {
+        let plan = FaultPlan {
+            storms: vec![
+                StormWindow {
+                    start_secs: 100.0,
+                    duration_secs: 50.0,
+                    multiplier: 3.0,
+                },
+                StormWindow {
+                    start_secs: 120.0,
+                    duration_secs: 100.0,
+                    multiplier: 2.0,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.storm_multiplier(90.0), 1.0);
+        assert_eq!(inj.storm_multiplier(110.0), 3.0);
+        assert_eq!(inj.storm_multiplier(130.0), 6.0); // Overlap.
+        assert_eq!(inj.storm_multiplier(180.0), 2.0);
+        assert_eq!(inj.storm_multiplier(220.0), 1.0);
+    }
+
+    #[test]
+    fn thermal_schedule_and_lockout() {
+        let plan = FaultPlan {
+            thermal_period_secs: 500.0,
+            thermal_lockout_secs: 60.0,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.first_thermal_secs(), Some(500.0));
+        let next = inj.on_thermal(500.0, 3);
+        assert_eq!(next, 1000.0);
+        assert_eq!(inj.counters().thermal_unsprints, 3);
+        // Engage refused during lockout, allowed after.
+        assert_eq!(inj.engage_outcome(530.0), EngageOutcome::Failed);
+        assert_eq!(inj.counters().lockout_refusals, 1);
+        assert_eq!(inj.engage_outcome(561.0), EngageOutcome::Engaged);
+    }
+}

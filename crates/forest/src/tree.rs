@@ -2,10 +2,9 @@
 //! leaves.
 
 use mlcore::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Tree construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Maximum depth; the paper builds deep trees and eschews pruning.
     pub max_depth: usize,
@@ -33,7 +32,7 @@ impl Default for TreeConfig {
 
 /// Leaf model `y = slope · x_base + intercept` (Fig. 5's
 /// `µe = a · µm + b`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeafModel {
     /// Regression slope over the base feature.
     pub slope: f64,
@@ -70,7 +69,7 @@ impl LeafModel {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf(LeafModel),
     Split {
@@ -82,7 +81,7 @@ enum Node {
 }
 
 /// A trained regression tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegressionTree {
     root: Node,
     base_feature: usize,
@@ -244,10 +243,9 @@ fn build(
             if l.len() < cfg.min_leaf || r.len() < cfg.min_leaf {
                 continue;
             }
-            let child = (variance(data, &l) * l.len() as f64
-                + variance(data, &r) * r.len() as f64)
+            let child = (variance(data, &l) * l.len() as f64 + variance(data, &r) * r.len() as f64)
                 / idx.len() as f64;
-            if best.map_or(true, |(_, _, b)| child < b) {
+            if best.is_none_or(|(_, _, b)| child < b) {
                 best = Some((f, threshold, child));
             }
         }
@@ -265,10 +263,22 @@ fn build(
                 feature,
                 threshold,
                 left: Box::new(build(
-                    data, &l, features, base_feature, cfg, depth + 1, importance,
+                    data,
+                    &l,
+                    features,
+                    base_feature,
+                    cfg,
+                    depth + 1,
+                    importance,
                 )),
                 right: Box::new(build(
-                    data, &r, features, base_feature, cfg, depth + 1, importance,
+                    data,
+                    &r,
+                    features,
+                    base_feature,
+                    cfg,
+                    depth + 1,
+                    importance,
                 )),
             }
         }
@@ -326,7 +336,11 @@ mod tests {
         for i in 0..100 {
             let x = (i % 20) as f64;
             let regime = if i < 50 { 0.0 } else { 1.0 };
-            let y = if regime == 0.0 { x + 1.0 } else { 3.0 * x + 10.0 };
+            let y = if regime == 0.0 {
+                x + 1.0
+            } else {
+                3.0 * x + 10.0
+            };
             d.push(vec![x, regime], y);
         }
         let t = RegressionTree::train(&d, &[0, 1], 0, TreeConfig::default());
@@ -343,7 +357,11 @@ mod tests {
             ..TreeConfig::default()
         };
         let t = RegressionTree::train(&d, &[0, 1], 0, cfg);
-        assert_eq!(t.num_leaves(), 1, "50 samples cannot split with min_leaf 26");
+        assert_eq!(
+            t.num_leaves(),
+            1,
+            "50 samples cannot split with min_leaf 26"
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! workload's frequency elasticity is a single intrinsic property.
 
 use crate::power::{pupil_search, uncore_ratio};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 use workloads::{Phase, Workload, WorkloadKind};
@@ -32,7 +31,7 @@ pub const BURST_CAP_WATTS: f64 = 150.0;
 pub const KAPPA_BASE: f64 = 22.0;
 
 /// Calibrated DVFS parameters for one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadCalibration {
     /// Dynamic-power coefficient actually used (W/GHz³).
     pub kappa: f64,

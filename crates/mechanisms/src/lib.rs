@@ -35,12 +35,11 @@ pub use dvfs::Dvfs;
 pub use ec2::Ec2Dvfs;
 pub use throttle::CpuThrottle;
 
-use serde::{Deserialize, Serialize};
 use simcore::time::{Rate, SimDuration};
 use workloads::{Phase, Workload, WorkloadKind};
 
 /// Identifier for a sprinting mechanism (Table 1B IDs plus throttling).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MechanismKind {
     /// DVFS with Pupil-style power capping on the Xeon platform.
     Dvfs,

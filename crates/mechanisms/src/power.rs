@@ -18,8 +18,6 @@
 //! ladder minimum — this is how a tight sustained cap can throttle a
 //! workload to well under half of its burst speed.
 
-use serde::{Deserialize, Serialize};
-
 /// Static (leakage + uncore floor) package power in watts.
 pub const P_STATIC_WATTS: f64 = 25.0;
 
@@ -40,7 +38,7 @@ pub const F_STEP_GHZ: f64 = 0.1;
 pub const BURST_CAP_THRESHOLD_WATTS: f64 = 90.0;
 
 /// A frequency operating point chosen by the power-cap search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Effective core frequency in GHz (below [`F_MIN_GHZ`] indicates
     /// duty cycling).

@@ -1,11 +1,10 @@
 //! Tabular regression datasets.
 
-use rand::{RngCore, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simcore::SimRng;
 
 /// A dense tabular dataset: rows of features plus one regression
 /// target per row.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     feature_names: Vec<String>,
     rows: Vec<Vec<f64>>,
@@ -166,7 +165,11 @@ impl Dataset {
                 let mut train = Dataset::new(self.feature_names.clone());
                 let mut val = Dataset::new(self.feature_names.clone());
                 for (pos, &i) in idx.iter().enumerate() {
-                    let dst = if pos % k == fold { &mut val } else { &mut train };
+                    let dst = if pos % k == fold {
+                        &mut val
+                    } else {
+                        &mut train
+                    };
                     dst.push(self.rows[i].clone(), self.targets[i]);
                 }
                 (train, val)
@@ -175,12 +178,12 @@ impl Dataset {
     }
 }
 
-fn rand_pcg_like(seed: u64) -> impl RngCore {
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rand_pcg_like(seed: u64) -> SimRng {
+    SimRng::new(seed)
 }
 
 /// Per-column z-score normalizer fit on a training set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Normalizer {
     means: Vec<f64>,
     stds: Vec<f64>,

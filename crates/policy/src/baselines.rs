@@ -13,6 +13,7 @@
 
 use profiler::{Condition, WorkloadProfile};
 use qsim::Qsim;
+use simcore::SprintError;
 use sprint_core::SimOptions;
 
 /// The big-burst/small-burst policy: sprint every query on arrival.
@@ -25,13 +26,22 @@ pub fn burst_condition(base: &Condition) -> Condition {
 
 /// Adrenaline's timeout: the 85th percentile of response time with
 /// sprinting disabled.
-pub fn adrenaline_timeout(profile: &WorkloadProfile, base: &Condition, sim: &SimOptions) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if the derived simulator
+/// configuration is invalid (e.g. zero queries in `sim`).
+pub fn adrenaline_timeout(
+    profile: &WorkloadProfile,
+    base: &Condition,
+    sim: &SimOptions,
+) -> Result<f64, SprintError> {
     let mut cfg = sim.config(profile, base, 1.0);
     // Disable sprinting entirely for the reference distribution.
     cfg.budget_capacity_secs = 0.0;
     cfg.sprint_speedup = 1.0;
-    let result = Qsim::new(cfg).run();
-    result.response_quantile_secs(0.85)
+    let result = Qsim::new(cfg)?.run();
+    Ok(result.response_quantile_secs(0.85))
 }
 
 /// Few-to-Many's timeout: the largest setting that still exhausts the
@@ -41,15 +51,25 @@ pub fn adrenaline_timeout(profile: &WorkloadProfile, base: &Condition, sim: &Sim
 ///
 /// Returns the lower bound if even aggressive sprinting cannot exhaust
 /// the budget.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] for a non-positive step,
+/// inverted bounds, or an invalid derived simulator configuration.
 pub fn few_to_many_timeout(
     profile: &WorkloadProfile,
     base: &Condition,
     sim: &SimOptions,
     bounds_secs: (f64, f64),
     step_secs: f64,
-) -> f64 {
-    assert!(step_secs > 0.0, "step must be positive");
-    assert!(bounds_secs.0 <= bounds_secs.1, "invalid bounds");
+) -> Result<f64, SprintError> {
+    SprintError::require_positive("few_to_many_timeout::step_secs", step_secs)?;
+    if bounds_secs.0.is_nan() || bounds_secs.1.is_nan() || bounds_secs.0 > bounds_secs.1 {
+        return Err(SprintError::invalid(
+            "few_to_many_timeout::bounds_secs",
+            format!("invalid bounds {bounds_secs:?}"),
+        ));
+    }
     let speedup = profile.marginal_speedup();
     let mut t = bounds_secs.1;
     while t >= bounds_secs.0 {
@@ -58,13 +78,13 @@ pub fn few_to_many_timeout(
         let cfg = sim.config(profile, &c, speedup);
         let capacity = cfg.budget_capacity_secs;
         let refill_rate = capacity / cfg.refill_secs;
-        let result = Qsim::new(cfg).run();
+        let result = Qsim::new(cfg)?.run();
         if budget_exhausted(&result, capacity, refill_rate) {
-            return t;
+            return Ok(t);
         }
         t -= step_secs;
     }
-    bounds_secs.0
+    Ok(bounds_secs.0)
 }
 
 /// Whether a run consumed essentially all the sprint-seconds the
@@ -126,6 +146,15 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bad_scan_parameters() {
+        let p = profile();
+        let sim = SimOptions::default();
+        assert!(few_to_many_timeout(&p, &base(), &sim, (0.0, 100.0), 0.0).is_err());
+        assert!(few_to_many_timeout(&p, &base(), &sim, (100.0, 0.0), 10.0).is_err());
+        assert!(few_to_many_timeout(&p, &base(), &sim, (0.0, 100.0), f64::NAN).is_err());
+    }
+
+    #[test]
     fn burst_zeroes_timeout() {
         let mut b = base();
         b.timeout_secs = 130.0;
@@ -142,7 +171,7 @@ mod tests {
             warmup: 300,
             ..SimOptions::default()
         };
-        let t = adrenaline_timeout(&p, &base(), &sim);
+        let t = adrenaline_timeout(&p, &base(), &sim).unwrap();
         // At 80% utilization mean no-sprint response is far above the
         // mean service time (~245 s); the 85th percentile more so.
         assert!(t > 245.0, "adrenaline timeout {t}");
@@ -157,7 +186,7 @@ mod tests {
             warmup: 200,
             ..SimOptions::default()
         };
-        let t = few_to_many_timeout(&p, &base(), &sim, (0.0, 8_000.0), 200.0);
+        let t = few_to_many_timeout(&p, &base(), &sim, (0.0, 8_000.0), 200.0).unwrap();
         // With a tight budget, some timeout below the scan top must
         // exhaust it (almost no response time exceeds 8000 s), and the
         // heavy load means it is found well above the floor.
@@ -176,7 +205,7 @@ mod tests {
             warmup: 100,
             ..SimOptions::default()
         };
-        let t = few_to_many_timeout(&p, &b, &sim, (0.0, 500.0), 100.0);
+        let t = few_to_many_timeout(&p, &b, &sim, (0.0, 500.0), 100.0).unwrap();
         assert_eq!(t, 0.0, "nothing exhausts an unlimited budget");
     }
 }

@@ -2,6 +2,7 @@
 
 use profiler::Condition;
 use simcore::rng::SimRng;
+use simcore::SprintError;
 use sprint_core::ResponseTimeModel;
 
 /// Annealing search parameters.
@@ -51,13 +52,27 @@ pub struct AnnealingResult {
 /// `exp((RTo - RTn) / Z)`, and decay Z by 10% per 100 settings.
 ///
 /// All other policy parameters are fixed by `base`.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] for zero iterations,
+/// inverted or non-finite bounds, or a non-positive neighbor range.
 pub fn explore_timeout(
     model: &dyn ResponseTimeModel,
     base: &Condition,
     cfg: &AnnealingConfig,
-) -> AnnealingResult {
-    assert!(cfg.iterations > 0, "need at least one iteration");
-    assert!(cfg.bounds_secs.0 <= cfg.bounds_secs.1, "invalid bounds");
+) -> Result<AnnealingResult, SprintError> {
+    SprintError::require_nonzero("AnnealingConfig::iterations", cfg.iterations)?;
+    if !(cfg.bounds_secs.0 <= cfg.bounds_secs.1 && cfg.bounds_secs.0.is_finite()) {
+        return Err(SprintError::invalid(
+            "AnnealingConfig::bounds_secs",
+            format!("invalid bounds {:?}", cfg.bounds_secs),
+        ));
+    }
+    SprintError::require_positive(
+        "AnnealingConfig::neighbor_range_secs",
+        cfg.neighbor_range_secs,
+    )?;
     let mut rng = SimRng::new(cfg.seed);
     let (lo, hi) = cfg.bounds_secs;
 
@@ -102,11 +117,11 @@ pub fn explore_timeout(
         }
     }
 
-    AnnealingResult {
+    Ok(AnnealingResult {
         best_timeout_secs: best_t,
         best_response_secs: best_rt,
         trace,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -160,9 +175,29 @@ mod tests {
     }
 
     #[test]
+    fn rejects_degenerate_configs() {
+        let m = VModel::new();
+        let zero_iters = AnnealingConfig {
+            iterations: 0,
+            ..AnnealingConfig::default()
+        };
+        assert!(explore_timeout(&m, &base(), &zero_iters).is_err());
+        let bad_bounds = AnnealingConfig {
+            bounds_secs: (100.0, 0.0),
+            ..AnnealingConfig::default()
+        };
+        assert!(explore_timeout(&m, &base(), &bad_bounds).is_err());
+        let bad_range = AnnealingConfig {
+            neighbor_range_secs: 0.0,
+            ..AnnealingConfig::default()
+        };
+        assert!(explore_timeout(&m, &base(), &bad_range).is_err());
+    }
+
+    #[test]
     fn finds_v_shaped_minimum() {
         let m = VModel::new();
-        let r = explore_timeout(&m, &base(), &AnnealingConfig::default());
+        let r = explore_timeout(&m, &base(), &AnnealingConfig::default()).unwrap();
         assert!(
             (r.best_timeout_secs - 120.0).abs() < 15.0,
             "best timeout {}",
@@ -198,7 +233,7 @@ mod tests {
             initial_z_frac: 0.2,
             ..AnnealingConfig::default()
         };
-        let r = explore_timeout(&m, &base(), &cfg);
+        let r = explore_timeout(&m, &base(), &cfg).unwrap();
         assert!(
             (r.best_timeout_secs - 260.0).abs() < 30.0,
             "should find the global basin, got {}",
@@ -209,8 +244,8 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let m = VModel::new();
-        let a = explore_timeout(&m, &base(), &AnnealingConfig::default());
-        let b = explore_timeout(&m, &base(), &AnnealingConfig::default());
+        let a = explore_timeout(&m, &base(), &AnnealingConfig::default()).unwrap();
+        let b = explore_timeout(&m, &base(), &AnnealingConfig::default()).unwrap();
         assert_eq!(a.best_timeout_secs, b.best_timeout_secs);
         assert_eq!(a.trace, b.trace);
     }
@@ -222,7 +257,7 @@ mod tests {
             bounds_secs: (0.0, 60.0),
             ..AnnealingConfig::default()
         };
-        let r = explore_timeout(&m, &base(), &cfg);
+        let r = explore_timeout(&m, &base(), &cfg).unwrap();
         assert!(r.trace.iter().all(|&(t, _)| (0.0..=60.0).contains(&t)));
         // Constrained optimum is the upper bound.
         assert!((r.best_timeout_secs - 60.0).abs() < 5.0);

@@ -6,7 +6,6 @@
 //! forest (with µ and µm appended from the profile) and the ANN
 //! baseline, so the approaches compete on equal information.
 
-use serde::{Deserialize, Serialize};
 use simcore::dist::DistKind;
 use simcore::time::{Rate, SimDuration};
 
@@ -27,7 +26,7 @@ pub const FEATURE_NAMES: [&str; 7] = [
 pub const MU_M_FEATURE: usize = 0;
 
 /// One tested combination of workload conditions and sprinting policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Condition {
     /// Arrival rate as a fraction of the sustained service rate
     /// (system utilization; the paper samples 30–95%).

@@ -8,12 +8,11 @@
 //! cluster in/out comparison).
 
 use crate::features::Condition;
-use serde::{Deserialize, Serialize};
 use simcore::dist::DistKind;
 use simcore::rng::SimRng;
 
 /// The centroid values from §3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplingGrid {
     /// Query arrival rates as fractions of service rate.
     pub utilizations: Vec<f64>,
@@ -99,10 +98,7 @@ impl SamplingGrid {
         let mut rng = SimRng::new(seed);
         (0..n)
             .map(|_| Condition {
-                utilization: rng.uniform(
-                    min(&self.utilizations),
-                    max(&self.utilizations),
-                ),
+                utilization: rng.uniform(min(&self.utilizations), max(&self.utilizations)),
                 arrival_kind: self.arrival_kinds[rng.index(self.arrival_kinds.len())],
                 timeout_secs: rng.uniform(min(&self.timeouts_secs), max(&self.timeouts_secs)),
                 budget_frac: rng.uniform(min(&self.budget_fracs), max(&self.budget_fracs)),

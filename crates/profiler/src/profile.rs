@@ -2,16 +2,17 @@
 
 use crate::features::Condition;
 use mechanisms::Mechanism;
-use serde::{Deserialize, Serialize};
+use simcore::dist::DistKind;
 use simcore::time::Rate;
+use simcore::{Json, SprintError};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use testbed::{ArrivalSpec, BudgetSpec, RunResult, ServerConfig, SprintPolicy};
-use workloads::QueryMix;
+use workloads::{QueryMix, WorkloadKind};
 
 /// Per-(mix, mechanism) measurements the models consume.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadProfile {
     /// The query mix profiled.
     pub mix: QueryMix,
@@ -37,7 +38,7 @@ impl WorkloadProfile {
 }
 
 /// One replayed condition and its observed steady-state response time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfilingRun {
     /// The condition replayed.
     pub condition: Condition,
@@ -46,7 +47,7 @@ pub struct ProfilingRun {
 }
 
 /// A complete profiling campaign: rates plus per-condition runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfileData {
     /// Rate measurements and empirical service samples.
     pub profile: WorkloadProfile,
@@ -59,21 +60,179 @@ impl ProfileData {
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    /// Returns [`SprintError::Io`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<(), SprintError> {
+        std::fs::write(path, self.to_json().to_string_pretty())?;
+        Ok(())
     }
 
     /// Loads a campaign from JSON at `path`.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error.
-    pub fn load(path: &Path) -> std::io::Result<ProfileData> {
+    /// Returns [`SprintError::Io`] on read failure and
+    /// [`SprintError::Parse`] on malformed or schema-violating JSON.
+    pub fn load(path: &Path) -> Result<ProfileData, SprintError> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+        ProfileData::from_json(&Json::parse(&json)?)
     }
+
+    /// The JSON document form of the campaign.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("profile".into(), profile_to_json(&self.profile)),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(run_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a campaign from its JSON document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Parse`] if the document does not match
+    /// the profiling schema.
+    pub fn from_json(json: &Json) -> Result<ProfileData, SprintError> {
+        let profile = profile_from_json(json.field("profile")?)?;
+        let runs = json
+            .field("runs")?
+            .as_arr()?
+            .iter()
+            .map(run_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProfileData { profile, runs })
+    }
+}
+
+fn dist_kind_to_json(kind: DistKind) -> Json {
+    let (name, param) = match kind {
+        DistKind::Exponential => ("exponential", None),
+        DistKind::Deterministic => ("deterministic", None),
+        DistKind::Pareto { alpha } => ("pareto", Some(("alpha", alpha))),
+        DistKind::Lognormal { cov } => ("lognormal", Some(("cov", cov))),
+        DistKind::Hyperexponential { cov } => ("hyperexponential", Some(("cov", cov))),
+    };
+    let mut fields = vec![("kind".to_string(), Json::Str(name.into()))];
+    if let Some((k, v)) = param {
+        fields.push((k.to_string(), Json::Num(v)));
+    }
+    Json::Obj(fields)
+}
+
+fn dist_kind_from_json(json: &Json) -> Result<DistKind, SprintError> {
+    let name = json.field("kind")?.as_str()?;
+    match name {
+        "exponential" => Ok(DistKind::Exponential),
+        "deterministic" => Ok(DistKind::Deterministic),
+        "pareto" => Ok(DistKind::Pareto {
+            alpha: json.field("alpha")?.as_f64()?,
+        }),
+        "lognormal" => Ok(DistKind::Lognormal {
+            cov: json.field("cov")?.as_f64()?,
+        }),
+        "hyperexponential" => Ok(DistKind::Hyperexponential {
+            cov: json.field("cov")?.as_f64()?,
+        }),
+        other => Err(SprintError::Parse(format!(
+            "unknown distribution kind `{other}`"
+        ))),
+    }
+}
+
+fn condition_to_json(c: &Condition) -> Json {
+    Json::Obj(vec![
+        ("utilization".into(), Json::Num(c.utilization)),
+        ("arrival_kind".into(), dist_kind_to_json(c.arrival_kind)),
+        ("timeout_secs".into(), Json::Num(c.timeout_secs)),
+        ("budget_frac".into(), Json::Num(c.budget_frac)),
+        ("refill_secs".into(), Json::Num(c.refill_secs)),
+    ])
+}
+
+fn condition_from_json(json: &Json) -> Result<Condition, SprintError> {
+    Ok(Condition {
+        utilization: json.field("utilization")?.as_f64()?,
+        arrival_kind: dist_kind_from_json(json.field("arrival_kind")?)?,
+        timeout_secs: json.field("timeout_secs")?.as_f64()?,
+        budget_frac: json.field("budget_frac")?.as_f64()?,
+        refill_secs: json.field("refill_secs")?.as_f64()?,
+    })
+}
+
+fn run_to_json(run: &ProfilingRun) -> Json {
+    Json::Obj(vec![
+        ("condition".into(), condition_to_json(&run.condition)),
+        (
+            "observed_response_secs".into(),
+            Json::Num(run.observed_response_secs),
+        ),
+    ])
+}
+
+fn run_from_json(json: &Json) -> Result<ProfilingRun, SprintError> {
+    Ok(ProfilingRun {
+        condition: condition_from_json(json.field("condition")?)?,
+        observed_response_secs: json.field("observed_response_secs")?.as_f64()?,
+    })
+}
+
+fn profile_to_json(p: &WorkloadProfile) -> Json {
+    let mix = Json::Arr(
+        p.mix
+            .components()
+            .iter()
+            .map(|&(k, w)| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(k.name().into())),
+                    ("weight".into(), Json::Num(w)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("mix".into(), mix),
+        ("mechanism".into(), Json::Str(p.mechanism.clone())),
+        ("mu_qph".into(), Json::Num(p.mu.qph())),
+        ("mu_m_qph".into(), Json::Num(p.mu_m.qph())),
+        (
+            "service_samples_secs".into(),
+            Json::from_f64s(p.service_samples_secs.iter().copied()),
+        ),
+        ("profiling_hours".into(), Json::Num(p.profiling_hours)),
+    ])
+}
+
+fn profile_from_json(json: &Json) -> Result<WorkloadProfile, SprintError> {
+    let components = json
+        .field("mix")?
+        .as_arr()?
+        .iter()
+        .map(|c| {
+            let name = c.field("kind")?.as_str()?;
+            let kind = WorkloadKind::parse(name)
+                .ok_or_else(|| SprintError::Parse(format!("unknown workload `{name}`")))?;
+            Ok((kind, c.field("weight")?.as_f64()?))
+        })
+        .collect::<Result<Vec<_>, SprintError>>()?;
+    if components.is_empty() {
+        return Err(SprintError::Parse("profile mix has no components".into()));
+    }
+    let samples = json
+        .field("service_samples_secs")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WorkloadProfile {
+        mix: QueryMix::weighted(components),
+        mechanism: json.field("mechanism")?.as_str()?.to_string(),
+        mu: Rate::per_hour(json.field("mu_qph")?.as_f64()?),
+        mu_m: Rate::per_hour(json.field("mu_m_qph")?.as_f64()?),
+        service_samples_secs: samples,
+        profiling_hours: json.field("profiling_hours")?.as_f64()?,
+    })
 }
 
 /// Drives testbed replays for a profiling campaign.
@@ -123,7 +282,8 @@ impl Profiler {
             warmup: self.warmup,
             seed: self.seed ^ 0x5151,
         };
-        let sustained = testbed::server::run(base.clone(), mech);
+        let sustained =
+            testbed::server::run(base.clone(), mech).expect("rate-measurement config is valid");
         let mu = sustained
             .measured_service_rate()
             .expect("no-sprint run has non-sprinted queries");
@@ -132,7 +292,8 @@ impl Profiler {
         sprint_cfg.policy = SprintPolicy::always();
         sprint_cfg.arrivals = ArrivalSpec::poisson(prior_mu.scale(0.3));
         sprint_cfg.seed = self.seed ^ 0xACED;
-        let sprinted = testbed::server::run(sprint_cfg, mech);
+        let sprinted =
+            testbed::server::run(sprint_cfg, mech).expect("rate-measurement config is valid");
         let mu_m = sprinted
             .measured_sprinted_rate()
             .expect("always-sprint run has sprinted queries");
@@ -179,7 +340,7 @@ impl Profiler {
                 warmup: self.warmup,
                 seed: seed.wrapping_add(r as u64 * 0x9E37_79B9),
             };
-            let result = testbed::server::run(cfg, mech);
+            let result = testbed::server::run(cfg, mech).expect("replay config is valid");
             total_rt += result.mean_response_secs();
             hours += run_hours(&result);
         }
@@ -222,9 +383,9 @@ impl Profiler {
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let threads = self.threads.clamp(1, n.max(1));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -234,8 +395,7 @@ impl Profiler {
                     *slots[i].lock().expect("slot poisoned") = Some(out);
                 });
             }
-        })
-        .expect("profiling worker panicked");
+        });
         slots
             .into_iter()
             .map(|m| {
@@ -251,11 +411,7 @@ impl Profiler {
 /// to departure of last).
 fn run_hours(result: &RunResult) -> f64 {
     let records = result.records();
-    let first = records
-        .iter()
-        .map(|r| r.arrival)
-        .min()
-        .unwrap_or_default();
+    let first = records.iter().map(|r| r.arrival).min().unwrap_or_default();
     let last = records.iter().map(|r| r.depart).max().unwrap_or_default();
     last.since(first).as_hours_f64()
 }
@@ -276,7 +432,7 @@ mod tests {
         Profiler {
             queries_per_run: 150,
             warmup: 15,
-        replays: 1,
+            replays: 1,
             threads: 4,
             seed: 42,
         }

@@ -1,13 +1,12 @@
 //! Configuration and results for the timeout-aware queue simulator.
 
-use serde::{Deserialize, Serialize};
 use simcore::dist::{Dist, DistKind};
 use simcore::stats::Percentiles;
 use simcore::time::{Rate, SimDuration};
 
 /// Inputs to one simulation run (the right-hand side of Fig. 2: arrival
 /// rate, timeout, budget, sprinting mechanism rates).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QsimConfig {
     /// Mean arrival rate λ.
     pub arrival_rate: Rate,
@@ -65,7 +64,7 @@ impl QsimConfig {
 }
 
 /// Per-query outcome from the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimQuery {
     /// Arrival instant (seconds).
     pub arrival_secs: f64,
@@ -87,7 +86,7 @@ impl SimQuery {
 }
 
 /// Aggregated output of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QsimResult {
     /// Steady-state per-query outcomes (warmup removed).
     pub queries: Vec<SimQuery>,
@@ -101,7 +100,11 @@ impl QsimResult {
     /// Panics if the run produced no steady-state queries.
     pub fn mean_response_secs(&self) -> f64 {
         assert!(!self.queries.is_empty(), "empty simulation result");
-        self.queries.iter().map(SimQuery::response_secs).sum::<f64>() / self.queries.len() as f64
+        self.queries
+            .iter()
+            .map(SimQuery::response_secs)
+            .sum::<f64>()
+            / self.queries.len() as f64
     }
 
     /// Response-time quantile in seconds.

@@ -34,9 +34,14 @@
 //! );
 //! cfg.num_queries = 20_000;
 //! cfg.warmup = 2_000;
-//! let rt = Qsim::new(cfg).run().mean_response_secs();
+//! let rt = Qsim::new(cfg).unwrap().run().mean_response_secs();
 //! assert!((rt - 120.0).abs() / 120.0 < 0.1);
 //! ```
+//!
+//! Constructors validate their configuration and return
+//! [`simcore::SprintError`] instead of panicking, and
+//! [`parallel::run_batch`] survives worker panics by converting them to
+//! typed errors.
 
 pub mod config;
 pub mod multiclass;

@@ -19,6 +19,7 @@ use simcore::dist::{Dist, DistKind};
 use simcore::event::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{Rate, SimDuration, SimTime};
+use simcore::SprintError;
 use std::collections::VecDeque;
 
 /// Policy and service description for one query class.
@@ -168,21 +169,57 @@ pub struct MultiClassQsim {
 impl MultiClassQsim {
     /// Builds a simulator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on empty classes, non-positive weights/speedups, or zero
+    /// Returns [`SprintError::InvalidConfig`] on empty classes,
+    /// negative or non-finite weights, weights summing to zero,
+    /// non-positive speedups, invalid budget/refill parameters, or zero
     /// slots/queries.
-    pub fn new(cfg: MultiClassConfig) -> MultiClassQsim {
-        assert!(!cfg.classes.is_empty(), "need at least one class");
-        assert!(cfg.slots > 0 && cfg.num_queries > 0, "degenerate config");
+    pub fn new(cfg: MultiClassConfig) -> Result<MultiClassQsim, SprintError> {
+        if cfg.classes.is_empty() {
+            return Err(SprintError::invalid(
+                "MultiClassConfig::classes",
+                "need at least one class",
+            ));
+        }
+        SprintError::require_nonzero("MultiClassConfig::slots", cfg.slots)?;
+        SprintError::require_nonzero("MultiClassConfig::num_queries", cfg.num_queries)?;
+        SprintError::require_non_negative(
+            "MultiClassConfig::budget_capacity_secs",
+            cfg.budget_capacity_secs,
+        )?;
+        if cfg.refill_secs.is_nan() || cfg.refill_secs < 0.0 {
+            return Err(SprintError::invalid(
+                "MultiClassConfig::refill_secs",
+                format!("refill time must be non-negative, got {}", cfg.refill_secs),
+            ));
+        }
+        for (i, c) in cfg.classes.iter().enumerate() {
+            if !(c.weight >= 0.0 && c.weight.is_finite()) {
+                return Err(SprintError::invalid(
+                    "ClassSpec::weight",
+                    format!(
+                        "class {i}: weight must be finite and >= 0, got {}",
+                        c.weight
+                    ),
+                ));
+            }
+            if !(c.sprint_speedup > 0.0 && c.sprint_speedup.is_finite()) {
+                return Err(SprintError::invalid(
+                    "ClassSpec::sprint_speedup",
+                    format!(
+                        "class {i}: speedup must be finite and > 0, got {}",
+                        c.sprint_speedup
+                    ),
+                ));
+            }
+        }
         let total: f64 = cfg.classes.iter().map(|c| c.weight).sum();
-        assert!(total > 0.0, "class weights sum to zero");
-        for c in &cfg.classes {
-            assert!(c.weight >= 0.0, "negative class weight");
-            assert!(
-                c.sprint_speedup > 0.0 && c.sprint_speedup.is_finite(),
-                "invalid speedup"
-            );
+        if total.is_nan() || total <= 0.0 {
+            return Err(SprintError::invalid(
+                "MultiClassConfig::classes",
+                "class weights sum to zero",
+            ));
         }
         let weights = cfg.classes.iter().map(|c| c.weight / total).collect();
         let mut root = SimRng::new(cfg.seed);
@@ -193,7 +230,7 @@ impl MultiClassQsim {
             kind: cfg.arrival_kind,
             mean: cfg.arrival_rate.mean_interval(),
         };
-        MultiClassQsim {
+        Ok(MultiClassQsim {
             weights,
             events: EventQueue::new(),
             fifo: VecDeque::new(),
@@ -210,7 +247,7 @@ impl MultiClassQsim {
             class_rng,
             next_gen: 0,
             cfg,
-        }
+        })
     }
 
     /// Runs to completion.
@@ -279,7 +316,11 @@ impl MultiClassQsim {
         let id = self.queries.len() as u64;
         let class = self.draw_class();
         let spec = &self.cfg.classes[class];
-        let service_secs = spec.service.sample(&mut self.service_rng).as_secs_f64().max(1e-6);
+        let service_secs = spec
+            .service
+            .sample(&mut self.service_rng)
+            .as_secs_f64()
+            .max(1e-6);
         let timeout = spec.timeout;
         let sprintable = (spec.sprint_speedup - 1.0).abs() > 1e-12
             && (self.cfg.budget_capacity_secs > 0.0 || self.cfg.budget_capacity_secs.is_infinite());
@@ -470,7 +511,7 @@ mod tests {
 
     #[test]
     fn classes_get_distinct_response_times() {
-        let r = MultiClassQsim::new(two_class_cfg(1)).run();
+        let r = MultiClassQsim::new(two_class_cfg(1)).unwrap().run();
         let fast = r.class_mean_response_secs(0).expect("class 0 present");
         let slow = r.class_mean_response_secs(1).expect("class 1 present");
         assert!(slow > fast, "slow class {slow} !> fast class {fast}");
@@ -499,14 +540,14 @@ mod tests {
             warmup: 4_000,
             seed: 3,
         };
-        let multi = MultiClassQsim::new(cfg).run().mean_response_secs();
+        let multi = MultiClassQsim::new(cfg).unwrap().run().mean_response_secs();
         // M/M/1 at 50% load with 60 s service: 120 s.
         assert!((multi - 120.0).abs() / 120.0 < 0.06, "multi {multi}");
     }
 
     #[test]
     fn per_class_timeouts_fire_independently() {
-        let r = MultiClassQsim::new(two_class_cfg(5)).run();
+        let r = MultiClassQsim::new(two_class_cfg(5)).unwrap().run();
         // The fast class (short timeout, big speedup) should sprint
         // much more often than the slow class (long timeout, tiny
         // speedup).
@@ -534,12 +575,14 @@ mod tests {
         loose.budget_capacity_secs = 2_000.0;
         loose.refill_secs = 5_000.0;
         let t: f64 = MultiClassQsim::new(tight)
+            .unwrap()
             .run()
             .queries
             .iter()
             .map(|(_, q)| q.sprint_secs)
             .sum();
         let l: f64 = MultiClassQsim::new(loose)
+            .unwrap()
             .run()
             .queries
             .iter()
@@ -550,8 +593,8 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let a = MultiClassQsim::new(two_class_cfg(11)).run();
-        let b = MultiClassQsim::new(two_class_cfg(11)).run();
+        let a = MultiClassQsim::new(two_class_cfg(11)).unwrap().run();
+        let b = MultiClassQsim::new(two_class_cfg(11)).unwrap().run();
         assert_eq!(a.queries.len(), b.queries.len());
         for ((ca, qa), (cb, qb)) in a.queries.iter().zip(&b.queries) {
             assert_eq!(ca, cb);
@@ -560,10 +603,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one class")]
-    fn rejects_empty_classes() {
-        let mut cfg = two_class_cfg(1);
-        cfg.classes.clear();
-        let _ = MultiClassQsim::new(cfg);
+    fn rejects_invalid_configs() {
+        let mut empty = two_class_cfg(1);
+        empty.classes.clear();
+        assert!(MultiClassQsim::new(empty).is_err());
+
+        let mut zero_weights = two_class_cfg(1);
+        for c in &mut zero_weights.classes {
+            c.weight = 0.0;
+        }
+        assert!(MultiClassQsim::new(zero_weights).is_err());
+
+        let mut bad_speedup = two_class_cfg(1);
+        bad_speedup.classes[0].sprint_speedup = 0.0;
+        assert!(MultiClassQsim::new(bad_speedup).is_err());
+
+        let mut nan_weight = two_class_cfg(1);
+        nan_weight.classes[1].weight = f64::NAN;
+        assert!(MultiClassQsim::new(nan_weight).is_err());
+
+        let mut no_slots = two_class_cfg(1);
+        no_slots.slots = 0;
+        assert!(MultiClassQsim::new(no_slots).is_err());
+
+        let mut bad_budget = two_class_cfg(1);
+        bad_budget.budget_capacity_secs = -1.0;
+        assert!(MultiClassQsim::new(bad_budget).is_err());
     }
 }

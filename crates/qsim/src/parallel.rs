@@ -8,45 +8,87 @@
 
 use crate::config::{QsimConfig, QsimResult};
 use crate::sim::Qsim;
+use simcore::SprintError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Simulates one config, converting a worker panic into a typed error
+/// instead of unwinding into (and poisoning) shared batch state.
+fn run_one(cfg: QsimConfig, index: usize) -> Result<QsimResult, SprintError> {
+    match catch_unwind(AssertUnwindSafe(|| Qsim::new(cfg).map(Qsim::run))) {
+        Ok(result) => result,
+        Err(payload) => Err(SprintError::WorkerPanic {
+            index,
+            message: panic_message(payload),
+        }),
+    }
+}
 
 /// Runs each configuration to completion, fanning out over `threads`
 /// worker threads (1 = sequential). Results keep input order and are
 /// identical regardless of thread count.
 ///
-/// # Panics
+/// A panicking worker does not abort the batch: the panic is caught,
+/// the failing config's slot is marked with
+/// [`SprintError::WorkerPanic`], and every other configuration still
+/// runs to completion. The first failure (by input order) is then
+/// returned as the batch error.
 ///
-/// Panics if `threads` is zero or a worker panics.
-pub fn run_batch(configs: Vec<QsimConfig>, threads: usize) -> Vec<QsimResult> {
-    assert!(threads > 0, "need at least one thread");
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if `threads` is zero or a
+/// config fails validation, and [`SprintError::WorkerPanic`] if a
+/// worker panicked mid-simulation.
+pub fn run_batch(configs: Vec<QsimConfig>, threads: usize) -> Result<Vec<QsimResult>, SprintError> {
+    SprintError::require_nonzero("run_batch::threads", threads)?;
     if threads == 1 || configs.len() <= 1 {
-        return configs.into_iter().map(|c| Qsim::new(c).run()).collect();
+        return configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| run_one(c, i))
+            .collect();
     }
     let n = configs.len();
-    let slots: Vec<Mutex<Option<QsimResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<QsimResult, SprintError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let configs = &configs;
     let slots_ref = &slots;
     let next_ref = &next;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
-                let out = Qsim::new(configs[i].clone()).run();
-                *slots_ref[i].lock().expect("result slot poisoned") = Some(out);
+                let out = run_one(configs[i].clone(), i);
+                // run_one cannot unwind, so the mutex is never poisoned
+                // by this worker; recover defensively anyway.
+                let mut slot = slots_ref[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *slot = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every job completed")
         })
         .collect()
@@ -55,20 +97,25 @@ pub fn run_batch(configs: Vec<QsimConfig>, threads: usize) -> Vec<QsimResult> {
 /// Predicts mean response time by averaging `replications` simulator
 /// runs with derived seeds — one "prediction" in the Fig. 11 sense.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `replications` is zero.
-pub fn predict_mean_response(cfg: &QsimConfig, replications: usize, threads: usize) -> f64 {
-    assert!(replications > 0, "need at least one replication");
+/// Returns an error if `replications` or `threads` is zero, or if any
+/// replication fails.
+pub fn predict_mean_response(
+    cfg: &QsimConfig,
+    replications: usize,
+    threads: usize,
+) -> Result<f64, SprintError> {
+    SprintError::require_nonzero("predict_mean_response::replications", replications)?;
     let configs: Vec<QsimConfig> = (0..replications)
         .map(|i| cfg.with_seed(cfg.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1))))
         .collect();
-    let results = run_batch(configs, threads);
-    results
+    let results = run_batch(configs, threads)?;
+    Ok(results
         .iter()
         .map(QsimResult::mean_response_secs)
         .sum::<f64>()
-        / replications as f64
+        / replications as f64)
 }
 
 #[cfg(test)]
@@ -91,8 +138,8 @@ mod tests {
     #[test]
     fn batch_preserves_order_and_determinism() {
         let configs: Vec<QsimConfig> = (0..8).map(small_cfg).collect();
-        let seq = run_batch(configs.clone(), 1);
-        let par = run_batch(configs, 4);
+        let seq = run_batch(configs.clone(), 1).unwrap();
+        let par = run_batch(configs, 4).unwrap();
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a.queries, b.queries);
         }
@@ -101,8 +148,8 @@ mod tests {
     #[test]
     fn predict_averages_replications() {
         let cfg = small_cfg(5);
-        let p1 = predict_mean_response(&cfg, 4, 1);
-        let p2 = predict_mean_response(&cfg, 4, 4);
+        let p1 = predict_mean_response(&cfg, 4, 1).unwrap();
+        let p2 = predict_mean_response(&cfg, 4, 4).unwrap();
         assert_eq!(p1, p2, "thread count must not change the estimate");
         // Sanity: near the M/M/1 closed form 1/(µ-λ) = 120 s at 50% load.
         assert!((p1 - 120.0).abs() / 120.0 < 0.15, "estimate {p1}");
@@ -110,13 +157,38 @@ mod tests {
 
     #[test]
     fn single_job_batch() {
-        let r = run_batch(vec![small_cfg(1)], 8);
+        let r = run_batch(vec![small_cfg(1)], 8).unwrap();
         assert_eq!(r.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
-        let _ = run_batch(vec![], 0);
+        assert!(run_batch(vec![], 0).is_err());
+        assert!(predict_mean_response(&small_cfg(1), 0, 4).is_err());
+    }
+
+    #[test]
+    fn invalid_config_marks_slot_without_aborting_batch() {
+        let mut bad = small_cfg(2);
+        bad.slots = 0;
+        let configs = vec![small_cfg(1), bad, small_cfg(3)];
+        let err = run_batch(configs, 4).expect_err("bad config must surface");
+        assert!(matches!(err, SprintError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_typed() {
+        // An empty empirical distribution panics when sampled — a
+        // mid-run worker panic, not a config-validation failure. The
+        // batch must finish the healthy configs and report the panic as
+        // a typed error instead of poisoning shared state.
+        let mut poisoned = small_cfg(2);
+        poisoned.service = Dist::Empirical { samples: vec![] };
+        let configs = vec![small_cfg(1), poisoned, small_cfg(3)];
+        let err = run_batch(configs, 4).expect_err("worker panic must surface");
+        match err {
+            SprintError::WorkerPanic { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
     }
 }

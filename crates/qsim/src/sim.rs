@@ -12,6 +12,7 @@ use simcore::dist::Dist;
 use simcore::event::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
+use simcore::SprintError;
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
@@ -121,21 +122,30 @@ pub struct Qsim {
 impl Qsim {
     /// Builds a simulator for `cfg`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on zero slots/queries or a sprint speedup below 1.
-    pub fn new(cfg: QsimConfig) -> Qsim {
-        assert!(cfg.slots > 0, "need at least one slot");
-        assert!(cfg.num_queries > 0, "need at least one query");
+    /// Returns [`SprintError::InvalidConfig`] on zero slots/queries, a
+    /// non-positive sprint speedup, or an invalid budget.
+    pub fn new(cfg: QsimConfig) -> Result<Qsim, SprintError> {
+        SprintError::require_nonzero("QsimConfig::slots", cfg.slots)?;
+        SprintError::require_nonzero("QsimConfig::num_queries", cfg.num_queries)?;
         // Effective sprint rates below the service rate are permitted:
         // Eq. 2's calibration may push µe under µ when runtime drag
         // (interrupt servicing, toggles) slows loaded systems beyond
         // what any sprint speedup explains.
-        assert!(
-            cfg.sprint_speedup > 0.0 && cfg.sprint_speedup.is_finite(),
-            "sprint speedup must be positive, got {}",
-            cfg.sprint_speedup
-        );
+        SprintError::require_positive("QsimConfig::sprint_speedup", cfg.sprint_speedup)?;
+        SprintError::require_non_negative(
+            "QsimConfig::budget_capacity_secs",
+            cfg.budget_capacity_secs,
+        )?;
+        // Zero refill means "instant" (clamped below); negative or NaN
+        // is rejected.
+        if cfg.refill_secs.is_nan() || cfg.refill_secs < 0.0 {
+            return Err(SprintError::invalid(
+                "QsimConfig::refill_secs",
+                format!("must be >= 0 and not NaN, got {}", cfg.refill_secs),
+            ));
+        }
         let mut root = SimRng::new(cfg.seed);
         let arrival_rng = root.split(1);
         let service_rng = root.split(2);
@@ -143,7 +153,7 @@ impl Qsim {
             kind: cfg.arrival_kind,
             mean: cfg.arrival_rate.mean_interval(),
         };
-        Qsim {
+        Ok(Qsim {
             events: EventQueue::new(),
             fifo: VecDeque::new(),
             slots: (0..cfg.slots).map(|_| None).collect(),
@@ -162,7 +172,7 @@ impl Qsim {
             service_rng,
             next_gen: 0,
             cfg,
-        }
+        })
     }
 
     /// Runs to completion and returns steady-state per-query outcomes.
@@ -395,7 +405,7 @@ mod tests {
         let mut c = cfg_mm1(0.3, 60.0, 7);
         c.num_queries = 40_000;
         c.warmup = 2_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         let expect = mm1_expected(0.3, 60.0);
         let got = r.mean_response_secs();
         assert!(
@@ -409,7 +419,7 @@ mod tests {
         let mut c = cfg_mm1(0.8, 60.0, 11);
         c.num_queries = 200_000;
         c.warmup = 20_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         let expect = mm1_expected(0.8, 60.0);
         let got = r.mean_response_secs();
         assert!(
@@ -427,7 +437,7 @@ mod tests {
         c.service = Dist::deterministic(SimDuration::from_secs_f64(s));
         c.num_queries = 100_000;
         c.warmup = 10_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         let expect = s + util * s / (2.0 * (1.0 - util));
         let got = r.mean_response_secs();
         assert!(
@@ -443,7 +453,7 @@ mod tests {
         c.arrival_rate = Rate::per_hour(4.0 * 0.8 * 60.0);
         c.num_queries = 50_000;
         c.warmup = 5_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         // With 4 servers at the same per-server utilization, waiting is
         // much shorter than M/M/1; response must be below M/M/1's 300 s.
         assert!(r.mean_response_secs() < 300.0 * 0.7);
@@ -458,7 +468,7 @@ mod tests {
         c.budget_capacity_secs = f64::INFINITY;
         c.num_queries = 30_000;
         c.warmup = 3_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         // Every query sprints from dispatch: service effectively 30 s,
         // λ unchanged -> utilization 0.15.
         let expect = 30.0 / (1.0 - 0.15);
@@ -478,7 +488,7 @@ mod tests {
         c.budget_capacity_secs = 0.0;
         c.num_queries = 5_000;
         c.warmup = 500;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         assert_eq!(r.sprint_fraction(), 0.0);
     }
 
@@ -491,7 +501,7 @@ mod tests {
         c.refill_secs = 2_000.0;
         c.num_queries = 20_000;
         c.warmup = 2_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         let f = r.sprint_fraction();
         assert!(f > 0.0, "some queries must sprint");
         assert!(f < 0.9, "budget must throttle sprinting, got {f}");
@@ -505,13 +515,16 @@ mod tests {
             c.warmup = 3_000;
             c
         };
-        let base = Qsim::new(base_cfg.clone()).run().mean_response_secs();
+        let base = Qsim::new(base_cfg.clone())
+            .unwrap()
+            .run()
+            .mean_response_secs();
         let mut sprint_cfg = base_cfg;
         sprint_cfg.sprint_speedup = 2.0;
         sprint_cfg.timeout = SimDuration::from_secs(120);
         sprint_cfg.budget_capacity_secs = 400.0;
         sprint_cfg.refill_secs = 800.0;
-        let fast = Qsim::new(sprint_cfg).run().mean_response_secs();
+        let fast = Qsim::new(sprint_cfg).unwrap().run().mean_response_secs();
         assert!(
             fast < base * 0.85,
             "sprinting should cut response time: {fast:.0} vs {base:.0}"
@@ -527,8 +540,8 @@ mod tests {
         c.refill_secs = 500.0;
         c.num_queries = 3_000;
         c.warmup = 300;
-        let a = Qsim::new(c.clone()).run();
-        let b = Qsim::new(c).run();
+        let a = Qsim::new(c.clone()).unwrap().run();
+        let b = Qsim::new(c).unwrap().run();
         assert_eq!(a.queries, b.queries);
     }
 
@@ -540,7 +553,7 @@ mod tests {
         c.budget_capacity_secs = f64::INFINITY;
         c.num_queries = 10_000;
         c.warmup = 1_000;
-        let r = Qsim::new(c).run();
+        let r = Qsim::new(c).unwrap().run();
         for q in &r.queries {
             if q.timed_out {
                 assert!(q.response_secs() >= 100.0 - 1e-6);
@@ -558,8 +571,8 @@ mod tests {
         let mut par = pois.clone();
         par.arrival_kind = DistKind::Pareto { alpha: 0.5 };
         par.seed = 44;
-        let rp = Qsim::new(pois).run().mean_response_secs();
-        let rr = Qsim::new(par).run().mean_response_secs();
+        let rp = Qsim::new(pois).unwrap().run().mean_response_secs();
+        let rr = Qsim::new(par).unwrap().run().mean_response_secs();
         assert!(
             rr > rp,
             "heavy-tailed arrivals should queue worse: {rr:.0} !> {rp:.0}"
@@ -567,11 +580,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sprint speedup")]
-    fn rejects_non_positive_speedup() {
+    fn rejects_invalid_configs() {
         let mut c = cfg_mm1(0.5, 60.0, 47);
         c.sprint_speedup = 0.0;
-        let _ = Qsim::new(c);
+        assert!(Qsim::new(c).is_err());
+        let mut c = cfg_mm1(0.5, 60.0, 47);
+        c.slots = 0;
+        assert!(Qsim::new(c).is_err());
+        let mut c = cfg_mm1(0.5, 60.0, 47);
+        c.budget_capacity_secs = f64::NAN;
+        assert!(Qsim::new(c).is_err());
+        let mut c = cfg_mm1(0.5, 60.0, 47);
+        c.refill_secs = -1.0;
+        assert!(Qsim::new(c).is_err());
     }
 
     #[test]
@@ -581,11 +602,11 @@ mod tests {
         let mut c = cfg_mm1(0.5, 60.0, 53);
         c.num_queries = 20_000;
         c.warmup = 2_000;
-        let base = Qsim::new(c.clone()).run().mean_response_secs();
+        let base = Qsim::new(c.clone()).unwrap().run().mean_response_secs();
         c.sprint_speedup = 0.8;
         c.timeout = SimDuration::from_secs(90);
         c.budget_capacity_secs = f64::INFINITY;
-        let slowed = Qsim::new(c).run().mean_response_secs();
+        let slowed = Qsim::new(c).unwrap().run().mean_response_secs();
         assert!(slowed > base, "{slowed} !> {base}");
     }
 }

@@ -15,10 +15,9 @@
 
 use crate::rng::SimRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Distribution shape, independent of its mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DistKind {
     /// Memoryless (M in Kendall notation); CoV = 1.
     Exponential,
@@ -45,7 +44,7 @@ pub enum DistKind {
 }
 
 /// A sampling distribution over durations with a configured mean.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Parametric distribution: a shape plus a mean duration.
     Parametric {

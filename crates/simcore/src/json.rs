@@ -1,0 +1,386 @@
+//! Minimal JSON value model, parser, and pretty-printer.
+//!
+//! The profiler persists profiling data as JSON; with the workspace
+//! offline-only this module replaces the external `serde_json`
+//! dependency. It supports the full JSON grammar minus exotic number
+//! forms (all numbers are `f64`), which is exactly what the profiling
+//! schema needs.
+
+use crate::error::SprintError;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required-field lookup with a schema error on absence.
+    pub fn field(&self, key: &str) -> Result<&Json, SprintError> {
+        self.get(key)
+            .ok_or_else(|| SprintError::Parse(format!("missing field `{key}`")))
+    }
+
+    /// Numeric value, or a schema error.
+    pub fn as_f64(&self) -> Result<f64, SprintError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(SprintError::Parse(format!(
+                "expected number, got {other:?}"
+            ))),
+        }
+    }
+
+    /// String value, or a schema error.
+    pub fn as_str(&self) -> Result<&str, SprintError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(SprintError::Parse(format!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Array items, or a schema error.
+    pub fn as_arr(&self) -> Result<&[Json], SprintError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(SprintError::Parse(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Builds an array from an iterator of `f64`s.
+    pub fn from_f64s(xs: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(xs.into_iter().map(Json::Num).collect())
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, requiring it to span the whole input.
+    pub fn parse(text: &str) -> Result<Json, SprintError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(SprintError::Parse(format!(
+                "trailing characters at byte {pos}"
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if x.is_nan() || x.is_infinite() {
+        // JSON has no NaN/Inf; null round-trips to an explicit parse
+        // error on read rather than silently corrupting data.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, SprintError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(SprintError::Parse("unexpected end of input".into()));
+    };
+    match b {
+        b'n' => parse_lit(bytes, pos, "null", Json::Null),
+        b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(SprintError::Parse(format!("expected , or ] at {pos}"))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(SprintError::Parse(format!("expected : at {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(SprintError::Parse(format!("expected , or }} at {pos}"))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(SprintError::Parse(format!(
+            "unexpected byte {other:#x} at {pos}"
+        ))),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, SprintError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(SprintError::Parse(format!("expected `{lit}` at {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SprintError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(SprintError::Parse(format!("expected string at {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(SprintError::Parse("unterminated string".into()));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(SprintError::Parse("unterminated escape".into()));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| SprintError::Parse("short \\u escape".into()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| SprintError::Parse("bad \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| SprintError::Parse("bad \\u escape".into()))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed by our schema;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(SprintError::Parse(format!(
+                            "bad escape \\{}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+            _ => {
+                // Re-borrow the original str slice so multi-byte UTF-8
+                // passes through intact.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < bytes.len() && bytes[end] != b'"' && bytes[end] != b'\\' {
+                    end += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|_| SprintError::Parse("invalid utf-8 in string".into()))?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, SprintError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| SprintError::Parse("invalid number".into()))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| SprintError::Parse(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_document() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("jacobi \"fast\"".into())),
+            ("mu".into(), Json::Num(51.0)),
+            ("samples".into(), Json::from_f64s([1.5, 2.0, 3.25])),
+            (
+                "nested".into(),
+                Json::Obj(vec![("flag".into(), Json::Bool(true))]),
+            ),
+            ("nothing".into(), Json::Null),
+        ]);
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn parses_whitespace_and_negatives() {
+        let v = Json::parse(" { \"x\" : [ -1.5e2 , 0, 7 ] } ").unwrap();
+        let arr = v.field("x").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64().unwrap(), -150.0);
+        assert_eq!(arr[2].as_f64().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{unquoted: 1}").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let doc = Json::Str("line\nbreak\ttab".into());
+        let text = doc.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+}

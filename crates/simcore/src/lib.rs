@@ -16,6 +16,9 @@
 //! - [`stats`]: streaming moments, percentile estimation, histograms and
 //!   error-CDF helpers used throughout the evaluation harness.
 //! - [`table`]: plain-text table rendering for the experiment binaries.
+//! - [`error`]: the workspace-wide typed error ([`SprintError`]) returned
+//!   by config validation across the stack.
+//! - [`json`]: a minimal JSON reader/writer used for offline persistence.
 //!
 //! Everything here is deliberately free of workload or policy semantics;
 //! those live in the `workloads`, `mechanisms`, `testbed` and `qsim`
@@ -37,14 +40,18 @@
 //! ```
 
 pub mod dist;
+pub mod error;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
 
 pub use dist::{Dist, DistKind};
+pub use error::SprintError;
 pub use event::EventQueue;
+pub use json::Json;
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, StreamingStats};
 pub use time::{Rate, SimDuration, SimTime};

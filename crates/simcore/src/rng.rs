@@ -6,24 +6,32 @@
 //! subsystems (arrivals, service times, policy search, tree bagging) are
 //! derived with [`SimRng::split`] so adding draws to one subsystem never
 //! perturbs another.
+//!
+//! The generator is a self-contained PCG-64-MCG (128-bit multiplicative
+//! congruential state, XSL-RR output permutation) so the workspace has
+//! no external RNG dependency and remains buildable fully offline.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_pcg::Pcg64Mcg;
+/// PCG-64-MCG multiplier (from the PCG reference implementation).
+const PCG_MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
 
 /// A seeded PCG-based random number generator.
 ///
-/// Thin wrapper over [`Pcg64Mcg`] adding labeled stream splitting and a
-/// few sampling helpers the simulators need.
+/// A PCG-64-MCG core (128-bit MCG state, XSL-RR output) with labeled
+/// stream splitting and a few sampling helpers the simulators need.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: Pcg64Mcg,
+    state: u128,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the 64-bit seed to 128 bits with two splitmix64 steps;
+        // an MCG state must be odd, so force the low bit.
+        let lo = splitmix64(seed);
+        let hi = splitmix64(lo);
         SimRng {
-            inner: Pcg64Mcg::seed_from_u64(seed),
+            state: (((hi as u128) << 64) | lo as u128) | 1,
         }
     }
 
@@ -34,13 +42,27 @@ impl SimRng {
     /// advanced — `split` is a pure function of `(parent seed draws,
     /// label)` only via one `next_u64` call.
     pub fn split(&mut self, label: u64) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::new(splitmix64(base ^ splitmix64(label)))
+    }
+
+    /// Next raw 64-bit output (XSL-RR permutation of the advanced state).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Next raw 32-bit output (truncated 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -60,7 +82,15 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply method with rejection to debias.
+        let n = n as u64;
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let wide = (self.next_u64() as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -98,21 +128,6 @@ impl SimRng {
             let j = self.index(i + 1);
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -175,6 +190,27 @@ mod tests {
         for _ in 0..1000 {
             let x = r.uniform(2.0, 3.0);
             assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SimRng::new(23);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_covers_small_range_uniformly() {
+        let mut r = SimRng::new(29);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.index(8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 800 && c < 1200, "bucket {i} count {c}");
         }
     }
 

@@ -7,10 +7,9 @@
 //! collected samples, histograms, and error-CDF helpers.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Streaming count/mean/variance/min/max via Welford's algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
@@ -114,7 +113,7 @@ impl StreamingStats {
 ///
 /// Uses linear interpolation between order statistics (the common
 /// "type 7" estimator).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Percentiles {
     sorted: Vec<f64>,
 }
@@ -179,7 +178,7 @@ impl Percentiles {
 }
 
 /// An empirical CDF sampled at fixed points, for figure output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cdf {
     /// `(value, cumulative fraction)` pairs in ascending value order.
     pub points: Vec<(f64, f64)>,
@@ -222,7 +221,7 @@ impl Cdf {
 }
 
 /// A fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -8,7 +8,6 @@
 //! Throughput in the paper is reported in queries per hour (qph, Table
 //! 1C); [`Rate`] keeps that unit and converts to mean service durations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -19,15 +18,11 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 pub const MICROS_PER_HOUR: u64 = 3_600 * MICROS_PER_SEC;
 
 /// An instant in simulated time, in microseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -236,7 +231,7 @@ impl fmt::Display for SimDuration {
 /// The paper reports all throughputs in qph (Table 1C); queueing
 /// variables µ (service rate), µm (marginal sprint rate) and µe
 /// (effective sprint rate) are all `Rate`s.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Rate(pub f64);
 
 impl Rate {

@@ -7,6 +7,7 @@
 //! sprinting, the budget ... reaches full capacity" (§3).
 
 use simcore::time::SimTime;
+use simcore::SprintError;
 
 /// Sprint budget state, updated lazily at event times.
 #[derive(Debug, Clone)]
@@ -21,23 +22,27 @@ pub struct Budget {
 impl Budget {
     /// Creates a full budget.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `capacity` is negative/NaN or `refill_secs` is not
-    /// positive.
-    pub fn new(capacity: f64, refill_secs: f64) -> Budget {
-        assert!(capacity >= 0.0 && !capacity.is_nan(), "bad capacity");
-        assert!(
-            refill_secs > 0.0 && refill_secs.is_finite(),
-            "bad refill time"
-        );
-        Budget {
+    /// Returns [`SprintError::InvalidConfig`] if `capacity` is negative
+    /// or NaN (infinite capacity is legal — the unlimited budget), or if
+    /// `refill_secs` is NaN, infinite, or not strictly positive.
+    pub fn new(capacity: f64, refill_secs: f64) -> Result<Budget, SprintError> {
+        SprintError::require_non_negative("Budget::capacity", capacity)?;
+        if refill_secs.is_nan() {
+            return Err(SprintError::invalid(
+                "Budget::refill_secs",
+                "must not be NaN",
+            ));
+        }
+        SprintError::require_positive("Budget::refill_secs", refill_secs)?;
+        Ok(Budget {
             capacity,
             level: capacity,
             refill_secs,
             sprinting: 0,
             last: SimTime::ZERO,
-        }
+        })
     }
 
     /// Brings the level up to date at `now`.
@@ -114,14 +119,14 @@ mod tests {
 
     #[test]
     fn starts_full() {
-        let b = Budget::new(100.0, 500.0);
+        let b = Budget::new(100.0, 500.0).unwrap();
         assert_eq!(b.level(), 100.0);
         assert!(b.available());
     }
 
     #[test]
     fn drains_while_sprinting() {
-        let mut b = Budget::new(100.0, 500.0);
+        let mut b = Budget::new(100.0, 500.0).unwrap();
         b.update(t(0));
         b.start_sprint();
         b.update(t(30));
@@ -131,7 +136,7 @@ mod tests {
 
     #[test]
     fn two_sprints_drain_twice_as_fast() {
-        let mut b = Budget::new(100.0, 500.0);
+        let mut b = Budget::new(100.0, 500.0).unwrap();
         b.start_sprint();
         b.start_sprint();
         b.update(t(20));
@@ -141,7 +146,7 @@ mod tests {
 
     #[test]
     fn refills_when_idle() {
-        let mut b = Budget::new(100.0, 500.0);
+        let mut b = Budget::new(100.0, 500.0).unwrap();
         b.start_sprint();
         b.update(t(50)); // Level 50.
         b.end_sprint();
@@ -152,7 +157,7 @@ mod tests {
 
     #[test]
     fn refill_caps_at_capacity() {
-        let mut b = Budget::new(100.0, 500.0);
+        let mut b = Budget::new(100.0, 500.0).unwrap();
         b.start_sprint();
         b.update(t(10));
         b.end_sprint();
@@ -162,7 +167,7 @@ mod tests {
 
     #[test]
     fn drain_floors_at_zero() {
-        let mut b = Budget::new(10.0, 100.0);
+        let mut b = Budget::new(10.0, 100.0).unwrap();
         b.start_sprint();
         b.update(t(50));
         assert_eq!(b.level(), 0.0);
@@ -172,7 +177,7 @@ mod tests {
     #[test]
     fn no_refill_while_sprinting() {
         // Per the paper, refill requires time *without* sprinting.
-        let mut b = Budget::new(100.0, 100.0);
+        let mut b = Budget::new(100.0, 100.0).unwrap();
         b.start_sprint();
         b.update(t(30));
         assert!((b.level() - 70.0).abs() < 1e-9);
@@ -183,7 +188,7 @@ mod tests {
 
     #[test]
     fn unlimited_budget_never_exhausts() {
-        let mut b = Budget::new(f64::INFINITY, 100.0);
+        let mut b = Budget::new(f64::INFINITY, 100.0).unwrap();
         b.start_sprint();
         b.update(t(1_000_000));
         assert!(b.available());
@@ -193,7 +198,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "no active sprint")]
     fn end_without_start_panics() {
-        let mut b = Budget::new(10.0, 10.0);
+        let mut b = Budget::new(10.0, 10.0).unwrap();
         b.end_sprint();
+    }
+
+    #[test]
+    fn rejects_invalid_capacity() {
+        assert!(Budget::new(-1.0, 10.0).is_err());
+        assert!(Budget::new(f64::NAN, 10.0).is_err());
+        // Zero capacity is a legal (always-empty) budget.
+        assert!(Budget::new(0.0, 10.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_refill() {
+        assert!(Budget::new(10.0, f64::NAN).is_err());
+        assert!(Budget::new(10.0, f64::INFINITY).is_err());
+        assert!(Budget::new(10.0, 0.0).is_err());
+        assert!(Budget::new(10.0, -5.0).is_err());
     }
 }

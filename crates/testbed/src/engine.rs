@@ -9,6 +9,7 @@
 
 use mechanisms::Mechanism;
 use simcore::time::SimTime;
+use simcore::SprintError;
 use workloads::{Workload, WorkloadKind};
 
 /// Execution mode of a running query.
@@ -58,21 +59,19 @@ impl ExecutionState {
     /// Creates a query execution stalled until `ready` (dispatch
     /// overhead), then running normally or engaging a sprint.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `service_secs` is not positive and finite.
+    /// Returns [`SprintError::InvalidConfig`] if `service_secs` is not
+    /// positive and finite.
     pub fn new(
         kind: WorkloadKind,
         service_secs: f64,
         now: SimTime,
         ready: SimTime,
         then_sprint: bool,
-    ) -> ExecutionState {
-        assert!(
-            service_secs.is_finite() && service_secs > 0.0,
-            "invalid service time: {service_secs}"
-        );
-        ExecutionState {
+    ) -> Result<ExecutionState, SprintError> {
+        SprintError::require_positive("ExecutionState::service_secs", service_secs)?;
+        Ok(ExecutionState {
             kind,
             service_secs,
             progress: 0.0,
@@ -84,7 +83,7 @@ impl ExecutionState {
             sprint_seconds: 0.0,
             ever_sprinted: false,
             drag: 1.0,
-        }
+        })
     }
 
     /// Sets the environment slowdown factor. Callers must `advance` to
@@ -256,7 +255,7 @@ mod tests {
     }
 
     fn normal_exec(kind: WorkloadKind, service: f64) -> ExecutionState {
-        let mut e = ExecutionState::new(kind, service, t(0.0), t(0.0), false);
+        let mut e = ExecutionState::new(kind, service, t(0.0), t(0.0), false).unwrap();
         e.set_mode(ExecMode::Normal);
         e
     }
@@ -282,7 +281,7 @@ mod tests {
     fn uniform_sprint_divides_time_by_multiplier() {
         // CPU throttling speeds every phase by exactly 5X.
         let mech = CpuThrottle::new(0.2);
-        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true).unwrap();
         e.set_mode(ExecMode::Sprinting);
         assert!((e.remaining_secs(&mech) - 20.0).abs() < 1e-6);
         e.advance(t(20.0), &mech);
@@ -294,7 +293,7 @@ mod tests {
     #[test]
     fn full_dvfs_sprint_matches_marginal_speedup() {
         let mech = Dvfs::new();
-        let mut e = ExecutionState::new(WorkloadKind::Leuk, 144.0, t(0.0), t(0.0), true);
+        let mut e = ExecutionState::new(WorkloadKind::Leuk, 144.0, t(0.0), t(0.0), true).unwrap();
         e.set_mode(ExecMode::Sprinting);
         let expect = 144.0 / mech.marginal_speedup(WorkloadKind::Leuk);
         assert!(
@@ -318,7 +317,8 @@ mod tests {
         late.set_mode(ExecMode::Sprinting);
         let late_total = 80.0 + late.remaining_secs(&mech);
 
-        let mut early = ExecutionState::new(WorkloadKind::Leuk, service, t(0.0), t(0.0), true);
+        let mut early =
+            ExecutionState::new(WorkloadKind::Leuk, service, t(0.0), t(0.0), true).unwrap();
         early.set_mode(ExecMode::Sprinting);
         let early_total = early.remaining_secs(&mech);
 
@@ -332,7 +332,8 @@ mod tests {
     #[test]
     fn stall_pauses_progress() {
         let mech = Dvfs::new();
-        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(5.0), false);
+        let mut e =
+            ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(5.0), false).unwrap();
         e.advance(t(3.0), &mech);
         assert_eq!(e.progress(), 0.0);
         assert!(matches!(e.mode(), ExecMode::Stalled { .. }));
@@ -345,7 +346,7 @@ mod tests {
         // Sprint from the start; progress through Jacobi's three phases
         // must accumulate exactly the per-phase speedups.
         let mech = Dvfs::new();
-        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true).unwrap();
         e.set_mode(ExecMode::Sprinting);
         let total = e.remaining_secs(&mech);
         // Advance in many small steps; final completion must match the
@@ -397,7 +398,7 @@ mod tests {
     #[test]
     fn drag_also_slows_sprinting() {
         let mech = CpuThrottle::new(0.2); // Uniform 5X sprint.
-        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true);
+        let mut e = ExecutionState::new(WorkloadKind::Jacobi, 100.0, t(0.0), t(0.0), true).unwrap();
         e.set_mode(ExecMode::Sprinting);
         e.set_drag(2.0);
         // 100 s / 5 speedup * 2 drag = 40 s.
@@ -412,8 +413,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid service time")]
-    fn rejects_zero_service_time() {
-        let _ = ExecutionState::new(WorkloadKind::Jacobi, 0.0, t(0.0), t(0.0), false);
+    fn rejects_bad_service_time() {
+        assert!(ExecutionState::new(WorkloadKind::Jacobi, 0.0, t(0.0), t(0.0), false).is_err());
+        assert!(
+            ExecutionState::new(WorkloadKind::Jacobi, f64::NAN, t(0.0), t(0.0), false).is_err()
+        );
+        assert!(
+            ExecutionState::new(WorkloadKind::Jacobi, f64::INFINITY, t(0.0), t(0.0), true).is_err()
+        );
     }
 }

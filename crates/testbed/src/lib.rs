@@ -18,6 +18,13 @@
 //! what the paper's machine-learned *effective sprint rate* captures.
 //! Model code never reads testbed internals — only the per-query
 //! timestamps a real profiler would log.
+//!
+//! The server optionally runs under a [`faults::FaultPlan`] (via
+//! [`Server::with_faults`] or [`server::run_with_faults`]): seeded,
+//! deterministic injection of sprint-engage failures, stuck sprints,
+//! budget-sensor drift, execution crashes with bounded retry, arrival
+//! storms and thermal emergencies. An all-off plan is bit-identical to
+//! running without one.
 
 pub mod budget;
 pub mod engine;
@@ -28,7 +35,8 @@ pub mod server;
 pub mod trace;
 
 pub use budget::Budget;
+pub use faults::{FaultCounters, FaultPlan, StormWindow};
 pub use metrics::RunResult;
 pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
 pub use query::QueryRecord;
-pub use server::Server;
+pub use server::{run_with_faults, Server};

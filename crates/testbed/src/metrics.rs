@@ -6,22 +6,47 @@
 //! evaluation harness consume.
 
 use crate::query::QueryRecord;
-use serde::{Deserialize, Serialize};
+use faults::FaultCounters;
 use simcore::stats::Percentiles;
 use simcore::time::Rate;
 
 /// All records from one run plus the warmup cutoff.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     records: Vec<QueryRecord>,
     warmup: usize,
+    faults: FaultCounters,
 }
 
 impl RunResult {
     /// Wraps per-query records; the first `warmup` queries (by id) are
     /// excluded from steady-state statistics.
     pub fn new(records: Vec<QueryRecord>, warmup: usize) -> RunResult {
-        RunResult { records, warmup }
+        RunResult {
+            records,
+            warmup,
+            faults: FaultCounters::default(),
+        }
+    }
+
+    /// Like [`RunResult::new`], but carries the fault-injection
+    /// counters observed during the run.
+    pub fn with_faults(
+        records: Vec<QueryRecord>,
+        warmup: usize,
+        faults: FaultCounters,
+    ) -> RunResult {
+        RunResult {
+            records,
+            warmup,
+            faults,
+        }
+    }
+
+    /// Per-fault-class event counts for the run (all zero when no fault
+    /// plan was active).
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.faults
     }
 
     /// All records, including warmup.
@@ -159,7 +184,14 @@ mod tests {
             timed_out: sprinted,
             sprinted,
             sprint_seconds: 0.0,
+            retries: 0,
         }
+    }
+
+    #[test]
+    fn fault_counters_default_to_zero() {
+        let r = RunResult::new(vec![rec(0, 0, 0, 10, false)], 0);
+        assert_eq!(r.fault_counters().total(), 0);
     }
 
     #[test]

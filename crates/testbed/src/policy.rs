@@ -5,13 +5,13 @@
 //! refill time (§1–2). The sprint *rate* itself comes from the
 //! mechanism (and, for CPU throttling, its configured multiplier).
 
-use serde::{Deserialize, Serialize};
 use simcore::dist::DistKind;
 use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
 use workloads::QueryMix;
 
 /// How the sprinting budget is specified.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BudgetSpec {
     /// Absolute budget capacity in sprint-seconds.
     Seconds(f64),
@@ -38,7 +38,7 @@ impl BudgetSpec {
 }
 
 /// A complete sprinting policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SprintPolicy {
     /// Time after a query's *arrival* at which sprinting is triggered
     /// for it (timer interrupt, §2.1). A zero timeout sprints every
@@ -97,7 +97,7 @@ impl SprintPolicy {
 }
 
 /// One segment of a time-varying arrival pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateSegment {
     /// Segment length in seconds.
     pub duration_secs: f64,
@@ -113,7 +113,7 @@ pub struct RateSegment {
 /// `base rate × multiplier`; the segment active when a gap is
 /// *scheduled* determines its rate (a standard piecewise
 /// approximation, exact when gaps are short relative to segments).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalSpec {
     /// Mean base arrival rate λ.
     pub rate: Rate,
@@ -144,42 +144,50 @@ impl ArrivalSpec {
 
     /// Adds a repeating rate modulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `segments` is empty or contains non-positive
-    /// durations/multipliers.
-    pub fn with_modulation(mut self, segments: Vec<RateSegment>) -> ArrivalSpec {
-        assert!(!segments.is_empty(), "modulation needs segments");
+    /// Returns [`SprintError::InvalidConfig`] if `segments` is empty or
+    /// contains non-positive/non-finite durations or multipliers.
+    pub fn with_modulation(
+        mut self,
+        segments: Vec<RateSegment>,
+    ) -> Result<ArrivalSpec, SprintError> {
+        if segments.is_empty() {
+            return Err(SprintError::invalid(
+                "ArrivalSpec::modulation",
+                "modulation needs at least one segment",
+            ));
+        }
         for s in &segments {
-            assert!(
-                s.duration_secs > 0.0 && s.duration_secs.is_finite(),
-                "invalid segment duration"
-            );
-            assert!(
-                s.rate_multiplier > 0.0 && s.rate_multiplier.is_finite(),
-                "invalid rate multiplier"
-            );
+            SprintError::require_positive("RateSegment::duration_secs", s.duration_secs)?;
+            SprintError::require_positive("RateSegment::rate_multiplier", s.rate_multiplier)?;
         }
         self.modulation = Some(segments);
-        self
+        Ok(self)
     }
 
     /// Poisson arrivals with a load spike: `base` rate, multiplied by
     /// `spike_multiplier` for `spike_secs` out of every `period_secs`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < spike_secs < period_secs`.
+    /// Returns [`SprintError::InvalidConfig`] unless
+    /// `0 < spike_secs < period_secs` and `spike_multiplier` is a
+    /// positive finite number.
     pub fn poisson_with_spike(
         base: Rate,
         spike_multiplier: f64,
         spike_secs: f64,
         period_secs: f64,
-    ) -> ArrivalSpec {
-        assert!(
-            spike_secs > 0.0 && spike_secs < period_secs,
-            "spike must fit inside the period"
-        );
+    ) -> Result<ArrivalSpec, SprintError> {
+        SprintError::require_positive("ArrivalSpec::spike_secs", spike_secs)?;
+        SprintError::require_positive("ArrivalSpec::period_secs", period_secs)?;
+        if spike_secs >= period_secs {
+            return Err(SprintError::invalid(
+                "ArrivalSpec::spike_secs",
+                format!("spike ({spike_secs}s) must fit inside the period ({period_secs}s)"),
+            ));
+        }
         ArrivalSpec::poisson(base).with_modulation(vec![
             RateSegment {
                 duration_secs: period_secs - spike_secs,
@@ -210,7 +218,7 @@ impl ArrivalSpec {
 }
 
 /// Complete configuration for one testbed run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Query mix replayed by the generator.
     pub mix: QueryMix,
@@ -289,16 +297,18 @@ mod tests {
 
     #[test]
     fn modulation_cycles_through_segments() {
-        let spec = ArrivalSpec::poisson(Rate::per_hour(30.0)).with_modulation(vec![
-            RateSegment {
-                duration_secs: 100.0,
-                rate_multiplier: 1.0,
-            },
-            RateSegment {
-                duration_secs: 50.0,
-                rate_multiplier: 4.0,
-            },
-        ]);
+        let spec = ArrivalSpec::poisson(Rate::per_hour(30.0))
+            .with_modulation(vec![
+                RateSegment {
+                    duration_secs: 100.0,
+                    rate_multiplier: 1.0,
+                },
+                RateSegment {
+                    duration_secs: 50.0,
+                    rate_multiplier: 4.0,
+                },
+            ])
+            .unwrap();
         assert_eq!(spec.multiplier_at(0.0), 1.0);
         assert_eq!(spec.multiplier_at(99.0), 1.0);
         assert_eq!(spec.multiplier_at(100.0), 4.0);
@@ -317,16 +327,37 @@ mod tests {
 
     #[test]
     fn spike_helper_builds_two_segments() {
-        let spec = ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 600.0, 3_600.0);
+        let spec =
+            ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 600.0, 3_600.0).unwrap();
         assert_eq!(spec.multiplier_at(0.0), 1.0);
         assert_eq!(spec.multiplier_at(3_100.0), 3.0);
         assert_eq!(spec.multiplier_at(3_700.0), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "spike must fit")]
     fn spike_longer_than_period_rejected() {
-        let _ = ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 4_000.0, 3_600.0);
+        assert!(
+            ArrivalSpec::poisson_with_spike(Rate::per_hour(20.0), 3.0, 4_000.0, 3_600.0).is_err()
+        );
+    }
+
+    #[test]
+    fn modulation_rejects_bad_segments() {
+        let base = ArrivalSpec::poisson(Rate::per_hour(30.0));
+        assert!(base.clone().with_modulation(vec![]).is_err());
+        assert!(base
+            .clone()
+            .with_modulation(vec![RateSegment {
+                duration_secs: f64::NAN,
+                rate_multiplier: 1.0,
+            }])
+            .is_err());
+        assert!(base
+            .with_modulation(vec![RateSegment {
+                duration_secs: 10.0,
+                rate_multiplier: 0.0,
+            }])
+            .is_err());
     }
 
     #[test]

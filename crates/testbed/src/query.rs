@@ -1,12 +1,11 @@
 //! Per-query state and the timestamp records profiling consumes.
 
-use serde::{Deserialize, Serialize};
 use simcore::time::{SimDuration, SimTime};
 use workloads::WorkloadKind;
 
 /// Everything the queue manager logs about one completed query — the
 /// same observables the paper's profiler records via timestamps (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryRecord {
     /// Sequential query id in arrival order.
     pub id: u64,
@@ -25,6 +24,9 @@ pub struct QueryRecord {
     pub sprinted: bool,
     /// Wall-clock seconds this query spent sprinting.
     pub sprint_seconds: f64,
+    /// Times this query was crash-requeued by fault injection before
+    /// completing (always 0 without an active fault plan).
+    pub retries: u32,
 }
 
 impl QueryRecord {
@@ -59,13 +61,11 @@ mod tests {
             timed_out: true,
             sprinted: false,
             sprint_seconds: 0.0,
+            retries: 0,
         };
         assert_eq!(r.queue_delay(), SimDuration::from_secs(15));
         assert_eq!(r.processing_time(), SimDuration::from_secs(75));
         assert_eq!(r.response_time(), SimDuration::from_secs(90));
-        assert_eq!(
-            r.response_time(),
-            r.queue_delay() + r.processing_time()
-        );
+        assert_eq!(r.response_time(), r.queue_delay() + r.processing_time());
     }
 }

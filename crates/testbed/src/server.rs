@@ -11,11 +11,13 @@ use crate::engine::{ExecMode, ExecutionState};
 use crate::metrics::RunResult;
 use crate::policy::ServerConfig;
 use crate::query::QueryRecord;
+use faults::{EngageOutcome, FaultInjector, FaultPlan};
 use mechanisms::Mechanism;
 use simcore::dist::Dist;
 use simcore::event::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
+use simcore::SprintError;
 use std::collections::VecDeque;
 use workloads::{Workload, WorkloadKind};
 
@@ -67,6 +69,13 @@ enum Ev {
     /// Something about slot `slot` needs resolving (stall end, budget
     /// exhaustion, or completion); stale generations are ignored.
     Slot { slot: usize, gen: u64 },
+    /// Fault injection: the execution in `slot` crashes while running
+    /// `query`. Matched by query id, so the event goes stale if the
+    /// query completed first.
+    Crash { slot: usize, query: u64 },
+    /// Fault injection: a thermal emergency forces every sprinting
+    /// execution back to the sustained rate.
+    Thermal,
 }
 
 /// Where a query currently is.
@@ -85,6 +94,8 @@ struct QueryInfo {
     timed_out: bool,
     state: QueryState,
     dispatch: SimTime,
+    /// Crash-requeue count (fault injection).
+    retries: u32,
 }
 
 #[derive(Debug)]
@@ -92,6 +103,10 @@ struct Slot {
     query: u64,
     engine: ExecutionState,
     gen: u64,
+    /// Fault injection: the sprint latch is stuck on — budget
+    /// exhaustion no longer disengages it (only completion or a thermal
+    /// emergency does).
+    stuck: bool,
 }
 
 /// The testbed server simulator.
@@ -113,28 +128,37 @@ pub struct Server<'m> {
     /// Accumulated interrupt-servicing time the queue manager owes;
     /// paid as extra overhead at the next dispatch.
     manager_debt_secs: f64,
+    /// Fault injector; `None` runs the pristine server. A no-op plan
+    /// threads through the same code paths without consuming any
+    /// randomness, so its output is bit-identical to `None`.
+    faults: Option<FaultInjector>,
 }
 
 impl<'m> Server<'m> {
     /// Builds a server for the given configuration and mechanism.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration has zero slots or zero queries.
-    pub fn new(cfg: ServerConfig, mech: &'m dyn Mechanism) -> Server<'m> {
-        assert!(cfg.slots > 0, "need at least one execution slot");
-        assert!(cfg.num_queries > 0, "need at least one query");
+    /// Returns [`SprintError::InvalidConfig`] if the configuration has
+    /// zero slots, zero queries, or a budget/refill the policy cannot
+    /// realize.
+    pub fn new(cfg: ServerConfig, mech: &'m dyn Mechanism) -> Result<Server<'m>, SprintError> {
+        SprintError::require_nonzero("ServerConfig::slots", cfg.slots)?;
+        SprintError::require_nonzero("ServerConfig::num_queries", cfg.num_queries)?;
         let mut root = SimRng::new(cfg.seed);
         let arrival_rng = root.split(1);
         let service_rng = root.split(2);
         let mix_rng = root.split(3);
-        let budget = Budget::new(cfg.policy.budget_capacity(), cfg.policy.refill.as_secs_f64());
+        let budget = Budget::new(
+            cfg.policy.budget_capacity(),
+            cfg.policy.refill.as_secs_f64(),
+        )?;
         let next_arrival_gap = Dist::Parametric {
             kind: cfg.arrivals.kind,
             mean: cfg.arrivals.rate.mean_interval(),
         };
         let slots = (0..cfg.slots).map(|_| None).collect();
-        Server {
+        Ok(Server {
             arrivals_left: cfg.num_queries,
             cfg,
             mech,
@@ -150,7 +174,29 @@ impl<'m> Server<'m> {
             mix_rng,
             next_gen: 0,
             manager_debt_secs: 0.0,
-        }
+            faults: None,
+        })
+    }
+
+    /// Builds a server that injects the faults described by `plan`.
+    ///
+    /// The injector draws from its own RNG streams (derived from
+    /// `plan.seed`, not `cfg.seed`), so the arrival/service processes
+    /// are identical with and without faults, and a given
+    /// `(cfg, plan)` pair is fully deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server configuration or the fault plan
+    /// fails validation.
+    pub fn with_faults(
+        cfg: ServerConfig,
+        mech: &'m dyn Mechanism,
+        plan: FaultPlan,
+    ) -> Result<Server<'m>, SprintError> {
+        let mut server = Server::new(cfg, mech)?;
+        server.faults = Some(FaultInjector::new(plan)?);
+        Ok(server)
     }
 
     /// Runs the configured number of queries to completion and returns
@@ -159,6 +205,10 @@ impl<'m> Server<'m> {
         // Seed the first arrival.
         let gap = self.sample_arrival_gap(SimTime::ZERO);
         self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
+        if let Some(at) = self.faults.as_ref().and_then(|f| f.first_thermal_secs()) {
+            self.events
+                .schedule(SimTime::from_secs_f64(at), Ev::Thermal);
+        }
 
         let mut iterations: u64 = 0;
         while let Some((now, ev)) = self.events.pop() {
@@ -179,6 +229,8 @@ impl<'m> Server<'m> {
                 Ev::Arrival => self.on_arrival(now),
                 Ev::Timeout(id) => self.on_timeout(now, id),
                 Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen),
+                Ev::Crash { slot, query } => self.on_crash(now, slot, query),
+                Ev::Thermal => self.on_thermal(now),
             }
             if self.records.len() == self.cfg.num_queries {
                 break;
@@ -190,7 +242,12 @@ impl<'m> Server<'m> {
             "simulation ended with unfinished queries"
         );
         self.records.sort_by_key(|r| r.id);
-        RunResult::new(self.records, self.cfg.warmup)
+        let counters = self
+            .faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default();
+        RunResult::with_faults(self.records, self.cfg.warmup, counters)
     }
 
     fn on_arrival(&mut self, now: SimTime) {
@@ -214,6 +271,7 @@ impl<'m> Server<'m> {
             timed_out: false,
             state: QueryState::Queued,
             dispatch: SimTime::ZERO,
+            retries: 0,
         });
 
         if self.cfg.policy.sprint_enabled && self.cfg.policy.timeout < SimDuration::MAX {
@@ -238,14 +296,49 @@ impl<'m> Server<'m> {
     }
 
     /// Samples the next inter-arrival gap, honouring any time-varying
-    /// rate modulation: the segment active *now* sets the rate.
+    /// rate modulation: the segment active *now* sets the rate. An
+    /// active fault-plan storm window compounds multiplicatively on top
+    /// of the configured modulation.
     fn sample_arrival_gap(&mut self, now: SimTime) -> SimDuration {
         let gap = self.next_arrival_gap.sample(&mut self.arrival_rng);
-        let multiplier = self.cfg.arrivals.multiplier_at(now.as_secs_f64());
+        let mut multiplier = self.cfg.arrivals.multiplier_at(now.as_secs_f64());
+        if let Some(f) = self.faults.as_mut() {
+            let storm = f.storm_multiplier(now.as_secs_f64());
+            if storm != 1.0 {
+                f.record_storm_arrival();
+                multiplier *= storm;
+            }
+        }
         if (multiplier - 1.0).abs() < 1e-12 {
             gap
         } else {
             gap.mul_f64(1.0 / multiplier)
+        }
+    }
+
+    /// Budget availability as the (possibly drifted) sensor reports it.
+    /// Without an injector this is exactly [`Budget::available`].
+    fn sensed_available(&self) -> bool {
+        if self.budget.capacity().is_infinite() {
+            return true;
+        }
+        match &self.faults {
+            Some(f) => f.sensed_level(self.budget.level()) > 1e-6,
+            None => self.budget.available(),
+        }
+    }
+
+    /// Seconds until the *sensed* budget level empties at the current
+    /// drain rate. Drift shifts the horizon the same way it shifts the
+    /// level, so sprint-disengage events follow the sensor.
+    fn sensed_seconds_to_exhaustion(&self) -> Option<f64> {
+        let n = self.budget.sprinting();
+        if n == 0 || self.budget.capacity().is_infinite() {
+            return None;
+        }
+        match &self.faults {
+            Some(f) => Some(f.sensed_level(self.budget.level()) / n as f64),
+            None => self.budget.seconds_to_exhaustion(),
         }
     }
 
@@ -265,7 +358,7 @@ impl<'m> Server<'m> {
             QueryState::Running(slot) => {
                 self.queries[id as usize].timed_out = true;
                 self.budget.update(now);
-                let can_sprint = self.budget.available();
+                let can_sprint = self.sensed_available();
                 let toggle = self.mech.toggle_overhead();
                 let slot_ref = self.slots[slot].as_mut().expect("running slot occupied");
                 match slot_ref.engine.mode() {
@@ -311,17 +404,33 @@ impl<'m> Server<'m> {
         }
         self.budget.update(now);
         let mode = s.engine.mode();
+        let stuck = s.stuck;
         match mode {
             ExecMode::Stalled { until, then_sprint } if now >= until => {
+                let wants_sprint = then_sprint && self.sensed_available();
+                // The injector only sees engages that would otherwise
+                // succeed; it can fail them or latch them stuck on.
+                let outcome = if !wants_sprint {
+                    EngageOutcome::Failed
+                } else {
+                    match self.faults.as_mut() {
+                        Some(f) => f.engage_outcome(now.as_secs_f64()),
+                        None => EngageOutcome::Engaged,
+                    }
+                };
                 let s = self.slots[slot].as_mut().expect("slot occupied");
                 s.engine.advance(now, self.mech);
-                if then_sprint && self.budget.available() {
-                    s.engine.set_mode(ExecMode::Sprinting);
-                    self.budget.start_sprint();
-                    self.reschedule_all_sprinting(now);
-                } else {
-                    s.engine.set_mode(ExecMode::Normal);
-                    self.reschedule_slot(now, slot);
+                match outcome {
+                    EngageOutcome::Engaged | EngageOutcome::EngagedStuck => {
+                        s.stuck = matches!(outcome, EngageOutcome::EngagedStuck);
+                        s.engine.set_mode(ExecMode::Sprinting);
+                        self.budget.start_sprint();
+                        self.reschedule_all_sprinting(now);
+                    }
+                    EngageOutcome::Failed => {
+                        s.engine.set_mode(ExecMode::Normal);
+                        self.reschedule_slot(now, slot);
+                    }
                 }
             }
             ExecMode::Sprinting | ExecMode::Normal => {
@@ -329,8 +438,11 @@ impl<'m> Server<'m> {
                 s.engine.advance(now, self.mech);
                 if s.engine.is_complete() {
                     self.complete(now, slot);
-                } else if matches!(mode, ExecMode::Sprinting) && !self.budget.available() {
+                } else if matches!(mode, ExecMode::Sprinting) && !stuck && !self.sensed_available()
+                {
                     // Budget ran dry mid-sprint: fall back to sustained.
+                    // A stuck sprint ignores exhaustion — it keeps
+                    // draining until completion or a thermal emergency.
                     let s = self.slots[slot].as_mut().expect("slot occupied");
                     s.engine.set_mode(ExecMode::Normal);
                     self.budget.end_sprint();
@@ -346,6 +458,73 @@ impl<'m> Server<'m> {
                 // newer event will resolve it.
             }
         }
+    }
+
+    /// Fault injection: the execution in `slot` crashes. The query is
+    /// pushed back to the head of the queue (preserving FIFO order) and
+    /// redispatched with fresh dispatch overhead; its timestamps keep
+    /// the original arrival but move `dispatch` to the retry hand-off.
+    fn on_crash(&mut self, now: SimTime, slot: usize, query: u64) {
+        let stale = match self.slots[slot].as_ref() {
+            Some(s) => s.query != query,
+            None => true,
+        };
+        if stale || self.queries[query as usize].state != QueryState::Running(slot) {
+            return; // The query completed before its crash point.
+        }
+        self.budget.update(now);
+        let s = self.slots[slot].take().expect("crashing slot occupied");
+        if matches!(s.engine.mode(), ExecMode::Sprinting) {
+            self.budget.end_sprint();
+            self.reschedule_all_sprinting(now);
+        }
+        let info = &mut self.queries[query as usize];
+        info.state = QueryState::Queued;
+        info.retries += 1;
+        let retries = info.retries;
+        let f = self.faults.as_mut().expect("crash event requires injector");
+        f.record_crash(retries >= f.max_retries());
+        // All progress is lost; the crashed query re-enters at the head
+        // of the queue and the freed slot immediately redispatches it.
+        self.queue.push_front(query);
+        if let Some(next) = self.queue.pop_front() {
+            self.dispatch(now, next, slot);
+            self.update_drag(now);
+        }
+    }
+
+    /// Fault injection: a thermal emergency forces every sprinting
+    /// execution (stuck ones included) back to the sustained rate and
+    /// starts the injector's engage lockout.
+    fn on_thermal(&mut self, now: SimTime) {
+        self.budget.update(now);
+        let sprinting: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|s| matches!(s.engine.mode(), ExecMode::Sprinting))
+                    .map(|_| i)
+            })
+            .collect();
+        let mut unsprinted = 0u64;
+        for i in sprinting {
+            let s = self.slots[i].as_mut().expect("slot occupied");
+            s.engine.advance(now, self.mech);
+            s.engine.set_mode(ExecMode::Normal);
+            s.stuck = false;
+            self.budget.end_sprint();
+            unsprinted += 1;
+            self.reschedule_slot(now, i);
+        }
+        let f = self
+            .faults
+            .as_mut()
+            .expect("thermal event requires injector");
+        let next = f.on_thermal(now.as_secs_f64(), unsprinted);
+        self.events
+            .schedule(SimTime::from_secs_f64(next), Ev::Thermal);
     }
 
     fn complete(&mut self, now: SimTime, slot: usize) {
@@ -365,6 +544,7 @@ impl<'m> Server<'m> {
             timed_out: info.timed_out,
             sprinted: s.engine.ever_sprinted(),
             sprint_seconds: s.engine.sprint_seconds(),
+            retries: info.retries,
         });
         if let Some(next) = self.queue.pop_front() {
             self.dispatch(now, next, slot);
@@ -400,14 +580,31 @@ impl<'m> Server<'m> {
         let sprint_now = info.timed_out && self.cfg.policy.sprint_enabled;
         let mut ready = now + SimDuration::from_secs_f64(overhead);
         if sprint_now {
-            ready += self.mech.toggle_overhead().mul_f64(DISPATCH_SPRINT_TOGGLE_FRAC);
+            ready += self
+                .mech
+                .toggle_overhead()
+                .mul_f64(DISPATCH_SPRINT_TOGGLE_FRAC);
         }
-        let engine = ExecutionState::new(info.kind, info.service_secs, now, ready, sprint_now);
+        let engine = ExecutionState::new(info.kind, info.service_secs, now, ready, sprint_now)
+            .expect("sampled service time is positive and finite");
         self.slots[slot] = Some(Slot {
             query: id,
             engine,
             gen: 0,
+            stuck: false,
         });
+        // Fault injection: decide at dispatch whether this execution
+        // will crash, and when. The event is matched by query id, so it
+        // goes stale harmlessly if the query completes first (e.g. a
+        // sprint compresses the service time past the crash point).
+        if let Some(f) = self.faults.as_mut() {
+            let retries = self.queries[id as usize].retries;
+            if let Some(frac) = f.crash_point_frac(retries) {
+                let at =
+                    now + SimDuration::from_secs_f64(frac * self.queries[id as usize].service_secs);
+                self.events.schedule(at, Ev::Crash { slot, query: id });
+            }
+        }
         self.reschedule_slot(now, slot);
     }
 
@@ -420,6 +617,7 @@ impl<'m> Server<'m> {
     fn reschedule_slot(&mut self, now: SimTime, slot: usize) {
         self.next_gen += 1;
         let gen = self.next_gen;
+        let exhaust = self.sensed_seconds_to_exhaustion();
         let s = self.slots[slot].as_mut().expect("rescheduling empty slot");
         s.gen = gen;
         let at = match s.engine.mode() {
@@ -429,9 +627,11 @@ impl<'m> Server<'m> {
             }
             ExecMode::Sprinting => {
                 let complete = s.engine.remaining_secs(self.mech);
-                let horizon = match self.budget.seconds_to_exhaustion() {
-                    Some(exhaust) => complete.min(exhaust),
-                    None => complete,
+                // A stuck sprint never disengages on exhaustion, so
+                // only the completion horizon matters for it.
+                let horizon = match exhaust {
+                    Some(exhaust) if !s.stuck => complete.min(exhaust),
+                    _ => complete,
                 };
                 now + SimDuration::from_secs_f64_ceil(horizon)
             }
@@ -461,8 +661,28 @@ impl<'m> Server<'m> {
 }
 
 /// Convenience: run one configuration to completion.
-pub fn run(cfg: ServerConfig, mech: &dyn Mechanism) -> RunResult {
-    Server::new(cfg, mech).run()
+///
+/// # Errors
+///
+/// Returns an error if the configuration fails validation.
+pub fn run(cfg: ServerConfig, mech: &dyn Mechanism) -> Result<RunResult, SprintError> {
+    Ok(Server::new(cfg, mech)?.run())
+}
+
+/// Convenience: run one configuration to completion with the given
+/// fault plan active. A default (all-off) plan produces output
+/// bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Returns an error if the configuration or the fault plan fails
+/// validation.
+pub fn run_with_faults(
+    cfg: ServerConfig,
+    mech: &dyn Mechanism,
+    plan: FaultPlan,
+) -> Result<RunResult, SprintError> {
+    Ok(Server::with_faults(cfg, mech, plan)?.run())
 }
 
 #[cfg(test)]
@@ -488,7 +708,7 @@ mod tests {
     #[test]
     fn no_sprint_run_matches_service_rate() {
         let mech = Dvfs::new();
-        let r = run(base_cfg(SprintPolicy::never(), 0.3, 300, 11), &mech);
+        let r = run(base_cfg(SprintPolicy::never(), 0.3, 300, 11), &mech).unwrap();
         // Mean processing time should be near 1/µ = 70.6 s (plus small
         // dispatch overhead).
         let proc = r.mean_processing_secs();
@@ -500,7 +720,7 @@ mod tests {
     #[test]
     fn always_sprint_approaches_marginal_rate() {
         let mech = Dvfs::new();
-        let r = run(base_cfg(SprintPolicy::always(), 0.3, 300, 12), &mech);
+        let r = run(base_cfg(SprintPolicy::always(), 0.3, 300, 12), &mech).unwrap();
         let speedup = mech.marginal_speedup(WorkloadKind::Jacobi);
         let expect = 70.6 / speedup;
         let proc = r.mean_processing_secs();
@@ -519,23 +739,23 @@ mod tests {
             BudgetSpec::FractionOfRefill(0.2),
             SimDuration::from_secs(200),
         );
-        let a = run(base_cfg(p, 0.7, 200, 99), &mech);
-        let b = run(base_cfg(p, 0.7, 200, 99), &mech);
+        let a = run(base_cfg(p, 0.7, 200, 99), &mech).unwrap();
+        let b = run(base_cfg(p, 0.7, 200, 99), &mech).unwrap();
         assert_eq!(a.records(), b.records());
     }
 
     #[test]
     fn different_seeds_differ() {
         let mech = Dvfs::new();
-        let a = run(base_cfg(SprintPolicy::never(), 0.7, 100, 1), &mech);
-        let b = run(base_cfg(SprintPolicy::never(), 0.7, 100, 2), &mech);
+        let a = run(base_cfg(SprintPolicy::never(), 0.7, 100, 1), &mech).unwrap();
+        let b = run(base_cfg(SprintPolicy::never(), 0.7, 100, 2), &mech).unwrap();
         assert_ne!(a.records(), b.records());
     }
 
     #[test]
     fn fifo_order_preserved() {
         let mech = Dvfs::new();
-        let r = run(base_cfg(SprintPolicy::never(), 0.9, 200, 5), &mech);
+        let r = run(base_cfg(SprintPolicy::never(), 0.9, 200, 5), &mech).unwrap();
         let mut dispatches: Vec<(SimTime, SimTime)> = r
             .records()
             .iter()
@@ -558,7 +778,7 @@ mod tests {
         );
         let mut cfg = base_cfg(policy, 0.8, 150, 21);
         cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(14.8 * 0.8));
-        let r = run(cfg, &mech);
+        let r = run(cfg, &mech).unwrap();
         // Count *meaningful* sprints: after the 60-second budget drains,
         // later queries can only grab the trickle the slow refill
         // provides, so few queries get substantial sprint time.
@@ -592,7 +812,7 @@ mod tests {
         );
         let mut cfg = base_cfg(policy, 0.2, 50, 31);
         cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(3.0));
-        let r = run(cfg, &mech);
+        let r = run(cfg, &mech).unwrap();
         let first = r.records().iter().find(|q| q.sprinted).expect("a sprint");
         assert!(
             (first.sprint_seconds - 10.0).abs() < 0.5,
@@ -612,7 +832,7 @@ mod tests {
             BudgetSpec::Unlimited,
             SimDuration::from_secs(100),
         );
-        let r = run(base_cfg(policy, 0.75, 300, 41), &mech);
+        let r = run(base_cfg(policy, 0.75, 300, 41), &mech).unwrap();
         for q in r.records() {
             if q.response_time().as_secs_f64() < 119.0 {
                 assert!(!q.timed_out, "fast query {} marked timed out", q.id);
@@ -637,8 +857,8 @@ mod tests {
             SimDuration::from_secs(200),
         );
         let mech2 = CpuThrottle::new(0.2);
-        let base = run(no_sprint, &mech).mean_response_secs();
-        let fast = run(sprint, &mech2).mean_response_secs();
+        let base = run(no_sprint, &mech).unwrap().mean_response_secs();
+        let fast = run(sprint, &mech2).unwrap().mean_response_secs();
         assert!(
             fast < base * 0.9,
             "sprinting should help: {fast:.0}s vs {base:.0}s"
@@ -651,7 +871,7 @@ mod tests {
         let mut cfg = base_cfg(SprintPolicy::always(), 0.5, 200, 61);
         cfg.slots = 4;
         cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 2.0));
-        let r = run(cfg, &mech);
+        let r = run(cfg, &mech).unwrap();
         assert_eq!(r.records().len(), 200);
         // With 4 slots at 2X the single-server service rate, queueing
         // should be modest: mean response near processing time.
@@ -665,17 +885,19 @@ mod tests {
         // of the calm windows.
         let mech = Dvfs::new();
         let mut cfg = base_cfg(SprintPolicy::never(), 0.3, 600, 77);
-        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 0.3)).with_modulation(vec![
-            crate::policy::RateSegment {
-                duration_secs: 1_000.0,
-                rate_multiplier: 1.0,
-            },
-            crate::policy::RateSegment {
-                duration_secs: 1_000.0,
-                rate_multiplier: 3.0,
-            },
-        ]);
-        let r = run(cfg, &mech);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 0.3))
+            .with_modulation(vec![
+                crate::policy::RateSegment {
+                    duration_secs: 1_000.0,
+                    rate_multiplier: 1.0,
+                },
+                crate::policy::RateSegment {
+                    duration_secs: 1_000.0,
+                    rate_multiplier: 3.0,
+                },
+            ])
+            .unwrap();
+        let r = run(cfg, &mech).unwrap();
         let (mut calm, mut spike) = (0usize, 0usize);
         for q in r.records() {
             let t = q.arrival.as_secs_f64() % 2_000.0;
@@ -697,7 +919,166 @@ mod tests {
         let mech = Dvfs::new();
         let mut cfg = base_cfg(SprintPolicy::never(), 0.5, 200, 71);
         cfg.arrivals = ArrivalSpec::pareto(Rate::per_hour(25.0), 0.5);
-        let r = run(cfg, &mech);
+        let r = run(cfg, &mech).unwrap();
         assert_eq!(r.records().len(), 200);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mech = Dvfs::new();
+        let mut cfg = base_cfg(SprintPolicy::never(), 0.5, 100, 1);
+        cfg.slots = 0;
+        assert!(Server::new(cfg, &mech).is_err());
+        let mut cfg = base_cfg(SprintPolicy::never(), 0.5, 100, 1);
+        cfg.num_queries = 0;
+        assert!(Server::new(cfg, &mech).is_err());
+        let mut cfg = base_cfg(SprintPolicy::never(), 0.5, 100, 1);
+        cfg.policy = SprintPolicy::new(
+            SimDuration::from_secs(60),
+            BudgetSpec::Seconds(f64::NAN),
+            SimDuration::from_secs(200),
+        );
+        assert!(Server::new(cfg, &mech).is_err());
+    }
+
+    fn sprint_cfg(n: usize, seed: u64) -> ServerConfig {
+        let policy = SprintPolicy::new(
+            SimDuration::from_secs(60),
+            BudgetSpec::FractionOfRefill(0.2),
+            SimDuration::from_secs(200),
+        );
+        base_cfg(policy, 0.7, n, seed)
+    }
+
+    #[test]
+    fn noop_plan_is_bit_identical_to_no_plan() {
+        let mech = Dvfs::new();
+        let clean = run(sprint_cfg(200, 99), &mech).unwrap();
+        let faulted = run_with_faults(sprint_cfg(200, 99), &mech, FaultPlan::default()).unwrap();
+        assert_eq!(clean.records(), faulted.records());
+        assert_eq!(faulted.fault_counters().total(), 0);
+    }
+
+    #[test]
+    fn crashes_requeue_and_retry() {
+        let mech = Dvfs::new();
+        let plan = FaultPlan {
+            crash_prob: 0.3,
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        let r = run_with_faults(sprint_cfg(150, 7), &mech, plan).unwrap();
+        assert_eq!(r.records().len(), 150, "every query still completes");
+        let c = r.fault_counters();
+        assert!(c.slot_crashes > 0, "crash_prob 0.3 must fire");
+        let retried = r.records().iter().filter(|q| q.retries > 0).count();
+        assert!(retried > 0, "some queries must record retries");
+        assert!(
+            r.records().iter().all(|q| q.retries <= 2),
+            "retries bounded by max_retries"
+        );
+        // Retried queries lose progress, so their processing time spans
+        // at least the crash fraction extra.
+        assert!(r.records().iter().all(|q| q.depart > q.arrival));
+    }
+
+    #[test]
+    fn engage_failures_suppress_sprints() {
+        let mech = Dvfs::new();
+        let plan = FaultPlan {
+            engage_failure_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let r = run_with_faults(sprint_cfg(200, 13), &mech, plan).unwrap();
+        assert!(r.records().iter().all(|q| !q.sprinted));
+        assert!(r.fault_counters().engage_failures > 0);
+    }
+
+    #[test]
+    fn stuck_sprints_overrun_the_budget() {
+        let mech = CpuThrottle::new(0.2);
+        // Tiny budget, slow refill: a healthy server can only sprint
+        // ~10 s total, so a stuck latch visibly overruns it.
+        let policy = SprintPolicy::new(
+            SimDuration::ZERO,
+            BudgetSpec::Seconds(10.0),
+            SimDuration::from_secs(1_000_000),
+        );
+        let mut cfg = base_cfg(policy, 0.2, 60, 31);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(3.0));
+        let plan = FaultPlan {
+            stuck_sprint_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let r = run_with_faults(cfg, &mech, plan).unwrap();
+        assert!(r.fault_counters().stuck_sprints > 0);
+        let max_sprint = r
+            .records()
+            .iter()
+            .map(|q| q.sprint_seconds)
+            .fold(0.0, f64::max);
+        assert!(
+            max_sprint > 15.0,
+            "a stuck sprint should blow through the 10 s budget, got {max_sprint:.1}"
+        );
+    }
+
+    #[test]
+    fn thermal_emergencies_force_unsprint() {
+        let mech = CpuThrottle::new(0.2);
+        let mut cfg = base_cfg(SprintPolicy::always(), 0.8, 150, 43);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(14.8 * 0.8));
+        let plan = FaultPlan {
+            thermal_period_secs: 500.0,
+            thermal_lockout_secs: 100.0,
+            ..FaultPlan::default()
+        };
+        let r = run_with_faults(cfg, &mech, plan).unwrap();
+        let c = r.fault_counters();
+        assert!(c.thermal_unsprints > 0, "thermal events must fire");
+        assert!(c.lockout_refusals > 0, "lockout must refuse engages");
+    }
+
+    #[test]
+    fn arrival_storms_compress_gaps() {
+        let mech = Dvfs::new();
+        let cfg = base_cfg(SprintPolicy::never(), 0.3, 300, 17);
+        let plan = FaultPlan {
+            storms: vec![faults::StormWindow {
+                start_secs: 0.0,
+                duration_secs: 1e9,
+                multiplier: 4.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let clean = run(base_cfg(SprintPolicy::never(), 0.3, 300, 17), &mech).unwrap();
+        let stormy = run_with_faults(cfg, &mech, plan).unwrap();
+        let clean_span = clean.records().last().unwrap().arrival.as_secs_f64();
+        let stormy_span = stormy.records().last().unwrap().arrival.as_secs_f64();
+        assert!(
+            stormy_span < clean_span / 2.0,
+            "4X storm should compress arrivals: {stormy_span:.0}s vs {clean_span:.0}s"
+        );
+        assert!(stormy.fault_counters().storm_arrivals > 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mech = Dvfs::new();
+        let plan = FaultPlan {
+            seed: 5,
+            engage_failure_prob: 0.2,
+            stuck_sprint_prob: 0.1,
+            crash_prob: 0.15,
+            max_retries: 2,
+            budget_drift_secs: -5.0,
+            thermal_period_secs: 800.0,
+            thermal_lockout_secs: 60.0,
+            ..FaultPlan::default()
+        };
+        let a = run_with_faults(sprint_cfg(200, 3), &mech, plan.clone()).unwrap();
+        let b = run_with_faults(sprint_cfg(200, 3), &mech, plan).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.fault_counters().total(), b.fault_counters().total());
     }
 }

@@ -2,6 +2,7 @@
 //! timeline renderer in the style of the paper's Fig. 1.
 
 use crate::query::QueryRecord;
+use simcore::SprintError;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -9,12 +10,12 @@ use std::path::Path;
 pub fn to_csv(records: &[QueryRecord]) -> String {
     let mut out = String::from(
         "id,kind,arrival_s,dispatch_s,depart_s,queue_delay_s,processing_s,\
-         timed_out,sprinted,sprint_s\n",
+         timed_out,sprinted,sprint_s,retries\n",
     );
     for q in records {
         let _ = writeln!(
             out,
-            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{:.6}",
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{:.6},{}",
             q.id,
             q.kind.name(),
             q.arrival.as_secs_f64(),
@@ -25,6 +26,7 @@ pub fn to_csv(records: &[QueryRecord]) -> String {
             q.timed_out,
             q.sprinted,
             q.sprint_seconds,
+            q.retries,
         );
     }
     out
@@ -47,12 +49,27 @@ pub fn write_csv(records: &[QueryRecord], path: &Path) -> std::io::Result<()> {
 /// - `#` processing while the query sprinted at some point,
 /// - a row spans arrival to departure.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width < 10` or `records` is empty.
-pub fn ascii_timeline(records: &[QueryRecord], max_queries: usize, width: usize) -> String {
-    assert!(width >= 10, "timeline too narrow");
-    assert!(!records.is_empty(), "no records to render");
+/// Returns [`SprintError::InvalidConfig`] if `width < 10` or `records`
+/// is empty.
+pub fn ascii_timeline(
+    records: &[QueryRecord],
+    max_queries: usize,
+    width: usize,
+) -> Result<String, SprintError> {
+    if width < 10 {
+        return Err(SprintError::invalid(
+            "ascii_timeline::width",
+            format!("timeline too narrow: width {width} < 10"),
+        ));
+    }
+    if records.is_empty() {
+        return Err(SprintError::invalid(
+            "ascii_timeline::records",
+            "no records to render",
+        ));
+    }
     let shown = &records[..max_queries.min(records.len())];
     let t0 = shown
         .iter()
@@ -67,9 +84,7 @@ pub fn ascii_timeline(records: &[QueryRecord], max_queries: usize, width: usize)
         .expect("non-empty")
         .as_secs_f64();
     let span = (t1 - t0).max(1e-9);
-    let col = |t: f64| -> usize {
-        (((t - t0) / span) * (width - 1) as f64).round() as usize
-    };
+    let col = |t: f64| -> usize { (((t - t0) / span) * (width - 1) as f64).round() as usize };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -95,7 +110,7 @@ pub fn ascii_timeline(records: &[QueryRecord], max_queries: usize, width: usize)
             String::from_utf8(row).expect("ascii only")
         );
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -114,6 +129,7 @@ mod tests {
             timed_out: sprinted,
             sprinted,
             sprint_seconds: if sprinted { 10.0 } else { 0.0 },
+            retries: 0,
         }
     }
 
@@ -124,8 +140,8 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("id,kind,arrival_s"));
         assert!(lines[1].starts_with("0,Jacobi,0.000000,5.000000,50.000000"));
-        assert!(lines[1].ends_with("true,true,10.000000"));
-        assert!(lines[2].contains("false,false,0.000000"));
+        assert!(lines[1].ends_with("true,true,10.000000,0"));
+        assert!(lines[2].contains("false,false,0.000000,0"));
     }
 
     #[test]
@@ -141,7 +157,12 @@ mod tests {
 
     #[test]
     fn timeline_marks_queueing_and_sprinting() {
-        let t = ascii_timeline(&[rec(0, 0, 40, 100, true), rec(1, 20, 100, 180, false)], 10, 60);
+        let t = ascii_timeline(
+            &[rec(0, 0, 40, 100, true), rec(1, 20, 100, 180, false)],
+            10,
+            60,
+        )
+        .unwrap();
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains('#'), "sprinted row uses #: {}", lines[1]);
@@ -152,15 +173,16 @@ mod tests {
 
     #[test]
     fn timeline_truncates_to_max_queries() {
-        let records: Vec<QueryRecord> =
-            (0..20).map(|i| rec(i, i * 10, i * 10 + 1, i * 10 + 5, false)).collect();
-        let t = ascii_timeline(&records, 5, 40);
+        let records: Vec<QueryRecord> = (0..20)
+            .map(|i| rec(i, i * 10, i * 10 + 1, i * 10 + 5, false))
+            .collect();
+        let t = ascii_timeline(&records, 5, 40).unwrap();
         assert_eq!(t.lines().count(), 6); // Header + 5 rows.
     }
 
     #[test]
-    #[should_panic(expected = "too narrow")]
-    fn rejects_narrow_timeline() {
-        let _ = ascii_timeline(&[rec(0, 0, 1, 2, false)], 5, 4);
+    fn rejects_narrow_timeline_and_empty_records() {
+        assert!(ascii_timeline(&[rec(0, 0, 1, 2, false)], 5, 4).is_err());
+        assert!(ascii_timeline(&[], 5, 40).is_err());
     }
 }

@@ -7,12 +7,11 @@
 //! power hunger.
 
 use crate::phase::{validate_phases, Phase};
-use serde::{Deserialize, Serialize};
 use simcore::dist::Dist;
 use simcore::time::{Rate, SimDuration};
 
 /// Identifier for one of the paper's workloads (Table 1C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadKind {
     /// Spark streaming: continuously process data from a source.
     SparkStream,
@@ -70,7 +69,7 @@ impl WorkloadKind {
 }
 
 /// Shape family for a workload's service-time distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ServiceShape {
     /// Lognormal with the workload's coefficient of variation.
     Lognormal,
@@ -80,7 +79,7 @@ pub enum ServiceShape {
 }
 
 /// Static description of one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Which workload this is.
     pub kind: WorkloadKind,

@@ -9,7 +9,6 @@
 //! components in isolation.
 
 use crate::catalog::{Workload, WorkloadKind};
-use serde::{Deserialize, Serialize};
 use simcore::rng::SimRng;
 use simcore::time::Rate;
 
@@ -18,7 +17,7 @@ use simcore::time::Rate;
 pub const INTERFERENCE_KAPPA: f64 = 1.724;
 
 /// A weighted mix of query kinds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryMix {
     components: Vec<(WorkloadKind, f64)>,
 }
@@ -208,10 +207,7 @@ mod tests {
 
     #[test]
     fn sample_kind_follows_weights() {
-        let m = QueryMix::weighted(vec![
-            (WorkloadKind::Jacobi, 0.8),
-            (WorkloadKind::Bfs, 0.2),
-        ]);
+        let m = QueryMix::weighted(vec![(WorkloadKind::Jacobi, 0.8), (WorkloadKind::Bfs, 0.2)]);
         let mut rng = SimRng::new(3);
         let n = 20_000;
         let jacobi = (0..n)
@@ -223,10 +219,7 @@ mod tests {
 
     #[test]
     fn weights_normalize() {
-        let m = QueryMix::weighted(vec![
-            (WorkloadKind::Jacobi, 2.0),
-            (WorkloadKind::Mem, 6.0),
-        ]);
+        let m = QueryMix::weighted(vec![(WorkloadKind::Jacobi, 2.0), (WorkloadKind::Mem, 6.0)]);
         let w: Vec<f64> = m.components().iter().map(|&(_, w)| w).collect();
         assert!((w[0] - 0.25).abs() < 1e-12);
         assert!((w[1] - 0.75).abs() < 1e-12);

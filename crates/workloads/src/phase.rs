@@ -14,10 +14,8 @@
 //! - `sync_frac`: the share serialized on synchronization — it responds
 //!   to no mechanism at all (Leuk is dominated by this, Table 1C).
 
-use serde::{Deserialize, Serialize};
-
 /// One phase of a query execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Fraction of the query's total work done in this phase; the
     /// phases of a workload sum to 1.
@@ -114,7 +112,11 @@ pub fn aggregate_speedup(phases: &[Phase], phase_speedup: impl Fn(&Phase) -> f64
 /// Aggregate speedup when only the trailing `tail_frac` of the work is
 /// sprinted — the paper's partial-sprint scenario (§3.3: sprinting only
 /// the last 22 s of a 202 s Jacobi run yields 1.5X instead of 1.87X).
-pub fn tail_speedup(phases: &[Phase], tail_frac: f64, phase_speedup: impl Fn(&Phase) -> f64) -> f64 {
+pub fn tail_speedup(
+    phases: &[Phase],
+    tail_frac: f64,
+    phase_speedup: impl Fn(&Phase) -> f64,
+) -> f64 {
     let tail_frac = tail_frac.clamp(0.0, 1.0);
     let head = 1.0 - tail_frac;
     let mut done = 0.0;

@@ -12,14 +12,18 @@ use model_sprint::cloud::revenue::{break_even_hours, break_even_timeline, SERVER
 use model_sprint::cloud::SloOptions;
 use model_sprint::prelude::*;
 
-fn main() {
+fn main() -> Result<(), model_sprint::simcore::SprintError> {
     let opts = SloOptions::default();
 
     // The paper's third combo: four diverse workloads at 50-80% load.
     let demands = combo(3);
     println!("demands:");
     for d in &demands {
-        println!("  {} at {:.0}% utilization", d.kind.name(), d.utilization * 100.0);
+        println!(
+            "  {} at {:.0}% utilization",
+            d.kind.name(),
+            d.utilization * 100.0
+        );
     }
 
     let mut md_rate = 0.0;
@@ -29,7 +33,7 @@ fn main() {
         Strategy::ModelDrivenBudgeting,
         Strategy::ModelDrivenSprinting,
     ] {
-        let r = colocate(&demands, strategy, &opts);
+        let r = colocate(&demands, strategy, &opts)?;
         println!(
             "\n{}: hosts {}/{} workloads (CPU committed {:.2}), revenue ${:.3}/h",
             strategy.name(),
@@ -55,19 +59,18 @@ fn main() {
     }
 
     // Profiling costs revenue before it pays off (Fig. 14).
-    let timeline = break_even_timeline(
-        aws_rate,
-        md_rate,
-        demands.len(),
-        SERVER_LIFETIME_HOURS,
-        2.0,
-    );
+    let timeline =
+        break_even_timeline(aws_rate, md_rate, demands.len(), SERVER_LIFETIME_HOURS, 2.0)?;
     if let Some(h) = break_even_hours(&timeline) {
-        println!("\nmodel-driven sprinting breaks even after {h:.0} hours (~{:.1} days)", h / 24.0);
+        println!(
+            "\nmodel-driven sprinting breaks even after {h:.0} hours (~{:.1} days)",
+            h / 24.0
+        );
     }
     let last = timeline.last().expect("timeline non-empty");
     println!(
         "over a {SERVER_LIFETIME_HOURS:.0}-hour server lifetime: {:.2}X the AWS revenue",
         last.model_hybrid / last.aws
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@ use model_sprint::profiler::Condition;
 use model_sprint::simcore::dist::DistKind;
 use model_sprint::testbed::{ArrivalSpec, BudgetSpec, ServerConfig};
 
-fn main() {
+fn main() -> Result<(), model_sprint::simcore::SprintError> {
     // §4.3's setup: Jacobi throttled to 20% (sustained 14.8 qph,
     // sprint 74 qph), λ = 11.8 qph, budget for ~5 full sprints.
     let mech = CpuThrottle::new(0.2);
@@ -36,7 +36,7 @@ fn main() {
     };
     let conditions = grid.sample_conditions(48, 7);
     let data = Profiler::default().profile(&mix, &mech, &conditions);
-    let model = train_hybrid(&data, &TrainOptions::default());
+    let model = train_hybrid(&data, &TrainOptions::default())?;
 
     println!("exploring timeouts with simulated annealing ...");
     let annealed = explore_timeout(
@@ -47,10 +47,10 @@ fn main() {
             bounds_secs: (0.0, 350.0),
             ..AnnealingConfig::default()
         },
-    );
+    )?;
     let sim = SimOptions::default();
-    let ftm = few_to_many_timeout(&data.profile, &base, &sim, (0.0, 2_000.0), 25.0);
-    let adr = adrenaline_timeout(&data.profile, &base, &sim);
+    let ftm = few_to_many_timeout(&data.profile, &base, &sim, (0.0, 2_000.0), 25.0)?;
+    let adr = adrenaline_timeout(&data.profile, &base, &sim)?;
 
     let observe = |timeout_secs: f64| -> f64 {
         let mut c = base;
@@ -71,6 +71,7 @@ fn main() {
             },
             &mech,
         )
+        .expect("validation config is valid")
         .mean_response_secs()
     };
 
@@ -83,4 +84,5 @@ fn main() {
     ] {
         println!("{name:<25} {t:>6.0} s   {:>8.1} s", observe(t));
     }
+    Ok(())
 }

@@ -11,7 +11,7 @@ use model_sprint::profiler::Condition;
 use model_sprint::simcore::dist::DistKind;
 use model_sprint::testbed::{ArrivalSpec, BudgetSpec, ServerConfig};
 
-fn main() {
+fn main() -> Result<(), model_sprint::simcore::SprintError> {
     // 1. The system under study: Jacobi on the DVFS platform.
     let mech = Dvfs::new();
     let mix = QueryMix::single(WorkloadKind::Jacobi);
@@ -29,7 +29,7 @@ fn main() {
     // 3. Train the hybrid model: calibrate effective sprint rates
     //    (Eq. 2) and fit the random decision forest (§2.3-2.4).
     println!("training the hybrid model ...");
-    let model = train_hybrid(&data, &TrainOptions::default());
+    let model = train_hybrid(&data, &TrainOptions::default())?;
 
     // 4. Ask a policy question: 75% load, 90-second timeout, a budget
     //    of 20% of a 500-second refill window.
@@ -64,10 +64,11 @@ fn main() {
             seed: 777,
         },
         &mech,
-    )
+    )?
     .mean_response_secs();
     println!(
         "observed on the testbed: {observed:.1} s  ->  error {:.1}%",
         (predicted - observed).abs() / observed * 100.0
     );
+    Ok(())
 }

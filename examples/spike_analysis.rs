@@ -19,7 +19,7 @@ use model_sprint::sprint_core::ArrivalRateEstimator;
 use model_sprint::testbed::trace;
 use model_sprint::testbed::{ArrivalSpec, BudgetSpec, ServerConfig};
 
-fn main() {
+fn main() -> Result<(), model_sprint::simcore::SprintError> {
     let mech = CpuThrottle::new(0.2);
     let mix = QueryMix::single(WorkloadKind::Jacobi);
     let base_rate = Rate::per_hour(14.8 * 0.6);
@@ -27,7 +27,7 @@ fn main() {
     // 3X spike for 600 s out of every 3600 s.
     let cfg = ServerConfig {
         mix: mix.clone(),
-        arrivals: ArrivalSpec::poisson_with_spike(base_rate, 3.0, 600.0, 3_600.0),
+        arrivals: ArrivalSpec::poisson_with_spike(base_rate, 3.0, 600.0, 3_600.0)?,
         policy: SprintPolicy::new(
             SimDuration::from_secs(120),
             BudgetSpec::Seconds(240.0),
@@ -39,7 +39,7 @@ fn main() {
         seed: 2718,
     };
     println!("replaying a spiky hour-long pattern on the testbed ...");
-    let result = model_sprint::testbed::server::run(cfg, &mech);
+    let result = model_sprint::testbed::server::run(cfg, &mech)?;
     println!(
         "overall mean response {:.0} s; p99 {:.0} s; {} queries sprinted",
         result.mean_response_secs(),
@@ -79,7 +79,7 @@ fn main() {
         .collect();
     if !spike_queries.is_empty() {
         println!("\nfirst spike window, Fig.1-style timeline:");
-        println!("{}", trace::ascii_timeline(&spike_queries, 12, 64));
+        println!("{}", trace::ascii_timeline(&spike_queries, 12, 64)?);
         let dir = std::env::temp_dir().join("model_sprint_spike_trace.csv");
         if trace::write_csv(&spike_queries, &dir).is_ok() {
             println!("full trace written to {}", dir.display());
@@ -114,4 +114,5 @@ fn main() {
          budget 480 s -> {better:.0} s ({:+.0}%)",
         (better - as_is) / as_is * 100.0
     );
+    Ok(())
 }

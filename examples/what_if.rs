@@ -11,14 +11,14 @@ use model_sprint::prelude::*;
 use model_sprint::profiler::Condition;
 use model_sprint::simcore::dist::DistKind;
 
-fn main() {
+fn main() -> Result<(), model_sprint::simcore::SprintError> {
     let mech = Dvfs::new();
     let mix = QueryMix::single(WorkloadKind::SparkKmeans);
 
     println!("profiling Spark K-means on DVFS ...");
     let conditions = SamplingGrid::paper().sample_conditions(40, 123);
     let data = Profiler::default().profile(&mix, &mech, &conditions);
-    let model = train_hybrid(&data, &TrainOptions::default());
+    let model = train_hybrid(&data, &TrainOptions::default())?;
 
     // "Last week's spike": 95% utilization with the production policy.
     let spike = Condition {
@@ -73,4 +73,5 @@ fn main() {
         best.1,
         (best.1 - actual) / actual * 100.0
     );
+    Ok(())
 }

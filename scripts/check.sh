@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+#
+# Offline-safe: the workspace has no external dependencies, and
+# --offline makes cargo fail fast instead of touching the network if
+# one is ever reintroduced by accident.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+run cargo fmt --all -- --check
+run cargo clippy --all-targets --workspace --offline -- -D warnings
+
+echo "All checks passed."

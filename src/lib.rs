@@ -31,10 +31,18 @@
 //! let data = Profiler::default().profile(&mix, &mech, &conditions);
 //!
 //! // Train the hybrid model and predict response time.
-//! let model = train_hybrid(&data, &TrainOptions::default());
+//! let model = train_hybrid(&data, &TrainOptions::default())?;
 //! let rt = model.predict_response_secs(&conditions[0]);
 //! println!("expected response time: {rt:.1}s");
+//! # Ok::<(), model_sprint::simcore::SprintError>(())
 //! ```
+//!
+//! Public constructors and entry points validate their configuration
+//! and return [`simcore::SprintError`] instead of panicking; the
+//! [`testbed`] can additionally inject runtime faults (see
+//! [`faults`]) and [`sprint_core::ModelHealthMonitor`] degrades
+//! sprinting safely when observed response times diverge from the
+//! model's predictions.
 //!
 //! See `examples/` for runnable end-to-end scenarios and the `bench`
 //! crate for the binaries that regenerate every table and figure in
@@ -42,6 +50,7 @@
 
 pub use ann;
 pub use cloud;
+pub use faults;
 pub use forest;
 pub use mechanisms;
 pub use mlcore;
@@ -59,17 +68,18 @@ pub mod prelude {
     pub use cloud::{
         colocate, meets_slo, BurstablePolicy, Strategy, WorkloadDemand, PRICE_PER_WORKLOAD_HOUR,
     };
+    pub use faults::{FaultCounters, FaultPlan, StormWindow};
     pub use forest::{ForestConfig, RandomForest};
     pub use mechanisms::{CoreScale, CpuThrottle, Dvfs, Ec2Dvfs, Mechanism, MechanismKind};
     pub use policy::{explore_timeout, AnnealingConfig};
     pub use profiler::{Condition, ProfileData, Profiler, SamplingGrid, WorkloadProfile};
     pub use qsim::{ClassSpec, MultiClassConfig, MultiClassQsim, Qsim, QsimConfig};
-    pub use simcore::{Rate, SimDuration, SimTime};
+    pub use simcore::{Rate, SimDuration, SimTime, SprintError};
     pub use sprint_core::{
-        train_ann, train_hybrid, ArrivalRateEstimator, HybridModel, OnlineModel,
-        ResponseTimeModel, SimOptions, TrainOptions,
+        train_ann, train_hybrid, ArrivalRateEstimator, BreakerConfig, DegradationLevel,
+        HybridModel, ModelHealthMonitor, OnlineModel, ResponseTimeModel, SimOptions, TrainOptions,
     };
-    pub use testbed::{RateSegment, ServerConfig, SprintPolicy};
+    pub use testbed::{Budget, RateSegment, ServerConfig, SprintPolicy};
     pub use workloads::{QueryMix, Workload, WorkloadKind};
 }
 

@@ -43,8 +43,14 @@ fn multiclass_prefers_sprinting_the_elastic_class() {
     let mut weak_only = base.clone();
     weak_only.classes[1].timeout = SimDuration::MAX;
 
-    let strong_rt = MultiClassQsim::new(strong_only).run().mean_response_secs();
-    let weak_rt = MultiClassQsim::new(weak_only).run().mean_response_secs();
+    let strong_rt = MultiClassQsim::new(strong_only)
+        .unwrap()
+        .run()
+        .mean_response_secs();
+    let weak_rt = MultiClassQsim::new(weak_only)
+        .unwrap()
+        .run()
+        .mean_response_secs();
     assert!(
         strong_rt < weak_rt,
         "budget on the elastic class should win: {strong_rt:.1} !< {weak_rt:.1}"
@@ -59,14 +65,15 @@ fn online_estimator_tracks_a_spiky_testbed_run() {
     let base = Rate::per_hour(51.0 * 0.4);
     let cfg = ServerConfig {
         mix: QueryMix::single(WorkloadKind::Jacobi),
-        arrivals: ArrivalSpec::poisson_with_spike(base, 2.5, 900.0, 3_600.0),
+        arrivals: ArrivalSpec::poisson_with_spike(base, 2.5, 900.0, 3_600.0)
+            .expect("spike fits inside the period"),
         policy: SprintPolicy::never(),
         slots: 1,
         num_queries: 400,
         warmup: 0,
         seed: 41,
     };
-    let result = model_sprint::testbed::server::run(cfg, &mech);
+    let result = model_sprint::testbed::server::run(cfg, &mech).expect("valid spiky config");
 
     let mut est = ArrivalRateEstimator::new(7_200.0, 10);
     for q in result.records() {
@@ -97,7 +104,7 @@ fn trace_export_round_trips_a_real_run() {
         warmup: 0,
         seed: 31,
     };
-    let result = model_sprint::testbed::server::run(cfg, &mech);
+    let result = model_sprint::testbed::server::run(cfg, &mech).expect("valid trace config");
     let csv = trace::to_csv(result.records());
     assert_eq!(csv.lines().count(), 61, "header + one row per query");
     // Sanity on content: ids sequential, responses positive.
@@ -108,7 +115,7 @@ fn trace_export_round_trips_a_real_run() {
         let depart: f64 = fields[4].parse().unwrap();
         assert!(depart > arrival);
     }
-    let timeline = trace::ascii_timeline(result.records(), 8, 72);
+    let timeline = trace::ascii_timeline(result.records(), 8, 72).expect("records exist");
     assert_eq!(timeline.lines().count(), 9);
 }
 

@@ -5,12 +5,12 @@
 use model_sprint::prelude::*;
 use model_sprint::sprint_core::train::no_ml;
 
-fn small_campaign(kind: WorkloadKind, seed: u64) -> ProfileData {
+fn small_campaign(kind: WorkloadKind, seed: u64, replays: usize) -> ProfileData {
     let mech = Dvfs::new();
     let profiler = Profiler {
         queries_per_run: 250,
         warmup: 25,
-        replays: 1,
+        replays,
         threads: 4,
         seed,
     };
@@ -19,8 +19,10 @@ fn small_campaign(kind: WorkloadKind, seed: u64) -> ProfileData {
 }
 
 fn small_train_options() -> TrainOptions {
-    let mut opts = TrainOptions::default();
-    opts.threads = 4;
+    let mut opts = TrainOptions {
+        threads: 4,
+        ..TrainOptions::default()
+    };
     opts.calibration.max_steps = 30;
     // Match simulation windows to the 250-query profiling replays:
     // near saturation, mean response depends on window length.
@@ -54,9 +56,12 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 #[test]
 fn hybrid_model_predicts_held_out_conditions() {
-    let data = small_campaign(WorkloadKind::Jacobi, 31);
+    // Two replays per condition: with a single 250-query replay the
+    // held-out observations are noisy enough near saturation that the
+    // median error is dominated by observation noise, not the model.
+    let data = small_campaign(WorkloadKind::Jacobi, 31, 2);
     let (train, test) = split(&data, 0.8, 5);
-    let model = train_hybrid(&train, &small_train_options());
+    let model = train_hybrid(&train, &small_train_options()).expect("campaign has runs");
     let errs: Vec<f64> = test
         .runs
         .iter()
@@ -74,8 +79,8 @@ fn hybrid_model_predicts_held_out_conditions() {
 
 #[test]
 fn effective_rates_stay_in_physical_band() {
-    let data = small_campaign(WorkloadKind::Knn, 37);
-    let model = train_hybrid(&data, &small_train_options());
+    let data = small_campaign(WorkloadKind::Knn, 37, 1);
+    let model = train_hybrid(&data, &small_train_options()).expect("campaign has runs");
     for run in &data.runs {
         let mu_e = model.effective_rate_qph(&run.condition);
         assert!(mu_e >= 0.6 * data.profile.mu.qph() - 1e-9);
@@ -86,42 +91,45 @@ fn effective_rates_stay_in_physical_band() {
 #[test]
 fn no_ml_underpredicts_under_heavy_load() {
     // The marginal rate overestimates in-situ sprinting, so the No-ML
-    // simulator should predict *lower* response times than observed at
-    // the highest utilization — the systematic bias µe corrects.
-    let data = small_campaign(WorkloadKind::SparkKmeans, 41);
+    // simulator should predict *lower* response times than observed —
+    // the systematic bias µe corrects. The effect only binds where
+    // sprinting is actually budget-constrained, and single conditions
+    // are noisy near saturation, so pool heavy-load, tight-budget
+    // conditions across several independent campaigns.
     let opts = small_train_options();
-    let model = no_ml(&data, &opts);
-    let heavy: Vec<_> = data
-        .runs
-        .iter()
-        .filter(|r| r.condition.utilization > 0.9)
-        .collect();
-    if heavy.is_empty() {
-        return; // Sample did not include 95% conditions.
-    }
     let mut under = 0;
-    for r in &heavy {
-        if model.predict_response_secs(&r.condition) < r.observed_response_secs {
-            under += 1;
+    let mut total = 0;
+    for seed in [31u64, 41, 123] {
+        let data = small_campaign(WorkloadKind::SparkKmeans, seed, 1);
+        let model = no_ml(&data, &opts);
+        for r in data
+            .runs
+            .iter()
+            .filter(|r| r.condition.utilization > 0.9 && r.condition.budget_frac <= 0.2)
+        {
+            total += 1;
+            if model.predict_response_secs(&r.condition) < r.observed_response_secs {
+                under += 1;
+            }
         }
     }
+    assert!(total > 0, "no heavy-load tight-budget conditions sampled");
     assert!(
-        under * 2 >= heavy.len(),
-        "No-ML should usually underpredict at 95% load: {under}/{}",
-        heavy.len()
+        under * 2 >= total,
+        "No-ML should usually underpredict at 95% load: {under}/{total}"
     );
 }
 
 #[test]
 fn pipeline_is_deterministic_end_to_end() {
-    let a = small_campaign(WorkloadKind::Bfs, 51);
-    let b = small_campaign(WorkloadKind::Bfs, 51);
+    let a = small_campaign(WorkloadKind::Bfs, 51, 1);
+    let b = small_campaign(WorkloadKind::Bfs, 51, 1);
     assert_eq!(a.profile.mu, b.profile.mu);
     for (x, y) in a.runs.iter().zip(&b.runs) {
         assert_eq!(x.observed_response_secs, y.observed_response_secs);
     }
-    let ma = train_hybrid(&a, &small_train_options());
-    let mb = train_hybrid(&b, &small_train_options());
+    let ma = train_hybrid(&a, &small_train_options()).expect("campaign has runs");
+    let mb = train_hybrid(&b, &small_train_options()).expect("campaign has runs");
     let c = &a.runs[0].condition;
     assert_eq!(ma.effective_rate_qph(c), mb.effective_rate_qph(c));
 }
