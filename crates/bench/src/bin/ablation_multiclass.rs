@@ -55,7 +55,7 @@ fn mean_rt(timeouts: (f64, f64), seed: u64) -> Result<f64, SprintError> {
     let mut total = 0.0;
     for i in 0..3 {
         total += MultiClassQsim::new(config(timeouts, seed + i))?
-            .run()
+            .run()?
             .mean_response_secs();
     }
     Ok(total / 3.0)

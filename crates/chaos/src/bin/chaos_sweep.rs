@@ -1,0 +1,72 @@
+//! Chaos sweep: randomized fault plans across the (workload, mechanism,
+//! policy) grid, with machine-checked recovery invariants.
+//!
+//! ```text
+//! chaos_sweep [--seeds N] [--queries N] [--util F] [--seed N]
+//!             [--workload NAME] [--p99-factor F]
+//! ```
+//!
+//! Prints a JSON report to stdout and exits non-zero if any invariant
+//! was violated or supervision failed to improve SLO attainment in
+//! every cell.
+
+use chaos::{sweep, SweepConfig};
+use workloads::WorkloadKind;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn numeric<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} expects a number, got {v}")),
+        None => default,
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let mut cfg = SweepConfig {
+        seeds_per_cell: numeric("--seeds", 16),
+        num_queries: numeric("--queries", 140),
+        utilization: numeric("--util", 0.6),
+        p99_degradation_factor: numeric("--p99-factor", 15.0),
+        ..SweepConfig::default()
+    };
+    cfg.seed = numeric("--seed", cfg.seed);
+    if let Some(w) = arg_value("--workload") {
+        match WorkloadKind::parse(&w) {
+            Some(kind) => cfg.workloads = vec![kind],
+            None => {
+                eprintln!("unknown workload {w:?}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match sweep(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos sweep failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.to_json().to_string_pretty());
+    let n = report.violations().count();
+    if n > 0 {
+        eprintln!("{n} invariant violation(s)");
+        return std::process::ExitCode::FAILURE;
+    }
+    if !report.all_cells_improved() {
+        eprintln!("supervision did not improve SLO attainment in every cell");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -1,0 +1,94 @@
+//! Randomized-but-seeded fault-plan generation.
+
+use faults::{FaultPlan, StormWindow};
+use simcore::rng::SimRng;
+
+/// Generates a randomized [`FaultPlan`] from a seed.
+///
+/// The same `(seed, slots, horizon_secs)` triple always yields the same
+/// plan, and every generated plan passes [`FaultPlan::validate`]: storm
+/// windows are drawn from disjoint thirds of the horizon so they can
+/// never overlap, and probabilities stay inside `[0, 1]`.
+///
+/// Every plan arms the flaky-slot fault (the one quarantine decisively
+/// repairs) plus a random subset of the other fault classes at moderate
+/// intensities, so sweeps exercise both single-fault and compound-fault
+/// recovery paths.
+pub fn random_plan(seed: u64, slots: usize, horizon_secs: f64) -> FaultPlan {
+    let mut rng = SimRng::new(seed).split(0xFA17);
+    let mut plan = FaultPlan {
+        seed: rng.next_u64(),
+        bad_slot: Some(rng.index(slots.max(1))),
+        bad_slot_crash_prob: rng.uniform(0.5, 0.9),
+        max_retries: 1 + rng.index(3) as u32,
+        ..FaultPlan::default()
+    };
+    // Unsupervised crashes wait on out-of-band repair for a meaningful
+    // slice of the run; the supervisor's backoff/quarantine ladder is
+    // what removes this cost.
+    plan.crash_repair_secs = rng.uniform(0.03, 0.10) * horizon_secs;
+    if rng.chance(0.5) {
+        plan.engage_failure_prob = rng.uniform(0.05, 0.3);
+    }
+    if rng.chance(0.5) {
+        plan.stuck_sprint_prob = rng.uniform(0.05, 0.3);
+    }
+    if rng.chance(0.4) {
+        plan.budget_drift_secs = rng.uniform(-30.0, 30.0);
+    }
+    if rng.chance(0.3) {
+        plan.crash_prob = rng.uniform(0.01, 0.05);
+    }
+    // Up to two storms, each confined to its own third of the horizon
+    // (disjoint by construction, as FaultPlan::validate requires).
+    for third in 1..3 {
+        if rng.chance(0.4) {
+            let lo = horizon_secs * third as f64 / 3.0;
+            let span = horizon_secs / 3.0;
+            let start = lo + rng.uniform(0.0, span * 0.3);
+            plan.storms.push(StormWindow {
+                start_secs: start,
+                duration_secs: rng.uniform(span * 0.2, span * 0.6),
+                multiplier: rng.uniform(1.5, 3.0),
+            });
+        }
+    }
+    if rng.chance(0.3) {
+        plan.thermal_period_secs = rng.uniform(horizon_secs / 8.0, horizon_secs / 3.0);
+        plan.thermal_lockout_secs = rng.uniform(5.0, 30.0);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_always_validate() {
+        for seed in 0..500 {
+            let plan = random_plan(seed, 2, 10_000.0);
+            plan.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} built an invalid plan: {e}"));
+            assert!(!plan.is_noop(), "seed {seed}: plans always arm a fault");
+            assert!(plan.bad_slot.is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(random_plan(42, 2, 5_000.0), random_plan(42, 2, 5_000.0));
+        assert_ne!(random_plan(42, 2, 5_000.0), random_plan(43, 2, 5_000.0));
+    }
+
+    #[test]
+    fn storms_land_inside_the_back_two_thirds() {
+        for seed in 0..200 {
+            let plan = random_plan(seed, 2, 9_000.0);
+            for w in &plan.storms {
+                assert!(w.start_secs >= 3_000.0 - 1e-9);
+                assert!(w.start_secs + w.duration_secs <= 9_000.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Machine-readable sweep reporting.
+
+use crate::SweepConfig;
+use mechanisms::MechanismKind;
+use simcore::json::Json;
+use testbed::RecoveryCounters;
+use workloads::WorkloadKind;
+
+/// One failed invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which run broke the invariant (`workload/mechanism/policy/seed`).
+    pub case: String,
+    /// The invariant that failed.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub details: String,
+}
+
+/// Aggregated outcome of one (workload, mechanism) grid cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Workload of this cell.
+    pub workload: WorkloadKind,
+    /// Mechanism of this cell.
+    pub mechanism: MechanismKind,
+    /// Fault-injected runs aggregated into the attainment averages.
+    pub runs: u64,
+    /// SLO used for attainment, in seconds.
+    pub slo_secs: f64,
+    /// Mean SLO attainment with supervision on (shed/rejected arrivals
+    /// count as misses).
+    pub attainment_on: f64,
+    /// Mean SLO attainment with supervision off, same fault plans.
+    pub attainment_off: f64,
+    /// Summed supervisor intervention counters across the cell's
+    /// supervised runs.
+    pub recovery: RecoveryCounters,
+    /// Total injected fault events across the cell's supervised runs.
+    pub fault_events: u64,
+    /// Invariant violations observed in this cell.
+    pub violations: Vec<Violation>,
+}
+
+impl CellReport {
+    /// Whether supervision strictly improved SLO attainment here.
+    pub fn improved(&self) -> bool {
+        self.attainment_on > self.attainment_off
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "workload".to_string(),
+                Json::Str(self.workload.name().to_string()),
+            ),
+            (
+                "mechanism".to_string(),
+                Json::Str(self.mechanism.name().to_string()),
+            ),
+            ("runs".to_string(), Json::Num(self.runs as f64)),
+            ("slo_secs".to_string(), Json::Num(self.slo_secs)),
+            (
+                "slo_attainment_supervised".to_string(),
+                Json::Num(self.attainment_on),
+            ),
+            (
+                "slo_attainment_unsupervised".to_string(),
+                Json::Num(self.attainment_off),
+            ),
+            (
+                "supervision_improves".to_string(),
+                Json::Bool(self.improved()),
+            ),
+            (
+                "recovery_events".to_string(),
+                Json::Num(self.recovery.total() as f64),
+            ),
+            ("recovery".to_string(), recovery_json(&self.recovery)),
+            (
+                "fault_events".to_string(),
+                Json::Num(self.fault_events as f64),
+            ),
+            (
+                "violations".to_string(),
+                Json::Arr(self.violations.iter().map(violation_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn recovery_json(r: &RecoveryCounters) -> Json {
+    Json::Obj(vec![
+        (
+            "slot_restarts".to_string(),
+            Json::Num(r.slot_restarts as f64),
+        ),
+        ("quarantines".to_string(), Json::Num(r.quarantines as f64)),
+        (
+            "forced_unsprints".to_string(),
+            Json::Num(r.forced_unsprints as f64),
+        ),
+        ("shed_queries".to_string(), Json::Num(r.shed_queries as f64)),
+        (
+            "rejected_queries".to_string(),
+            Json::Num(r.rejected_queries as f64),
+        ),
+        (
+            "requeued_queries".to_string(),
+            Json::Num(r.requeued_queries as f64),
+        ),
+        ("degraded_secs".to_string(), Json::Num(r.degraded_secs)),
+    ])
+}
+
+fn violation_json(v: &Violation) -> Json {
+    Json::Obj(vec![
+        ("case".to_string(), Json::Str(v.case.clone())),
+        ("invariant".to_string(), Json::Str(v.invariant.to_string())),
+        ("details".to_string(), Json::Str(v.details.clone())),
+    ])
+}
+
+/// Full sweep outcome: every cell plus top-level verdicts.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Base seed the sweep derives from.
+    pub seed: u64,
+    /// Randomized plans per cell.
+    pub seeds_per_cell: u64,
+    /// Queries per run.
+    pub num_queries: usize,
+    /// All grid cells.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    pub(crate) fn new(cfg: &SweepConfig, cells: Vec<CellReport>) -> SweepReport {
+        SweepReport {
+            seed: cfg.seed,
+            seeds_per_cell: cfg.seeds_per_cell,
+            num_queries: cfg.num_queries,
+            cells,
+        }
+    }
+
+    /// All invariant violations across the sweep.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.cells.iter().flat_map(|c| c.violations.iter())
+    }
+
+    /// Whether supervision strictly improved SLO attainment in every
+    /// cell — the sweep's recovery-efficacy verdict.
+    pub fn all_cells_improved(&self) -> bool {
+        self.cells.iter().all(CellReport::improved)
+    }
+
+    /// Whether the sweep is fully clean: zero violations and strict
+    /// improvement everywhere.
+    pub fn passed(&self) -> bool {
+        self.violations().next().is_none() && self.all_cells_improved()
+    }
+
+    /// Serializes the report for the `chaos_sweep` binary.
+    pub fn to_json(&self) -> Json {
+        let n_violations = self.violations().count();
+        Json::Obj(vec![
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "seeds_per_cell".to_string(),
+                Json::Num(self.seeds_per_cell as f64),
+            ),
+            (
+                "num_queries".to_string(),
+                Json::Num(self.num_queries as f64),
+            ),
+            (
+                "invariant_violations".to_string(),
+                Json::Num(n_violations as f64),
+            ),
+            (
+                "all_cells_improved".to_string(),
+                Json::Bool(self.all_cells_improved()),
+            ),
+            ("passed".to_string(), Json::Bool(self.passed())),
+            (
+                "cells".to_string(),
+                Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+    }
+}

@@ -162,6 +162,20 @@ pub enum DegradationLevel {
     NoSprint,
 }
 
+impl DegradationLevel {
+    /// Maps the ladder onto the crate-neutral [`HealthSignal`] consumed
+    /// by the testbed supervisor's admission ladder: a degraded model
+    /// tightens admission watermarks, an open breaker forbids sprint
+    /// engages entirely.
+    pub fn signal(self) -> simcore::HealthSignal {
+        match self {
+            DegradationLevel::FullModel => simcore::HealthSignal::Healthy,
+            DegradationLevel::StaleModel => simcore::HealthSignal::Degraded,
+            DegradationLevel::NoSprint => simcore::HealthSignal::Failed,
+        }
+    }
+}
+
 /// Thresholds and window sizing for the model-health breaker.
 #[derive(Debug, Clone, Copy)]
 pub struct BreakerConfig {
@@ -527,6 +541,19 @@ mod tests {
             recalibration_tolerance: 0.1,
         })
         .unwrap()
+    }
+
+    #[test]
+    fn degradation_ladder_maps_onto_health_signal() {
+        use simcore::HealthSignal;
+        assert_eq!(DegradationLevel::FullModel.signal(), HealthSignal::Healthy);
+        assert_eq!(
+            DegradationLevel::StaleModel.signal(),
+            HealthSignal::Degraded
+        );
+        assert_eq!(DegradationLevel::NoSprint.signal(), HealthSignal::Failed);
+        assert!(DegradationLevel::NoSprint.signal().is_failed());
+        assert!(!DegradationLevel::StaleModel.signal().is_failed());
     }
 
     #[test]

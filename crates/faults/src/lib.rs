@@ -70,10 +70,28 @@ pub struct FaultPlan {
     /// Per-dispatch probability that the execution slot crashes partway
     /// through the query, losing all progress.
     pub crash_prob: f64,
+    /// A slot with correlated failures (flaky hardware): dispatches on
+    /// this slot crash with [`bad_slot_crash_prob`] instead of
+    /// [`crash_prob`]. `None` means every slot crashes uniformly.
+    ///
+    /// [`bad_slot_crash_prob`]: FaultPlan::bad_slot_crash_prob
+    /// [`crash_prob`]: FaultPlan::crash_prob
+    pub bad_slot: Option<usize>,
+    /// Per-dispatch crash probability on the [`bad_slot`] — the fault a
+    /// supervisor can actually repair by quarantining the slot.
+    ///
+    /// [`bad_slot`]: FaultPlan::bad_slot
+    pub bad_slot_crash_prob: f64,
     /// Maximum number of crash-requeue retries per query; after the
     /// limit, the slot is considered quarantined-then-replaced and the
     /// query runs crash-free.
     pub max_retries: u32,
+    /// How long a crashed slot stays down when *no supervisor* is
+    /// attached, modeling out-of-band repair (an operator noticing and
+    /// restarting the process). `0.0` keeps the legacy instant-restart
+    /// behavior. Supervised runs ignore this: the supervisor's own
+    /// backoff/quarantine ladder governs the slot instead.
+    pub crash_repair_secs: f64,
     /// Arrival-burst windows multiplying the configured arrival rate.
     pub storms: Vec<StormWindow>,
     /// Period of injected thermal emergencies in seconds (`0.0` = off).
@@ -93,7 +111,10 @@ impl Default for FaultPlan {
             stuck_sprint_prob: 0.0,
             budget_drift_secs: 0.0,
             crash_prob: 0.0,
+            bad_slot: None,
+            bad_slot_crash_prob: 0.0,
             max_retries: 1,
+            crash_repair_secs: 0.0,
             storms: Vec::new(),
             thermal_period_secs: 0.0,
             thermal_lockout_secs: 0.0,
@@ -108,6 +129,7 @@ impl FaultPlan {
             && self.stuck_sprint_prob == 0.0
             && self.budget_drift_secs == 0.0
             && self.crash_prob == 0.0
+            && self.bad_slot_crash_prob == 0.0
             && self.storms.is_empty()
             && self.thermal_period_secs == 0.0
     }
@@ -118,12 +140,21 @@ impl FaultPlan {
             ("engage_failure_prob", self.engage_failure_prob),
             ("stuck_sprint_prob", self.stuck_sprint_prob),
             ("crash_prob", self.crash_prob),
+            ("bad_slot_crash_prob", self.bad_slot_crash_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(SprintError::InvalidFaultPlan {
                     details: format!("{name} must be in [0, 1], got {p}"),
                 });
             }
+        }
+        if !self.crash_repair_secs.is_finite() || self.crash_repair_secs < 0.0 {
+            return Err(SprintError::InvalidFaultPlan {
+                details: format!(
+                    "crash_repair_secs must be finite and >= 0, got {}",
+                    self.crash_repair_secs
+                ),
+            });
         }
         if !self.budget_drift_secs.is_finite() {
             return Err(SprintError::InvalidFaultPlan {
@@ -147,6 +178,28 @@ impl FaultPlan {
             if !w.multiplier.is_finite() || w.multiplier <= 0.0 {
                 return Err(SprintError::InvalidFaultPlan {
                     details: format!("storm {i}: multiplier must be finite and > 0"),
+                });
+            }
+        }
+        // Overlapping windows would compound multiplicatively into an
+        // ambiguous rate; require disjoint windows so a plan means the
+        // same thing however the list is ordered.
+        let mut spans: Vec<(f64, f64, usize)> = self
+            .storms
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.start_secs, w.start_secs + w.duration_secs, i))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in spans.windows(2) {
+            let (_, prev_end, prev_i) = pair[0];
+            let (start, _, i) = pair[1];
+            if start < prev_end {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!(
+                        "storms {prev_i} and {i} overlap: window {i} starts at {start}s \
+                         before window {prev_i} ends at {prev_end}s"
+                    ),
                 });
             }
         }
@@ -291,17 +344,24 @@ impl FaultInjector {
         (true_level + self.plan.budget_drift_secs).max(0.0)
     }
 
-    /// Decides whether the dispatch of a query with `retries_so_far`
-    /// crash-requeues will crash, and if so at what fraction of its
-    /// service time. Returns `None` when the query runs to completion.
-    pub fn crash_point_frac(&mut self, retries_so_far: u32) -> Option<f64> {
-        if self.plan.crash_prob == 0.0 {
+    /// Decides whether dispatching on `slot` a query with
+    /// `retries_so_far` crash-requeues will crash, and if so at what
+    /// fraction of its service time. Returns `None` when the query runs
+    /// to completion. The [`FaultPlan::bad_slot`], if configured, uses
+    /// its own (typically much higher) crash probability.
+    pub fn crash_point_frac(&mut self, slot: usize, retries_so_far: u32) -> Option<f64> {
+        let prob = if self.plan.bad_slot == Some(slot) {
+            self.plan.bad_slot_crash_prob
+        } else {
+            self.plan.crash_prob
+        };
+        if prob == 0.0 {
             return None;
         }
         if retries_so_far >= self.plan.max_retries {
             return None;
         }
-        if !self.crash_rng.chance(self.plan.crash_prob) {
+        if !self.crash_rng.chance(prob) {
             return None;
         }
         // Crash somewhere in (5%, 95%) of the service time so the
@@ -354,6 +414,11 @@ impl FaultInjector {
     pub fn max_retries(&self) -> u32 {
         self.plan.max_retries
     }
+
+    /// Unsupervised out-of-band repair time for a crashed slot.
+    pub fn crash_repair_secs(&self) -> f64 {
+        self.plan.crash_repair_secs
+    }
 }
 
 #[cfg(test)]
@@ -368,7 +433,7 @@ mod tests {
         let mut inj = FaultInjector::new(plan).unwrap();
         // A no-op injector never alters decisions.
         assert_eq!(inj.engage_outcome(0.0), EngageOutcome::Engaged);
-        assert_eq!(inj.crash_point_frac(0), None);
+        assert_eq!(inj.crash_point_frac(0, 0), None);
         assert_eq!(inj.sensed_level(5.0), 5.0);
         assert_eq!(inj.storm_multiplier(123.0), 1.0);
         assert_eq!(inj.first_thermal_secs(), None);
@@ -383,7 +448,7 @@ mod tests {
         let mut b = FaultInjector::new(FaultPlan::default()).unwrap();
         for _ in 0..10 {
             let _ = a.engage_outcome(1.0);
-            let _ = a.crash_point_frac(0);
+            let _ = a.crash_point_frac(0, 0);
         }
         let _ = b.engage_outcome(1.0);
         assert_eq!(a.engage_rng.next_u64(), b.engage_rng.next_u64());
@@ -399,6 +464,7 @@ mod tests {
         assert!(bad(|p| p.engage_failure_prob = 1.5).is_err());
         assert!(bad(|p| p.stuck_sprint_prob = -0.1).is_err());
         assert!(bad(|p| p.crash_prob = f64::NAN).is_err());
+        assert!(bad(|p| p.bad_slot_crash_prob = 2.0).is_err());
         assert!(bad(|p| p.budget_drift_secs = f64::INFINITY).is_err());
         assert!(bad(|p| p.thermal_period_secs = -5.0).is_err());
         assert!(bad(|p| p.thermal_lockout_secs = f64::NAN).is_err());
@@ -461,14 +527,33 @@ mod tests {
             ..FaultPlan::default()
         };
         let mut inj = FaultInjector::new(plan).unwrap();
-        let f0 = inj.crash_point_frac(0).expect("first dispatch crashes");
+        let f0 = inj.crash_point_frac(0, 0).expect("first dispatch crashes");
         assert!((0.05..0.95).contains(&f0));
-        assert!(inj.crash_point_frac(1).is_some());
-        assert!(inj.crash_point_frac(2).is_none(), "retries exhausted");
+        assert!(inj.crash_point_frac(0, 1).is_some());
+        assert!(inj.crash_point_frac(0, 2).is_none(), "retries exhausted");
     }
 
     #[test]
-    fn storms_compose_and_bound() {
+    fn bad_slot_crashes_only_on_its_slot() {
+        let plan = FaultPlan {
+            seed: 11,
+            bad_slot: Some(1),
+            bad_slot_crash_prob: 1.0,
+            max_retries: 10,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop());
+        let mut inj = FaultInjector::new(plan).unwrap();
+        // Healthy slots never crash (crash_prob is still 0)...
+        assert!(inj.crash_point_frac(0, 0).is_none());
+        assert!(inj.crash_point_frac(2, 0).is_none());
+        // ...while the bad slot always does.
+        assert!(inj.crash_point_frac(1, 0).is_some());
+        assert!(inj.crash_point_frac(1, 3).is_some());
+    }
+
+    #[test]
+    fn storms_apply_inside_their_windows() {
         let plan = FaultPlan {
             storms: vec![
                 StormWindow {
@@ -477,7 +562,7 @@ mod tests {
                     multiplier: 3.0,
                 },
                 StormWindow {
-                    start_secs: 120.0,
+                    start_secs: 200.0,
                     duration_secs: 100.0,
                     multiplier: 2.0,
                 },
@@ -487,9 +572,50 @@ mod tests {
         let inj = FaultInjector::new(plan).unwrap();
         assert_eq!(inj.storm_multiplier(90.0), 1.0);
         assert_eq!(inj.storm_multiplier(110.0), 3.0);
-        assert_eq!(inj.storm_multiplier(130.0), 6.0); // Overlap.
-        assert_eq!(inj.storm_multiplier(180.0), 2.0);
-        assert_eq!(inj.storm_multiplier(220.0), 1.0);
+        assert_eq!(inj.storm_multiplier(150.0), 1.0); // Half-open end.
+        assert_eq!(inj.storm_multiplier(250.0), 2.0);
+        assert_eq!(inj.storm_multiplier(300.0), 1.0);
+    }
+
+    #[test]
+    fn overlapping_storms_are_rejected() {
+        // Declared out of order on purpose: validation must sort first.
+        let plan = FaultPlan {
+            storms: vec![
+                StormWindow {
+                    start_secs: 120.0,
+                    duration_secs: 100.0,
+                    multiplier: 2.0,
+                },
+                StormWindow {
+                    start_secs: 100.0,
+                    duration_secs: 50.0,
+                    multiplier: 3.0,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let err = plan.validate().unwrap_err();
+        assert!(err.to_string().contains("overlap"), "got: {err}");
+        assert!(FaultInjector::new(plan).is_err());
+
+        // Back-to-back windows (end == next start) are fine.
+        let adjacent = FaultPlan {
+            storms: vec![
+                StormWindow {
+                    start_secs: 100.0,
+                    duration_secs: 50.0,
+                    multiplier: 3.0,
+                },
+                StormWindow {
+                    start_secs: 150.0,
+                    duration_secs: 50.0,
+                    multiplier: 2.0,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(adjacent.validate().is_ok());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn adrenaline_timeout(
     // Disable sprinting entirely for the reference distribution.
     cfg.budget_capacity_secs = 0.0;
     cfg.sprint_speedup = 1.0;
-    let result = Qsim::new(cfg)?.run();
+    let result = Qsim::new(cfg)?.run()?;
     Ok(result.response_quantile_secs(0.85))
 }
 
@@ -78,7 +78,7 @@ pub fn few_to_many_timeout(
         let cfg = sim.config(profile, &c, speedup);
         let capacity = cfg.budget_capacity_secs;
         let refill_rate = capacity / cfg.refill_secs;
-        let result = Qsim::new(cfg)?.run();
+        let result = Qsim::new(cfg)?.run()?;
         if budget_exhausted(&result, capacity, refill_rate) {
             return Ok(t);
         }

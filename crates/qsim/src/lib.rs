@@ -34,7 +34,7 @@
 //! );
 //! cfg.num_queries = 20_000;
 //! cfg.warmup = 2_000;
-//! let rt = Qsim::new(cfg).unwrap().run().mean_response_secs();
+//! let rt = Qsim::new(cfg).unwrap().run().unwrap().mean_response_secs();
 //! assert!((rt - 120.0).abs() / 120.0 < 0.1);
 //! ```
 //!

@@ -146,6 +146,19 @@ impl Running {
     }
 }
 
+/// Looks up a slot that the event logic requires to be occupied,
+/// surfacing a typed runtime error (instead of a panic) if it is not.
+fn occupied<'s>(
+    slots: &'s mut [Option<Running>],
+    slot: usize,
+    ctx: &'static str,
+) -> Result<&'s mut Running, SprintError> {
+    slots
+        .get_mut(slot)
+        .and_then(Option::as_mut)
+        .ok_or_else(|| SprintError::runtime(ctx, format!("slot {slot} unexpectedly empty")))
+}
+
 /// The multi-class simulator.
 pub struct MultiClassQsim {
     cfg: MultiClassConfig,
@@ -251,15 +264,31 @@ impl MultiClassQsim {
     }
 
     /// Runs to completion.
-    pub fn run(mut self) -> MultiClassResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] if the event calendar drains
+    /// with queries outstanding or a slot invariant is violated — both
+    /// indicate a simulator bug, surfaced as a typed error rather than
+    /// a panic so batch sweeps can report and continue.
+    pub fn run(mut self) -> Result<MultiClassResult, SprintError> {
         let gap = self.arrival_dist.sample(&mut self.arrival_rng);
         self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
         while self.done < self.cfg.num_queries {
-            let (now, ev) = self.events.pop().expect("events drained early");
+            let Some((now, ev)) = self.events.pop() else {
+                return Err(SprintError::runtime(
+                    "MultiClassQsim::run",
+                    format!(
+                        "event queue drained with {} of {} queries outstanding",
+                        self.cfg.num_queries - self.done,
+                        self.cfg.num_queries
+                    ),
+                ));
+            };
             match ev {
-                Ev::Arrival => self.on_arrival(now),
-                Ev::Timeout(id) => self.on_timeout(now, id),
-                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen),
+                Ev::Arrival => self.on_arrival(now)?,
+                Ev::Timeout(id) => self.on_timeout(now, id)?,
+                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen)?,
             }
         }
         let queries = self
@@ -279,7 +308,7 @@ impl MultiClassQsim {
                 )
             })
             .collect();
-        MultiClassResult { queries }
+        Ok(MultiClassResult { queries })
     }
 
     fn draw_class(&mut self) -> usize {
@@ -312,7 +341,7 @@ impl MultiClassQsim {
         self.budget_level > 1e-6 || self.cfg.budget_capacity_secs.is_infinite()
     }
 
-    fn on_arrival(&mut self, now: SimTime) {
+    fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
         let id = self.queries.len() as u64;
         let class = self.draw_class();
         let spec = &self.cfg.classes[class];
@@ -341,7 +370,7 @@ impl MultiClassQsim {
             }
         }
         if let Some(slot) = self.slots.iter().position(Option::is_none) {
-            self.dispatch(now, id, slot);
+            self.dispatch(now, id, slot)?;
         } else {
             self.fifo.push_back(id);
         }
@@ -350,9 +379,10 @@ impl MultiClassQsim {
             let gap = self.arrival_dist.sample(&mut self.arrival_rng);
             self.events.schedule(now + gap, Ev::Arrival);
         }
+        Ok(())
     }
 
-    fn on_timeout(&mut self, now: SimTime, id: u64) {
+    fn on_timeout(&mut self, now: SimTime, id: u64) -> Result<(), SprintError> {
         match self.queries[id as usize].state {
             QState::Done => {}
             QState::Queued => self.queries[id as usize].timed_out = true,
@@ -360,50 +390,57 @@ impl MultiClassQsim {
                 self.queries[id as usize].timed_out = true;
                 self.budget_update(now);
                 if !self.budget_available() {
-                    return;
+                    return Ok(());
                 }
-                let r = self.slots[slot].as_mut().expect("slot occupied");
+                let r = occupied(&mut self.slots, slot, "MultiClassQsim::on_timeout")?;
                 if !r.sprinting {
                     r.advance(now);
                     r.sprinting = true;
                     self.queries[id as usize].sprinted = true;
                     self.sprinting += 1;
-                    self.reschedule_all_sprinting(now);
+                    self.reschedule_all_sprinting(now)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) {
+    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) -> Result<(), SprintError> {
         let Some(r) = self.slots[slot].as_ref() else {
-            return;
+            return Ok(());
         };
         if r.gen != gen {
-            return;
+            return Ok(());
         }
         self.budget_update(now);
         let available = self.budget_available();
-        let r = self.slots[slot].as_mut().expect("slot occupied");
+        let r = occupied(&mut self.slots, slot, "MultiClassQsim::on_slot")?;
         let was_sprinting = r.sprinting;
         r.advance(now);
         let remaining = r.remaining_work;
         if remaining <= 2e-6 {
-            self.complete(now, slot);
+            self.complete(now, slot)?;
         } else if was_sprinting && !available {
             r.sprinting = false;
             self.sprinting -= 1;
-            self.reschedule_all_sprinting(now);
-            self.reschedule(now, slot);
+            self.reschedule_all_sprinting(now)?;
+            self.reschedule(now, slot)?;
         } else {
-            self.reschedule(now, slot);
+            self.reschedule(now, slot)?;
         }
+        Ok(())
     }
 
-    fn complete(&mut self, now: SimTime, slot: usize) {
-        let r = self.slots[slot].take().expect("completing empty slot");
+    fn complete(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
+        let r = self.slots[slot].take().ok_or_else(|| {
+            SprintError::runtime(
+                "MultiClassQsim::complete",
+                format!("slot {slot} unexpectedly empty"),
+            )
+        })?;
         if r.sprinting {
             self.sprinting -= 1;
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         }
         let info = &mut self.queries[r.query as usize];
         info.state = QState::Done;
@@ -411,11 +448,12 @@ impl MultiClassQsim {
         info.sprint_secs = r.sprint_secs;
         self.done += 1;
         if let Some(next) = self.fifo.pop_front() {
-            self.dispatch(now, next, slot);
+            self.dispatch(now, next, slot)?;
         }
+        Ok(())
     }
 
-    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) -> Result<(), SprintError> {
         let info = &mut self.queries[id as usize];
         info.state = QState::Running(slot);
         let class = info.class;
@@ -441,19 +479,20 @@ impl MultiClassQsim {
             gen: 0,
         });
         if sprinting {
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         } else {
-            self.reschedule(now, slot);
+            self.reschedule(now, slot)?;
         }
+        Ok(())
     }
 
-    fn reschedule(&mut self, now: SimTime, slot: usize) {
+    fn reschedule(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
         self.next_gen += 1;
         let gen = self.next_gen;
         let sprinting_count = self.sprinting;
         let level = self.budget_level;
         let unlimited = self.cfg.budget_capacity_secs.is_infinite();
-        let r = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        let r = occupied(&mut self.slots, slot, "MultiClassQsim::reschedule")?;
         r.gen = gen;
         let speed = if r.sprinting { r.speedup } else { 1.0 };
         let mut horizon = r.remaining_work / speed;
@@ -464,17 +503,23 @@ impl MultiClassQsim {
             now + SimDuration::from_secs_f64_ceil(horizon),
             Ev::Slot { slot, gen },
         );
+        Ok(())
     }
 
-    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+    fn reschedule_all_sprinting(&mut self, now: SimTime) -> Result<(), SprintError> {
         for i in 0..self.slots.len() {
             let needs = matches!(&self.slots[i], Some(r) if r.sprinting);
             if needs {
-                let r = self.slots[i].as_mut().expect("slot occupied");
+                let r = occupied(
+                    &mut self.slots,
+                    i,
+                    "MultiClassQsim::reschedule_all_sprinting",
+                )?;
                 r.advance(now);
-                self.reschedule(now, i);
+                self.reschedule(now, i)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -511,7 +556,10 @@ mod tests {
 
     #[test]
     fn classes_get_distinct_response_times() {
-        let r = MultiClassQsim::new(two_class_cfg(1)).unwrap().run();
+        let r = MultiClassQsim::new(two_class_cfg(1))
+            .unwrap()
+            .run()
+            .unwrap();
         let fast = r.class_mean_response_secs(0).expect("class 0 present");
         let slow = r.class_mean_response_secs(1).expect("class 1 present");
         assert!(slow > fast, "slow class {slow} !> fast class {fast}");
@@ -540,14 +588,21 @@ mod tests {
             warmup: 4_000,
             seed: 3,
         };
-        let multi = MultiClassQsim::new(cfg).unwrap().run().mean_response_secs();
+        let multi = MultiClassQsim::new(cfg)
+            .unwrap()
+            .run()
+            .unwrap()
+            .mean_response_secs();
         // M/M/1 at 50% load with 60 s service: 120 s.
         assert!((multi - 120.0).abs() / 120.0 < 0.06, "multi {multi}");
     }
 
     #[test]
     fn per_class_timeouts_fire_independently() {
-        let r = MultiClassQsim::new(two_class_cfg(5)).unwrap().run();
+        let r = MultiClassQsim::new(two_class_cfg(5))
+            .unwrap()
+            .run()
+            .unwrap();
         // The fast class (short timeout, big speedup) should sprint
         // much more often than the slow class (long timeout, tiny
         // speedup).
@@ -577,6 +632,7 @@ mod tests {
         let t: f64 = MultiClassQsim::new(tight)
             .unwrap()
             .run()
+            .unwrap()
             .queries
             .iter()
             .map(|(_, q)| q.sprint_secs)
@@ -584,6 +640,7 @@ mod tests {
         let l: f64 = MultiClassQsim::new(loose)
             .unwrap()
             .run()
+            .unwrap()
             .queries
             .iter()
             .map(|(_, q)| q.sprint_secs)
@@ -593,8 +650,14 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let a = MultiClassQsim::new(two_class_cfg(11)).unwrap().run();
-        let b = MultiClassQsim::new(two_class_cfg(11)).unwrap().run();
+        let a = MultiClassQsim::new(two_class_cfg(11))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = MultiClassQsim::new(two_class_cfg(11))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a.queries.len(), b.queries.len());
         for ((ca, qa), (cb, qb)) in a.queries.iter().zip(&b.queries) {
             assert_eq!(ca, cb);

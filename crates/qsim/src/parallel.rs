@@ -27,7 +27,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Simulates one config, converting a worker panic into a typed error
 /// instead of unwinding into (and poisoning) shared batch state.
 fn run_one(cfg: QsimConfig, index: usize) -> Result<QsimResult, SprintError> {
-    match catch_unwind(AssertUnwindSafe(|| Qsim::new(cfg).map(Qsim::run))) {
+    match catch_unwind(AssertUnwindSafe(|| Qsim::new(cfg).and_then(Qsim::run))) {
         Ok(result) => result,
         Err(payload) => Err(SprintError::WorkerPanic {
             index,

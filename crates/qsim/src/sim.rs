@@ -103,6 +103,19 @@ impl Pool {
     }
 }
 
+/// Looks up a slot that the event logic requires to be occupied,
+/// surfacing a typed runtime error (instead of a panic) if it is not.
+fn occupied<'s>(
+    slots: &'s mut [Option<RunningQuery>],
+    slot: usize,
+    ctx: &'static str,
+) -> Result<&'s mut RunningQuery, SprintError> {
+    slots
+        .get_mut(slot)
+        .and_then(Option::as_mut)
+        .ok_or_else(|| SprintError::runtime(ctx, format!("slot {slot} unexpectedly empty")))
+}
+
 /// The queue simulator.
 pub struct Qsim {
     cfg: QsimConfig,
@@ -176,18 +189,31 @@ impl Qsim {
     }
 
     /// Runs to completion and returns steady-state per-query outcomes.
-    pub fn run(mut self) -> QsimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] if the event calendar drains
+    /// with queries outstanding or a slot invariant is violated — both
+    /// indicate a simulator bug, surfaced as a typed error rather than
+    /// a panic so batch sweeps can report and continue.
+    pub fn run(mut self) -> Result<QsimResult, SprintError> {
         let gap = self.arrival_dist.sample(&mut self.arrival_rng);
         self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
         while self.done < self.cfg.num_queries {
-            let (now, ev) = self
-                .events
-                .pop()
-                .expect("event queue drained with queries outstanding");
+            let Some((now, ev)) = self.events.pop() else {
+                return Err(SprintError::runtime(
+                    "Qsim::run",
+                    format!(
+                        "event queue drained with {} of {} queries outstanding",
+                        self.cfg.num_queries - self.done,
+                        self.cfg.num_queries
+                    ),
+                ));
+            };
             match ev {
-                Ev::Arrival => self.on_arrival(now),
-                Ev::Timeout(id) => self.on_timeout(now, id),
-                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen),
+                Ev::Arrival => self.on_arrival(now)?,
+                Ev::Timeout(id) => self.on_timeout(now, id)?,
+                Ev::Slot { slot, gen } => self.on_slot(now, slot, gen)?,
             }
         }
         let queries = self
@@ -202,10 +228,10 @@ impl Qsim {
                 sprint_secs: q.sprint_secs,
             })
             .collect();
-        QsimResult { queries }
+        Ok(QsimResult { queries })
     }
 
-    fn on_arrival(&mut self, now: SimTime) {
+    fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
         let id = self.queries.len() as u64;
         let service_secs = self
             .cfg
@@ -229,7 +255,7 @@ impl Qsim {
             }
         }
         if let Some(slot) = self.slots.iter().position(Option::is_none) {
-            self.dispatch(now, id, slot);
+            self.dispatch(now, id, slot)?;
         } else {
             self.fifo.push_back(id);
         }
@@ -238,9 +264,10 @@ impl Qsim {
             let gap = self.arrival_dist.sample(&mut self.arrival_rng);
             self.events.schedule(now + gap, Ev::Arrival);
         }
+        Ok(())
     }
 
-    fn on_timeout(&mut self, now: SimTime, id: u64) {
+    fn on_timeout(&mut self, now: SimTime, id: u64) -> Result<(), SprintError> {
         match self.queries[id as usize].state {
             QState::Done => {}
             QState::Queued => {
@@ -250,54 +277,58 @@ impl Qsim {
                 self.queries[id as usize].timed_out = true;
                 self.pool.update(now);
                 if !self.pool.available() {
-                    return;
+                    return Ok(());
                 }
                 let speedup = self.cfg.sprint_speedup;
-                let r = self.slots[slot].as_mut().expect("running slot occupied");
+                let r = occupied(&mut self.slots, slot, "Qsim::on_timeout")?;
                 if !r.sprinting {
                     r.advance(now, speedup);
                     r.sprinting = true;
                     self.queries[id as usize].sprinted = true;
                     self.pool.sprinting += 1;
-                    self.reschedule_all_sprinting(now);
+                    self.reschedule_all_sprinting(now)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) {
+    fn on_slot(&mut self, now: SimTime, slot: usize, gen: u64) -> Result<(), SprintError> {
         let Some(r) = self.slots[slot].as_ref() else {
-            return;
+            return Ok(());
         };
         if r.gen != gen {
-            return;
+            return Ok(());
         }
         self.pool.update(now);
         let speedup = self.cfg.sprint_speedup;
-        let r = self.slots[slot].as_mut().expect("slot occupied");
+        let r = occupied(&mut self.slots, slot, "Qsim::on_slot")?;
         let was_sprinting = r.sprinting;
         r.advance(now, speedup);
         // Two microseconds of slack: completion events are scheduled at
         // microsecond resolution and may round down by up to half a
         // microsecond.
         if r.remaining_work <= 2e-6 {
-            self.complete(now, slot);
+            self.complete(now, slot)?;
         } else if was_sprinting && !self.pool.available() {
             // Budget ran dry mid-sprint: fall back to sustained speed.
             r.sprinting = false;
             self.pool.sprinting -= 1;
-            self.reschedule_all_sprinting(now);
-            self.reschedule(now, slot);
+            self.reschedule_all_sprinting(now)?;
+            self.reschedule(now, slot)?;
         } else {
-            self.reschedule(now, slot);
+            self.reschedule(now, slot)?;
         }
+        Ok(())
     }
 
-    fn complete(&mut self, now: SimTime, slot: usize) {
-        let r = self.slots[slot].take().expect("completing empty slot");
+    fn complete(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
+        let r = self.slots[slot].take().ok_or_else(|| {
+            SprintError::runtime("Qsim::complete", format!("slot {slot} unexpectedly empty"))
+        })?;
         if r.sprinting {
             self.pool.sprinting -= 1;
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         }
         let info = &mut self.queries[r.query as usize];
         info.state = QState::Done;
@@ -305,11 +336,12 @@ impl Qsim {
         info.sprint_secs = r.sprint_secs;
         self.done += 1;
         if let Some(next) = self.fifo.pop_front() {
-            self.dispatch(now, next, slot);
+            self.dispatch(now, next, slot)?;
         }
+        Ok(())
     }
 
-    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) -> Result<(), SprintError> {
         let info = &mut self.queries[id as usize];
         info.state = QState::Running(slot);
         let timed_out = info.timed_out;
@@ -333,16 +365,17 @@ impl Qsim {
         });
         if sprinting {
             // Drain rate changed for every other sprinting slot too.
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         } else {
-            self.reschedule(now, slot);
+            self.reschedule(now, slot)?;
         }
+        Ok(())
     }
 
-    fn reschedule(&mut self, now: SimTime, slot: usize) {
+    fn reschedule(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
         self.next_gen += 1;
         let gen = self.next_gen;
-        let r = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        let r = occupied(&mut self.slots, slot, "Qsim::reschedule")?;
         r.gen = gen;
         let speed = if r.sprinting {
             self.cfg.sprint_speedup
@@ -359,18 +392,20 @@ impl Qsim {
             now + SimDuration::from_secs_f64_ceil(horizon),
             Ev::Slot { slot, gen },
         );
+        Ok(())
     }
 
-    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+    fn reschedule_all_sprinting(&mut self, now: SimTime) -> Result<(), SprintError> {
         let speedup = self.cfg.sprint_speedup;
         for i in 0..self.slots.len() {
             let needs = matches!(&self.slots[i], Some(r) if r.sprinting);
             if needs {
-                let r = self.slots[i].as_mut().expect("slot occupied");
+                let r = occupied(&mut self.slots, i, "Qsim::reschedule_all_sprinting")?;
                 r.advance(now, speedup);
-                self.reschedule(now, i);
+                self.reschedule(now, i)?;
             }
         }
+        Ok(())
     }
 
     fn sprinting_possible(&self) -> bool {
@@ -405,7 +440,7 @@ mod tests {
         let mut c = cfg_mm1(0.3, 60.0, 7);
         c.num_queries = 40_000;
         c.warmup = 2_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         let expect = mm1_expected(0.3, 60.0);
         let got = r.mean_response_secs();
         assert!(
@@ -419,7 +454,7 @@ mod tests {
         let mut c = cfg_mm1(0.8, 60.0, 11);
         c.num_queries = 200_000;
         c.warmup = 20_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         let expect = mm1_expected(0.8, 60.0);
         let got = r.mean_response_secs();
         assert!(
@@ -437,7 +472,7 @@ mod tests {
         c.service = Dist::deterministic(SimDuration::from_secs_f64(s));
         c.num_queries = 100_000;
         c.warmup = 10_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         let expect = s + util * s / (2.0 * (1.0 - util));
         let got = r.mean_response_secs();
         assert!(
@@ -453,7 +488,7 @@ mod tests {
         c.arrival_rate = Rate::per_hour(4.0 * 0.8 * 60.0);
         c.num_queries = 50_000;
         c.warmup = 5_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         // With 4 servers at the same per-server utilization, waiting is
         // much shorter than M/M/1; response must be below M/M/1's 300 s.
         assert!(r.mean_response_secs() < 300.0 * 0.7);
@@ -468,7 +503,7 @@ mod tests {
         c.budget_capacity_secs = f64::INFINITY;
         c.num_queries = 30_000;
         c.warmup = 3_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         // Every query sprints from dispatch: service effectively 30 s,
         // λ unchanged -> utilization 0.15.
         let expect = 30.0 / (1.0 - 0.15);
@@ -488,7 +523,7 @@ mod tests {
         c.budget_capacity_secs = 0.0;
         c.num_queries = 5_000;
         c.warmup = 500;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         assert_eq!(r.sprint_fraction(), 0.0);
     }
 
@@ -501,7 +536,7 @@ mod tests {
         c.refill_secs = 2_000.0;
         c.num_queries = 20_000;
         c.warmup = 2_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         let f = r.sprint_fraction();
         assert!(f > 0.0, "some queries must sprint");
         assert!(f < 0.9, "budget must throttle sprinting, got {f}");
@@ -518,13 +553,18 @@ mod tests {
         let base = Qsim::new(base_cfg.clone())
             .unwrap()
             .run()
+            .unwrap()
             .mean_response_secs();
         let mut sprint_cfg = base_cfg;
         sprint_cfg.sprint_speedup = 2.0;
         sprint_cfg.timeout = SimDuration::from_secs(120);
         sprint_cfg.budget_capacity_secs = 400.0;
         sprint_cfg.refill_secs = 800.0;
-        let fast = Qsim::new(sprint_cfg).unwrap().run().mean_response_secs();
+        let fast = Qsim::new(sprint_cfg)
+            .unwrap()
+            .run()
+            .unwrap()
+            .mean_response_secs();
         assert!(
             fast < base * 0.85,
             "sprinting should cut response time: {fast:.0} vs {base:.0}"
@@ -540,8 +580,8 @@ mod tests {
         c.refill_secs = 500.0;
         c.num_queries = 3_000;
         c.warmup = 300;
-        let a = Qsim::new(c.clone()).unwrap().run();
-        let b = Qsim::new(c).unwrap().run();
+        let a = Qsim::new(c.clone()).unwrap().run().unwrap();
+        let b = Qsim::new(c).unwrap().run().unwrap();
         assert_eq!(a.queries, b.queries);
     }
 
@@ -553,7 +593,7 @@ mod tests {
         c.budget_capacity_secs = f64::INFINITY;
         c.num_queries = 10_000;
         c.warmup = 1_000;
-        let r = Qsim::new(c).unwrap().run();
+        let r = Qsim::new(c).unwrap().run().unwrap();
         for q in &r.queries {
             if q.timed_out {
                 assert!(q.response_secs() >= 100.0 - 1e-6);
@@ -571,8 +611,8 @@ mod tests {
         let mut par = pois.clone();
         par.arrival_kind = DistKind::Pareto { alpha: 0.5 };
         par.seed = 44;
-        let rp = Qsim::new(pois).unwrap().run().mean_response_secs();
-        let rr = Qsim::new(par).unwrap().run().mean_response_secs();
+        let rp = Qsim::new(pois).unwrap().run().unwrap().mean_response_secs();
+        let rr = Qsim::new(par).unwrap().run().unwrap().mean_response_secs();
         assert!(
             rr > rp,
             "heavy-tailed arrivals should queue worse: {rr:.0} !> {rp:.0}"
@@ -602,11 +642,15 @@ mod tests {
         let mut c = cfg_mm1(0.5, 60.0, 53);
         c.num_queries = 20_000;
         c.warmup = 2_000;
-        let base = Qsim::new(c.clone()).unwrap().run().mean_response_secs();
+        let base = Qsim::new(c.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .mean_response_secs();
         c.sprint_speedup = 0.8;
         c.timeout = SimDuration::from_secs(90);
         c.budget_capacity_secs = f64::INFINITY;
-        let slowed = Qsim::new(c).unwrap().run().mean_response_secs();
+        let slowed = Qsim::new(c).unwrap().run().unwrap().mean_response_secs();
         assert!(slowed > base, "{slowed} !> {base}");
     }
 }

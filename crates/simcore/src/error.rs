@@ -25,6 +25,15 @@ pub enum SprintError {
         /// Human-readable reason the plan was rejected.
         details: String,
     },
+    /// A simulation invariant broke mid-run (event storm, drained
+    /// calendar with queries outstanding, inconsistent slot state).
+    /// `what` names the entry point that detected the violation.
+    Runtime {
+        /// Entry point that detected the violation.
+        what: &'static str,
+        /// Human-readable description of the broken invariant.
+        details: String,
+    },
     /// A parallel batch worker panicked while simulating one config.
     WorkerPanic {
         /// Index of the config whose worker panicked.
@@ -42,6 +51,14 @@ impl SprintError {
     /// Shorthand for an [`SprintError::InvalidConfig`] rejection.
     pub fn invalid(what: &'static str, details: impl Into<String>) -> Self {
         SprintError::InvalidConfig {
+            what,
+            details: details.into(),
+        }
+    }
+
+    /// Shorthand for a [`SprintError::Runtime`] invariant violation.
+    pub fn runtime(what: &'static str, details: impl Into<String>) -> Self {
+        SprintError::Runtime {
             what,
             details: details.into(),
         }
@@ -86,6 +103,9 @@ impl fmt::Display for SprintError {
             }
             SprintError::InvalidFaultPlan { details } => {
                 write!(f, "invalid fault plan: {details}")
+            }
+            SprintError::Runtime { what, details } => {
+                write!(f, "runtime invariant violated: {what}: {details}")
             }
             SprintError::WorkerPanic { index, message } => {
                 write!(f, "batch worker for config {index} panicked: {message}")

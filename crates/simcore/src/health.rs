@@ -1,0 +1,67 @@
+//! Shared health signalling between the model layer and the runtime.
+//!
+//! Two independent subsystems judge whether sprinting is safe: the
+//! model-health circuit breaker in `sprint-core` (are the model's
+//! predictions still tracking reality?) and the testbed supervisor
+//! (is the server itself overloaded or faulting?). Both express their
+//! verdict as a [`HealthSignal`] so a single degradation decision can
+//! be taken where the signals meet: the supervisor folds the model's
+//! signal into its own recovery ladder instead of each subsystem
+//! degrading independently.
+
+/// Coarse three-level health verdict shared across the workspace.
+///
+/// Ordering is by severity: [`Healthy`](HealthSignal::Healthy) <
+/// [`Degraded`](HealthSignal::Degraded) <
+/// [`Failed`](HealthSignal::Failed), so [`HealthSignal::worst`] is a
+/// simple `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum HealthSignal {
+    /// The subsystem is operating normally.
+    #[default]
+    Healthy,
+    /// Elevated risk: keep operating but tighten safety margins.
+    Degraded,
+    /// The subsystem is unsafe; suppress the behaviour it guards.
+    Failed,
+}
+
+impl HealthSignal {
+    /// The more severe of two signals — the combination rule when
+    /// multiple subsystems vote on one degradation decision.
+    pub fn worst(self, other: HealthSignal) -> HealthSignal {
+        self.max(other)
+    }
+
+    /// Whether this signal forbids the guarded behaviour outright.
+    pub fn is_failed(self) -> bool {
+        self == HealthSignal::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_healthy() {
+        assert_eq!(HealthSignal::default(), HealthSignal::Healthy);
+        assert!(!HealthSignal::default().is_failed());
+    }
+
+    #[test]
+    fn worst_takes_the_more_severe_signal() {
+        use HealthSignal::*;
+        assert_eq!(Healthy.worst(Degraded), Degraded);
+        assert_eq!(Degraded.worst(Healthy), Degraded);
+        assert_eq!(Failed.worst(Degraded), Failed);
+        assert_eq!(Healthy.worst(Healthy), Healthy);
+    }
+
+    #[test]
+    fn only_failed_is_failed() {
+        assert!(HealthSignal::Failed.is_failed());
+        assert!(!HealthSignal::Degraded.is_failed());
+        assert!(!HealthSignal::Healthy.is_failed());
+    }
+}

@@ -18,6 +18,8 @@
 //! - [`table`]: plain-text table rendering for the experiment binaries.
 //! - [`error`]: the workspace-wide typed error ([`SprintError`]) returned
 //!   by config validation across the stack.
+//! - [`health`]: the shared [`HealthSignal`] that the model-health
+//!   breaker and the testbed supervisor use to coordinate degradation.
 //! - [`json`]: a minimal JSON reader/writer used for offline persistence.
 //!
 //! Everything here is deliberately free of workload or policy semantics;
@@ -42,6 +44,7 @@
 pub mod dist;
 pub mod error;
 pub mod event;
+pub mod health;
 pub mod json;
 pub mod rng;
 pub mod stats;
@@ -51,6 +54,7 @@ pub mod time;
 pub use dist::{Dist, DistKind};
 pub use error::SprintError;
 pub use event::EventQueue;
+pub use health::HealthSignal;
 pub use json::Json;
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, StreamingStats};

@@ -25,6 +25,14 @@
 //! budget-sensor drift, execution crashes with bounded retry, arrival
 //! storms and thermal emergencies. An all-off plan is bit-identical to
 //! running without one.
+//!
+//! A [`supervision::Supervisor`] (via [`Server::with_supervision`] or
+//! [`server::run_supervised`]) closes the loop from detecting those
+//! faults to recovering from them: a sprint watchdog force-disengages
+//! stuck sprints, crashed slots restart with capped exponential backoff
+//! and are quarantined after repeated crashes, and a queue-depth
+//! admission ladder sheds or rejects arrivals under overload. Every
+//! intervention is counted in [`supervision::RecoveryCounters`].
 
 pub mod budget;
 pub mod engine;
@@ -32,6 +40,7 @@ pub mod metrics;
 pub mod policy;
 pub mod query;
 pub mod server;
+pub mod supervision;
 pub mod trace;
 
 pub use budget::Budget;
@@ -39,4 +48,5 @@ pub use faults::{FaultCounters, FaultPlan, StormWindow};
 pub use metrics::RunResult;
 pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
 pub use query::QueryRecord;
-pub use server::{run_with_faults, Server};
+pub use server::{run_supervised, run_with_faults, Server};
+pub use supervision::{RecoveryCounters, Supervisor, SupervisorConfig};

@@ -6,6 +6,7 @@
 //! evaluation harness consume.
 
 use crate::query::QueryRecord;
+use crate::supervision::RecoveryCounters;
 use faults::FaultCounters;
 use simcore::stats::Percentiles;
 use simcore::time::Rate;
@@ -16,16 +17,21 @@ pub struct RunResult {
     records: Vec<QueryRecord>,
     warmup: usize,
     faults: FaultCounters,
+    recovery: RecoveryCounters,
+    arrived: usize,
 }
 
 impl RunResult {
     /// Wraps per-query records; the first `warmup` queries (by id) are
     /// excluded from steady-state statistics.
     pub fn new(records: Vec<QueryRecord>, warmup: usize) -> RunResult {
+        let arrived = records.len();
         RunResult {
             records,
             warmup,
             faults: FaultCounters::default(),
+            recovery: RecoveryCounters::default(),
+            arrived,
         }
     }
 
@@ -36,10 +42,33 @@ impl RunResult {
         warmup: usize,
         faults: FaultCounters,
     ) -> RunResult {
+        let arrived = records.len();
         RunResult {
             records,
             warmup,
             faults,
+            recovery: RecoveryCounters::default(),
+            arrived,
+        }
+    }
+
+    /// Like [`RunResult::with_faults`], but for a supervised run where
+    /// not every arrival produced a record: `arrived` counts all
+    /// arrivals (served + shed + rejected) and `recovery` carries the
+    /// supervisor's intervention counters.
+    pub fn with_recovery(
+        records: Vec<QueryRecord>,
+        warmup: usize,
+        faults: FaultCounters,
+        recovery: RecoveryCounters,
+        arrived: usize,
+    ) -> RunResult {
+        RunResult {
+            records,
+            warmup,
+            faults,
+            recovery,
+            arrived,
         }
     }
 
@@ -47,6 +76,44 @@ impl RunResult {
     /// plan was active).
     pub fn fault_counters(&self) -> &FaultCounters {
         &self.faults
+    }
+
+    /// Per-intervention counts from the supervisor (all zero when the
+    /// run was unsupervised).
+    pub fn recovery_counters(&self) -> &RecoveryCounters {
+        &self.recovery
+    }
+
+    /// Total arrivals, whether served, shed or rejected.
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
+
+    /// Queries served to completion (one per record).
+    pub fn served(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the query-conservation invariant holds: every arrival is
+    /// accounted for as served, shed, or rejected.
+    pub fn conserves_queries(&self) -> bool {
+        self.served() as u64 + self.recovery.turned_away() == self.arrived as u64
+    }
+
+    /// Fraction of *arrived* queries served within `slo_secs`. Shed and
+    /// rejected arrivals count as SLO misses, so turning work away is
+    /// never free — it only pays off when the queries it protects would
+    /// otherwise miss the SLO too.
+    pub fn slo_attainment(&self, slo_secs: f64) -> f64 {
+        if self.arrived == 0 {
+            return 1.0;
+        }
+        let within = self
+            .records
+            .iter()
+            .filter(|q| q.response_time().as_secs_f64() <= slo_secs)
+            .count();
+        within as f64 / self.arrived as f64
     }
 
     /// All records, including warmup.
@@ -192,6 +259,30 @@ mod tests {
     fn fault_counters_default_to_zero() {
         let r = RunResult::new(vec![rec(0, 0, 0, 10, false)], 0);
         assert_eq!(r.fault_counters().total(), 0);
+        assert_eq!(r.recovery_counters().total(), 0);
+        assert!(r.conserves_queries());
+    }
+
+    #[test]
+    fn recovery_accounting_and_slo_attainment() {
+        let recovery = RecoveryCounters {
+            shed_queries: 1,
+            rejected_queries: 1,
+            ..RecoveryCounters::default()
+        };
+        let r = RunResult::with_recovery(
+            vec![rec(0, 0, 0, 100, false), rec(1, 0, 0, 400, false)],
+            0,
+            FaultCounters::default(),
+            recovery,
+            4,
+        );
+        assert_eq!(r.arrived(), 4);
+        assert_eq!(r.served(), 2);
+        assert!(r.conserves_queries());
+        // One of four arrivals made a 200 s SLO; shed/rejected miss.
+        assert!((r.slo_attainment(200.0) - 0.25).abs() < 1e-12);
+        assert!((r.slo_attainment(1000.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::engine::{ExecMode, ExecutionState};
 use crate::metrics::RunResult;
 use crate::policy::ServerConfig;
 use crate::query::QueryRecord;
+use crate::supervision::{AdmitOutcome, SlotDirective, Supervisor, SupervisorConfig};
 use faults::{EngageOutcome, FaultInjector, FaultPlan};
 use mechanisms::Mechanism;
 use simcore::dist::Dist;
@@ -76,6 +77,13 @@ enum Ev {
     /// Fault injection: a thermal emergency forces every sprinting
     /// execution back to the sustained rate.
     Thermal,
+    /// Supervision: slot `slot` finishes its restart backoff and comes
+    /// back into rotation.
+    SlotUp { slot: usize },
+    /// Supervision: the watchdog armed by the sprint engage that issued
+    /// `token` on `slot` fires; if that same sprint is still engaged it
+    /// is forcibly disengaged. Stale tokens are ignored.
+    Watchdog { slot: usize, token: u64 },
 }
 
 /// Where a query currently is.
@@ -107,6 +115,10 @@ struct Slot {
     /// exhaustion no longer disengages it (only completion or a thermal
     /// emergency does).
     stuck: bool,
+    /// Token of the sprint engage currently active on this slot; `0`
+    /// when the slot has never engaged. Watchdog events carry the token
+    /// they were armed with so they go stale once the sprint ends.
+    sprint_token: u64,
 }
 
 /// The testbed server simulator.
@@ -132,6 +144,26 @@ pub struct Server<'m> {
     /// threads through the same code paths without consuming any
     /// randomness, so its output is bit-identical to `None`.
     faults: Option<FaultInjector>,
+    /// Recovery engine; `None` runs the unsupervised server (the
+    /// pre-supervision behaviour, bit for bit).
+    supervisor: Option<Supervisor>,
+    /// Slots knocked offline by an *unsupervised* crash, awaiting the
+    /// fault plan's out-of-band repair. Supervised runs track downness
+    /// in the supervisor instead and never set these flags.
+    down: Vec<bool>,
+}
+
+/// Looks up a slot the event logic requires to be occupied, turning a
+/// broken invariant into a typed error instead of a panic.
+fn occupied<'s>(
+    slots: &'s mut [Option<Slot>],
+    slot: usize,
+    ctx: &'static str,
+) -> Result<&'s mut Slot, SprintError> {
+    slots
+        .get_mut(slot)
+        .and_then(Option::as_mut)
+        .ok_or_else(|| SprintError::runtime(ctx, format!("slot {slot} unexpectedly empty")))
 }
 
 impl<'m> Server<'m> {
@@ -158,6 +190,7 @@ impl<'m> Server<'m> {
             mean: cfg.arrivals.rate.mean_interval(),
         };
         let slots = (0..cfg.slots).map(|_| None).collect();
+        let down = vec![false; cfg.slots];
         Ok(Server {
             arrivals_left: cfg.num_queries,
             cfg,
@@ -175,6 +208,8 @@ impl<'m> Server<'m> {
             next_gen: 0,
             manager_debt_secs: 0.0,
             faults: None,
+            supervisor: None,
+            down,
         })
     }
 
@@ -199,9 +234,49 @@ impl<'m> Server<'m> {
         Ok(server)
     }
 
+    /// Builds a server that runs under a [`Supervisor`], optionally
+    /// with a fault plan active. Supervision is deterministic (it draws
+    /// no randomness), so a supervised run replays bit-identically for
+    /// the same `(cfg, plan, sup)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server configuration, fault plan, or
+    /// supervisor configuration fails validation.
+    pub fn with_supervision(
+        cfg: ServerConfig,
+        mech: &'m dyn Mechanism,
+        plan: Option<FaultPlan>,
+        sup: SupervisorConfig,
+    ) -> Result<Server<'m>, SprintError> {
+        let mut server = Server::new(cfg, mech)?;
+        if let Some(plan) = plan {
+            server.faults = Some(FaultInjector::new(plan)?);
+        }
+        server.supervisor = Some(Supervisor::new(sup, server.cfg.slots)?);
+        Ok(server)
+    }
+
+    /// Every arrival the run has fully accounted for: served to
+    /// completion, or turned away by the admission ladder.
+    fn accounted(&self) -> usize {
+        let turned_away = self
+            .supervisor
+            .as_ref()
+            .map(|s| s.counters().turned_away())
+            .unwrap_or(0);
+        self.records.len() + turned_away as usize
+    }
+
     /// Runs the configured number of queries to completion and returns
     /// the per-query records.
-    pub fn run(mut self) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] if a simulation invariant
+    /// breaks mid-run (same-instant event livelock, drained calendar
+    /// with queries outstanding, or inconsistent slot state).
+    pub fn run(mut self) -> Result<RunResult, SprintError> {
         // Seed the first arrival.
         let gap = self.sample_arrival_gap(SimTime::ZERO);
         self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
@@ -211,81 +286,117 @@ impl<'m> Server<'m> {
         }
 
         let mut iterations: u64 = 0;
+        let mut end = SimTime::ZERO;
         while let Some((now, ev)) = self.events.pop() {
             iterations += 1;
+            end = now;
             // Safety valve: a healthy run needs a small constant number
             // of events per query; hitting this bound means a
             // same-instant event livelock.
-            assert!(
-                iterations < 10_000 * (self.cfg.num_queries as u64 + 1),
-                "event storm at {now}: ev {ev:?}, budget level {:.3e}, sprinting {}, \
-                 records {}/{}",
-                self.budget.level(),
-                self.budget.sprinting(),
-                self.records.len(),
-                self.cfg.num_queries
-            );
-            match ev {
-                Ev::Arrival => self.on_arrival(now),
-                Ev::Timeout(id) => self.on_timeout(now, id),
-                Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen),
-                Ev::Crash { slot, query } => self.on_crash(now, slot, query),
-                Ev::Thermal => self.on_thermal(now),
+            if iterations >= 10_000 * (self.cfg.num_queries as u64 + 1) {
+                return Err(SprintError::runtime(
+                    "Server::run",
+                    format!(
+                        "event storm at {now}: ev {ev:?}, budget level {:.3e}, sprinting {}, \
+                         records {}/{}",
+                        self.budget.level(),
+                        self.budget.sprinting(),
+                        self.records.len(),
+                        self.cfg.num_queries
+                    ),
+                ));
             }
-            if self.records.len() == self.cfg.num_queries {
+            match ev {
+                Ev::Arrival => self.on_arrival(now)?,
+                Ev::Timeout(id) => self.on_timeout(now, id)?,
+                Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen)?,
+                Ev::Crash { slot, query } => self.on_crash(now, slot, query)?,
+                Ev::Thermal => self.on_thermal(now)?,
+                Ev::SlotUp { slot } => self.on_slot_up(now, slot)?,
+                Ev::Watchdog { slot, token } => self.on_watchdog(now, slot, token)?,
+            }
+            if self.accounted() == self.cfg.num_queries {
                 break;
             }
         }
-        assert_eq!(
-            self.records.len(),
-            self.cfg.num_queries,
-            "simulation ended with unfinished queries"
-        );
+        if self.accounted() != self.cfg.num_queries {
+            return Err(SprintError::runtime(
+                "Server::run",
+                format!(
+                    "calendar drained with queries outstanding: served {} + turned away {} \
+                     != {} arrived",
+                    self.records.len(),
+                    self.accounted() - self.records.len(),
+                    self.cfg.num_queries
+                ),
+            ));
+        }
         self.records.sort_by_key(|r| r.id);
         let counters = self
             .faults
             .as_ref()
             .map(|f| f.counters())
             .unwrap_or_default();
-        RunResult::with_faults(self.records, self.cfg.warmup, counters)
+        Ok(match self.supervisor.as_mut() {
+            Some(sup) => {
+                let recovery = sup.finalize(end.as_secs_f64());
+                RunResult::with_recovery(
+                    self.records,
+                    self.cfg.warmup,
+                    counters,
+                    recovery,
+                    self.cfg.num_queries,
+                )
+            }
+            None => RunResult::with_faults(self.records, self.cfg.warmup, counters),
+        })
     }
 
-    fn on_arrival(&mut self, now: SimTime) {
-        let id = self.queries.len() as u64;
-        let kind = self.cfg.mix.sample_kind(&mut self.mix_rng);
-        let workload = Workload::get(kind);
-        let mean = self
-            .mech
-            .sustained_rate(kind)
-            .mean_interval()
-            .mul_f64(self.cfg.mix.interference_inflation(kind));
-        let service_secs = workload
-            .service_dist(mean)
-            .sample(&mut self.service_rng)
-            .as_secs_f64()
-            .max(1e-6);
-        self.queries.push(QueryInfo {
-            kind,
-            arrival: now,
-            service_secs,
-            timed_out: false,
-            state: QueryState::Queued,
-            dispatch: SimTime::ZERO,
-            retries: 0,
-        });
+    fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
+        // Admission control runs before the query materializes: a shed
+        // or rejected arrival consumes no service randomness and never
+        // enters the queue (the client sees an immediate busy signal).
+        let admitted = match self.supervisor.as_mut() {
+            Some(sup) => sup.admit(self.queue.len(), now.as_secs_f64()) == AdmitOutcome::Admit,
+            None => true,
+        };
+        if admitted {
+            let id = self.queries.len() as u64;
+            let kind = self.cfg.mix.sample_kind(&mut self.mix_rng);
+            let workload = Workload::get(kind);
+            let mean = self
+                .mech
+                .sustained_rate(kind)
+                .mean_interval()
+                .mul_f64(self.cfg.mix.interference_inflation(kind));
+            let service_secs = workload
+                .service_dist(mean)
+                .sample(&mut self.service_rng)
+                .as_secs_f64()
+                .max(1e-6);
+            self.queries.push(QueryInfo {
+                kind,
+                arrival: now,
+                service_secs,
+                timed_out: false,
+                state: QueryState::Queued,
+                dispatch: SimTime::ZERO,
+                retries: 0,
+            });
 
-        if self.cfg.policy.sprint_enabled && self.cfg.policy.timeout < SimDuration::MAX {
-            let at = now.saturating_add(self.cfg.policy.timeout);
-            if at < SimTime::MAX {
-                self.events.schedule(at, Ev::Timeout(id));
+            if self.cfg.policy.sprint_enabled && self.cfg.policy.timeout < SimDuration::MAX {
+                let at = now.saturating_add(self.cfg.policy.timeout);
+                if at < SimTime::MAX {
+                    self.events.schedule(at, Ev::Timeout(id));
+                }
             }
-        }
 
-        if let Some(slot) = self.free_slot() {
-            self.dispatch(now, id, slot);
-        } else {
-            self.queue.push_back(id);
-            self.update_drag(now);
+            if let Some(slot) = self.free_slot() {
+                self.dispatch(now, id, slot)?;
+            } else {
+                self.queue.push_back(id);
+                self.update_drag(now)?;
+            }
         }
 
         self.arrivals_left -= 1;
@@ -293,6 +404,7 @@ impl<'m> Server<'m> {
             let gap = self.sample_arrival_gap(now);
             self.events.schedule(now + gap, Ev::Arrival);
         }
+        Ok(())
     }
 
     /// Samples the next inter-arrival gap, honouring any time-varying
@@ -314,6 +426,15 @@ impl<'m> Server<'m> {
         } else {
             gap.mul_f64(1.0 / multiplier)
         }
+    }
+
+    /// Whether the supervisor (if any) permits sprint engages at all —
+    /// a failed model-health signal forbids them.
+    fn supervision_sprint_allowed(&self) -> bool {
+        self.supervisor
+            .as_ref()
+            .map(|s| s.sprint_allowed())
+            .unwrap_or(true)
     }
 
     /// Budget availability as the (possibly drifted) sensor reports it.
@@ -342,7 +463,7 @@ impl<'m> Server<'m> {
         }
     }
 
-    fn on_timeout(&mut self, now: SimTime, id: u64) {
+    fn on_timeout(&mut self, now: SimTime, id: u64) -> Result<(), SprintError> {
         let state = self.queries[id as usize].state;
         // Every live interrupt costs the queue manager service time,
         // paid at the next dispatch.
@@ -358,9 +479,9 @@ impl<'m> Server<'m> {
             QueryState::Running(slot) => {
                 self.queries[id as usize].timed_out = true;
                 self.budget.update(now);
-                let can_sprint = self.sensed_available();
+                let can_sprint = self.sensed_available() && self.supervision_sprint_allowed();
                 let toggle = self.mech.toggle_overhead();
-                let slot_ref = self.slots[slot].as_mut().expect("running slot occupied");
+                let slot_ref = occupied(&mut self.slots, slot, "Server::on_timeout")?;
                 match slot_ref.engine.mode() {
                     // §2.1: "if the callback executes after the query is
                     // dispatched, the queue manager initiates sprinting
@@ -371,7 +492,7 @@ impl<'m> Server<'m> {
                             until: now + toggle,
                             then_sprint: true,
                         });
-                        self.reschedule_slot(now, slot);
+                        self.reschedule_slot(now, slot)?;
                     }
                     // Still inside the dispatch stall: upgrade it to
                     // engage a sprint when it ends (the toggle may
@@ -385,7 +506,7 @@ impl<'m> Server<'m> {
                             until,
                             then_sprint: true,
                         });
-                        self.reschedule_slot(now, slot);
+                        self.reschedule_slot(now, slot)?;
                     }
                     // Already sprinting/engaging, or the budget is dry:
                     // the interrupt is a no-op.
@@ -393,21 +514,23 @@ impl<'m> Server<'m> {
                 }
             }
         }
+        Ok(())
     }
 
-    fn on_slot_event(&mut self, now: SimTime, slot: usize, gen: u64) {
+    fn on_slot_event(&mut self, now: SimTime, slot: usize, gen: u64) -> Result<(), SprintError> {
         let Some(s) = self.slots[slot].as_ref() else {
-            return;
+            return Ok(());
         };
         if s.gen != gen {
-            return; // Stale event.
+            return Ok(()); // Stale event.
         }
         self.budget.update(now);
         let mode = s.engine.mode();
         let stuck = s.stuck;
         match mode {
             ExecMode::Stalled { until, then_sprint } if now >= until => {
-                let wants_sprint = then_sprint && self.sensed_available();
+                let wants_sprint =
+                    then_sprint && self.sensed_available() && self.supervision_sprint_allowed();
                 // The injector only sees engages that would otherwise
                 // succeed; it can fail them or latch them stuck on.
                 let outcome = if !wants_sprint {
@@ -418,39 +541,49 @@ impl<'m> Server<'m> {
                         None => EngageOutcome::Engaged,
                     }
                 };
-                let s = self.slots[slot].as_mut().expect("slot occupied");
+                let s = occupied(&mut self.slots, slot, "Server::on_slot_event")?;
                 s.engine.advance(now, self.mech);
                 match outcome {
                     EngageOutcome::Engaged | EngageOutcome::EngagedStuck => {
                         s.stuck = matches!(outcome, EngageOutcome::EngagedStuck);
                         s.engine.set_mode(ExecMode::Sprinting);
                         self.budget.start_sprint();
-                        self.reschedule_all_sprinting(now);
+                        // Arm the sprint watchdog: if this same engage
+                        // is still sprinting when the deadline passes,
+                        // it is presumed stuck and forced off.
+                        if let Some(sup) = self.supervisor.as_mut() {
+                            let token = sup.next_sprint_token();
+                            let deadline = now + SimDuration::from_secs_f64(sup.watchdog_secs());
+                            occupied(&mut self.slots, slot, "Server::on_slot_event")?
+                                .sprint_token = token;
+                            self.events.schedule(deadline, Ev::Watchdog { slot, token });
+                        }
+                        self.reschedule_all_sprinting(now)?;
                     }
                     EngageOutcome::Failed => {
                         s.engine.set_mode(ExecMode::Normal);
-                        self.reschedule_slot(now, slot);
+                        self.reschedule_slot(now, slot)?;
                     }
                 }
             }
             ExecMode::Sprinting | ExecMode::Normal => {
-                let s = self.slots[slot].as_mut().expect("slot occupied");
+                let s = occupied(&mut self.slots, slot, "Server::on_slot_event")?;
                 s.engine.advance(now, self.mech);
                 if s.engine.is_complete() {
-                    self.complete(now, slot);
+                    self.complete(now, slot)?;
                 } else if matches!(mode, ExecMode::Sprinting) && !stuck && !self.sensed_available()
                 {
                     // Budget ran dry mid-sprint: fall back to sustained.
                     // A stuck sprint ignores exhaustion — it keeps
                     // draining until completion or a thermal emergency.
-                    let s = self.slots[slot].as_mut().expect("slot occupied");
+                    let s = occupied(&mut self.slots, slot, "Server::on_slot_event")?;
                     s.engine.set_mode(ExecMode::Normal);
                     self.budget.end_sprint();
-                    self.reschedule_all_sprinting(now);
-                    self.reschedule_slot(now, slot);
+                    self.reschedule_all_sprinting(now)?;
+                    self.reschedule_slot(now, slot)?;
                 } else {
                     // Spurious wake-up; recompute.
-                    self.reschedule_slot(now, slot);
+                    self.reschedule_slot(now, slot)?;
                 }
             }
             ExecMode::Stalled { .. } => {
@@ -458,45 +591,137 @@ impl<'m> Server<'m> {
                 // newer event will resolve it.
             }
         }
+        Ok(())
+    }
+
+    /// Supervision: the sprint watchdog fires. If the engage that armed
+    /// it is still sprinting (token matches), the mechanism latch is
+    /// presumed stuck: the sprint is forced off, budget drain stops, and
+    /// the execution continues at the sustained rate. Stale tokens (the
+    /// sprint already disengaged, the query completed, or the slot
+    /// re-engaged) are ignored.
+    fn on_watchdog(&mut self, now: SimTime, slot: usize, token: u64) -> Result<(), SprintError> {
+        let live = matches!(
+            self.slots[slot].as_ref(),
+            Some(s) if s.sprint_token == token && matches!(s.engine.mode(), ExecMode::Sprinting)
+        );
+        if !live {
+            return Ok(());
+        }
+        self.budget.update(now);
+        let s = occupied(&mut self.slots, slot, "Server::on_watchdog")?;
+        s.engine.advance(now, self.mech);
+        s.engine.set_mode(ExecMode::Normal);
+        s.stuck = false;
+        self.budget.end_sprint();
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.record_forced_unsprint();
+        }
+        self.reschedule_all_sprinting(now)?;
+        self.reschedule_slot(now, slot)?;
+        Ok(())
+    }
+
+    /// Supervision: a restarted slot rejoins the pool and immediately
+    /// pulls queued work if any is waiting.
+    fn on_slot_up(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
+        self.down[slot] = false;
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.on_slot_up(slot);
+        }
+        let available = self
+            .supervisor
+            .as_ref()
+            .map(|s| s.slot_available(slot))
+            .unwrap_or(true);
+        if available && self.slots[slot].is_none() {
+            if let Some(next) = self.queue.pop_front() {
+                self.dispatch(now, next, slot)?;
+                self.update_drag(now)?;
+            }
+        }
+        Ok(())
     }
 
     /// Fault injection: the execution in `slot` crashes. The query is
     /// pushed back to the head of the queue (preserving FIFO order) and
     /// redispatched with fresh dispatch overhead; its timestamps keep
     /// the original arrival but move `dispatch` to the retry hand-off.
-    fn on_crash(&mut self, now: SimTime, slot: usize, query: u64) {
+    fn on_crash(&mut self, now: SimTime, slot: usize, query: u64) -> Result<(), SprintError> {
         let stale = match self.slots[slot].as_ref() {
             Some(s) => s.query != query,
             None => true,
         };
         if stale || self.queries[query as usize].state != QueryState::Running(slot) {
-            return; // The query completed before its crash point.
+            return Ok(()); // The query completed before its crash point.
         }
         self.budget.update(now);
-        let s = self.slots[slot].take().expect("crashing slot occupied");
+        let s = self.slots[slot].take().ok_or_else(|| {
+            SprintError::runtime("Server::on_crash", format!("crashing slot {slot} empty"))
+        })?;
         if matches!(s.engine.mode(), ExecMode::Sprinting) {
             self.budget.end_sprint();
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         }
         let info = &mut self.queries[query as usize];
         info.state = QueryState::Queued;
         info.retries += 1;
         let retries = info.retries;
-        let f = self.faults.as_mut().expect("crash event requires injector");
+        let f = self.faults.as_mut().ok_or_else(|| {
+            SprintError::runtime(
+                "Server::on_crash",
+                "crash event without injector".to_string(),
+            )
+        })?;
         f.record_crash(retries >= f.max_retries());
+        let repair_secs = f.crash_repair_secs();
         // All progress is lost; the crashed query re-enters at the head
-        // of the queue and the freed slot immediately redispatches it.
+        // of the queue.
         self.queue.push_front(query);
-        if let Some(next) = self.queue.pop_front() {
-            self.dispatch(now, next, slot);
-            self.update_drag(now);
+        match self.supervisor.as_mut().map(|sup| sup.on_crash(slot)) {
+            // Supervised: the crashed slot goes offline for a backoff
+            // (or for good); the requeued query redispatches on any
+            // other available slot, or waits its turn at the head.
+            Some(directive) => {
+                if let SlotDirective::Restart { delay_secs } = directive {
+                    let at = now + SimDuration::from_secs_f64(delay_secs);
+                    self.events.schedule(at, Ev::SlotUp { slot });
+                }
+                if let Some(other) = self.free_slot() {
+                    if let Some(next) = self.queue.pop_front() {
+                        self.dispatch(now, next, other)?;
+                    }
+                }
+                self.update_drag(now)?;
+            }
+            // Unsupervised: nobody restarts the slot. With a repair
+            // time in the plan it stays down until out-of-band repair;
+            // the legacy 0.0 default restarts it instantly and
+            // redispatches the crashed query.
+            None => {
+                if repair_secs > 0.0 {
+                    self.down[slot] = true;
+                    let at = now + SimDuration::from_secs_f64(repair_secs);
+                    self.events.schedule(at, Ev::SlotUp { slot });
+                    if let Some(other) = self.free_slot() {
+                        if let Some(next) = self.queue.pop_front() {
+                            self.dispatch(now, next, other)?;
+                        }
+                    }
+                    self.update_drag(now)?;
+                } else if let Some(next) = self.queue.pop_front() {
+                    self.dispatch(now, next, slot)?;
+                    self.update_drag(now)?;
+                }
+            }
         }
+        Ok(())
     }
 
     /// Fault injection: a thermal emergency forces every sprinting
     /// execution (stuck ones included) back to the sustained rate and
     /// starts the injector's engage lockout.
-    fn on_thermal(&mut self, now: SimTime) {
+    fn on_thermal(&mut self, now: SimTime) -> Result<(), SprintError> {
         self.budget.update(now);
         let sprinting: Vec<usize> = self
             .slots
@@ -510,28 +735,33 @@ impl<'m> Server<'m> {
             .collect();
         let mut unsprinted = 0u64;
         for i in sprinting {
-            let s = self.slots[i].as_mut().expect("slot occupied");
+            let s = occupied(&mut self.slots, i, "Server::on_thermal")?;
             s.engine.advance(now, self.mech);
             s.engine.set_mode(ExecMode::Normal);
             s.stuck = false;
             self.budget.end_sprint();
             unsprinted += 1;
-            self.reschedule_slot(now, i);
+            self.reschedule_slot(now, i)?;
         }
-        let f = self
-            .faults
-            .as_mut()
-            .expect("thermal event requires injector");
+        let f = self.faults.as_mut().ok_or_else(|| {
+            SprintError::runtime(
+                "Server::on_thermal",
+                "thermal event without injector".to_string(),
+            )
+        })?;
         let next = f.on_thermal(now.as_secs_f64(), unsprinted);
         self.events
             .schedule(SimTime::from_secs_f64(next), Ev::Thermal);
+        Ok(())
     }
 
-    fn complete(&mut self, now: SimTime, slot: usize) {
-        let s = self.slots[slot].take().expect("completing empty slot");
+    fn complete(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
+        let s = self.slots[slot].take().ok_or_else(|| {
+            SprintError::runtime("Server::complete", format!("completing empty slot {slot}"))
+        })?;
         if matches!(s.engine.mode(), ExecMode::Sprinting) {
             self.budget.end_sprint();
-            self.reschedule_all_sprinting(now);
+            self.reschedule_all_sprinting(now)?;
         }
         let info = &mut self.queries[s.query as usize];
         info.state = QueryState::Done;
@@ -547,37 +777,40 @@ impl<'m> Server<'m> {
             retries: info.retries,
         });
         if let Some(next) = self.queue.pop_front() {
-            self.dispatch(now, next, slot);
-            self.update_drag(now);
+            self.dispatch(now, next, slot)?;
+            self.update_drag(now)?;
         }
+        Ok(())
     }
 
     /// Re-applies the queue-length drag to every running execution
     /// after the queue changed.
-    fn update_drag(&mut self, now: SimTime) {
+    fn update_drag(&mut self, now: SimTime) -> Result<(), SprintError> {
         let effective_queue = self.queue.len().min(QUEUE_DRAG_SATURATION);
         let drag = 1.0 + QUEUE_DRAG_PER_QUERY * effective_queue as f64;
         for i in 0..self.slots.len() {
             if self.slots[i].is_some() {
-                let s = self.slots[i].as_mut().expect("slot occupied");
+                let s = occupied(&mut self.slots, i, "Server::update_drag")?;
                 s.engine.advance(now, self.mech);
                 s.engine.set_drag(drag);
-                self.reschedule_slot(now, i);
+                self.reschedule_slot(now, i)?;
             }
         }
+        Ok(())
     }
 
-    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) {
+    fn dispatch(&mut self, now: SimTime, id: u64, slot: usize) -> Result<(), SprintError> {
         let overhead = DISPATCH_BASE_SECS
             + DISPATCH_PER_QUEUED_SECS * self.queue.len() as f64
             + std::mem::take(&mut self.manager_debt_secs);
+        let sprint_allowed = self.supervision_sprint_allowed();
         let info = &mut self.queries[id as usize];
         info.state = QueryState::Running(slot);
         info.dispatch = now;
         // A timeout that fired while queued initiates sprinting at
         // dispatch (§2.1); the toggle partially overlaps the dispatch
         // hand-off.
-        let sprint_now = info.timed_out && self.cfg.policy.sprint_enabled;
+        let sprint_now = info.timed_out && self.cfg.policy.sprint_enabled && sprint_allowed;
         let mut ready = now + SimDuration::from_secs_f64(overhead);
         if sprint_now {
             ready += self
@@ -585,13 +818,13 @@ impl<'m> Server<'m> {
                 .toggle_overhead()
                 .mul_f64(DISPATCH_SPRINT_TOGGLE_FRAC);
         }
-        let engine = ExecutionState::new(info.kind, info.service_secs, now, ready, sprint_now)
-            .expect("sampled service time is positive and finite");
+        let engine = ExecutionState::new(info.kind, info.service_secs, now, ready, sprint_now)?;
         self.slots[slot] = Some(Slot {
             query: id,
             engine,
             gen: 0,
             stuck: false,
+            sprint_token: 0,
         });
         // Fault injection: decide at dispatch whether this execution
         // will crash, and when. The event is matched by query id, so it
@@ -599,26 +832,37 @@ impl<'m> Server<'m> {
         // sprint compresses the service time past the crash point).
         if let Some(f) = self.faults.as_mut() {
             let retries = self.queries[id as usize].retries;
-            if let Some(frac) = f.crash_point_frac(retries) {
+            if let Some(frac) = f.crash_point_frac(slot, retries) {
                 let at =
                     now + SimDuration::from_secs_f64(frac * self.queries[id as usize].service_secs);
                 self.events.schedule(at, Ev::Crash { slot, query: id });
             }
         }
-        self.reschedule_slot(now, slot);
+        self.reschedule_slot(now, slot)
     }
 
+    /// First slot that is both empty and not down — whether downed by
+    /// the supervisor's restart/quarantine ladder or by an unsupervised
+    /// crash awaiting out-of-band repair.
     fn free_slot(&self) -> Option<usize> {
-        self.slots.iter().position(Option::is_none)
+        (0..self.slots.len()).find(|&i| {
+            self.slots[i].is_none()
+                && !self.down[i]
+                && self
+                    .supervisor
+                    .as_ref()
+                    .map(|s| s.slot_available(i))
+                    .unwrap_or(true)
+        })
     }
 
     /// Schedules the next event for `slot`: stall end, completion, or
     /// budget exhaustion, whichever comes first.
-    fn reschedule_slot(&mut self, now: SimTime, slot: usize) {
+    fn reschedule_slot(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
         self.next_gen += 1;
         let gen = self.next_gen;
         let exhaust = self.sensed_seconds_to_exhaustion();
-        let s = self.slots[slot].as_mut().expect("rescheduling empty slot");
+        let s = occupied(&mut self.slots, slot, "Server::reschedule_slot")?;
         s.gen = gen;
         let at = match s.engine.mode() {
             ExecMode::Stalled { until, .. } => until,
@@ -637,11 +881,12 @@ impl<'m> Server<'m> {
             }
         };
         self.events.schedule(at.max(now), Ev::Slot { slot, gen });
+        Ok(())
     }
 
     /// Refreshes exhaustion events for every sprinting slot after the
     /// shared drain rate changed.
-    fn reschedule_all_sprinting(&mut self, now: SimTime) {
+    fn reschedule_all_sprinting(&mut self, now: SimTime) -> Result<(), SprintError> {
         let sprinting: Vec<usize> = self
             .slots
             .iter()
@@ -653,10 +898,11 @@ impl<'m> Server<'m> {
             })
             .collect();
         for i in sprinting {
-            let s = self.slots[i].as_mut().expect("slot occupied");
+            let s = occupied(&mut self.slots, i, "Server::reschedule_all_sprinting")?;
             s.engine.advance(now, self.mech);
-            self.reschedule_slot(now, i);
+            self.reschedule_slot(now, i)?;
         }
+        Ok(())
     }
 }
 
@@ -664,9 +910,10 @@ impl<'m> Server<'m> {
 ///
 /// # Errors
 ///
-/// Returns an error if the configuration fails validation.
+/// Returns an error if the configuration fails validation or a
+/// simulation invariant breaks mid-run.
 pub fn run(cfg: ServerConfig, mech: &dyn Mechanism) -> Result<RunResult, SprintError> {
-    Ok(Server::new(cfg, mech)?.run())
+    Server::new(cfg, mech)?.run()
 }
 
 /// Convenience: run one configuration to completion with the given
@@ -676,13 +923,29 @@ pub fn run(cfg: ServerConfig, mech: &dyn Mechanism) -> Result<RunResult, SprintE
 /// # Errors
 ///
 /// Returns an error if the configuration or the fault plan fails
-/// validation.
+/// validation, or a simulation invariant breaks mid-run.
 pub fn run_with_faults(
     cfg: ServerConfig,
     mech: &dyn Mechanism,
     plan: FaultPlan,
 ) -> Result<RunResult, SprintError> {
-    Ok(Server::with_faults(cfg, mech, plan)?.run())
+    Server::with_faults(cfg, mech, plan)?.run()
+}
+
+/// Convenience: run one configuration under supervision, optionally
+/// with a fault plan active.
+///
+/// # Errors
+///
+/// Returns an error if any configuration fails validation, or a
+/// simulation invariant breaks mid-run.
+pub fn run_supervised(
+    cfg: ServerConfig,
+    mech: &dyn Mechanism,
+    plan: Option<FaultPlan>,
+    sup: SupervisorConfig,
+) -> Result<RunResult, SprintError> {
+    Server::with_supervision(cfg, mech, plan, sup)?.run()
 }
 
 #[cfg(test)]
@@ -1060,6 +1323,149 @@ mod tests {
             "4X storm should compress arrivals: {stormy_span:.0}s vs {clean_span:.0}s"
         );
         assert!(stormy.fault_counters().storm_arrivals > 0);
+    }
+
+    #[test]
+    fn idle_supervision_is_bit_identical_to_none() {
+        // A supervisor that never intervenes (no faults, watermarks
+        // never reached, watchdog never exceeded) must not perturb the
+        // run: its extra watchdog events are pure observers.
+        let mech = Dvfs::new();
+        let clean = run(sprint_cfg(200, 99), &mech).unwrap();
+        let supervised = run_supervised(
+            sprint_cfg(200, 99),
+            &mech,
+            None,
+            crate::supervision::SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(clean.records(), supervised.records());
+        assert_eq!(supervised.recovery_counters().total(), 0);
+        assert!(supervised.conserves_queries());
+    }
+
+    #[test]
+    fn watchdog_bounds_stuck_sprint_overrun() {
+        let mech = CpuThrottle::new(0.2);
+        let policy = SprintPolicy::new(
+            SimDuration::ZERO,
+            BudgetSpec::Seconds(10.0),
+            SimDuration::from_secs(1_000_000),
+        );
+        let mut cfg = base_cfg(policy, 0.2, 60, 31);
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(3.0));
+        let plan = FaultPlan {
+            stuck_sprint_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let sup = crate::supervision::SupervisorConfig {
+            watchdog_secs: 20.0,
+            ..Default::default()
+        };
+        let r = run_supervised(cfg, &mech, Some(plan), sup).unwrap();
+        assert!(r.recovery_counters().forced_unsprints > 0);
+        let max_sprint = r
+            .records()
+            .iter()
+            .map(|q| q.sprint_seconds)
+            .fold(0.0, f64::max);
+        // Without the watchdog the same plan overruns the 10 s budget
+        // past 15 s (see stuck_sprints_overrun_the_budget); with it, no
+        // sprint survives much past the 20 s deadline.
+        assert!(
+            max_sprint < 21.0,
+            "watchdog must cap stuck sprints, got {max_sprint:.1}"
+        );
+    }
+
+    #[test]
+    fn bad_slot_is_quarantined_and_stops_crashing() {
+        let mech = Dvfs::new();
+        let mut cfg = sprint_cfg(200, 23);
+        cfg.slots = 2;
+        cfg.arrivals = ArrivalSpec::poisson(Rate::per_hour(51.0 * 1.4));
+        let plan = FaultPlan {
+            seed: 9,
+            bad_slot: Some(0),
+            bad_slot_crash_prob: 0.9,
+            max_retries: 10,
+            ..FaultPlan::default()
+        };
+        // Watermarks high enough that crash turbulence never trips
+        // admission control — this test isolates slot supervision.
+        let sup = crate::supervision::SupervisorConfig {
+            quarantine_after: 3,
+            shed_watermark: 200,
+            reject_watermark: 400,
+            drain_watermark: 100,
+            ..Default::default()
+        };
+        let r = run_supervised(cfg, &mech, Some(plan), sup).unwrap();
+        let rec = r.recovery_counters();
+        assert_eq!(rec.quarantines, 1, "the bad slot must be quarantined");
+        assert_eq!(
+            r.fault_counters().slot_crashes,
+            3,
+            "crashes stop once the bad slot is out of rotation"
+        );
+        assert_eq!(rec.requeued_queries, 3);
+        assert!(r.conserves_queries());
+        assert_eq!(r.served(), 200, "nothing was shed, everything completes");
+    }
+
+    #[test]
+    fn storm_overload_sheds_and_conserves_queries() {
+        let mech = Dvfs::new();
+        let cfg = sprint_cfg(300, 61);
+        let plan = FaultPlan {
+            storms: vec![faults::StormWindow {
+                start_secs: 0.0,
+                duration_secs: 1e9,
+                multiplier: 8.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let sup = crate::supervision::SupervisorConfig::default();
+        let r = run_supervised(cfg, &mech, Some(plan), sup).unwrap();
+        let rec = r.recovery_counters();
+        assert!(
+            rec.turned_away() > 0,
+            "an 8X storm on a 70% utilized server must trip admission control"
+        );
+        assert!(rec.shed_queries > 0, "the ladder sheds before it rejects");
+        assert!(rec.degraded_secs > 0.0);
+        assert!(r.conserves_queries());
+        assert_eq!(r.arrived(), 300);
+        assert!(r.served() < 300);
+    }
+
+    #[test]
+    fn supervised_runs_replay_bit_identically() {
+        let mech = Dvfs::new();
+        let plan = FaultPlan {
+            seed: 5,
+            stuck_sprint_prob: 0.3,
+            bad_slot: Some(0),
+            bad_slot_crash_prob: 0.4,
+            max_retries: 4,
+            storms: vec![faults::StormWindow {
+                start_secs: 1_000.0,
+                duration_secs: 5_000.0,
+                multiplier: 5.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut cfg = sprint_cfg(250, 3);
+        cfg.slots = 2;
+        let sup = crate::supervision::SupervisorConfig {
+            watchdog_secs: 60.0,
+            ..Default::default()
+        };
+        let a = run_supervised(cfg.clone(), &mech, Some(plan.clone()), sup).unwrap();
+        let b = run_supervised(cfg, &mech, Some(plan), sup).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.recovery_counters(), b.recovery_counters());
+        assert_eq!(a.fault_counters(), b.fault_counters());
     }
 
     #[test]

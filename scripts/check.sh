@@ -17,4 +17,9 @@ run cargo test -q --workspace --offline
 run cargo fmt --all -- --check
 run cargo clippy --all-targets --workspace --offline -- -D warnings
 
+# Bounded chaos smoke sweep: fixed seeds, full grid, a few seconds.
+# Exits non-zero on any recovery-invariant violation or any cell where
+# supervision fails to improve SLO attainment.
+run ./target/release/chaos_sweep --seeds 8 > /dev/null
+
 echo "All checks passed."

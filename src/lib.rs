@@ -49,6 +49,7 @@
 //! the paper.
 
 pub use ann;
+pub use chaos;
 pub use cloud;
 pub use faults;
 pub use forest;
@@ -65,6 +66,7 @@ pub use workloads;
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use ann::{AnnConfig, Mlp};
+    pub use chaos::{random_plan, SweepConfig, SweepReport};
     pub use cloud::{
         colocate, meets_slo, BurstablePolicy, Strategy, WorkloadDemand, PRICE_PER_WORKLOAD_HOUR,
     };
@@ -79,7 +81,9 @@ pub mod prelude {
         train_ann, train_hybrid, ArrivalRateEstimator, BreakerConfig, DegradationLevel,
         HybridModel, ModelHealthMonitor, OnlineModel, ResponseTimeModel, SimOptions, TrainOptions,
     };
-    pub use testbed::{Budget, RateSegment, ServerConfig, SprintPolicy};
+    pub use testbed::{
+        Budget, RateSegment, RecoveryCounters, ServerConfig, SprintPolicy, SupervisorConfig,
+    };
     pub use workloads::{QueryMix, Workload, WorkloadKind};
 }
 

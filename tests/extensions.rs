@@ -46,10 +46,12 @@ fn multiclass_prefers_sprinting_the_elastic_class() {
     let strong_rt = MultiClassQsim::new(strong_only)
         .unwrap()
         .run()
+        .unwrap()
         .mean_response_secs();
     let weak_rt = MultiClassQsim::new(weak_only)
         .unwrap()
         .run()
+        .unwrap()
         .mean_response_secs();
     assert!(
         strong_rt < weak_rt,

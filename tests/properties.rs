@@ -7,7 +7,7 @@ use model_sprint::prelude::*;
 use model_sprint::simcore::dist::{Dist, DistKind};
 use model_sprint::simcore::stats::StreamingStats;
 use model_sprint::simcore::SimRng;
-use model_sprint::testbed::server::{run, run_with_faults};
+use model_sprint::testbed::server::{run, run_supervised, run_with_faults};
 use model_sprint::testbed::{ArrivalSpec, BudgetSpec, ServerConfig};
 
 /// Every distribution's sample mean tracks its configured mean.
@@ -57,7 +57,10 @@ fn qsim_conservation_and_fifo() {
         cfg.timeout = SimDuration::from_secs_f64(rng.uniform(10.0, 400.0));
         cfg.budget_capacity_secs = rng.uniform(0.0, 500.0);
         cfg.refill_secs = 800.0;
-        let r = Qsim::new(cfg).expect("randomized config is valid").run();
+        let r = Qsim::new(cfg)
+            .expect("randomized config is valid")
+            .run()
+            .expect("randomized run completes");
         assert_eq!(r.queries.len(), 400);
         let mut sorted = r.queries.clone();
         sorted.sort_by(|a, b| a.arrival_secs.total_cmp(&b.arrival_secs));
@@ -217,7 +220,10 @@ fn faulted_runs_replay_bit_identically() {
         stuck_sprint_prob: 0.1,
         budget_drift_secs: 5.0,
         crash_prob: 0.05,
+        bad_slot: Some(0),
+        bad_slot_crash_prob: 0.1,
         max_retries: 2,
+        crash_repair_secs: 0.0,
         storms: vec![StormWindow {
             start_secs: 500.0,
             duration_secs: 2_000.0,
@@ -419,4 +425,156 @@ fn annealing_respects_bounds() {
             .fold(f64::INFINITY, f64::min);
         assert!((r.best_response_secs - trace_best).abs() < 1e-9);
     }
+}
+
+/// The watchdog bounds sprint duration: with every sprint stuck on,
+/// the supervisor force-unsprints past the deadline, while the same
+/// plan unsupervised lets sprints run arbitrarily long.
+#[test]
+fn watchdog_force_unsprints_stuck_sprints() {
+    let mech = Dvfs::new();
+    let plan = FaultPlan {
+        seed: 9,
+        stuck_sprint_prob: 1.0,
+        ..FaultPlan::default()
+    };
+    let sup = SupervisorConfig {
+        watchdog_secs: 15.0,
+        ..SupervisorConfig::default()
+    };
+    let supervised = run_supervised(sprint_cfg(300, 5), &mech, Some(plan.clone()), sup).unwrap();
+    let slack = 2.0;
+    let max_sprint = |r: &model_sprint::testbed::RunResult| {
+        r.records()
+            .iter()
+            .map(|q| q.sprint_seconds)
+            .fold(0.0_f64, f64::max)
+    };
+    assert!(
+        supervised.recovery_counters().forced_unsprints > 0,
+        "stuck sprints must trip the watchdog"
+    );
+    assert!(
+        max_sprint(&supervised) <= sup.watchdog_secs + slack,
+        "supervised sprints stay under the watchdog deadline"
+    );
+    let unsupervised = run_with_faults(sprint_cfg(300, 5), &mech, plan).unwrap();
+    assert!(
+        max_sprint(&unsupervised) > sup.watchdog_secs + slack,
+        "the same plan unsupervised must exceed the deadline, or the \
+         watchdog assertion above is vacuous"
+    );
+}
+
+/// A persistently crashing slot is quarantined after the configured
+/// number of crashes, and crashes stop once it leaves the rotation.
+#[test]
+fn flaky_slot_is_quarantined_after_configured_crashes() {
+    let mech = Dvfs::new();
+    let cfg = ServerConfig {
+        slots: 2,
+        ..sprint_cfg(250, 13)
+    };
+    let plan = FaultPlan {
+        seed: 21,
+        bad_slot: Some(0),
+        bad_slot_crash_prob: 0.95,
+        max_retries: 10,
+        ..FaultPlan::default()
+    };
+    // Watermarks far above any queue this run builds, so admission
+    // control stays out of the picture and only slot supervision acts.
+    let sup = SupervisorConfig {
+        quarantine_after: 3,
+        shed_watermark: 500,
+        reject_watermark: 1_000,
+        drain_watermark: 250,
+        ..SupervisorConfig::default()
+    };
+    let r = run_supervised(cfg, &mech, Some(plan), sup).unwrap();
+    let rec = r.recovery_counters();
+    assert_eq!(rec.quarantines, 1, "exactly the bad slot is quarantined");
+    assert!(
+        r.fault_counters().slot_crashes <= sup.quarantine_after as u64,
+        "crashes stop at the quarantine threshold, got {}",
+        r.fault_counters().slot_crashes
+    );
+    assert_eq!(rec.requeued_queries, r.fault_counters().slot_crashes);
+    assert!(r.conserves_queries());
+    assert_eq!(r.served(), r.arrived(), "nothing shed at these watermarks");
+}
+
+/// Crash-requeued queries re-enter at the *head* of the queue: on a
+/// single slot, service order (and thus departure order) still follows
+/// arrival order even when queries crash mid-service.
+#[test]
+fn crash_requeue_preserves_fifo_order() {
+    let mech = Dvfs::new();
+    let plan = FaultPlan {
+        seed: 31,
+        crash_prob: 0.3,
+        max_retries: 3,
+        ..FaultPlan::default()
+    };
+    let sup = SupervisorConfig {
+        shed_watermark: 500,
+        reject_watermark: 1_000,
+        drain_watermark: 250,
+        ..SupervisorConfig::default()
+    };
+    let r = run_supervised(sprint_cfg(200, 3), &mech, Some(plan), sup).unwrap();
+    assert!(
+        r.records().iter().any(|q| q.retries > 0),
+        "crash_prob 0.3 must requeue something"
+    );
+    let mut by_arrival: Vec<_> = r.records().to_vec();
+    by_arrival.sort_by(|a, b| a.arrival.as_secs_f64().total_cmp(&b.arrival.as_secs_f64()));
+    let mut prev_depart = 0.0;
+    for q in &by_arrival {
+        let depart = q.depart.as_secs_f64();
+        assert!(
+            depart >= prev_depart,
+            "head requeue keeps single-slot FIFO: query {} departed early",
+            q.id
+        );
+        prev_depart = depart;
+    }
+}
+
+/// Under a sustained arrival storm with tight watermarks, the ladder
+/// both sheds (every other arrival) and rejects (drain mode), and the
+/// two buckets plus served queries exactly account for every arrival.
+#[test]
+fn admission_ladder_shed_and_reject_accounting() {
+    let mech = Dvfs::new();
+    let plan = FaultPlan {
+        seed: 47,
+        storms: vec![StormWindow {
+            start_secs: 0.0,
+            duration_secs: 50_000.0,
+            multiplier: 6.0,
+        }],
+        ..FaultPlan::default()
+    };
+    let sup = SupervisorConfig {
+        shed_watermark: 4,
+        reject_watermark: 8,
+        drain_watermark: 2,
+        ..SupervisorConfig::default()
+    };
+    let r = run_supervised(sprint_cfg(400, 29), &mech, Some(plan), sup).unwrap();
+    let rec = r.recovery_counters();
+    assert!(
+        rec.shed_queries > 0,
+        "the storm must push past the shed mark"
+    );
+    assert!(rec.rejected_queries > 0, "and into drain mode");
+    assert!(rec.degraded_secs > 0.0);
+    assert_eq!(
+        r.served() as u64 + rec.shed_queries + rec.rejected_queries,
+        r.arrived() as u64,
+        "every arrival is served, shed, or rejected"
+    );
+    assert!(r.conserves_queries());
+    assert_eq!(r.served(), r.records().len());
 }
