@@ -3,6 +3,12 @@
 //! number of simulated queries per prediction grows, at 1 thread and
 //! at the machine's core count.
 //!
+//! Each size is measured on two batch backends side by side: the
+//! persistent worker pool (the default prediction path) and the
+//! spawn-per-call reference it replaced, so the table shows what pool
+//! reuse itself buys at each simulation size. Both backends produce
+//! bit-identical estimates; only wall-clock differs.
+//!
 //! ```text
 //! cargo run --release -p bench --bin fig11_throughput
 //! ```
@@ -11,10 +17,11 @@ use bench::eval::num_threads;
 use bench::Args;
 use mechanisms::Dvfs;
 use profiler::{Condition, Profiler};
+use qsim::Backend;
 use simcore::dist::DistKind;
 use simcore::table::{fmt_f, TextTable};
 use simcore::SprintError;
-use sprint_core::throughput::measure_throughput;
+use sprint_core::throughput::{measure_throughput, measure_throughput_with};
 use workloads::{QueryMix, WorkloadKind};
 
 fn main() -> Result<(), SprintError> {
@@ -49,8 +56,10 @@ fn main() -> Result<(), SprintError> {
     }
     let mut table = TextTable::new(vec![
         "queries/prediction".to_string(),
-        "1-thread preds/min".to_string(),
-        format!("{cores}-thread preds/min"),
+        "pool 1t preds/min".to_string(),
+        "spawn 1t preds/min".to_string(),
+        "pool gain".to_string(),
+        format!("pool {cores}t preds/min"),
         "scaling".to_string(),
         "CoV (%)".to_string(),
     ]);
@@ -58,10 +67,17 @@ fn main() -> Result<(), SprintError> {
     for &q in &sizes {
         eprintln!("measuring {q} queries/prediction ...");
         let single = measure_throughput(&profile, &cond, q, 1, predictions)?;
+        let spawn =
+            measure_throughput_with(&profile, &cond, q, 1, predictions, Backend::Reference)?;
         let multi = measure_throughput(&profile, &cond, q, cores, predictions)?;
         table.row(vec![
             format!("{q}"),
             fmt_f(single.predictions_per_minute, 0),
+            fmt_f(spawn.predictions_per_minute, 0),
+            format!(
+                "{:.1}X",
+                single.predictions_per_minute / spawn.predictions_per_minute
+            ),
             fmt_f(multi.predictions_per_minute, 0),
             format!(
                 "{:.1}X",
@@ -71,6 +87,10 @@ fn main() -> Result<(), SprintError> {
         ]);
     }
     println!("{}", table.render());
+    println!(
+        "\"pool gain\" is persistent-pool + direct-engine throughput over \
+         the frozen spawn-per-call, event-calendar reference at 1 thread."
+    );
     println!("Paper (on a 12-core Xeon): ~100 preds/min at 100K queries per");
     println!("prediction, 11.4X scaling from 1 to 12 cores, CoV knee at 100K.");
     println!(

@@ -6,7 +6,7 @@
 
 use crate::model::SimOptions;
 use profiler::{Condition, WorkloadProfile};
-use qsim::run_batch;
+use qsim::{run_batch_with, Backend};
 use simcore::stats::StreamingStats;
 use simcore::SprintError;
 use std::time::Instant;
@@ -39,6 +39,31 @@ pub fn measure_throughput(
     threads: usize,
     num_predictions: usize,
 ) -> Result<ThroughputPoint, SprintError> {
+    measure_throughput_with(
+        profile,
+        cond,
+        queries_per_prediction,
+        threads,
+        num_predictions,
+        Backend::Pool,
+    )
+}
+
+/// [`measure_throughput`] with an explicit batch [`Backend`], so the
+/// persistent-pool and spawn-per-call strategies can be compared side
+/// by side (Fig. 11 reporting).
+///
+/// # Errors
+///
+/// Same contract as [`measure_throughput`].
+pub fn measure_throughput_with(
+    profile: &WorkloadProfile,
+    cond: &Condition,
+    queries_per_prediction: usize,
+    threads: usize,
+    num_predictions: usize,
+    backend: Backend,
+) -> Result<ThroughputPoint, SprintError> {
     SprintError::require_nonzero("measure_throughput::num_predictions", num_predictions)?;
     SprintError::require_nonzero(
         "measure_throughput::queries_per_prediction",
@@ -59,7 +84,7 @@ pub fn measure_throughput(
         })
         .collect();
     let start = Instant::now();
-    let results = run_batch(configs, threads)?;
+    let results = run_batch_with(configs, threads, backend)?;
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
 
     let mut stats = StreamingStats::new();
@@ -120,6 +145,15 @@ mod tests {
             large.cov_percent,
             small.cov_percent
         );
+    }
+
+    #[test]
+    fn backends_estimate_identically() {
+        let pool = measure_throughput_with(&profile(), &cond(), 400, 2, 6, Backend::Pool).unwrap();
+        let spawn =
+            measure_throughput_with(&profile(), &cond(), 400, 2, 6, Backend::Reference).unwrap();
+        // Wall-clock differs; the estimates (and thus CoV) must not.
+        assert_eq!(pool.cov_percent.to_bits(), spawn.cov_percent.to_bits());
     }
 
     #[test]

@@ -80,6 +80,11 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// The trained trees, for flattening.
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
     /// The base feature index leaves regress on.
     pub fn base_feature(&self) -> usize {
         self.base_feature

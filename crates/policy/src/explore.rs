@@ -53,6 +53,15 @@ pub struct AnnealingResult {
 ///
 /// All other policy parameters are fixed by `base`.
 ///
+/// Common random numbers: simulator-backed models (`NoMlModel`,
+/// `HybridModel`) evaluate candidates through a per-model trace cache,
+/// so every candidate timeout in one search replays *identical*
+/// pre-materialized arrival/service draws. The timeout only changes
+/// how the simulator consumes that randomness, never the draws
+/// themselves, so candidate comparisons are policy-only (lower
+/// estimator variance) and a rerun at the same seed reproduces the
+/// trace byte-for-byte.
+///
 /// # Errors
 ///
 /// Returns [`SprintError::InvalidConfig`] for zero iterations,

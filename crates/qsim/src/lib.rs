@@ -44,11 +44,19 @@
 //! typed errors.
 
 pub mod config;
+mod direct;
 pub mod multiclass;
 pub mod parallel;
+pub mod pool;
 pub mod sim;
+pub mod trace;
 
 pub use config::{QsimConfig, QsimResult};
 pub use multiclass::{ClassSpec, MultiClassConfig, MultiClassQsim, MultiClassResult};
-pub use parallel::{predict_mean_response, run_batch};
+pub use parallel::{
+    predict_mean_response, predict_mean_response_reference, predict_mean_response_traced,
+    replication_seed, run_batch, run_batch_with, Backend,
+};
+pub use pool::SimPool;
 pub use sim::Qsim;
+pub use trace::{SimTrace, TraceCache};

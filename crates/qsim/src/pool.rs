@@ -1,0 +1,290 @@
+//! Persistent worker pool for prediction batches.
+//!
+//! Fig. 11 measures *sustained* prediction throughput — hundreds of
+//! predictions per minute — and at that rate the cost of spawning a
+//! fresh `thread::scope` per prediction is pure overhead. [`SimPool`]
+//! keeps a fixed set of workers alive for the process lifetime and
+//! hands them batches through a shared queue.
+//!
+//! Ordering and determinism: [`SimPool::run_ordered`] returns results
+//! in input order regardless of which worker ran which task, and the
+//! tasks themselves are deterministic (seeded simulations), so the pool
+//! is bit-identical to sequential execution by construction.
+//!
+//! Deadlock freedom on small machines: the *caller* participates in
+//! draining its own batch, so a batch completes even with zero free
+//! workers (or a single-core host where the pool has one worker that is
+//! busy elsewhere). Worker panics are confined to the panicking task's
+//! slot (`None`), never poisoning the pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work_available: Condvar,
+}
+
+/// A long-lived pool of simulation workers.
+///
+/// Most callers want [`SimPool::global`], which lazily spawns one pool
+/// sized to the machine and reuses it for every batch in the process.
+pub struct SimPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// One batch of same-typed tasks, drained cooperatively by pool workers
+/// and the submitting caller.
+struct Batch<T> {
+    #[allow(clippy::type_complexity)]
+    tasks: Vec<Mutex<Option<Box<dyn FnOnce() -> T + Send>>>>,
+    results: Vec<Mutex<Option<T>>>,
+    next: AtomicUsize,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+fn drain<T>(batch: &Batch<T>) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.tasks.len() {
+            return;
+        }
+        let task = batch.tasks[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        // Claimed indexes are unique (fetch_add), so the task is always
+        // present; a panicking task leaves `None` in its result slot.
+        let out = task.and_then(|t| catch_unwind(AssertUnwindSafe(t)).ok());
+        *batch.results[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = out;
+        let mut remaining = batch
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *remaining -= 1;
+        if *remaining == 0 {
+            batch.done.notify_all();
+        }
+    }
+}
+
+impl SimPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> SimPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        SimPool { shared, workers }
+    }
+
+    /// The process-wide pool, sized to the machine and spawned on first
+    /// use.
+    pub fn global() -> &'static SimPool {
+        static GLOBAL: OnceLock<SimPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            SimPool::new(n)
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Runs `tasks` with at most `parallelism` concurrent executors
+    /// (the caller plus up to `parallelism - 1` pool workers) and
+    /// returns results in input order. A slot is `None` only if its
+    /// task panicked.
+    ///
+    /// The caller always participates in draining the batch, so this
+    /// never deadlocks even if every pool worker is busy with other
+    /// batches.
+    pub fn run_ordered<T, F>(&self, tasks: Vec<F>, parallelism: usize) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            tasks: tasks
+                .into_iter()
+                .map(|f| Mutex::new(Some(Box::new(f) as Box<dyn FnOnce() -> T + Send>)))
+                .collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        let helpers = parallelism
+            .saturating_sub(1)
+            .min(self.workers.len())
+            .min(n.saturating_sub(1));
+        for _ in 0..helpers {
+            let batch = Arc::clone(&batch);
+            self.submit(Box::new(move || drain(&batch)));
+        }
+        drain(&batch);
+        let mut remaining = batch
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *remaining > 0 {
+            remaining = batch
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(remaining);
+        batch
+            .results
+            .iter()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner).take())
+            .collect()
+    }
+}
+
+impl Drop for SimPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            q.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared
+                    .work_available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            // Jobs are panic-safe (drain catches per-task panics), but
+            // shield the worker thread regardless.
+            Some(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let pool = SimPool::new(4);
+        let tasks: Vec<_> = (0..64usize).map(|i| move || i * 3).collect();
+        let out = pool.run_ordered(tasks, 4);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r, Some(i * 3));
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = SimPool::new(2);
+        for round in 0..10usize {
+            let tasks: Vec<_> = (0..8usize).map(|i| move || i + round).collect();
+            let out = pool.run_ordered(tasks, 2);
+            assert!(out.iter().enumerate().all(|(i, r)| *r == Some(i + round)));
+        }
+    }
+
+    #[test]
+    fn panicking_task_yields_none_without_poisoning() {
+        let pool = SimPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let out = pool.run_ordered(tasks, 2);
+        assert_eq!(out, vec![Some(1), None, Some(3)]);
+        // The pool still works afterwards.
+        let again = pool.run_ordered(vec![|| 7usize], 2);
+        assert_eq!(again, vec![Some(7)]);
+    }
+
+    #[test]
+    fn caller_drains_alone_at_parallelism_one() {
+        let pool = SimPool::new(4);
+        let tasks: Vec<_> = (0..16usize).map(|i| move || i).collect();
+        assert_eq!(
+            pool.run_ordered(tasks, 1),
+            (0..16usize).map(Some).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = SimPool::new(1);
+        let out: Vec<Option<usize>> = pool.run_ordered(Vec::<fn() -> usize>::new(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn global_pool_exists_and_is_sized() {
+        let p = SimPool::global();
+        assert!(p.workers() >= 1);
+        let out = p.run_ordered(vec![|| 42usize], 8);
+        assert_eq!(out, vec![Some(42)]);
+    }
+}

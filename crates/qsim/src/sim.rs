@@ -8,12 +8,76 @@
 //! [`QsimConfig::sprint_speedup`].
 
 use crate::config::{QsimConfig, QsimResult, SimQuery};
+use crate::trace::SimTrace;
 use simcore::dist::Dist;
 use simcore::event::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use simcore::SprintError;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The simulator's randomness source: live distribution sampling or a
+/// pre-materialized [`SimTrace`] replay (common random numbers).
+///
+/// Both engines (event-driven and direct) consume inputs exclusively
+/// through this enum, which is what guarantees a trace-driven run is
+/// bit-identical to a live run of the same seed: the trace was drawn
+/// with the same stream derivation and draw order.
+#[derive(Debug)]
+pub(crate) enum Inputs {
+    /// Draw from distributions as the simulation progresses.
+    Live {
+        arrival_dist: Dist,
+        arrival_rng: SimRng,
+        service_rng: SimRng,
+    },
+    /// Replay pre-drawn gaps and service demands by index.
+    Trace {
+        trace: Arc<SimTrace>,
+        gaps_used: usize,
+        services_used: usize,
+    },
+}
+
+impl Inputs {
+    /// Next inter-arrival gap.
+    #[inline]
+    pub(crate) fn next_gap(&mut self) -> SimDuration {
+        match self {
+            Inputs::Live {
+                arrival_dist,
+                arrival_rng,
+                ..
+            } => arrival_dist.sample(arrival_rng),
+            Inputs::Trace {
+                trace, gaps_used, ..
+            } => {
+                let g = trace.gap(*gaps_used);
+                *gaps_used += 1;
+                g
+            }
+        }
+    }
+
+    /// Next service demand in sustained-rate seconds, floored at 1 µs
+    /// (sub-microsecond work would strand zero-length events).
+    #[inline]
+    pub(crate) fn next_service_secs(&mut self, service: &Dist) -> f64 {
+        match self {
+            Inputs::Live { service_rng, .. } => service.sample(service_rng).as_secs_f64().max(1e-6),
+            Inputs::Trace {
+                trace,
+                services_used,
+                ..
+            } => {
+                let s = trace.service_secs(*services_used);
+                *services_used += 1;
+                s
+            }
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -66,16 +130,27 @@ impl RunningQuery {
 
 /// Lazy sprint-budget pool (drains while sprinting, refills when idle).
 #[derive(Debug)]
-struct Pool {
-    capacity: f64,
-    level: f64,
-    refill_secs: f64,
-    sprinting: usize,
-    last: SimTime,
+pub(crate) struct Pool {
+    pub(crate) capacity: f64,
+    pub(crate) level: f64,
+    pub(crate) refill_secs: f64,
+    pub(crate) sprinting: usize,
+    pub(crate) last: SimTime,
 }
 
 impl Pool {
-    fn update(&mut self, now: SimTime) {
+    /// A full pool for `cfg`, last updated at time zero.
+    pub(crate) fn new(cfg: &QsimConfig) -> Pool {
+        Pool {
+            capacity: cfg.budget_capacity_secs,
+            level: cfg.budget_capacity_secs,
+            refill_secs: cfg.refill_secs.max(1e-9),
+            sprinting: 0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    pub(crate) fn update(&mut self, now: SimTime) {
         let dt = now.since(self.last).as_secs_f64();
         self.last = now;
         if self.capacity.is_infinite() {
@@ -88,13 +163,13 @@ impl Pool {
         }
     }
 
-    fn available(&self) -> bool {
+    pub(crate) fn available(&self) -> bool {
         // Levels below one microsecond count as empty so exhaustion
         // horizons never round to zero-length events.
         self.level > 1e-6 || self.capacity.is_infinite()
     }
 
-    fn seconds_to_exhaustion(&self) -> Option<f64> {
+    pub(crate) fn seconds_to_exhaustion(&self) -> Option<f64> {
         if self.sprinting == 0 || self.capacity.is_infinite() {
             None
         } else {
@@ -116,9 +191,41 @@ fn occupied<'s>(
         .ok_or_else(|| SprintError::runtime(ctx, format!("slot {slot} unexpectedly empty")))
 }
 
+/// Validates a configuration; shared by every constructor and engine.
+pub(crate) fn validate(cfg: &QsimConfig) -> Result<(), SprintError> {
+    SprintError::require_nonzero("QsimConfig::slots", cfg.slots)?;
+    SprintError::require_nonzero("QsimConfig::num_queries", cfg.num_queries)?;
+    // Effective sprint rates below the service rate are permitted:
+    // Eq. 2's calibration may push µe under µ when runtime drag
+    // (interrupt servicing, toggles) slows loaded systems beyond
+    // what any sprint speedup explains.
+    SprintError::require_positive("QsimConfig::sprint_speedup", cfg.sprint_speedup)?;
+    SprintError::require_non_negative(
+        "QsimConfig::budget_capacity_secs",
+        cfg.budget_capacity_secs,
+    )?;
+    // Zero refill means "instant" (clamped at use); negative or NaN
+    // is rejected.
+    if cfg.refill_secs.is_nan() || cfg.refill_secs < 0.0 {
+        return Err(SprintError::invalid(
+            "QsimConfig::refill_secs",
+            format!("must be >= 0 and not NaN, got {}", cfg.refill_secs),
+        ));
+    }
+    Ok(())
+}
+
+/// Whether this configuration can sprint at all: a real speedup, a
+/// non-empty budget, and a finite timeout.
+pub(crate) fn sprinting_possible(cfg: &QsimConfig) -> bool {
+    (cfg.sprint_speedup - 1.0).abs() > 1e-12
+        && (cfg.budget_capacity_secs > 0.0 || cfg.budget_capacity_secs.is_infinite())
+        && cfg.timeout < SimDuration::MAX
+}
+
 /// The queue simulator.
 pub struct Qsim {
-    cfg: QsimConfig,
+    cfg: Arc<QsimConfig>,
     events: EventQueue<Ev>,
     fifo: VecDeque<u64>,
     slots: Vec<Option<RunningQuery>>,
@@ -126,9 +233,7 @@ pub struct Qsim {
     queries: Vec<QInfo>,
     done: usize,
     arrivals_left: usize,
-    arrival_dist: Dist,
-    arrival_rng: SimRng,
-    service_rng: SimRng,
+    inputs: Inputs,
     next_gen: u64,
 }
 
@@ -140,25 +245,18 @@ impl Qsim {
     /// Returns [`SprintError::InvalidConfig`] on zero slots/queries, a
     /// non-positive sprint speedup, or an invalid budget.
     pub fn new(cfg: QsimConfig) -> Result<Qsim, SprintError> {
-        SprintError::require_nonzero("QsimConfig::slots", cfg.slots)?;
-        SprintError::require_nonzero("QsimConfig::num_queries", cfg.num_queries)?;
-        // Effective sprint rates below the service rate are permitted:
-        // Eq. 2's calibration may push µe under µ when runtime drag
-        // (interrupt servicing, toggles) slows loaded systems beyond
-        // what any sprint speedup explains.
-        SprintError::require_positive("QsimConfig::sprint_speedup", cfg.sprint_speedup)?;
-        SprintError::require_non_negative(
-            "QsimConfig::budget_capacity_secs",
-            cfg.budget_capacity_secs,
-        )?;
-        // Zero refill means "instant" (clamped below); negative or NaN
-        // is rejected.
-        if cfg.refill_secs.is_nan() || cfg.refill_secs < 0.0 {
-            return Err(SprintError::invalid(
-                "QsimConfig::refill_secs",
-                format!("must be >= 0 and not NaN, got {}", cfg.refill_secs),
-            ));
-        }
+        Qsim::shared(Arc::new(cfg))
+    }
+
+    /// Builds a simulator over a shared configuration — the batch path,
+    /// which avoids cloning the (possibly large, empirical-table-
+    /// carrying) config per task.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Qsim::new`].
+    pub fn shared(cfg: Arc<QsimConfig>) -> Result<Qsim, SprintError> {
+        validate(&cfg)?;
         let mut root = SimRng::new(cfg.seed);
         let arrival_rng = root.split(1);
         let service_rng = root.split(2);
@@ -166,29 +264,72 @@ impl Qsim {
             kind: cfg.arrival_kind,
             mean: cfg.arrival_rate.mean_interval(),
         };
-        Ok(Qsim {
+        Ok(Qsim::build(
+            cfg,
+            Inputs::Live {
+                arrival_dist,
+                arrival_rng,
+                service_rng,
+            },
+        ))
+    }
+
+    /// Builds a simulator that replays a pre-materialized trace instead
+    /// of drawing live randomness (`cfg.seed` is ignored; the trace
+    /// carries its own). See [`crate::trace`] for why: trace reuse
+    /// eliminates redundant sampling and gives candidate policies
+    /// common random numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::InvalidConfig`] if the config is invalid
+    /// or the trace is shorter than `cfg.num_queries`.
+    pub fn with_trace(cfg: Arc<QsimConfig>, trace: Arc<SimTrace>) -> Result<Qsim, SprintError> {
+        validate(&cfg)?;
+        if trace.len() < cfg.num_queries {
+            return Err(SprintError::invalid(
+                "Qsim::with_trace",
+                format!(
+                    "trace covers {} queries, config needs {}",
+                    trace.len(),
+                    cfg.num_queries
+                ),
+            ));
+        }
+        Ok(Qsim::build(
+            cfg,
+            Inputs::Trace {
+                trace,
+                gaps_used: 0,
+                services_used: 0,
+            },
+        ))
+    }
+
+    fn build(cfg: Arc<QsimConfig>, inputs: Inputs) -> Qsim {
+        Qsim {
             events: EventQueue::new(),
             fifo: VecDeque::new(),
             slots: (0..cfg.slots).map(|_| None).collect(),
-            pool: Pool {
-                capacity: cfg.budget_capacity_secs,
-                level: cfg.budget_capacity_secs,
-                refill_secs: cfg.refill_secs.max(1e-9),
-                sprinting: 0,
-                last: SimTime::ZERO,
-            },
+            pool: Pool::new(&cfg),
             queries: Vec::with_capacity(cfg.num_queries),
             done: 0,
             arrivals_left: cfg.num_queries,
-            arrival_dist,
-            arrival_rng,
-            service_rng,
+            inputs,
             next_gen: 0,
             cfg,
-        })
+        }
     }
 
     /// Runs to completion and returns steady-state per-query outcomes.
+    ///
+    /// Single-slot configurations (k = 1, the entire prediction path)
+    /// take the heap-free direct engine in [`crate::direct`];
+    /// multi-slot configurations take the event calendar. Both produce
+    /// bit-identical results where their domains overlap — the direct
+    /// engine replicates the calendar's microsecond quantization and
+    /// floating-point operation order exactly, and a regression test
+    /// sweeps randomized configurations to hold that line.
     ///
     /// # Errors
     ///
@@ -196,8 +337,51 @@ impl Qsim {
     /// with queries outstanding or a slot invariant is violated — both
     /// indicate a simulator bug, surfaced as a typed error rather than
     /// a panic so batch sweeps can report and continue.
-    pub fn run(mut self) -> Result<QsimResult, SprintError> {
-        let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+    pub fn run(self) -> Result<QsimResult, SprintError> {
+        if self.cfg.slots == 1 {
+            let Qsim {
+                cfg, mut inputs, ..
+            } = self;
+            crate::direct::run_direct(&cfg, &mut inputs)
+        } else {
+            self.run_event_driven()
+        }
+    }
+
+    /// Runs to completion and returns only the steady-state mean
+    /// response time — bit-identical to
+    /// `run()?.mean_response_secs()` (same values summed in the same
+    /// order) but without materializing per-query records on the
+    /// single-slot fast path. Prediction batches use this.
+    ///
+    /// # Errors
+    ///
+    /// As [`Qsim::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no steady-state queries, mirroring
+    /// [`QsimResult::mean_response_secs`].
+    pub fn run_mean_response(self) -> Result<f64, SprintError> {
+        if self.cfg.slots == 1 {
+            let Qsim {
+                cfg, mut inputs, ..
+            } = self;
+            crate::direct::run_direct_mean(&cfg, &mut inputs)
+        } else {
+            Ok(self.run_event_driven()?.mean_response_secs())
+        }
+    }
+
+    /// Runs to completion on the event-calendar engine regardless of
+    /// slot count — the reference implementation the direct engine is
+    /// tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Qsim::run`].
+    pub fn run_event_driven(mut self) -> Result<QsimResult, SprintError> {
+        let gap = self.inputs.next_gap();
         self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
         while self.done < self.cfg.num_queries {
             let Some((now, ev)) = self.events.pop() else {
@@ -233,12 +417,7 @@ impl Qsim {
 
     fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
         let id = self.queries.len() as u64;
-        let service_secs = self
-            .cfg
-            .service
-            .sample(&mut self.service_rng)
-            .as_secs_f64()
-            .max(1e-6);
+        let service_secs = self.inputs.next_service_secs(&self.cfg.service);
         self.queries.push(QInfo {
             arrival: now,
             depart: SimTime::ZERO,
@@ -261,7 +440,7 @@ impl Qsim {
         }
         self.arrivals_left -= 1;
         if self.arrivals_left > 0 {
-            let gap = self.arrival_dist.sample(&mut self.arrival_rng);
+            let gap = self.inputs.next_gap();
             self.events.schedule(now + gap, Ev::Arrival);
         }
         Ok(())
@@ -409,9 +588,7 @@ impl Qsim {
     }
 
     fn sprinting_possible(&self) -> bool {
-        (self.cfg.sprint_speedup - 1.0).abs() > 1e-12
-            && (self.cfg.budget_capacity_secs > 0.0 || self.cfg.budget_capacity_secs.is_infinite())
-            && self.cfg.timeout < SimDuration::MAX
+        sprinting_possible(&self.cfg)
     }
 }
 

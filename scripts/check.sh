@@ -22,4 +22,10 @@ run cargo clippy --all-targets --workspace --offline -- -D warnings
 # supervision fails to improve SLO attainment.
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
+# Prediction fast-path gate: asserts fast/reference bit-identity, the
+# >=3X explorer speedup, and — when a BENCH_qsim.json baseline is
+# committed — that pooled prediction throughput has not regressed more
+# than 30% below it.
+run ./target/release/perf_smoke > /dev/null
+
 echo "All checks passed."
