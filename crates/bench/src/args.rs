@@ -21,12 +21,11 @@ impl Args {
         let mut it = iter.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = it.next().expect("peeked value exists");
+                match it.next_if(|v| !v.starts_with("--")) {
+                    Some(v) => {
                         args.values.insert(name.to_string(), v);
                     }
-                    _ => args.flags.push(name.to_string()),
+                    None => args.flags.push(name.to_string()),
                 }
             }
         }

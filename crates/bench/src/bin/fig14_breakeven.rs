@@ -64,12 +64,13 @@ fn main() -> Result<(), SprintError> {
         ),
         None => println!("hybrid never breaks even within the lifetime"),
     }
-    let last = timeline.last().expect("timeline non-empty");
-    println!(
-        "lifetime ({SERVER_LIFETIME_HOURS:.0} h) revenue: hybrid {:.2}X aws, ann {:.2}X aws \
-         (paper: 1.6X for the hybrid model)",
-        last.model_hybrid / last.aws,
-        last.model_ann / last.aws
-    );
+    if let Some(last) = timeline.last() {
+        println!(
+            "lifetime ({SERVER_LIFETIME_HOURS:.0} h) revenue: hybrid {:.2}X aws, ann {:.2}X aws \
+             (paper: 1.6X for the hybrid model)",
+            last.model_hybrid / last.aws,
+            last.model_ann / last.aws
+        );
+    }
     Ok(())
 }

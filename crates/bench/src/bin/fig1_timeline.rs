@@ -54,10 +54,14 @@ fn main() -> Result<(), SprintError> {
     let mech = CpuThrottle::new(0.2);
 
     // Panel 1: the Fig. 1 timeline — early queries drain the budget,
-    // later ones cannot sprint despite slow responses.
+    // later ones cannot sprint despite slow responses. Powered by the
+    // flight recorder: sprint engages/ends come from the event log, not
+    // from re-deriving them out of the per-query records.
     println!("Figure 1: query executions under a tight sprinting budget");
     println!("(timeout 60s; budget drains after the early sprints)\n");
-    let r = testbed::server::run(scenario(60.0, seed), &mech)?;
+    let mut server = testbed::Server::new(scenario(60.0, seed), &mech)?;
+    server.attach_recorder(4096);
+    let r = server.run()?;
     let records = &r.records()[..10.min(r.records().len())];
     let t0 = records[0].arrival;
     let mut table = TextTable::new(vec![
@@ -81,6 +85,28 @@ fn main() -> Result<(), SprintError> {
         ]);
     }
     println!("{}", table.render());
+
+    // Flight-recorder view of the same run: every sprint engage/end,
+    // straight from the event log.
+    if let Some(t) = r.telemetry() {
+        let sprint_events: Vec<obs::Event> = t
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    obs::EventKind::SprintEngaged { .. } | obs::EventKind::SprintEnded { .. }
+                )
+            })
+            .take(16)
+            .copied()
+            .collect();
+        println!(
+            "Sprint events (flight recorder, first {}):",
+            sprint_events.len()
+        );
+        println!("{}", obs::render_timeline(&sprint_events));
+    }
 
     // Panel 2: timeout sensitivity (the intro's too-aggressive /
     // sweet-spot / too-conservative example).

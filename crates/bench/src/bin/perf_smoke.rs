@@ -13,6 +13,10 @@
 //!    pool vs the spawn-per-call reference.
 //! 3. **Forest inference**: flattened-arena vs pointer-chasing
 //!    predictions (bit-identical; nanoseconds per call).
+//! 4. **Telemetry overhead**: the same explorer search with the
+//!    metrics registry enabled vs disabled. The results must agree
+//!    bit-for-bit (telemetry is a pure observer) and the enabled run
+//!    may cost at most 5% more wall-clock.
 //!
 //! Methodology: everything is synthetic and seeded — a fixed workload
 //! profile (µ = 50 qph, µₘ = 75 qph, 100 empirical service samples),
@@ -50,6 +54,10 @@ const REGRESSION_FLOOR: f64 = 0.7;
 /// The explorer fast path must beat the pre-fast-path reference by at
 /// least this factor (the PR's headline acceptance criterion).
 const MIN_EXPLORER_SPEEDUP: f64 = 3.0;
+
+/// Enabled-mode telemetry may slow the explorer leg by at most this
+/// fraction over a disabled-mode run of the identical search.
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.05;
 
 fn profile() -> WorkloadProfile {
     WorkloadProfile {
@@ -131,6 +139,46 @@ fn bench_explorer(p: &WorkloadProfile) -> Result<ExplorerLeg, SprintError> {
         slow_secs,
         speedup: slow_secs / fast_secs.max(1e-12),
         best_timeout_secs,
+    })
+}
+
+struct TelemetryLeg {
+    disabled_secs: f64,
+    enabled_secs: f64,
+    overhead_frac: f64,
+}
+
+fn bench_telemetry(p: &WorkloadProfile) -> Result<TelemetryLeg, SprintError> {
+    let accfg = AnnealingConfig::default();
+    let base = cond();
+    // Min-of-K over fresh models, mirroring the explorer leg: each rep
+    // pays full cold-cache search cost, so enabled vs disabled compare
+    // the same work and min-of-K filters scheduler noise (which is far
+    // larger than the overhead being gated).
+    const REPS: usize = 5;
+    let mut disabled_secs = f64::MAX;
+    let mut enabled_secs = f64::MAX;
+    for _ in 0..REPS {
+        let off_model = NoMlModel::new(p.clone(), SimOptions::default());
+        obs::set_enabled(false);
+        let (off, off_t) = time(|| explore_timeout(&off_model, &base, &accfg));
+        let on_model = NoMlModel::new(p.clone(), SimOptions::default());
+        obs::set_enabled(true);
+        let (on, on_t) = time(|| explore_timeout(&on_model, &base, &accfg));
+        obs::set_enabled(false);
+        let (off, on) = (off?, on?);
+        assert_eq!(
+            off.best_timeout_secs.to_bits(),
+            on.best_timeout_secs.to_bits(),
+            "telemetry must not perturb the search result"
+        );
+        disabled_secs = disabled_secs.min(off_t);
+        enabled_secs = enabled_secs.min(on_t);
+    }
+    Ok(TelemetryLeg {
+        disabled_secs,
+        enabled_secs,
+        overhead_frac: enabled_secs / disabled_secs.max(1e-12) - 1.0,
     })
 }
 
@@ -244,6 +292,21 @@ fn main() -> Result<(), SprintError> {
         forest_leg.flat_ns, forest_leg.pointer_ns
     );
 
+    eprintln!("perf_smoke: telemetry leg (explorer with metrics enabled vs disabled) ...");
+    let telemetry = bench_telemetry(&p)?;
+    println!(
+        "telemetry: disabled {:.3}s  enabled {:.3}s  overhead {:+.1}%",
+        telemetry.disabled_secs,
+        telemetry.enabled_secs,
+        telemetry.overhead_frac * 100.0
+    );
+    assert!(
+        telemetry.overhead_frac <= MAX_TELEMETRY_OVERHEAD,
+        "enabled-mode telemetry overhead must stay <= {:.0}%, measured {:+.1}%",
+        MAX_TELEMETRY_OVERHEAD * 100.0,
+        telemetry.overhead_frac * 100.0
+    );
+
     let json = Json::Obj(vec![
         ("bench".to_string(), Json::Str("qsim_fastpath".to_string())),
         ("schema_version".to_string(), Json::Num(1.0)),
@@ -295,6 +358,23 @@ fn main() -> Result<(), SprintError> {
                 (
                     "pointer_ns_per_pred".to_string(),
                     Json::Num(forest_leg.pointer_ns),
+                ),
+            ]),
+        ),
+        (
+            "telemetry".to_string(),
+            Json::Obj(vec![
+                (
+                    "disabled_secs".to_string(),
+                    Json::Num(telemetry.disabled_secs),
+                ),
+                (
+                    "enabled_secs".to_string(),
+                    Json::Num(telemetry.enabled_secs),
+                ),
+                (
+                    "overhead_frac".to_string(),
+                    Json::Num(telemetry.overhead_frac),
                 ),
             ]),
         ),

@@ -6,9 +6,10 @@
 //!             [--workload NAME] [--p99-factor F]
 //! ```
 //!
-//! Prints a JSON report to stdout and exits non-zero if any invariant
-//! was violated or supervision failed to improve SLO attainment in
-//! every cell.
+//! Prints a JSON report to stdout — including per-cell model-health
+//! breaker dwell times and the flight-recorder tail of any violating
+//! run — and exits non-zero if any invariant was violated or
+//! supervision failed to improve SLO attainment in every cell.
 
 use chaos::{sweep, SweepConfig};
 use workloads::WorkloadKind;
@@ -59,6 +60,19 @@ fn main() -> std::process::ExitCode {
         }
     };
     println!("{}", report.to_json().to_string_pretty());
+    for c in &report.cells {
+        eprintln!(
+            "{}/{}: breaker dwell full={:.0}s stale={:.0}s no-sprint={:.0}s \
+             ({} transitions, {} recorded interventions)",
+            c.workload.name(),
+            c.mechanism.name(),
+            c.breaker_dwell_secs[0],
+            c.breaker_dwell_secs[1],
+            c.breaker_dwell_secs[2],
+            c.breaker_transitions,
+            c.recorded_interventions,
+        );
+    }
     let n = report.violations().count();
     if n > 0 {
         eprintln!("{n} invariant violation(s)");

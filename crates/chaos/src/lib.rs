@@ -15,23 +15,34 @@
 //! 4. **No-op plans are free** — an all-off [`FaultPlan`] under
 //!    supervision is bit-identical to running with no plan at all;
 //! 5. **Bounded degradation** — the supervised P99 under faults stays
-//!    within a configured factor of the fault-free P99.
+//!    within a configured factor of the fault-free P99;
+//! 6. **No silent degradation** — a cell whose supervised SLO
+//!    attainment fell measurably below the fault-free baseline must
+//!    show at least one recorded intervention (supervisor recovery,
+//!    flight-recorder intervention event, or breaker transition).
 //!
 //! Alongside the invariants it measures *recovery efficacy*: SLO
 //! attainment with supervision on versus off under the same fault
-//! plans, reported per (workload, mechanism) cell. The `chaos_sweep`
-//! binary emits the whole report as JSON.
+//! plans, reported per (workload, mechanism) cell. Every supervised
+//! run carries an [`obs`] flight recorder; a model-health breaker
+//! ([`sprint_core::ModelHealthMonitor`]) is driven from each run's
+//! observed response times against the fault-free mean, yielding
+//! per-cell breaker dwell times, and the last few recorder events of a
+//! violating run are attached to its cell. The `chaos_sweep` binary
+//! emits the whole report as JSON.
 
 #![deny(unreachable_pub)]
 
 use faults::FaultPlan;
 use mechanisms::MechanismKind;
+use obs::{Event, FlightRecorder, RunTelemetry};
 use simcore::rng::SimRng;
-use simcore::time::{Rate, SimDuration};
+use simcore::time::{Rate, SimDuration, SimTime};
 use simcore::SprintError;
+use sprint_core::{BreakerConfig, ModelHealthMonitor};
 use testbed::{
-    run_supervised, run_with_faults, ArrivalSpec, RecoveryCounters, RunResult, ServerConfig,
-    SprintPolicy, SupervisorConfig,
+    run_supervised, run_supervised_recorded, run_with_faults, ArrivalSpec, RecoveryCounters,
+    RunResult, ServerConfig, SprintPolicy, SupervisorConfig,
 };
 use workloads::{QueryMix, WorkloadKind};
 
@@ -237,6 +248,38 @@ fn runs_identical(a: &RunResult, b: &RunResult) -> bool {
         && a.fault_counters() == b.fault_counters()
         && a.recovery_counters() == b.recovery_counters()
         && a.arrived() == b.arrived()
+        && a.telemetry() == b.telemetry()
+}
+
+/// Flight-recorder ring size for supervised sweep runs.
+const RECORDER_CAPACITY: usize = 256;
+
+/// How many trailing recorder events a violating run attaches to its
+/// cell report.
+const VIOLATION_EVENT_TAIL: usize = 12;
+
+/// Attainment drop below the fault-free baseline (absolute) past which
+/// a cell counts as SLO-degraded and must show an intervention.
+const SILENT_DEGRADATION_SLACK: f64 = 0.02;
+
+/// Drives the model-health breaker from a finished run: each served
+/// query's observed response time is compared against the fault-free
+/// mean response (standing in for the model's prediction), and level
+/// changes are logged into a fresh flight recorder. Returns the breaker
+/// telemetry and the dwell clock's end instant (the last departure).
+fn drive_breaker(
+    clean_mean_secs: f64,
+    run: &RunResult,
+) -> Result<(RunTelemetry, SimTime), SprintError> {
+    let mut monitor = ModelHealthMonitor::new(BreakerConfig::default())?;
+    let mut rec = FlightRecorder::default();
+    let mut end = SimTime::ZERO;
+    for q in run.records() {
+        let observed = q.depart.since(q.arrival).as_secs_f64();
+        end = end.max(q.depart);
+        monitor.observe_with_recorder(clean_mean_secs, observed, q.depart, &mut rec);
+    }
+    Ok((rec.finish(), end))
 }
 
 /// Sweeps one (workload, mechanism) cell: `seeds_per_cell` randomized
@@ -267,14 +310,19 @@ pub fn run_cell(
         .split(1 + workload as u64)
         .split(101 + mechanism as u64);
 
-    // Fault-free reference runs per policy: invariant 5's baseline P99
-    // and invariant 4's no-op-plan comparison.
+    // Fault-free reference runs per policy: invariant 5's baseline P99,
+    // invariant 4's no-op-plan comparison, and the baseline attainment
+    // and mean response that invariant 6 and the breaker drive against.
     let mut p99_ref = [0.0_f64; PolicyKind::ALL.len()];
+    let mut clean_mean = [0.0_f64; PolicyKind::ALL.len()];
+    let mut clean_attainment = [0.0_f64; PolicyKind::ALL.len()];
     for (i, policy) in PolicyKind::ALL.iter().enumerate() {
         let base_seed = cell_rng.next_u64();
         let clean_cfg = server_config(cfg, workload, sustained, *policy, base_seed);
         let clean = run_supervised(clean_cfg.clone(), mech.as_ref(), None, sup)?;
         p99_ref[i] = clean.response_quantile_secs(0.99);
+        clean_mean[i] = clean.mean_response_secs();
+        clean_attainment[i] = clean.slo_attainment(slo_secs);
         let noop = run_supervised(clean_cfg, mech.as_ref(), Some(FaultPlan::default()), sup)?;
         if !runs_identical(&clean, &noop) {
             violations.push(Violation {
@@ -290,6 +338,10 @@ pub fn run_cell(
     let mut runs = 0u64;
     let mut recovery = RecoveryCounters::default();
     let mut fault_events = 0u64;
+    let mut breaker_dwell = [0.0_f64; 3];
+    let mut breaker_transitions = 0u64;
+    let mut recorded_interventions = 0u64;
+    let mut violation_events: Vec<Event> = Vec::new();
     for s in 0..cfg.seeds_per_cell {
         let run_seed = cell_rng.next_u64();
         let plan_seed = cell_rng.next_u64();
@@ -303,9 +355,22 @@ pub fn run_cell(
                 s
             );
             let scfg = server_config(cfg, workload, sustained, *policy, run_seed);
-            let on = run_supervised(scfg.clone(), mech.as_ref(), Some(plan.clone()), sup)?;
+            let on = run_supervised_recorded(
+                scfg.clone(),
+                mech.as_ref(),
+                Some(plan.clone()),
+                sup,
+                RECORDER_CAPACITY,
+            )?;
+            let before_violations = violations.len();
             check_invariants(cfg, &sup, &label, &on, p99_ref[i], &mut violations);
-            let replay = run_supervised(scfg.clone(), mech.as_ref(), Some(plan.clone()), sup)?;
+            let replay = run_supervised_recorded(
+                scfg.clone(),
+                mech.as_ref(),
+                Some(plan.clone()),
+                sup,
+                RECORDER_CAPACITY,
+            )?;
             if !runs_identical(&on, &replay) {
                 violations.push(Violation {
                     case: label.clone(),
@@ -313,7 +378,21 @@ pub fn run_cell(
                     details: "identical seeds produced diverging runs".to_string(),
                 });
             }
+            // A violating run attaches the tail of its event log so the
+            // report shows what the server was doing when it went wrong.
+            if violations.len() > before_violations && violation_events.is_empty() {
+                if let Some(t) = on.telemetry() {
+                    violation_events = t.last(VIOLATION_EVENT_TAIL).to_vec();
+                }
+            }
             let off = run_with_faults(scfg, mech.as_ref(), plan.clone())?;
+            let (breaker, breaker_end) = drive_breaker(clean_mean[i], &on)?;
+            let dwell = breaker.breaker_dwell_secs(breaker_end);
+            for (acc, d) in breaker_dwell.iter_mut().zip(dwell) {
+                *acc += d;
+            }
+            breaker_transitions += breaker.breaker_transitions() as u64;
+            recorded_interventions += on.telemetry().map_or(0, RunTelemetry::interventions) as u64;
             attainment_on += on.slo_attainment(slo_secs);
             attainment_off += off.slo_attainment(slo_secs);
             runs += 1;
@@ -324,6 +403,26 @@ pub fn run_cell(
     attainment_on /= runs as f64;
     attainment_off /= runs as f64;
 
+    // Invariant 6: degraded attainment must leave a trace. A cell whose
+    // supervised attainment fell measurably below the fault-free
+    // baseline with zero supervisor recoveries, zero recorded
+    // interventions and zero breaker transitions degraded *silently* —
+    // exactly what the telemetry layer exists to rule out.
+    let clean_attainment_mean =
+        clean_attainment.iter().sum::<f64>() / clean_attainment.len() as f64;
+    if attainment_on < clean_attainment_mean - SILENT_DEGRADATION_SLACK
+        && recovery.total() + recorded_interventions + breaker_transitions == 0
+    {
+        violations.push(Violation {
+            case: format!("{}/{}", workload.name(), mechanism.name()),
+            invariant: "silent-degradation",
+            details: format!(
+                "attainment {attainment_on:.3} fell below fault-free \
+                 {clean_attainment_mean:.3} with zero recorded interventions"
+            ),
+        });
+    }
+
     Ok(CellReport {
         workload,
         mechanism,
@@ -331,8 +430,13 @@ pub fn run_cell(
         slo_secs,
         attainment_on,
         attainment_off,
+        clean_attainment: clean_attainment_mean,
         recovery,
         fault_events,
+        breaker_dwell_secs: breaker_dwell,
+        breaker_transitions,
+        recorded_interventions,
+        violation_events,
         violations,
     })
 }
@@ -399,6 +503,22 @@ mod tests {
         let cell = &report.cells[0];
         assert_eq!(cell.runs, 4, "2 seeds x 2 policies");
         assert!(cell.fault_events > 0, "random plans must inject faults");
+    }
+
+    #[test]
+    fn cells_report_breaker_dwell() {
+        let report = sweep(&tiny()).unwrap();
+        let cell = &report.cells[0];
+        let total: f64 = cell.breaker_dwell_secs.iter().sum();
+        assert!(
+            total > 0.0,
+            "breaker dwell must cover the cell's runs: {:?}",
+            cell.breaker_dwell_secs
+        );
+        assert!(
+            cell.recorded_interventions > 0,
+            "supervised faulted runs must retain intervention events"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::SweepConfig;
 use mechanisms::MechanismKind;
+use obs::Event;
 use simcore::json::Json;
 use testbed::RecoveryCounters;
 use workloads::WorkloadKind;
@@ -33,11 +34,25 @@ pub struct CellReport {
     pub attainment_on: f64,
     /// Mean SLO attainment with supervision off, same fault plans.
     pub attainment_off: f64,
+    /// Mean fault-free (clean-run) SLO attainment — the baseline the
+    /// silent-degradation invariant compares against.
+    pub clean_attainment: f64,
     /// Summed supervisor intervention counters across the cell's
     /// supervised runs.
     pub recovery: RecoveryCounters,
     /// Total injected fault events across the cell's supervised runs.
     pub fault_events: u64,
+    /// Summed seconds at each model-health breaker level (full-model,
+    /// stale-model, no-sprint) across the cell's supervised runs.
+    pub breaker_dwell_secs: [f64; 3],
+    /// Total breaker level transitions across the cell's supervised
+    /// runs.
+    pub breaker_transitions: u64,
+    /// Flight-recorder intervention events retained across the cell's
+    /// supervised runs.
+    pub recorded_interventions: u64,
+    /// Tail of the event log from the first violating run, if any.
+    pub violation_events: Vec<Event>,
     /// Invariant violations observed in this cell.
     pub violations: Vec<Violation>,
 }
@@ -73,6 +88,10 @@ impl CellReport {
                 Json::Bool(self.improved()),
             ),
             (
+                "clean_attainment".to_string(),
+                Json::Num(self.clean_attainment),
+            ),
+            (
                 "recovery_events".to_string(),
                 Json::Num(self.recovery.total() as f64),
             ),
@@ -80,6 +99,35 @@ impl CellReport {
             (
                 "fault_events".to_string(),
                 Json::Num(self.fault_events as f64),
+            ),
+            (
+                "breaker_dwell_secs".to_string(),
+                Json::Obj(vec![
+                    (
+                        "full_model".to_string(),
+                        Json::Num(self.breaker_dwell_secs[0]),
+                    ),
+                    (
+                        "stale_model".to_string(),
+                        Json::Num(self.breaker_dwell_secs[1]),
+                    ),
+                    (
+                        "no_sprint".to_string(),
+                        Json::Num(self.breaker_dwell_secs[2]),
+                    ),
+                ]),
+            ),
+            (
+                "breaker_transitions".to_string(),
+                Json::Num(self.breaker_transitions as f64),
+            ),
+            (
+                "recorded_interventions".to_string(),
+                Json::Num(self.recorded_interventions as f64),
+            ),
+            (
+                "violation_events".to_string(),
+                Json::Arr(self.violation_events.iter().map(Event::to_json).collect()),
             ),
             (
                 "violations".to_string(),

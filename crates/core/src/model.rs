@@ -93,6 +93,7 @@ impl SimOptions {
     ) -> f64 {
         let cfg = self.config(profile, cond, sprint_speedup);
         let (replications, threads) = (self.replications.max(1), self.threads.max(1));
+        obs::global().sim_evals.incr();
         if self.fast_path {
             predict_mean_response(&cfg, replications, threads)
         } else {
@@ -116,6 +117,7 @@ impl SimOptions {
     ) -> f64 {
         let cfg = self.config(profile, cond, sprint_speedup);
         let (replications, threads) = (self.replications.max(1), self.threads.max(1));
+        obs::global().sim_evals.incr();
         if self.fast_path {
             predict_mean_response_traced(&cfg, replications, threads, cache)
         } else {
@@ -189,8 +191,10 @@ impl PredictionMemo {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
+            obs::global().memo_hits.incr();
             return v;
         }
+        obs::global().memo_misses.incr();
         // Compute outside the lock: predictions can take milliseconds
         // and may themselves fan out onto the worker pool.
         let v = compute();

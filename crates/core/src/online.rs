@@ -91,8 +91,9 @@ impl ArrivalRateEstimator {
         if self.arrivals.len() < self.min_samples {
             return None;
         }
-        let first = *self.arrivals.front().expect("non-empty");
-        let last = *self.arrivals.back().expect("non-empty");
+        let (Some(&first), Some(&last)) = (self.arrivals.front(), self.arrivals.back()) else {
+            return None;
+        };
         let span = last.since(first).as_secs_f64();
         if span <= 0.0 {
             return None;
@@ -172,6 +173,16 @@ impl DegradationLevel {
             DegradationLevel::FullModel => simcore::HealthSignal::Healthy,
             DegradationLevel::StaleModel => simcore::HealthSignal::Degraded,
             DegradationLevel::NoSprint => simcore::HealthSignal::Failed,
+        }
+    }
+
+    /// Maps the ladder onto the flight recorder's breaker taxonomy so
+    /// transitions can be logged as [`obs::EventKind::BreakerTransition`].
+    pub fn breaker_level(self) -> obs::BreakerLevel {
+        match self {
+            DegradationLevel::FullModel => obs::BreakerLevel::FullModel,
+            DegradationLevel::StaleModel => obs::BreakerLevel::StaleModel,
+            DegradationLevel::NoSprint => obs::BreakerLevel::NoSprint,
         }
     }
 }
@@ -300,6 +311,32 @@ impl ModelHealthMonitor {
         }
         self.reevaluate();
         self.level
+    }
+
+    /// [`observe`](Self::observe) that additionally logs a
+    /// [`obs::EventKind::BreakerTransition`] into `recorder` whenever
+    /// the observation moves the monitor to a different ladder level.
+    /// The recorder is a pure observer — the health judgment is
+    /// bit-identical to [`observe`](Self::observe).
+    pub fn observe_with_recorder(
+        &mut self,
+        predicted_secs: f64,
+        observed_secs: f64,
+        at: SimTime,
+        recorder: &mut obs::FlightRecorder,
+    ) -> DegradationLevel {
+        let before = self.level;
+        let after = self.observe(predicted_secs, observed_secs);
+        if before != after {
+            recorder.record(
+                at,
+                obs::EventKind::BreakerTransition {
+                    from: before.breaker_level(),
+                    to: after.breaker_level(),
+                },
+            );
+        }
+        after
     }
 
     /// Current divergence score: the relative gap between the windowed
@@ -622,6 +659,31 @@ mod tests {
             m.observe(100.0, 101.0);
         }
         assert_eq!(m.level(), DegradationLevel::FullModel);
+    }
+
+    #[test]
+    fn recorder_logs_breaker_transitions() {
+        let mut m = monitor();
+        let mut rec = obs::FlightRecorder::default();
+        for i in 0..20 {
+            m.observe_with_recorder(100.0, 250.0, SimTime::from_secs(i), &mut rec);
+        }
+        let events: Vec<_> = rec.events().collect();
+        assert_eq!(events.len(), 1, "one trip, one transition");
+        match events[0].kind {
+            obs::EventKind::BreakerTransition { from, to } => {
+                assert_eq!(from, obs::BreakerLevel::FullModel);
+                assert_eq!(to, obs::BreakerLevel::NoSprint);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The judgment itself is unchanged by the recorder.
+        let mut plain = monitor();
+        for _ in 0..20 {
+            plain.observe(100.0, 250.0);
+        }
+        assert_eq!(plain.level(), m.level());
+        assert_eq!(plain.trips(), m.trips());
     }
 
     #[test]

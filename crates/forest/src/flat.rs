@@ -135,12 +135,16 @@ impl FlatForest {
     /// Panics if the row width differs from the training data.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.num_features, "row width mismatch");
+        let timer = obs::start_timer();
         let x = row[self.base_feature];
-        self.roots
+        let out = self
+            .roots
             .iter()
             .map(|&root| self.eval(root, row, x))
             .sum::<f64>()
-            / self.roots.len() as f64
+            / self.roots.len() as f64;
+        obs::global().forest_flat_infer_ns.record_elapsed_ns(timer);
+        out
     }
 
     /// Predicts a batch of rows packed row-major into one slice —

@@ -72,7 +72,10 @@ impl RandomForest {
     /// this equals evaluating the averaged regression parameters
     /// `(mean a, mean b)` — the paper's vote-combining rule.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+        let timer = obs::start_timer();
+        let out = self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64;
+        obs::global().forest_boxed_infer_ns.record_elapsed_ns(timer);
+        out
     }
 
     /// Number of trees.

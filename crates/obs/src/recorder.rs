@@ -1,0 +1,287 @@
+//! Bounded flight recorder and the per-run telemetry snapshot.
+
+use crate::event::{BreakerLevel, Event, EventKind};
+use simcore::json::Json;
+use simcore::time::SimTime;
+use std::collections::VecDeque;
+
+/// A bounded, deterministic event log.
+///
+/// The recorder keeps the *last* `capacity` events (older events are
+/// evicted and counted in [`FlightRecorder::dropped`]), stamps each
+/// with the caller-supplied virtual time and a monotone sequence
+/// number, and never allocates per event beyond the ring itself. It
+/// holds no RNG and schedules nothing, so attaching one to a run
+/// cannot perturb the run: a recorded run is bit-identical to an
+/// unrecorded one, and replaying a seed reproduces the identical log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity — ample for a full testbed run while
+    /// bounding a pathological arrival storm to a few tens of KiB.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a recorder keeping the last `capacity` events (at
+    /// least one).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            cap,
+            next_seq: 0,
+            dropped: 0,
+            events: VecDeque::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Appends an event at virtual time `at`, evicting the oldest if
+    /// the ring is full.
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            at,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Consumes the recorder into an immutable per-run snapshot.
+    pub fn finish(self) -> RunTelemetry {
+        RunTelemetry {
+            events: self.events.into_iter().collect(),
+            dropped: self.dropped,
+            capacity: self.cap,
+        }
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY)
+    }
+}
+
+/// Immutable flight-recorder snapshot carried by a finished run
+/// (merged into `testbed`'s `RunResult`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    events: Vec<Event>,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl RunTelemetry {
+    /// Retained events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The last `n` retained events (all of them if fewer).
+    pub fn last(&self, n: usize) -> &[Event] {
+        let start = self.events.len().saturating_sub(n);
+        &self.events[start..]
+    }
+
+    /// Events evicted by the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Ring capacity the run recorded with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events recorded over the run (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// Number of retained events that are supervisory interventions
+    /// (watchdog, restart, quarantine, shed/reject, mode or breaker
+    /// changes). Chaos sweeps assert this is nonzero wherever SLO
+    /// attainment degraded — no silent degradation.
+    pub fn interventions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_intervention())
+            .count()
+    }
+
+    /// Seconds spent at each breaker level (FullModel, StaleModel,
+    /// NoSprint), reconstructed from retained
+    /// [`EventKind::BreakerTransition`] events. The level before the
+    /// first retained transition is taken from that transition's
+    /// `from` side (FullModel if no transitions were retained); the
+    /// final open interval is closed at `end`.
+    pub fn breaker_dwell_secs(&self, end: SimTime) -> [f64; 3] {
+        let mut dwell = [0.0f64; 3];
+        let mut level = BreakerLevel::FullModel;
+        let mut since = SimTime::ZERO;
+        let mut seen_first = false;
+        for e in &self.events {
+            if let EventKind::BreakerTransition { from, to } = e.kind {
+                if !seen_first {
+                    level = from;
+                    seen_first = true;
+                }
+                dwell[level.index()] += e.at.since(since).as_secs_f64();
+                level = to;
+                since = e.at;
+            }
+        }
+        dwell[level.index()] += end.since(since).as_secs_f64();
+        dwell
+    }
+
+    /// Number of retained breaker transitions.
+    pub fn breaker_transitions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BreakerTransition { .. }))
+            .count()
+    }
+
+    /// JSON object: `{"capacity":…,"dropped":…,"events":[…]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("capacity".to_string(), Json::Num(self.capacity as f64)),
+            ("dropped".to_string(), Json::Num(self.dropped as f64)),
+            (
+                "events".to_string(),
+                Json::Arr(self.events.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// JSONL dump: one compact JSON object per event, one per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json().to_string_pretty().replace('\n', " "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth(d: u32) -> EventKind {
+        EventKind::QueueDepth { depth: d }
+    }
+
+    #[test]
+    fn ring_keeps_last_capacity_events() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            r.record(SimTime::from_secs(i as u64), depth(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.recorded(), 10);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_lifted_to_one() {
+        let mut r = FlightRecorder::new(0);
+        r.record(SimTime::ZERO, depth(1));
+        r.record(SimTime::ZERO, depth(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_order_and_counts() {
+        let mut r = FlightRecorder::new(8);
+        r.record(SimTime::from_secs(1), depth(3));
+        r.record(SimTime::from_secs(2), EventKind::WatchdogFired { slot: 0 });
+        let t = r.finish();
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.recorded(), 2);
+        assert_eq!(t.interventions(), 1);
+        assert_eq!(t.last(1)[0].kind.name(), "watchdog-fired");
+    }
+
+    #[test]
+    fn dwell_times_partition_the_run() {
+        let mut r = FlightRecorder::new(16);
+        r.record(
+            SimTime::from_secs(10),
+            EventKind::BreakerTransition {
+                from: BreakerLevel::FullModel,
+                to: BreakerLevel::StaleModel,
+            },
+        );
+        r.record(
+            SimTime::from_secs(25),
+            EventKind::BreakerTransition {
+                from: BreakerLevel::StaleModel,
+                to: BreakerLevel::NoSprint,
+            },
+        );
+        let t = r.finish();
+        let d = t.breaker_dwell_secs(SimTime::from_secs(40));
+        assert_eq!(d, [10.0, 15.0, 15.0]);
+        assert_eq!(t.breaker_transitions(), 2);
+        let total: f64 = d.iter().sum();
+        assert!((total - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..3u32 {
+            r.record(SimTime::from_secs(i as u64), depth(i));
+        }
+        let t = r.finish();
+        let dump = t.to_jsonl();
+        assert_eq!(dump.lines().count(), 3);
+        for line in dump.lines() {
+            assert!(Json::parse(line).is_ok(), "line must be valid JSON: {line}");
+        }
+    }
+}

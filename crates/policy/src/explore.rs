@@ -85,7 +85,9 @@ pub fn explore_timeout(
     let mut rng = SimRng::new(cfg.seed);
     let (lo, hi) = cfg.bounds_secs;
 
+    obs::global().anneal_searches.incr();
     let eval = |t: f64| {
+        obs::global().anneal_candidates.incr();
         let mut c = *base;
         c.timeout_secs = t;
         model.predict_response_secs(&c)

@@ -204,7 +204,12 @@ fn run_batch_scoped(
         .map(|m| {
             m.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every job completed")
+                .unwrap_or_else(|| {
+                    Err(SprintError::runtime(
+                        "qsim::run_batch_shared",
+                        "worker exited before filling its result slot",
+                    ))
+                })
         })
         .collect()
 }
@@ -248,7 +253,12 @@ fn run_batch_reference(
         .map(|m| {
             m.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every job completed")
+                .unwrap_or_else(|| {
+                    Err(SprintError::runtime(
+                        "qsim::run_batch_reference",
+                        "worker exited before filling its result slot",
+                    ))
+                })
         })
         .collect()
 }

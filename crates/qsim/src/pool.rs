@@ -53,6 +53,9 @@ struct Batch<T> {
     next: AtomicUsize,
     remaining: Mutex<usize>,
     done: Condvar,
+    /// Submission instant, present only when telemetry is enabled;
+    /// tasks measure queue wait against it as they are claimed.
+    submitted: Option<std::time::Instant>,
 }
 
 fn drain<T>(batch: &Batch<T>) {
@@ -65,9 +68,14 @@ fn drain<T>(batch: &Batch<T>) {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .take();
+        let m = obs::global();
+        m.pool_tasks.incr();
+        m.pool_queue_wait_us.record_elapsed_us(batch.submitted);
+        let run_timer = obs::start_timer();
         // Claimed indexes are unique (fetch_add), so the task is always
         // present; a panicking task leaves `None` in its result slot.
         let out = task.and_then(|t| catch_unwind(AssertUnwindSafe(t)).ok());
+        m.pool_task_run_us.record_elapsed_us(run_timer);
         *batch.results[i]
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = out;
@@ -146,6 +154,7 @@ impl SimPool {
         if n == 0 {
             return Vec::new();
         }
+        obs::global().pool_batches.incr();
         let batch = Arc::new(Batch {
             tasks: tasks
                 .into_iter()
@@ -155,6 +164,7 @@ impl SimPool {
             next: AtomicUsize::new(0),
             remaining: Mutex::new(n),
             done: Condvar::new(),
+            submitted: obs::start_timer(),
         });
         let helpers = parallelism
             .saturating_sub(1)

@@ -203,8 +203,10 @@ impl TraceCache {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(t) = map.get(&key) {
+            obs::global().trace_cache_hits.incr();
             return Arc::clone(t);
         }
+        obs::global().trace_cache_misses.incr();
         if map.len() >= MAX_CACHED_TRACES {
             map.clear();
         }

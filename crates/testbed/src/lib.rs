@@ -45,8 +45,8 @@ pub mod trace;
 
 pub use budget::Budget;
 pub use faults::{FaultCounters, FaultPlan, StormWindow};
-pub use metrics::RunResult;
+pub use metrics::{RunResult, RunResultBuilder};
 pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
 pub use query::QueryRecord;
-pub use server::{run_supervised, run_with_faults, Server};
+pub use server::{run_supervised, run_supervised_recorded, run_with_faults, Server};
 pub use supervision::{RecoveryCounters, Supervisor, SupervisorConfig};

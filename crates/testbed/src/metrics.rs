@@ -8,6 +8,7 @@
 use crate::query::QueryRecord;
 use crate::supervision::RecoveryCounters;
 use faults::FaultCounters;
+use obs::RunTelemetry;
 use simcore::stats::Percentiles;
 use simcore::time::Rate;
 
@@ -19,20 +20,80 @@ pub struct RunResult {
     faults: FaultCounters,
     recovery: RecoveryCounters,
     arrived: usize,
+    telemetry: Option<RunTelemetry>,
+}
+
+/// Assembles a [`RunResult`]. The single construction path for every
+/// run flavour (pristine, faulted, supervised, recorded), so a newly
+/// added field cannot be silently defaulted away by one of several
+/// parallel constructors.
+#[derive(Debug)]
+pub struct RunResultBuilder {
+    records: Vec<QueryRecord>,
+    warmup: usize,
+    faults: FaultCounters,
+    recovery: RecoveryCounters,
+    arrived: Option<usize>,
+    telemetry: Option<RunTelemetry>,
+}
+
+impl RunResultBuilder {
+    /// Attaches fault-injection counters observed during the run.
+    pub fn faults(mut self, faults: FaultCounters) -> RunResultBuilder {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches supervisor intervention counters and the true arrival
+    /// count (served + shed + rejected) of a supervised run.
+    pub fn recovery(mut self, recovery: RecoveryCounters, arrived: usize) -> RunResultBuilder {
+        self.recovery = recovery;
+        self.arrived = Some(arrived);
+        self
+    }
+
+    /// Attaches the flight-recorder snapshot of a recorded run.
+    pub fn telemetry(mut self, telemetry: RunTelemetry) -> RunResultBuilder {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Finalizes the result. Without an explicit [`recovery`] call the
+    /// arrival count equals the record count (every arrival served).
+    ///
+    /// [`recovery`]: RunResultBuilder::recovery
+    pub fn build(self) -> RunResult {
+        let arrived = self.arrived.unwrap_or(self.records.len());
+        RunResult {
+            records: self.records,
+            warmup: self.warmup,
+            faults: self.faults,
+            recovery: self.recovery,
+            arrived,
+            telemetry: self.telemetry,
+        }
+    }
 }
 
 impl RunResult {
-    /// Wraps per-query records; the first `warmup` queries (by id) are
-    /// excluded from steady-state statistics.
-    pub fn new(records: Vec<QueryRecord>, warmup: usize) -> RunResult {
-        let arrived = records.len();
-        RunResult {
+    /// Starts building a result from per-query records; the first
+    /// `warmup` queries (by id) are excluded from steady-state
+    /// statistics.
+    pub fn builder(records: Vec<QueryRecord>, warmup: usize) -> RunResultBuilder {
+        RunResultBuilder {
             records,
             warmup,
             faults: FaultCounters::default(),
             recovery: RecoveryCounters::default(),
-            arrived,
+            arrived: None,
+            telemetry: None,
         }
+    }
+
+    /// Wraps per-query records; the first `warmup` queries (by id) are
+    /// excluded from steady-state statistics.
+    pub fn new(records: Vec<QueryRecord>, warmup: usize) -> RunResult {
+        RunResult::builder(records, warmup).build()
     }
 
     /// Like [`RunResult::new`], but carries the fault-injection
@@ -42,14 +103,7 @@ impl RunResult {
         warmup: usize,
         faults: FaultCounters,
     ) -> RunResult {
-        let arrived = records.len();
-        RunResult {
-            records,
-            warmup,
-            faults,
-            recovery: RecoveryCounters::default(),
-            arrived,
-        }
+        RunResult::builder(records, warmup).faults(faults).build()
     }
 
     /// Like [`RunResult::with_faults`], but for a supervised run where
@@ -63,13 +117,16 @@ impl RunResult {
         recovery: RecoveryCounters,
         arrived: usize,
     ) -> RunResult {
-        RunResult {
-            records,
-            warmup,
-            faults,
-            recovery,
-            arrived,
-        }
+        RunResult::builder(records, warmup)
+            .faults(faults)
+            .recovery(recovery, arrived)
+            .build()
+    }
+
+    /// Flight-recorder snapshot, if the run was recorded (`None` for
+    /// the default, unrecorded server).
+    pub fn telemetry(&self) -> Option<&RunTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Per-fault-class event counts for the run (all zero when no fault

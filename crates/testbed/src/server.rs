@@ -14,6 +14,7 @@ use crate::query::QueryRecord;
 use crate::supervision::{AdmitOutcome, SlotDirective, Supervisor, SupervisorConfig};
 use faults::{EngageOutcome, FaultInjector, FaultPlan};
 use mechanisms::Mechanism;
+use obs::{EventKind, FlightRecorder, UnsprintReason};
 use simcore::dist::Dist;
 use simcore::event::EventQueue;
 use simcore::rng::SimRng;
@@ -151,6 +152,20 @@ pub struct Server<'m> {
     /// fault plan's out-of-band repair. Supervised runs track downness
     /// in the supervisor instead and never set these flags.
     down: Vec<bool>,
+    /// Flight recorder; `None` (the default) records nothing. The
+    /// recorder is a pure observer — it draws no randomness and
+    /// schedules no events — so a recorded run is bit-identical to an
+    /// unrecorded one.
+    recorder: Option<FlightRecorder>,
+}
+
+/// Records an event if a recorder is attached. A free function over
+/// the field (rather than a `&mut self` method) so emission sites can
+/// coexist with outstanding borrows of other server fields.
+fn note(recorder: &mut Option<FlightRecorder>, at: SimTime, kind: EventKind) {
+    if let Some(r) = recorder.as_mut() {
+        r.record(at, kind);
+    }
 }
 
 /// Looks up a slot the event logic requires to be occupied, turning a
@@ -210,7 +225,15 @@ impl<'m> Server<'m> {
             faults: None,
             supervisor: None,
             down,
+            recorder: None,
         })
+    }
+
+    /// Attaches a flight recorder keeping the last `capacity` events.
+    /// Recording is observation-only: the run's records, counters and
+    /// RNG streams are bit-identical with or without it.
+    pub fn attach_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(capacity));
     }
 
     /// Builds a server that injects the faults described by `plan`.
@@ -337,28 +360,67 @@ impl<'m> Server<'m> {
             .as_ref()
             .map(|f| f.counters())
             .unwrap_or_default();
-        Ok(match self.supervisor.as_mut() {
-            Some(sup) => {
-                let recovery = sup.finalize(end.as_secs_f64());
-                RunResult::with_recovery(
-                    self.records,
-                    self.cfg.warmup,
-                    counters,
-                    recovery,
-                    self.cfg.num_queries,
-                )
-            }
-            None => RunResult::with_faults(self.records, self.cfg.warmup, counters),
-        })
+        let mut builder = RunResult::builder(self.records, self.cfg.warmup).faults(counters);
+        if let Some(sup) = self.supervisor.as_mut() {
+            let recovery = sup.finalize(end.as_secs_f64());
+            builder = builder.recovery(recovery, self.cfg.num_queries);
+        }
+        if let Some(recorder) = self.recorder.take() {
+            builder = builder.telemetry(recorder.finish());
+        }
+        Ok(builder.build())
     }
 
     fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
         // Admission control runs before the query materializes: a shed
         // or rejected arrival consumes no service randomness and never
         // enters the queue (the client sees an immediate busy signal).
-        let admitted = match self.supervisor.as_mut() {
-            Some(sup) => sup.admit(self.queue.len(), now.as_secs_f64()) == AdmitOutcome::Admit,
+        let decision = self.supervisor.as_mut().map(|sup| {
+            let before = sup.admission_mode();
+            let outcome = sup.admit(self.queue.len(), now.as_secs_f64());
+            (outcome, before, sup.admission_mode())
+        });
+        let admitted = match decision {
             None => true,
+            Some((outcome, before, after)) => {
+                if before != after {
+                    note(
+                        &mut self.recorder,
+                        now,
+                        EventKind::AdmissionModeChanged {
+                            from: before,
+                            to: after,
+                        },
+                    );
+                }
+                let arrival_idx = (self.cfg.num_queries - self.arrivals_left) as u64;
+                let depth = self.queue.len() as u32;
+                match outcome {
+                    AdmitOutcome::Admit => true,
+                    AdmitOutcome::Shed => {
+                        note(
+                            &mut self.recorder,
+                            now,
+                            EventKind::QueryShed {
+                                query: arrival_idx,
+                                queue_depth: depth,
+                            },
+                        );
+                        false
+                    }
+                    AdmitOutcome::Reject => {
+                        note(
+                            &mut self.recorder,
+                            now,
+                            EventKind::QueryRejected {
+                                query: arrival_idx,
+                                queue_depth: depth,
+                            },
+                        );
+                        false
+                    }
+                }
+            }
         };
         if admitted {
             let id = self.queries.len() as u64;
@@ -397,6 +459,13 @@ impl<'m> Server<'m> {
                 self.queue.push_back(id);
                 self.update_drag(now)?;
             }
+            note(
+                &mut self.recorder,
+                now,
+                EventKind::QueueDepth {
+                    depth: self.queue.len() as u32,
+                },
+            );
         }
 
         self.arrivals_left -= 1;
@@ -547,6 +616,14 @@ impl<'m> Server<'m> {
                     EngageOutcome::Engaged | EngageOutcome::EngagedStuck => {
                         s.stuck = matches!(outcome, EngageOutcome::EngagedStuck);
                         s.engine.set_mode(ExecMode::Sprinting);
+                        note(
+                            &mut self.recorder,
+                            now,
+                            EventKind::SprintEngaged {
+                                slot: slot as u32,
+                                stuck: matches!(outcome, EngageOutcome::EngagedStuck),
+                            },
+                        );
                         self.budget.start_sprint();
                         // Arm the sprint watchdog: if this same engage
                         // is still sprinting when the deadline passes,
@@ -562,6 +639,16 @@ impl<'m> Server<'m> {
                     }
                     EngageOutcome::Failed => {
                         s.engine.set_mode(ExecMode::Normal);
+                        // Only an engage the injector vetoed is a
+                        // failure; a stall that never wanted to sprint
+                        // (or lost its budget) is normal operation.
+                        if wants_sprint {
+                            note(
+                                &mut self.recorder,
+                                now,
+                                EventKind::SprintEngageFailed { slot: slot as u32 },
+                            );
+                        }
                         self.reschedule_slot(now, slot)?;
                     }
                 }
@@ -578,6 +665,14 @@ impl<'m> Server<'m> {
                     // draining until completion or a thermal emergency.
                     let s = occupied(&mut self.slots, slot, "Server::on_slot_event")?;
                     s.engine.set_mode(ExecMode::Normal);
+                    note(
+                        &mut self.recorder,
+                        now,
+                        EventKind::SprintEnded {
+                            slot: slot as u32,
+                            reason: UnsprintReason::BudgetDry,
+                        },
+                    );
                     self.budget.end_sprint();
                     self.reschedule_all_sprinting(now)?;
                     self.reschedule_slot(now, slot)?;
@@ -613,6 +708,19 @@ impl<'m> Server<'m> {
         s.engine.advance(now, self.mech);
         s.engine.set_mode(ExecMode::Normal);
         s.stuck = false;
+        note(
+            &mut self.recorder,
+            now,
+            EventKind::WatchdogFired { slot: slot as u32 },
+        );
+        note(
+            &mut self.recorder,
+            now,
+            EventKind::SprintEnded {
+                slot: slot as u32,
+                reason: UnsprintReason::Watchdog,
+            },
+        );
         self.budget.end_sprint();
         if let Some(sup) = self.supervisor.as_mut() {
             sup.record_forced_unsprint();
@@ -629,6 +737,11 @@ impl<'m> Server<'m> {
         if let Some(sup) = self.supervisor.as_mut() {
             sup.on_slot_up(slot);
         }
+        note(
+            &mut self.recorder,
+            now,
+            EventKind::SlotUp { slot: slot as u32 },
+        );
         let available = self
             .supervisor
             .as_ref()
@@ -659,7 +772,23 @@ impl<'m> Server<'m> {
         let s = self.slots[slot].take().ok_or_else(|| {
             SprintError::runtime("Server::on_crash", format!("crashing slot {slot} empty"))
         })?;
+        note(
+            &mut self.recorder,
+            now,
+            EventKind::SlotCrashed {
+                slot: slot as u32,
+                query,
+            },
+        );
         if matches!(s.engine.mode(), ExecMode::Sprinting) {
+            note(
+                &mut self.recorder,
+                now,
+                EventKind::SprintEnded {
+                    slot: slot as u32,
+                    reason: UnsprintReason::Crash,
+                },
+            );
             self.budget.end_sprint();
             self.reschedule_all_sprinting(now)?;
         }
@@ -683,9 +812,26 @@ impl<'m> Server<'m> {
             // (or for good); the requeued query redispatches on any
             // other available slot, or waits its turn at the head.
             Some(directive) => {
-                if let SlotDirective::Restart { delay_secs } = directive {
-                    let at = now + SimDuration::from_secs_f64(delay_secs);
-                    self.events.schedule(at, Ev::SlotUp { slot });
+                match directive {
+                    SlotDirective::Restart { delay_secs } => {
+                        let delay = SimDuration::from_secs_f64(delay_secs);
+                        note(
+                            &mut self.recorder,
+                            now,
+                            EventKind::SlotRestartScheduled {
+                                slot: slot as u32,
+                                delay_micros: delay.0,
+                            },
+                        );
+                        self.events.schedule(now + delay, Ev::SlotUp { slot });
+                    }
+                    SlotDirective::Quarantine => {
+                        note(
+                            &mut self.recorder,
+                            now,
+                            EventKind::SlotQuarantined { slot: slot as u32 },
+                        );
+                    }
                 }
                 if let Some(other) = self.free_slot() {
                     if let Some(next) = self.queue.pop_front() {
@@ -701,8 +847,16 @@ impl<'m> Server<'m> {
             None => {
                 if repair_secs > 0.0 {
                     self.down[slot] = true;
-                    let at = now + SimDuration::from_secs_f64(repair_secs);
-                    self.events.schedule(at, Ev::SlotUp { slot });
+                    let repair = SimDuration::from_secs_f64(repair_secs);
+                    note(
+                        &mut self.recorder,
+                        now,
+                        EventKind::SlotRestartScheduled {
+                            slot: slot as u32,
+                            delay_micros: repair.0,
+                        },
+                    );
+                    self.events.schedule(now + repair, Ev::SlotUp { slot });
                     if let Some(other) = self.free_slot() {
                         if let Some(next) = self.queue.pop_front() {
                             self.dispatch(now, next, other)?;
@@ -739,10 +893,25 @@ impl<'m> Server<'m> {
             s.engine.advance(now, self.mech);
             s.engine.set_mode(ExecMode::Normal);
             s.stuck = false;
+            note(
+                &mut self.recorder,
+                now,
+                EventKind::SprintEnded {
+                    slot: i as u32,
+                    reason: UnsprintReason::Thermal,
+                },
+            );
             self.budget.end_sprint();
             unsprinted += 1;
             self.reschedule_slot(now, i)?;
         }
+        note(
+            &mut self.recorder,
+            now,
+            EventKind::ThermalEmergency {
+                unsprinted: unsprinted as u32,
+            },
+        );
         let f = self.faults.as_mut().ok_or_else(|| {
             SprintError::runtime(
                 "Server::on_thermal",
@@ -760,6 +929,14 @@ impl<'m> Server<'m> {
             SprintError::runtime("Server::complete", format!("completing empty slot {slot}"))
         })?;
         if matches!(s.engine.mode(), ExecMode::Sprinting) {
+            note(
+                &mut self.recorder,
+                now,
+                EventKind::SprintEnded {
+                    slot: slot as u32,
+                    reason: UnsprintReason::Completed,
+                },
+            );
             self.budget.end_sprint();
             self.reschedule_all_sprinting(now)?;
         }
@@ -946,6 +1123,27 @@ pub fn run_supervised(
     sup: SupervisorConfig,
 ) -> Result<RunResult, SprintError> {
     Server::with_supervision(cfg, mech, plan, sup)?.run()
+}
+
+/// Convenience: [`run_supervised`] with a flight recorder of the given
+/// capacity attached, so the returned [`RunResult`] carries a
+/// [`obs::RunTelemetry`]. The recorder is a pure observer — records and
+/// counters are bit-identical to the unrecorded run.
+///
+/// # Errors
+///
+/// Returns an error if any configuration fails validation, or a
+/// simulation invariant breaks mid-run.
+pub fn run_supervised_recorded(
+    cfg: ServerConfig,
+    mech: &dyn Mechanism,
+    plan: Option<FaultPlan>,
+    sup: SupervisorConfig,
+    recorder_capacity: usize,
+) -> Result<RunResult, SprintError> {
+    let mut server = Server::with_supervision(cfg, mech, plan, sup)?;
+    server.attach_recorder(recorder_capacity);
+    server.run()
 }
 
 #[cfg(test)]

@@ -284,6 +284,18 @@ impl Supervisor {
         self.counters.forced_unsprints += 1;
     }
 
+    /// The current admission-ladder mode as a flight-recorder value.
+    /// The server samples this around [`Supervisor::admit`] to emit
+    /// `admission-mode-changed` events without the supervisor holding a
+    /// recorder itself.
+    pub fn admission_mode(&self) -> obs::AdmissionMode {
+        match self.mode {
+            DegradedMode::Normal => obs::AdmissionMode::Normal,
+            DegradedMode::Shedding => obs::AdmissionMode::Shedding,
+            DegradedMode::Draining => obs::AdmissionMode::Draining,
+        }
+    }
+
     /// Runs one arrival through the admission ladder at queue depth
     /// `queue_len`, transitioning modes with hysteresis.
     pub fn admit(&mut self, queue_len: usize, now_secs: f64) -> AdmitOutcome {

@@ -23,9 +23,14 @@ run cargo clippy --all-targets --workspace --offline -- -D warnings
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
 # Prediction fast-path gate: asserts fast/reference bit-identity, the
-# >=3X explorer speedup, and — when a BENCH_qsim.json baseline is
-# committed — that pooled prediction throughput has not regressed more
-# than 30% below it.
+# >=3X explorer speedup, the <=5% enabled-telemetry overhead, and —
+# when a BENCH_qsim.json baseline is committed — that pooled prediction
+# throughput has not regressed more than 30% below it.
 run ./target/release/perf_smoke > /dev/null
+
+# Telemetry completeness gate: renders the flight-recorder timeline and
+# the full metrics table on a fixed seed, and exits non-zero if any
+# registered metric family is missing from the report or never fired.
+run ./target/release/sprint_report --seed 181 > /dev/null
 
 echo "All checks passed."

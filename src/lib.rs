@@ -55,6 +55,7 @@ pub use faults;
 pub use forest;
 pub use mechanisms;
 pub use mlcore;
+pub use obs;
 pub use policy;
 pub use profiler;
 pub use qsim;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use faults::{FaultCounters, FaultPlan, StormWindow};
     pub use forest::{ForestConfig, RandomForest};
     pub use mechanisms::{CoreScale, CpuThrottle, Dvfs, Ec2Dvfs, Mechanism, MechanismKind};
+    pub use obs::{Event, EventKind, FlightRecorder, MetricsRegistry, RunTelemetry};
     pub use policy::{explore_timeout, AnnealingConfig};
     pub use profiler::{Condition, ProfileData, Profiler, SamplingGrid, WorkloadProfile};
     pub use qsim::{ClassSpec, MultiClassConfig, MultiClassQsim, Qsim, QsimConfig};
