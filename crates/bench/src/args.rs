@@ -1,5 +1,6 @@
 //! Minimal command-line flag parsing for the experiment binaries.
 
+use simcore::SprintError;
 use std::collections::HashMap;
 
 /// Parsed `--key value` / `--flag` arguments.
@@ -39,30 +40,38 @@ impl Args {
 
     /// A numeric value with a default.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value does not parse.
-    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.get(name)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v}"))
-            })
-            .unwrap_or(default)
+    /// Returns [`SprintError::InvalidConfig`] when the flag was passed
+    /// but its value does not parse as a number.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, SprintError> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| {
+                SprintError::invalid(
+                    "Args::get_f64",
+                    format!("--{name} expects a number, got {v}"),
+                )
+            }),
+            None => Ok(default),
+        }
     }
 
     /// An integer value with a default.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value does not parse.
-    pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
-            })
-            .unwrap_or(default)
+    /// Returns [`SprintError::InvalidConfig`] when the flag was passed
+    /// but its value does not parse as an integer.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, SprintError> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| {
+                SprintError::invalid(
+                    "Args::get_usize",
+                    format!("--{name} expects an integer, got {v}"),
+                )
+            }),
+            None => Ok(default),
+        }
     }
 
     /// Whether a bare `--flag` was passed.
@@ -83,16 +92,19 @@ mod tests {
     fn parses_values_and_flags() {
         let a = parse(&["--seed", "42", "--quick", "--conditions", "30"]);
         assert_eq!(a.get("seed"), Some("42"));
-        assert_eq!(a.get_usize("conditions", 10), 30);
+        assert_eq!(a.get_usize("conditions", 10).unwrap(), 30);
         assert!(a.has_flag("quick"));
         assert!(!a.has_flag("slow"));
-        assert_eq!(a.get_f64("missing", 1.5), 1.5);
+        assert_eq!(a.get_f64("missing", 1.5).unwrap(), 1.5);
     }
 
     #[test]
-    #[should_panic(expected = "expects an integer")]
-    fn bad_integer_panics() {
+    fn bad_integer_is_a_typed_error() {
         let a = parse(&["--n", "abc"]);
-        let _ = a.get_usize("n", 0);
+        let err = a.get_usize("n", 0).unwrap_err();
+        assert!(matches!(err, SprintError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("expects an integer"));
+        let err = a.get_f64("n", 0.0).unwrap_err();
+        assert!(err.to_string().contains("expects a number"));
     }
 }

@@ -16,135 +16,29 @@
 //! cargo run --release -p bench --bin ablation_forest
 //! ```
 
-use bench::eval::{default_train_options, median_error, EvalPoint};
-use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
-use forest::{ForestConfig, RandomForest, TreeConfig};
-use mechanisms::Dvfs;
-use mlcore::Dataset;
-use profiler::{ProfileData, SamplingGrid, FEATURE_NAMES};
+use bench::figs::ablation;
+use bench::{Args, EvalSettings};
+use profiler::FEATURE_NAMES;
 use simcore::table::{fmt_pct, TextTable};
 use simcore::SprintError;
-use sprint_core::train_hybrid;
-use workloads::{QueryMix, WorkloadKind};
-
-fn hybrid_error(
-    train: &ProfileData,
-    test: &ProfileData,
-    settings: &EvalSettings,
-    forest: ForestConfig,
-) -> Result<f64, SprintError> {
-    let mut opts = default_train_options(settings);
-    opts.forest = forest;
-    let model = train_hybrid(train, &opts)?;
-    Ok(median_error(&evaluate_model(&model, test)))
-}
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 60),
-        queries_per_run: args.get_usize("queries", 400),
-        replays: args.get_usize("replays", 2),
-        seed: args.get_usize("seed", 0xAB1A) as u64,
+        conditions: args.get_usize("conditions", 60)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        replays: args.get_usize("replays", 2)?,
+        seed: args.get_usize("seed", 0xAB1A)? as u64,
         ..EvalSettings::default()
     };
-    let mech = Dvfs::new();
     eprintln!("profiling Jacobi ...");
-    let data = profile_single(
-        &QueryMix::single(WorkloadKind::Jacobi),
-        &mech,
-        &SamplingGrid::paper(),
-        &settings,
-    );
-    let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0xAB);
+    let r = ablation::forest_ablation(&settings)?;
 
     println!("\nForest ablation (Jacobi on DVFS, held-out median error)\n");
     let mut table = TextTable::new(vec!["variant", "median error"]);
-    let base = ForestConfig::default();
-
-    table.row(vec![
-        "hybrid default (10 deep trees, linear leaves)".to_string(),
-        fmt_pct(hybrid_error(&train, &test, &settings, base)?),
-    ]);
-    table.row(vec![
-        "constant-mean leaves".to_string(),
-        fmt_pct(hybrid_error(
-            &train,
-            &test,
-            &settings,
-            ForestConfig {
-                tree: TreeConfig {
-                    linear_leaves: false,
-                    ..base.tree
-                },
-                ..base
-            },
-        )?),
-    ]);
-    table.row(vec![
-        "shallow trees (depth 3, 'pruned')".to_string(),
-        fmt_pct(hybrid_error(
-            &train,
-            &test,
-            &settings,
-            ForestConfig {
-                tree: TreeConfig {
-                    max_depth: 3,
-                    ..base.tree
-                },
-                ..base
-            },
-        )?),
-    ]);
-    for trees in [1usize, 30] {
-        table.row(vec![
-            format!("{trees} tree(s)"),
-            fmt_pct(hybrid_error(
-                &train,
-                &test,
-                &settings,
-                ForestConfig {
-                    num_trees: trees,
-                    ..base
-                },
-            )?),
-        ]);
+    for v in &r.variants {
+        table.row(vec![v.label.to_string(), fmt_pct(v.median_err)]);
     }
-    table.row(vec![
-        "no feature subsampling".to_string(),
-        fmt_pct(hybrid_error(
-            &train,
-            &test,
-            &settings,
-            ForestConfig {
-                feature_frac: 1.0,
-                ..base
-            },
-        )?),
-    ]);
-
-    // Direct-RT forest: skip the simulator entirely.
-    let mut rt_data = Dataset::new(FEATURE_NAMES.to_vec());
-    for run in &train.runs {
-        rt_data.push(
-            run.condition.features(train.profile.mu, train.profile.mu_m),
-            run.observed_response_secs,
-        );
-    }
-    let direct = RandomForest::train(&rt_data, profiler::features::MU_M_FEATURE, base);
-    let direct_points: Vec<EvalPoint> = test
-        .runs
-        .iter()
-        .map(|run| EvalPoint {
-            run: *run,
-            predicted: direct.predict(&run.condition.features(test.profile.mu, test.profile.mu_m)),
-        })
-        .collect();
-    table.row(vec![
-        "forest -> RT directly (no simulator)".to_string(),
-        fmt_pct(median_error(&direct_points)),
-    ]);
-
     println!("{}", table.render());
     println!("The decisive choice is the *learned target*: a forest mapping");
     println!("conditions directly to response time is several times worse than");
@@ -152,18 +46,8 @@ fn main() -> Result<(), SprintError> {
     println!("Ensembling helps (1 tree vs 10/30); leaf shape and depth matter");
     println!("less on our testbed than on the paper's hardware.");
 
-    // Which conditions drive response time? (The paper's intro asks
-    // "which runtime factors matter?")
-    let imp_forest = RandomForest::train(
-        &rt_data,
-        profiler::features::MU_M_FEATURE,
-        ForestConfig {
-            feature_frac: 1.0,
-            ..base
-        },
-    );
     println!("\nfeature importance (variance reduction over response time):");
-    for (name, v) in FEATURE_NAMES.iter().zip(imp_forest.feature_importance()) {
+    for (name, v) in FEATURE_NAMES.iter().zip(&r.feature_importance) {
         println!("  {name:<16} {:.1}%", v * 100.0);
     }
     Ok(())

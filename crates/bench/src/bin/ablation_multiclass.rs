@@ -14,77 +14,15 @@
 //! cargo run --release -p bench --bin ablation_multiclass
 //! ```
 
+use bench::figs::ablation;
 use bench::Args;
-use qsim::{ClassSpec, MultiClassConfig, MultiClassQsim};
-use simcore::dist::{Dist, DistKind};
 use simcore::table::{fmt_f, TextTable};
-use simcore::time::{Rate, SimDuration};
 use simcore::SprintError;
-
-fn config(timeouts: (f64, f64), seed: u64) -> MultiClassConfig {
-    MultiClassConfig {
-        arrival_rate: Rate::per_hour(26.0),
-        arrival_kind: DistKind::Exponential,
-        classes: vec![
-            // Jacobi-like: long service, weak sprint.
-            ClassSpec {
-                weight: 0.5,
-                service: Dist::lognormal(SimDuration::from_secs(103), 0.15),
-                sprint_speedup: 1.4,
-                timeout: SimDuration::from_secs_f64(timeouts.0),
-            },
-            // Stream-like: short service, strong sprint.
-            ClassSpec {
-                weight: 0.5,
-                service: Dist::lognormal(SimDuration::from_secs(41), 0.45),
-                sprint_speedup: 2.4,
-                timeout: SimDuration::from_secs_f64(timeouts.1),
-            },
-        ],
-        budget_capacity_secs: 120.0,
-        refill_secs: 1_000.0,
-        slots: 1,
-        num_queries: 30_000,
-        warmup: 3_000,
-        seed,
-    }
-}
-
-fn mean_rt(timeouts: (f64, f64), seed: u64) -> Result<f64, SprintError> {
-    // Average over 3 seeds to tame run-to-run noise.
-    let mut total = 0.0;
-    for i in 0..3 {
-        total += MultiClassQsim::new(config(timeouts, seed + i))?
-            .run()?
-            .mean_response_secs();
-    }
-    Ok(total / 3.0)
-}
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
-    let seed = args.get_usize("seed", 0xAB2A) as u64;
-    let grid = [0.0, 40.0, 80.0, 120.0, 180.0, 260.0, 400.0];
-
-    // Best single global timeout.
-    let mut best_global = (0.0, f64::INFINITY);
-    for &t in &grid {
-        let rt = mean_rt((t, t), seed)?;
-        if rt < best_global.1 {
-            best_global = (t, rt);
-        }
-    }
-
-    // Best per-class pair.
-    let mut best_pair = ((0.0, 0.0), f64::INFINITY);
-    for &tj in &grid {
-        for &ts in &grid {
-            let rt = mean_rt((tj, ts), seed)?;
-            if rt < best_pair.1 {
-                best_pair = ((tj, ts), rt);
-            }
-        }
-    }
+    let seed = args.get_usize("seed", 0xAB2A)? as u64;
+    let r = ablation::multiclass_ablation(seed)?;
 
     println!("Per-class timeout ablation (Mix-I-like, shared 120 s budget)\n");
     let mut table = TextTable::new(vec![
@@ -95,20 +33,20 @@ fn main() -> Result<(), SprintError> {
     ]);
     table.row(vec![
         "best global timeout".to_string(),
-        fmt_f(best_global.0, 0),
-        fmt_f(best_global.0, 0),
-        fmt_f(best_global.1, 1),
+        fmt_f(r.best_global.0, 0),
+        fmt_f(r.best_global.0, 0),
+        fmt_f(r.best_global.1, 1),
     ]);
     table.row(vec![
         "best per-class timeouts".to_string(),
-        fmt_f(best_pair.0 .0, 0),
-        fmt_f(best_pair.0 .1, 0),
-        fmt_f(best_pair.1, 1),
+        fmt_f(r.best_pair.0 .0, 0),
+        fmt_f(r.best_pair.0 .1, 0),
+        fmt_f(r.best_pair.1, 1),
     ]);
     println!("{}", table.render());
     println!(
         "per-class improvement over the best global timeout: {:.1}%",
-        (best_global.1 - best_pair.1) / best_global.1 * 100.0
+        r.improvement() * 100.0
     );
     println!("(§5: \"this is also true for different timeouts assigned across");
     println!("workloads. Only small modifications to the simulator are needed\".)");

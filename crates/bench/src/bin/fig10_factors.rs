@@ -11,125 +11,54 @@
 //! cargo run --release -p bench --bin fig10_factors
 //! ```
 
-use bench::eval::{default_train_options, median_error, EvalPoint};
-use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
-use mechanisms::Dvfs;
-use profiler::{Profiler, SamplingGrid};
+use bench::figs::fig10;
+use bench::stats::ErrorSummary;
+use bench::{Args, EvalSettings};
 use simcore::table::{fmt_pct, TextTable};
 use simcore::SprintError;
-use sprint_core::train_hybrid;
-use workloads::{QueryMix, WorkloadKind};
 
-fn percentile(errs: &mut [f64], q: f64) -> f64 {
-    errs.sort_by(f64::total_cmp);
-    let pos = q * (errs.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    errs[lo] * (1.0 - frac) + errs[hi] * frac
-}
-
-fn group_row(name: &str, points: &[EvalPoint]) -> Vec<String> {
-    if points.is_empty() {
-        return vec![name.to_string(), "-".into(), "-".into(), "-".into()];
+fn summary_cells(name: &str, summary: Option<&ErrorSummary>) -> Vec<String> {
+    match summary {
+        Some(s) => vec![
+            name.to_string(),
+            fmt_pct(s.p50),
+            fmt_pct(s.p25),
+            fmt_pct(s.p75),
+        ],
+        None => vec![name.to_string(), "-".into(), "-".into(), "-".into()],
     }
-    let mut errs: Vec<f64> = points.iter().map(EvalPoint::error).collect();
-    let p25 = percentile(&mut errs, 0.25);
-    let p50 = percentile(&mut errs, 0.50);
-    let p75 = percentile(&mut errs, 0.75);
-    vec![name.to_string(), fmt_pct(p50), fmt_pct(p25), fmt_pct(p75)]
 }
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 50),
-        queries_per_run: args.get_usize("queries", 400),
-        seed: args.get_usize("seed", 0xF1_610) as u64,
+        conditions: args.get_usize("conditions", 50)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        seed: args.get_usize("seed", 0xF1_610)? as u64,
         ..EvalSettings::default()
     };
-    let num_workloads = args.get_usize("workloads", 5).min(7);
-    let opts = default_train_options(&settings);
-    let mech = Dvfs::new();
-    let grid = SamplingGrid::paper();
-
-    let mut in_cluster: Vec<(EvalPoint, f64)> = Vec::new(); // (point, mu_qph)
-    let mut out_cluster: Vec<EvalPoint> = Vec::new();
-
-    for &kind in WorkloadKind::ALL.iter().take(num_workloads) {
-        eprintln!("profiling {} ...", kind.name());
-        let mix = QueryMix::single(kind);
-        let data = profile_single(&mix, &mech, &grid, &settings);
-        let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0xA0);
-        let hybrid = train_hybrid(&train, &opts)?;
-        let mu = data.profile.mu.qph();
-        for p in evaluate_model(&hybrid, &test) {
-            in_cluster.push((p, mu));
-        }
-
-        // Off-centroid conditions: profiled but never trainable.
-        let off = grid.off_centroid_conditions(settings.conditions / 5, settings.seed ^ 0xB0);
-        let profiler = Profiler {
-            queries_per_run: settings.queries_per_run,
-            warmup: settings.queries_per_run / 10,
-            replays: 1,
-            threads: settings.threads,
-            seed: settings.seed ^ 0xC0FF,
-        };
-        let off_runs = profiler.run_conditions(&data.profile, &mech, &off);
-        let off_data = profiler::ProfileData {
-            profile: data.profile.clone(),
-            runs: off_runs.into_iter().map(|(r, _)| r).collect(),
-        };
-        out_cluster.extend(evaluate_model(&hybrid, &off_data));
-    }
+    let num_workloads = args.get_usize("workloads", 5)?.min(7);
+    let r = fig10::compute(&settings, num_workloads)?;
 
     println!("\nFigure 10: Hybrid error by design factor (median [p25, p75])\n");
     let mut table = TextTable::new(vec!["group", "median", "p25", "p75"]);
-    let pts = |f: &dyn Fn(&EvalPoint, f64) -> bool| -> Vec<EvalPoint> {
-        in_cluster
-            .iter()
-            .filter(|(p, mu)| f(p, *mu))
-            .map(|(p, _)| *p)
-            .collect()
-    };
-    table.row(group_row("service hi (>40 qph)", &pts(&|_, mu| mu > 40.0)));
-    table.row(group_row("service lo (<40 qph)", &pts(&|_, mu| mu <= 40.0)));
-    table.row(group_row(
-        "util hi (>60%)",
-        &pts(&|p, _| p.run.condition.utilization > 0.60),
+    for row in &r.rows {
+        table.row(summary_cells(row.label, row.summary.as_ref()));
+    }
+    table.row(summary_cells(
+        "cluster in (centroids)",
+        bench::stats::summarize(&r.in_cluster).as_ref(),
     ));
-    table.row(group_row(
-        "util lo (<60%)",
-        &pts(&|p, _| p.run.condition.utilization <= 0.60),
+    table.row(summary_cells(
+        "cluster out (between)",
+        bench::stats::summarize(&r.out_cluster).as_ref(),
     ));
-    table.row(group_row(
-        "timeout hi (>100 s)",
-        &pts(&|p, _| p.run.condition.timeout_secs > 100.0),
-    ));
-    table.row(group_row(
-        "timeout lo (<100 s)",
-        &pts(&|p, _| p.run.condition.timeout_secs <= 100.0),
-    ));
-    table.row(group_row(
-        "budget hi (>40%)",
-        &pts(&|p, _| p.run.condition.budget_frac > 0.40),
-    ));
-    table.row(group_row(
-        "budget lo (<40%)",
-        &pts(&|p, _| p.run.condition.budget_frac <= 0.40),
-    ));
-    let all_in: Vec<EvalPoint> = in_cluster.iter().map(|(p, _)| *p).collect();
-    table.row(group_row("cluster in (centroids)", &all_in));
-    table.row(group_row("cluster out (between)", &out_cluster));
     println!("{}", table.render());
 
-    let in_med = median_error(&all_in);
-    let out_med = median_error(&out_cluster);
     println!(
         "cluster-out / cluster-in median error ratio: {:.1}X (paper: ~2.5X, \
          out-of-cluster median ~10%)",
-        out_med / in_med
+        r.cluster_ratio()
     );
     Ok(())
 }

@@ -14,32 +14,19 @@
 //! ```
 
 use bench::eval::num_threads;
+use bench::figs::fig11;
 use bench::Args;
-use mechanisms::Dvfs;
-use profiler::{Condition, Profiler};
-use qsim::Backend;
-use simcore::dist::DistKind;
 use simcore::table::{fmt_f, TextTable};
 use simcore::SprintError;
-use sprint_core::throughput::{measure_throughput, measure_throughput_with};
-use workloads::{QueryMix, WorkloadKind};
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
-    let cores = args.get_usize("cores", num_threads().min(12));
-    let predictions = args.get_usize("predictions", 24);
-
-    // Profile once to get realistic service samples.
-    let mech = Dvfs::new();
-    eprintln!("profiling Jacobi for service samples ...");
-    let profile = Profiler::default().measure_rates(&QueryMix::single(WorkloadKind::Jacobi), &mech);
-    let cond = Condition {
-        utilization: 0.75,
-        arrival_kind: DistKind::Exponential,
-        timeout_secs: 80.0,
-        budget_frac: 0.4,
-        refill_secs: 200.0,
+    let cfg = fig11::Fig11Config {
+        cores: args.get_usize("cores", num_threads().min(12))?,
+        predictions: args.get_usize("predictions", 24)?,
+        ..fig11::Fig11Config::default()
     };
+    let cores = cfg.cores;
 
     println!(
         "\nFigure 11: prediction throughput and variance vs simulated \
@@ -54,6 +41,7 @@ fn main() -> Result<(), SprintError> {
              worker(s).\n"
         );
     }
+    let r = fig11::compute(&cfg)?;
     let mut table = TextTable::new(vec![
         "queries/prediction".to_string(),
         "pool 1t preds/min".to_string(),
@@ -63,27 +51,15 @@ fn main() -> Result<(), SprintError> {
         "scaling".to_string(),
         "CoV (%)".to_string(),
     ]);
-    let sizes = [1_000, 10_000, 100_000, 1_000_000];
-    for &q in &sizes {
-        eprintln!("measuring {q} queries/prediction ...");
-        let single = measure_throughput(&profile, &cond, q, 1, predictions)?;
-        let spawn =
-            measure_throughput_with(&profile, &cond, q, 1, predictions, Backend::Reference)?;
-        let multi = measure_throughput(&profile, &cond, q, cores, predictions)?;
+    for row in &r.rows {
         table.row(vec![
-            format!("{q}"),
-            fmt_f(single.predictions_per_minute, 0),
-            fmt_f(spawn.predictions_per_minute, 0),
-            format!(
-                "{:.1}X",
-                single.predictions_per_minute / spawn.predictions_per_minute
-            ),
-            fmt_f(multi.predictions_per_minute, 0),
-            format!(
-                "{:.1}X",
-                multi.predictions_per_minute / single.predictions_per_minute
-            ),
-            fmt_f(multi.cov_percent, 2),
+            format!("{}", row.queries),
+            fmt_f(row.pool_single, 0),
+            fmt_f(row.spawn_single, 0),
+            format!("{:.1}X", row.pool_gain()),
+            fmt_f(row.pool_multi, 0),
+            format!("{:.1}X", row.scaling()),
+            fmt_f(row.cov_percent, 2),
         ]);
     }
     println!("{}", table.render());

@@ -15,184 +15,49 @@
 //! cargo run --release -p bench --bin fig12_policy -- --panel a
 //! ```
 
-use bench::eval::default_train_options;
+use bench::figs::fig12;
 use bench::{Args, EvalSettings};
-use mechanisms::{CpuThrottle, Mechanism};
-use policy::{adrenaline_timeout, explore_timeout, few_to_many_timeout, AnnealingConfig};
-use profiler::{Condition, SamplingGrid};
-use simcore::dist::DistKind;
 use simcore::table::{fmt_f, TextTable};
-use simcore::time::Rate;
 use simcore::SprintError;
-use sprint_core::{train_hybrid, HybridModel, ResponseTimeModel, SimOptions};
-use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
-use workloads::{QueryMix, WorkloadKind};
 
-/// Throttling grid: long refills and small budget fractions match the
-/// burstable-instance regime of §4.
-fn throttle_grid() -> SamplingGrid {
-    SamplingGrid {
-        utilizations: vec![0.50, 0.65, 0.80, 0.95],
-        timeouts_secs: vec![0.0, 30.0, 60.0, 100.0, 150.0, 220.0, 300.0],
-        refills_secs: vec![1_800.0, 3_600.0],
-        budget_fracs: vec![0.05, 0.10, 0.20, 0.30],
-        arrival_kinds: vec![DistKind::Exponential],
-    }
-}
-
-struct Setup {
-    label: &'static str,
-    mix: QueryMix,
-    mech: CpuThrottle,
-    /// Budget capacity in sprint-seconds.
-    budget_secs: f64,
-}
-
-fn base_condition(utilization: f64, budget_secs: f64) -> Condition {
-    Condition {
-        utilization,
-        arrival_kind: DistKind::Exponential,
-        timeout_secs: 0.0,
-        budget_frac: budget_secs / 3_600.0,
-        refill_secs: 3_600.0,
-    }
-}
-
-/// Trains a hybrid model for one (mix, throttle) setup.
-fn train_model(
-    setup: &Setup,
-    settings: &EvalSettings,
-) -> Result<(HybridModel, profiler::ProfileData), SprintError> {
-    let data = bench::profile_single(&setup.mix, &setup.mech, &throttle_grid(), settings);
-    let opts = default_train_options(settings);
-    Ok((train_hybrid(&data, &opts)?, data))
-}
-
-/// Ground-truth response time on the testbed for a condition,
-/// averaged over three independent replays.
-fn observe(setup: &Setup, cond: &Condition, mu: Rate, seed: u64) -> Result<f64, SprintError> {
-    let mut total = 0.0;
-    for r in 0..3u64 {
-        let cfg = ServerConfig {
-            mix: setup.mix.clone(),
-            arrivals: ArrivalSpec::poisson(mu.scale(cond.utilization)),
-            policy: SprintPolicy::new(
-                cond.timeout(),
-                BudgetSpec::FractionOfRefill(cond.budget_frac),
-                cond.refill(),
-            ),
-            slots: 1,
-            num_queries: 400,
-            warmup: 40,
-            seed: seed.wrapping_add(r * 0x9E37),
-        };
-        total += testbed::server::run(cfg, &setup.mech)?.mean_response_secs();
-    }
-    Ok(total / 3.0)
-}
-
-fn panel_timeout_exploration(
-    setup: &Setup,
-    settings: &EvalSettings,
-    utilization: f64,
-) -> Result<(), SprintError> {
+fn print_exploration(r: &fig12::ExplorationResult) {
     println!(
         "\n=== {}: sprint {:.0} qph, budget {:.0} s ===",
-        setup.label,
-        setup.mech.marginal_rate(WorkloadKind::Jacobi).qph(),
-        setup.budget_secs
+        r.label, r.sprint_qph, r.budget_secs
     );
-    let (model, data) = train_model(setup, settings)?;
-    let base = base_condition(utilization, setup.budget_secs);
-
-    // Timeout sweep: model predictions.
     let mut sweep = TextTable::new(vec!["timeout (s)", "predicted RT (s)", "observed RT (s)"]);
-    for t in [0.0, 40.0, 80.0, 120.0, 160.0, 200.0, 260.0, 320.0] {
-        let mut c = base;
-        c.timeout_secs = t;
-        let predicted = model.predict_response_secs(&c);
-        let observed = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0)?;
-        sweep.row(vec![fmt_f(t, 0), fmt_f(predicted, 1), fmt_f(observed, 1)]);
+    for p in &r.sweep {
+        sweep.row(vec![
+            fmt_f(p.timeout_secs, 0),
+            fmt_f(p.predicted_secs, 1),
+            fmt_f(p.observed_secs, 1),
+        ]);
     }
     println!("{}", sweep.render());
 
-    // Competing policies, all evaluated on the testbed.
-    let sim = SimOptions::default();
-    let annealed = explore_timeout(
-        &model,
-        &base,
-        &AnnealingConfig {
-            iterations: 120,
-            bounds_secs: (0.0, 350.0),
-            seed: settings.seed ^ 0xA11,
-            ..AnnealingConfig::default()
-        },
-    )?;
-    let ftm = few_to_many_timeout(&data.profile, &base, &sim, (0.0, 2_000.0), 25.0)?;
-    let adr = adrenaline_timeout(&data.profile, &base, &sim)?;
-
     let mut table = TextTable::new(vec!["policy", "timeout (s)", "observed RT (s)"]);
-    let burst_rt = observe(setup, &base, data.profile.mu, settings.seed ^ 0xD0)?;
-    table.row(vec![
-        "burst (timeout 0)".to_string(),
-        "0".into(),
-        fmt_f(burst_rt, 1),
-    ]);
-    let mut eval_policy = |name: &str, t: f64| -> Result<f64, SprintError> {
-        let mut c = base;
-        c.timeout_secs = t;
-        let rt = observe(setup, &c, data.profile.mu, settings.seed ^ 0xD0)?;
-        table.row(vec![name.to_string(), fmt_f(t, 0), fmt_f(rt, 1)]);
-        Ok(rt)
-    };
-    let md = eval_policy("model-driven (annealed)", annealed.best_timeout_secs)?;
-    let ftm_rt = eval_policy("few-to-many", ftm)?;
-    let adr_rt = eval_policy("adrenaline", adr.min(2_000.0))?;
-    println!("{}", table.render());
-    println!(
-        "model-driven vs adrenaline: {:.2}X; vs few-to-many: {:.2}X",
-        adr_rt / md,
-        ftm_rt / md
-    );
-    Ok(())
-}
-
-fn panel_c(settings: &EvalSettings) -> Result<(), SprintError> {
-    println!("\n=== Panel C: response time vs budget at fixed timeouts (Jacobi) ===");
-    let setup = Setup {
-        label: "big-burst",
-        mix: QueryMix::single(WorkloadKind::Jacobi),
-        mech: CpuThrottle::new(0.2),
-        budget_secs: 243.0,
-    };
-    let (model, _) = train_model(&setup, settings)?;
-    let mut table = TextTable::new(vec![
-        "budget (% of hour)",
-        "RT @ 50 s",
-        "RT @ 80 s",
-        "RT @ 130 s",
-    ]);
-    for frac in [0.03, 0.05, 0.08, 0.12, 0.18, 0.25] {
-        let mut row = vec![format!("{:.0}%", frac * 100.0)];
-        for t in [50.0, 80.0, 130.0] {
-            let mut c = base_condition(0.8, frac * 3_600.0);
-            c.timeout_secs = t;
-            row.push(fmt_f(model.predict_response_secs(&c), 1));
-        }
-        table.row(row);
+    for p in &r.policies {
+        table.row(vec![
+            p.name.to_string(),
+            fmt_f(p.timeout_secs, 0),
+            fmt_f(p.observed_secs, 1),
+        ]);
     }
     println!("{}", table.render());
-    println!("Paper: tight budgets favour loose timeouts (sprint only the");
-    println!("slowest queries); loose budgets favour strict timeouts.");
-    Ok(())
+    if let (Some(adr), Some(ftm)) = (
+        r.ratio_over_model("adrenaline"),
+        r.ratio_over_model("few-to-many"),
+    ) {
+        println!("model-driven vs adrenaline: {adr:.2}X; vs few-to-many: {ftm:.2}X");
+    }
 }
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 56),
-        queries_per_run: args.get_usize("queries", 400),
-        seed: args.get_usize("seed", 0xF1_612) as u64,
+        conditions: args.get_usize("conditions", 56)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        seed: args.get_usize("seed", 0xF1_612)? as u64,
         ..EvalSettings::default()
     };
     let panel = args.get("panel").unwrap_or("all").to_ascii_lowercase();
@@ -200,54 +65,41 @@ fn main() -> Result<(), SprintError> {
     if panel == "all" || panel == "a" {
         println!("Figure 12(A): timeout exploration, Jacobi under CPU throttling");
         // §4.3: sustained 14.8 qph (20% of 74), λ = 11.8 qph (80%).
-        panel_timeout_exploration(
-            &Setup {
-                label: "big-burst",
-                mix: QueryMix::single(WorkloadKind::Jacobi),
-                mech: CpuThrottle::new(0.2),
-                budget_secs: 243.0, // ~5 fully sprinted queries.
-            },
-            &settings,
-            0.8,
-        )?;
-        panel_timeout_exploration(
-            &Setup {
-                label: "small-burst",
-                mix: QueryMix::single(WorkloadKind::Jacobi),
-                mech: CpuThrottle::with_sprint_multiplier(0.2, 44.0 / 14.8),
-                budget_secs: 818.0, // ~10 sprints at the lower rate.
-            },
-            &settings,
-            0.8,
-        )?;
+        for setup in [
+            fig12::Setup::big_burst_jacobi(),
+            fig12::Setup::small_burst_jacobi(),
+        ] {
+            print_exploration(&fig12::panel_timeout_exploration(&setup, &settings, 0.8)?);
+        }
     }
 
     if panel == "all" || panel == "b" {
         println!("\nFigure 12(B): timeout exploration, Mix I (Jacobi + SparkStream)");
-        panel_timeout_exploration(
-            &Setup {
-                label: "big-burst",
-                mix: QueryMix::mix_i(),
-                mech: CpuThrottle::new(0.2),
-                budget_secs: 243.0,
-            },
-            &settings,
-            0.8,
-        )?;
-        panel_timeout_exploration(
-            &Setup {
-                label: "small-burst",
-                mix: QueryMix::mix_i(),
-                mech: CpuThrottle::with_sprint_multiplier(0.2, 3.0),
-                budget_secs: 818.0,
-            },
-            &settings,
-            0.8,
-        )?;
+        for setup in [
+            fig12::Setup::big_burst_mix_i(),
+            fig12::Setup::small_burst_mix_i(),
+        ] {
+            print_exploration(&fig12::panel_timeout_exploration(&setup, &settings, 0.8)?);
+        }
     }
 
     if panel == "all" || panel == "c" {
-        panel_c(&settings)?;
+        println!("\n=== Panel C: response time vs budget at fixed timeouts (Jacobi) ===");
+        let c = fig12::panel_c(&settings)?;
+        let mut table = TextTable::new(vec![
+            "budget (% of hour)",
+            "RT @ 50 s",
+            "RT @ 80 s",
+            "RT @ 130 s",
+        ]);
+        for row in &c.rows {
+            let mut cells = vec![format!("{:.0}%", row.budget_frac * 100.0)];
+            cells.extend(row.predicted_secs.iter().map(|&v| fmt_f(v, 1)));
+            table.row(cells);
+        }
+        println!("{}", table.render());
+        println!("Paper: tight budgets favour loose timeouts (sprint only the");
+        println!("slowest queries); loose budgets favour strict timeouts.");
     }
     Ok(())
 }

@@ -9,32 +9,29 @@
 //! cargo run --release -p bench --bin fig13_revenue -- --tail
 //! ```
 
+use bench::figs::fig13;
 use bench::Args;
-use cloud::colocate::{combo, strategy_commitment};
-use cloud::slo::demand_rate;
-use cloud::{colocate, BurstablePolicy, SloOptions, Strategy, PRICE_PER_WORKLOAD_HOUR};
-use mechanisms::CpuThrottle;
+use cloud::{SloOptions, PRICE_PER_WORKLOAD_HOUR};
 use simcore::table::{fmt_f, TextTable};
-use simcore::time::SimDuration;
 use simcore::SprintError;
-use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
-use workloads::{QueryMix, WorkloadKind};
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
+    let queries = args.get_usize("queries", 2_000)?;
     let opts = SloOptions {
-        sim_queries: args.get_usize("queries", 2_000),
-        warmup: args.get_usize("queries", 2_000) / 10,
+        sim_queries: queries,
+        warmup: queries / 10,
         replications: 2,
         ..SloOptions::default()
     };
 
     if args.has_flag("tail") {
-        return tail_comparison(args.get_usize("seed", 0x7A11) as u64);
+        return tail_comparison(args.get_usize("seed", 0x7A11)? as u64);
     }
 
     println!("Figure 13: revenue per node for burstable-instance colocation");
     println!("(price ${PRICE_PER_WORKLOAD_HOUR:.2}/workload-hour; SLO = 1.15X no-throttle)\n");
+    let r = fig13::compute(&[1, 2, 3], &opts)?;
     let mut table = TextTable::new(vec![
         "combo",
         "strategy",
@@ -42,31 +39,25 @@ fn main() -> Result<(), SprintError> {
         "CPU committed",
         "revenue/hr ($)",
     ]);
+    for row in &r.rows {
+        table.row(vec![
+            format!("#{}", row.combo),
+            row.strategy.name().to_string(),
+            format!("{}/{}", row.hosted, row.offered),
+            fmt_f(row.committed_cpu, 2),
+            fmt_f(row.revenue_per_hour, 3),
+        ]);
+    }
     for c in 1..=3 {
-        let demands = combo(c);
-        for strategy in [
-            Strategy::Aws,
-            Strategy::ModelDrivenBudgeting,
-            Strategy::ModelDrivenSprinting,
-        ] {
-            eprintln!("combo {c}, {} ...", strategy.name());
-            let r = colocate(&demands, strategy, &opts)?;
+        if let Some(max_rev) = r.max_revenue(c) {
             table.row(vec![
                 format!("#{c}"),
-                strategy.name().to_string(),
-                format!("{}/{}", r.hosted.len(), demands.len()),
-                fmt_f(r.committed_cpu, 2),
-                fmt_f(r.revenue_per_hour(), 3),
+                "(max)".to_string(),
+                String::new(),
+                String::new(),
+                fmt_f(max_rev, 3),
             ]);
         }
-        let max_rev = PRICE_PER_WORKLOAD_HOUR * demands.len() as f64;
-        table.row(vec![
-            format!("#{c}"),
-            "(max)".to_string(),
-            format!("{}/{}", demands.len(), demands.len()),
-            String::new(),
-            fmt_f(max_rev, 3),
-        ]);
     }
     println!("{}", table.render());
     println!("Paper: combo 1 — AWS hosts 1, budgeting 2, budget+timeout 3;");
@@ -74,113 +65,46 @@ fn main() -> Result<(), SprintError> {
     Ok(())
 }
 
-/// §4.4's tail study: 99th/99.9th-percentile behaviour of Jacobi under
-/// a fixed burst-on-arrival policy vs a model-driven timeout policy
-/// with the *same* sprint rate and budget, on the testbed.
-///
-/// The comparison only bites when the budget binds: we use a heavily
-/// loaded Jacobi whose sprint demand exceeds the hourly budget, so
-/// bursting every arrival (the AWS default) drains credits on queries
-/// that were never at risk, while the model-selected timeout saves
-/// them for the tail.
+/// §4.4's tail study, printed from the library computation.
 fn tail_comparison(seed: u64) -> Result<(), SprintError> {
     println!("§4.4 tail latency: Jacobi, AWS burst-on-arrival vs model-driven timeout");
     println!("(equal sprint rate and budget; only the timeout differs)\n");
-    let demand = demand_rate(WorkloadKind::Jacobi, 0.9);
-    // A binding budget: ~10.6 sprints/hour of ~48.6 s each would need
-    // ~650 s/h; grant 300 s/h.
-    let budget = BurstablePolicy {
-        budget_secs_per_hour: 300.0,
-        ..BurstablePolicy::aws_t2_small()
-    };
-
-    // Model-driven timeout selection: predicted mean response over a
-    // timeout grid, using the first-principles simulator.
-    let opts = SloOptions {
-        sim_queries: 2_000,
-        warmup: 200,
-        replications: 3,
-        ..SloOptions::default()
-    };
-    let mut best = (0.0, f64::INFINITY);
-    for t in [0.0, 60.0, 120.0, 180.0, 240.0, 320.0, 420.0, 560.0] {
-        let candidate = BurstablePolicy {
-            timeout_secs: t,
-            ..budget
-        };
-        let rt = cloud::predict_response_secs(WorkloadKind::Jacobi, demand, &candidate, &opts)?;
-        if rt < best.1 {
-            best = (t, rt);
-        }
-    }
-    let md = BurstablePolicy {
-        timeout_secs: best.0,
-        ..budget
-    };
+    let t = fig13::tail_comparison(seed, 6_000)?;
     println!(
         "model-selected timeout: {:.0} s (predicted mean RT {:.0} s); \
          commitment is identical ({:.2})\n",
-        md.timeout_secs,
-        best.1,
-        strategy_commitment(Strategy::ModelDrivenSprinting, &md),
+        t.md_timeout_secs, t.md_predicted_secs, t.commitment,
     );
 
-    // Ground truth: long testbed replays; tail thresholds follow the
-    // paper's structure (the burst policy's p99 / p99.9).
-    let observe = |p: &BurstablePolicy| {
-        let mech = CpuThrottle::with_sprint_multiplier(p.share, p.sprint_multiplier);
-        let cfg = ServerConfig {
-            mix: QueryMix::single(WorkloadKind::Jacobi),
-            arrivals: ArrivalSpec::poisson(demand),
-            policy: SprintPolicy::new(
-                SimDuration::from_secs_f64(p.timeout_secs),
-                BudgetSpec::Seconds(p.budget_secs_per_hour),
-                SimDuration::from_secs(3_600),
-            ),
-            slots: 1,
-            num_queries: 6_000,
-            warmup: 600,
-            seed,
-        };
-        testbed::server::run(cfg, &mech)
-    };
-    let aws_run = observe(&budget)?;
-    let md_run = observe(&md)?;
-    let t99 = aws_run.response_quantile_secs(0.99);
-    let t999 = aws_run.response_quantile_secs(0.999);
-
+    let (t99, t999) = t.thresholds_secs;
     let mut table = TextTable::new(vec![
         "policy",
         "mean RT (s)",
         &format!(">{t99:.0} s tail"),
         &format!(">{t999:.0} s tail"),
     ]);
-    let mut row = |name: &str, r: &testbed::RunResult| -> (f64, f64) {
-        let a = r.tail_fraction(t99);
-        let b = r.tail_fraction(t999);
+    for (name, mean, tails) in [
+        ("burst on arrival (AWS)", t.mean_secs.0, t.aws_tails),
+        ("model-driven timeout", t.mean_secs.1, t.md_tails),
+    ] {
         table.row(vec![
             name.to_string(),
-            fmt_f(r.mean_response_secs(), 1),
-            format!("{:.3}%", a * 100.0),
-            format!("{:.3}%", b * 100.0),
+            fmt_f(mean, 1),
+            format!("{:.3}%", tails.0 * 100.0),
+            format!("{:.3}%", tails.1 * 100.0),
         ]);
-        (a, b)
-    };
-    let (aws_a, aws_b) = row("burst on arrival (AWS)", &aws_run);
-    let (md_a, md_b) = row("model-driven timeout", &md_run);
+    }
     println!("{}", table.render());
-    let reduction = |aws: f64, md: f64| {
-        if md > 0.0 {
-            format!("{:.2}X", aws / md)
-        } else {
-            "∞ (tail emptied)".to_string()
-        }
+    let fmt_reduction = |r: Option<f64>| match r {
+        Some(x) => format!("{x:.2}X"),
+        None => "∞ (tail emptied)".to_string(),
     };
+    let (r99, r999) = t.reductions();
     println!(
         "tail reduction: {} at the p99 threshold, {} at p99.9 \
          (paper: 3.16X and 3.76X at 335 s / 521 s)",
-        reduction(aws_a, md_a),
-        reduction(aws_b, md_b)
+        fmt_reduction(r99),
+        fmt_reduction(r999)
     );
     Ok(())
 }

@@ -9,42 +9,38 @@
 //! cargo run --release -p bench --bin fig14_breakeven
 //! ```
 
+use bench::figs::fig14;
 use bench::Args;
-use cloud::colocate::combo;
-use cloud::revenue::{break_even_hours, break_even_timeline, SERVER_LIFETIME_HOURS};
-use cloud::{colocate, SloOptions, Strategy};
+use cloud::revenue::SERVER_LIFETIME_HOURS;
+use cloud::SloOptions;
 use simcore::table::{fmt_f, TextTable};
 use simcore::SprintError;
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let opts = SloOptions {
-        sim_queries: args.get_usize("queries", 1_600),
+        sim_queries: args.get_usize("queries", 1_600)?,
         warmup: 160,
         replications: 2,
         ..SloOptions::default()
     };
 
-    // Revenue rates come from the combo-3 colocation outcomes.
     eprintln!("computing combo-3 colocation under both strategies ...");
-    let demands = combo(3);
-    let aws_rate = colocate(&demands, Strategy::Aws, &opts)?.revenue_per_hour();
-    let md_rate = colocate(&demands, Strategy::ModelDrivenSprinting, &opts)?.revenue_per_hour();
+    let r = fig14::compute(&opts)?;
     println!(
-        "\nFigure 14: revenue vs hours (combo 3: aws ${aws_rate:.3}/h, \
-         model-driven ${md_rate:.3}/h, {} workloads to profile)\n",
-        demands.len()
+        "\nFigure 14: revenue vs hours (combo 3: aws ${:.3}/h, \
+         model-driven ${:.3}/h, {} workloads to profile)\n",
+        r.aws_rate, r.md_rate, r.num_workloads
     );
 
-    let timeline =
-        break_even_timeline(aws_rate, md_rate, demands.len(), SERVER_LIFETIME_HOURS, 4.0)?;
     let mut table = TextTable::new(vec![
         "hours",
         "aws ($)",
         "model-driven hybrid ($)",
         "model-driven ann ($)",
     ]);
-    for p in timeline
+    for p in r
+        .timeline
         .iter()
         .filter(|p| (p.hours as u64).is_multiple_of(48) || p.hours >= SERVER_LIFETIME_HOURS - 2.0)
     {
@@ -57,19 +53,17 @@ fn main() -> Result<(), SprintError> {
     }
     println!("{}", table.render());
 
-    match break_even_hours(&timeline) {
+    match r.hybrid_break_even_hours {
         Some(h) => println!(
             "hybrid break-even after {h:.0} h (~{:.1} days; paper: ~2.5 days)",
             h / 24.0
         ),
         None => println!("hybrid never breaks even within the lifetime"),
     }
-    if let Some(last) = timeline.last() {
+    if let Some((hybrid_x, ann_x)) = r.lifetime_multiples() {
         println!(
-            "lifetime ({SERVER_LIFETIME_HOURS:.0} h) revenue: hybrid {:.2}X aws, ann {:.2}X aws \
-             (paper: 1.6X for the hybrid model)",
-            last.model_hybrid / last.aws,
-            last.model_ann / last.aws
+            "lifetime ({SERVER_LIFETIME_HOURS:.0} h) revenue: hybrid {hybrid_x:.2}X aws, \
+             ann {ann_x:.2}X aws (paper: 1.6X for the hybrid model)"
         );
     }
     Ok(())

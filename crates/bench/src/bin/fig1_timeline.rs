@@ -1,69 +1,29 @@
 //! Regenerates Figure 1: query executions under a tight sprinting
 //! budget, and the intro's timeout-sensitivity example — a 1-minute
-//! timeout sprints too aggressively, a 3-minute timeout is too
-//! conservative, and a 2-minute timeout improves response time
+//! timeout sprints too aggressively, a 5-minute timeout is too
+//! conservative, and a 2.5-minute timeout improves response time
 //! substantially.
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig1_timeline
 //! ```
 
+use bench::figs::fig1;
 use bench::Args;
-use mechanisms::CpuThrottle;
 use simcore::table::{fmt_f, TextTable};
-use simcore::time::{Rate, SimDuration};
 use simcore::SprintError;
-use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy};
-use workloads::{QueryMix, WorkloadKind};
-
-fn scenario(timeout_secs: f64, seed: u64) -> ServerConfig {
-    // Jacobi under CPU throttling, heavily loaded, with a budget that
-    // covers roughly two full sprints before it drains and refills
-    // slowly — tight enough that aggressive early sprinting starves
-    // later queueing-heavy periods.
-    ServerConfig {
-        mix: QueryMix::single(WorkloadKind::Jacobi),
-        arrivals: ArrivalSpec::poisson(Rate::per_hour(14.8 * 0.85)),
-        policy: SprintPolicy::new(
-            SimDuration::from_secs_f64(timeout_secs),
-            BudgetSpec::Seconds(120.0),
-            SimDuration::from_secs(1_800),
-        ),
-        slots: 1,
-        num_queries: 300,
-        warmup: 30,
-        seed,
-    }
-}
-
-/// Mean response over several seeds (the paper's Fig. 1 is a single
-/// illustrative trace; the sensitivity claim needs steady state).
-fn mean_rt(timeout_secs: f64, base_seed: u64, reps: u64) -> Result<f64, SprintError> {
-    let mech = CpuThrottle::new(0.2);
-    let mut total = 0.0;
-    for i in 0..reps {
-        total += testbed::server::run(scenario(timeout_secs, base_seed + i), &mech)?
-            .mean_response_secs();
-    }
-    Ok(total / reps as f64)
-}
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
-    let seed = args.get_usize("seed", 11) as u64;
-    let mech = CpuThrottle::new(0.2);
+    let cfg = fig1::Fig1Config {
+        seed: args.get_usize("seed", 11)? as u64,
+        reps: args.get_usize("reps", 12)? as u64,
+        ..fig1::Fig1Config::default()
+    };
+    let r = fig1::compute(&cfg)?;
 
-    // Panel 1: the Fig. 1 timeline — early queries drain the budget,
-    // later ones cannot sprint despite slow responses. Powered by the
-    // flight recorder: sprint engages/ends come from the event log, not
-    // from re-deriving them out of the per-query records.
     println!("Figure 1: query executions under a tight sprinting budget");
     println!("(timeout 60s; budget drains after the early sprints)\n");
-    let mut server = testbed::Server::new(scenario(60.0, seed), &mech)?;
-    server.attach_recorder(4096);
-    let r = server.run()?;
-    let records = &r.records()[..10.min(r.records().len())];
-    let t0 = records[0].arrival;
     let mut table = TextTable::new(vec![
         "query",
         "arrive",
@@ -73,13 +33,13 @@ fn main() -> Result<(), SprintError> {
         "timed out",
         "sprinted",
     ]);
-    for q in records {
+    for q in &r.trace {
         table.row(vec![
             format!("{}", q.id + 1),
-            fmt_f(q.arrival.since(t0).as_secs_f64(), 0),
-            fmt_f(q.queue_delay().as_secs_f64(), 0),
-            fmt_f(q.processing_time().as_secs_f64(), 0),
-            fmt_f(q.sprint_seconds, 0),
+            fmt_f(q.arrive_secs, 0),
+            fmt_f(q.queue_secs, 0),
+            fmt_f(q.process_secs, 0),
+            fmt_f(q.sprint_secs, 0),
             format!("{}", q.timed_out),
             format!("{}", q.sprinted),
         ]);
@@ -88,45 +48,32 @@ fn main() -> Result<(), SprintError> {
 
     // Flight-recorder view of the same run: every sprint engage/end,
     // straight from the event log.
-    if let Some(t) = r.telemetry() {
-        let sprint_events: Vec<obs::Event> = t
-            .events()
-            .iter()
-            .filter(|e| {
-                matches!(
-                    e.kind,
-                    obs::EventKind::SprintEngaged { .. } | obs::EventKind::SprintEnded { .. }
-                )
-            })
-            .take(16)
-            .copied()
-            .collect();
-        println!(
-            "Sprint events (flight recorder, first {}):",
-            sprint_events.len()
-        );
-        println!("{}", obs::render_timeline(&sprint_events));
-    }
+    println!(
+        "Sprint events (flight recorder, first {}):",
+        r.sprint_events.len()
+    );
+    println!("{}", obs::render_timeline(&r.sprint_events));
 
-    // Panel 2: timeout sensitivity (the intro's too-aggressive /
-    // sweet-spot / too-conservative example).
-    println!("Timeout sensitivity (mean response over 12 replays):\n");
-    let reps = args.get_usize("reps", 12) as u64;
+    println!(
+        "Timeout sensitivity (mean response over {} replays):\n",
+        cfg.reps
+    );
     let mut table = TextTable::new(vec!["timeout", "mean response (s)", "vs 1 min"]);
-    let base = mean_rt(60.0, seed + 100, reps)?;
-    for (label, t) in [
-        ("1 min (aggressive)", 60.0),
-        ("2.5 min (sweet spot)", 150.0),
-        ("5 min (conservative)", 300.0),
-    ] {
-        let rt = mean_rt(t, seed + 100, reps)?;
+    let base = r
+        .rt_at(60.0)
+        .ok_or_else(|| SprintError::runtime("fig1_timeline", "missing 60 s sweep point"))?;
+    for p in &r.sweep {
         table.row(vec![
-            label.to_string(),
-            fmt_f(rt, 1),
-            format!("{:+.1}%", (rt - base) / base * 100.0),
+            p.label.to_string(),
+            fmt_f(p.mean_rt_secs, 1),
+            format!("{:+.1}%", (p.mean_rt_secs - base) / base * 100.0),
         ]);
     }
     println!("{}", table.render());
+    println!(
+        "non-monotone sweet spot reproduced: {}",
+        if r.non_monotone() { "yes" } else { "NO" }
+    );
     println!("A short timeout sprints too aggressively and drains the budget on");
     println!("early arrivals; a long one is too conservative and strands budget.");
     println!("Subtle timeout changes move response time in both directions —");

@@ -10,138 +10,43 @@
 //! cargo run --release -p bench --bin fig7_model_error -- --workloads 3
 //! ```
 
-use bench::eval::{default_train_options, median_error, EvalPoint};
-use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
-use mechanisms::Dvfs;
-use profiler::{ProfileData, Profiler, SamplingGrid};
+use bench::figs::fig7;
+use bench::{Args, EvalSettings};
 use simcore::table::{fmt_pct, TextTable};
 use simcore::SprintError;
-use sprint_core::{train_ann, train_hybrid};
-use workloads::{QueryMix, WorkloadKind};
-
-/// Evaluation points for one modeling approach across all workloads.
-#[derive(Default)]
-struct Pool {
-    points: Vec<EvalPoint>,
-}
-
-impl Pool {
-    fn median_at_util(&self, util: Option<f64>) -> Option<f64> {
-        let pts: Vec<EvalPoint> = self
-            .points
-            .iter()
-            .filter(|p| util.is_none_or(|u| (p.run.condition.utilization - u).abs() < 1e-9))
-            .cloned()
-            .collect();
-        (!pts.is_empty()).then(|| median_error(&pts))
-    }
-}
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 60),
-        queries_per_run: args.get_usize("queries", 400),
-        replays: args.get_usize("replays", 3),
-        seed: args.get_usize("seed", 0xF1607) as u64,
+        conditions: args.get_usize("conditions", 60)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        replays: args.get_usize("replays", 3)?,
+        seed: args.get_usize("seed", 0xF1607)? as u64,
         ..EvalSettings::default()
     };
-    let num_workloads = args.get_usize("workloads", 7).min(7);
-    let opts = default_train_options(&settings);
-    let mech = Dvfs::new();
-    let grid = SamplingGrid::paper();
+    let num_workloads = args.get_usize("workloads", 7)?.min(7);
 
     if args.has_flag("training-sweep") {
-        return training_sweep(&settings, &mech);
+        return training_sweep(&settings);
     }
 
-    let mut hybrid = Pool::default();
-    let mut no_ml = Pool::default();
-    let mut ann = Pool::default();
-    let mut ann_more = Pool::default();
-    // Observation-noise floor: a "model" that re-observes each test
-    // condition with independent seeds. No predictor can beat this.
-    let mut floor = Pool::default();
-
-    for &kind in WorkloadKind::ALL.iter().take(num_workloads) {
-        eprintln!("profiling + training {} ...", kind.name());
-        let mix = QueryMix::single(kind);
-        let data = profile_single(&mix, &mech, &grid, &settings);
-        let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x51);
-
-        let hybrid_model = train_hybrid(&train, &opts)?;
-        let ann_model = train_ann(&train, &opts)?;
-        let no_ml_model = sprint_core::train::no_ml(&train, &opts);
-
-        // "ANN w/ more training data": enlarge the campaign ~50%
-        // (the paper enlarges its set ~20%, at 8.6 h instead of 7.2 h).
-        let extra_conditions =
-            grid.sample_conditions(settings.conditions / 2, settings.seed ^ 0xE07A);
-        let profiler = Profiler {
-            queries_per_run: settings.queries_per_run,
-            warmup: settings.queries_per_run / 10,
-            replays: settings.replays,
-            threads: settings.threads,
-            seed: settings.seed ^ 0xADD,
-        };
-        let extra = profiler.run_conditions(&data.profile, &mech, &extra_conditions);
-        let mut enlarged = train.clone();
-        enlarged.runs.extend(extra.into_iter().map(|(r, _)| r));
-        let ann_more_model = train_ann(&enlarged, &opts)?;
-
-        hybrid.points.extend(evaluate_model(&hybrid_model, &test));
-        no_ml.points.extend(evaluate_model(&no_ml_model, &test));
-        ann.points.extend(evaluate_model(&ann_model, &test));
-        ann_more
-            .points
-            .extend(evaluate_model(&ann_more_model, &test));
-
-        // Re-observe the test conditions with independent seeds.
-        let refloor = Profiler {
-            queries_per_run: settings.queries_per_run,
-            warmup: settings.queries_per_run / 10,
-            replays: settings.replays,
-            threads: settings.threads,
-            seed: settings.seed ^ 0xF100,
-        };
-        let test_conditions: Vec<_> = test.runs.iter().map(|r| r.condition).collect();
-        let reruns = refloor.run_conditions(&data.profile, &mech, &test_conditions);
-        floor.points.extend(
-            test.runs
-                .iter()
-                .zip(&reruns)
-                .map(|(run, (re, _))| EvalPoint {
-                    run: *run,
-                    predicted: re.observed_response_secs,
-                }),
-        );
-    }
+    let r = fig7::compute(&settings, num_workloads)?;
 
     println!("\nFigure 7: median absolute relative error by modeling approach");
     println!(
         "({} workloads on DVFS, {} conditions each, 80/20 split)\n",
-        num_workloads, settings.conditions
+        r.num_workloads, settings.conditions
     );
     let mut table = TextTable::new(vec!["approach", "Overall", "30%", "50%", "75%", "95%"]);
-    for (name, pool) in [
-        ("Hybrid", &hybrid),
-        ("No-ML", &no_ml),
-        ("ANN", &ann),
-        ("ANN w/ more data", &ann_more),
-        ("(observation noise floor)", &floor),
-    ] {
+    for approach in &r.approaches {
         let cell = |u: Option<f64>| {
-            pool.median_at_util(u)
+            approach
+                .median_at_util(u)
                 .map_or_else(|| "-".to_string(), fmt_pct)
         };
-        table.row(vec![
-            name.to_string(),
-            cell(None),
-            cell(Some(0.30)),
-            cell(Some(0.50)),
-            cell(Some(0.75)),
-            cell(Some(0.95)),
-        ]);
+        let mut row = vec![approach.name.to_string(), cell(None)];
+        row.extend(fig7::UTILIZATIONS.iter().map(|&u| cell(Some(u))));
+        table.row(row);
     }
     println!("{}", table.render());
     println!("Paper: Hybrid ~4% overall; ANN ~30% (improving with data);");
@@ -151,49 +56,24 @@ fn main() -> Result<(), SprintError> {
 
 /// §3.1: how much more training data does the ANN need to match the
 /// hybrid approach on Jacobi?
-fn training_sweep(settings: &EvalSettings, mech: &Dvfs) -> Result<(), SprintError> {
-    let opts = default_train_options(settings);
-    let grid = SamplingGrid::paper();
-    let mix = QueryMix::single(WorkloadKind::Jacobi);
-
-    // One large campaign; nested subsets emulate growing training sets.
-    let big = EvalSettings {
-        conditions: settings.conditions * 6,
-        ..*settings
-    };
-    eprintln!("profiling {} conditions ...", big.conditions);
-    let data = profile_single(&mix, mech, &grid, &big);
-    let (train_all, test) = split_runs(&data, 0.9, settings.seed ^ 0x5EE1);
-
-    let base = settings.conditions.min(train_all.runs.len());
-    let hybrid_train = ProfileData {
-        profile: train_all.profile.clone(),
-        runs: train_all.runs[..base].to_vec(),
-    };
-    let hybrid_model = train_hybrid(&hybrid_train, &opts)?;
-    let hybrid_err = median_error(&evaluate_model(&hybrid_model, &test));
+fn training_sweep(settings: &EvalSettings) -> Result<(), SprintError> {
+    let r = fig7::training_sweep(settings)?;
     println!(
-        "hybrid trained on {base} runs: median error {}",
-        fmt_pct(hybrid_err)
+        "hybrid trained on {} runs: median error {}",
+        r.hybrid_runs,
+        fmt_pct(r.hybrid_err)
     );
 
     let mut table = TextTable::new(vec!["ANN training runs", "vs hybrid data", "median error"]);
-    let mut matched: Option<f64> = None;
-    for factor in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
-        let n = ((base as f64 * factor) as usize).min(train_all.runs.len());
-        let subset = ProfileData {
-            profile: train_all.profile.clone(),
-            runs: train_all.runs[..n].to_vec(),
-        };
-        let ann_model = train_ann(&subset, &opts)?;
-        let err = median_error(&evaluate_model(&ann_model, &test));
-        table.row(vec![format!("{n}"), format!("{factor:.1}X"), fmt_pct(err)]);
-        if matched.is_none() && err <= hybrid_err * 1.1 {
-            matched = Some(factor);
-        }
+    for s in &r.steps {
+        table.row(vec![
+            format!("{}", s.runs),
+            format!("{:.1}X", s.factor),
+            fmt_pct(s.median_err),
+        ]);
     }
     println!("{}", table.render());
-    match matched {
+    match r.matched_factor {
         Some(f) => println!("ANN reached hybrid-level accuracy with ~{f:.1}X the training data."),
         None => println!(
             "ANN did not reach hybrid-level accuracy within the sweep \

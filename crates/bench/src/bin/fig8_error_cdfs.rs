@@ -12,65 +12,39 @@
 //! cargo run --release -p bench --bin fig8_error_cdfs -- --panel c
 //! ```
 
-use bench::eval::{default_train_options, median_error, EvalPoint};
-use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
-use mechanisms::{CoreScale, Dvfs, Ec2Dvfs, Mechanism};
-use profiler::SamplingGrid;
+use bench::figs::fig8;
+use bench::{Args, EvalSettings};
 use simcore::table::{fmt_pct, TextTable};
 use simcore::SprintError;
-use sprint_core::{train_ann, train_hybrid};
-use workloads::{QueryMix, WorkloadKind};
+use workloads::WorkloadKind;
 
-/// Error quantiles reported per CDF row.
-const QUANTILES: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 0.90];
+const HEADER: [&str; 6] = ["workload", "p10", "p25", "p50", "p75", "p90"];
 
-fn quantile_row(points: &[EvalPoint]) -> Vec<String> {
-    let mut errs: Vec<f64> = points.iter().map(EvalPoint::error).collect();
-    errs.sort_by(f64::total_cmp);
-    QUANTILES
-        .iter()
-        .map(|&q| {
-            let pos = q * (errs.len() - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            let frac = pos - lo as f64;
-            fmt_pct(errs[lo] * (1.0 - frac) + errs[hi] * frac)
-        })
-        .collect()
+fn quantile_cells(row: &fig8::CdfRow) -> Vec<String> {
+    let mut cells = vec![row.label.clone()];
+    cells.extend(row.quantiles.iter().map(|&q| fmt_pct(q)));
+    cells
 }
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 60),
-        queries_per_run: args.get_usize("queries", 400),
-        seed: args.get_usize("seed", 0xF1608) as u64,
+        conditions: args.get_usize("conditions", 60)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        seed: args.get_usize("seed", 0xF1608)? as u64,
         ..EvalSettings::default()
     };
-    let opts = default_train_options(&settings);
     let panel = args.get("panel").unwrap_or("all").to_ascii_lowercase();
 
     if panel == "all" || panel == "a" || panel == "b" {
-        let mech = Dvfs::new();
-        let mut table_a = TextTable::new(vec!["workload", "p10", "p25", "p50", "p75", "p90"]);
-        let mut table_b = TextTable::new(vec!["workload", "p10", "p25", "p50", "p75", "p90"]);
-        for kind in WorkloadKind::ALL {
-            eprintln!("panel A/B: {} ...", kind.name());
-            let data = profile_single(
-                &QueryMix::single(kind),
-                &mech,
-                &SamplingGrid::paper(),
-                &settings,
-            );
-            let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8A);
-            let hybrid = train_hybrid(&train, &opts)?;
-            let ann = train_ann(&train, &opts)?;
-            let mut row_a = vec![kind.name().to_string()];
-            row_a.extend(quantile_row(&evaluate_model(&hybrid, &test)));
-            table_a.row(row_a);
-            let mut row_b = vec![kind.name().to_string()];
-            row_b.extend(quantile_row(&evaluate_model(&ann, &test)));
-            table_b.row(row_b);
+        let ab = fig8::panel_ab(&settings, WorkloadKind::ALL.len())?;
+        let mut table_a = TextTable::new(HEADER.to_vec());
+        let mut table_b = TextTable::new(HEADER.to_vec());
+        for row in &ab.hybrid {
+            table_a.row(quantile_cells(row));
+        }
+        for row in &ab.ann {
+            table_b.row(quantile_cells(row));
         }
         println!("\nFigure 8(A): error CDF quantiles, Hybrid model (DVFS)");
         println!("{}", table_a.render());
@@ -80,53 +54,22 @@ fn main() -> Result<(), SprintError> {
 
     if panel == "all" || panel == "c" {
         println!("Figure 8(C): Hybrid error CDFs for Jacobi per mechanism");
-        let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
-            ("DVFS", Box::new(Dvfs::new())),
-            ("EC2DVFS", Box::new(Ec2Dvfs::new())),
-            ("CoreScale", Box::new(CoreScale::new())),
-        ];
+        let c = fig8::panel_c(&settings, &["DVFS", "EC2DVFS", "CoreScale"])?;
         let mut table = TextTable::new(vec!["mechanism", "p10", "p25", "p50", "p75", "p90"]);
-        for (name, mech) in &mechanisms {
-            eprintln!("panel C: {name} ...");
-            let data = profile_single(
-                &QueryMix::single(WorkloadKind::Jacobi),
-                mech.as_ref(),
-                &SamplingGrid::paper(),
-                &settings,
-            );
-            let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8C);
-            let hybrid = train_hybrid(&train, &opts)?;
-            let mut row = vec![name.to_string()];
-            row.extend(quantile_row(&evaluate_model(&hybrid, &test)));
-            table.row(row);
+        for row in &c.mechanisms {
+            table.row(quantile_cells(row));
         }
-
-        // §3.3's remedy for CoreScale: denser arrival-rate centroids
-        // and a 90/10 split.
-        eprintln!("panel C: CoreScale + extended grid ...");
-        let core = CoreScale::new();
-        let extended = EvalSettings {
-            conditions: settings.conditions * 3 / 2,
-            ..settings
-        };
-        let data = profile_single(
-            &QueryMix::single(WorkloadKind::Jacobi),
-            &core,
-            &SamplingGrid::extended(),
-            &extended,
-        );
-        let (train, test) = split_runs(&data, 0.9, settings.seed ^ 0x8D);
-        let hybrid = train_hybrid(&train, &opts)?;
-        let points = evaluate_model(&hybrid, &test);
-        let mut row = vec!["CoreScale+fix".to_string()];
-        row.extend(quantile_row(&points));
-        table.row(row);
-        println!("{}", table.render());
-        println!(
-            "CoreScale+fix median: {} (paper: below 5% after adding 60%/85% \
-             centroids and a 90/10 split)",
-            fmt_pct(median_error(&points))
-        );
+        if let Some(fix) = &c.corescale_fix {
+            table.row(quantile_cells(fix));
+            println!("{}", table.render());
+            println!(
+                "CoreScale+fix median: {} (paper: below 5% after adding 60%/85% \
+                 centroids and a 90/10 split)",
+                fmt_pct(fix.median())
+            );
+        } else {
+            println!("{}", table.render());
+        }
     }
     Ok(())
 }

@@ -7,48 +7,21 @@
 //! cargo run --release -p bench --bin fig9_mix_cdfs
 //! ```
 
-use bench::eval::{default_train_options, median_error, EvalPoint};
-use bench::{evaluate_model, profile_single, split_runs, Args, EvalSettings};
-use mechanisms::Dvfs;
-use profiler::SamplingGrid;
-use simcore::dist::DistKind;
+use bench::figs::fig9;
+use bench::{Args, EvalSettings};
 use simcore::table::{fmt_pct, TextTable};
 use simcore::SprintError;
-use sprint_core::train_hybrid;
-use workloads::QueryMix;
-
-fn cdf_fraction_below(points: &[EvalPoint], threshold: f64) -> f64 {
-    points.iter().filter(|p| p.error() <= threshold).count() as f64 / points.len() as f64
-}
 
 fn main() -> Result<(), SprintError> {
     let args = Args::parse();
     let settings = EvalSettings {
-        conditions: args.get_usize("conditions", 60),
-        queries_per_run: args.get_usize("queries", 400),
-        replays: args.get_usize("replays", 4),
-        seed: args.get_usize("seed", 0xF1609) as u64,
+        conditions: args.get_usize("conditions", 60)?,
+        queries_per_run: args.get_usize("queries", 400)?,
+        replays: args.get_usize("replays", 4)?,
+        seed: args.get_usize("seed", 0xF1609)? as u64,
         ..EvalSettings::default()
     };
-    let mut opts = default_train_options(&settings);
-    // Heavy-tailed arrivals make mean response time window-length
-    // dependent; match the simulator's window to the profiler's replay
-    // length and average more replications instead.
-    opts.calibration.sim.sim_queries = settings.queries_per_run;
-    opts.calibration.sim.warmup = settings.queries_per_run / 10;
-    opts.calibration.sim.replications = 4;
-    opts.sim.sim_queries = settings.queries_per_run;
-    opts.sim.warmup = settings.queries_per_run / 10;
-    opts.sim.replications = 6;
-    let mech = Dvfs::new();
-
-    // §3.4 uses Pareto (α = 0.5) arrivals alongside exponential ones.
-    let mut grid = SamplingGrid::paper();
-    grid.arrival_kinds = if args.has_flag("exp-only") {
-        vec![DistKind::Exponential]
-    } else {
-        vec![DistKind::Exponential, DistKind::Pareto { alpha: 0.5 }]
-    };
+    let r = fig9::compute(&settings, args.has_flag("exp-only"))?;
 
     println!("Figure 9: Hybrid prediction-error CDFs for mixed workloads");
     println!("(Pareto α=0.5 and exponential arrivals; G/G/1)\n");
@@ -62,45 +35,15 @@ fn main() -> Result<(), SprintError> {
         "≤15%",
         "≤30%",
     ]);
-    for (label, mix) in [("Mix I", QueryMix::mix_i()), ("Mix II", QueryMix::mix_ii())] {
-        eprintln!("profiling {label} ({}) ...", mix.label());
-        let data = profile_single(&mix, &mech, &grid, &settings);
-        let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x99);
-        let hybrid = train_hybrid(&train, &opts)?;
-        let points = evaluate_model(&hybrid, &test);
-
-        // Observation-noise floor: re-observe the same test conditions
-        // with independent seeds; the median relative difference bounds
-        // any model's achievable error under heavy-tailed arrivals.
-        let reprofiler = profiler::Profiler {
-            queries_per_run: settings.queries_per_run,
-            warmup: settings.queries_per_run / 10,
-            replays: settings.replays,
-            threads: settings.threads,
-            seed: settings.seed ^ 0xFEED,
-        };
-        let test_conditions: Vec<_> = test.runs.iter().map(|r| r.condition).collect();
-        let reruns = reprofiler.run_conditions(&data.profile, &mech, &test_conditions);
-        let mut floors: Vec<f64> = test
-            .runs
-            .iter()
-            .zip(&reruns)
-            .map(|(a, (b, _))| {
-                (a.observed_response_secs - b.observed_response_secs).abs()
-                    / a.observed_response_secs
-            })
-            .collect();
-        floors.sort_by(f64::total_cmp);
-        let floor = floors[floors.len() / 2];
-
+    for m in &r.mixes {
         table.row(vec![
-            format!("{label} ({})", mix.label()),
-            format!("{:.1}", data.profile.mu.qph()),
-            fmt_pct(median_error(&points)),
-            fmt_pct(floor),
-            fmt_pct(cdf_fraction_below(&points, 0.05)),
-            fmt_pct(cdf_fraction_below(&points, 0.15)),
-            fmt_pct(cdf_fraction_below(&points, 0.30)),
+            format!("{} ({})", m.label, m.mix_label),
+            format!("{:.1}", m.mu_qph),
+            fmt_pct(m.median_err),
+            fmt_pct(m.noise_floor),
+            fmt_pct(m.frac_below[0]),
+            fmt_pct(m.frac_below[1]),
+            fmt_pct(m.frac_below[2]),
         ]);
     }
     println!("{}", table.render());

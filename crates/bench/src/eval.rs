@@ -102,23 +102,6 @@ pub fn evaluate_model(model: &dyn ResponseTimeModel, test: &ProfileData) -> Vec<
         .collect()
 }
 
-/// Median of the absolute relative errors.
-///
-/// # Panics
-///
-/// Panics if `points` is empty.
-pub fn median_error(points: &[EvalPoint]) -> f64 {
-    assert!(!points.is_empty(), "no evaluation points");
-    let mut errs: Vec<f64> = points.iter().map(EvalPoint::error).collect();
-    errs.sort_by(f64::total_cmp);
-    let n = errs.len();
-    if n % 2 == 1 {
-        errs[n / 2]
-    } else {
-        0.5 * (errs[n / 2 - 1] + errs[n / 2])
-    }
-}
-
 /// The three models of Table 1(A), trained on one campaign.
 pub struct TrainedSet {
     /// The paper's hybrid model.
@@ -217,6 +200,8 @@ mod tests {
                 predicted: 130.0,
             },
         ];
-        assert!((median_error(&points) - 0.10).abs() < 1e-12);
+        let med = crate::stats::median_error(&points).unwrap();
+        assert!((med - 0.10).abs() < 1e-12);
+        assert!(crate::stats::median_error(&[]).is_err());
     }
 }

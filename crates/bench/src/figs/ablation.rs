@@ -1,0 +1,280 @@
+//! Ablations: forest design choices (§2.4) and per-class sprinting
+//! policies (§5 extension).
+
+use crate::eval::{default_train_options, EvalPoint, EvalSettings};
+use crate::stats::median_error;
+use crate::{evaluate_model, profile_single, split_runs};
+use forest::{ForestConfig, RandomForest, TreeConfig};
+use mechanisms::Dvfs;
+use mlcore::Dataset;
+use profiler::{ProfileData, SamplingGrid, FEATURE_NAMES};
+use qsim::{ClassSpec, MultiClassConfig, MultiClassQsim};
+use simcore::dist::{Dist, DistKind};
+use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
+use sprint_core::train_hybrid;
+use workloads::{QueryMix, WorkloadKind};
+
+/// One forest-ablation variant's held-out error.
+#[derive(Debug, Clone)]
+pub struct VariantRow {
+    /// Variant label.
+    pub label: &'static str,
+    /// Held-out median error.
+    pub median_err: f64,
+}
+
+/// The §2.4 forest-ablation result.
+#[derive(Debug, Clone)]
+pub struct ForestAblationResult {
+    /// One row per variant (hybrid default first, direct-RT last).
+    pub variants: Vec<VariantRow>,
+    /// Feature importances aligned with [`FEATURE_NAMES`], from a
+    /// no-subsampling forest over observed response time.
+    pub feature_importance: Vec<f64>,
+}
+
+impl ForestAblationResult {
+    /// A named variant's median error.
+    pub fn variant(&self, label: &str) -> Option<f64> {
+        self.variants
+            .iter()
+            .find(|v| v.label == label)
+            .map(|v| v.median_err)
+    }
+
+    /// Importance of a named feature.
+    pub fn importance(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .and_then(|i| self.feature_importance.get(i).copied())
+    }
+}
+
+fn hybrid_error(
+    train: &ProfileData,
+    test: &ProfileData,
+    settings: &EvalSettings,
+    forest: ForestConfig,
+) -> Result<f64, SprintError> {
+    let mut opts = default_train_options(settings);
+    opts.forest = forest;
+    let model = train_hybrid(train, &opts)?;
+    median_error(&evaluate_model(&model, test))
+}
+
+/// Runs the §2.4 forest ablation on one Jacobi/DVFS campaign.
+///
+/// # Errors
+///
+/// Propagates profiling, training or evaluation failures.
+pub fn forest_ablation(settings: &EvalSettings) -> Result<ForestAblationResult, SprintError> {
+    let mech = Dvfs::new();
+    let data = profile_single(
+        &QueryMix::single(WorkloadKind::Jacobi),
+        &mech,
+        &SamplingGrid::paper(),
+        settings,
+    );
+    let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0xAB);
+    let base = ForestConfig::default();
+
+    let mut variants = vec![
+        VariantRow {
+            label: "hybrid default (10 deep trees, linear leaves)",
+            median_err: hybrid_error(&train, &test, settings, base)?,
+        },
+        VariantRow {
+            label: "constant-mean leaves",
+            median_err: hybrid_error(
+                &train,
+                &test,
+                settings,
+                ForestConfig {
+                    tree: TreeConfig {
+                        linear_leaves: false,
+                        ..base.tree
+                    },
+                    ..base
+                },
+            )?,
+        },
+        VariantRow {
+            label: "shallow trees (depth 3, 'pruned')",
+            median_err: hybrid_error(
+                &train,
+                &test,
+                settings,
+                ForestConfig {
+                    tree: TreeConfig {
+                        max_depth: 3,
+                        ..base.tree
+                    },
+                    ..base
+                },
+            )?,
+        },
+        VariantRow {
+            label: "1 tree(s)",
+            median_err: hybrid_error(
+                &train,
+                &test,
+                settings,
+                ForestConfig {
+                    num_trees: 1,
+                    ..base
+                },
+            )?,
+        },
+        VariantRow {
+            label: "30 tree(s)",
+            median_err: hybrid_error(
+                &train,
+                &test,
+                settings,
+                ForestConfig {
+                    num_trees: 30,
+                    ..base
+                },
+            )?,
+        },
+        VariantRow {
+            label: "no feature subsampling",
+            median_err: hybrid_error(
+                &train,
+                &test,
+                settings,
+                ForestConfig {
+                    feature_frac: 1.0,
+                    ..base
+                },
+            )?,
+        },
+    ];
+
+    // Direct-RT forest: skip the simulator entirely.
+    let mut rt_data = Dataset::new(FEATURE_NAMES.to_vec());
+    for run in &train.runs {
+        rt_data.push(
+            run.condition.features(train.profile.mu, train.profile.mu_m),
+            run.observed_response_secs,
+        );
+    }
+    let direct = RandomForest::train(&rt_data, profiler::features::MU_M_FEATURE, base);
+    let direct_points: Vec<EvalPoint> = test
+        .runs
+        .iter()
+        .map(|run| EvalPoint {
+            run: *run,
+            predicted: direct.predict(&run.condition.features(test.profile.mu, test.profile.mu_m)),
+        })
+        .collect();
+    variants.push(VariantRow {
+        label: "forest -> RT directly (no simulator)",
+        median_err: median_error(&direct_points)?,
+    });
+
+    let imp_forest = RandomForest::train(
+        &rt_data,
+        profiler::features::MU_M_FEATURE,
+        ForestConfig {
+            feature_frac: 1.0,
+            ..base
+        },
+    );
+    Ok(ForestAblationResult {
+        variants,
+        feature_importance: imp_forest.feature_importance(),
+    })
+}
+
+/// The per-class timeout ablation result (§5 extension).
+#[derive(Debug, Clone)]
+pub struct MulticlassResult {
+    /// Best single global timeout and its mean response (seconds).
+    pub best_global: (f64, f64),
+    /// Best per-class (Jacobi-like, Stream-like) timeouts and the
+    /// resulting mean response (seconds).
+    pub best_pair: ((f64, f64), f64),
+}
+
+impl MulticlassResult {
+    /// Relative improvement of per-class timeouts over the best global
+    /// one.
+    pub fn improvement(&self) -> f64 {
+        (self.best_global.1 - self.best_pair.1) / self.best_global.1
+    }
+}
+
+fn multiclass_config(timeouts: (f64, f64), seed: u64) -> MultiClassConfig {
+    MultiClassConfig {
+        arrival_rate: Rate::per_hour(26.0),
+        arrival_kind: DistKind::Exponential,
+        classes: vec![
+            // Jacobi-like: long service, weak sprint.
+            ClassSpec {
+                weight: 0.5,
+                service: Dist::lognormal(SimDuration::from_secs(103), 0.15),
+                sprint_speedup: 1.4,
+                timeout: SimDuration::from_secs_f64(timeouts.0),
+            },
+            // Stream-like: short service, strong sprint.
+            ClassSpec {
+                weight: 0.5,
+                service: Dist::lognormal(SimDuration::from_secs(41), 0.45),
+                sprint_speedup: 2.4,
+                timeout: SimDuration::from_secs_f64(timeouts.1),
+            },
+        ],
+        budget_capacity_secs: 120.0,
+        refill_secs: 1_000.0,
+        slots: 1,
+        num_queries: 30_000,
+        warmup: 3_000,
+        seed,
+    }
+}
+
+fn multiclass_mean_rt(timeouts: (f64, f64), seed: u64) -> Result<f64, SprintError> {
+    // Average over 3 seeds to tame run-to-run noise.
+    let mut total = 0.0;
+    for i in 0..3 {
+        total += MultiClassQsim::new(multiclass_config(timeouts, seed + i))?
+            .run()?
+            .mean_response_secs();
+    }
+    Ok(total / 3.0)
+}
+
+/// Does a heterogeneous mix benefit from per-class timeouts over the
+/// best single global timeout? (§5's "only small modifications".)
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn multiclass_ablation(seed: u64) -> Result<MulticlassResult, SprintError> {
+    let grid = [0.0, 40.0, 80.0, 120.0, 180.0, 260.0, 400.0];
+
+    let mut best_global = (0.0, f64::INFINITY);
+    for &t in &grid {
+        let rt = multiclass_mean_rt((t, t), seed)?;
+        if rt < best_global.1 {
+            best_global = (t, rt);
+        }
+    }
+
+    let mut best_pair = ((0.0, 0.0), f64::INFINITY);
+    for &tj in &grid {
+        for &ts in &grid {
+            let rt = multiclass_mean_rt((tj, ts), seed)?;
+            if rt < best_pair.1 {
+                best_pair = ((tj, ts), rt);
+            }
+        }
+    }
+    Ok(MulticlassResult {
+        best_global,
+        best_pair,
+    })
+}

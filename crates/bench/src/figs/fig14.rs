@@ -1,0 +1,61 @@
+//! Figure 14: cumulative revenue over a node's lifetime, accounting
+//! for the offline profiling cost of model-driven sprinting.
+
+use cloud::colocate::combo;
+use cloud::revenue::{break_even_hours, break_even_timeline, RevenuePoint, SERVER_LIFETIME_HOURS};
+use cloud::{colocate, SloOptions, Strategy};
+use simcore::SprintError;
+
+/// The Figure 14 result.
+#[derive(Debug, Clone)]
+pub struct Fig14Result {
+    /// AWS-default revenue rate ($/h) on combo 3.
+    pub aws_rate: f64,
+    /// Model-driven-sprinting revenue rate ($/h) on combo 3.
+    pub md_rate: f64,
+    /// Workloads profiled (combo-3 size).
+    pub num_workloads: usize,
+    /// The cumulative-revenue timeline.
+    pub timeline: Vec<RevenuePoint>,
+    /// Hybrid break-even hour, if the model ever breaks even.
+    pub hybrid_break_even_hours: Option<f64>,
+}
+
+impl Fig14Result {
+    /// Lifetime revenue multiples over AWS: (hybrid, ann).
+    pub fn lifetime_multiples(&self) -> Option<(f64, f64)> {
+        self.timeline
+            .last()
+            .map(|p| (p.model_hybrid / p.aws, p.model_ann / p.aws))
+    }
+
+    /// First timeline hour at which the ANN's cumulative revenue
+    /// passes AWS's (the ANN's break-even).
+    pub fn ann_break_even_hours(&self) -> Option<f64> {
+        self.timeline
+            .iter()
+            .find(|p| p.model_ann > p.aws)
+            .map(|p| p.hours)
+    }
+}
+
+/// Computes the break-even timeline from combo-3 colocation outcomes.
+///
+/// # Errors
+///
+/// Propagates SLO-simulation or timeline failures.
+pub fn compute(opts: &SloOptions) -> Result<Fig14Result, SprintError> {
+    let demands = combo(3)?;
+    let aws_rate = colocate(&demands, Strategy::Aws, opts)?.revenue_per_hour();
+    let md_rate = colocate(&demands, Strategy::ModelDrivenSprinting, opts)?.revenue_per_hour();
+    let timeline =
+        break_even_timeline(aws_rate, md_rate, demands.len(), SERVER_LIFETIME_HOURS, 4.0)?;
+    let hybrid_break_even_hours = break_even_hours(&timeline);
+    Ok(Fig14Result {
+        aws_rate,
+        md_rate,
+        num_workloads: demands.len(),
+        timeline,
+        hybrid_break_even_hours,
+    })
+}

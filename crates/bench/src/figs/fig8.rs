@@ -1,0 +1,144 @@
+//! Figure 8: CDFs of prediction error — per-workload panels for the
+//! Hybrid and ANN models (DVFS), and the per-mechanism panel for
+//! Jacobi including the §3.3 CoreScale fix.
+
+use crate::eval::{default_train_options, EvalSettings};
+use crate::stats::{error_quantiles, CDF_QUANTILES};
+use crate::{evaluate_model, profile_single, split_runs};
+use mechanisms::{CoreScale, Dvfs, Ec2Dvfs, Mechanism};
+use profiler::SamplingGrid;
+use simcore::SprintError;
+use sprint_core::{train_ann, train_hybrid};
+use workloads::{QueryMix, WorkloadKind};
+
+/// One CDF row: a label plus the [`CDF_QUANTILES`] error quantiles.
+#[derive(Debug, Clone)]
+pub struct CdfRow {
+    /// Workload or mechanism label.
+    pub label: String,
+    /// Error quantiles at [`CDF_QUANTILES`].
+    pub quantiles: Vec<f64>,
+}
+
+impl CdfRow {
+    /// The median (p50) error of this row.
+    pub fn median(&self) -> f64 {
+        self.quantiles[CDF_QUANTILES.iter().position(|&q| q == 0.50).unwrap_or(2)]
+    }
+}
+
+/// Panels A and B: per-workload Hybrid and ANN error CDFs on DVFS.
+#[derive(Debug, Clone, Default)]
+pub struct PanelAb {
+    /// Hybrid rows, one per workload.
+    pub hybrid: Vec<CdfRow>,
+    /// ANN rows, one per workload.
+    pub ann: Vec<CdfRow>,
+}
+
+/// Panel C: Hybrid error CDFs for Jacobi across mechanisms, plus the
+/// §3.3 CoreScale remedy.
+#[derive(Debug, Clone, Default)]
+pub struct PanelC {
+    /// Per-mechanism rows (DVFS, EC2DVFS, CoreScale as requested).
+    pub mechanisms: Vec<CdfRow>,
+    /// The CoreScale + extended-grid + 90/10-split row.
+    pub corescale_fix: Option<CdfRow>,
+}
+
+impl PanelC {
+    /// Median error of a named mechanism row.
+    pub fn mechanism_median(&self, name: &str) -> Option<f64> {
+        self.mechanisms
+            .iter()
+            .find(|r| r.label == name)
+            .map(CdfRow::median)
+    }
+}
+
+/// Computes panels A and B over the first `num_workloads` workloads.
+///
+/// # Errors
+///
+/// Propagates profiling or training failures.
+pub fn panel_ab(settings: &EvalSettings, num_workloads: usize) -> Result<PanelAb, SprintError> {
+    let mech = Dvfs::new();
+    let opts = default_train_options(settings);
+    let mut out = PanelAb::default();
+    for &kind in WorkloadKind::ALL.iter().take(num_workloads.max(1)) {
+        let data = profile_single(
+            &QueryMix::single(kind),
+            &mech,
+            &SamplingGrid::paper(),
+            settings,
+        );
+        let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8A);
+        let hybrid = train_hybrid(&train, &opts)?;
+        let ann = train_ann(&train, &opts)?;
+        out.hybrid.push(CdfRow {
+            label: kind.name().to_string(),
+            quantiles: error_quantiles(&evaluate_model(&hybrid, &test), &CDF_QUANTILES)?,
+        });
+        out.ann.push(CdfRow {
+            label: kind.name().to_string(),
+            quantiles: error_quantiles(&evaluate_model(&ann, &test), &CDF_QUANTILES)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Computes panel C. `mechanisms` restricts which hardware rows run
+/// (the fix row always runs); pass `&["DVFS", "EC2DVFS", "CoreScale"]`
+/// for the full figure.
+///
+/// # Errors
+///
+/// Propagates profiling or training failures.
+pub fn panel_c(settings: &EvalSettings, mechanisms: &[&str]) -> Result<PanelC, SprintError> {
+    let opts = default_train_options(settings);
+    let mut out = PanelC::default();
+    let available: Vec<(&str, Box<dyn Mechanism>)> = vec![
+        ("DVFS", Box::new(Dvfs::new())),
+        ("EC2DVFS", Box::new(Ec2Dvfs::new())),
+        ("CoreScale", Box::new(CoreScale::new())),
+    ];
+    for (name, mech) in &available {
+        if !mechanisms.contains(name) {
+            continue;
+        }
+        let data = profile_single(
+            &QueryMix::single(WorkloadKind::Jacobi),
+            mech.as_ref(),
+            &SamplingGrid::paper(),
+            settings,
+        );
+        let (train, test) = split_runs(&data, settings.train_frac, settings.seed ^ 0x8C);
+        let hybrid = train_hybrid(&train, &opts)?;
+        out.mechanisms.push(CdfRow {
+            label: name.to_string(),
+            quantiles: error_quantiles(&evaluate_model(&hybrid, &test), &CDF_QUANTILES)?,
+        });
+    }
+
+    // §3.3's remedy for CoreScale: denser arrival-rate centroids and a
+    // 90/10 split.
+    let core = CoreScale::new();
+    let extended = EvalSettings {
+        conditions: settings.conditions * 3 / 2,
+        ..*settings
+    };
+    let data = profile_single(
+        &QueryMix::single(WorkloadKind::Jacobi),
+        &core,
+        &SamplingGrid::extended(),
+        &extended,
+    );
+    let (train, test) = split_runs(&data, 0.9, settings.seed ^ 0x8D);
+    let hybrid = train_hybrid(&train, &opts)?;
+    let points = evaluate_model(&hybrid, &test);
+    out.corescale_fix = Some(CdfRow {
+        label: "CoreScale+fix".to_string(),
+        quantiles: error_quantiles(&points, &CDF_QUANTILES)?,
+    });
+    Ok(out)
+}

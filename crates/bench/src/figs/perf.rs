@@ -1,0 +1,339 @@
+//! Fast-path performance smoke measurements: the explorer, batch
+//! throughput, forest inference and telemetry legs that back the
+//! `perf_smoke` gate, each returning typed results instead of
+//! aborting the process on violation.
+
+use forest::{ForestConfig, RandomForest};
+use mlcore::Dataset;
+use policy::{explore_timeout, AnnealingConfig};
+use profiler::{Condition, WorkloadProfile};
+use simcore::dist::DistKind;
+use simcore::time::Rate;
+use simcore::SprintError;
+use sprint_core::throughput::{measure_throughput_with, ThroughputPoint};
+use sprint_core::{NoMlModel, ResponseTimeModel, SimOptions};
+use std::time::Instant;
+use workloads::{QueryMix, WorkloadKind};
+
+/// Fail the gate if pooled throughput drops below this fraction of the
+/// committed baseline.
+pub const REGRESSION_FLOOR: f64 = 0.7;
+
+/// The explorer fast path must beat the pre-fast-path reference by at
+/// least this factor.
+pub const MIN_EXPLORER_SPEEDUP: f64 = 3.0;
+
+/// Enabled-mode telemetry may slow the explorer leg by at most this
+/// fraction over a disabled-mode run of the identical search.
+pub const MAX_TELEMETRY_OVERHEAD: f64 = 0.05;
+
+/// The synthetic, seeded workload profile every leg measures against
+/// (µ = 50 qph, µₘ = 75 qph, 100 empirical service samples).
+pub fn profile() -> WorkloadProfile {
+    WorkloadProfile {
+        mix: QueryMix::single(WorkloadKind::Jacobi),
+        mechanism: "DVFS".into(),
+        mu: Rate::per_hour(50.0),
+        mu_m: Rate::per_hour(75.0),
+        service_samples_secs: (0..100).map(|i| 60.0 + (i % 21) as f64).collect(),
+        profiling_hours: 1.0,
+    }
+}
+
+/// The fixed 0.75-utilization measurement condition.
+pub fn cond() -> Condition {
+    Condition {
+        utilization: 0.75,
+        arrival_kind: DistKind::Exponential,
+        timeout_secs: 80.0,
+        budget_frac: 0.4,
+        refill_secs: 200.0,
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The explorer leg: fast path vs frozen reference, same seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorerLeg {
+    /// Min-of-K fast-path search wall-clock (seconds).
+    pub fast_secs: f64,
+    /// Min-of-K reference search wall-clock (seconds).
+    pub slow_secs: f64,
+    /// Reference over fast-path wall-clock.
+    pub speedup: f64,
+    /// The agreed best timeout (seconds).
+    pub best_timeout_secs: f64,
+}
+
+impl ExplorerLeg {
+    /// Checks the headline >= [`MIN_EXPLORER_SPEEDUP`] criterion.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Runtime`] when the fast path is too slow.
+    pub fn check(&self) -> Result<(), SprintError> {
+        if self.speedup < MIN_EXPLORER_SPEEDUP {
+            return Err(SprintError::runtime(
+                "perf::explorer",
+                format!(
+                    "fast path must be >= {MIN_EXPLORER_SPEEDUP}X over the pre-fast-path \
+                     reference, measured {:.2}X",
+                    self.speedup
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the explorer leg: one default annealing search through a
+/// simulator-backed model, fast path vs reference backend. The best
+/// timeout and the full (t, RT) trace must agree bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates search failures; [`SprintError::Runtime`] when the fast
+/// and reference searches diverge.
+pub fn bench_explorer(p: &WorkloadProfile) -> Result<ExplorerLeg, SprintError> {
+    let accfg = AnnealingConfig::default();
+    let base = cond();
+    // One throwaway evaluation first so one-time costs (pool spawn)
+    // don't land in either timed search.
+    let _ = NoMlModel::new(p.clone(), SimOptions::default()).predict_response_secs(&base);
+    // Min-of-K with a FRESH model per repetition: each rep rebuilds the
+    // model, so the fast path's trace cache and prediction memo start
+    // cold and every timed search pays the full cost of a first search
+    // (warm caches would make later fast reps nearly free, which is not
+    // the scenario the 3X criterion describes). Min-of-K only filters
+    // scheduler noise, which swings this container by ~20%.
+    const REPS: usize = 3;
+    let mut fast_secs = f64::MAX;
+    let mut slow_secs = f64::MAX;
+    let mut best_timeout_secs = 0.0;
+    for _ in 0..REPS {
+        let slow_model = NoMlModel::new(
+            p.clone(),
+            SimOptions {
+                fast_path: false,
+                ..SimOptions::default()
+            },
+        );
+        let fast_model = NoMlModel::new(p.clone(), SimOptions::default());
+        let (slow, s_secs) = time(|| explore_timeout(&slow_model, &base, &accfg));
+        let (fast, f_secs) = time(|| explore_timeout(&fast_model, &base, &accfg));
+        let (fast, slow) = (fast?, slow?);
+        if fast.best_timeout_secs.to_bits() != slow.best_timeout_secs.to_bits() {
+            return Err(SprintError::runtime(
+                "perf::explorer",
+                format!(
+                    "fast and reference searches must find the identical best timeout \
+                     (fast {}, reference {})",
+                    fast.best_timeout_secs, slow.best_timeout_secs
+                ),
+            ));
+        }
+        if fast.trace != slow.trace {
+            return Err(SprintError::runtime(
+                "perf::explorer",
+                "fast and reference searches must evaluate identical (t, RT) pairs",
+            ));
+        }
+        fast_secs = fast_secs.min(f_secs);
+        slow_secs = slow_secs.min(s_secs);
+        best_timeout_secs = fast.best_timeout_secs;
+    }
+    Ok(ExplorerLeg {
+        fast_secs,
+        slow_secs,
+        speedup: slow_secs / fast_secs.max(1e-12),
+        best_timeout_secs,
+    })
+}
+
+/// The telemetry leg: the explorer search with metrics enabled vs
+/// disabled.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryLeg {
+    /// Min-of-K disabled-mode wall-clock (seconds).
+    pub disabled_secs: f64,
+    /// Min-of-K enabled-mode wall-clock (seconds).
+    pub enabled_secs: f64,
+    /// Fractional slowdown of the enabled run.
+    pub overhead_frac: f64,
+}
+
+impl TelemetryLeg {
+    /// Checks the <= [`MAX_TELEMETRY_OVERHEAD`] criterion.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Runtime`] when telemetry costs too much.
+    pub fn check(&self) -> Result<(), SprintError> {
+        if self.overhead_frac > MAX_TELEMETRY_OVERHEAD {
+            return Err(SprintError::runtime(
+                "perf::telemetry",
+                format!(
+                    "enabled-mode telemetry overhead must stay <= {:.0}%, measured {:+.1}%",
+                    MAX_TELEMETRY_OVERHEAD * 100.0,
+                    self.overhead_frac * 100.0
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the telemetry leg. Telemetry is a pure observer: results with
+/// metrics enabled and disabled must agree bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates search failures; [`SprintError::Runtime`] when telemetry
+/// perturbs the search result.
+pub fn bench_telemetry(p: &WorkloadProfile) -> Result<TelemetryLeg, SprintError> {
+    let accfg = AnnealingConfig::default();
+    let base = cond();
+    // Min-of-K over fresh models, mirroring the explorer leg: each rep
+    // pays full cold-cache search cost, so enabled vs disabled compare
+    // the same work and min-of-K filters scheduler noise (which is far
+    // larger than the overhead being gated).
+    const REPS: usize = 5;
+    let mut disabled_secs = f64::MAX;
+    let mut enabled_secs = f64::MAX;
+    for _ in 0..REPS {
+        let off_model = NoMlModel::new(p.clone(), SimOptions::default());
+        obs::set_enabled(false);
+        let (off, off_t) = time(|| explore_timeout(&off_model, &base, &accfg));
+        let on_model = NoMlModel::new(p.clone(), SimOptions::default());
+        obs::set_enabled(true);
+        let (on, on_t) = time(|| explore_timeout(&on_model, &base, &accfg));
+        obs::set_enabled(false);
+        let (off, on) = (off?, on?);
+        if off.best_timeout_secs.to_bits() != on.best_timeout_secs.to_bits() {
+            return Err(SprintError::runtime(
+                "perf::telemetry",
+                "telemetry must not perturb the search result",
+            ));
+        }
+        disabled_secs = disabled_secs.min(off_t);
+        enabled_secs = enabled_secs.min(on_t);
+    }
+    Ok(TelemetryLeg {
+        disabled_secs,
+        enabled_secs,
+        overhead_frac: enabled_secs / disabled_secs.max(1e-12) - 1.0,
+    })
+}
+
+/// The forest leg: flattened-arena vs pointer-chasing inference.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestLeg {
+    /// Flat inference cost (nanoseconds per prediction).
+    pub flat_ns: f64,
+    /// Pointer-chasing inference cost (nanoseconds per prediction).
+    pub pointer_ns: f64,
+}
+
+/// Runs the forest leg: trains a 400-row forest, checks the flattened
+/// arena predicts bit-identically over 2 000 rows, then times both.
+///
+/// # Errors
+///
+/// [`SprintError::Runtime`] when the flattened forest diverges.
+pub fn bench_forest() -> Result<ForestLeg, SprintError> {
+    let mut data = Dataset::new(vec!["mu_m", "lambda", "budget"]);
+    for i in 0..400 {
+        let x = (i % 40) as f64;
+        let l = ((i * 7) % 10) as f64;
+        let b = ((i * 13) % 5) as f64;
+        let noise = ((i as f64 * 12.9898).sin() * 43_758.547).fract();
+        data.push(vec![x, l, b], 0.9 * x + 1.0 + noise);
+    }
+    let forest = RandomForest::train(&data, 0, ForestConfig::default());
+    let flat = forest.flatten();
+    let rows: Vec<[f64; 3]> = (0..2_000)
+        .map(|i| {
+            [
+                (i % 47) as f64 * 0.9,
+                ((i * 3) % 11) as f64,
+                ((i * 5) % 7) as f64,
+            ]
+        })
+        .collect();
+    for row in &rows {
+        if forest.predict(row).to_bits() != flat.predict(row).to_bits() {
+            return Err(SprintError::runtime(
+                "perf::forest",
+                format!("flattened forest must be bit-identical (row {row:?})"),
+            ));
+        }
+    }
+    const REPS: usize = 50;
+    let (sink_p, pointer_secs) = time(|| {
+        let mut acc = 0.0;
+        for _ in 0..REPS {
+            for row in &rows {
+                acc += forest.predict(row);
+            }
+        }
+        acc
+    });
+    let (sink_f, flat_secs) = time(|| {
+        let mut acc = 0.0;
+        for _ in 0..REPS {
+            for row in &rows {
+                acc += flat.predict(row);
+            }
+        }
+        acc
+    });
+    if sink_p.to_bits() != sink_f.to_bits() {
+        return Err(SprintError::runtime(
+            "perf::forest",
+            "timed flat and pointer sums diverged",
+        ));
+    }
+    let calls = (REPS * rows.len()) as f64;
+    Ok(ForestLeg {
+        flat_ns: flat_secs / calls * 1e9,
+        pointer_ns: pointer_secs / calls * 1e9,
+    })
+}
+
+/// The batch-throughput leg: persistent pool vs spawn-per-call.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputLeg {
+    /// Pool backend at 1 thread.
+    pub pool_1t: ThroughputPoint,
+    /// Spawn-per-call reference at 1 thread.
+    pub spawn_1t: ThroughputPoint,
+    /// Pool backend at `cores` threads.
+    pub pool_nt: ThroughputPoint,
+    /// Threads used for the fan-out point.
+    pub cores: usize,
+}
+
+/// Runs the throughput leg at `queries` simulated queries/prediction.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn bench_throughput(
+    p: &WorkloadProfile,
+    c: &Condition,
+    queries: usize,
+    predictions: usize,
+    cores: usize,
+) -> Result<ThroughputLeg, SprintError> {
+    Ok(ThroughputLeg {
+        pool_1t: measure_throughput_with(p, c, queries, 1, predictions, qsim::Backend::Pool)?,
+        spawn_1t: measure_throughput_with(p, c, queries, 1, predictions, qsim::Backend::Reference)?,
+        pool_nt: measure_throughput_with(p, c, queries, cores, predictions, qsim::Backend::Pool)?,
+        cores,
+    })
+}

@@ -3,10 +3,14 @@
 //! Every table and figure in the paper's evaluation has a binary in
 //! `src/bin/` that regenerates it; this library holds the pieces they
 //! share: a tiny flag parser, the profile → train → evaluate pipeline,
-//! and error bucketing helpers.
+//! shared summary statistics, and — in [`figs`] — the full figure
+//! computations themselves, returning typed result structs that both
+//! the binaries and the `conformance` crate consume.
 
 pub mod args;
 pub mod eval;
+pub mod figs;
+pub mod stats;
 
 pub use args::Args;
 pub use eval::{evaluate_model, profile_single, split_runs, EvalPoint, EvalSettings, TrainedSet};

@@ -1,0 +1,150 @@
+//! Shared percentile / CDF / error-summary helpers.
+//!
+//! Before this module existed, every figure binary carried its own
+//! copy of quantile interpolation: `fig8` and `fig10` linearly
+//! interpolated between order statistics while `fig9`'s noise-floor
+//! median picked the *upper* middle sample (`errs[n / 2]`), so at even
+//! sample counts the same data produced two different "medians". All
+//! callers now share one convention — linear interpolation between
+//! order statistics, with the median of an even-length sample being
+//! the mean of the two middle values.
+
+use crate::eval::EvalPoint;
+use simcore::SprintError;
+
+/// The five quantiles reported per CDF row in Figs. 8 and 10.
+pub const CDF_QUANTILES: [f64; 5] = [0.10, 0.25, 0.50, 0.75, 0.90];
+
+/// Quantile `q` in `[0, 1]` of an ascending-sorted sample, linearly
+/// interpolated between order statistics. Returns `None` on an empty
+/// sample.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sorts `values` in place and returns quantile `q` (see
+/// [`quantile_sorted`]).
+pub fn quantile(values: &mut [f64], q: f64) -> Option<f64> {
+    values.sort_by(f64::total_cmp);
+    quantile_sorted(values, q)
+}
+
+/// Median of a sample (sorts a copy). `None` on an empty sample.
+pub fn median(values: &[f64]) -> Option<f64> {
+    let mut v = values.to_vec();
+    quantile(&mut v, 0.5)
+}
+
+/// Fraction of values at or below `threshold`.
+pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Absolute relative errors of a set of evaluation points, ascending.
+pub fn sorted_errors(points: &[EvalPoint]) -> Vec<f64> {
+    let mut errs: Vec<f64> = points.iter().map(EvalPoint::error).collect();
+    errs.sort_by(f64::total_cmp);
+    errs
+}
+
+/// Median absolute relative error of a set of evaluation points.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if `points` is empty.
+pub fn median_error(points: &[EvalPoint]) -> Result<f64, SprintError> {
+    quantile_sorted(&sorted_errors(points), 0.5)
+        .ok_or_else(|| SprintError::invalid("stats::median_error", "no evaluation points"))
+}
+
+/// Error quantiles of a set of evaluation points, one per requested
+/// `q`.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] if `points` is empty.
+pub fn error_quantiles(points: &[EvalPoint], qs: &[f64]) -> Result<Vec<f64>, SprintError> {
+    let errs = sorted_errors(points);
+    qs.iter()
+        .map(|&q| {
+            quantile_sorted(&errs, q)
+                .ok_or_else(|| SprintError::invalid("stats::error_quantiles", "no points"))
+        })
+        .collect()
+}
+
+/// A three-point summary (median plus interquartile bounds) of an
+/// error sample — the per-group row shape of Fig. 10.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorSummary {
+    /// Median absolute relative error.
+    pub p50: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+/// Summarizes a group of evaluation points; `None` when empty.
+pub fn summarize(points: &[EvalPoint]) -> Option<ErrorSummary> {
+    let errs = sorted_errors(points);
+    Some(ErrorSummary {
+        p50: quantile_sorted(&errs, 0.50)?,
+        p25: quantile_sorted(&errs, 0.25)?,
+        p75: quantile_sorted(&errs, 0.75)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiler::{ProfilingRun, SamplingGrid};
+
+    #[test]
+    fn interpolated_quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&v, 1.0), Some(4.0));
+        // Even-length median interpolates the two middle samples —
+        // the convention every figure now shares.
+        assert_eq!(quantile_sorted(&v, 0.5), Some(2.5));
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn median_matches_quantile_convention() {
+        // Regression for the fig8-vs-fig9 inconsistency: the old
+        // noise-floor median picked the upper middle sample (3.0).
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn fractions_and_summaries() {
+        assert_eq!(fraction_below(&[0.1, 0.2, 0.3], 0.2), 2.0 / 3.0);
+        assert_eq!(fraction_below(&[], 0.5), 0.0);
+
+        let run = ProfilingRun {
+            condition: SamplingGrid::paper().all_conditions()[0],
+            observed_response_secs: 100.0,
+        };
+        let points: Vec<EvalPoint> = [90.0, 105.0, 130.0]
+            .into_iter()
+            .map(|predicted| EvalPoint { run, predicted })
+            .collect();
+        assert!((median_error(&points).unwrap() - 0.10).abs() < 1e-12);
+        let s = summarize(&points).unwrap();
+        assert!((s.p50 - 0.10).abs() < 1e-12);
+        assert!(median_error(&[]).is_err());
+        assert!(error_quantiles(&[], &[0.5]).is_err());
+    }
+}

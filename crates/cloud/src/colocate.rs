@@ -167,8 +167,12 @@ pub fn colocate(
 }
 
 /// The paper's workload combinations (Fig. 13).
-pub fn combo(n: usize) -> Vec<WorkloadDemand> {
-    match n {
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] unless `n` is 1, 2 or 3.
+pub fn combo(n: usize) -> Result<Vec<WorkloadDemand>, SprintError> {
+    Ok(match n {
         1 => vec![
             WorkloadDemand {
                 kind: WorkloadKind::Jacobi,
@@ -212,8 +216,13 @@ pub fn combo(n: usize) -> Vec<WorkloadDemand> {
                 utilization: 0.8,
             },
         ],
-        _ => panic!("combos are 1..=3"),
-    }
+        _ => {
+            return Err(SprintError::invalid(
+                "colocate::combo",
+                format!("combos are 1..=3, got {n}"),
+            ))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -232,7 +241,7 @@ mod tests {
     #[test]
     fn aws_policy_commits_whole_core() {
         let opts = fast_opts();
-        let r = colocate(&combo(1), Strategy::Aws, &opts).unwrap();
+        let r = colocate(&combo(1).unwrap(), Strategy::Aws, &opts).unwrap();
         // AWS reserves share × 5 = a full core per workload: at most
         // one Jacobi fits even if SLO is met.
         assert!(r.hosted.len() <= 1, "hosted {}", r.hosted.len());
@@ -247,8 +256,9 @@ mod tests {
         let mut aws_total = 0.0;
         let mut budget_total = 0.0;
         for c in 1..=3 {
-            let aws = colocate(&combo(c), Strategy::Aws, &opts).unwrap();
-            let budget = colocate(&combo(c), Strategy::ModelDrivenBudgeting, &opts).unwrap();
+            let aws = colocate(&combo(c).unwrap(), Strategy::Aws, &opts).unwrap();
+            let budget =
+                colocate(&combo(c).unwrap(), Strategy::ModelDrivenBudgeting, &opts).unwrap();
             assert!(
                 budget.hosted.len() >= aws.hosted.len(),
                 "combo {c}: budgeting {} vs aws {}",
@@ -267,8 +277,8 @@ mod tests {
     #[test]
     fn sprinting_at_least_matches_budgeting() {
         let opts = fast_opts();
-        let budget = colocate(&combo(1), Strategy::ModelDrivenBudgeting, &opts).unwrap();
-        let sprint = colocate(&combo(1), Strategy::ModelDrivenSprinting, &opts).unwrap();
+        let budget = colocate(&combo(1).unwrap(), Strategy::ModelDrivenBudgeting, &opts).unwrap();
+        let sprint = colocate(&combo(1).unwrap(), Strategy::ModelDrivenSprinting, &opts).unwrap();
         assert!(sprint.hosted.len() >= budget.hosted.len());
     }
 
@@ -281,7 +291,7 @@ mod tests {
             Strategy::ModelDrivenSprinting,
         ] {
             for c in 1..=3 {
-                let r = colocate(&combo(c), s, &opts).unwrap();
+                let r = colocate(&combo(c).unwrap(), s, &opts).unwrap();
                 assert!(
                     r.committed_cpu <= 1.0 + 1e-9,
                     "{} combo {c}: committed {}",
@@ -295,7 +305,7 @@ mod tests {
     #[test]
     fn selected_policies_meet_slo() {
         let opts = fast_opts();
-        let r = colocate(&combo(3), Strategy::ModelDrivenSprinting, &opts).unwrap();
+        let r = colocate(&combo(3).unwrap(), Strategy::ModelDrivenSprinting, &opts).unwrap();
         for (d, p) in &r.hosted {
             let lambda = demand_rate(d.kind, d.utilization);
             assert!(meets_slo(d.kind, lambda, p, &opts).unwrap(), "{:?}", d.kind);
@@ -303,8 +313,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "combos are 1..=3")]
-    fn combo_bounds() {
-        let _ = combo(4);
+    fn combo_bounds_are_a_typed_error() {
+        let err = combo(4).unwrap_err();
+        assert!(matches!(err, SprintError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("combos are 1..=3"));
+        for n in 1..=3 {
+            assert_eq!(combo(n).unwrap().len(), 4);
+        }
     }
 }

@@ -1,0 +1,176 @@
+//! The paper-parity gate.
+//!
+//! Re-measures every anchored figure relation, checks each scalar
+//! against its committed golden value within the per-anchor tolerance
+//! band, runs the differential oracles, prints a report, and exits
+//! nonzero on any drift.
+//!
+//! ```text
+//! cargo run --release -p conformance --bin paper_parity -- --offline
+//! cargo run --release -p conformance --bin paper_parity -- --seeds 3
+//! cargo run --release -p conformance --bin paper_parity -- --json
+//! UPDATE_GOLDEN=1 cargo run --release -p conformance --bin paper_parity
+//! ```
+//!
+//! Flags:
+//!
+//! - `--seeds N` — seed-matrix mode: also re-check every cross-seed
+//!   anchor and every oracle at N−1 extra seeds (golden seed, +1, +2,
+//!   …). Anchors marked golden-seed-only (`cross_seed: false`) are
+//!   skipped at the extra seeds.
+//! - `--json` — print only the machine-readable report.
+//! - `--selftest` — additionally verify drift detection: every golden
+//!   value, when perturbed outside its band, must fail the check.
+//! - `--offline` — accepted for symmetry with the other gates; the
+//!   whole pass is always offline.
+//!
+//! `UPDATE_GOLDEN=1` rewrites `golden/anchors.json` from the current
+//! measurement at the default seed instead of checking.
+
+use bench::Args;
+use conformance::{anchors, measure, oracles, report};
+use simcore::SprintError;
+
+/// The committed golden file, resolved relative to this crate.
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/anchors.json");
+
+fn load_golden(path: &str) -> Result<report::Golden, SprintError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        SprintError::invalid(
+            "paper_parity::golden",
+            format!("read {path}: {e}; run with UPDATE_GOLDEN=1 to create it"),
+        )
+    })?;
+    report::Golden::parse(&text)
+}
+
+/// Perturbs a golden value far enough outside `band` that the check
+/// must fail.
+fn perturb(band: anchors::Band, value: f64) -> f64 {
+    match band {
+        anchors::Band::Exact => value + 1.0,
+        // For banded anchors, move the golden two orders of magnitude
+        // away: a simple `value + 2·tol` shift can stay inside a wide
+        // relative band, because the acceptance interval widens with
+        // the perturbed golden itself.
+        anchors::Band::Absolute(_) | anchors::Band::Relative(_) => {
+            value + 100.0 * value.abs().max(1.0)
+        }
+    }
+}
+
+fn selftest(
+    catalogue: &[anchors::Anchor],
+    m: &measure::Measurements,
+    golden: &report::Golden,
+) -> Result<(), SprintError> {
+    for a in catalogue {
+        let mut doctored = golden.clone();
+        let Some(entry) = doctored.values.iter_mut().find(|(id, _)| id == a.id) else {
+            return Err(SprintError::runtime(
+                "paper_parity::selftest",
+                format!("anchor {} missing from golden file", a.id),
+            ));
+        };
+        entry.1 = perturb(a.band, entry.1);
+        let outcomes = report::check_anchors(catalogue, m, &doctored);
+        let flipped = outcomes
+            .iter()
+            .find(|o| o.id == a.id)
+            .is_some_and(|o| !o.passed);
+        if !flipped {
+            return Err(SprintError::runtime(
+                "paper_parity::selftest",
+                format!("anchor {} did not detect a perturbed golden value", a.id),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), SprintError> {
+    let args = Args::parse();
+    let num_seeds = args.get_usize("seeds", 1)?.max(1);
+    let json_only = args.has_flag("json");
+    let run_selftest = args.has_flag("selftest");
+    let update_golden = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let catalogue = anchors::catalogue();
+
+    let base_seed = measure::DEFAULT_SEED;
+    if !json_only {
+        eprintln!(
+            "paper_parity: {} anchors, seed {base_seed:#x} ({num_seeds} seed(s)) ...",
+            catalogue.len()
+        );
+    }
+    let base = measure::collect(base_seed)?;
+
+    if update_golden {
+        let golden = report::Golden::record(&catalogue, &base)?;
+        std::fs::write(GOLDEN_PATH, golden.to_json().to_string_pretty() + "\n").map_err(|e| {
+            SprintError::invalid("paper_parity::golden", format!("write {GOLDEN_PATH}: {e}"))
+        })?;
+        println!(
+            "wrote {} anchor values to {GOLDEN_PATH}",
+            golden.values.len()
+        );
+        return Ok(());
+    }
+
+    let golden = load_golden(GOLDEN_PATH)?;
+    let mut seeds = vec![base_seed];
+    let mut anchor_runs = vec![report::check_anchors(&catalogue, &base, &golden)];
+    let mut oracle_runs = vec![oracles::run_all(base_seed)];
+
+    // At extra seeds, golden-seed-only anchors are skipped: their
+    // relations are noise-dominated at conformance campaign sizes and
+    // are pinned deterministically at the golden seed instead.
+    let matrix: Vec<anchors::Anchor> = catalogue.iter().filter(|a| a.cross_seed).cloned().collect();
+    for i in 1..num_seeds as u64 {
+        let seed = base_seed + i;
+        if !json_only {
+            eprintln!("paper_parity: seed-matrix pass at seed {seed:#x} ...");
+        }
+        let m = measure::collect(seed)?;
+        seeds.push(seed);
+        anchor_runs.push(report::check_anchors(&matrix, &m, &golden));
+        oracle_runs.push(oracles::run_all(seed));
+    }
+
+    if run_selftest {
+        selftest(&catalogue, &base, &golden)?;
+        if !json_only {
+            println!(
+                "selftest: all {} perturbed golden values detected",
+                catalogue.len()
+            );
+        }
+    }
+
+    let parity = report::ParityReport {
+        seeds,
+        anchor_runs,
+        oracle_runs,
+    };
+    if json_only {
+        println!("{}", parity.to_json().to_string_pretty());
+    } else {
+        print!("{}", parity.render());
+        println!(
+            "paper_parity: {} anchors x {} seed(s), {} oracles x {} seed(s): {}",
+            catalogue.len(),
+            parity.seeds.len(),
+            parity.oracle_runs.first().map_or(0, Vec::len),
+            parity.seeds.len(),
+            if parity.passed() {
+                "all checks passed".to_string()
+            } else {
+                format!("{} FAILURES", parity.failures())
+            }
+        );
+    }
+    if !parity.passed() {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,321 @@
+//! Golden persistence, anchor checking, and the parity report.
+//!
+//! The golden file (`crates/conformance/golden/anchors.json`) stores
+//! *values only* — `{id, value}` pairs recorded at
+//! [`crate::measure::DEFAULT_SEED`]. Tolerance bands live in code
+//! ([`crate::anchors::catalogue`]), so widening a band is a reviewed
+//! source change while refreshing values is a mechanical
+//! `UPDATE_GOLDEN=1` run.
+
+use crate::anchors::{Anchor, Band};
+use crate::measure::Measurements;
+use crate::oracles::OracleOutcome;
+use simcore::json::Json;
+use simcore::table::TextTable;
+use simcore::SprintError;
+
+/// Golden file schema version.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// The committed golden anchor values.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// Seed the values were recorded at.
+    pub seed: u64,
+    /// `(anchor id, recorded value)`, in catalogue order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Golden {
+    /// Looks up a recorded value by anchor id.
+    pub fn value(&self, id: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|&(_, v)| v)
+    }
+
+    /// Records fresh golden values from a measurement pass.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Runtime`] if any anchor fails to produce a value
+    /// — a golden file must cover the whole catalogue.
+    pub fn record(anchors: &[Anchor], m: &Measurements) -> Result<Golden, SprintError> {
+        let mut values = Vec::with_capacity(anchors.len());
+        for a in anchors {
+            let v = (a.value)(m).ok_or_else(|| {
+                SprintError::runtime(
+                    "Golden::record",
+                    format!("anchor {} produced no value at seed {:#x}", a.id, m.seed),
+                )
+            })?;
+            values.push((a.id.to_string(), v));
+        }
+        Ok(Golden {
+            seed: m.seed,
+            values,
+        })
+    }
+
+    /// Parses a golden file.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Parse`]/[`SprintError::InvalidConfig`] on malformed
+    /// JSON or an unexpected schema version.
+    pub fn parse(text: &str) -> Result<Golden, SprintError> {
+        let json = Json::parse(text)?;
+        let version = json.field("schema_version")?.as_f64()?;
+        if version != SCHEMA_VERSION {
+            return Err(SprintError::invalid(
+                "Golden::parse",
+                format!("schema_version {version}, expected {SCHEMA_VERSION}"),
+            ));
+        }
+        let seed = json.field("seed")?.as_f64()? as u64;
+        let mut values = Vec::new();
+        for entry in json.field("anchors")?.as_arr()? {
+            values.push((
+                entry.field("id")?.as_str()?.to_string(),
+                entry.field("value")?.as_f64()?,
+            ));
+        }
+        Ok(Golden { seed, values })
+    }
+
+    /// Serializes the golden file.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(SCHEMA_VERSION)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "anchors".to_string(),
+                Json::Arr(
+                    self.values
+                        .iter()
+                        .map(|(id, v)| {
+                            Json::Obj(vec![
+                                ("id".to_string(), Json::Str(id.clone())),
+                                ("value".to_string(), Json::Num(*v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One anchor's measured-vs-golden verdict.
+#[derive(Debug, Clone)]
+pub struct AnchorOutcome {
+    /// Anchor id.
+    pub id: &'static str,
+    /// Figure/table the anchor belongs to.
+    pub figure: &'static str,
+    /// The paper relation.
+    pub description: &'static str,
+    /// Measured value, if the extraction succeeded.
+    pub measured: Option<f64>,
+    /// Committed golden value, if present in the file.
+    pub golden: Option<f64>,
+    /// The acceptance band.
+    pub band: Band,
+    /// Whether the anchor passed.
+    pub passed: bool,
+}
+
+impl AnchorOutcome {
+    /// The `[lo, hi]` acceptance interval, when a golden value exists.
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        self.golden.map(|g| self.band.interval(g))
+    }
+}
+
+/// Checks every anchor in `anchors` against `golden` on `m`.
+///
+/// An anchor fails when its measurement is missing, its golden entry
+/// is missing, or the measured value falls outside the band.
+pub fn check_anchors(anchors: &[Anchor], m: &Measurements, golden: &Golden) -> Vec<AnchorOutcome> {
+    anchors
+        .iter()
+        .map(|a| {
+            let measured = (a.value)(m);
+            let expected = golden.value(a.id);
+            let passed = match (measured, expected) {
+                (Some(mv), Some(gv)) => a.band.accepts(mv, gv),
+                _ => false,
+            };
+            AnchorOutcome {
+                id: a.id,
+                figure: a.figure,
+                description: a.description,
+                measured,
+                golden: expected,
+                band: a.band,
+                passed,
+            }
+        })
+        .collect()
+}
+
+fn anchor_json(a: &AnchorOutcome) -> Json {
+    let (lo, hi) = a.interval().unwrap_or((f64::NAN, f64::NAN));
+    Json::Obj(vec![
+        ("id".to_string(), Json::Str(a.id.to_string())),
+        ("figure".to_string(), Json::Str(a.figure.to_string())),
+        ("band".to_string(), Json::Str(a.band.label())),
+        ("golden".to_string(), a.golden.map_or(Json::Null, Json::Num)),
+        (
+            "measured".to_string(),
+            a.measured.map_or(Json::Null, Json::Num),
+        ),
+        ("lo".to_string(), Json::Num(lo)),
+        ("hi".to_string(), Json::Num(hi)),
+        ("passed".to_string(), Json::Bool(a.passed)),
+    ])
+}
+
+/// The full machine-checkable parity verdict for one run.
+#[derive(Debug, Clone)]
+pub struct ParityReport {
+    /// Seeds the pass ran at (golden seed first).
+    pub seeds: Vec<u64>,
+    /// Per-seed anchor verdicts, aligned with `seeds`.
+    pub anchor_runs: Vec<Vec<AnchorOutcome>>,
+    /// Per-seed oracle verdicts, aligned with `seeds`.
+    pub oracle_runs: Vec<Vec<OracleOutcome>>,
+}
+
+impl ParityReport {
+    /// Whether every anchor and oracle passed at every seed.
+    pub fn passed(&self) -> bool {
+        self.anchor_runs
+            .iter()
+            .all(|run| run.iter().all(|a| a.passed))
+            && self
+                .oracle_runs
+                .iter()
+                .all(|run| run.iter().all(|o| o.passed))
+    }
+
+    /// Total failing checks across all seeds.
+    pub fn failures(&self) -> usize {
+        let anchors = self
+            .anchor_runs
+            .iter()
+            .flatten()
+            .filter(|a| !a.passed)
+            .count();
+        let oracles = self
+            .oracle_runs
+            .iter()
+            .flatten()
+            .filter(|o| !o.passed)
+            .count();
+        anchors + oracles
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> Json {
+        let seed_objs = self
+            .seeds
+            .iter()
+            .zip(&self.anchor_runs)
+            .zip(&self.oracle_runs)
+            .map(|((&seed, anchors), oracles)| {
+                Json::Obj(vec![
+                    ("seed".to_string(), Json::Num(seed as f64)),
+                    (
+                        "anchors".to_string(),
+                        Json::Arr(anchors.iter().map(anchor_json).collect()),
+                    ),
+                    (
+                        "oracles".to_string(),
+                        Json::Arr(
+                            oracles
+                                .iter()
+                                .map(|o| {
+                                    Json::Obj(vec![
+                                        ("id".to_string(), Json::Str(o.id.to_string())),
+                                        ("passed".to_string(), Json::Bool(o.passed)),
+                                        ("detail".to_string(), Json::Str(o.detail.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(SCHEMA_VERSION)),
+            ("passed".to_string(), Json::Bool(self.passed())),
+            ("failures".to_string(), Json::Num(self.failures() as f64)),
+            ("runs".to_string(), Json::Arr(seed_objs)),
+        ])
+    }
+
+    /// Renders the per-seed anchor tables and oracle lines for humans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((&seed, anchors), oracles) in self
+            .seeds
+            .iter()
+            .zip(&self.anchor_runs)
+            .zip(&self.oracle_runs)
+        {
+            out.push_str(&format!("seed {seed:#x}\n"));
+            let mut table = TextTable::new(vec![
+                "anchor", "band", "golden", "measured", "lo", "hi", "verdict",
+            ]);
+            for a in anchors {
+                let (lo, hi) = a.interval().unwrap_or((f64::NAN, f64::NAN));
+                table.row(vec![
+                    a.id.to_string(),
+                    a.band.label(),
+                    a.golden.map_or("—".to_string(), |v| format!("{v:.4}")),
+                    a.measured.map_or("—".to_string(), |v| format!("{v:.4}")),
+                    format!("{lo:.4}"),
+                    format!("{hi:.4}"),
+                    if a.passed { "ok" } else { "DRIFT" }.to_string(),
+                ]);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+            for o in oracles {
+                out.push_str(&format!(
+                    "  {} {}: {}\n",
+                    if o.passed { "ok " } else { "FAIL" },
+                    o.id,
+                    o.detail
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_roundtrips_through_json() {
+        let g = Golden {
+            seed: 0xC0F0,
+            values: vec![("fig1/a".to_string(), 1.0), ("fig9/b".to_string(), 0.125)],
+        };
+        let parsed = Golden::parse(&g.to_json().to_string_pretty()).unwrap();
+        assert_eq!(parsed.seed, g.seed);
+        assert_eq!(parsed.values, g.values);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = r#"{"schema_version": 99, "seed": 1, "anchors": []}"#;
+        assert!(Golden::parse(text).is_err());
+    }
+}

@@ -31,7 +31,7 @@ pub mod recorder;
 
 pub use event::{render_timeline, AdmissionMode, BreakerLevel, Event, EventKind, UnsprintReason};
 pub use metrics::{
-    global, set_enabled, start_timer, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
-    FAMILY_NAMES, HISTOGRAM_BUCKETS,
+    global, set_enabled, start_timer, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, FAMILY_NAMES, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{FlightRecorder, RunTelemetry};

@@ -16,7 +16,7 @@ fn main() -> Result<(), model_sprint::simcore::SprintError> {
     let opts = SloOptions::default();
 
     // The paper's third combo: four diverse workloads at 50-80% load.
-    let demands = combo(3);
+    let demands = combo(3)?;
     println!("demands:");
     for d in &demands {
         println!(
@@ -67,7 +67,9 @@ fn main() -> Result<(), model_sprint::simcore::SprintError> {
             h / 24.0
         );
     }
-    let last = timeline.last().expect("timeline non-empty");
+    let last = timeline.last().ok_or_else(|| {
+        model_sprint::simcore::SprintError::runtime("colocation", "empty break-even timeline")
+    })?;
     println!(
         "over a {SERVER_LIFETIME_HOURS:.0}-hour server lifetime: {:.2}X the AWS revenue",
         last.model_hybrid / last.aws

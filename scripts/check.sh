@@ -33,4 +33,12 @@ run ./target/release/perf_smoke > /dev/null
 # registered metric family is missing from the report or never fired.
 run ./target/release/sprint_report --seed 181 > /dev/null
 
+# Paper-parity gate: re-measures every anchored figure relation against
+# the committed golden values (crates/conformance/golden/anchors.json),
+# runs the differential oracles, and proves drift detection by
+# perturbing every golden value (--selftest). Exits non-zero on any
+# drift. Seed-matrix mode (--seeds 3) is run in CI-ish contexts by
+# hand; the per-change gate sticks to the golden seed for speed.
+run ./target/release/paper_parity --offline --selftest > /dev/null
+
 echo "All checks passed."
