@@ -4,14 +4,22 @@
 //! ```text
 //! chaos_sweep [--seeds N] [--queries N] [--util F] [--seed N]
 //!             [--workload NAME] [--p99-factor F]
+//!             [--replay workload/mechanism/policy/seedN]
 //! ```
 //!
 //! Prints a JSON report to stdout — including per-cell model-health
 //! breaker dwell times and the flight-recorder tail of any violating
 //! run — and exits non-zero if any invariant was violated or
-//! supervision failed to improve SLO attainment in every cell.
+//! supervision failed to improve SLO attainment in every cell. Before
+//! the sweep it runs the fixed-seed message-fault scenarios (lost
+//! unsprint commands, delayed budget telemetry, watchdog partition).
+//!
+//! `--replay` skips the sweep and re-runs the single case a violation
+//! named (under the same `--seed`/`--seeds`/sizing flags as the sweep
+//! that reported it), re-checking its invariants and printing the
+//! run's flight-recorder tail.
 
-use chaos::{sweep, SweepConfig};
+use chaos::{replay_case, run_scenarios, sweep, SweepConfig};
 use workloads::WorkloadKind;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -33,6 +41,40 @@ fn numeric<T: std::str::FromStr>(name: &str, default: T) -> T {
     }
 }
 
+fn replay(cfg: &SweepConfig, case: &str) -> std::process::ExitCode {
+    let outcome = match replay_case(cfg, case) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replayed {} ({} fault events)",
+        outcome.label, outcome.fault_events
+    );
+    println!("plan: {:?}", outcome.plan);
+    println!("recorder tail ({} events):", outcome.events.len());
+    for e in &outcome.events {
+        println!(
+            "  [{:>4}] {:>12}us  {}  {}",
+            e.seq,
+            e.at.0,
+            e.kind.name(),
+            e.kind.detail()
+        );
+    }
+    if outcome.violations.is_empty() {
+        println!("invariants clean on replay");
+        std::process::ExitCode::SUCCESS
+    } else {
+        for v in &outcome.violations {
+            eprintln!("violation [{}] {}: {}", v.case, v.invariant, v.details);
+        }
+        std::process::ExitCode::FAILURE
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let mut cfg = SweepConfig {
         seeds_per_cell: numeric("--seeds", 16),
@@ -49,6 +91,39 @@ fn main() -> std::process::ExitCode {
                 eprintln!("unknown workload {w:?}");
                 return std::process::ExitCode::FAILURE;
             }
+        }
+    }
+
+    if let Some(case) = arg_value("--replay") {
+        return replay(&cfg, &case);
+    }
+
+    match run_scenarios() {
+        Ok(reports) => {
+            let mut bad = 0;
+            for r in &reports {
+                eprintln!(
+                    "scenario {}: max sprint {:.1}s, {} faulted messages, \
+                     {} forced unsprints, {} violation(s)",
+                    r.name,
+                    r.max_sprint_secs,
+                    r.faulted_messages,
+                    r.forced_unsprints,
+                    r.violations.len(),
+                );
+                for v in &r.violations {
+                    eprintln!("  {}: {}", v.invariant, v.details);
+                }
+                bad += r.violations.len();
+            }
+            if bad > 0 {
+                eprintln!("{bad} message-fault scenario violation(s)");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("message-fault scenarios failed: {e}");
+            return std::process::ExitCode::FAILURE;
         }
     }
 

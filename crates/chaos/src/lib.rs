@@ -47,10 +47,14 @@ use testbed::{
 use workloads::{QueryMix, WorkloadKind};
 
 mod plan;
+mod replay;
 mod report;
+mod scenarios;
 
 pub use plan::random_plan;
+pub use replay::{replay_case, CaseReplay};
 pub use report::{CellReport, SweepReport, Violation};
+pub use scenarios::{run_scenarios, ScenarioReport};
 
 /// Everything a sweep needs: grid axes, run sizing, and invariant
 /// tolerances.
@@ -243,7 +247,7 @@ fn check_invariants(
     }
 }
 
-fn runs_identical(a: &RunResult, b: &RunResult) -> bool {
+pub(crate) fn runs_identical(a: &RunResult, b: &RunResult) -> bool {
     a.records() == b.records()
         && a.fault_counters() == b.fault_counters()
         && a.recovery_counters() == b.recovery_counters()

@@ -57,6 +57,20 @@ pub fn random_plan(seed: u64, slots: usize, horizon_secs: f64) -> FaultPlan {
         plan.thermal_period_secs = rng.uniform(horizon_secs / 8.0, horizon_secs / 3.0);
         plan.thermal_lockout_secs = rng.uniform(5.0, 30.0);
     }
+    // Mild control-plane message faults: delays stay under the sweep's
+    // 2 s stuck-sprint slack (a late ForceUnsprint extends a sprint by
+    // at most the delay), and duplicate echoes are idempotent, so the
+    // recovery invariants must still hold. Drops and partitions are
+    // *not* armed here — a lost unsprint command legitimately breaches
+    // the watchdog bound, which is exactly what the dedicated
+    // message-fault scenarios assert instead.
+    if rng.chance(0.4) {
+        plan.messages.delay_prob = rng.uniform(0.1, 0.4);
+        plan.messages.delay_secs = rng.uniform(0.3, 1.5);
+        if rng.chance(0.5) {
+            plan.messages.dup_prob = rng.uniform(0.05, 0.2);
+        }
+    }
     plan
 }
 
@@ -79,6 +93,21 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(random_plan(42, 2, 5_000.0), random_plan(42, 2, 5_000.0));
         assert_ne!(random_plan(42, 2, 5_000.0), random_plan(43, 2, 5_000.0));
+    }
+
+    #[test]
+    fn message_faults_stay_inside_the_watchdog_slack() {
+        let mut armed = 0;
+        for seed in 0..200 {
+            let plan = random_plan(seed, 2, 9_000.0);
+            assert_eq!(plan.messages.drop_prob, 0.0, "sweep plans never drop");
+            assert!(plan.messages.partitions.is_empty(), "never partition");
+            assert!(plan.messages.delay_secs <= 1.5 + 1e-9);
+            if plan.messages.delay_prob > 0.0 {
+                armed += 1;
+            }
+        }
+        assert!(armed > 20, "delays should arm regularly, got {armed}");
     }
 
     #[test]

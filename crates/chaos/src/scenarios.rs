@@ -1,0 +1,386 @@
+//! Fixed-seed message-fault scenarios.
+//!
+//! The randomized sweep keeps control-plane message faults mild (short
+//! delays, idempotent duplicates) because its recovery invariants
+//! assume the watchdog's ForceUnsprint actually lands. These scenarios
+//! probe the aggressive regimes on fixed seeds, each asserting the
+//! precise failure signature the fault must (and must only) produce:
+//!
+//! - **lost-unsprint-command** — every control message dropped: the
+//!   watchdog fires but its command never arrives, so a stuck sprint
+//!   overruns the watchdog deadline all the way to query completion.
+//! - **delayed-budget-telemetry** — every message delayed: the
+//!   controller acts on a stale budget cache and late unsprints, but
+//!   the overrun stays bounded by watchdog + max delay.
+//! - **watchdog-partition** — the watchdog↔controller link partitioned
+//!   for the whole run: zero forced unsprints land despite the watchdog
+//!   firing, and every cut is accounted by the partition counter.
+//!
+//! Each scenario also re-checks the sweep's structural invariants:
+//! queries are conserved, the run replays bit-identically, and the
+//! same configuration under an *empty* message plan stays inside the
+//! watchdog bound (so the overrun is attributable to the message fault
+//! alone).
+
+use faults::{FaultPlan, LinkPartition, MessageFaults, Peer};
+use mechanisms::MechanismKind;
+use simcore::time::{Rate, SimDuration};
+use simcore::SprintError;
+use testbed::{
+    run_supervised, ArrivalSpec, BudgetSpec, QueryRecord, RunResult, ServerConfig, SprintPolicy,
+    SupervisorConfig,
+};
+use workloads::{QueryMix, WorkloadKind};
+
+use crate::{runs_identical, Violation};
+
+/// Watchdog deadline for every scenario, in seconds. Short, so stuck
+/// sprints trip it many times per run.
+const WATCHDOG_SECS: f64 = 20.0;
+
+/// Max in-flight delay for the delayed-telemetry scenario, in seconds.
+const DELAY_SECS: f64 = 30.0;
+
+/// Slack on watchdog-bound assertions, matching the sweep's tolerance.
+const SLACK_SECS: f64 = 2.0;
+
+/// Outcome of one scenario: its name, the counters that prove the
+/// fault actually fired, and any failed assertions.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (doubles as the violation case label).
+    pub name: &'static str,
+    /// Longest single-query sprint in the run, in seconds.
+    pub max_sprint_secs: f64,
+    /// Messages perturbed by the scenario's fault class.
+    pub faulted_messages: u64,
+    /// Watchdog commands that actually landed.
+    pub forced_unsprints: u64,
+    /// Failed assertions (empty = scenario behaved exactly as modeled).
+    pub violations: Vec<Violation>,
+}
+
+/// A base run whose every sprint sticks on: recovery depends entirely
+/// on the watchdog's ForceUnsprint landing, which is what the message
+/// faults then perturb.
+fn scenario_config(seed: u64) -> (ServerConfig, SupervisorConfig) {
+    let cfg = ServerConfig {
+        mix: QueryMix::single(WorkloadKind::Jacobi),
+        arrivals: ArrivalSpec::poisson(Rate::per_hour(3.0)),
+        policy: SprintPolicy::new(
+            SimDuration::ZERO,
+            BudgetSpec::Seconds(10.0),
+            SimDuration::from_secs(1_000_000),
+        ),
+        slots: 1,
+        num_queries: 60,
+        warmup: 0,
+        seed,
+    };
+    let sup = SupervisorConfig {
+        watchdog_secs: WATCHDOG_SECS,
+        ..SupervisorConfig::default()
+    };
+    (cfg, sup)
+}
+
+fn base_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xC1A05,
+        stuck_sprint_prob: 1.0,
+        ..FaultPlan::default()
+    }
+}
+
+fn max_sprint_secs(run: &RunResult) -> f64 {
+    run.records()
+        .iter()
+        .map(|q: &QueryRecord| q.sprint_seconds)
+        .fold(0.0_f64, f64::max)
+}
+
+/// Structural checks shared by every scenario: conservation, replay
+/// determinism, and a clean-message twin that stays watchdog-bounded.
+fn structural_checks(
+    name: &'static str,
+    cfg: &ServerConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    run: &RunResult,
+    out: &mut Vec<Violation>,
+) -> Result<(), SprintError> {
+    if !run.conserves_queries() {
+        out.push(Violation {
+            case: name.to_string(),
+            invariant: "conservation",
+            details: format!(
+                "served {} + turned away {} != arrived {}",
+                run.served(),
+                run.recovery_counters().turned_away(),
+                run.arrived()
+            ),
+        });
+    }
+    let replay = run_supervised(
+        cfg.clone(),
+        &*cfg_mechanism().build(),
+        Some(plan.clone()),
+        *sup,
+    )?;
+    if !runs_identical(run, &replay) {
+        out.push(Violation {
+            case: name.to_string(),
+            invariant: "replay",
+            details: "identical (cfg, plan, sup) produced diverging runs".to_string(),
+        });
+    }
+    let mut clean_plan = plan.clone();
+    clean_plan.messages = MessageFaults::default();
+    let clean = run_supervised(
+        cfg.clone(),
+        &*cfg_mechanism().build(),
+        Some(clean_plan),
+        *sup,
+    )?;
+    let clean_max = max_sprint_secs(&clean);
+    if clean_max > WATCHDOG_SECS + SLACK_SECS {
+        out.push(Violation {
+            case: name.to_string(),
+            invariant: "clean-twin-bounded",
+            details: format!(
+                "without message faults the watchdog must hold: sprinted {clean_max:.1}s"
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn cfg_mechanism() -> MechanismKind {
+    MechanismKind::CpuThrottle
+}
+
+/// Lost unsprint commands: `drop_prob = 1.0`. The watchdog fires but
+/// nothing arrives, so stuck sprints overrun until the query finishes.
+fn lost_unsprint_command() -> Result<ScenarioReport, SprintError> {
+    let name = "lost-unsprint-command";
+    let (cfg, sup) = scenario_config(0xD207);
+    let plan = FaultPlan {
+        messages: MessageFaults {
+            drop_prob: 1.0,
+            ..MessageFaults::default()
+        },
+        ..base_plan()
+    };
+    let run = run_supervised(
+        cfg.clone(),
+        &*cfg_mechanism().build(),
+        Some(plan.clone()),
+        sup,
+    )?;
+    let max_sprint = max_sprint_secs(&run);
+    let mut violations = Vec::new();
+    if run.fault_counters().msgs_dropped == 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "fault-fired",
+            details: "drop_prob=1.0 dropped no messages".to_string(),
+        });
+    }
+    if run.recovery_counters().forced_unsprints != 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "commands-lost",
+            details: format!(
+                "{} ForceUnsprint commands landed despite total loss",
+                run.recovery_counters().forced_unsprints
+            ),
+        });
+    }
+    if max_sprint <= WATCHDOG_SECS + SLACK_SECS {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "overrun-visible",
+            details: format!(
+                "losing every unsprint command must breach the watchdog: \
+                 max sprint {max_sprint:.1}s <= {WATCHDOG_SECS:.0}s + slack"
+            ),
+        });
+    }
+    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
+    Ok(ScenarioReport {
+        name,
+        max_sprint_secs: max_sprint,
+        faulted_messages: run.fault_counters().msgs_dropped,
+        forced_unsprints: run.recovery_counters().forced_unsprints,
+        violations,
+    })
+}
+
+/// Delayed budget telemetry and unsprint commands: `delay_prob = 1.0`
+/// with delays up to [`DELAY_SECS`]. Commands eventually land, so the
+/// overrun is bounded by watchdog + max delay.
+fn delayed_budget_telemetry() -> Result<ScenarioReport, SprintError> {
+    let name = "delayed-budget-telemetry";
+    let (cfg, sup) = scenario_config(0xDE1A7);
+    let plan = FaultPlan {
+        messages: MessageFaults {
+            delay_prob: 1.0,
+            delay_secs: DELAY_SECS,
+            ..MessageFaults::default()
+        },
+        ..base_plan()
+    };
+    let run = run_supervised(
+        cfg.clone(),
+        &*cfg_mechanism().build(),
+        Some(plan.clone()),
+        sup,
+    )?;
+    let max_sprint = max_sprint_secs(&run);
+    let mut violations = Vec::new();
+    if run.fault_counters().msgs_delayed == 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "fault-fired",
+            details: "delay_prob=1.0 delayed no messages".to_string(),
+        });
+    }
+    if run.recovery_counters().forced_unsprints == 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "commands-land-late",
+            details: "delayed ForceUnsprint commands must still arrive".to_string(),
+        });
+    }
+    if max_sprint > WATCHDOG_SECS + DELAY_SECS + SLACK_SECS {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "overrun-bounded",
+            details: format!(
+                "a delayed command bounds the overrun at watchdog + delay: \
+                 sprinted {max_sprint:.1}s > {:.0}s",
+                WATCHDOG_SECS + DELAY_SECS + SLACK_SECS
+            ),
+        });
+    }
+    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
+    Ok(ScenarioReport {
+        name,
+        max_sprint_secs: max_sprint,
+        faulted_messages: run.fault_counters().msgs_delayed,
+        forced_unsprints: run.recovery_counters().forced_unsprints,
+        violations,
+    })
+}
+
+/// Watchdog partitioned from the controller for the entire run: like
+/// total loss, but via the scheduled-partition path (no randomness) and
+/// accounted by the partition counter.
+fn watchdog_partition() -> Result<ScenarioReport, SprintError> {
+    let name = "watchdog-partition";
+    let (cfg, sup) = scenario_config(0x9A271);
+    let plan = FaultPlan {
+        messages: MessageFaults {
+            partitions: vec![LinkPartition {
+                a: Peer::Watchdog,
+                b: Peer::Controller,
+                start_secs: 0.0,
+                duration_secs: 1e9,
+            }],
+            ..MessageFaults::default()
+        },
+        ..base_plan()
+    };
+    let run = run_supervised(
+        cfg.clone(),
+        &*cfg_mechanism().build(),
+        Some(plan.clone()),
+        sup,
+    )?;
+    let max_sprint = max_sprint_secs(&run);
+    let mut violations = Vec::new();
+    if run.fault_counters().partition_drops == 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "fault-fired",
+            details: "a whole-run partition cut no messages".to_string(),
+        });
+    }
+    if run.fault_counters().msgs_dropped != 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "partition-not-random",
+            details: "partition cuts must not count as random drops".to_string(),
+        });
+    }
+    if run.recovery_counters().forced_unsprints != 0 {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "commands-lost",
+            details: format!(
+                "{} ForceUnsprint commands crossed a severed link",
+                run.recovery_counters().forced_unsprints
+            ),
+        });
+    }
+    if max_sprint <= WATCHDOG_SECS + SLACK_SECS {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "overrun-visible",
+            details: format!(
+                "partitioning the watchdog must breach its bound: \
+                 max sprint {max_sprint:.1}s <= {WATCHDOG_SECS:.0}s + slack"
+            ),
+        });
+    }
+    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
+    Ok(ScenarioReport {
+        name,
+        max_sprint_secs: max_sprint,
+        faulted_messages: run.fault_counters().partition_drops,
+        forced_unsprints: run.recovery_counters().forced_unsprints,
+        violations,
+    })
+}
+
+/// Runs all fixed-seed message-fault scenarios.
+///
+/// # Errors
+///
+/// Propagates the first validation or simulator error — a typed error
+/// is a harness failure, not a scenario verdict.
+pub fn run_scenarios() -> Result<Vec<ScenarioReport>, SprintError> {
+    Ok(vec![
+        lost_unsprint_command()?,
+        delayed_budget_telemetry()?,
+        watchdog_partition()?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_hold() {
+        for report in run_scenarios().unwrap() {
+            assert!(
+                report.violations.is_empty(),
+                "{}: {:?}",
+                report.name,
+                report.violations
+            );
+            assert!(report.faulted_messages > 0, "{}", report.name);
+        }
+    }
+
+    #[test]
+    fn lost_commands_overrun_but_delayed_commands_stay_bounded() {
+        let reports = run_scenarios().unwrap();
+        let lost = &reports[0];
+        let delayed = &reports[1];
+        assert!(lost.max_sprint_secs > delayed.max_sprint_secs);
+        assert_eq!(lost.forced_unsprints, 0);
+        assert!(delayed.forced_unsprints > 0);
+    }
+}

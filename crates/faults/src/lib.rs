@@ -20,8 +20,176 @@
 
 #![deny(unreachable_pub)]
 
+use reactor::{Delivery, NetworkEffect};
 use simcore::error::SprintError;
 use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+/// A control-plane actor in the testbed's reactor: an endpoint of the
+/// simulated network that [`MessageFaults`] perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// The sprint controller (the queue manager's decision loop).
+    Controller,
+    /// The budget sensor reporting the reserve pool level.
+    BudgetSensor,
+    /// The watchdog that force-unsprints stuck mechanisms.
+    Watchdog,
+    /// The execution slots (addressed collectively).
+    Slots,
+}
+
+impl Peer {
+    /// Stable integer id used in telemetry events.
+    pub fn index(self) -> u32 {
+        match self {
+            Peer::Controller => 0,
+            Peer::BudgetSensor => 1,
+            Peer::Watchdog => 2,
+            Peer::Slots => 3,
+        }
+    }
+
+    /// All control-plane peers.
+    pub const ALL: [Peer; 4] = [
+        Peer::Controller,
+        Peer::BudgetSensor,
+        Peer::Watchdog,
+        Peer::Slots,
+    ];
+
+    /// Human-readable name for replay/debug output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Peer::Controller => "controller",
+            Peer::BudgetSensor => "budget-sensor",
+            Peer::Watchdog => "watchdog",
+            Peer::Slots => "slots",
+        }
+    }
+
+    /// Parses a [`Peer::name`] back to the peer, for replay tooling
+    /// that round-trips fault plans through text.
+    pub fn parse(name: &str) -> Option<Peer> {
+        Peer::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// A window during which *all* messages between two peers are dropped,
+/// in both directions — the classic network partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPartition {
+    /// One endpoint of the severed link.
+    pub a: Peer,
+    /// The other endpoint.
+    pub b: Peer,
+    /// Partition start, in simulated seconds.
+    pub start_secs: f64,
+    /// Partition length, in simulated seconds (half-open window).
+    pub duration_secs: f64,
+}
+
+impl LinkPartition {
+    /// Whether this partition severs the `from -> to` link at `now_secs`.
+    fn cuts(&self, now_secs: f64, from: Peer, to: Peer) -> bool {
+        let on_link = (self.a == from && self.b == to) || (self.a == to && self.b == from);
+        on_link && now_secs >= self.start_secs && now_secs < self.start_secs + self.duration_secs
+    }
+}
+
+/// Message-level faults on the control plane: per-message delay, drop
+/// and duplication probabilities plus scheduled link partitions.
+///
+/// Reordering needs no knob of its own: delays are drawn independently
+/// per message, so two delayed messages on the same link can overtake
+/// each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageFaults {
+    /// Per-message probability of an in-flight delay.
+    pub delay_prob: f64,
+    /// Maximum delay in seconds; each delayed message draws uniformly
+    /// from `(0, delay_secs]`. Also bounds the duplicate echo latency.
+    pub delay_secs: f64,
+    /// Per-message probability of silent loss.
+    pub drop_prob: f64,
+    /// Per-message probability of duplication (delivered inline *and*
+    /// echoed once after a random positive delay).
+    pub dup_prob: f64,
+    /// Scheduled link partitions (checked before any random fault, and
+    /// without drawing randomness).
+    pub partitions: Vec<LinkPartition>,
+}
+
+impl Default for MessageFaults {
+    fn default() -> Self {
+        MessageFaults {
+            delay_prob: 0.0,
+            delay_secs: 0.0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl MessageFaults {
+    /// Whether no message fault can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.delay_prob == 0.0
+            && self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.partitions.is_empty()
+    }
+
+    /// Validates every field, returning the first violation.
+    pub fn validate(&self) -> Result<(), SprintError> {
+        for (name, p) in [
+            ("messages.delay_prob", self.delay_prob),
+            ("messages.drop_prob", self.drop_prob),
+            ("messages.dup_prob", self.dup_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("{name} must be in [0, 1], got {p}"),
+                });
+            }
+        }
+        if !self.delay_secs.is_finite() || self.delay_secs < 0.0 {
+            return Err(SprintError::InvalidFaultPlan {
+                details: format!(
+                    "messages.delay_secs must be finite and >= 0, got {}",
+                    self.delay_secs
+                ),
+            });
+        }
+        if (self.delay_prob > 0.0 || self.dup_prob > 0.0) && self.delay_secs == 0.0 {
+            return Err(SprintError::InvalidFaultPlan {
+                details: "messages.delay_secs must be > 0 when delay_prob or dup_prob is set"
+                    .to_string(),
+            });
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.a == p.b {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("partition {i}: endpoints must differ, got {:?}", p.a),
+                });
+            }
+            if !p.start_secs.is_finite() || p.start_secs < 0.0 {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("partition {i}: start_secs must be finite and >= 0"),
+                });
+            }
+            if !p.duration_secs.is_finite() || p.duration_secs <= 0.0 {
+                return Err(SprintError::InvalidFaultPlan {
+                    details: format!("partition {i}: duration_secs must be finite and > 0"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A window of time during which arrivals are compressed by a burst
 /// multiplier — an injected load storm on top of whatever modulation
@@ -101,6 +269,9 @@ pub struct FaultPlan {
     /// Engage lockout after a thermal emergency: sprint engage attempts
     /// within this many seconds of an emergency are refused.
     pub thermal_lockout_secs: f64,
+    /// Message-level faults on the control plane (delay, drop,
+    /// duplication, link partitions).
+    pub messages: MessageFaults,
 }
 
 impl Default for FaultPlan {
@@ -118,6 +289,7 @@ impl Default for FaultPlan {
             storms: Vec::new(),
             thermal_period_secs: 0.0,
             thermal_lockout_secs: 0.0,
+            messages: MessageFaults::default(),
         }
     }
 }
@@ -132,6 +304,7 @@ impl FaultPlan {
             && self.bad_slot_crash_prob == 0.0
             && self.storms.is_empty()
             && self.thermal_period_secs == 0.0
+            && self.messages.is_noop()
     }
 
     /// Validates every field, returning the first violation.
@@ -221,6 +394,7 @@ impl FaultPlan {
                 ),
             });
         }
+        self.messages.validate()?;
         Ok(())
     }
 }
@@ -243,6 +417,14 @@ pub struct FaultCounters {
     pub lockout_refusals: u64,
     /// Arrivals whose inter-arrival gap was compressed by a storm.
     pub storm_arrivals: u64,
+    /// Control messages delivered late.
+    pub msgs_delayed: u64,
+    /// Control messages lost to random drop.
+    pub msgs_dropped: u64,
+    /// Control messages duplicated (inline copy plus a delayed echo).
+    pub msgs_duplicated: u64,
+    /// Control messages eaten by a scheduled link partition.
+    pub partition_drops: u64,
 }
 
 impl FaultCounters {
@@ -255,6 +437,10 @@ impl FaultCounters {
             + self.thermal_unsprints
             + self.lockout_refusals
             + self.storm_arrivals
+            + self.msgs_delayed
+            + self.msgs_dropped
+            + self.msgs_duplicated
+            + self.partition_drops
     }
 }
 
@@ -279,6 +465,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     engage_rng: SimRng,
     crash_rng: SimRng,
+    msg_rng: SimRng,
     locked_until_secs: f64,
     counters: FaultCounters,
 }
@@ -288,12 +475,17 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Result<FaultInjector, SprintError> {
         plan.validate()?;
         let mut root = SimRng::new(plan.seed);
+        // Derivation order is part of the replay contract: the message
+        // stream was added after engage/crash, so it splits last and the
+        // historical streams are untouched.
         let engage_rng = root.split(0xFA01);
         let crash_rng = root.split(0xFA02);
+        let msg_rng = root.split(0xFA03);
         Ok(FaultInjector {
             plan,
             engage_rng,
             crash_rng,
+            msg_rng,
             locked_until_secs: f64::NEG_INFINITY,
             counters: FaultCounters::default(),
         })
@@ -418,6 +610,55 @@ impl FaultInjector {
     /// Unsupervised out-of-band repair time for a crashed slot.
     pub fn crash_repair_secs(&self) -> f64 {
         self.plan.crash_repair_secs
+    }
+
+    /// Whether the plan carries any message-level fault (if not, the
+    /// testbed skips routing entirely and delivers every control
+    /// message inline, drawing no randomness).
+    pub fn has_message_faults(&self) -> bool {
+        !self.plan.messages.is_noop()
+    }
+
+    /// Routes one control message sent at `now_secs` from `from` to
+    /// `to`, deciding its fate and counting any injected fault.
+    ///
+    /// Partitions are checked first and consume no randomness; the
+    /// drop/duplicate/delay draws each happen only when the matching
+    /// probability is non-zero, so a plan without message faults leaves
+    /// the message stream untouched.
+    pub fn route_message(&mut self, now_secs: f64, from: Peer, to: Peer) -> Delivery {
+        let m = &self.plan.messages;
+        if m.partitions.iter().any(|p| p.cuts(now_secs, from, to)) {
+            self.counters.partition_drops += 1;
+            return Delivery::Dropped { partitioned: true };
+        }
+        if m.drop_prob > 0.0 && self.msg_rng.chance(m.drop_prob) {
+            self.counters.msgs_dropped += 1;
+            return Delivery::Dropped { partitioned: false };
+        }
+        if m.dup_prob > 0.0 && self.msg_rng.chance(m.dup_prob) {
+            self.counters.msgs_duplicated += 1;
+            let extra = self.msg_rng.uniform(0.0, m.delay_secs);
+            return Delivery::Duplicated {
+                // At least one microsecond so the echo is a distinct
+                // event rather than a same-instant double delivery.
+                extra_delay: SimDuration(((extra * 1e6) as u64).max(1)),
+            };
+        }
+        if m.delay_prob > 0.0 && self.msg_rng.chance(m.delay_prob) {
+            self.counters.msgs_delayed += 1;
+            let delay = self.msg_rng.uniform(0.0, m.delay_secs);
+            return Delivery::Delayed {
+                delay: SimDuration(((delay * 1e6) as u64).max(1)),
+            };
+        }
+        Delivery::Inline
+    }
+}
+
+impl NetworkEffect<Peer> for FaultInjector {
+    fn route(&mut self, now: SimTime, from: Peer, to: Peer) -> Delivery {
+        self.route_message(now.as_secs_f64(), from, to)
     }
 }
 
@@ -616,6 +857,198 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(adjacent.validate().is_ok());
+    }
+
+    #[test]
+    fn message_faults_default_is_noop_and_inline() {
+        let mut inj = FaultInjector::new(FaultPlan::default()).unwrap();
+        assert!(!inj.has_message_faults());
+        for i in 0..8 {
+            assert_eq!(
+                inj.route_message(i as f64, Peer::Watchdog, Peer::Controller),
+                Delivery::Inline
+            );
+        }
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn noop_message_plan_draws_no_randomness() {
+        // Routing under a no-op plan must not consume the message
+        // stream: two injectors stay in lockstep regardless of call
+        // counts (the same contract engage/crash already honour).
+        let mut a = FaultInjector::new(FaultPlan::default()).unwrap();
+        let mut b = FaultInjector::new(FaultPlan::default()).unwrap();
+        for _ in 0..10 {
+            let _ = a.route_message(1.0, Peer::BudgetSensor, Peer::Controller);
+        }
+        let _ = b.route_message(1.0, Peer::BudgetSensor, Peer::Controller);
+        assert_eq!(a.msg_rng.next_u64(), b.msg_rng.next_u64());
+    }
+
+    #[test]
+    fn message_stream_never_perturbs_engage_or_crash_streams() {
+        let plan = FaultPlan {
+            seed: 5,
+            engage_failure_prob: 0.5,
+            crash_prob: 0.5,
+            max_retries: 100,
+            ..FaultPlan::default()
+        };
+        let chatty_plan = FaultPlan {
+            messages: MessageFaults {
+                delay_prob: 0.5,
+                delay_secs: 10.0,
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                ..MessageFaults::default()
+            },
+            ..plan.clone()
+        };
+        let mut quiet = FaultInjector::new(plan).unwrap();
+        let mut chatty = FaultInjector::new(chatty_plan).unwrap();
+        for i in 0..64 {
+            let _ = chatty.route_message(i as f64, Peer::Watchdog, Peer::Controller);
+        }
+        for i in 0..64 {
+            assert_eq!(quiet.engage_outcome(0.0), chatty.engage_outcome(0.0));
+            assert_eq!(
+                quiet.crash_point_frac(0, 0),
+                chatty.crash_point_frac(0, 0),
+                "{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_routing_is_deterministic_and_covers_every_fate() {
+        let plan = FaultPlan {
+            seed: 21,
+            messages: MessageFaults {
+                delay_prob: 0.4,
+                delay_secs: 30.0,
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                ..MessageFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop());
+        let mut a = FaultInjector::new(plan.clone()).unwrap();
+        let mut b = FaultInjector::new(plan).unwrap();
+        let route = |inj: &mut FaultInjector| -> Vec<Delivery> {
+            (0..256)
+                .map(|i| inj.route_message(i as f64, Peer::BudgetSensor, Peer::Controller))
+                .collect()
+        };
+        let xs = route(&mut a);
+        assert_eq!(xs, route(&mut b));
+        assert!(xs.iter().any(|d| matches!(d, Delivery::Inline)));
+        assert!(xs.iter().any(|d| matches!(d, Delivery::Delayed { .. })));
+        assert!(xs
+            .iter()
+            .any(|d| matches!(d, Delivery::Dropped { partitioned: false })));
+        assert!(xs.iter().any(|d| matches!(d, Delivery::Duplicated { .. })));
+        for d in &xs {
+            match d {
+                Delivery::Delayed { delay } => {
+                    assert!(delay.0 >= 1 && delay.as_secs_f64() <= 30.0)
+                }
+                Delivery::Duplicated { extra_delay } => assert!(extra_delay.0 >= 1),
+                _ => {}
+            }
+        }
+        let c = a.counters();
+        assert!(c.msgs_delayed > 0 && c.msgs_dropped > 0 && c.msgs_duplicated > 0);
+        assert_eq!(c.partition_drops, 0);
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_inside_the_window_only() {
+        let plan = FaultPlan {
+            messages: MessageFaults {
+                partitions: vec![LinkPartition {
+                    a: Peer::Watchdog,
+                    b: Peer::Controller,
+                    start_secs: 100.0,
+                    duration_secs: 50.0,
+                }],
+                ..MessageFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(
+            inj.route_message(99.0, Peer::Watchdog, Peer::Controller),
+            Delivery::Inline
+        );
+        assert_eq!(
+            inj.route_message(110.0, Peer::Watchdog, Peer::Controller),
+            Delivery::Dropped { partitioned: true }
+        );
+        assert_eq!(
+            inj.route_message(110.0, Peer::Controller, Peer::Watchdog),
+            Delivery::Dropped { partitioned: true },
+            "partition is bidirectional"
+        );
+        assert_eq!(
+            inj.route_message(110.0, Peer::BudgetSensor, Peer::Controller),
+            Delivery::Inline,
+            "other links are unaffected"
+        );
+        assert_eq!(
+            inj.route_message(150.0, Peer::Watchdog, Peer::Controller),
+            Delivery::Inline,
+            "half-open window end"
+        );
+        assert_eq!(inj.counters().partition_drops, 2);
+    }
+
+    #[test]
+    fn message_fault_validation_rejects_bad_fields() {
+        let bad = |f: fn(&mut MessageFaults)| {
+            let mut p = FaultPlan::default();
+            f(&mut p.messages);
+            p.validate()
+        };
+        assert!(bad(|m| m.delay_prob = 1.5).is_err());
+        assert!(bad(|m| m.drop_prob = f64::NAN).is_err());
+        assert!(bad(|m| m.dup_prob = -0.1).is_err());
+        assert!(bad(|m| m.delay_secs = -1.0).is_err());
+        // delay_prob without a positive delay bound is meaningless.
+        assert!(bad(|m| m.delay_prob = 0.5).is_err());
+        assert!(bad(|m| {
+            m.dup_prob = 0.5;
+            m.delay_secs = 0.0;
+        })
+        .is_err());
+        assert!(bad(|m| {
+            m.partitions.push(LinkPartition {
+                a: Peer::Controller,
+                b: Peer::Controller,
+                start_secs: 0.0,
+                duration_secs: 10.0,
+            })
+        })
+        .is_err());
+        assert!(bad(|m| {
+            m.partitions.push(LinkPartition {
+                a: Peer::Watchdog,
+                b: Peer::Controller,
+                start_secs: 0.0,
+                duration_secs: 0.0,
+            })
+        })
+        .is_err());
+        let ok = FaultPlan {
+            messages: MessageFaults {
+                delay_prob: 0.5,
+                delay_secs: 10.0,
+                ..MessageFaults::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -70,6 +70,15 @@ impl MechanismKind {
         }
     }
 
+    /// Parses a [`MechanismKind::name`] back to the kind
+    /// (case-insensitive), for replay tooling that round-trips run
+    /// specifications through text.
+    pub fn parse(name: &str) -> Option<MechanismKind> {
+        MechanismKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
     /// Builds the default-configured mechanism of this kind.
     pub fn build(self) -> Box<dyn Mechanism> {
         match self {
@@ -130,6 +139,15 @@ mod tests {
         for k in MechanismKind::ALL {
             assert_eq!(k.build().kind(), k);
         }
+    }
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for k in MechanismKind::ALL {
+            assert_eq!(MechanismKind::parse(k.name()), Some(k));
+            assert_eq!(MechanismKind::parse(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(MechanismKind::parse("warp-drive"), None);
     }
 
     #[test]

@@ -185,6 +185,35 @@ pub enum EventKind {
         /// Number of slots that were sprinting when it struck.
         unsprinted: u32,
     },
+    /// A control message was delivered late (injected network delay).
+    MessageDelayed {
+        /// Sending peer index (see `faults::Peer::index`).
+        from: u32,
+        /// Receiving peer index.
+        to: u32,
+        /// In-flight delay in microseconds.
+        delay_micros: u64,
+    },
+    /// A control message was lost (random drop or link partition).
+    MessageDropped {
+        /// Sending peer index.
+        from: u32,
+        /// Receiving peer index.
+        to: u32,
+        /// Whether a scheduled link partition (rather than random loss)
+        /// ate it.
+        partitioned: bool,
+    },
+    /// A control message was duplicated: delivered inline plus a
+    /// delayed echo copy.
+    MessageDuplicated {
+        /// Sending peer index.
+        from: u32,
+        /// Receiving peer index.
+        to: u32,
+        /// Echo latency in microseconds.
+        delay_micros: u64,
+    },
 }
 
 impl EventKind {
@@ -205,6 +234,9 @@ impl EventKind {
             EventKind::QueueDepth { .. } => "queue-depth",
             EventKind::BreakerTransition { .. } => "breaker-transition",
             EventKind::ThermalEmergency { .. } => "thermal-emergency",
+            EventKind::MessageDelayed { .. } => "message-delayed",
+            EventKind::MessageDropped { .. } => "message-dropped",
+            EventKind::MessageDuplicated { .. } => "message-duplicated",
         }
     }
 
@@ -262,6 +294,37 @@ impl EventKind {
             EventKind::ThermalEmergency { unsprinted } => {
                 format!("{unsprinted} slot(s) unsprinted")
             }
+            EventKind::MessageDelayed {
+                from,
+                to,
+                delay_micros,
+            } => {
+                format!(
+                    "peer {from} -> {to}, delay {:.3}s",
+                    *delay_micros as f64 / 1e6
+                )
+            }
+            EventKind::MessageDropped {
+                from,
+                to,
+                partitioned,
+            } => {
+                if *partitioned {
+                    format!("peer {from} -> {to} (partitioned)")
+                } else {
+                    format!("peer {from} -> {to}")
+                }
+            }
+            EventKind::MessageDuplicated {
+                from,
+                to,
+                delay_micros,
+            } => {
+                format!(
+                    "peer {from} -> {to}, echo after {:.3}s",
+                    *delay_micros as f64 / 1e6
+                )
+            }
         }
     }
 
@@ -303,6 +366,33 @@ impl EventKind {
             EventKind::ThermalEmergency { unsprinted } => {
                 vec![("unsprinted", n(unsprinted as u64))]
             }
+            EventKind::MessageDelayed {
+                from,
+                to,
+                delay_micros,
+            } => vec![
+                ("from", n(from as u64)),
+                ("to", n(to as u64)),
+                ("delay_micros", n(delay_micros)),
+            ],
+            EventKind::MessageDropped {
+                from,
+                to,
+                partitioned,
+            } => vec![
+                ("from", n(from as u64)),
+                ("to", n(to as u64)),
+                ("partitioned", Json::Bool(partitioned)),
+            ],
+            EventKind::MessageDuplicated {
+                from,
+                to,
+                delay_micros,
+            } => vec![
+                ("from", n(from as u64)),
+                ("to", n(to as u64)),
+                ("delay_micros", n(delay_micros)),
+            ],
         }
     }
 }

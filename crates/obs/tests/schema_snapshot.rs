@@ -53,6 +53,21 @@ fn all_kinds() -> Vec<EventKind> {
             to: BreakerLevel::StaleModel,
         },
         EventKind::ThermalEmergency { unsprinted: 2 },
+        EventKind::MessageDelayed {
+            from: 1,
+            to: 0,
+            delay_micros: 30_000_000,
+        },
+        EventKind::MessageDropped {
+            from: 2,
+            to: 0,
+            partitioned: true,
+        },
+        EventKind::MessageDuplicated {
+            from: 2,
+            to: 0,
+            delay_micros: 1_500_000,
+        },
     ]
 }
 
@@ -75,7 +90,10 @@ fn every_variant_is_constructed(kind: &EventKind) {
         | EventKind::AdmissionModeChanged { .. }
         | EventKind::QueueDepth { .. }
         | EventKind::BreakerTransition { .. }
-        | EventKind::ThermalEmergency { .. } => {}
+        | EventKind::ThermalEmergency { .. }
+        | EventKind::MessageDelayed { .. }
+        | EventKind::MessageDropped { .. }
+        | EventKind::MessageDuplicated { .. } => {}
     }
 }
 

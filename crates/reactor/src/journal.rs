@@ -1,0 +1,220 @@
+//! Trace record/replay: the reactor's decision journal.
+//!
+//! A journal is the run's ground truth at event granularity: one entry
+//! per popped event plus one per routing decision, each carrying the
+//! virtual timestamp and a deterministic rendering of what happened.
+//! Because every entry is produced from seeded state only, re-running
+//! the same `(seed, plan)` must reproduce the journal byte for byte —
+//! [`Journal::diff`] turns any divergence into a precise first-mismatch
+//! report instead of a shrug.
+
+use simcore::json::Json;
+use simcore::time::SimTime;
+use simcore::SprintError;
+
+/// One journaled reactor decision: a virtual timestamp (microseconds)
+/// and a deterministic text rendering of the event or routing verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Virtual time of the decision, in microseconds.
+    pub t_us: u64,
+    /// Deterministic description (an event's `Debug` form or a routing
+    /// verdict).
+    pub what: String,
+}
+
+/// An append-only log of reactor decisions for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    entries: Vec<JournalEntry>,
+}
+
+/// The first point at which two journals disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDivergence {
+    /// Index of the first mismatching entry.
+    pub index: usize,
+    /// The entry the reference journal holds there (`None` if it ended).
+    pub expected: Option<JournalEntry>,
+    /// The entry the other journal holds there (`None` if it ended).
+    pub got: Option<JournalEntry>,
+}
+
+impl JournalDivergence {
+    /// Renders the divergence with up to `context` preceding entries
+    /// from the reference journal, for human-readable diff output.
+    pub fn render(&self, reference: &Journal, context: usize) -> String {
+        let mut out = String::new();
+        let start = self.index.saturating_sub(context);
+        for (i, e) in reference
+            .entries()
+            .iter()
+            .enumerate()
+            .skip(start)
+            .take(self.index - start)
+        {
+            out.push_str(&format!("  [{i}] {:>12}us  {}\n", e.t_us, e.what));
+        }
+        let fmt = |e: &Option<JournalEntry>| match e {
+            Some(e) => format!("{:>12}us  {}", e.t_us, e.what),
+            None => "<journal ends>".to_string(),
+        };
+        out.push_str(&format!(
+            "first divergence at entry {}:\n  expected: {}\n  got:      {}\n",
+            self.index,
+            fmt(&self.expected),
+            fmt(&self.got)
+        ));
+        out
+    }
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Appends one decision.
+    pub fn push(&mut self, at: SimTime, what: String) {
+        self.entries.push(JournalEntry { t_us: at.0, what });
+    }
+
+    /// All entries, in decision order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of journaled decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes as JSONL: one compact object per entry, one per line
+    /// (`{"seq": …, "t_us": …, "what": …}`).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, e) in self.entries.iter().enumerate() {
+            let obj = Json::Obj(vec![
+                ("seq".to_string(), Json::Num(seq as f64)),
+                ("t_us".to_string(), Json::Num(e.t_us as f64)),
+                ("what".to_string(), Json::Str(e.what.clone())),
+            ]);
+            out.push_str(&obj.to_string_pretty().replace('\n', " "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL dump produced by [`Journal::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::InvalidConfig`] (directly or via the JSON
+    /// parser) if a line is malformed or out of sequence.
+    pub fn parse_jsonl(text: &str) -> Result<Journal, SprintError> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = Json::parse(line)?;
+            let seq = obj.field("seq")?.as_f64()? as usize;
+            if seq != entries.len() {
+                return Err(SprintError::invalid(
+                    "Journal::parse_jsonl",
+                    format!("line {i}: seq {seq} != expected {}", entries.len()),
+                ));
+            }
+            let t_us = obj.field("t_us")?.as_f64()? as u64;
+            let what = obj.field("what")?.as_str()?.to_string();
+            entries.push(JournalEntry { t_us, what });
+        }
+        Ok(Journal { entries })
+    }
+
+    /// Compares against another journal, returning the first divergence
+    /// (`None` when byte-identical in content).
+    pub fn diff(&self, other: &Journal) -> Option<JournalDivergence> {
+        let n = self.entries.len().max(other.entries.len());
+        for i in 0..n {
+            let a = self.entries.get(i);
+            let b = other.entries.get(i);
+            if a != b {
+                return Some(JournalDivergence {
+                    index: i,
+                    expected: a.cloned(),
+                    got: b.cloned(),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Journal {
+        let mut j = Journal::new();
+        j.push(SimTime::from_secs(1), "Arrival".to_string());
+        j.push(
+            SimTime::from_secs(2),
+            "Slot { slot: 0, gen: 1 }".to_string(),
+        );
+        j.push(
+            SimTime::from_secs(2),
+            "route Watchdog->Controller: Dropped { partitioned: false }".to_string(),
+        );
+        j
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let j = sample();
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = Journal::parse_jsonl(&text).unwrap();
+        assert_eq!(j, back);
+        assert!(j.diff(&back).is_none());
+    }
+
+    #[test]
+    fn diff_reports_first_mismatch() {
+        let a = sample();
+        let mut b = sample();
+        b.entries[1].what = "Slot { slot: 1, gen: 1 }".to_string();
+        let d = a.diff(&b).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert!(d.expected.unwrap().what.contains("slot: 0"));
+        assert!(d.got.unwrap().what.contains("slot: 1"));
+    }
+
+    #[test]
+    fn diff_detects_truncation() {
+        let a = sample();
+        let mut b = sample();
+        b.entries.pop();
+        let d = a.diff(&b).expect("must diverge");
+        assert_eq!(d.index, 2);
+        assert!(d.got.is_none());
+        let rendered = d.render(&a, 4);
+        assert!(rendered.contains("<journal ends>"));
+        assert!(rendered.contains("first divergence at entry 2"));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_sequence_lines() {
+        let mut text = sample().to_jsonl();
+        let first = text.lines().next().unwrap().to_string();
+        text.push_str(&first);
+        text.push('\n');
+        assert!(Journal::parse_jsonl(&text).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic reactor runtime (DST) for the sprinting testbed.
+//!
+//! The simulators in this workspace are trustworthy only if every
+//! failure interleaving they explore is *reproducible*: a chaos
+//! violation that cannot be replayed from its seed is a bug report
+//! nobody can act on. This crate is the madsim-style substrate that
+//! makes reproducibility a structural property instead of a
+//! per-subsystem discipline:
+//!
+//! - **One event queue, one clock.** [`Reactor`] wraps the workspace
+//!   binary-heap calendar (`simcore::event::EventQueue`) so every state
+//!   transition in a run happens at a popped event, in a total order
+//!   that is stable for ties (FIFO by insertion).
+//! - **One seed.** [`EntropyTower`] hands out namespaced child RNG
+//!   streams (per-actor, per-fault, per-arrival) derived from a single
+//!   root seed, so adding a consumer never perturbs existing streams.
+//! - **Effects behind traits.** Time ([`TimeEffect`]), entropy
+//!   ([`EntropyEffect`]) and message delivery ([`NetworkEffect`]) are
+//!   injectable: the same server logic runs against the reactor's
+//!   virtual clock in simulation or a [`WallClock`] live, and against a
+//!   [`PerfectNetwork`] or a fault-injecting router.
+//! - **Journaled decisions.** With journaling enabled, every popped
+//!   event and every routing decision is appended to a [`Journal`];
+//!   two runs of the same `(seed, plan)` must produce byte-identical
+//!   journals, and [`Journal::diff`] pinpoints the first divergence
+//!   when they do not.
+
+#![deny(unreachable_pub)]
+
+pub mod effects;
+pub mod entropy;
+pub mod journal;
+pub mod net;
+mod runtime;
+
+pub use effects::{EntropyEffect, TimeEffect, WallClock};
+pub use entropy::EntropyTower;
+pub use journal::{Journal, JournalDivergence, JournalEntry};
+pub use net::{Delivery, NetworkEffect, PerfectNetwork};
+pub use runtime::Reactor;

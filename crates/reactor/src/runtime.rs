@@ -1,0 +1,170 @@
+//! The reactor proper: one event queue, one virtual clock, an optional
+//! decision journal.
+
+use crate::effects::TimeEffect;
+use crate::journal::Journal;
+use simcore::event::EventQueue;
+use simcore::time::SimTime;
+use std::fmt::Debug;
+
+/// A deterministic single-threaded event reactor.
+///
+/// All state transitions in a run happen at popped events; the clock is
+/// the timestamp of the most recently popped event. With journaling
+/// enabled, every pop (and any routing note the driver adds) is
+/// recorded, so the run's entire decision sequence replays and diffs
+/// from `(seed, plan)` alone. Journaling is observation-only: it draws
+/// no randomness and schedules nothing, so a journaled run is
+/// bit-identical to an unjournaled one.
+#[derive(Debug)]
+pub struct Reactor<E> {
+    queue: EventQueue<E>,
+    journal: Option<Journal>,
+}
+
+impl<E: Debug> Default for Reactor<E> {
+    fn default() -> Self {
+        Reactor::new()
+    }
+}
+
+impl<E: Debug> Reactor<E> {
+    /// An empty reactor at time zero, journaling disabled.
+    pub fn new() -> Reactor<E> {
+        Reactor {
+            queue: EventQueue::new(),
+            journal: None,
+        }
+    }
+
+    /// Turns on decision journaling (idempotent; keeps any entries
+    /// already recorded).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+        }
+    }
+
+    /// Whether journaling is enabled.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Takes the journal out of the reactor (disabling journaling).
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// The current virtual time (the last popped event's instant).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules `event` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current virtual time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Pops the earliest event, advancing the clock and journaling the
+    /// decision.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop()?;
+        if let Some(j) = self.journal.as_mut() {
+            j.push(at, format!("{ev:?}"));
+        }
+        Some((at, ev))
+    }
+
+    /// Journals a driver decision (e.g. a message-routing verdict) that
+    /// does not itself schedule an event. The closure only runs when
+    /// journaling is enabled, keeping the disabled path allocation-free.
+    pub fn note(&mut self, at: SimTime, what: impl FnOnce() -> String) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(at, what());
+        }
+    }
+
+    /// The instant of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E: Debug> TimeEffect for Reactor<E> {
+    fn now(&self) -> SimTime {
+        Reactor::now(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Tick(u32),
+        Msg { from: u32, to: u32 },
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order_and_journals() {
+        let mut r: Reactor<Ev> = Reactor::new();
+        r.enable_journal();
+        r.schedule(SimTime::from_secs(2), Ev::Tick(2));
+        r.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        r.schedule(SimTime::from_secs(1), Ev::Msg { from: 0, to: 1 });
+        let mut seen = Vec::new();
+        while let Some((at, ev)) = r.pop() {
+            assert_eq!(at, r.now());
+            seen.push(ev);
+        }
+        assert_eq!(
+            seen,
+            vec![Ev::Tick(1), Ev::Msg { from: 0, to: 1 }, Ev::Tick(2)]
+        );
+        let j = r.take_journal().unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.entries()[0].what, "Tick(1)");
+        assert_eq!(j.entries()[1].what, "Msg { from: 0, to: 1 }");
+    }
+
+    #[test]
+    fn notes_are_skipped_when_journaling_is_off() {
+        let mut r: Reactor<Ev> = Reactor::new();
+        r.note(SimTime::ZERO, || unreachable!("must not run"));
+        r.enable_journal();
+        r.note(SimTime::ZERO, || "routed".to_string());
+        assert_eq!(r.take_journal().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn identical_drives_produce_identical_journals() {
+        let drive = || {
+            let mut r: Reactor<Ev> = Reactor::new();
+            r.enable_journal();
+            for i in 0..16 {
+                r.schedule(SimTime::from_secs(i % 5), Ev::Tick(i as u32));
+            }
+            while r.pop().is_some() {}
+            r.take_journal().unwrap()
+        };
+        let a = drive();
+        let b = drive();
+        assert!(a.diff(&b).is_none());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

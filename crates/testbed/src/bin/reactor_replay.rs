@@ -1,0 +1,257 @@
+//! Record, replay, and diff reactor journals.
+//!
+//! Every testbed run is a pure function of its [`RunSpec`] (one root
+//! seed, one event queue, one virtual clock), so a journal file that
+//! carries the spec in its header can be re-executed bit-identically
+//! at any later time. This tool closes that loop:
+//!
+//! ```text
+//! reactor_replay --smoke                 # self-test: determinism, file
+//!                                        # round-trip, tamper detection
+//! reactor_replay --record <path> [seed]  # record a canonical faulted
+//!                                        # run's journal to <path>
+//! reactor_replay <path>                  # re-execute the header spec
+//!                                        # and diff against the file
+//! ```
+//!
+//! Replay exits non-zero on the first divergence and prints the
+//! mismatching entry with surrounding context — the debugging loop the
+//! deterministic reactor exists to enable.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use faults::{FaultPlan, LinkPartition, MessageFaults, Peer};
+use mechanisms::MechanismKind;
+use reactor::Journal;
+use simcore::json::Json;
+use simcore::time::{Rate, SimDuration};
+use testbed::spec::{run_journaled, RunSpec};
+use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy, SupervisorConfig};
+use workloads::{QueryMix, WorkloadKind};
+
+/// File-format marker in the header line; bumped on breaking changes.
+const FORMAT_VERSION: u64 = 1;
+
+/// Context entries printed before a divergence.
+const DIFF_CONTEXT: usize = 8;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--smoke") => smoke(),
+        Some("--record") => match args.get(1) {
+            Some(path) => {
+                let seed = match args.get(2).map(|s| s.parse::<u64>()) {
+                    None => 42,
+                    Some(Ok(s)) => s,
+                    Some(Err(e)) => return fail(&format!("bad seed: {e}")),
+                };
+                record(Path::new(path), seed)
+            }
+            None => Err("--record needs a path".to_string()),
+        },
+        Some(path) if !path.starts_with('-') => replay(Path::new(path)),
+        _ => Err("usage: reactor_replay --smoke | --record <path> [seed] | <path>".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("reactor_replay: {msg}");
+    ExitCode::FAILURE
+}
+
+/// The canonical demo run: message-level faults (delay + drop + a
+/// watchdog partition) under supervision, so the journal exercises
+/// every routing verdict.
+fn canonical_spec(seed: u64) -> RunSpec {
+    let cfg = ServerConfig {
+        mix: QueryMix::single(WorkloadKind::Jacobi),
+        arrivals: ArrivalSpec::poisson(Rate::per_hour(30.0)),
+        policy: SprintPolicy::new(
+            SimDuration::from_secs(30),
+            BudgetSpec::Seconds(40.0),
+            SimDuration::from_secs(3600),
+        ),
+        slots: 1,
+        num_queries: 80,
+        warmup: 8,
+        seed,
+    };
+    RunSpec {
+        cfg,
+        mechanism: MechanismKind::CpuThrottle,
+        plan: Some(FaultPlan {
+            seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+            stuck_sprint_prob: 0.2,
+            messages: MessageFaults {
+                delay_prob: 0.3,
+                delay_secs: 15.0,
+                drop_prob: 0.15,
+                dup_prob: 0.1,
+                partitions: vec![LinkPartition {
+                    a: Peer::Watchdog,
+                    b: Peer::Controller,
+                    start_secs: 1000.0,
+                    duration_secs: 1000.0,
+                }],
+            },
+            ..FaultPlan::default()
+        }),
+        supervisor: Some(SupervisorConfig {
+            watchdog_secs: 20.0,
+            ..SupervisorConfig::default()
+        }),
+    }
+}
+
+/// Serializes `(spec, journal)` as a header line plus journal JSONL.
+fn to_file_text(spec: &RunSpec, journal: &Journal) -> String {
+    let header = Json::Obj(vec![
+        (
+            "reactor_journal".to_string(),
+            Json::Num(FORMAT_VERSION as f64),
+        ),
+        ("spec".to_string(), spec.to_json()),
+    ]);
+    let mut out = header.to_string_pretty().replace('\n', " ");
+    out.push('\n');
+    out.push_str(&journal.to_jsonl());
+    out
+}
+
+/// Parses a journal file back into its spec and recorded journal.
+fn from_file_text(text: &str) -> Result<(RunSpec, Journal), String> {
+    let (header_line, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| "empty journal file".to_string())?;
+    let header = Json::parse(header_line).map_err(|e| format!("bad header: {e}"))?;
+    let version = header
+        .field("reactor_journal")
+        .and_then(Json::as_f64)
+        .map_err(|e| format!("bad header: {e}"))? as u64;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "journal format {version} unsupported (expected {FORMAT_VERSION})"
+        ));
+    }
+    let spec = header
+        .field("spec")
+        .and_then(RunSpec::from_json)
+        .map_err(|e| format!("bad spec: {e}"))?;
+    let journal = Journal::parse_jsonl(rest).map_err(|e| format!("bad journal: {e}"))?;
+    Ok((spec, journal))
+}
+
+fn record(path: &Path, seed: u64) -> Result<(), String> {
+    let spec = canonical_spec(seed);
+    let (result, journal) = run_journaled(&spec).map_err(|e| e.to_string())?;
+    fs::write(path, to_file_text(&spec, &journal)).map_err(|e| format!("write {path:?}: {e}"))?;
+    println!(
+        "recorded {} journal entries ({} queries served) to {}",
+        journal.len(),
+        result.records().len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn replay(path: &Path) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let (spec, recorded) = from_file_text(&text)?;
+    let (_, fresh) = run_journaled(&spec).map_err(|e| e.to_string())?;
+    match recorded.diff(&fresh) {
+        None => {
+            println!(
+                "replay ok: {} entries, bit-identical to {}",
+                fresh.len(),
+                path.display()
+            );
+            Ok(())
+        }
+        Some(d) => Err(format!(
+            "replay DIVERGED from {}:\n{}",
+            path.display(),
+            d.render(&recorded, DIFF_CONTEXT)
+        )),
+    }
+}
+
+/// Fixed-seed self-test: in-memory determinism, file round-trip, and
+/// tamper detection. Run by `scripts/check.sh`.
+fn smoke() -> Result<(), String> {
+    // 1. Same spec twice => bit-identical journals, with and without
+    //    message faults active.
+    let faulted = canonical_spec(181);
+    let mut clean = canonical_spec(181);
+    clean.plan = None;
+    for (label, spec) in [("faulted", &faulted), ("clean", &clean)] {
+        let (_, a) = run_journaled(spec).map_err(|e| e.to_string())?;
+        let (_, b) = run_journaled(spec).map_err(|e| e.to_string())?;
+        if a.is_empty() {
+            return Err(format!("{label}: journal is empty"));
+        }
+        if let Some(d) = a.diff(&b) {
+            return Err(format!(
+                "{label}: same spec diverged:\n{}",
+                d.render(&a, DIFF_CONTEXT)
+            ));
+        }
+        println!("smoke: {label} run deterministic ({} entries)", a.len());
+    }
+
+    // 2. File round-trip: record, re-read, replay must match.
+    let (_, journal) = run_journaled(&faulted).map_err(|e| e.to_string())?;
+    let path = smoke_path();
+    fs::write(&path, to_file_text(&faulted, &journal))
+        .map_err(|e| format!("write {path:?}: {e}"))?;
+    let round_trip = replay(&path);
+    if let Err(e) = &round_trip {
+        let _ = fs::remove_file(&path);
+        return Err(format!("file round-trip failed: {e}"));
+    }
+
+    // 3. Tamper detection: corrupt one entry; replay must diverge.
+    let text = fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let mid = journal.len() / 2;
+    let tampered: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            // Header is line 0; journal entry k is line k + 1.
+            if i == mid + 1 {
+                line.replace("\"what\": \"", "\"what\": \"tampered ")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect();
+    fs::write(&path, tampered.join("\n")).map_err(|e| format!("write {path:?}: {e}"))?;
+    let verdict = replay(&path);
+    let _ = fs::remove_file(&path);
+    match verdict {
+        Ok(()) => Err("tampered journal replayed clean — diff is blind".to_string()),
+        Err(e) if e.contains("DIVERGED") => {
+            println!("smoke: tampered journal detected at entry {mid}");
+            println!("reactor replay smoke ok");
+            Ok(())
+        }
+        Err(e) => Err(format!("tampered journal failed oddly: {e}")),
+    }
+}
+
+/// A scratch path that works both from the repo root (under `target/`)
+/// and anywhere else (system temp dir).
+fn smoke_path() -> PathBuf {
+    let base = if Path::new("target").is_dir() {
+        PathBuf::from("target")
+    } else {
+        std::env::temp_dir()
+    };
+    base.join(format!("reactor_replay_smoke_{}.jsonl", std::process::id()))
+}

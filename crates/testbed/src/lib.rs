@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod policy;
 pub mod query;
 pub mod server;
+pub mod spec;
 pub mod supervision;
 pub mod trace;
 
@@ -49,4 +50,5 @@ pub use metrics::{RunResult, RunResultBuilder};
 pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
 pub use query::QueryRecord;
 pub use server::{run_supervised, run_supervised_recorded, run_with_faults, Server};
+pub use spec::{run_journaled, RunSpec};
 pub use supervision::{RecoveryCounters, Supervisor, SupervisorConfig};

@@ -11,6 +11,7 @@ use faults::FaultCounters;
 use obs::RunTelemetry;
 use simcore::stats::Percentiles;
 use simcore::time::Rate;
+use simcore::SprintError;
 
 /// All records from one run plus the warmup cutoff.
 #[derive(Debug, Clone)]
@@ -198,15 +199,42 @@ impl RunResult {
         mean(self.steady(), |q| q.processing_time().as_secs_f64())
     }
 
-    /// Response-time quantile (`q` in `[0, 1]`) in seconds.
+    /// Response-time quantile (`q` in `[0, 1]`) in seconds. An empty
+    /// steady-state set (all warmup, or nothing served) reports `0.0`,
+    /// matching the other summary statistics.
     pub fn response_quantile_secs(&self, q: f64) -> f64 {
-        Percentiles::from_samples(
-            self.steady()
+        self.try_response_quantile_secs(q).unwrap_or(0.0)
+    }
+
+    /// Strict variant of [`RunResult::response_quantile_secs`] for
+    /// callers that must distinguish "tail is 0 s" from "there was
+    /// nothing to measure".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::InvalidConfig`] if `q` is outside
+    /// `[0, 1]` or the steady-state record set is empty.
+    pub fn try_response_quantile_secs(&self, q: f64) -> Result<f64, SprintError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SprintError::invalid(
+                "RunResult::response_quantile",
+                format!("quantile {q} outside [0, 1]"),
+            ));
+        }
+        let steady = self.steady();
+        if steady.is_empty() {
+            return Err(SprintError::invalid(
+                "RunResult::response_quantile",
+                "no steady-state records to take a quantile of",
+            ));
+        }
+        Ok(Percentiles::from_samples(
+            steady
                 .iter()
                 .map(|r| r.response_time().as_secs_f64())
                 .collect(),
         )
-        .quantile(q)
+        .quantile(q))
     }
 
     /// Fraction of steady-state queries whose response time exceeds
@@ -310,6 +338,18 @@ mod tests {
             sprint_seconds: 0.0,
             retries: 0,
         }
+    }
+
+    #[test]
+    fn quantiles_are_typed_on_empty_or_invalid_input() {
+        // All records inside warmup: nothing steady to measure.
+        let r = RunResult::new(vec![rec(0, 0, 0, 10, false)], 1);
+        assert_eq!(r.response_quantile_secs(0.99), 0.0);
+        assert!(r.try_response_quantile_secs(0.99).is_err());
+        let r = RunResult::new(vec![rec(0, 0, 0, 10, false)], 0);
+        assert!(r.try_response_quantile_secs(1.5).is_err());
+        assert!(r.try_response_quantile_secs(-0.1).is_err());
+        assert!((r.try_response_quantile_secs(0.5).unwrap() - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,8 +3,19 @@
 //! Queries arrive at the queue manager, which timestamps them, holds
 //! them FIFO, schedules a timeout interrupt per query, dispatches to a
 //! free execution-engine slot, and accounts sprint time against the
-//! shared budget. All transitions happen at discrete events, so the
-//! simulation is exact and deterministic for a given seed.
+//! shared budget. All transitions happen at discrete events popped from
+//! a single deterministic [`Reactor`] — one event queue, one virtual
+//! clock, every RNG stream derived from one root seed — so the
+//! simulation is exact and deterministic for a given seed, and a
+//! journaled run replays bit-identically from `(seed, plan)`.
+//!
+//! Control traffic between the actors (sprint controller, budget
+//! sensor, watchdog) travels through a simulated network the fault
+//! plan's [`faults::MessageFaults`] can perturb: budget telemetry and
+//! watchdog force-unsprint commands can be delayed, dropped, duplicated
+//! or partitioned away. Without message faults every control message
+//! delivers inline at the send site — bit-identical to the direct
+//! method calls the server used before the reactor refactor.
 
 use crate::budget::Budget;
 use crate::engine::{ExecMode, ExecutionState};
@@ -12,11 +23,12 @@ use crate::metrics::RunResult;
 use crate::policy::ServerConfig;
 use crate::query::QueryRecord;
 use crate::supervision::{AdmitOutcome, SlotDirective, Supervisor, SupervisorConfig};
-use faults::{EngageOutcome, FaultInjector, FaultPlan};
+use faults::{EngageOutcome, FaultInjector, FaultPlan, Peer};
 use mechanisms::Mechanism;
 use obs::{EventKind, FlightRecorder, UnsprintReason};
+use reactor::entropy::ns;
+use reactor::{Delivery, EntropyTower, Journal, Reactor};
 use simcore::dist::Dist;
-use simcore::event::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use simcore::SprintError;
@@ -85,6 +97,32 @@ enum Ev {
     /// `token` on `slot` fires; if that same sprint is still engaged it
     /// is forcibly disengaged. Stale tokens are ignored.
     Watchdog { slot: usize, token: u64 },
+    /// A control message reaches its destination after in-flight delay
+    /// (scheduled only when the fault plan delays or duplicates it;
+    /// inline deliveries never become events). The endpoints are read
+    /// only through the journal's `Debug` rendering, where they label
+    /// which link the delivery crossed.
+    Msg {
+        #[allow(dead_code)]
+        from: Peer,
+        #[allow(dead_code)]
+        to: Peer,
+        msg: CtrlMsg,
+    },
+}
+
+/// Typed control-plane messages the actors exchange through the
+/// simulated network.
+#[derive(Debug, Clone, Copy)]
+enum CtrlMsg {
+    /// Watchdog -> controller: force the sprint armed with `token` off
+    /// `slot`. Stale tokens are ignored on receipt, which also makes
+    /// duplicated commands idempotent.
+    ForceUnsprint { slot: usize, token: u64 },
+    /// Budget sensor -> controller: the sensed reserve level, in
+    /// integer microseconds of sprint time (integer so journal entries
+    /// compare exactly).
+    BudgetReport { level_us: u64 },
 }
 
 /// Where a query currently is.
@@ -126,7 +164,7 @@ struct Slot {
 pub struct Server<'m> {
     cfg: ServerConfig,
     mech: &'m dyn Mechanism,
-    events: EventQueue<Ev>,
+    reactor: Reactor<Ev>,
     queue: VecDeque<u64>,
     slots: Vec<Option<Slot>>,
     budget: Budget,
@@ -141,6 +179,12 @@ pub struct Server<'m> {
     /// Accumulated interrupt-servicing time the queue manager owes;
     /// paid as extra overhead at the next dispatch.
     manager_debt_secs: f64,
+    /// The controller's last *delivered* budget reading, in seconds.
+    /// Fresh readings travel as [`CtrlMsg::BudgetReport`] messages; when
+    /// the fault plan delays or drops a report, the controller keeps
+    /// acting on this stale cache — sprinting blind past exhaustion or
+    /// starving while budget is actually available.
+    budget_cache_secs: f64,
     /// Fault injector; `None` runs the pristine server. A no-op plan
     /// threads through the same code paths without consuming any
     /// randomness, so its output is bit-identical to `None`.
@@ -192,10 +236,13 @@ impl<'m> Server<'m> {
     pub fn new(cfg: ServerConfig, mech: &'m dyn Mechanism) -> Result<Server<'m>, SprintError> {
         SprintError::require_nonzero("ServerConfig::slots", cfg.slots)?;
         SprintError::require_nonzero("ServerConfig::num_queries", cfg.num_queries)?;
-        let mut root = SimRng::new(cfg.seed);
-        let arrival_rng = root.split(1);
-        let service_rng = root.split(2);
-        let mix_rng = root.split(3);
+        // All server entropy descends from one root seed through the
+        // tower; the namespace order matches the historical split(1..=3)
+        // sequence, so existing golden runs are unchanged.
+        let mut tower = EntropyTower::new(cfg.seed);
+        let arrival_rng = tower.stream(ns::ARRIVALS);
+        let service_rng = tower.stream(ns::SERVICE);
+        let mix_rng = tower.stream(ns::MIX);
         let budget = Budget::new(
             cfg.policy.budget_capacity(),
             cfg.policy.refill.as_secs_f64(),
@@ -210,9 +257,10 @@ impl<'m> Server<'m> {
             arrivals_left: cfg.num_queries,
             cfg,
             mech,
-            events: EventQueue::new(),
+            reactor: Reactor::new(),
             queue: VecDeque::new(),
             slots,
+            budget_cache_secs: budget.level(),
             budget,
             queries: Vec::new(),
             records: Vec::new(),
@@ -299,18 +347,37 @@ impl<'m> Server<'m> {
     /// Returns [`SprintError::Runtime`] if a simulation invariant
     /// breaks mid-run (same-instant event livelock, drained calendar
     /// with queries outstanding, or inconsistent slot state).
-    pub fn run(mut self) -> Result<RunResult, SprintError> {
+    pub fn run(self) -> Result<RunResult, SprintError> {
+        Ok(self.run_inner()?.0)
+    }
+
+    /// Runs with the reactor's decision journal enabled, returning the
+    /// journal alongside the result. Journaling is observation-only:
+    /// the records, counters and RNG streams are bit-identical to an
+    /// unjournaled run, and two runs of the same `(cfg, plan, sup)`
+    /// produce byte-identical journals.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Server::run`].
+    pub fn run_journaled(mut self) -> Result<(RunResult, Journal), SprintError> {
+        self.reactor.enable_journal();
+        let (result, journal) = self.run_inner()?;
+        Ok((result, journal.unwrap_or_default()))
+    }
+
+    fn run_inner(mut self) -> Result<(RunResult, Option<Journal>), SprintError> {
         // Seed the first arrival.
         let gap = self.sample_arrival_gap(SimTime::ZERO);
-        self.events.schedule(SimTime::ZERO + gap, Ev::Arrival);
+        self.reactor.schedule(SimTime::ZERO + gap, Ev::Arrival);
         if let Some(at) = self.faults.as_ref().and_then(|f| f.first_thermal_secs()) {
-            self.events
+            self.reactor
                 .schedule(SimTime::from_secs_f64(at), Ev::Thermal);
         }
 
         let mut iterations: u64 = 0;
         let mut end = SimTime::ZERO;
-        while let Some((now, ev)) = self.events.pop() {
+        while let Some((now, ev)) = self.reactor.pop() {
             iterations += 1;
             end = now;
             // Safety valve: a healthy run needs a small constant number
@@ -337,11 +404,16 @@ impl<'m> Server<'m> {
                 Ev::Thermal => self.on_thermal(now)?,
                 Ev::SlotUp { slot } => self.on_slot_up(now, slot)?,
                 Ev::Watchdog { slot, token } => self.on_watchdog(now, slot, token)?,
+                Ev::Msg { msg, .. } => self.on_msg(now, msg)?,
             }
             if self.accounted() == self.cfg.num_queries {
                 break;
             }
         }
+        // In-flight control messages (e.g. a duplicate echo of the last
+        // force-unsprint) still pending when the final query completes
+        // are dropped with the reactor — receipt is idempotent, so
+        // delivering them could not change the outcome anyway.
         if self.accounted() != self.cfg.num_queries {
             return Err(SprintError::runtime(
                 "Server::run",
@@ -368,7 +440,7 @@ impl<'m> Server<'m> {
         if let Some(recorder) = self.recorder.take() {
             builder = builder.telemetry(recorder.finish());
         }
-        Ok(builder.build())
+        Ok((builder.build(), self.reactor.take_journal()))
     }
 
     fn on_arrival(&mut self, now: SimTime) -> Result<(), SprintError> {
@@ -449,7 +521,7 @@ impl<'m> Server<'m> {
             if self.cfg.policy.sprint_enabled && self.cfg.policy.timeout < SimDuration::MAX {
                 let at = now.saturating_add(self.cfg.policy.timeout);
                 if at < SimTime::MAX {
-                    self.events.schedule(at, Ev::Timeout(id));
+                    self.reactor.schedule(at, Ev::Timeout(id));
                 }
             }
 
@@ -471,7 +543,7 @@ impl<'m> Server<'m> {
         self.arrivals_left -= 1;
         if self.arrivals_left > 0 {
             let gap = self.sample_arrival_gap(now);
-            self.events.schedule(now + gap, Ev::Arrival);
+            self.reactor.schedule(now + gap, Ev::Arrival);
         }
         Ok(())
     }
@@ -506,29 +578,125 @@ impl<'m> Server<'m> {
             .unwrap_or(true)
     }
 
-    /// Budget availability as the (possibly drifted) sensor reports it.
-    /// Without an injector this is exactly [`Budget::available`].
-    fn sensed_available(&self) -> bool {
+    /// The budget level the sprint controller acts on, in seconds.
+    ///
+    /// The fresh (possibly drifted) sensor reading travels from the
+    /// budget sensor to the controller as a [`CtrlMsg::BudgetReport`]
+    /// over the simulated network. Without message faults the report
+    /// delivers inline — a synchronous call at the send site, exactly
+    /// the pre-reactor behaviour. Under message faults a delayed or
+    /// dropped report leaves the controller acting on its last
+    /// *delivered* reading instead.
+    fn sensed_level_now(&mut self, now: SimTime) -> f64 {
+        let Some(f) = self.faults.as_mut() else {
+            return self.budget.level();
+        };
+        let fresh = f.sensed_level(self.budget.level());
+        if !f.has_message_faults() {
+            return fresh;
+        }
+        let delivery = f.route_message(now.as_secs_f64(), Peer::BudgetSensor, Peer::Controller);
+        self.note_route(now, Peer::BudgetSensor, Peer::Controller, delivery);
+        let report = Ev::Msg {
+            from: Peer::BudgetSensor,
+            to: Peer::Controller,
+            msg: CtrlMsg::BudgetReport {
+                level_us: (fresh * 1e6).round() as u64,
+            },
+        };
+        match delivery {
+            Delivery::Inline => {
+                self.budget_cache_secs = fresh;
+                fresh
+            }
+            Delivery::Delayed { delay } => {
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDelayed {
+                        from: Peer::BudgetSensor.index(),
+                        to: Peer::Controller.index(),
+                        delay_micros: delay.0,
+                    },
+                );
+                self.reactor.schedule(now + delay, report);
+                self.budget_cache_secs
+            }
+            Delivery::Dropped { partitioned } => {
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDropped {
+                        from: Peer::BudgetSensor.index(),
+                        to: Peer::Controller.index(),
+                        partitioned,
+                    },
+                );
+                self.budget_cache_secs
+            }
+            Delivery::Duplicated { extra_delay } => {
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDuplicated {
+                        from: Peer::BudgetSensor.index(),
+                        to: Peer::Controller.index(),
+                        delay_micros: extra_delay.0,
+                    },
+                );
+                self.reactor.schedule(now + extra_delay, report);
+                self.budget_cache_secs = fresh;
+                fresh
+            }
+        }
+    }
+
+    /// Budget availability as the controller perceives it. Without an
+    /// injector this is exactly [`Budget::available`].
+    fn sensed_available(&mut self, now: SimTime) -> bool {
         if self.budget.capacity().is_infinite() {
             return true;
         }
         match &self.faults {
-            Some(f) => f.sensed_level(self.budget.level()) > 1e-6,
+            Some(_) => self.sensed_level_now(now) > 1e-6,
             None => self.budget.available(),
         }
     }
 
-    /// Seconds until the *sensed* budget level empties at the current
-    /// drain rate. Drift shifts the horizon the same way it shifts the
-    /// level, so sprint-disengage events follow the sensor.
-    fn sensed_seconds_to_exhaustion(&self) -> Option<f64> {
+    /// Seconds until the *perceived* budget level empties at the
+    /// current drain rate. Drift (and stale message-fault caches) shift
+    /// the horizon the same way they shift the level, so
+    /// sprint-disengage events follow the controller's view.
+    fn sensed_seconds_to_exhaustion(&mut self, now: SimTime) -> Option<f64> {
         let n = self.budget.sprinting();
         if n == 0 || self.budget.capacity().is_infinite() {
             return None;
         }
         match &self.faults {
-            Some(f) => Some(f.sensed_level(self.budget.level()) / n as f64),
+            Some(_) => Some(self.sensed_level_now(now) / n as f64),
             None => self.budget.seconds_to_exhaustion(),
+        }
+    }
+
+    /// Journals one routing verdict on the reactor's decision log.
+    fn note_route(&mut self, now: SimTime, from: Peer, to: Peer, delivery: Delivery) {
+        self.reactor.note(now, || {
+            format!("route {}->{}: {delivery:?}", from.name(), to.name())
+        });
+    }
+
+    /// Handles a control message reaching its destination.
+    fn on_msg(&mut self, now: SimTime, msg: CtrlMsg) -> Result<(), SprintError> {
+        match msg {
+            CtrlMsg::ForceUnsprint { slot, token } => self.force_unsprint(now, slot, token),
+            CtrlMsg::BudgetReport { level_us } => {
+                // Overwrite on arrival: a report that was delayed past a
+                // fresher one is the *reorder* fault — the controller
+                // regresses to the older reading until the next report
+                // lands.
+                self.budget_cache_secs = level_us as f64 / 1e6;
+                Ok(())
+            }
         }
     }
 
@@ -548,7 +716,7 @@ impl<'m> Server<'m> {
             QueryState::Running(slot) => {
                 self.queries[id as usize].timed_out = true;
                 self.budget.update(now);
-                let can_sprint = self.sensed_available() && self.supervision_sprint_allowed();
+                let can_sprint = self.sensed_available(now) && self.supervision_sprint_allowed();
                 let toggle = self.mech.toggle_overhead();
                 let slot_ref = occupied(&mut self.slots, slot, "Server::on_timeout")?;
                 match slot_ref.engine.mode() {
@@ -599,7 +767,7 @@ impl<'m> Server<'m> {
         match mode {
             ExecMode::Stalled { until, then_sprint } if now >= until => {
                 let wants_sprint =
-                    then_sprint && self.sensed_available() && self.supervision_sprint_allowed();
+                    then_sprint && self.sensed_available(now) && self.supervision_sprint_allowed();
                 // The injector only sees engages that would otherwise
                 // succeed; it can fail them or latch them stuck on.
                 let outcome = if !wants_sprint {
@@ -633,7 +801,8 @@ impl<'m> Server<'m> {
                             let deadline = now + SimDuration::from_secs_f64(sup.watchdog_secs());
                             occupied(&mut self.slots, slot, "Server::on_slot_event")?
                                 .sprint_token = token;
-                            self.events.schedule(deadline, Ev::Watchdog { slot, token });
+                            self.reactor
+                                .schedule(deadline, Ev::Watchdog { slot, token });
                         }
                         self.reschedule_all_sprinting(now)?;
                     }
@@ -658,7 +827,9 @@ impl<'m> Server<'m> {
                 s.engine.advance(now, self.mech);
                 if s.engine.is_complete() {
                     self.complete(now, slot)?;
-                } else if matches!(mode, ExecMode::Sprinting) && !stuck && !self.sensed_available()
+                } else if matches!(mode, ExecMode::Sprinting)
+                    && !stuck
+                    && !self.sensed_available(now)
                 {
                     // Budget ran dry mid-sprint: fall back to sustained.
                     // A stuck sprint ignores exhaustion — it keeps
@@ -689,22 +860,100 @@ impl<'m> Server<'m> {
         Ok(())
     }
 
-    /// Supervision: the sprint watchdog fires. If the engage that armed
-    /// it is still sprinting (token matches), the mechanism latch is
-    /// presumed stuck: the sprint is forced off, budget drain stops, and
-    /// the execution continues at the sustained rate. Stale tokens (the
-    /// sprint already disengaged, the query completed, or the slot
-    /// re-engaged) are ignored.
-    fn on_watchdog(&mut self, now: SimTime, slot: usize, token: u64) -> Result<(), SprintError> {
-        let live = matches!(
+    /// Whether the sprint armed with `token` is still engaged on `slot`
+    /// (stale tokens mean the sprint already disengaged, the query
+    /// completed, or the slot re-engaged).
+    fn watchdog_live(&self, slot: usize, token: u64) -> bool {
+        matches!(
             self.slots[slot].as_ref(),
             Some(s) if s.sprint_token == token && matches!(s.engine.mode(), ExecMode::Sprinting)
-        );
-        if !live {
+        )
+    }
+
+    /// Supervision: the sprint watchdog fires. If the engage that armed
+    /// it is still sprinting (token matches), the watchdog sends the
+    /// controller a [`CtrlMsg::ForceUnsprint`] command through the
+    /// simulated network. Without message faults the command delivers
+    /// inline (pre-reactor behaviour, bit for bit); under them the
+    /// command can arrive late — the stuck sprint overruns until the
+    /// delayed command lands — or be lost outright, leaving the budget
+    /// sensor's exhaustion horizon as the only backstop.
+    fn on_watchdog(&mut self, now: SimTime, slot: usize, token: u64) -> Result<(), SprintError> {
+        if !self.watchdog_live(slot, token) {
+            return Ok(());
+        }
+        let delivery = match self.faults.as_mut() {
+            Some(f) if f.has_message_faults() => {
+                let d = f.route_message(now.as_secs_f64(), Peer::Watchdog, Peer::Controller);
+                self.note_route(now, Peer::Watchdog, Peer::Controller, d);
+                d
+            }
+            _ => Delivery::Inline,
+        };
+        let command = Ev::Msg {
+            from: Peer::Watchdog,
+            to: Peer::Controller,
+            msg: CtrlMsg::ForceUnsprint { slot, token },
+        };
+        match delivery {
+            Delivery::Inline => self.force_unsprint(now, slot, token),
+            Delivery::Delayed { delay } => {
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDelayed {
+                        from: Peer::Watchdog.index(),
+                        to: Peer::Controller.index(),
+                        delay_micros: delay.0,
+                    },
+                );
+                self.reactor.schedule(now + delay, command);
+                Ok(())
+            }
+            Delivery::Dropped { partitioned } => {
+                // The unsprint command is lost: nobody retries it, so
+                // the stuck sprint keeps draining until completion or
+                // budget exhaustion.
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDropped {
+                        from: Peer::Watchdog.index(),
+                        to: Peer::Controller.index(),
+                        partitioned,
+                    },
+                );
+                Ok(())
+            }
+            Delivery::Duplicated { extra_delay } => {
+                note(
+                    &mut self.recorder,
+                    now,
+                    EventKind::MessageDuplicated {
+                        from: Peer::Watchdog.index(),
+                        to: Peer::Controller.index(),
+                        delay_micros: extra_delay.0,
+                    },
+                );
+                self.reactor.schedule(now + extra_delay, command);
+                // The echo goes stale on receipt (the token no longer
+                // matches a live sprint), so double delivery is safe.
+                self.force_unsprint(now, slot, token)
+            }
+        }
+    }
+
+    /// Controller receipt of a force-unsprint command: if the sprint
+    /// armed with `token` is still engaged, it is forced off, budget
+    /// drain stops, and the execution continues at the sustained rate.
+    /// Stale tokens are ignored, making delayed and duplicated commands
+    /// harmless.
+    fn force_unsprint(&mut self, now: SimTime, slot: usize, token: u64) -> Result<(), SprintError> {
+        if !self.watchdog_live(slot, token) {
             return Ok(());
         }
         self.budget.update(now);
-        let s = occupied(&mut self.slots, slot, "Server::on_watchdog")?;
+        let s = occupied(&mut self.slots, slot, "Server::force_unsprint")?;
         s.engine.advance(now, self.mech);
         s.engine.set_mode(ExecMode::Normal);
         s.stuck = false;
@@ -823,7 +1072,7 @@ impl<'m> Server<'m> {
                                 delay_micros: delay.0,
                             },
                         );
-                        self.events.schedule(now + delay, Ev::SlotUp { slot });
+                        self.reactor.schedule(now + delay, Ev::SlotUp { slot });
                     }
                     SlotDirective::Quarantine => {
                         note(
@@ -856,7 +1105,7 @@ impl<'m> Server<'m> {
                             delay_micros: repair.0,
                         },
                     );
-                    self.events.schedule(now + repair, Ev::SlotUp { slot });
+                    self.reactor.schedule(now + repair, Ev::SlotUp { slot });
                     if let Some(other) = self.free_slot() {
                         if let Some(next) = self.queue.pop_front() {
                             self.dispatch(now, next, other)?;
@@ -919,7 +1168,7 @@ impl<'m> Server<'m> {
             )
         })?;
         let next = f.on_thermal(now.as_secs_f64(), unsprinted);
-        self.events
+        self.reactor
             .schedule(SimTime::from_secs_f64(next), Ev::Thermal);
         Ok(())
     }
@@ -1012,7 +1261,7 @@ impl<'m> Server<'m> {
             if let Some(frac) = f.crash_point_frac(slot, retries) {
                 let at =
                     now + SimDuration::from_secs_f64(frac * self.queries[id as usize].service_secs);
-                self.events.schedule(at, Ev::Crash { slot, query: id });
+                self.reactor.schedule(at, Ev::Crash { slot, query: id });
             }
         }
         self.reschedule_slot(now, slot)
@@ -1038,7 +1287,7 @@ impl<'m> Server<'m> {
     fn reschedule_slot(&mut self, now: SimTime, slot: usize) -> Result<(), SprintError> {
         self.next_gen += 1;
         let gen = self.next_gen;
-        let exhaust = self.sensed_seconds_to_exhaustion();
+        let exhaust = self.sensed_seconds_to_exhaustion(now);
         let s = occupied(&mut self.slots, slot, "Server::reschedule_slot")?;
         s.gen = gen;
         let at = match s.engine.mode() {
@@ -1057,7 +1306,7 @@ impl<'m> Server<'m> {
                 now + SimDuration::from_secs_f64_ceil(horizon)
             }
         };
-        self.events.schedule(at.max(now), Ev::Slot { slot, gen });
+        self.reactor.schedule(at.max(now), Ev::Slot { slot, gen });
         Ok(())
     }
 

@@ -71,17 +71,20 @@ pub fn ascii_timeline(
         ));
     }
     let shown = &records[..max_queries.min(records.len())];
+    // `max_queries == 0` leaves nothing to render; surface it as the
+    // same typed error as an empty record set instead of panicking.
+    let empty = || SprintError::invalid("ascii_timeline::records", "no records to render");
     let t0 = shown
         .iter()
         .map(|q| q.arrival)
         .min()
-        .expect("non-empty")
+        .ok_or_else(empty)?
         .as_secs_f64();
     let t1 = shown
         .iter()
         .map(|q| q.depart)
         .max()
-        .expect("non-empty")
+        .ok_or_else(empty)?
         .as_secs_f64();
     let span = (t1 - t0).max(1e-9);
     let col = |t: f64| -> usize { (((t - t0) / span) * (width - 1) as f64).round() as usize };
@@ -103,12 +106,10 @@ pub fn ascii_timeline(
         for c in row.iter_mut().take(e.max(d) + 1).skip(d) {
             *c = glyph;
         }
-        let _ = writeln!(
-            out,
-            "q{:<3} |{}|",
-            q.id + 1,
-            String::from_utf8(row).expect("ascii only")
-        );
+        let row = String::from_utf8(row).map_err(|e| {
+            SprintError::invalid("ascii_timeline::row", format!("non-ascii glyph: {e}"))
+        })?;
+        let _ = writeln!(out, "q{:<3} |{}|", q.id + 1, row);
     }
     Ok(out)
 }
@@ -184,5 +185,7 @@ mod tests {
     fn rejects_narrow_timeline_and_empty_records() {
         assert!(ascii_timeline(&[rec(0, 0, 1, 2, false)], 5, 4).is_err());
         assert!(ascii_timeline(&[], 5, 40).is_err());
+        // max_queries == 0 leaves nothing to render: typed, not a panic.
+        assert!(ascii_timeline(&[rec(0, 0, 1, 2, false)], 0, 40).is_err());
     }
 }

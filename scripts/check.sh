@@ -17,9 +17,16 @@ run cargo test -q --workspace --offline
 run cargo fmt --all -- --check
 run cargo clippy --all-targets --workspace --offline -- -D warnings
 
+# Reactor record/replay smoke: fixed-seed journal determinism (with and
+# without message faults), a file round-trip through the journal format,
+# and a tamper-detection self-test. Exits non-zero on any divergence.
+run ./target/release/reactor_replay --smoke > /dev/null
+
 # Bounded chaos smoke sweep: fixed seeds, full grid, a few seconds.
-# Exits non-zero on any recovery-invariant violation or any cell where
-# supervision fails to improve SLO attainment.
+# Runs the fixed-seed message-fault scenarios (lost unsprint commands,
+# delayed budget telemetry, watchdog partition) before the randomized
+# sweep. Exits non-zero on any recovery-invariant violation or any cell
+# where supervision fails to improve SLO attainment.
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
 # Prediction fast-path gate: asserts fast/reference bit-identity, the

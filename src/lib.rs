@@ -59,6 +59,7 @@ pub use obs;
 pub use policy;
 pub use profiler;
 pub use qsim;
+pub use reactor;
 pub use simcore;
 pub use sprint_core;
 pub use testbed;

@@ -231,6 +231,13 @@ fn faulted_runs_replay_bit_identically() {
         }],
         thermal_period_secs: 1_500.0,
         thermal_lockout_secs: 90.0,
+        messages: faults::MessageFaults {
+            delay_prob: 0.3,
+            delay_secs: 20.0,
+            drop_prob: 0.1,
+            dup_prob: 0.1,
+            partitions: Vec::new(),
+        },
     };
     let a = run_with_faults(sprint_cfg(250, 17), &mech, plan.clone()).unwrap();
     let b = run_with_faults(sprint_cfg(250, 17), &mech, plan.clone()).unwrap();
