@@ -12,15 +12,35 @@
 //! run — and exits non-zero if any invariant was violated or
 //! supervision failed to improve SLO attainment in every cell. Before
 //! the sweep it runs the fixed-seed message-fault scenarios (lost
-//! unsprint commands, delayed budget telemetry, watchdog partition).
+//! unsprint commands, delayed budget telemetry, watchdog partition)
+//! and the fleet chaos scenarios (coordinator crash mid sprint wave,
+//! split-brain partition, lease-renewal storm), the latter swept
+//! across `--seeds` root seeds with the four fleet invariants checked
+//! on every run. Scenario lines include a per-class message-fault
+//! breakdown (partitioned/dropped/duplicated/delayed).
 //!
 //! `--replay` skips the sweep and re-runs the single case a violation
 //! named (under the same `--seed`/`--seeds`/sizing flags as the sweep
 //! that reported it), re-checking its invariants and printing the
 //! run's flight-recorder tail.
 
-use chaos::{replay_case, run_scenarios, sweep, SweepConfig};
+use chaos::{replay_case, run_fleet_scenarios, run_scenarios, sweep, SweepConfig};
+use faults::FaultCounters;
 use workloads::WorkloadKind;
+
+/// One-line per-class message-fault breakdown for human reports.
+fn message_class_line(counters: &FaultCounters) -> String {
+    let classes: Vec<String> = counters
+        .message_classes()
+        .iter()
+        .map(|(label, n)| format!("{label} {n}"))
+        .collect();
+    format!(
+        "messages: {} ({} total)",
+        classes.join(", "),
+        counters.messages_total()
+    )
+}
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -53,6 +73,7 @@ fn replay(cfg: &SweepConfig, case: &str) -> std::process::ExitCode {
         "replayed {} ({} fault events)",
         outcome.label, outcome.fault_events
     );
+    println!("{}", message_class_line(&outcome.counters));
     println!("plan: {:?}", outcome.plan);
     println!("recorder tail ({} events):", outcome.events.len());
     for e in &outcome.events {
@@ -111,6 +132,7 @@ fn main() -> std::process::ExitCode {
                     r.forced_unsprints,
                     r.violations.len(),
                 );
+                eprintln!("  {}", message_class_line(&r.counters));
                 for v in &r.violations {
                     eprintln!("  {}: {}", v.invariant, v.details);
                 }
@@ -123,6 +145,42 @@ fn main() -> std::process::ExitCode {
         }
         Err(e) => {
             eprintln!("message-fault scenarios failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+
+    match run_fleet_scenarios(cfg.seeds_per_cell) {
+        Ok(reports) => {
+            let mut bad = 0;
+            for r in &reports {
+                eprintln!(
+                    "fleet scenario {} ({} nodes x {} seeds): {} grants, \
+                     {} renewals, {} expiries, {} elections, {} step-downs, \
+                     {} forced unsprints, {} violation(s)",
+                    r.name,
+                    r.nodes,
+                    r.seeds,
+                    r.grants,
+                    r.renewals,
+                    r.expiries,
+                    r.elections,
+                    r.step_downs,
+                    r.forced_unsprints,
+                    r.violations.len(),
+                );
+                eprintln!("  {}", message_class_line(&r.counters));
+                for v in &r.violations {
+                    eprintln!("  [{}] {}: {}", v.case, v.invariant, v.details);
+                }
+                bad += r.violations.len();
+            }
+            if bad > 0 {
+                eprintln!("{bad} fleet scenario violation(s)");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet scenarios failed: {e}");
             return std::process::ExitCode::FAILURE;
         }
     }

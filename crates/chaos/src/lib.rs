@@ -46,11 +46,13 @@ use testbed::{
 };
 use workloads::{QueryMix, WorkloadKind};
 
+mod fleet_scenarios;
 mod plan;
 mod replay;
 mod report;
 mod scenarios;
 
+pub use fleet_scenarios::{run_fleet_scenarios, FleetScenarioReport};
 pub use plan::random_plan;
 pub use replay::{replay_case, CaseReplay};
 pub use report::{CellReport, SweepReport, Violation};

@@ -8,7 +8,7 @@
 //! the whole sweep. `chaos_sweep --replay <case>` exposes this for
 //! debugging: it re-checks the invariants and prints the recorder tail.
 
-use faults::FaultPlan;
+use faults::{FaultCounters, FaultPlan};
 use mechanisms::MechanismKind;
 use obs::Event;
 use simcore::rng::SimRng;
@@ -36,6 +36,8 @@ pub struct CaseReplay {
     pub events: Vec<Event>,
     /// Total injected fault events.
     pub fault_events: u64,
+    /// Full fault counters, for per-class message breakdowns.
+    pub counters: FaultCounters,
 }
 
 fn parse_label(case: &str) -> Result<(WorkloadKind, MechanismKind, PolicyKind, u64), SprintError> {
@@ -162,6 +164,7 @@ pub fn replay_case(cfg: &SweepConfig, case: &str) -> Result<CaseReplay, SprintEr
         violations,
         events,
         fault_events: run.fault_counters().total(),
+        counters: *run.fault_counters(),
     })
 }
 

@@ -22,7 +22,7 @@
 //! watchdog bound (so the overrun is attributable to the message fault
 //! alone).
 
-use faults::{FaultPlan, LinkPartition, MessageFaults, Peer};
+use faults::{FaultCounters, FaultPlan, LinkPartition, MessageFaults, Peer};
 use mechanisms::MechanismKind;
 use simcore::time::{Rate, SimDuration};
 use simcore::SprintError;
@@ -56,6 +56,9 @@ pub struct ScenarioReport {
     pub faulted_messages: u64,
     /// Watchdog commands that actually landed.
     pub forced_unsprints: u64,
+    /// Full fault counters, for per-class message breakdowns in the
+    /// human report.
+    pub counters: FaultCounters,
     /// Failed assertions (empty = scenario behaved exactly as modeled).
     pub violations: Vec<Violation>,
 }
@@ -212,6 +215,7 @@ fn lost_unsprint_command() -> Result<ScenarioReport, SprintError> {
         max_sprint_secs: max_sprint,
         faulted_messages: run.fault_counters().msgs_dropped,
         forced_unsprints: run.recovery_counters().forced_unsprints,
+        counters: *run.fault_counters(),
         violations,
     })
 }
@@ -269,6 +273,7 @@ fn delayed_budget_telemetry() -> Result<ScenarioReport, SprintError> {
         max_sprint_secs: max_sprint,
         faulted_messages: run.fault_counters().msgs_delayed,
         forced_unsprints: run.recovery_counters().forced_unsprints,
+        counters: *run.fault_counters(),
         violations,
     })
 }
@@ -339,6 +344,7 @@ fn watchdog_partition() -> Result<ScenarioReport, SprintError> {
         max_sprint_secs: max_sprint,
         faulted_messages: run.fault_counters().partition_drops,
         forced_unsprints: run.recovery_counters().forced_unsprints,
+        counters: *run.fault_counters(),
         violations,
     })
 }

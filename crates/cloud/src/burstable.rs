@@ -116,6 +116,30 @@ impl BurstablePolicy {
         })
     }
 
+    /// Shared fleet sprint budget: how many of `n_nodes` colocated
+    /// instances the datacenter can let sprint *concurrently* while
+    /// provisioning only the model-certified commitment instead of the
+    /// peak (§4.4 at fleet scale). Each node sprinting demands
+    /// `peak_commitment()` of a core; the provisioned pool is
+    /// `n_nodes × commitment()`, with the sustained share of every
+    /// non-sprinting node already spoken for. Always admits at least
+    /// one sprinter so a fleet is never statically sprint-starved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::InvalidConfig`] if `n_nodes` is zero.
+    pub fn fleet_sprint_budget(&self, n_nodes: usize) -> Result<usize, SprintError> {
+        SprintError::require_nonzero("fleet_sprint_budget::n_nodes", n_nodes)?;
+        let pool = n_nodes as f64 * self.commitment();
+        let sustained = n_nodes as f64 * self.share;
+        let per_sprinter = self.share * (self.sprint_multiplier - 1.0);
+        if per_sprinter <= 0.0 {
+            return Ok(n_nodes);
+        }
+        let headroom = (pool - sustained).max(0.0);
+        Ok(((headroom / per_sprinter).floor() as usize).clamp(1, n_nodes))
+    }
+
     /// Budget bucket capacity in seconds (one hour of accrual).
     pub fn budget_capacity_secs(&self) -> f64 {
         self.budget_secs_per_hour
@@ -167,6 +191,32 @@ mod tests {
     fn budget_capped_at_continuous_sprinting() {
         let p = BurstablePolicy::with_multiplier(0.2, 1.1, 0.0).unwrap();
         assert_eq!(p.budget_secs_per_hour, 3_600.0);
+    }
+
+    #[test]
+    fn fleet_sprint_budget_follows_the_certified_headroom() {
+        let p = BurstablePolicy::aws_t2_small();
+        // T2.small: commitment 0.36, sustained 0.2, so each node
+        // contributes 0.16 of headroom and each sprinter costs 0.8:
+        // one concurrent sprinter per five nodes.
+        assert_eq!(p.fleet_sprint_budget(8).unwrap(), 1);
+        assert_eq!(p.fleet_sprint_budget(10).unwrap(), 2);
+        assert_eq!(p.fleet_sprint_budget(24).unwrap(), 4);
+        assert_eq!(p.fleet_sprint_budget(100).unwrap(), 20);
+        // The floor: even a lone node may sprint.
+        assert_eq!(p.fleet_sprint_budget(1).unwrap(), 1);
+        // The ceiling: the budget never exceeds the fleet size, even
+        // when the certified pool would nominally admit everyone.
+        let generous = p.with_budget_scaled(1.0).unwrap();
+        for n in [1usize, 3, 7] {
+            assert!(generous.fleet_sprint_budget(n).unwrap() <= n);
+        }
+        // Zero nodes is a spec error, not a panic.
+        assert!(p.fleet_sprint_budget(0).is_err());
+        // A smaller certified budget means less provisioned headroom
+        // and so fewer concurrent sprinters at the same fleet size.
+        let half = p.with_budget_scaled(0.5).unwrap();
+        assert!(half.fleet_sprint_budget(100).unwrap() < p.fleet_sprint_budget(100).unwrap());
     }
 
     #[test]

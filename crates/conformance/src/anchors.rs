@@ -659,6 +659,65 @@ pub fn catalogue() -> Vec<Anchor> {
                 )
             },
         },
+        // ---- Fleet baseline (§4.4 at fleet scale) ----
+        Anchor {
+            id: "fleet/served_all",
+            figure: "fleet",
+            description: "the fault-free fleet baseline serves every query",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| flag(m.fleet.served == u64::from(4 * m.fleet.nodes)),
+        },
+        Anchor {
+            id: "fleet/zero_lease_violations",
+            figure: "fleet",
+            description: "no lease invariant (bounded power, epoch fencing, \
+                          fail-safe, conservation) fires without faults",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| flag(m.fleet.invariants_clean()),
+        },
+        Anchor {
+            id: "fleet/no_spurious_failover",
+            figure: "fleet",
+            description: "a fault-free control plane never elects or fences",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| flag(m.fleet.stats.elections == 0 && m.fleet.stats.step_downs == 0),
+        },
+        Anchor {
+            id: "fleet/throughput",
+            figure: "fleet",
+            description: "fleet queries served per virtual hour (10 T2.small \
+                          nodes at 30 qph each)",
+            band: Band::Relative(0.25),
+            cross_seed: true,
+            value: |m| {
+                if m.fleet.horizon_secs <= 0.0 {
+                    return None;
+                }
+                Some(m.fleet.served as f64 * 3_600.0 / m.fleet.horizon_secs)
+            },
+        },
+        Anchor {
+            id: "fleet/budget_utilization",
+            figure: "fleet",
+            description: "time-weighted held power over the shared budget \
+                          (leases keep the certified pool busy without \
+                          overrunning it)",
+            band: Band::Absolute(0.25),
+            cross_seed: true,
+            value: |m| Some(m.fleet.budget_utilization),
+        },
+        Anchor {
+            id: "fleet/budget_never_exceeded",
+            figure: "fleet",
+            description: "peak held power stays at or under the budget when \
+                          no coordinator ever fails",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| flag(m.fleet.peak_held_power <= m.fleet.budget_power),
+        },
     ]
 }
 
@@ -684,6 +743,7 @@ mod tests {
         let anchors = catalogue();
         for figure in [
             "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fleet",
         ] {
             assert!(
                 anchors.iter().any(|a| a.figure == figure),

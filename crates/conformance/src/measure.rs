@@ -11,6 +11,7 @@
 use bench::figs::{ablation, fig1, fig10, fig11, fig12, fig13, fig14, fig7, fig8, fig9, table1};
 use bench::EvalSettings;
 use cloud::SloOptions;
+use fleet::{run_fleet, FleetResult, FleetSpec};
 use simcore::SprintError;
 
 /// The default conformance seed — the one the committed golden anchor
@@ -48,6 +49,22 @@ pub struct Measurements {
     pub fig14: fig14::Fig14Result,
     /// Forest design ablation (§2.4).
     pub ablation: ablation::ForestAblationResult,
+    /// Fault-free small-fleet baseline (§4.4 at fleet scale): leases
+    /// arbitrating the shared sprint budget with nothing going wrong.
+    pub fleet: FleetResult,
+}
+
+/// Nodes in the conformance fleet baseline — ten T2.smalls, whose
+/// certified commitment admits exactly two concurrent sprinters.
+pub const FLEET_BASELINE_NODES: u32 = 10;
+
+/// Runs the fault-free fleet baseline the `fleet/*` anchors pin.
+///
+/// # Errors
+///
+/// Propagates spec validation or simulator errors.
+pub fn fleet_baseline(seed: u64) -> Result<FleetResult, SprintError> {
+    run_fleet(&FleetSpec::small(seed ^ 0xF1EE, FLEET_BASELINE_NODES)?)
 }
 
 /// The reduced campaign settings used for every Fig 7–10/12 model
@@ -123,6 +140,7 @@ pub fn collect(seed: u64) -> Result<Measurements, SprintError> {
         conditions: 24,
         ..s
     })?;
+    let fleet = fleet_baseline(seed)?;
     Ok(Measurements {
         seed,
         fig1,
@@ -138,5 +156,6 @@ pub fn collect(seed: u64) -> Result<Measurements, SprintError> {
         fig13,
         fig14,
         ablation,
+        fleet,
     })
 }

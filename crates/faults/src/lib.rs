@@ -143,6 +143,38 @@ impl MessageFaults {
             && self.partitions.is_empty()
     }
 
+    /// Draws the fate of one message already known to be unpartitioned,
+    /// counting whichever fault class fires into `counters`.
+    ///
+    /// This is the single source of truth for the per-class draw order
+    /// (drop, then duplicate, then delay) shared by the testbed's
+    /// [`FaultInjector`] and the fleet control plane: each draw happens
+    /// only when its probability is non-zero, so a no-op plan consumes
+    /// no randomness and perturbs nothing.
+    pub fn draw_delivery(&self, rng: &mut SimRng, counters: &mut FaultCounters) -> Delivery {
+        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
+            counters.msgs_dropped += 1;
+            return Delivery::Dropped { partitioned: false };
+        }
+        if self.dup_prob > 0.0 && rng.chance(self.dup_prob) {
+            counters.msgs_duplicated += 1;
+            let extra = rng.uniform(0.0, self.delay_secs);
+            return Delivery::Duplicated {
+                // At least one microsecond so the echo is a distinct
+                // event rather than a same-instant double delivery.
+                extra_delay: SimDuration(((extra * 1e6) as u64).max(1)),
+            };
+        }
+        if self.delay_prob > 0.0 && rng.chance(self.delay_prob) {
+            counters.msgs_delayed += 1;
+            let delay = rng.uniform(0.0, self.delay_secs);
+            return Delivery::Delayed {
+                delay: SimDuration(((delay * 1e6) as u64).max(1)),
+            };
+        }
+        Delivery::Inline
+    }
+
     /// Validates every field, returning the first violation.
     pub fn validate(&self) -> Result<(), SprintError> {
         for (name, p) in [
@@ -442,6 +474,42 @@ impl FaultCounters {
             + self.msgs_duplicated
             + self.partition_drops
     }
+
+    /// Per-class message-fault counts with stable human labels, in the
+    /// order the router checks them (partition, drop, dup, delay).
+    /// Human reports iterate this instead of hand-picking fields so new
+    /// message classes show up everywhere at once.
+    pub fn message_classes(&self) -> [(&'static str, u64); 4] {
+        [
+            ("partitioned", self.partition_drops),
+            ("dropped", self.msgs_dropped),
+            ("duplicated", self.msgs_duplicated),
+            ("delayed", self.msgs_delayed),
+        ]
+    }
+
+    /// Total message-level faults across every class.
+    pub fn messages_total(&self) -> u64 {
+        self.msgs_delayed + self.msgs_dropped + self.msgs_duplicated + self.partition_drops
+    }
+
+    /// Field-wise sum, for aggregating counters across runs.
+    #[must_use]
+    pub fn merged(&self, other: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            engage_failures: self.engage_failures + other.engage_failures,
+            stuck_sprints: self.stuck_sprints + other.stuck_sprints,
+            slot_crashes: self.slot_crashes + other.slot_crashes,
+            retries_exhausted: self.retries_exhausted + other.retries_exhausted,
+            thermal_unsprints: self.thermal_unsprints + other.thermal_unsprints,
+            lockout_refusals: self.lockout_refusals + other.lockout_refusals,
+            storm_arrivals: self.storm_arrivals + other.storm_arrivals,
+            msgs_delayed: self.msgs_delayed + other.msgs_delayed,
+            msgs_dropped: self.msgs_dropped + other.msgs_dropped,
+            msgs_duplicated: self.msgs_duplicated + other.msgs_duplicated,
+            partition_drops: self.partition_drops + other.partition_drops,
+        }
+    }
 }
 
 /// Outcome of one sprint engage attempt under fault injection.
@@ -632,27 +700,7 @@ impl FaultInjector {
             self.counters.partition_drops += 1;
             return Delivery::Dropped { partitioned: true };
         }
-        if m.drop_prob > 0.0 && self.msg_rng.chance(m.drop_prob) {
-            self.counters.msgs_dropped += 1;
-            return Delivery::Dropped { partitioned: false };
-        }
-        if m.dup_prob > 0.0 && self.msg_rng.chance(m.dup_prob) {
-            self.counters.msgs_duplicated += 1;
-            let extra = self.msg_rng.uniform(0.0, m.delay_secs);
-            return Delivery::Duplicated {
-                // At least one microsecond so the echo is a distinct
-                // event rather than a same-instant double delivery.
-                extra_delay: SimDuration(((extra * 1e6) as u64).max(1)),
-            };
-        }
-        if m.delay_prob > 0.0 && self.msg_rng.chance(m.delay_prob) {
-            self.counters.msgs_delayed += 1;
-            let delay = self.msg_rng.uniform(0.0, m.delay_secs);
-            return Delivery::Delayed {
-                delay: SimDuration(((delay * 1e6) as u64).max(1)),
-            };
-        }
-        Delivery::Inline
+        m.draw_delivery(&mut self.msg_rng, &mut self.counters)
     }
 }
 

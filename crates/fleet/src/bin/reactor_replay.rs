@@ -12,7 +12,18 @@
 //!                                        # run's journal to <path>
 //! reactor_replay <path>                  # re-execute the header spec
 //!                                        # and diff against the file
+//!
+//! reactor_replay --fleet-smoke                         # fleet (N >= 100)
+//!                                                      # replay self-test
+//! reactor_replay --record-fleet <path> [seed] [nodes]  # record a fleet
+//!                                                      # journal
+//! reactor_replay --fleet <path>                        # replay + diff a
+//!                                                      # fleet journal
 //! ```
+//!
+//! Fleet journals merge the control plane (lease grants, elections,
+//! message routing) with every node's journal into one stream; a fleet
+//! of hundreds of nodes replays bit-identically from `(seed, spec)`.
 //!
 //! Replay exits non-zero on the first divergence and prints the
 //! mismatching entry with surrounding context — the debugging loop the
@@ -23,6 +34,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use faults::{FaultPlan, LinkPartition, MessageFaults, Peer};
+use fleet::{run_fleet_journaled, CoordinatorCrash, FleetSpec};
 use mechanisms::MechanismKind;
 use reactor::Journal;
 use simcore::json::Json;
@@ -41,6 +53,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("--smoke") => smoke(),
+        Some("--fleet-smoke") => fleet_smoke(),
         Some("--record") => match args.get(1) {
             Some(path) => {
                 let seed = match args.get(2).map(|s| s.parse::<u64>()) {
@@ -52,8 +65,32 @@ fn main() -> ExitCode {
             }
             None => Err("--record needs a path".to_string()),
         },
+        Some("--record-fleet") => match args.get(1) {
+            Some(path) => {
+                let seed = match args.get(2).map(|s| s.parse::<u64>()) {
+                    None => 42,
+                    Some(Ok(s)) => s,
+                    Some(Err(e)) => return fail(&format!("bad seed: {e}")),
+                };
+                let nodes = match args.get(3).map(|s| s.parse::<u32>()) {
+                    None => 100,
+                    Some(Ok(n)) => n,
+                    Some(Err(e)) => return fail(&format!("bad node count: {e}")),
+                };
+                record_fleet(Path::new(path), seed, nodes)
+            }
+            None => Err("--record-fleet needs a path".to_string()),
+        },
+        Some("--fleet") => match args.get(1) {
+            Some(path) => replay_fleet(Path::new(path)),
+            None => Err("--fleet needs a path".to_string()),
+        },
         Some(path) if !path.starts_with('-') => replay(Path::new(path)),
-        _ => Err("usage: reactor_replay --smoke | --record <path> [seed] | <path>".to_string()),
+        _ => Err(
+            "usage: reactor_replay --smoke | --fleet-smoke | --record <path> [seed] \
+             | --record-fleet <path> [seed] [nodes] | --fleet <path> | <path>"
+                .to_string(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -245,13 +282,166 @@ fn smoke() -> Result<(), String> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fleet record/replay
+
+/// File-format marker for fleet journal files.
+const FLEET_FORMAT_VERSION: u64 = 1;
+
+/// The canonical fleet demo: `nodes` servers under message faults plus
+/// a mid-run crash of the initial primary coordinator.
+fn canonical_fleet_spec(seed: u64, nodes: u32) -> Result<FleetSpec, String> {
+    let mut spec = FleetSpec::small(seed, nodes).map_err(|e| e.to_string())?;
+    spec.faults.messages.delay_prob = 0.2;
+    spec.faults.messages.delay_secs = 3.0;
+    spec.faults.messages.drop_prob = 0.05;
+    spec.faults.messages.dup_prob = 0.05;
+    spec.faults.coordinator_crashes.push(CoordinatorCrash {
+        coordinator: 0,
+        at_secs: 90.0,
+        repair_secs: 400.0,
+    });
+    Ok(spec)
+}
+
+/// Serializes `(fleet spec, merged journal)` as header + JSONL.
+fn fleet_to_file_text(spec: &FleetSpec, journal: &Journal) -> String {
+    let header = Json::Obj(vec![
+        (
+            "fleet_journal".to_string(),
+            Json::Num(FLEET_FORMAT_VERSION as f64),
+        ),
+        ("spec".to_string(), spec.to_json()),
+    ]);
+    let mut out = header.to_string_pretty().replace('\n', " ");
+    out.push('\n');
+    out.push_str(&journal.to_jsonl());
+    out
+}
+
+/// Parses a fleet journal file back into its spec and journal.
+fn fleet_from_file_text(text: &str) -> Result<(FleetSpec, Journal), String> {
+    let (header_line, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| "empty fleet journal file".to_string())?;
+    let header = Json::parse(header_line).map_err(|e| format!("bad header: {e}"))?;
+    let version = header
+        .field("fleet_journal")
+        .and_then(Json::as_f64)
+        .map_err(|e| format!("bad header: {e}"))? as u64;
+    if version != FLEET_FORMAT_VERSION {
+        return Err(format!(
+            "fleet journal format {version} unsupported (expected {FLEET_FORMAT_VERSION})"
+        ));
+    }
+    let spec = header
+        .field("spec")
+        .and_then(FleetSpec::from_json)
+        .map_err(|e| format!("bad fleet spec: {e}"))?;
+    let journal = Journal::parse_jsonl(rest).map_err(|e| format!("bad journal: {e}"))?;
+    Ok((spec, journal))
+}
+
+fn record_fleet(path: &Path, seed: u64, nodes: u32) -> Result<(), String> {
+    let spec = canonical_fleet_spec(seed, nodes)?;
+    let (result, journal) = run_fleet_journaled(&spec).map_err(|e| e.to_string())?;
+    fs::write(path, fleet_to_file_text(&spec, &journal))
+        .map_err(|e| format!("write {path:?}: {e}"))?;
+    println!(
+        "recorded fleet journal: {} entries, {} nodes, {} served, \
+         {} grants / {} elections, {} violations -> {}",
+        journal.len(),
+        result.nodes,
+        result.served,
+        result.stats.grants,
+        result.stats.elections,
+        result.violations.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn replay_fleet(path: &Path) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let (spec, recorded) = fleet_from_file_text(&text)?;
+    let (_, fresh) = run_fleet_journaled(&spec).map_err(|e| e.to_string())?;
+    match recorded.diff(&fresh) {
+        None => {
+            println!(
+                "fleet replay ok: {} nodes, {} entries, bit-identical to {}",
+                spec.nodes,
+                fresh.len(),
+                path.display()
+            );
+            Ok(())
+        }
+        Some(d) => Err(format!(
+            "fleet replay DIVERGED from {}:\n{}",
+            path.display(),
+            d.render(&recorded, DIFF_CONTEXT)
+        )),
+    }
+}
+
+/// Fixed-seed fleet self-test: an N >= 100 fleet with message faults
+/// and a coordinator crash replays bit-identically, survives a file
+/// round-trip, and reports zero invariant violations.
+fn fleet_smoke() -> Result<(), String> {
+    let spec = canonical_fleet_spec(42, 100)?;
+    let (r1, j1) = run_fleet_journaled(&spec).map_err(|e| e.to_string())?;
+    let (r2, j2) = run_fleet_journaled(&spec).map_err(|e| e.to_string())?;
+    if j1.is_empty() {
+        return Err("fleet journal is empty".to_string());
+    }
+    if let Some(d) = j1.diff(&j2) {
+        return Err(format!(
+            "same fleet spec diverged:\n{}",
+            d.render(&j1, DIFF_CONTEXT)
+        ));
+    }
+    if !r1.invariants_clean() {
+        return Err(format!("fleet invariants violated: {:?}", r1.violations));
+    }
+    if r1.served != u64::from(spec.queries_total) || r2.served != r1.served {
+        return Err(format!(
+            "fleet lost queries: served {} of {}",
+            r1.served, spec.queries_total
+        ));
+    }
+    println!(
+        "fleet smoke: {}-node run deterministic ({} journal entries, \
+         {} grants, {} elections, {} expiries)",
+        spec.nodes,
+        j1.len(),
+        r1.stats.grants,
+        r1.stats.elections,
+        r1.stats.expiries
+    );
+
+    // File round-trip.
+    let path = fleet_smoke_path();
+    fs::write(&path, fleet_to_file_text(&spec, &j1)).map_err(|e| format!("write {path:?}: {e}"))?;
+    let verdict = replay_fleet(&path);
+    let _ = fs::remove_file(&path);
+    verdict.map_err(|e| format!("fleet file round-trip failed: {e}"))?;
+    println!("fleet replay smoke ok");
+    Ok(())
+}
+
+fn fleet_smoke_path() -> PathBuf {
+    scratch_dir().join(format!("fleet_replay_smoke_{}.jsonl", std::process::id()))
+}
+
 /// A scratch path that works both from the repo root (under `target/`)
 /// and anywhere else (system temp dir).
 fn smoke_path() -> PathBuf {
-    let base = if Path::new("target").is_dir() {
+    scratch_dir().join(format!("reactor_replay_smoke_{}.jsonl", std::process::id()))
+}
+
+fn scratch_dir() -> PathBuf {
+    if Path::new("target").is_dir() {
         PathBuf::from("target")
     } else {
         std::env::temp_dir()
-    };
-    base.join(format!("reactor_replay_smoke_{}.jsonl", std::process::id()))
+    }
 }

@@ -1,0 +1,1760 @@
+//! The fleet runtime: N testbed servers behind a load balancer,
+//! coordinated by a lease-granting sprint coordinator with heartbeat
+//! failover, all driven by one interleaved virtual clock.
+//!
+//! # Protocol
+//!
+//! Sprinting is gated by **time-bounded leases**. A node may only
+//! sprint while it holds an unexpired lease from the coordinator; the
+//! permit is wired straight into the server's supervision gate via
+//! [`testbed::Server::set_sprint_permit`]. Every failure mode — a
+//! dropped grant, a crashed coordinator, a partition, a lost renewal —
+//! converges to the same safe outcome: the lease lapses and the node
+//! force-unsprints within one watchdog period of expiry. Nothing in the
+//! control plane can *start* power draw; it can only permit it for a
+//! bounded window.
+//!
+//! Coordinators run a heartbeat-timeout election. Epochs are unique by
+//! construction (`epoch = term × coordinators + id`), so two
+//! coordinators can never mint the same epoch, and a deposed primary
+//! fences itself (`step_down_secs < election_secs`) before its
+//! successor starts granting. The worst-case overshoot is therefore
+//! bounded: stale leases from the old epoch coexist with fresh grants
+//! for at most one lease duration — the "budget plus one lease of
+//! slack" invariant checked by [`Tracker`].
+
+use std::collections::BTreeMap;
+
+use faults::FaultCounters;
+use obs::{EventKind, FlightRecorder, RunTelemetry};
+use reactor::{Delivery, Journal, Reactor};
+use simcore::json::Json;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use simcore::SprintError;
+use testbed::{RunResult, Server};
+
+use crate::spec::{FleetPartition, FleetSpec};
+
+/// Control-plane address: a coordinator or a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Addr {
+    /// Coordinator `c`.
+    Coordinator(u32),
+    /// Node `n`.
+    Node(u32),
+}
+
+impl Addr {
+    /// Flattened index for telemetry: coordinators first, then nodes.
+    fn flat(self, coordinators: u32) -> u32 {
+        match self {
+            Addr::Coordinator(c) => c,
+            Addr::Node(n) => coordinators + n,
+        }
+    }
+}
+
+/// Control-plane messages. All lease state transitions ride on these;
+/// there is no side channel.
+#[derive(Debug, Clone)]
+enum FleetMsg {
+    /// Acquire or renew a lease. `held_epoch` is the epoch of a lease
+    /// the node still holds (0 = none) so a fresh primary can observe
+    /// stale grants during re-registration.
+    LeaseRequest { node: u32, held_epoch: u64 },
+    /// The coordinator grants (or renews) a lease until `expires_us`.
+    LeaseGrant { epoch: u64, expires_us: u64 },
+    /// The coordinator has no budget for this node right now.
+    LeaseDeny { epoch: u64 },
+    /// The node is done and returns its lease early.
+    LeaseRelease { node: u32 },
+    /// Primary liveness beacon to peer coordinators.
+    Heartbeat { from: u32, epoch: u64 },
+    /// Peer acknowledgement of a heartbeat.
+    HeartbeatAck { epoch: u64 },
+}
+
+/// Node-side timers. `seq` fences request/timeout pairs against state
+/// changes; `gen` fences renew/expiry timers against lease turnover.
+#[derive(Debug, Clone, Copy)]
+enum NodeTimer {
+    Request { seq: u64 },
+    RequestTimeout { seq: u64 },
+    Renew { gen: u64 },
+    Expiry { gen: u64 },
+}
+
+/// Coordinator-side timers; each event carries the coordinator's
+/// incarnation `gen` so timers from before a crash are dead on arrival.
+#[derive(Debug, Clone, Copy)]
+enum CoordTimer {
+    Heartbeat,
+    StepDownCheck,
+    ElectionCheck,
+    Sweep,
+}
+
+/// Fleet reactor events.
+#[derive(Debug, Clone)]
+enum FleetEv {
+    Deliver {
+        from: Addr,
+        to: Addr,
+        msg: FleetMsg,
+    },
+    Node {
+        node: u32,
+        timer: NodeTimer,
+    },
+    Coord {
+        coord: u32,
+        timer: CoordTimer,
+        gen: u64,
+    },
+    CoordCrash {
+        coord: u32,
+    },
+    CoordRepair {
+        coord: u32,
+    },
+    Health,
+}
+
+/// A lease as held by a node.
+#[derive(Debug, Clone, Copy)]
+struct HeldLease {
+    epoch: u64,
+    expires: SimTime,
+}
+
+/// Per-node control-plane agent.
+#[derive(Debug)]
+struct NodeAgent {
+    id: u32,
+    rng: SimRng,
+    lease: Option<HeldLease>,
+    /// Highest epoch observed; grants from lower epochs are fenced off.
+    highest_epoch: u64,
+    /// Coordinator currently targeted; rotates on timeout.
+    target: u32,
+    /// Consecutive failed request rounds (drives backoff; `> 0` while
+    /// holding a lease means renewals are failing — the node is stale).
+    attempt: u32,
+    /// Fences Request/RequestTimeout timers.
+    seq: u64,
+    /// Fences Renew/Expiry timers.
+    gen: u64,
+    done: bool,
+}
+
+/// Coordinator role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Primary,
+    Standby,
+}
+
+/// A lease as recorded by a coordinator.
+#[derive(Debug, Clone, Copy)]
+struct LeaseRec {
+    expires: SimTime,
+}
+
+/// One sprint coordinator.
+#[derive(Debug)]
+struct Coordinator {
+    id: u32,
+    rng: SimRng,
+    role: Role,
+    up: bool,
+    /// Incarnation counter; bumped on crash and repair.
+    gen: u64,
+    /// Epoch this coordinator last held the primaryship under.
+    epoch: u64,
+    /// Highest epoch seen anywhere (own grants, heartbeats, requests).
+    highest_seen: u64,
+    /// Lease table, indexed by node. Only meaningful while primary.
+    leases: Vec<Option<LeaseRec>>,
+    /// Live granted power (leases counted in `leases`).
+    granted: u32,
+    /// Last primary heartbeat heard (standby election input).
+    last_hb_heard: SimTime,
+    /// Last peer ack heard (primary self-fencing input).
+    last_ack: SimTime,
+}
+
+/// Lease/failover counters for one fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Fresh leases granted.
+    pub grants: u64,
+    /// Renewals of live leases.
+    pub renewals: u64,
+    /// Requests denied for lack of budget.
+    pub denials: u64,
+    /// Leases that lapsed at their holder (fail-safe trips).
+    pub expiries: u64,
+    /// Leases returned early by finished nodes.
+    pub releases: u64,
+    /// Node-side request retries (timeout + backoff + rotation).
+    pub retries: u64,
+    /// Standby takeovers.
+    pub elections: u64,
+    /// Primary self-demotions (ack starvation or higher-epoch fencing).
+    pub step_downs: u64,
+    /// Highest epoch minted.
+    pub max_epoch: u64,
+}
+
+/// How the fleet's sprint capability is degraded right now: nodes
+/// holding a live lease and renewing cleanly (`sprintable`), holding a
+/// lease but failing renewals (`stale` — will lapse within one lease),
+/// and holding nothing (`no_sprint` — failed safe).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetDegradation {
+    /// Nodes with a live lease and healthy renewal.
+    pub sprintable: u32,
+    /// Nodes with a live lease but failing renewals.
+    pub stale: u32,
+    /// Nodes with no lease (sprinting forbidden).
+    pub no_sprint: u32,
+}
+
+/// A machine-checked fleet invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetViolation {
+    /// Which invariant broke (`power-overrun`, `epoch-overlap`,
+    /// `unleased-sprint`, `fail-safe`).
+    pub invariant: &'static str,
+    /// Human-readable context.
+    pub details: String,
+}
+
+/// Aggregated outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Total queries served across the fleet.
+    pub served: u64,
+    /// Virtual horizon of the run, seconds.
+    pub horizon_secs: f64,
+    /// Served-weighted mean response time, seconds.
+    pub mean_response_secs: f64,
+    /// Served-weighted sprint fraction.
+    pub sprint_fraction: f64,
+    /// The shared concurrent-sprint budget.
+    pub budget_power: u32,
+    /// Peak concurrently-held lease power observed (node view).
+    pub peak_held_power: u32,
+    /// Time-weighted mean held power divided by the budget.
+    pub budget_utilization: f64,
+    /// Slots force-unsprinted by lease lapses.
+    pub forced_unsprints: u64,
+    /// Lease/failover counters.
+    pub stats: LeaseStats,
+    /// Last degradation sample taken while nodes were live.
+    pub degradation: FleetDegradation,
+    /// Control-plane fault counters (message classes + partitions).
+    pub counters: FaultCounters,
+    /// Invariant violations (empty on a healthy run).
+    pub violations: Vec<FleetViolation>,
+    /// Control-plane telemetry.
+    pub telemetry: RunTelemetry,
+}
+
+impl FleetResult {
+    /// Whether all four fleet invariants held.
+    pub fn invariants_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the result summary (telemetry elided) to JSON.
+    pub fn to_json(&self) -> Json {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+        };
+        obj(vec![
+            ("nodes", Json::Num(f64::from(self.nodes))),
+            ("served", Json::Num(self.served as f64)),
+            ("horizon_secs", Json::Num(self.horizon_secs)),
+            ("mean_response_secs", Json::Num(self.mean_response_secs)),
+            ("sprint_fraction", Json::Num(self.sprint_fraction)),
+            ("budget_power", Json::Num(f64::from(self.budget_power))),
+            (
+                "peak_held_power",
+                Json::Num(f64::from(self.peak_held_power)),
+            ),
+            ("budget_utilization", Json::Num(self.budget_utilization)),
+            ("forced_unsprints", Json::Num(self.forced_unsprints as f64)),
+            ("grants", Json::Num(self.stats.grants as f64)),
+            ("renewals", Json::Num(self.stats.renewals as f64)),
+            ("denials", Json::Num(self.stats.denials as f64)),
+            ("expiries", Json::Num(self.stats.expiries as f64)),
+            ("releases", Json::Num(self.stats.releases as f64)),
+            ("retries", Json::Num(self.stats.retries as f64)),
+            ("elections", Json::Num(self.stats.elections as f64)),
+            ("step_downs", Json::Num(self.stats.step_downs as f64)),
+            ("max_epoch", Json::Num(self.stats.max_epoch as f64)),
+            (
+                "degradation",
+                obj(vec![
+                    (
+                        "sprintable",
+                        Json::Num(f64::from(self.degradation.sprintable)),
+                    ),
+                    ("stale", Json::Num(f64::from(self.degradation.stale))),
+                    (
+                        "no_sprint",
+                        Json::Num(f64::from(self.degradation.no_sprint)),
+                    ),
+                ]),
+            ),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            obj(vec![
+                                ("invariant", Json::Str(v.invariant.into())),
+                                ("details", Json::Str(v.details.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// In-run invariant tracker: aggregate held power versus budget (with
+/// the one-lease failover slack), and one-granter-per-epoch.
+#[derive(Debug)]
+struct Tracker {
+    budget: u32,
+    lease_secs: f64,
+    /// Live lease power, node view (what can actually sprint).
+    held: u32,
+    peak_held: u32,
+    /// Time-weighted integral of `held`, power-seconds.
+    held_integral: f64,
+    last_t: SimTime,
+    /// When the newest epoch first granted (failover slack window).
+    last_epoch_change: SimTime,
+    max_epoch: u64,
+    /// epoch → the single coordinator allowed to grant in it.
+    epoch_owners: BTreeMap<u64, u32>,
+    violations: Vec<FleetViolation>,
+}
+
+impl Tracker {
+    fn new(budget: u32, lease_secs: f64) -> Tracker {
+        Tracker {
+            budget,
+            lease_secs,
+            held: 0,
+            peak_held: 0,
+            held_integral: 0.0,
+            last_t: SimTime::ZERO,
+            last_epoch_change: SimTime::ZERO,
+            max_epoch: 0,
+            epoch_owners: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn violation(&mut self, invariant: &'static str, details: String) {
+        if self.violations.len() < 64 {
+            self.violations.push(FleetViolation { invariant, details });
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        if now > self.last_t {
+            self.held_integral +=
+                f64::from(self.held) * (now.as_secs_f64() - self.last_t.as_secs_f64());
+            self.last_t = now;
+        }
+    }
+
+    /// A node's live lease count rose (fresh grant applied).
+    fn on_node_acquire(&mut self, now: SimTime) {
+        self.advance(now);
+        self.held += 1;
+        self.peak_held = self.peak_held.max(self.held);
+        if self.held > self.budget {
+            let since_change = now.as_secs_f64() - self.last_epoch_change.as_secs_f64();
+            // Failover slack: stale leases from the previous epoch may
+            // coexist with fresh grants for at most one lease duration,
+            // and never beyond double the budget.
+            if since_change > self.lease_secs || self.held > 2 * self.budget {
+                self.violation(
+                    "power-overrun",
+                    format!(
+                        "held power {} exceeds budget {} at t={:.1}s \
+                         ({:.1}s after last epoch change)",
+                        self.held,
+                        self.budget,
+                        now.as_secs_f64(),
+                        since_change
+                    ),
+                );
+            }
+        }
+    }
+
+    /// A node's live lease ended (expiry or release).
+    fn on_node_drop(&mut self, now: SimTime) {
+        self.advance(now);
+        self.held = self.held.saturating_sub(1);
+    }
+
+    /// A coordinator granted (or renewed) under `epoch`.
+    fn on_coord_grant(&mut self, now: SimTime, epoch: u64, coord: u32) {
+        if epoch > self.max_epoch {
+            self.max_epoch = epoch;
+            self.last_epoch_change = now;
+        }
+        match self.epoch_owners.get(&epoch) {
+            None => {
+                self.epoch_owners.insert(epoch, coord);
+            }
+            Some(&owner) if owner != coord => self.violation(
+                "epoch-overlap",
+                format!(
+                    "coordinators {owner} and {coord} both granted in epoch {epoch} \
+                     at t={:.1}s",
+                    now.as_secs_f64()
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+}
+
+/// The fleet control-plane network: fleet partitions first (no
+/// randomness drawn), then the probabilistic message-fault classes via
+/// [`faults::MessageFaults::draw_delivery`].
+#[derive(Debug)]
+struct FleetNet {
+    rng: SimRng,
+    counters: FaultCounters,
+}
+
+impl FleetNet {
+    fn route(&mut self, spec: &FleetSpec, now: SimTime, from: Addr, to: Addr) -> Delivery {
+        let now_secs = now.as_secs_f64();
+        if spec
+            .faults
+            .partitions
+            .iter()
+            .any(|p| p.active(now_secs) && side_a(p, from) != side_a(p, to))
+        {
+            self.counters.partition_drops += 1;
+            return Delivery::Dropped { partitioned: true };
+        }
+        self.spec_messages_draw(spec)
+    }
+
+    fn spec_messages_draw(&mut self, spec: &FleetSpec) -> Delivery {
+        spec.faults
+            .messages
+            .draw_delivery(&mut self.rng, &mut self.counters)
+    }
+}
+
+/// Which side of a fleet partition an address falls on.
+fn side_a(p: &FleetPartition, addr: Addr) -> bool {
+    match addr {
+        Addr::Coordinator(c) => p.coords_a.contains(&c),
+        Addr::Node(n) => n >= p.nodes_a_lo && n < p.nodes_a_hi,
+    }
+}
+
+/// Iteration valve multiplier, mirroring the testbed's event-storm
+/// guard.
+const ITER_VALVE_PER_UNIT: u64 = 10_000;
+
+struct Cluster<'m> {
+    spec: FleetSpec,
+    reactor: Reactor<FleetEv>,
+    net: FleetNet,
+    agents: Vec<NodeAgent>,
+    servers: Vec<Option<Server<'m>>>,
+    results: Vec<Option<RunResult>>,
+    node_journals: Vec<Option<Journal>>,
+    coords: Vec<Coordinator>,
+    tracker: Tracker,
+    recorder: FlightRecorder,
+    stats: LeaseStats,
+    forced_unsprints: u64,
+    last_degradation: FleetDegradation,
+    sampled_degradation: bool,
+    done_count: u32,
+    horizon: SimTime,
+    iterations: u64,
+    journaled: bool,
+}
+
+impl<'m> Cluster<'m> {
+    fn new(
+        spec: &FleetSpec,
+        mech: &'m dyn mechanisms::Mechanism,
+        journaled: bool,
+    ) -> Result<Cluster<'m>, SprintError> {
+        spec.validate()?;
+        let n = spec.nodes;
+        let c = spec.coordinators;
+        let mut servers = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let node = spec.node_spec(i)?;
+            let mut server = match (&node.plan, &node.supervisor) {
+                (None, None) => Server::new(node.cfg.clone(), mech)?,
+                (Some(plan), None) => Server::with_faults(node.cfg.clone(), mech, plan.clone())?,
+                (plan, Some(sup)) => {
+                    Server::with_supervision(node.cfg.clone(), mech, plan.clone(), *sup)?
+                }
+            };
+            if journaled {
+                server.enable_journal();
+            }
+            // Fail safe from the very first instant: no sprint without
+            // a lease.
+            server.set_sprint_permit(false);
+            servers.push(Some(server));
+        }
+        let agents = (0..n)
+            .map(|i| NodeAgent {
+                id: i,
+                rng: spec.node_rng(i),
+                lease: None,
+                highest_epoch: 0,
+                target: 0,
+                attempt: 0,
+                seq: 0,
+                gen: 0,
+                done: false,
+            })
+            .collect();
+        let coords = (0..c)
+            .map(|id| Coordinator {
+                id,
+                rng: spec.coord_rng(id),
+                role: if id == 0 {
+                    Role::Primary
+                } else {
+                    Role::Standby
+                },
+                up: true,
+                gen: 0,
+                // Unique-by-construction epochs: term × C + id. The
+                // initial primary holds term 1.
+                epoch: if id == 0 { u64::from(c) } else { 0 },
+                highest_seen: u64::from(c),
+                leases: vec![None; n as usize],
+                granted: 0,
+                last_hb_heard: SimTime::ZERO,
+                last_ack: SimTime::ZERO,
+            })
+            .collect();
+        let mut reactor = Reactor::new();
+        if journaled {
+            reactor.enable_journal();
+        }
+        Ok(Cluster {
+            net: FleetNet {
+                rng: spec.net_rng(),
+                counters: FaultCounters::default(),
+            },
+            tracker: Tracker::new(spec.budget_power, spec.lease_secs),
+            recorder: FlightRecorder::new(16_384),
+            agents,
+            servers,
+            results: (0..n).map(|_| None).collect(),
+            node_journals: (0..n).map(|_| None).collect(),
+            coords,
+            reactor,
+            stats: LeaseStats::default(),
+            forced_unsprints: 0,
+            last_degradation: FleetDegradation {
+                sprintable: 0,
+                stale: 0,
+                no_sprint: n,
+            },
+            sampled_degradation: false,
+            done_count: 0,
+            horizon: SimTime::ZERO,
+            iterations: 0,
+            journaled,
+            spec: spec.clone(),
+        })
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    fn init(&mut self) {
+        let nodes = self.spec.nodes as usize;
+        let coordinators = self.spec.coordinators;
+        let backoff_base = self.spec.backoff_base_secs;
+        let heartbeat_secs = self.spec.heartbeat_secs;
+        let step_down_secs = self.spec.step_down_secs;
+        let election_secs = self.spec.election_secs;
+        let lease_secs = self.spec.lease_secs;
+        // Nodes: prime the servers and stagger first lease requests.
+        for i in 0..nodes {
+            if let Some(server) = self.servers[i].as_mut() {
+                server.prime();
+            }
+            let jitter = self.agents[i].rng.uniform(0.0, backoff_base);
+            let seq = self.agents[i].seq;
+            self.reactor.schedule(
+                SimTime::ZERO.saturating_add(Self::secs(jitter)),
+                FleetEv::Node {
+                    node: i as u32,
+                    timer: NodeTimer::Request { seq },
+                },
+            );
+        }
+        // Coordinators: heartbeats + self-fencing on the primary,
+        // election checks on standbys, sweeps everywhere.
+        for c in 0..coordinators {
+            let gen = 0;
+            if c == 0 {
+                self.schedule_coord(Self::secs(heartbeat_secs), c, CoordTimer::Heartbeat, gen);
+                if coordinators > 1 {
+                    self.schedule_coord(
+                        Self::secs(step_down_secs),
+                        c,
+                        CoordTimer::StepDownCheck,
+                        gen,
+                    );
+                }
+            } else {
+                let jitter = self.coords[c as usize].rng.uniform(1.0, 1.25);
+                self.schedule_coord(
+                    Self::secs(election_secs * jitter),
+                    c,
+                    CoordTimer::ElectionCheck,
+                    gen,
+                );
+            }
+            self.schedule_coord(Self::secs(lease_secs / 4.0), c, CoordTimer::Sweep, gen);
+        }
+        // Scheduled coordinator crashes and repairs.
+        let crashes = self.spec.faults.coordinator_crashes.clone();
+        for crash in &crashes {
+            self.reactor.schedule(
+                SimTime::from_secs_f64(crash.at_secs),
+                FleetEv::CoordCrash {
+                    coord: crash.coordinator,
+                },
+            );
+            if crash.repair_secs > 0.0 {
+                self.reactor.schedule(
+                    SimTime::from_secs_f64(crash.at_secs + crash.repair_secs),
+                    FleetEv::CoordRepair {
+                        coord: crash.coordinator,
+                    },
+                );
+            }
+        }
+        // Periodic degradation sampling.
+        self.reactor
+            .schedule(SimTime::from_secs_f64(lease_secs), FleetEv::Health);
+    }
+
+    fn schedule_coord(&mut self, after: SimDuration, coord: u32, timer: CoordTimer, gen: u64) {
+        let at = self.reactor.now().saturating_add(after);
+        self.reactor
+            .schedule(at, FleetEv::Coord { coord, timer, gen });
+    }
+
+    fn schedule_node(&mut self, at: SimTime, node: u32, timer: NodeTimer) {
+        self.reactor.schedule(at, FleetEv::Node { node, timer });
+    }
+
+    fn all_done(&self) -> bool {
+        self.done_count == self.spec.nodes
+    }
+
+    // -----------------------------------------------------------------
+    // Network
+
+    fn send(&mut self, now: SimTime, from: Addr, to: Addr, msg: FleetMsg) {
+        let verdict = self.net.route(&self.spec, now, from, to);
+        let c = self.spec.coordinators;
+        let (fi, ti) = (from.flat(c), to.flat(c));
+        match verdict {
+            Delivery::Inline => {
+                self.reactor
+                    .schedule(now, FleetEv::Deliver { from, to, msg });
+            }
+            Delivery::Delayed { delay } => {
+                self.recorder.record(
+                    now,
+                    EventKind::MessageDelayed {
+                        from: fi,
+                        to: ti,
+                        delay_micros: delay.0,
+                    },
+                );
+                self.reactor.note(now, || {
+                    format!("fleet net: delay {fi}->{ti} by {}us", delay.0)
+                });
+                self.reactor.schedule(
+                    now.saturating_add(delay),
+                    FleetEv::Deliver { from, to, msg },
+                );
+            }
+            Delivery::Dropped { partitioned } => {
+                self.recorder.record(
+                    now,
+                    EventKind::MessageDropped {
+                        from: fi,
+                        to: ti,
+                        partitioned,
+                    },
+                );
+                self.reactor.note(now, || {
+                    format!(
+                        "fleet net: drop {fi}->{ti}{}",
+                        if partitioned { " (partitioned)" } else { "" }
+                    )
+                });
+            }
+            Delivery::Duplicated { extra_delay } => {
+                self.recorder.record(
+                    now,
+                    EventKind::MessageDuplicated {
+                        from: fi,
+                        to: ti,
+                        delay_micros: extra_delay.0,
+                    },
+                );
+                self.reactor.note(now, || {
+                    format!("fleet net: dup {fi}->{ti} +{}us", extra_delay.0)
+                });
+                self.reactor.schedule(
+                    now,
+                    FleetEv::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+                self.reactor.schedule(
+                    now.saturating_add(extra_delay),
+                    FleetEv::Deliver { from, to, msg },
+                );
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Node agent
+
+    fn node_request(&mut self, now: SimTime, n: usize, seq: u64) {
+        let (done, cur_seq, held_epoch, target, node) = {
+            let a = &self.agents[n];
+            (
+                a.done,
+                a.seq,
+                a.lease.map_or(0, |l| l.epoch),
+                a.target,
+                a.id,
+            )
+        };
+        if done || seq != cur_seq {
+            return;
+        }
+        self.send(
+            now,
+            Addr::Node(node),
+            Addr::Coordinator(target % self.spec.coordinators),
+            FleetMsg::LeaseRequest { node, held_epoch },
+        );
+        let at = now.saturating_add(Self::secs(self.spec.retry_timeout_secs));
+        self.schedule_node(at, node, NodeTimer::RequestTimeout { seq });
+    }
+
+    fn node_request_timeout(&mut self, now: SimTime, n: usize, seq: u64) {
+        let backoff_base = self.spec.backoff_base_secs;
+        let backoff_cap = self.spec.backoff_cap_secs;
+        let coords = self.spec.coordinators;
+        let (node, attempt, backoff) = {
+            let a = &mut self.agents[n];
+            if a.done || seq != a.seq {
+                return;
+            }
+            a.attempt += 1;
+            a.target = (a.target + 1) % coords;
+            // Capped exponential backoff with seeded jitter.
+            let exp = backoff_base * 2f64.powi((a.attempt.saturating_sub(1)).min(16) as i32);
+            (
+                a.id,
+                a.attempt,
+                exp.min(backoff_cap) * a.rng.uniform(0.5, 1.0),
+            )
+        };
+        self.stats.retries += 1;
+        self.reactor.note(now, || {
+            format!("node {node}: request timeout, retry #{attempt} in {backoff:.2}s")
+        });
+        let at = now.saturating_add(Self::secs(backoff));
+        self.schedule_node(at, node, NodeTimer::Request { seq });
+    }
+
+    fn node_on_grant(&mut self, now: SimTime, n: usize, epoch: u64, expires_us: u64) {
+        let renew_lead = self.spec.renew_lead_secs;
+        let node = n as u32;
+        let expires = SimTime(expires_us);
+        let (done, highest, target) = {
+            let a = &self.agents[n];
+            (a.done, a.highest_epoch, a.target)
+        };
+        if epoch < highest {
+            self.reactor.note(now, || {
+                format!("node {node}: fenced stale grant epoch {epoch}")
+            });
+            return;
+        }
+        if done {
+            // Race: the grant landed after the node finished.
+            self.send(
+                now,
+                Addr::Node(node),
+                Addr::Coordinator(target % self.spec.coordinators),
+                FleetMsg::LeaseRelease { node },
+            );
+            return;
+        }
+        if expires <= now {
+            // In-flight so long the lease is already dead.
+            return;
+        }
+        let (had, gen) = {
+            let a = &mut self.agents[n];
+            let had = a.lease.is_some();
+            a.highest_epoch = epoch;
+            a.lease = Some(HeldLease { epoch, expires });
+            a.seq += 1;
+            a.gen += 1;
+            a.attempt = 0;
+            (had, a.gen)
+        };
+        if !had {
+            self.tracker.on_node_acquire(now);
+        }
+        self.recorder.record(
+            now,
+            EventKind::LeaseGranted {
+                node,
+                epoch,
+                power: 1,
+            },
+        );
+        self.reactor.note(now, || {
+            format!(
+                "node {node}: lease epoch {epoch} until {:.1}s",
+                expires.as_secs_f64()
+            )
+        });
+        if let Some(server) = self.servers[n].as_mut() {
+            server.set_sprint_permit(true);
+        }
+        let renew_at = if expires > now.saturating_add(Self::secs(renew_lead)) {
+            expires - Self::secs(renew_lead)
+        } else {
+            now
+        };
+        self.schedule_node(renew_at, node, NodeTimer::Renew { gen });
+        self.schedule_node(expires, node, NodeTimer::Expiry { gen });
+    }
+
+    fn node_renew(&mut self, now: SimTime, n: usize, gen: u64) {
+        let a = &mut self.agents[n];
+        if a.done || gen != a.gen || a.lease.is_none() {
+            return;
+        }
+        let seq = a.seq;
+        self.node_request(now, n, seq);
+    }
+
+    fn node_expiry(&mut self, now: SimTime, n: usize, gen: u64) -> Result<(), SprintError> {
+        let backoff_base = self.spec.backoff_base_secs;
+        let node = n as u32;
+        let epoch = {
+            let a = &mut self.agents[n];
+            if gen != a.gen {
+                return Ok(());
+            }
+            let Some(lease) = a.lease.take() else {
+                return Ok(());
+            };
+            a.gen += 1;
+            a.seq += 1;
+            lease.epoch
+        };
+        self.tracker.on_node_drop(now);
+        self.stats.expiries += 1;
+        self.recorder
+            .record(now, EventKind::LeaseExpired { node, epoch });
+        self.reactor
+            .note(now, || format!("node {node}: lease epoch {epoch} lapsed"));
+        if let Some(server) = self.servers[n].as_mut() {
+            // Fail safe: the permit dies with the lease and any
+            // in-flight sprint is force-ended immediately.
+            server.set_sprint_permit(false);
+            self.forced_unsprints += server.force_unsprint_all(now)?;
+            if server.sprinting() > 0 {
+                self.tracker.violation(
+                    "fail-safe",
+                    format!(
+                        "node {node} still sprinting after lease lapse at t={:.1}s",
+                        now.as_secs_f64()
+                    ),
+                );
+            }
+        }
+        // Keep trying to re-acquire (re-admission after partitions).
+        let jitter = self.agents[n].rng.uniform(0.0, backoff_base);
+        let seq = self.agents[n].seq;
+        self.schedule_node(
+            now.saturating_add(Self::secs(jitter)),
+            node,
+            NodeTimer::Request { seq },
+        );
+        Ok(())
+    }
+
+    fn node_on_deny(&mut self, now: SimTime, n: usize, epoch: u64) {
+        let lease_secs = self.spec.lease_secs;
+        let a = &mut self.agents[n];
+        if a.done {
+            return;
+        }
+        a.highest_epoch = a.highest_epoch.max(epoch);
+        a.seq += 1;
+        a.attempt = 0;
+        let seq = a.seq;
+        let node = a.id;
+        // The coordinator is alive but out of budget: back off half a
+        // lease so freed budget finds a taker quickly without a storm.
+        let wait = lease_secs / 2.0 * a.rng.uniform(0.5, 1.0);
+        self.schedule_node(
+            now.saturating_add(Self::secs(wait)),
+            node,
+            NodeTimer::Request { seq },
+        );
+    }
+
+    fn node_done(&mut self, now: SimTime, n: usize) {
+        let node = n as u32;
+        let held = {
+            let a = &mut self.agents[n];
+            a.done = true;
+            a.seq += 1;
+            a.gen += 1;
+            a.lease.take()
+        };
+        if let Some(lease) = held {
+            self.tracker.on_node_drop(now);
+            self.stats.releases += 1;
+            self.recorder.record(
+                now,
+                EventKind::LeaseReleased {
+                    node,
+                    epoch: lease.epoch,
+                },
+            );
+            self.reactor
+                .note(now, || format!("node {node}: done, lease released"));
+            let target = self.agents[n].target % self.spec.coordinators;
+            self.send(
+                now,
+                Addr::Node(node),
+                Addr::Coordinator(target),
+                FleetMsg::LeaseRelease { node },
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Coordinator
+
+    fn coord_on_request(&mut self, now: SimTime, c: usize, node: u32, held_epoch: u64) {
+        let lease_secs = self.spec.lease_secs;
+        let budget = self.spec.budget_power;
+        let coord = c as u32;
+        let (role, epoch) = {
+            let co = &mut self.coords[c];
+            co.highest_seen = co.highest_seen.max(held_epoch);
+            (co.role, co.epoch)
+        };
+        if role != Role::Primary {
+            self.reactor.note(now, || {
+                format!("coord {coord}: standby ignores lease request from node {node}")
+            });
+            return;
+        }
+        let expires = now.saturating_add(Self::secs(lease_secs));
+        let ni = node as usize;
+        let decision = {
+            let co = &mut self.coords[c];
+            // Lazy reclaim of this node's expired record.
+            if co.leases[ni].is_some_and(|r| r.expires <= now) {
+                co.leases[ni] = None;
+                co.granted = co.granted.saturating_sub(1);
+            }
+            if co.leases[ni].is_some() {
+                co.leases[ni] = Some(LeaseRec { expires });
+                "renew"
+            } else if co.granted < budget {
+                co.leases[ni] = Some(LeaseRec { expires });
+                co.granted += 1;
+                "grant"
+            } else {
+                "deny"
+            }
+        };
+        match decision {
+            "deny" => {
+                self.stats.denials += 1;
+                self.reactor.note(now, || {
+                    format!("coord {coord}: deny node {node} (budget full)")
+                });
+                self.send(
+                    now,
+                    Addr::Coordinator(coord),
+                    Addr::Node(node),
+                    FleetMsg::LeaseDeny { epoch },
+                );
+            }
+            verb => {
+                if verb == "renew" {
+                    self.stats.renewals += 1;
+                } else {
+                    self.stats.grants += 1;
+                }
+                self.stats.max_epoch = self.stats.max_epoch.max(epoch);
+                self.tracker.on_coord_grant(now, epoch, coord);
+                self.reactor.note(now, || {
+                    format!(
+                        "coord {coord}: {verb} node {node} epoch {epoch} until {:.1}s \
+                         (held_epoch {held_epoch})",
+                        expires.as_secs_f64()
+                    )
+                });
+                self.send(
+                    now,
+                    Addr::Coordinator(coord),
+                    Addr::Node(node),
+                    FleetMsg::LeaseGrant {
+                        epoch,
+                        expires_us: expires.0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn coord_on_heartbeat(&mut self, now: SimTime, c: usize, from: u32, epoch: u64) {
+        let coord = c as u32;
+        let mut step_down = false;
+        {
+            let co = &mut self.coords[c];
+            co.highest_seen = co.highest_seen.max(epoch);
+            if co.role == Role::Primary && epoch > co.epoch {
+                // A higher-epoch primary exists: fence ourselves.
+                step_down = true;
+            }
+            if epoch >= co.highest_seen {
+                co.last_hb_heard = now;
+            }
+        }
+        if step_down {
+            self.coord_step_down(now, c, "higher-epoch heartbeat");
+        } else if self.coords[c].role == Role::Standby && epoch == self.coords[c].highest_seen {
+            self.coords[c].last_hb_heard = now;
+        }
+        self.send(
+            now,
+            Addr::Coordinator(coord),
+            Addr::Coordinator(from),
+            FleetMsg::HeartbeatAck { epoch },
+        );
+    }
+
+    fn coord_step_down(&mut self, now: SimTime, c: usize, why: &str) {
+        let coord = c as u32;
+        {
+            let co = &mut self.coords[c];
+            if co.role != Role::Primary {
+                return;
+            }
+            co.role = Role::Standby;
+            // The lease table survives: it records this coordinator's
+            // own outstanding grants, which stay live on the nodes
+            // regardless of who is primary. Forgetting them here would
+            // let a later re-election re-grant the same budget while
+            // the old leases still authorise sprints.
+            co.last_hb_heard = now;
+        }
+        self.stats.step_downs += 1;
+        let reason = why.to_string();
+        self.reactor
+            .note(now, || format!("coord {coord}: steps down ({reason})"));
+        let gen = self.coords[c].gen;
+        let jitter = self.coords[c].rng.uniform(1.0, 1.25);
+        self.schedule_coord(
+            Self::secs(self.spec.election_secs * jitter),
+            coord,
+            CoordTimer::ElectionCheck,
+            gen,
+        );
+    }
+
+    fn coord_elect(&mut self, now: SimTime, c: usize) {
+        let n_coords = u64::from(self.spec.coordinators);
+        let coord = c as u32;
+        let epoch = {
+            let co = &mut self.coords[c];
+            // Unique by construction: term × C + id.
+            let term = co.highest_seen / n_coords + 1;
+            let epoch = term * n_coords + u64::from(co.id);
+            co.role = Role::Primary;
+            co.epoch = epoch;
+            co.highest_seen = epoch;
+            // Keep unexpired entries from any previous primaryship —
+            // those leases are still held out there and still count
+            // against the budget — but reclaim the expired ones so the
+            // fresh term starts from an accurate granted count.
+            for l in co.leases.iter_mut() {
+                if l.is_some_and(|r| r.expires <= now) {
+                    *l = None;
+                }
+            }
+            co.granted = co.leases.iter().filter(|l| l.is_some()).count() as u32;
+            co.last_ack = now;
+            epoch
+        };
+        self.stats.elections += 1;
+        self.stats.max_epoch = self.stats.max_epoch.max(epoch);
+        self.recorder.record(
+            now,
+            EventKind::CoordinatorElected {
+                coordinator: coord,
+                epoch,
+            },
+        );
+        self.reactor.note(now, || {
+            format!("coord {coord}: elected primary, epoch {epoch}")
+        });
+        let gen = self.coords[c].gen;
+        // Announce immediately, then settle into the periodic beat.
+        self.coord_heartbeat_now(now, c);
+        self.schedule_coord(
+            Self::secs(self.spec.heartbeat_secs),
+            coord,
+            CoordTimer::Heartbeat,
+            gen,
+        );
+        if self.spec.coordinators > 1 {
+            self.schedule_coord(
+                Self::secs(self.spec.step_down_secs),
+                coord,
+                CoordTimer::StepDownCheck,
+                gen,
+            );
+        }
+    }
+
+    fn coord_heartbeat_now(&mut self, now: SimTime, c: usize) {
+        let coord = c as u32;
+        let epoch = self.coords[c].epoch;
+        for peer in 0..self.spec.coordinators {
+            if peer != coord {
+                self.send(
+                    now,
+                    Addr::Coordinator(coord),
+                    Addr::Coordinator(peer),
+                    FleetMsg::Heartbeat { from: coord, epoch },
+                );
+            }
+        }
+    }
+
+    fn coord_timer(&mut self, now: SimTime, c: usize, timer: CoordTimer, gen: u64) {
+        let coord = c as u32;
+        {
+            let co = &self.coords[c];
+            if !co.up || gen != co.gen {
+                return;
+            }
+        }
+        match timer {
+            CoordTimer::Heartbeat => {
+                if self.coords[c].role != Role::Primary {
+                    return;
+                }
+                self.coord_heartbeat_now(now, c);
+                self.schedule_coord(
+                    Self::secs(self.spec.heartbeat_secs),
+                    coord,
+                    CoordTimer::Heartbeat,
+                    gen,
+                );
+            }
+            CoordTimer::StepDownCheck => {
+                if self.coords[c].role != Role::Primary {
+                    return;
+                }
+                let silent = now.as_secs_f64() - self.coords[c].last_ack.as_secs_f64();
+                if silent > self.spec.step_down_secs {
+                    // Self-fencing: no peer has acked for a whole
+                    // step-down window — assume we are partitioned and
+                    // stop granting before a successor is elected.
+                    self.coord_step_down(now, c, "peer-ack starvation");
+                } else {
+                    self.schedule_coord(
+                        Self::secs(self.spec.heartbeat_secs),
+                        coord,
+                        CoordTimer::StepDownCheck,
+                        gen,
+                    );
+                }
+            }
+            CoordTimer::ElectionCheck => {
+                if self.coords[c].role == Role::Primary {
+                    return;
+                }
+                let silent = now.as_secs_f64() - self.coords[c].last_hb_heard.as_secs_f64();
+                if silent > self.spec.election_secs {
+                    self.coord_elect(now, c);
+                } else {
+                    let jitter = self.coords[c].rng.uniform(0.2, 0.35);
+                    self.schedule_coord(
+                        Self::secs(self.spec.election_secs * jitter),
+                        coord,
+                        CoordTimer::ElectionCheck,
+                        gen,
+                    );
+                }
+            }
+            CoordTimer::Sweep => {
+                let mut reclaimed = 0u32;
+                {
+                    let co = &mut self.coords[c];
+                    for lease in co.leases.iter_mut() {
+                        if lease.is_some_and(|r| r.expires <= now) {
+                            *lease = None;
+                            co.granted = co.granted.saturating_sub(1);
+                            reclaimed += 1;
+                        }
+                    }
+                }
+                if reclaimed > 0 {
+                    self.reactor.note(now, || {
+                        format!("coord {coord}: swept {reclaimed} expired leases")
+                    });
+                }
+                self.schedule_coord(
+                    Self::secs(self.spec.lease_secs / 4.0),
+                    coord,
+                    CoordTimer::Sweep,
+                    gen,
+                );
+            }
+        }
+    }
+
+    fn coord_crash(&mut self, now: SimTime, c: usize) {
+        let coord = c as u32;
+        let co = &mut self.coords[c];
+        if !co.up {
+            return;
+        }
+        co.up = false;
+        co.gen += 1;
+        self.recorder
+            .record(now, EventKind::CoordinatorCrashed { coordinator: coord });
+        self.reactor.note(now, || format!("coord {coord}: crashed"));
+    }
+
+    fn coord_repair(&mut self, now: SimTime, c: usize) {
+        let coord = c as u32;
+        let gen = {
+            let co = &mut self.coords[c];
+            if co.up {
+                return;
+            }
+            co.up = true;
+            co.gen += 1;
+            co.role = Role::Standby;
+            co.leases.iter_mut().for_each(|l| *l = None);
+            co.granted = 0;
+            // Grace: don't immediately contest a live primary.
+            co.last_hb_heard = now;
+            co.gen
+        };
+        self.reactor.note(now, || {
+            format!("coord {coord}: repaired, rejoining as standby")
+        });
+        let jitter = self.coords[c].rng.uniform(1.0, 1.25);
+        self.schedule_coord(
+            Self::secs(self.spec.election_secs * jitter),
+            coord,
+            CoordTimer::ElectionCheck,
+            gen,
+        );
+        self.schedule_coord(
+            Self::secs(self.spec.lease_secs / 4.0),
+            coord,
+            CoordTimer::Sweep,
+            gen,
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Degradation sampling (invariant (d)'s teeth)
+
+    fn sample_health(&mut self, now: SimTime) {
+        let mut d = FleetDegradation::default();
+        for (n, a) in self.agents.iter().enumerate() {
+            if a.done {
+                continue;
+            }
+            match (&a.lease, a.attempt) {
+                // A lease at its expiry instant no longer authorises
+                // sprinting even if the expiry event hasn't fired yet.
+                (Some(l), _) if l.expires <= now => d.stale += 1,
+                (Some(_), 0) => d.sprintable += 1,
+                (Some(_), _) => d.stale += 1,
+                (None, _) => d.no_sprint += 1,
+            }
+            if a.lease.is_none() {
+                if let Some(server) = self.servers[n].as_ref() {
+                    if server.sprinting() > 0 {
+                        self.tracker.violation(
+                            "unleased-sprint",
+                            format!(
+                                "node {n} sprinting without a lease at t={:.1}s",
+                                now.as_secs_f64()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if !self.all_done() {
+            self.last_degradation = d;
+            self.sampled_degradation = true;
+            self.recorder.record(
+                now,
+                EventKind::FleetDegradationSample {
+                    sprintable: d.sprintable,
+                    stale: d.stale,
+                    no_sprint: d.no_sprint,
+                },
+            );
+            self.reactor.schedule(
+                now.saturating_add(Self::secs(self.spec.lease_secs)),
+                FleetEv::Health,
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Dispatch + driver
+
+    fn dispatch(&mut self, now: SimTime, ev: FleetEv) -> Result<(), SprintError> {
+        self.horizon = self.horizon.max(now);
+        match ev {
+            FleetEv::Deliver { from, to, msg } => match to {
+                Addr::Coordinator(c) => {
+                    if !self.coords[c as usize].up {
+                        self.reactor
+                            .note(now, || format!("fleet net: coord {c} down, message lost"));
+                        return Ok(());
+                    }
+                    match msg {
+                        FleetMsg::LeaseRequest { node, held_epoch } => {
+                            self.coord_on_request(now, c as usize, node, held_epoch);
+                        }
+                        FleetMsg::LeaseRelease { node } => {
+                            let co = &mut self.coords[c as usize];
+                            if co.role == Role::Primary && co.leases[node as usize].is_some() {
+                                co.leases[node as usize] = None;
+                                co.granted = co.granted.saturating_sub(1);
+                            }
+                        }
+                        FleetMsg::Heartbeat {
+                            from: hb_from,
+                            epoch,
+                        } => {
+                            self.coord_on_heartbeat(now, c as usize, hb_from, epoch);
+                        }
+                        FleetMsg::HeartbeatAck { epoch } => {
+                            let co = &mut self.coords[c as usize];
+                            if co.role == Role::Primary && epoch == co.epoch {
+                                co.last_ack = now;
+                            }
+                        }
+                        FleetMsg::LeaseGrant { .. } | FleetMsg::LeaseDeny { .. } => {}
+                    }
+                }
+                Addr::Node(n) => match msg {
+                    FleetMsg::LeaseGrant { epoch, expires_us } => {
+                        self.node_on_grant(now, n as usize, epoch, expires_us);
+                    }
+                    FleetMsg::LeaseDeny { epoch } => {
+                        self.node_on_deny(now, n as usize, epoch);
+                    }
+                    _ => {
+                        let _ = from;
+                    }
+                },
+            },
+            FleetEv::Node { node, timer } => match timer {
+                NodeTimer::Request { seq } => self.node_request(now, node as usize, seq),
+                NodeTimer::RequestTimeout { seq } => {
+                    self.node_request_timeout(now, node as usize, seq);
+                }
+                NodeTimer::Renew { gen } => self.node_renew(now, node as usize, gen),
+                NodeTimer::Expiry { gen } => self.node_expiry(now, node as usize, gen)?,
+            },
+            FleetEv::Coord { coord, timer, gen } => {
+                self.coord_timer(now, coord as usize, timer, gen)
+            }
+            FleetEv::CoordCrash { coord } => self.coord_crash(now, coord as usize),
+            FleetEv::CoordRepair { coord } => self.coord_repair(now, coord as usize),
+            FleetEv::Health => self.sample_health(now),
+        }
+        Ok(())
+    }
+
+    fn tick_valve(&mut self) -> Result<(), SprintError> {
+        self.iterations += 1;
+        let cap = ITER_VALVE_PER_UNIT
+            * (u64::from(self.spec.queries_total)
+                + u64::from(self.spec.nodes)
+                + u64::from(self.spec.coordinators)
+                + 10);
+        if self.iterations > cap {
+            return Err(SprintError::invalid(
+                "fleet::iterations",
+                format!("fleet event storm: more than {cap} events processed"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn complete_node(&mut self, now: SimTime, n: usize) -> Result<(), SprintError> {
+        let Some(server) = self.servers[n].take() else {
+            return Ok(());
+        };
+        // Invariant (d): a finishing node must be leased or safely
+        // unsprinted.
+        if self.agents[n].lease.is_none() && server.sprinting() > 0 {
+            self.tracker.violation(
+                "unleased-sprint",
+                format!(
+                    "node {n} finished while sprinting without a lease at t={:.1}s",
+                    now.as_secs_f64()
+                ),
+            );
+        }
+        self.node_done(now, n);
+        let (result, journal) = server.finish()?;
+        self.results[n] = Some(result);
+        self.node_journals[n] = journal;
+        self.done_count += 1;
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<(FleetResult, Option<Journal>), SprintError> {
+        self.init();
+        while !self.all_done() {
+            // Global virtual-time interleave: the earliest event across
+            // the fleet reactor and every live node's queue runs next;
+            // ties go to the control plane, then the lowest node index.
+            let fleet_t = self.reactor.peek_time();
+            let mut node_next: Option<(SimTime, usize)> = None;
+            for (i, slot) in self.servers.iter().enumerate() {
+                if let Some(server) = slot {
+                    if let Some(t) = server.peek_time() {
+                        if node_next.is_none_or(|(bt, _)| t < bt) {
+                            node_next = Some((t, i));
+                        }
+                    }
+                }
+            }
+            match (fleet_t, node_next) {
+                (None, None) => {
+                    return Err(SprintError::invalid(
+                        "fleet::run",
+                        format!(
+                            "fleet stalled with {}/{} nodes done",
+                            self.done_count, self.spec.nodes
+                        ),
+                    ));
+                }
+                (Some(_), None) => {
+                    if let Some((t, ev)) = self.reactor.pop() {
+                        self.dispatch(t, ev)?;
+                    }
+                }
+                (None, Some((t, i))) => self.step_node(t, i)?,
+                (Some(ft), Some((nt, i))) => {
+                    if ft <= nt {
+                        if let Some((t, ev)) = self.reactor.pop() {
+                            self.dispatch(t, ev)?;
+                        }
+                    } else {
+                        self.step_node(nt, i)?;
+                    }
+                }
+            }
+            self.tick_valve()?;
+        }
+        // Drain in-flight control traffic (released leases, final
+        // heartbeats) for one delay bound past the last node event.
+        let drain_end = self
+            .horizon
+            .saturating_add(Self::secs(self.spec.faults.messages.delay_secs + 1.0));
+        while let Some(t) = self.reactor.peek_time() {
+            if t > drain_end {
+                break;
+            }
+            if let Some((t, ev)) = self.reactor.pop() {
+                self.dispatch(t, ev)?;
+            }
+            self.tick_valve()?;
+        }
+        self.finalize()
+    }
+
+    fn step_node(&mut self, t: SimTime, i: usize) -> Result<(), SprintError> {
+        self.horizon = self.horizon.max(t);
+        let done = {
+            let Some(server) = self.servers[i].as_mut() else {
+                return Ok(());
+            };
+            server.step()?;
+            server.is_done()
+        };
+        if done {
+            self.complete_node(t, i)?;
+        }
+        Ok(())
+    }
+
+    fn finalize(mut self) -> Result<(FleetResult, Option<Journal>), SprintError> {
+        self.tracker.advance(self.horizon);
+        let horizon_secs = self.horizon.as_secs_f64();
+        let mut served = 0u64;
+        let mut resp_weighted = 0.0;
+        let mut sprint_weighted = 0.0;
+        for result in self.results.iter().flatten() {
+            let s = result.served() as u64;
+            served += s;
+            resp_weighted += result.mean_response_secs() * s as f64;
+            sprint_weighted += result.sprint_fraction() * s as f64;
+        }
+        let utilization = if horizon_secs > 0.0 && self.tracker.budget > 0 {
+            self.tracker.held_integral / (f64::from(self.tracker.budget) * horizon_secs)
+        } else {
+            0.0
+        };
+        let mut violations = std::mem::take(&mut self.tracker.violations);
+        if served != u64::from(self.spec.queries_total) {
+            violations.push(FleetViolation {
+                invariant: "conservation",
+                details: format!(
+                    "fleet served {served} of {} queries",
+                    self.spec.queries_total
+                ),
+            });
+        }
+        let result = FleetResult {
+            nodes: self.spec.nodes,
+            served,
+            horizon_secs,
+            mean_response_secs: if served > 0 {
+                resp_weighted / served as f64
+            } else {
+                0.0
+            },
+            sprint_fraction: if served > 0 {
+                sprint_weighted / served as f64
+            } else {
+                0.0
+            },
+            budget_power: self.spec.budget_power,
+            peak_held_power: self.tracker.peak_held,
+            budget_utilization: utilization,
+            forced_unsprints: self.forced_unsprints,
+            stats: self.stats,
+            degradation: self.last_degradation,
+            counters: self.net.counters,
+            violations,
+            telemetry: self.recorder.finish(),
+        };
+        let journal = if self.journaled {
+            Some(merge_journals(
+                self.reactor.take_journal(),
+                std::mem::take(&mut self.node_journals),
+            ))
+        } else {
+            None
+        };
+        Ok((result, journal))
+    }
+}
+
+/// Merges the fleet control-plane journal with every node journal into
+/// one deterministic stream: entries are tagged (`f` for the control
+/// plane, `n<i>` for node `i`) and stably ordered by `(time, source)`.
+fn merge_journals(fleet: Option<Journal>, nodes: Vec<Option<Journal>>) -> Journal {
+    let mut entries: Vec<(u64, u32, String)> = Vec::new();
+    if let Some(j) = fleet {
+        for e in j.entries() {
+            entries.push((e.t_us, 0, format!("f {}", e.what)));
+        }
+    }
+    for (i, j) in nodes.into_iter().enumerate() {
+        if let Some(j) = j {
+            for e in j.entries() {
+                entries.push((e.t_us, 1 + i as u32, format!("n{i} {}", e.what)));
+            }
+        }
+    }
+    entries.sort_by_key(|e| (e.0, e.1));
+    let mut merged = Journal::new();
+    for (t_us, _, what) in entries {
+        merged.push(SimTime(t_us), what);
+    }
+    merged
+}
+
+/// Runs a fleet spec to completion.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] on a bad spec or a broken
+/// simulation invariant mid-run (protocol-level invariant *violations*
+/// are reported in [`FleetResult::violations`], not as errors).
+pub fn run_fleet(spec: &FleetSpec) -> Result<FleetResult, SprintError> {
+    let mech = spec.template.mechanism.build();
+    let cluster = Cluster::new(spec, &*mech, false)?;
+    cluster.run().map(|(result, _)| result)
+}
+
+/// Runs a fleet spec with journaling enabled on the control plane and
+/// every node, returning the merged deterministic journal. The same
+/// spec always produces the same `(FleetResult, Journal)` pair.
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as [`run_fleet`].
+pub fn run_fleet_journaled(spec: &FleetSpec) -> Result<(FleetResult, Journal), SprintError> {
+    let mech = spec.template.mechanism.build();
+    let cluster = Cluster::new(spec, &*mech, true)?;
+    let (result, journal) = cluster.run()?;
+    journal
+        .map(|j| (result, j))
+        .ok_or_else(|| SprintError::invalid("fleet::journal", "journaled run produced no journal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CoordinatorCrash, FleetPartition};
+
+    #[test]
+    fn fault_free_fleet_serves_everything_cleanly() {
+        let spec = FleetSpec::small(11, 6).expect("small fleet");
+        let result = run_fleet(&spec).expect("fleet runs");
+        assert_eq!(result.served, u64::from(spec.queries_total));
+        assert!(
+            result.invariants_clean(),
+            "violations: {:?}",
+            result.violations
+        );
+        assert!(result.peak_held_power <= spec.budget_power);
+        assert!(result.stats.grants >= u64::from(spec.budget_power.min(spec.nodes)));
+        assert_eq!(result.stats.elections, 0);
+        assert_eq!(result.counters.messages_total(), 0);
+    }
+
+    #[test]
+    fn fleet_runs_are_bit_identical() {
+        let spec = FleetSpec::small(23, 5).expect("small fleet");
+        let (r1, j1) = run_fleet_journaled(&spec).expect("fleet runs");
+        let (r2, j2) = run_fleet_journaled(&spec).expect("fleet runs");
+        assert!(!j1.is_empty());
+        assert_eq!(j1.to_jsonl(), j2.to_jsonl());
+        assert_eq!(r1.served, r2.served);
+        assert_eq!(r1.stats, r2.stats);
+        // A different seed genuinely changes the run.
+        let spec2 = FleetSpec::small(24, 5).expect("small fleet");
+        let (_, j3) = run_fleet_journaled(&spec2).expect("fleet runs");
+        assert_ne!(j1.to_jsonl(), j3.to_jsonl());
+    }
+
+    #[test]
+    fn coordinator_crash_fails_over_without_violations() {
+        let mut spec = FleetSpec::small(31, 6).expect("small fleet");
+        // Crash the initial primary once leases are circulating.
+        spec.faults.coordinator_crashes.push(CoordinatorCrash {
+            coordinator: 0,
+            at_secs: 90.0,
+            repair_secs: 0.0,
+        });
+        let result = run_fleet(&spec).expect("fleet runs");
+        assert_eq!(result.served, u64::from(spec.queries_total));
+        assert!(
+            result.invariants_clean(),
+            "violations: {:?}",
+            result.violations
+        );
+        assert!(result.stats.elections >= 1, "standby must take over");
+        assert!(result.stats.max_epoch > u64::from(spec.coordinators));
+    }
+
+    #[test]
+    fn full_partition_forces_unsprint_and_readmits() {
+        let mut spec = FleetSpec::small(47, 4).expect("small fleet");
+        spec.queries_total = 24;
+        // Cut every node off from every coordinator for several leases.
+        spec.faults.partitions.push(FleetPartition {
+            coords_a: vec![0, 1],
+            nodes_a_lo: 0,
+            nodes_a_hi: 0,
+            start_secs: 70.0,
+            duration_secs: 200.0,
+        });
+        let result = run_fleet(&spec).expect("fleet runs");
+        assert_eq!(result.served, u64::from(spec.queries_total));
+        assert!(
+            result.invariants_clean(),
+            "violations: {:?}",
+            result.violations
+        );
+        // Leases lapse during the cut (fail-safe degradation to
+        // NoSprint), and nodes re-acquire after it heals.
+        assert!(result.stats.expiries > 0, "stats: {:?}", result.stats);
+        assert!(result.stats.retries > 0);
+        assert!(result.counters.partition_drops > 0);
+        let relock = result.stats.grants;
+        assert!(
+            relock > u64::from(spec.budget_power),
+            "nodes must re-acquire leases after the partition heals: {:?}",
+            result.stats
+        );
+    }
+}

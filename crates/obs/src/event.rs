@@ -22,6 +22,9 @@ pub enum UnsprintReason {
     Thermal,
     /// The executing slot crashed.
     Crash,
+    /// The node's fleet sprint lease lapsed (coordinator unreachable or
+    /// renewal lost), so it failed safe to the sustained rate.
+    LeaseLapsed,
 }
 
 impl UnsprintReason {
@@ -33,6 +36,7 @@ impl UnsprintReason {
             UnsprintReason::Watchdog => "watchdog",
             UnsprintReason::Thermal => "thermal",
             UnsprintReason::Crash => "crash",
+            UnsprintReason::LeaseLapsed => "lease-lapsed",
         }
     }
 }
@@ -214,6 +218,52 @@ pub enum EventKind {
         /// Echo latency in microseconds.
         delay_micros: u64,
     },
+    /// A fleet coordinator granted (or renewed) a sprint lease.
+    LeaseGranted {
+        /// Node the lease was granted to.
+        node: u32,
+        /// Coordinator epoch the grant was stamped with.
+        epoch: u64,
+        /// Power units the lease reserves against the shared budget.
+        power: u32,
+    },
+    /// A node's sprint lease expired unrenewed; the node force-unsprints.
+    LeaseExpired {
+        /// Node whose lease lapsed.
+        node: u32,
+        /// Epoch the lapsed lease was granted in.
+        epoch: u64,
+    },
+    /// A node released its sprint lease back to the coordinator.
+    LeaseReleased {
+        /// Node that released.
+        node: u32,
+        /// Epoch the released lease was granted in.
+        epoch: u64,
+    },
+    /// A fleet coordinator crashed (stops granting and heartbeating).
+    CoordinatorCrashed {
+        /// Crashed coordinator index.
+        coordinator: u32,
+    },
+    /// A standby coordinator won the heartbeat-timeout election and
+    /// took over at a new epoch, fencing stale grants.
+    CoordinatorElected {
+        /// Elected coordinator index.
+        coordinator: u32,
+        /// New (strictly higher) epoch.
+        epoch: u64,
+    },
+    /// Periodic fleet-health sample: how many nodes sit at each rung of
+    /// the degradation ladder.
+    FleetDegradationSample {
+        /// Nodes holding a live lease (sprintable).
+        sprintable: u32,
+        /// Nodes holding a lease but failing to renew (stale).
+        stale: u32,
+        /// Nodes without a lease (forced to the sustained rate).
+        no_sprint: u32,
+    },
 }
 
 impl EventKind {
@@ -237,6 +287,12 @@ impl EventKind {
             EventKind::MessageDelayed { .. } => "message-delayed",
             EventKind::MessageDropped { .. } => "message-dropped",
             EventKind::MessageDuplicated { .. } => "message-duplicated",
+            EventKind::LeaseGranted { .. } => "lease-granted",
+            EventKind::LeaseExpired { .. } => "lease-expired",
+            EventKind::LeaseReleased { .. } => "lease-released",
+            EventKind::CoordinatorCrashed { .. } => "coordinator-crashed",
+            EventKind::CoordinatorElected { .. } => "coordinator-elected",
+            EventKind::FleetDegradationSample { .. } => "fleet-degradation",
         }
     }
 
@@ -254,6 +310,8 @@ impl EventKind {
                 | EventKind::QueryRejected { .. }
                 | EventKind::AdmissionModeChanged { .. }
                 | EventKind::BreakerTransition { .. }
+                | EventKind::LeaseExpired { .. }
+                | EventKind::CoordinatorElected { .. }
         )
     }
 
@@ -325,6 +383,24 @@ impl EventKind {
                     *delay_micros as f64 / 1e6
                 )
             }
+            EventKind::LeaseGranted { node, epoch, power } => {
+                format!("node {node}, epoch {epoch}, power {power}")
+            }
+            EventKind::LeaseExpired { node, epoch } => format!("node {node}, epoch {epoch}"),
+            EventKind::LeaseReleased { node, epoch } => format!("node {node}, epoch {epoch}"),
+            EventKind::CoordinatorCrashed { coordinator } => {
+                format!("coordinator {coordinator}")
+            }
+            EventKind::CoordinatorElected { coordinator, epoch } => {
+                format!("coordinator {coordinator}, epoch {epoch}")
+            }
+            EventKind::FleetDegradationSample {
+                sprintable,
+                stale,
+                no_sprint,
+            } => {
+                format!("{sprintable} sprintable / {stale} stale / {no_sprint} no-sprint")
+            }
         }
     }
 
@@ -392,6 +468,32 @@ impl EventKind {
                 ("from", n(from as u64)),
                 ("to", n(to as u64)),
                 ("delay_micros", n(delay_micros)),
+            ],
+            EventKind::LeaseGranted { node, epoch, power } => vec![
+                ("node", n(node as u64)),
+                ("epoch", n(epoch)),
+                ("power", n(power as u64)),
+            ],
+            EventKind::LeaseExpired { node, epoch } => {
+                vec![("node", n(node as u64)), ("epoch", n(epoch))]
+            }
+            EventKind::LeaseReleased { node, epoch } => {
+                vec![("node", n(node as u64)), ("epoch", n(epoch))]
+            }
+            EventKind::CoordinatorCrashed { coordinator } => {
+                vec![("coordinator", n(coordinator as u64))]
+            }
+            EventKind::CoordinatorElected { coordinator, epoch } => {
+                vec![("coordinator", n(coordinator as u64)), ("epoch", n(epoch))]
+            }
+            EventKind::FleetDegradationSample {
+                sprintable,
+                stale,
+                no_sprint,
+            } => vec![
+                ("sprintable", n(sprintable as u64)),
+                ("stale", n(stale as u64)),
+                ("no_sprint", n(no_sprint as u64)),
             ],
         }
     }

@@ -68,6 +68,23 @@ fn all_kinds() -> Vec<EventKind> {
             to: 0,
             delay_micros: 1_500_000,
         },
+        EventKind::LeaseGranted {
+            node: 7,
+            epoch: 2,
+            power: 1,
+        },
+        EventKind::LeaseExpired { node: 7, epoch: 2 },
+        EventKind::LeaseReleased { node: 8, epoch: 2 },
+        EventKind::CoordinatorCrashed { coordinator: 0 },
+        EventKind::CoordinatorElected {
+            coordinator: 1,
+            epoch: 3,
+        },
+        EventKind::FleetDegradationSample {
+            sprintable: 5,
+            stale: 1,
+            no_sprint: 2,
+        },
     ]
 }
 
@@ -93,7 +110,13 @@ fn every_variant_is_constructed(kind: &EventKind) {
         | EventKind::ThermalEmergency { .. }
         | EventKind::MessageDelayed { .. }
         | EventKind::MessageDropped { .. }
-        | EventKind::MessageDuplicated { .. } => {}
+        | EventKind::MessageDuplicated { .. }
+        | EventKind::LeaseGranted { .. }
+        | EventKind::LeaseExpired { .. }
+        | EventKind::LeaseReleased { .. }
+        | EventKind::CoordinatorCrashed { .. }
+        | EventKind::CoordinatorElected { .. }
+        | EventKind::FleetDegradationSample { .. } => {}
     }
 }
 
@@ -108,11 +131,16 @@ fn telemetry_with_all_kinds() -> obs::RunTelemetry {
 #[test]
 fn event_jsonl_matches_committed_fixture() {
     let actual = telemetry_with_all_kinds().to_jsonl();
+    if std::env::var("UPDATE_FIXTURES").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/events.jsonl");
+        std::fs::write(path, &actual).expect("write fixture");
+        return;
+    }
     let expected = include_str!("fixtures/events.jsonl");
     assert_eq!(
         actual, expected,
         "event JSONL schema drifted from tests/fixtures/events.jsonl; \
-         if the change is intentional, update the fixture"
+         if the change is intentional, regenerate with UPDATE_FIXTURES=1"
     );
 }
 

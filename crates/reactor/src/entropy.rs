@@ -24,6 +24,14 @@ pub mod ns {
     pub const FAULT_CRASH: u64 = 0xFA02;
     /// Fault injector: control-message routing (delay/drop/duplicate).
     pub const FAULT_MESSAGES: u64 = 0xFA03;
+    /// Fleet load balancer: per-node seed derivation.
+    pub const FLEET_LB: u64 = 0xF1E0;
+    /// Fleet control plane: message routing (delay/drop/duplicate).
+    pub const FLEET_NET: u64 = 0xF1E1;
+    /// Fleet node agents: retry-backoff jitter.
+    pub const FLEET_NODE: u64 = 0xF1E2;
+    /// Fleet coordinators (reserved for future coordinator-side draws).
+    pub const FLEET_COORD: u64 = 0xF1E3;
 }
 
 /// Derives namespaced child RNG streams from one root seed.

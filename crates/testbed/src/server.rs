@@ -192,6 +192,18 @@ pub struct Server<'m> {
     /// Recovery engine; `None` runs the unsupervised server (the
     /// pre-supervision behaviour, bit for bit).
     supervisor: Option<Supervisor>,
+    /// External sprint permit (fleet lease gate). `true` by default;
+    /// when revoked, new sprint engages are forbidden exactly as if the
+    /// model-health breaker had tripped. Already-running sprints are
+    /// not disengaged by the flag alone — callers pair a revocation
+    /// with [`Server::force_unsprint_all`] when fail-safe demands it.
+    sprint_permit: bool,
+    /// Whether [`Server::prime`] has scheduled the initial events.
+    primed: bool,
+    /// Events processed so far (the event-storm safety valve).
+    iterations: u64,
+    /// Virtual time of the most recently processed event.
+    end: SimTime,
     /// Slots knocked offline by an *unsupervised* crash, awaiting the
     /// fault plan's out-of-band repair. Supervised runs track downness
     /// in the supervisor instead and never set these flags.
@@ -272,6 +284,10 @@ impl<'m> Server<'m> {
             manager_debt_secs: 0.0,
             faults: None,
             supervisor: None,
+            sprint_permit: true,
+            primed: false,
+            iterations: 0,
+            end: SimTime::ZERO,
             down,
             recorder: None,
         })
@@ -367,6 +383,23 @@ impl<'m> Server<'m> {
     }
 
     fn run_inner(mut self) -> Result<(RunResult, Option<Journal>), SprintError> {
+        self.prime();
+        while !self.is_done() {
+            if !self.step()? {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Schedules the run's initial events (first arrival, first thermal
+    /// emergency). Idempotent; called automatically by [`Server::run`],
+    /// or explicitly by a fleet driver before step-wise execution.
+    pub fn prime(&mut self) {
+        if self.primed {
+            return;
+        }
+        self.primed = true;
         // Seed the first arrival.
         let gap = self.sample_arrival_gap(SimTime::ZERO);
         self.reactor.schedule(SimTime::ZERO + gap, Ev::Arrival);
@@ -374,46 +407,76 @@ impl<'m> Server<'m> {
             self.reactor
                 .schedule(SimTime::from_secs_f64(at), Ev::Thermal);
         }
+    }
 
-        let mut iterations: u64 = 0;
-        let mut end = SimTime::ZERO;
-        while let Some((now, ev)) = self.reactor.pop() {
-            iterations += 1;
-            end = now;
-            // Safety valve: a healthy run needs a small constant number
-            // of events per query; hitting this bound means a
-            // same-instant event livelock.
-            if iterations >= 10_000 * (self.cfg.num_queries as u64 + 1) {
-                return Err(SprintError::runtime(
-                    "Server::run",
-                    format!(
-                        "event storm at {now}: ev {ev:?}, budget level {:.3e}, sprinting {}, \
-                         records {}/{}",
-                        self.budget.level(),
-                        self.budget.sprinting(),
-                        self.records.len(),
-                        self.cfg.num_queries
-                    ),
-                ));
-            }
-            match ev {
-                Ev::Arrival => self.on_arrival(now)?,
-                Ev::Timeout(id) => self.on_timeout(now, id)?,
-                Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen)?,
-                Ev::Crash { slot, query } => self.on_crash(now, slot, query)?,
-                Ev::Thermal => self.on_thermal(now)?,
-                Ev::SlotUp { slot } => self.on_slot_up(now, slot)?,
-                Ev::Watchdog { slot, token } => self.on_watchdog(now, slot, token)?,
-                Ev::Msg { msg, .. } => self.on_msg(now, msg)?,
-            }
-            if self.accounted() == self.cfg.num_queries {
-                break;
-            }
+    /// The instant of the server's next pending event, if any. A fleet
+    /// driver interleaves many servers by always stepping the one whose
+    /// next event is earliest.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.reactor.peek_time()
+    }
+
+    /// Whether every arrival has been fully accounted for (served or
+    /// turned away) — the run's termination condition.
+    pub fn is_done(&self) -> bool {
+        self.accounted() == self.cfg.num_queries
+    }
+
+    /// Pops and handles exactly one event, returning `false` when no
+    /// event is pending. [`Server::prime`] must have run first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] if a simulation invariant
+    /// breaks (same-instant event livelock or inconsistent slot state).
+    pub fn step(&mut self) -> Result<bool, SprintError> {
+        let Some((now, ev)) = self.reactor.pop() else {
+            return Ok(false);
+        };
+        self.iterations += 1;
+        self.end = now;
+        // Safety valve: a healthy run needs a small constant number
+        // of events per query; hitting this bound means a
+        // same-instant event livelock.
+        if self.iterations >= 10_000 * (self.cfg.num_queries as u64 + 1) {
+            return Err(SprintError::runtime(
+                "Server::run",
+                format!(
+                    "event storm at {now}: ev {ev:?}, budget level {:.3e}, sprinting {}, \
+                     records {}/{}",
+                    self.budget.level(),
+                    self.budget.sprinting(),
+                    self.records.len(),
+                    self.cfg.num_queries
+                ),
+            ));
         }
-        // In-flight control messages (e.g. a duplicate echo of the last
-        // force-unsprint) still pending when the final query completes
-        // are dropped with the reactor — receipt is idempotent, so
-        // delivering them could not change the outcome anyway.
+        match ev {
+            Ev::Arrival => self.on_arrival(now)?,
+            Ev::Timeout(id) => self.on_timeout(now, id)?,
+            Ev::Slot { slot, gen } => self.on_slot_event(now, slot, gen)?,
+            Ev::Crash { slot, query } => self.on_crash(now, slot, query)?,
+            Ev::Thermal => self.on_thermal(now)?,
+            Ev::SlotUp { slot } => self.on_slot_up(now, slot)?,
+            Ev::Watchdog { slot, token } => self.on_watchdog(now, slot, token)?,
+            Ev::Msg { msg, .. } => self.on_msg(now, msg)?,
+        }
+        Ok(true)
+    }
+
+    /// Seals the run: verifies every query was accounted for, sorts the
+    /// records, and assembles the [`RunResult`] (and journal when
+    /// enabled). In-flight control messages (e.g. a duplicate echo of
+    /// the last force-unsprint) still pending when the final query
+    /// completes are dropped with the reactor — receipt is idempotent,
+    /// so delivering them could not change the outcome anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] if the calendar drained with
+    /// queries outstanding.
+    pub fn finish(mut self) -> Result<(RunResult, Option<Journal>), SprintError> {
+        let end = self.end;
         if self.accounted() != self.cfg.num_queries {
             return Err(SprintError::runtime(
                 "Server::run",
@@ -569,13 +632,16 @@ impl<'m> Server<'m> {
         }
     }
 
-    /// Whether the supervisor (if any) permits sprint engages at all —
-    /// a failed model-health signal forbids them.
+    /// Whether sprint engages are permitted at all: the supervisor's
+    /// model-health signal must allow them *and* the external sprint
+    /// permit (the fleet lease gate) must be held.
     fn supervision_sprint_allowed(&self) -> bool {
-        self.supervisor
-            .as_ref()
-            .map(|s| s.sprint_allowed())
-            .unwrap_or(true)
+        self.sprint_permit
+            && self
+                .supervisor
+                .as_ref()
+                .map(|s| s.sprint_allowed())
+                .unwrap_or(true)
     }
 
     /// The budget level the sprint controller acts on, in seconds.
@@ -1121,11 +1187,11 @@ impl<'m> Server<'m> {
         Ok(())
     }
 
-    /// Fault injection: a thermal emergency forces every sprinting
-    /// execution (stuck ones included) back to the sustained rate and
-    /// starts the injector's engage lockout.
-    fn on_thermal(&mut self, now: SimTime) -> Result<(), SprintError> {
-        self.budget.update(now);
+    /// Forces every sprinting execution (stuck ones included) back to
+    /// the sustained rate, recording one `SprintEnded` per slot with the
+    /// given reason. Shared by the thermal-emergency fault and the fleet
+    /// lease-lapse fail-safe.
+    fn unsprint_all(&mut self, now: SimTime, reason: UnsprintReason) -> Result<u64, SprintError> {
         let sprinting: Vec<usize> = self
             .slots
             .iter()
@@ -1138,7 +1204,7 @@ impl<'m> Server<'m> {
             .collect();
         let mut unsprinted = 0u64;
         for i in sprinting {
-            let s = occupied(&mut self.slots, i, "Server::on_thermal")?;
+            let s = occupied(&mut self.slots, i, "Server::unsprint_all")?;
             s.engine.advance(now, self.mech);
             s.engine.set_mode(ExecMode::Normal);
             s.stuck = false;
@@ -1147,13 +1213,69 @@ impl<'m> Server<'m> {
                 now,
                 EventKind::SprintEnded {
                     slot: i as u32,
-                    reason: UnsprintReason::Thermal,
+                    reason,
                 },
             );
             self.budget.end_sprint();
             unsprinted += 1;
             self.reschedule_slot(now, i)?;
         }
+        Ok(unsprinted)
+    }
+
+    /// Fleet fail-safe: revokes nothing by itself but forces every
+    /// sprinting execution back to the sustained rate *now*, recording
+    /// the disengages as lease lapses. Called by a fleet node agent the
+    /// moment its sprint lease expires unrenewed; pair with
+    /// [`Server::set_sprint_permit`]`(false)` so no new sprint engages
+    /// until a fresh lease is granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SprintError::Runtime`] on inconsistent slot state.
+    pub fn force_unsprint_all(&mut self, now: SimTime) -> Result<u64, SprintError> {
+        self.budget.update(now);
+        self.unsprint_all(now, UnsprintReason::LeaseLapsed)
+    }
+
+    /// Sets the external sprint permit (the fleet lease gate). While
+    /// revoked, sprint engages are forbidden exactly as under a tripped
+    /// model-health breaker; the admission/recovery ladder is untouched.
+    pub fn set_sprint_permit(&mut self, allowed: bool) {
+        self.sprint_permit = allowed;
+    }
+
+    /// Number of executions currently sprinting (draining the budget).
+    pub fn sprinting(&self) -> usize {
+        self.budget.sprinting()
+    }
+
+    /// Queries currently waiting in the manager's queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queries served to completion so far.
+    pub fn served(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Turns on the reactor's decision journal (observation-only).
+    pub fn enable_journal(&mut self) {
+        self.reactor.enable_journal();
+    }
+
+    /// Fault injection: a thermal emergency forces every sprinting
+    /// execution (stuck ones included) back to the sustained rate and
+    /// starts the injector's engage lockout.
+    fn on_thermal(&mut self, now: SimTime) -> Result<(), SprintError> {
+        self.budget.update(now);
+        let unsprinted = self.unsprint_all(now, UnsprintReason::Thermal)?;
         note(
             &mut self.recorder,
             now,

@@ -22,11 +22,21 @@ run cargo clippy --all-targets --workspace --offline -- -D warnings
 # and a tamper-detection self-test. Exits non-zero on any divergence.
 run ./target/release/reactor_replay --smoke > /dev/null
 
+# Fleet smoke: a 100-node fleet records, re-executes, and diffs
+# bit-identically from one seed, then the canonical coordinator-crash
+# run (fleet_report) re-checks the four fleet invariants — bounded
+# power, epoch fencing, fail-safe sprinting, convergence — plus
+# failover actually happening. Both exit non-zero on any violation.
+run ./target/release/reactor_replay --fleet-smoke > /dev/null
+run ./target/release/fleet_report > /dev/null
+
 # Bounded chaos smoke sweep: fixed seeds, full grid, a few seconds.
 # Runs the fixed-seed message-fault scenarios (lost unsprint commands,
-# delayed budget telemetry, watchdog partition) before the randomized
-# sweep. Exits non-zero on any recovery-invariant violation or any cell
-# where supervision fails to improve SLO attainment.
+# delayed budget telemetry, watchdog partition) and the fleet scenarios
+# (coordinator crash mid-sprint-wave, split-brain, lease-renewal storm)
+# before the randomized sweep. Exits non-zero on any recovery- or
+# fleet-invariant violation or any cell where supervision fails to
+# improve SLO attainment.
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
 # Prediction fast-path gate: asserts fast/reference bit-identity, the

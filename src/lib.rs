@@ -52,6 +52,7 @@ pub use ann;
 pub use chaos;
 pub use cloud;
 pub use faults;
+pub use fleet;
 pub use forest;
 pub use mechanisms;
 pub use mlcore;
@@ -73,6 +74,7 @@ pub mod prelude {
         colocate, meets_slo, BurstablePolicy, Strategy, WorkloadDemand, PRICE_PER_WORKLOAD_HOUR,
     };
     pub use faults::{FaultCounters, FaultPlan, StormWindow};
+    pub use fleet::{run_fleet, run_fleet_journaled, FleetResult, FleetSpec};
     pub use forest::{ForestConfig, RandomForest};
     pub use mechanisms::{CoreScale, CpuThrottle, Dvfs, Ec2Dvfs, Mechanism, MechanismKind};
     pub use obs::{Event, EventKind, FlightRecorder, MetricsRegistry, RunTelemetry};
