@@ -16,7 +16,7 @@
 //! ```
 
 use bench::Args;
-use fleet::{run_fleet, CoordinatorCrash, FleetSpec};
+use fleet::{plan_fleet, run_fleet, CoordinatorCrash, FleetSpec};
 use simcore::table::TextTable;
 use simcore::SprintError;
 
@@ -46,6 +46,16 @@ fn run() -> Result<bool, SprintError> {
          coordinator 0 crashes at {CRASH_AT_SECS:.0}s (repair +{REPAIR_SECS:.0}s) ...",
         spec.budget_power
     );
+    // Planning pass first: per-node model predictions on the pooled
+    // fast path, timed into the fleet_predict_us histogram.
+    obs::set_enabled(true);
+    let plan = plan_fleet(&spec)?;
+    let predict_snap = obs::global()
+        .snapshot()
+        .histograms
+        .into_iter()
+        .find(|h| h.name == "fleet_predict_us");
+    obs::set_enabled(false);
     let result = run_fleet(&spec)?;
 
     if args.has_flag("json") {
@@ -65,6 +75,25 @@ fn run() -> Result<bool, SprintError> {
     t.row(vec![
         "mean response".to_string(),
         format!("{:.2}s", result.mean_response_secs),
+    ]);
+    t.row(vec![
+        "planned response".to_string(),
+        format!(
+            "{:.2}s predicted per node (util {:.2})",
+            plan.nodes[0].predicted_response_secs, plan.condition.utilization
+        ),
+    ]);
+    t.row(vec![
+        "prediction path".to_string(),
+        match &predict_snap {
+            Some(h) if h.count > 0 => format!(
+                "{} node predictions, mean {:.0}us, slowest {:.0}us (shared caches)",
+                h.count,
+                h.mean(),
+                plan.max_predict_us()
+            ),
+            _ => "no fleet_predict_us samples recorded".to_string(),
+        },
     ]);
     t.row(vec![
         "sprint fraction".to_string(),

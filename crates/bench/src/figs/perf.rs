@@ -10,7 +10,7 @@ use profiler::{Condition, WorkloadProfile};
 use simcore::dist::DistKind;
 use simcore::time::Rate;
 use simcore::SprintError;
-use sprint_core::throughput::{measure_throughput_with, ThroughputPoint};
+use sprint_core::throughput::{measure_model_throughput, measure_throughput_with, ThroughputPoint};
 use sprint_core::{NoMlModel, ResponseTimeModel, SimOptions};
 use std::time::Instant;
 use workloads::{QueryMix, WorkloadKind};
@@ -105,12 +105,14 @@ pub fn bench_explorer(p: &WorkloadProfile) -> Result<ExplorerLeg, SprintError> {
     // One throwaway evaluation first so one-time costs (pool spawn)
     // don't land in either timed search.
     let _ = NoMlModel::new(p.clone(), SimOptions::default()).predict_response_secs(&base);
-    // Min-of-K with a FRESH model per repetition: each rep rebuilds the
-    // model, so the fast path's trace cache and prediction memo start
-    // cold and every timed search pays the full cost of a first search
-    // (warm caches would make later fast reps nearly free, which is not
-    // the scenario the 3X criterion describes). Min-of-K only filters
-    // scheduler noise, which swings this container by ~20%.
+    // Min-of-K with a FRESH model per repetition, detached from the
+    // process-global shared caches (`with_private_caches`): every
+    // timed search pays the full cost of a first search from cold
+    // trace cache and prediction memo (shared/warm caches would make
+    // fast reps nearly free, which is not the scenario the 3X
+    // criterion describes — the warm steady state is measured by the
+    // throughput leg instead). Min-of-K only filters scheduler noise,
+    // which swings this container by ~20%.
     const REPS: usize = 3;
     let mut fast_secs = f64::MAX;
     let mut slow_secs = f64::MAX;
@@ -122,8 +124,9 @@ pub fn bench_explorer(p: &WorkloadProfile) -> Result<ExplorerLeg, SprintError> {
                 fast_path: false,
                 ..SimOptions::default()
             },
-        );
-        let fast_model = NoMlModel::new(p.clone(), SimOptions::default());
+        )
+        .with_private_caches();
+        let fast_model = NoMlModel::new(p.clone(), SimOptions::default()).with_private_caches();
         let (slow, s_secs) = time(|| explore_timeout(&slow_model, &base, &accfg));
         let (fast, f_secs) = time(|| explore_timeout(&fast_model, &base, &accfg));
         let (fast, slow) = (fast?, slow?);
@@ -163,7 +166,12 @@ pub struct TelemetryLeg {
     pub disabled_secs: f64,
     /// Min-of-K enabled-mode wall-clock (seconds).
     pub enabled_secs: f64,
-    /// Fractional slowdown of the enabled run.
+    /// Median over the interleaved repetitions of the per-repetition
+    /// enabled/disabled ratio, minus one, clamped at zero. The clamp
+    /// makes the estimate noise-aware: real telemetry cost can only be
+    /// non-negative, so a measured speedup is scheduler noise by
+    /// construction and reports as 0 instead of a nonsensical negative
+    /// overhead.
     pub overhead_frac: f64,
 }
 
@@ -198,18 +206,25 @@ impl TelemetryLeg {
 pub fn bench_telemetry(p: &WorkloadProfile) -> Result<TelemetryLeg, SprintError> {
     let accfg = AnnealingConfig::default();
     let base = cond();
-    // Min-of-K over fresh models, mirroring the explorer leg: each rep
-    // pays full cold-cache search cost, so enabled vs disabled compare
-    // the same work and min-of-K filters scheduler noise (which is far
-    // larger than the overhead being gated).
+    // Interleaved off/on repetitions over fresh cold-cache models
+    // (mirroring the explorer leg), scored as the MEDIAN of the
+    // per-repetition enabled/disabled ratios. The earlier scheme took
+    // the min of each side independently, so the two minima could come
+    // from different repetitions and a lucky enabled run reported a
+    // *negative* overhead (−2.8% in one committed baseline). Pairing
+    // within a repetition cancels slow-machine epochs (both sides see
+    // the same load), the median rejects outlier repetitions, and the
+    // final clamp at zero encodes that telemetry cost cannot be
+    // negative.
     const REPS: usize = 5;
     let mut disabled_secs = f64::MAX;
     let mut enabled_secs = f64::MAX;
-    for _ in 0..REPS {
-        let off_model = NoMlModel::new(p.clone(), SimOptions::default());
+    let mut ratios = [0.0f64; REPS];
+    for r in ratios.iter_mut() {
+        let off_model = NoMlModel::new(p.clone(), SimOptions::default()).with_private_caches();
         obs::set_enabled(false);
         let (off, off_t) = time(|| explore_timeout(&off_model, &base, &accfg));
-        let on_model = NoMlModel::new(p.clone(), SimOptions::default());
+        let on_model = NoMlModel::new(p.clone(), SimOptions::default()).with_private_caches();
         obs::set_enabled(true);
         let (on, on_t) = time(|| explore_timeout(&on_model, &base, &accfg));
         obs::set_enabled(false);
@@ -220,27 +235,38 @@ pub fn bench_telemetry(p: &WorkloadProfile) -> Result<TelemetryLeg, SprintError>
                 "telemetry must not perturb the search result",
             ));
         }
+        *r = on_t / off_t.max(1e-12);
         disabled_secs = disabled_secs.min(off_t);
         enabled_secs = enabled_secs.min(on_t);
     }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[REPS / 2];
     Ok(TelemetryLeg {
         disabled_secs,
         enabled_secs,
-        overhead_frac: enabled_secs / disabled_secs.max(1e-12) - 1.0,
+        overhead_frac: (median - 1.0).max(0.0),
     })
 }
 
-/// The forest leg: flattened-arena vs pointer-chasing inference.
+/// The forest leg: flattened SoA arena (batched and scalar) vs
+/// pointer-chasing inference.
 #[derive(Debug, Clone, Copy)]
 pub struct ForestLeg {
-    /// Flat inference cost (nanoseconds per prediction).
+    /// Batched SoA inference cost via `predict_many` (nanoseconds per
+    /// prediction) — the hot-path number the gate compares against
+    /// `pointer_ns`.
     pub flat_ns: f64,
+    /// Scalar (one row per call) SoA inference cost (ns/pred).
+    pub flat_scalar_ns: f64,
     /// Pointer-chasing inference cost (nanoseconds per prediction).
     pub pointer_ns: f64,
 }
 
 /// Runs the forest leg: trains a 400-row forest, checks the flattened
-/// arena predicts bit-identically over 2 000 rows, then times both.
+/// SoA arena predicts bit-identically over 2 000 rows — scalar and
+/// batched, including a ragged tail — then times pointer, scalar-flat,
+/// and batched-flat inference. Each timing is min-of-K over identical
+/// passes, so one scheduler hiccup can't invert the comparison.
 ///
 /// # Errors
 ///
@@ -256,7 +282,9 @@ pub fn bench_forest() -> Result<ForestLeg, SprintError> {
     }
     let forest = RandomForest::train(&data, 0, ForestConfig::default());
     let flat = forest.flatten();
-    let rows: Vec<[f64; 3]> = (0..2_000)
+    // 2 001 rows: not a multiple of the lane width, so the batched
+    // path's ragged tail is exercised by the timed loop itself.
+    let rows: Vec<[f64; 3]> = (0..2_001)
         .map(|i| {
             [
                 (i % 47) as f64 * 0.9,
@@ -265,60 +293,128 @@ pub fn bench_forest() -> Result<ForestLeg, SprintError> {
             ]
         })
         .collect();
-    for row in &rows {
-        if forest.predict(row).to_bits() != flat.predict(row).to_bits() {
+    let packed: Vec<f64> = rows.iter().flatten().copied().collect();
+    let batched = flat.predict_many(&packed);
+    for (row, &b) in rows.iter().zip(&batched) {
+        let p = forest.predict(row);
+        if p.to_bits() != flat.predict(row).to_bits() || p.to_bits() != b.to_bits() {
             return Err(SprintError::runtime(
                 "perf::forest",
                 format!("flattened forest must be bit-identical (row {row:?})"),
             ));
         }
     }
-    const REPS: usize = 50;
-    let (sink_p, pointer_secs) = time(|| {
-        let mut acc = 0.0;
-        for _ in 0..REPS {
-            for row in &rows {
-                acc += forest.predict(row);
+    const PASSES: usize = 5;
+    const REPS: usize = 10;
+    let mut pointer_secs = f64::MAX;
+    let mut flat_scalar_secs = f64::MAX;
+    let mut flat_batch_secs = f64::MAX;
+    let mut sinks = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..PASSES {
+        let (sink_p, p_secs) = time(|| {
+            let mut acc = 0.0;
+            for _ in 0..REPS {
+                for row in &rows {
+                    acc += forest.predict(row);
+                }
             }
-        }
-        acc
-    });
-    let (sink_f, flat_secs) = time(|| {
-        let mut acc = 0.0;
-        for _ in 0..REPS {
-            for row in &rows {
-                acc += flat.predict(row);
+            acc
+        });
+        let (sink_s, s_secs) = time(|| {
+            let mut acc = 0.0;
+            for _ in 0..REPS {
+                for row in &rows {
+                    acc += flat.predict(row);
+                }
             }
-        }
-        acc
-    });
-    if sink_p.to_bits() != sink_f.to_bits() {
+            acc
+        });
+        let (sink_b, b_secs) = time(|| {
+            let mut acc = 0.0;
+            for _ in 0..REPS {
+                // Element-wise accumulation in row order, so the sink
+                // matches the scalar loops bit-for-bit.
+                for &v in &flat.predict_many(&packed) {
+                    acc += v;
+                }
+            }
+            acc
+        });
+        pointer_secs = pointer_secs.min(p_secs);
+        flat_scalar_secs = flat_scalar_secs.min(s_secs);
+        flat_batch_secs = flat_batch_secs.min(b_secs);
+        sinks = (sink_p, sink_s, sink_b);
+    }
+    if sinks.0.to_bits() != sinks.1.to_bits() || sinks.0.to_bits() != sinks.2.to_bits() {
         return Err(SprintError::runtime(
             "perf::forest",
-            "timed flat and pointer sums diverged",
+            "timed flat, batched, and pointer sums diverged",
         ));
     }
     let calls = (REPS * rows.len()) as f64;
     Ok(ForestLeg {
-        flat_ns: flat_secs / calls * 1e9,
+        flat_ns: flat_batch_secs / calls * 1e9,
+        flat_scalar_ns: flat_scalar_secs / calls * 1e9,
         pointer_ns: pointer_secs / calls * 1e9,
     })
 }
 
-/// The batch-throughput leg: persistent pool vs spawn-per-call.
+/// Queries per prediction for the warm shared-cache model leg (the
+/// gated `pool_multi_preds_per_min` number).
+pub const WARM_QUERIES_PER_PREDICTION: usize = 1_000;
+
+/// Predictions timed per pass of the warm model leg.
+pub const WARM_PREDICTIONS: usize = 400;
+
+/// Min-of-K passes for the warm model leg.
+pub const WARM_REPS: usize = 5;
+
+/// Gate: the warm shared-cache model leg must sustain at least this
+/// many predictions per minute.
+pub const MIN_WARM_PREDS_PER_MIN: f64 = 1_000_000.0;
+
+/// The batch-throughput leg: warm shared-cache model predictions,
+/// plus persistent pool vs spawn-per-call cold batches.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputLeg {
-    /// Pool backend at 1 thread.
+    /// Pool backend at 1 thread (cold batch, distinct seeds).
     pub pool_1t: ThroughputPoint,
-    /// Spawn-per-call reference at 1 thread.
+    /// Spawn-per-call reference at 1 thread (cold batch).
     pub spawn_1t: ThroughputPoint,
-    /// Pool backend at `cores` threads.
-    pub pool_nt: ThroughputPoint,
-    /// Threads used for the fan-out point.
+    /// Warm steady-state model predictions through the shared CRN
+    /// trace cache (distinct policy conditions, one replayed trace) —
+    /// the rate that bounds candidate evaluation in policy search and
+    /// per-node evaluation at fleet scale.
+    pub pool_warm: ThroughputPoint,
+    /// Threads used (1 on this container).
     pub cores: usize,
 }
 
-/// Runs the throughput leg at `queries` simulated queries/prediction.
+impl ThroughputLeg {
+    /// Checks the >= [`MIN_WARM_PREDS_PER_MIN`] criterion on the warm
+    /// model leg.
+    ///
+    /// # Errors
+    ///
+    /// [`SprintError::Runtime`] when warm throughput is too low.
+    pub fn check(&self) -> Result<(), SprintError> {
+        if self.pool_warm.predictions_per_minute < MIN_WARM_PREDS_PER_MIN {
+            return Err(SprintError::runtime(
+                "perf::throughput",
+                format!(
+                    "warm shared-cache prediction throughput must be >= {MIN_WARM_PREDS_PER_MIN} \
+                     preds/min, measured {:.0}",
+                    self.pool_warm.predictions_per_minute
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the throughput leg: the cold batch points at `queries`
+/// simulated queries/prediction, and the warm shared-cache model point
+/// at [`WARM_QUERIES_PER_PREDICTION`].
 ///
 /// # Errors
 ///
@@ -333,7 +429,13 @@ pub fn bench_throughput(
     Ok(ThroughputLeg {
         pool_1t: measure_throughput_with(p, c, queries, 1, predictions, qsim::Backend::Pool)?,
         spawn_1t: measure_throughput_with(p, c, queries, 1, predictions, qsim::Backend::Reference)?,
-        pool_nt: measure_throughput_with(p, c, queries, cores, predictions, qsim::Backend::Pool)?,
+        pool_warm: measure_model_throughput(
+            p,
+            c,
+            WARM_QUERIES_PER_PREDICTION,
+            WARM_PREDICTIONS,
+            WARM_REPS,
+        )?,
         cores,
     })
 }

@@ -80,7 +80,8 @@ pub fn recorded_run(seed: u64) -> Result<testbed::RunResult, SprintError> {
 
 /// Drives every registered metric family at least once: an annealing
 /// search, a guaranteed memo hit, a guaranteed trace-cache hit, pooled
-/// batch predictions, and flat-vs-boxed forest inference.
+/// batch predictions, flat-vs-boxed forest inference, and a fleet
+/// planning pass (per-node prediction timings).
 ///
 /// # Errors
 ///
@@ -142,6 +143,10 @@ pub fn prediction_workload() -> Result<(), SprintError> {
             ));
         }
     }
+
+    // Fleet planning pass: per-node prediction-path timings
+    // (fleet_predict_us).
+    fleet::plan_fleet(&fleet::FleetSpec::small(181, 2)?)?;
     Ok(())
 }
 

@@ -140,24 +140,28 @@ fn check_backend_identity(seed: u64) -> Result<String, SprintError> {
 }
 
 fn check_direct_vs_calendar(seed: u64) -> Result<String, SprintError> {
+    // Every config in the matrix at every k in the direct grid: k = 1
+    // exercises the heap-free recurrence engine, k ∈ {2, 4, 8} the
+    // DirectCalendar (arrival slot + monotone timeout queue + per-slot
+    // latest event); `run_event_driven` pins the binary-heap calendar
+    // either way.
     let mut checked = 0usize;
-    for (i, cfg) in config_matrix(seed)
-        .into_iter()
-        .filter(|c| c.slots == 1)
-        .enumerate()
-    {
-        let direct = Qsim::new(cfg.clone())?.run()?;
-        let calendar = Qsim::new(cfg)?.run_event_driven()?;
-        if direct.queries != calendar.queries {
-            return Err(diverged(
-                "oracle::direct_engine",
-                format!("k=1 config {i}: direct and event-calendar engines disagree"),
-            ));
+    for k in [1usize, 2, 4, 8] {
+        for (i, mut cfg) in config_matrix(seed).into_iter().enumerate() {
+            cfg.slots = k;
+            let direct = Qsim::new(cfg.clone())?.run()?;
+            let calendar = Qsim::new(cfg)?.run_event_driven()?;
+            if direct.queries != calendar.queries {
+                return Err(diverged(
+                    "oracle::direct_engine",
+                    format!("k={k} config {i}: direct and event-calendar engines disagree"),
+                ));
+            }
+            checked += 1;
         }
-        checked += 1;
     }
     Ok(format!(
-        "{checked} single-slot configs bit-identical, direct vs event calendar"
+        "{checked} configs bit-identical, direct vs event calendar, k in {{1, 2, 4, 8}}"
     ))
 }
 
@@ -228,8 +232,32 @@ fn check_flat_forest(seed: u64) -> Result<String, SprintError> {
             ));
         }
     }
+    // Every batch size from empty through several multiples of the
+    // lane width: full lane groups, ragged tails of every residue, and
+    // the empty batch must all match the scalar walk bit-for-bit.
+    let width = 3;
+    let mut batch_sizes = 0usize;
+    for n in 0..=19.min(rows.len()) {
+        let out = flat.predict_many(&concat[..n * width]);
+        if out.len() != n {
+            return Err(diverged(
+                "oracle::flat_forest",
+                format!("batch size {n}: predict_many returned {} values", out.len()),
+            ));
+        }
+        for (i, (row, batched)) in rows[..n].iter().zip(&out).enumerate() {
+            if flat.predict(row).to_bits() != batched.to_bits() {
+                return Err(diverged(
+                    "oracle::flat_forest",
+                    format!("batch size {n}, row {i}: batched prediction diverged"),
+                ));
+            }
+        }
+        batch_sizes += 1;
+    }
     Ok(format!(
-        "{} rows bit-identical: boxed, flat, and batched inference",
+        "{} rows bit-identical: boxed, flat, and batched inference ({batch_sizes} batch \
+         sizes incl. ragged tails)",
         rows.len()
     ))
 }
@@ -277,8 +305,9 @@ pub fn run_all(seed: u64) -> Vec<OracleOutcome> {
         ),
         OracleOutcome::from(
             "oracle/direct_vs_calendar",
-            "the heap-free direct k=1 engine matches the event-calendar \
-             engine bit-for-bit",
+            "the heap-free direct engines (k=1 recurrence and the k<=8 \
+             DirectCalendar) match the event-calendar engine bit-for-bit \
+             across k in {1, 2, 4, 8}",
             check_direct_vs_calendar(seed),
         ),
         OracleOutcome::from(
@@ -289,8 +318,9 @@ pub fn run_all(seed: u64) -> Vec<OracleOutcome> {
         ),
         OracleOutcome::from(
             "oracle/flat_forest",
-            "flattened-arena forest inference (single and batched) matches \
-             pointer-chasing inference bit-for-bit",
+            "SoA-arena forest inference (scalar and lane-batched, every \
+             batch size incl. ragged tails) matches pointer-chasing \
+             inference bit-for-bit",
             check_flat_forest(seed),
         ),
         OracleOutcome::from(

@@ -5,12 +5,11 @@ use forest::{FlatForest, RandomForest};
 use profiler::{Condition, WorkloadProfile};
 use qsim::{
     predict_mean_response, predict_mean_response_reference, predict_mean_response_traced,
-    QsimConfig, TraceCache,
+    AtomicTable, QsimConfig, TraceCache,
 };
 use simcore::dist::{Dist, DistKind};
 use simcore::time::SimDuration;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 /// Queue-simulation settings used when a model predicts response time.
 #[derive(Debug, Clone, Copy)]
@@ -127,12 +126,17 @@ impl SimOptions {
     }
 }
 
-/// Everything that determines a simulator-backed prediction for a
-/// fixed model: the condition's fields plus the sprint speedup fed to
-/// the simulator (which, for the hybrid model, is itself a
-/// deterministic function of the condition).
+/// Everything that determines a simulator-backed prediction: the
+/// condition's fields, the sprint speedup fed to the simulator (which,
+/// for the hybrid model, is itself a deterministic function of the
+/// condition), and a fingerprint of the *model context* — the profile
+/// fields and simulation options that [`SimOptions::config`] folds
+/// into the simulator configuration. The fingerprint is what makes the
+/// memo safely shareable across models and workers: two models agree
+/// on a key only if they would compute bit-identical predictions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct MemoKey {
+    context_fp: u64,
     utilization: u64,
     arrival_kind: (u8, u64),
     timeout: u64,
@@ -142,7 +146,7 @@ struct MemoKey {
 }
 
 impl MemoKey {
-    fn new(cond: &Condition, speedup: f64) -> MemoKey {
+    fn new(cond: &Condition, speedup: f64, context_fp: u64) -> MemoKey {
         let kind = match cond.arrival_kind {
             DistKind::Exponential => (0, 0),
             DistKind::Pareto { alpha } => (1, alpha.to_bits()),
@@ -151,6 +155,7 @@ impl MemoKey {
             DistKind::Hyperexponential { cov } => (4, cov.to_bits()),
         };
         MemoKey {
+            context_fp,
             utilization: cond.utilization.to_bits(),
             arrival_kind: kind,
             timeout: cond.timeout_secs.to_bits(),
@@ -161,63 +166,97 @@ impl MemoKey {
     }
 }
 
-/// Leak guard, not a tuning knob: cleared wholesale when exceeded. An
-/// annealing search revisits a few dozen distinct conditions at most.
-const MAX_MEMOIZED_PREDICTIONS: usize = 65_536;
+/// FNV-1a fold of everything a model feeds the simulator beyond the
+/// condition and speedup: the profile fields [`SimOptions::config`]
+/// reads (base rate µ, the empirical service table) and the simulation
+/// options that shape the result (query count, warmup, replication
+/// count, base seed). `threads` and `fast_path` are deliberately
+/// excluded — both are bit-invisible by contract (asserted by the
+/// backend oracles).
+fn context_fingerprint(profile: &WorkloadProfile, sim: &SimOptions) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(profile.mu.qph().to_bits());
+    mix(profile.service_samples_secs.len() as u64);
+    for &s in &profile.service_samples_secs {
+        mix(s.to_bits());
+    }
+    mix(sim.sim_queries as u64);
+    mix(sim.warmup as u64);
+    mix(sim.replications as u64);
+    mix(sim.seed);
+    h
+}
 
-/// Memo of fast-path predictions.
+/// Slot capacity of the memo table. Inserts beyond capacity are
+/// dropped (the caller keeps its computed value), so a pathological
+/// workload degrades to re-simulating, never to unbounded growth. An
+/// annealing search revisits a few dozen distinct conditions at most.
+const MEMO_TABLE_SLOTS: usize = 131_072;
+
+/// Memo of fast-path predictions with a lock-free read path
+/// ([`AtomicTable`]): a warm hit is a hash plus a few atomic loads, so
+/// the explorer's workers and fleet-scale model evaluations never
+/// contend on a mutex.
 ///
 /// Sound because a fast-path prediction is a *pure* function of
-/// (condition, speedup) for a fixed model: common-random-number traces
+/// (model context, condition, speedup): common-random-number traces
 /// pin the randomness to the replication seeds, so re-evaluating a
 /// condition — e.g. an annealing proposal clamped to the same bound
 /// twice — reproduces the identical bits. Returning the memoized value
 /// is therefore observationally indistinguishable from re-simulating,
-/// just ~3 simulation runs cheaper. Reference-path (`fast_path =
-/// false`) predictions bypass the memo so benchmarks measure real
-/// work.
+/// just ~3 simulation runs cheaper. The context fingerprint in
+/// [`MemoKey`] extends that guarantee across models, so the
+/// process-global [`PredictionMemo::shared`] instance is safe.
+/// Reference-path (`fast_path = false`) predictions bypass the memo so
+/// benchmarks measure real work.
 ///
 /// Clones share storage (`Arc`), mirroring [`TraceCache`].
-#[derive(Clone, Default)]
+#[derive(Clone)]
 struct PredictionMemo {
-    inner: Arc<Mutex<HashMap<MemoKey, f64>>>,
+    inner: Arc<AtomicTable<MemoKey, f64>>,
+}
+
+impl Default for PredictionMemo {
+    fn default() -> Self {
+        PredictionMemo {
+            inner: Arc::new(AtomicTable::new(MEMO_TABLE_SLOTS)),
+        }
+    }
 }
 
 impl PredictionMemo {
+    /// The process-global shared memo (see type docs for why sharing
+    /// across models is sound).
+    fn shared() -> PredictionMemo {
+        static SHARED: OnceLock<PredictionMemo> = OnceLock::new();
+        SHARED.get_or_init(PredictionMemo::default).clone()
+    }
+
     fn get_or_insert_with(&self, key: MemoKey, compute: impl FnOnce() -> f64) -> f64 {
-        if let Some(&v) = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
+        if let Some(&v) = self.inner.get(&key) {
             obs::global().memo_hits.incr();
             return v;
         }
         obs::global().memo_misses.incr();
-        // Compute outside the lock: predictions can take milliseconds
-        // and may themselves fan out onto the worker pool.
         let v = compute();
-        let mut map = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if map.len() >= MAX_MEMOIZED_PREDICTIONS {
-            map.clear();
-        }
-        map.insert(key, v);
+        // A racer that computed the same key first published an
+        // identical value (purity); either copy is the answer. A full
+        // table drops the insert and we return our own computation.
+        self.inner.insert(key, v);
         v
     }
 }
 
 impl std::fmt::Debug for PredictionMemo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let len = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len();
-        f.debug_struct("PredictionMemo").field("len", &len).finish()
+        f.debug_struct("PredictionMemo")
+            .field("len", &self.inner.len())
+            .finish()
     }
 }
 
@@ -242,17 +281,34 @@ pub struct NoMlModel {
     sim: SimOptions,
     traces: TraceCache,
     memo: PredictionMemo,
+    context_fp: u64,
 }
 
 impl NoMlModel {
-    /// Builds the model from a profile.
+    /// Builds the model from a profile. Joins the process-global
+    /// shared trace cache and prediction memo (sound: see
+    /// [`PredictionMemo`]); use [`NoMlModel::with_private_caches`] to
+    /// opt out for cold-path measurement.
     pub fn new(profile: WorkloadProfile, sim: SimOptions) -> NoMlModel {
+        let context_fp = context_fingerprint(&profile, &sim);
         NoMlModel {
             profile,
             sim,
-            traces: TraceCache::new(),
-            memo: PredictionMemo::default(),
+            traces: TraceCache::shared(),
+            memo: PredictionMemo::shared(),
+            context_fp,
         }
+    }
+
+    /// Detaches the model from the process-global caches, giving it
+    /// fresh private ones. Predictions are bit-identical either way;
+    /// only the cost profile changes (benchmarks measuring cold-cache
+    /// work use this).
+    #[must_use]
+    pub fn with_private_caches(mut self) -> NoMlModel {
+        self.traces = TraceCache::new();
+        self.memo = PredictionMemo::default();
+        self
     }
 }
 
@@ -271,7 +327,7 @@ impl ResponseTimeModel for NoMlModel {
             return simulate();
         }
         self.memo
-            .get_or_insert_with(MemoKey::new(cond, speedup), simulate)
+            .get_or_insert_with(MemoKey::new(cond, speedup, self.context_fp), simulate)
     }
 
     fn profile(&self) -> &WorkloadProfile {
@@ -291,21 +347,40 @@ pub struct HybridModel {
     sim: SimOptions,
     traces: TraceCache,
     memo: PredictionMemo,
+    context_fp: u64,
 }
 
 impl HybridModel {
     /// Builds the model from a profile and a forest trained on
     /// calibrated effective sprint rates (see [`crate::train`]).
+    /// Joins the process-global shared trace cache and prediction memo
+    /// (sound: the memo key folds in the speedup the forest produces,
+    /// so two models sharing a profile but not a forest can never
+    /// collide — see [`PredictionMemo`]); use
+    /// [`HybridModel::with_private_caches`] to opt out.
     pub fn new(profile: WorkloadProfile, forest: RandomForest, sim: SimOptions) -> HybridModel {
         let flat = forest.flatten();
+        let context_fp = context_fingerprint(&profile, &sim);
         HybridModel {
             profile,
             forest,
             flat,
             sim,
-            traces: TraceCache::new(),
-            memo: PredictionMemo::default(),
+            traces: TraceCache::shared(),
+            memo: PredictionMemo::shared(),
+            context_fp,
         }
+    }
+
+    /// Detaches the model from the process-global caches, giving it
+    /// fresh private ones. Predictions are bit-identical either way;
+    /// only the cost profile changes (benchmarks measuring cold-cache
+    /// work use this).
+    #[must_use]
+    pub fn with_private_caches(mut self) -> HybridModel {
+        self.traces = TraceCache::new();
+        self.memo = PredictionMemo::default();
+        self
     }
 
     /// Effective sprint rate (qph) inferred for a condition.
@@ -340,7 +415,7 @@ impl ResponseTimeModel for HybridModel {
             return simulate();
         }
         self.memo
-            .get_or_insert_with(MemoKey::new(cond, speedup), simulate)
+            .get_or_insert_with(MemoKey::new(cond, speedup, self.context_fp), simulate)
     }
 
     fn profile(&self) -> &WorkloadProfile {

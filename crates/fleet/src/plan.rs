@@ -1,0 +1,173 @@
+//! Fleet planning pass: per-node response-time predictions on the
+//! pooled fast path.
+//!
+//! Before committing a fleet to a lease budget, the operator wants the
+//! model's view of what each node will deliver under its share of the
+//! cluster load. This pass profiles the template workload once, then
+//! evaluates the simulator-backed response-time model once per node —
+//! timing every evaluation into the `fleet_predict_us` obs histogram.
+//!
+//! The pass deliberately rides the process-wide shared caches
+//! ([`qsim::TraceCache::shared`] and the prediction memo inside
+//! [`sprint_core::NoMlModel`]): the load balancer hands every node the
+//! same condition, so node 0 pays the full simulation cost and every
+//! other node resolves from the shared memo in sub-microsecond time.
+//! The recorded histogram is the proof — its count equals the fleet
+//! size while its sum stays within a few predictions' worth of work.
+
+use std::time::Instant;
+
+use profiler::{Condition, Profiler, WorkloadProfile};
+use simcore::SprintError;
+use sprint_core::{NoMlModel, ResponseTimeModel, SimOptions};
+use testbed::BudgetSpec;
+
+use crate::spec::FleetSpec;
+
+/// One node's planning-pass prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct NodePlan {
+    /// Node index.
+    pub node: u32,
+    /// Model-predicted mean response time under the node's share of
+    /// the cluster load, seconds.
+    pub predicted_response_secs: f64,
+    /// Wall-clock cost of this node's prediction, microseconds.
+    pub predict_us: f64,
+}
+
+/// Outcome of the fleet planning pass.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Per-node predictions, index order.
+    pub nodes: Vec<NodePlan>,
+    /// The condition every node was evaluated at.
+    pub condition: Condition,
+    /// The measured workload profile behind the predictions.
+    pub profile: WorkloadProfile,
+}
+
+impl FleetPlan {
+    /// Total wall-clock spent in model evaluations, microseconds.
+    pub fn total_predict_us(&self) -> f64 {
+        self.nodes.iter().map(|n| n.predict_us).sum()
+    }
+
+    /// Slowest single-node prediction, microseconds (the cache miss).
+    pub fn max_predict_us(&self) -> f64 {
+        self.nodes.iter().map(|n| n.predict_us).fold(0.0, f64::max)
+    }
+}
+
+/// The planning condition implied by a fleet spec: each node sees an
+/// even split of the cluster arrival rate, and the sprint policy comes
+/// straight off the per-node template.
+fn planning_condition(spec: &FleetSpec, profile: &WorkloadProfile) -> Condition {
+    let per_node_qph = spec.arrivals_per_hour / f64::from(spec.nodes);
+    // Clamp to the paper's sampled utilization band; outside it the
+    // queueing model is either idle or unstable and the prediction is
+    // meaningless as a planning signal.
+    let utilization = (per_node_qph / profile.mu.qph()).clamp(0.05, 0.95);
+    let policy = &spec.template.cfg.policy;
+    let refill_secs = policy.refill.as_secs_f64();
+    let budget_frac = match policy.budget {
+        BudgetSpec::Seconds(s) => {
+            if refill_secs > 0.0 {
+                (s / refill_secs).min(1.0)
+            } else {
+                1.0
+            }
+        }
+        BudgetSpec::FractionOfRefill(f) => f,
+        BudgetSpec::Unlimited => 1.0,
+    };
+    Condition {
+        utilization,
+        arrival_kind: spec.template.cfg.arrivals.kind,
+        timeout_secs: policy.timeout.as_secs_f64(),
+        budget_frac,
+        refill_secs,
+    }
+}
+
+/// Runs the planning pass: profile the template workload, then predict
+/// each node's mean response time, recording per-node wall-clock cost
+/// into the `fleet_predict_us` histogram.
+///
+/// # Errors
+///
+/// Returns [`SprintError::InvalidConfig`] on an invalid spec.
+pub fn plan_fleet(spec: &FleetSpec) -> Result<FleetPlan, SprintError> {
+    spec.validate()?;
+    let mech = spec.template.mechanism.build();
+    let profiler = Profiler {
+        queries_per_run: 240,
+        warmup: 24,
+        replays: 1,
+        threads: 1,
+        seed: spec.seed ^ 0xF1EE7,
+    };
+    let profile = profiler.measure_rates(&spec.template.cfg.mix, &*mech);
+    let condition = planning_condition(spec, &profile);
+    let model = NoMlModel::new(
+        profile.clone(),
+        SimOptions {
+            seed: spec.seed ^ 0xF1EE_71A0,
+            ..SimOptions::default()
+        },
+    );
+    let mut nodes = Vec::with_capacity(spec.nodes as usize);
+    for node in 0..spec.nodes {
+        let timer = obs::start_timer();
+        let t0 = Instant::now();
+        let predicted_response_secs = model.predict_response_secs(&condition);
+        let predict_us = t0.elapsed().as_secs_f64() * 1e6;
+        obs::global().fleet_predict_us.record_elapsed_us(timer);
+        nodes.push(NodePlan {
+            node,
+            predicted_response_secs,
+            predict_us,
+        });
+    }
+    Ok(FleetPlan {
+        nodes,
+        condition,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_every_node_with_identical_predictions() {
+        let spec = FleetSpec::small(42, 6).expect("small fleet");
+        let plan = plan_fleet(&spec).expect("plan runs");
+        assert_eq!(plan.nodes.len(), 6);
+        let first = plan.nodes[0].predicted_response_secs;
+        assert!(first.is_finite() && first > 0.0);
+        // Every node shares the same condition, so the shared memo must
+        // make all predictions bit-identical.
+        for n in &plan.nodes {
+            assert_eq!(n.predicted_response_secs.to_bits(), first.to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_records_per_node_timings_when_metrics_enabled() {
+        obs::set_enabled(true);
+        let before = obs::global().fleet_predict_us.count();
+        let spec = FleetSpec::small(7, 4).expect("small fleet");
+        let plan = plan_fleet(&spec).expect("plan runs");
+        let after = obs::global().fleet_predict_us.count();
+        obs::set_enabled(false);
+        assert!(
+            after >= before + 4,
+            "one histogram sample per node: {before} -> {after}"
+        );
+        // The shared memo means later nodes are far cheaper than the
+        // total: the whole pass costs at most a few cache misses.
+        assert!(plan.total_predict_us() < plan.max_predict_us() * 4.0 + 1.0);
+    }
+}

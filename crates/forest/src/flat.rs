@@ -1,44 +1,66 @@
-//! Flattened, arena-based forest inference.
+//! Flattened, struct-of-arrays forest inference.
 //!
 //! A trained [`RandomForest`] stores each tree as boxed nodes, so every
 //! prediction chases one heap pointer per level per tree. The hybrid
 //! model calls `predict` on every simulator invocation (the effective
 //! sprint rate µe feeds each candidate condition), so inference sits on
 //! the Fig. 11 hot path. [`FlatForest`] re-encodes the ensemble into
-//! two contiguous arenas — 24-byte split nodes and 16-byte leaf models,
-//! laid out in pre-order so a root-to-leaf walk is mostly sequential in
-//! memory — and adds a batched [`FlatForest::predict_many`].
+//! parallel arrays — a `feature` arena, a `threshold` arena, and a
+//! packed `children` arena of 32-bit tagged references — and adds a
+//! batched breadth-wise [`FlatForest::predict_many`].
 //!
 //! Flattening changes the layout, never the arithmetic: the same
 //! splits are compared in the same order and the same
 //! [`LeafModel::predict`] runs at the leaf, so predictions are
-//! bit-identical to the pointer-chasing walk (asserted in tests).
+//! bit-identical to the pointer-chasing walk (asserted in tests and by
+//! the conformance oracle).
 //!
-//! A measured caveat, recorded here so nobody "optimizes" this blindly
-//! later: at the paper's scale (10 trees, a few hundred nodes) the
-//! whole ensemble is L1-resident either way, and on repeated hot rows
-//! the branch predictor memorizes the boxed walk's paths so
-//! speculation hides its pointer latency almost entirely — it can even
-//! beat the arena walk, whose child select compiles branchless and
-//! therefore serializes on the load→compare→select chain. `perf_smoke`
-//! reports both so the tradeoff stays visible. The arena's durable
-//! wins are bit-identical batch evaluation, ~2× smaller and contiguous
-//! memory (it survives cache pressure that evicts scattered boxes),
-//! and allocation-free cloning; alternative encodings tried here
-//! (inline sentinel leaves, lockstep multi-cursor walks) all measured
-//! slower because they either lengthen that dependency chain or waste
-//! lanes on padding.
+//! Why struct-of-arrays and why batching: a single root-to-leaf walk is
+//! a serial dependency chain — load the node, compare, select the
+//! child — and compiling the select branchless means speculation cannot
+//! hide the chain's latency, which is how the first-generation arena
+//! (24-byte array-of-structs nodes, one row at a time) measured
+//! *slower* than the boxed walk whose branches the predictor memorizes
+//! on hot rows. [`FlatForest::predict_many`] breaks the serialization
+//! instead of fighting it: it advances a lane group of independent
+//! queries one tree level per pass, so the CPU always has [`LANES`]
+//! unrelated load→compare→select chains in flight and the arenas stay
+//! cache-resident. Two layout tricks keep the per-level step at a
+//! handful of µops with no data-dependent branches:
+//!
+//! - *Self-looping leaves.* Leaves occupy arena slots too, with
+//!   `threshold = +∞` and both packed children pointing back at
+//!   themselves, so a lane that lands early just spins in place —
+//!   running the identical step as walking lanes — until the deepest
+//!   lane in the group arrives (detected by AND-ing the leaf tags).
+//! - *Packed children.* Left and right references share one `u64`
+//!   (left in the low half), so child selection is a single load plus
+//!   a computed shift instead of two loads and a conditional move.
+//!
+//! Lane results accumulate tree by tree in training order, preserving
+//! the exact summation order of the scalar walk. `perf_smoke` gates
+//! `flat_ns_per_pred ≤ pointer_ns_per_pred` on this batched path.
 
 use crate::forest::RandomForest;
 use crate::tree::LeafModel;
 
-/// High bit of a child reference: set → index into the leaf arena,
-/// clear → index into the node arena. Tagging the *reference* rather
-/// than the node lets the walk resolve the leaf/split branch from a
-/// register instead of waiting on the node load.
+/// High bit of an arena reference: set → the entry is a leaf (its
+/// model lives at `index - num_splits` in the leaf arena), clear → a
+/// split. Tagging the *reference* rather than the node lets the walk
+/// resolve the leaf/split question from a register instead of waiting
+/// on the node load.
 pub(crate) const LEAF_BIT: u32 = 1 << 31;
 
-/// One split node in the flat arena.
+/// Queries advanced in lockstep per batch pass. Eight independent
+/// chains are enough to cover the latency of one level's
+/// load→compare→shift on any recent core; larger groups measured
+/// flat-to-worse (register pressure, deeper parked-lane waste) at this
+/// ensemble size.
+const LANES: usize = 8;
+
+/// One split node in array-of-structs form — the interchange format
+/// [`crate::tree::RegressionTree::flatten_into`] emits before
+/// [`FlatForest::from_forest`] transposes it into the parallel arenas.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FlatNode {
     pub(crate) feature: u32,
@@ -58,12 +80,32 @@ impl FlatNode {
     }
 }
 
-/// A [`RandomForest`] re-encoded into contiguous arenas for fast,
+/// Packs a (left, right) pair of tagged references into the children
+/// word: left in the low half so `pair >> ((v > t) << 5)` selects it
+/// when the row value passes the threshold.
+fn pack(left: u32, right: u32) -> u64 {
+    left as u64 | ((right as u64) << 32)
+}
+
+/// A [`RandomForest`] re-encoded into struct-of-arrays arenas for fast,
 /// allocation-free inference. Build one with [`RandomForest::flatten`].
+///
+/// The arenas hold `num_splits + num_leaves` entries: splits first
+/// (indices `0..num_splits`, in pre-order per tree), then one
+/// self-looping entry per leaf (see the module docs).
 #[derive(Debug, Clone)]
 pub struct FlatForest {
-    nodes: Vec<FlatNode>,
+    /// Split feature per arena entry (0 for leaf entries).
+    feature: Vec<u32>,
+    /// Split threshold per arena entry (+∞ for leaf entries).
+    threshold: Vec<f64>,
+    /// Packed (left, right) tagged references per arena entry; leaf
+    /// entries point at themselves.
+    children: Vec<u64>,
+    /// Leaf models, indexed by `arena_index - num_splits`.
     leaves: Vec<LeafModel>,
+    /// Number of split entries (leaf entries start here).
+    num_splits: usize,
     /// Per-tree root reference, in training order (prediction averages
     /// trees in this order, matching the pointer walk bit-for-bit).
     roots: Vec<u32>,
@@ -86,41 +128,67 @@ impl FlatForest {
             .iter()
             .map(|t| t.flatten_into(&mut nodes, &mut leaves))
             .collect();
-        assert!(
-            nodes.len() < LEAF_BIT as usize && leaves.len() < LEAF_BIT as usize,
-            "forest too large to flatten"
-        );
+        let num_splits = nodes.len();
+        let total = num_splits + leaves.len();
+        assert!(total < LEAF_BIT as usize, "forest too large to flatten");
         let num_features = forest
             .trees()
             .first()
             .map_or(0, crate::tree::RegressionTree::num_features);
-        // Validate every reference in the arenas once, here, so `eval`
-        // can walk them unchecked. This is the load-bearing invariant
-        // for the `unsafe` blocks below.
-        let check = |r: u32| {
+        // `flatten_into` emits leaf references as indices into the leaf
+        // arena; rebase them to the shared arena (leaf entries sit
+        // after the splits), keeping the tag.
+        let remap = |r: u32| {
             if r & LEAF_BIT != 0 {
-                assert!(
-                    ((r & !LEAF_BIT) as usize) < leaves.len(),
-                    "dangling leaf ref"
-                );
+                ((r & !LEAF_BIT) + num_splits as u32) | LEAF_BIT
             } else {
-                assert!((r as usize) < nodes.len(), "dangling node ref");
+                r
+            }
+        };
+        let roots: Vec<u32> = roots.into_iter().map(remap).collect();
+        let mut feature: Vec<u32> = Vec::with_capacity(total);
+        let mut threshold: Vec<f64> = Vec::with_capacity(total);
+        let mut children: Vec<u64> = Vec::with_capacity(total);
+        for n in &nodes {
+            feature.push(n.feature);
+            threshold.push(n.threshold);
+            children.push(pack(remap(n.left), remap(n.right)));
+        }
+        for j in 0..leaves.len() {
+            let own = ((num_splits + j) as u32) | LEAF_BIT;
+            feature.push(0);
+            threshold.push(f64::INFINITY);
+            children.push(pack(own, own));
+        }
+        // Validate every reference in the arenas once, here, so the
+        // walks can traverse them unchecked. This is the load-bearing
+        // invariant for the `unsafe` blocks below.
+        let check = |r: u32| {
+            let idx = (r & !LEAF_BIT) as usize;
+            assert!(idx < total, "dangling arena ref");
+            if r & LEAF_BIT != 0 {
+                assert!(idx >= num_splits, "leaf-tagged ref into the splits");
+            } else {
+                assert!(idx < num_splits, "split ref into the leaves");
             }
         };
         for &root in &roots {
             check(root);
         }
-        for n in &nodes {
-            check(n.left);
-            check(n.right);
+        for (i, &c) in children.iter().enumerate() {
+            check(c as u32);
+            check((c >> 32) as u32);
             assert!(
-                (n.feature as usize) < num_features,
+                i >= num_splits || (feature[i] as usize) < num_features,
                 "split feature out of row bounds"
             );
         }
         FlatForest {
-            nodes,
+            feature,
+            threshold,
+            children,
             leaves,
+            num_splits,
             roots,
             base_feature: forest.base_feature(),
             num_features,
@@ -136,32 +204,104 @@ impl FlatForest {
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.num_features, "row width mismatch");
         let timer = obs::start_timer();
-        let x = row[self.base_feature];
-        let out = self
-            .roots
-            .iter()
-            .map(|&root| self.eval(root, row, x))
-            .sum::<f64>()
-            / self.roots.len() as f64;
+        let out = self.predict_row(row);
         obs::global().forest_flat_infer_ns.record_elapsed_ns(timer);
         out
     }
 
+    /// The scalar per-row walk shared by [`FlatForest::predict`] and
+    /// the ragged tail of [`FlatForest::predict_many`].
+    #[inline]
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let x = row[self.base_feature];
+        self.roots
+            .iter()
+            .map(|&root| self.eval(root, row, x))
+            .sum::<f64>()
+            / self.roots.len() as f64
+    }
+
     /// Predicts a batch of rows packed row-major into one slice —
-    /// bit-identical to calling [`FlatForest::predict`] per row.
+    /// bit-identical to calling [`FlatForest::predict`] per row, but
+    /// traversed breadth-wise in lane groups of [`LANES`] so the walks
+    /// of independent rows overlap instead of serializing.
     ///
     /// # Panics
     ///
     /// Panics if `rows.len()` is not a multiple of the feature width.
     pub fn predict_many(&self, rows: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            rows.len() % self.num_features.max(1),
-            0,
-            "row-major batch width mismatch"
-        );
-        rows.chunks_exact(self.num_features)
-            .map(|row| self.predict(row))
-            .collect()
+        let w = self.num_features.max(1);
+        assert_eq!(rows.len() % w, 0, "row-major batch width mismatch");
+        let n = rows.len() / w;
+        let timer = obs::start_timer();
+        let mut out = vec![0.0f64; n];
+        let mut i = 0;
+        while i + LANES <= n {
+            self.eval_lanes(&rows[i * w..(i + LANES) * w], &mut out[i..i + LANES]);
+            i += LANES;
+        }
+        // Ragged tail: the scalar walk, same arithmetic and order.
+        for r in i..n {
+            out[r] = self.predict_row(&rows[r * w..(r + 1) * w]);
+        }
+        obs::global().forest_flat_infer_ns.record_elapsed_ns(timer);
+        out
+    }
+
+    /// Advances [`LANES`] rows through every tree one level at a time.
+    ///
+    /// Each pass runs the same branchless step for every lane — lanes
+    /// already at a leaf self-loop on their own arena entry — so the
+    /// loop body carries no data-dependent branches and the lanes'
+    /// chains stay independent.
+    ///
+    /// Callers must uphold: `rows.len() == LANES * self.num_features`
+    /// and `out.len() == LANES` (sliced so by `predict_many`).
+    fn eval_lanes(&self, rows: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), LANES * self.num_features);
+        debug_assert_eq!(out.len(), LANES);
+        let w = self.num_features;
+        let mut acc = [0.0f64; LANES];
+        let mut x = [0.0f64; LANES];
+        for (l, xv) in x.iter_mut().enumerate() {
+            *xv = rows[l * w + self.base_feature];
+        }
+        for &root in &self.roots {
+            let mut cur = [root; LANES];
+            // All-lanes-at-a-leaf test: AND the tags together.
+            while cur.iter().fold(LEAF_BIT, |a, &c| a & c) & LEAF_BIT == 0 {
+                for (l, c) in cur.iter_mut().enumerate() {
+                    let idx = (*c & !LEAF_BIT) as usize;
+                    debug_assert!(idx < self.feature.len());
+                    // SAFETY: `from_forest` asserted every reference
+                    // (tag stripped) indexes the arenas.
+                    let f = unsafe { *self.feature.get_unchecked(idx) } as usize;
+                    let t = unsafe { *self.threshold.get_unchecked(idx) };
+                    debug_assert!(l * w + f < rows.len());
+                    // SAFETY: `from_forest` asserted split features are
+                    // `< num_features` (leaf entries use feature 0, and
+                    // a walking tree implies `num_features >= 1`); the
+                    // caller sized `rows` to `LANES * num_features`.
+                    let v = unsafe { *rows.get_unchecked(l * w + f) };
+                    let pair = unsafe { *self.children.get_unchecked(idx) };
+                    // Left in the low half: shift by 32 exactly when
+                    // the row value exceeds the threshold. Leaf entries
+                    // compare against +∞, so both ways self-loop.
+                    *c = (pair >> (((v > t) as u64) << 5)) as u32;
+                }
+            }
+            for (l, &c) in cur.iter().enumerate() {
+                let leaf = (c & !LEAF_BIT) as usize - self.num_splits;
+                debug_assert!(leaf < self.leaves.len());
+                // SAFETY: `from_forest` asserted every leaf-tagged
+                // reference lands in the leaf span of the arena.
+                acc[l] += unsafe { self.leaves.get_unchecked(leaf) }.predict(x[l]);
+            }
+        }
+        let n = self.roots.len() as f64;
+        for (o, a) in out.iter_mut().zip(acc.iter()) {
+            *o = a / n;
+        }
     }
 
     /// Root-to-leaf walk: leaf/split is resolved from the reference
@@ -177,21 +317,24 @@ impl FlatForest {
     fn eval(&self, mut node: u32, row: &[f64], x: f64) -> f64 {
         loop {
             if node & LEAF_BIT != 0 {
-                let leaf = (node & !LEAF_BIT) as usize;
+                let leaf = (node & !LEAF_BIT) as usize - self.num_splits;
                 debug_assert!(leaf < self.leaves.len());
-                // SAFETY: `from_forest` asserted every leaf reference
-                // reachable from a root indexes into `leaves`.
+                // SAFETY: `from_forest` asserted every leaf-tagged
+                // reference lands in the leaf span of the arena.
                 return unsafe { self.leaves.get_unchecked(leaf) }.predict(x);
             }
-            debug_assert!((node as usize) < self.nodes.len());
-            // SAFETY: `from_forest` asserted every non-leaf reference
-            // reachable from a root indexes into `nodes`.
-            let n = unsafe { self.nodes.get_unchecked(node as usize) };
-            debug_assert!((n.feature as usize) < row.len());
+            let idx = node as usize;
+            debug_assert!(idx < self.num_splits);
+            // SAFETY: `from_forest` asserted every split reference
+            // reachable from a root indexes into the split span.
+            let f = unsafe { *self.feature.get_unchecked(idx) } as usize;
+            let t = unsafe { *self.threshold.get_unchecked(idx) };
+            debug_assert!(f < row.len());
             // SAFETY: `from_forest` asserted `feature < num_features`
             // and `predict` asserts `row.len() == num_features`.
-            let v = unsafe { *row.get_unchecked(n.feature as usize) };
-            node = if v <= n.threshold { n.left } else { n.right };
+            let v = unsafe { *row.get_unchecked(f) };
+            let pair = unsafe { *self.children.get_unchecked(idx) };
+            node = (pair >> (((v > t) as u64) << 5)) as u32;
         }
     }
 
@@ -202,7 +345,7 @@ impl FlatForest {
 
     /// Total split nodes across all trees.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.num_splits
     }
 
     /// Total leaves across all trees.
@@ -213,6 +356,11 @@ impl FlatForest {
     /// The base feature index leaves regress on.
     pub fn base_feature(&self) -> usize {
         self.base_feature
+    }
+
+    /// Feature-row width the forest was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
     }
 }
 
@@ -279,6 +427,28 @@ mod tests {
         assert_eq!(batch.len(), d.len());
         for (i, y) in batch.iter().enumerate() {
             assert_eq!(y.to_bits(), flat.predict(d.row(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_many_every_batch_size_including_ragged_tails() {
+        // Lane-group boundaries (full groups, partial tails, and
+        // sub-group batches) must all reproduce the scalar walk.
+        let d = regime_data(100);
+        let flat = RandomForest::train(&d, 0, ForestConfig::default()).flatten();
+        let all: Vec<f64> = (0..d.len()).flat_map(|i| d.row(i).to_vec()).collect();
+        let w = flat.num_features();
+        for n in 0..=(2 * LANES + 3) {
+            let rows = &all[..n * w];
+            let batch = flat.predict_many(rows);
+            assert_eq!(batch.len(), n);
+            for (i, y) in batch.iter().enumerate() {
+                assert_eq!(
+                    y.to_bits(),
+                    flat.predict(d.row(i)).to_bits(),
+                    "batch size {n}, row {i}"
+                );
+            }
         }
     }
 

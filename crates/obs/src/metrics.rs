@@ -196,6 +196,7 @@ pub const FAMILY_NAMES: &[&str] = &[
     "anneal_candidates",
     "forest_flat_infer_ns",
     "forest_boxed_infer_ns",
+    "fleet_predict_us",
 ];
 
 /// The process-wide registry of prediction-path metrics. All fields
@@ -232,6 +233,10 @@ pub struct MetricsRegistry {
     pub forest_flat_infer_ns: Histogram,
     /// Pointer-chasing (boxed-walk) forest inference time (ns per call).
     pub forest_boxed_infer_ns: Histogram,
+    /// Per-node prediction-path time (µs) spent in the fleet planning
+    /// pass's model evaluations — proves fleet-scale runs ride the
+    /// pooled/shared-cache fast path.
+    pub fleet_predict_us: Histogram,
 }
 
 impl MetricsRegistry {
@@ -250,6 +255,7 @@ impl MetricsRegistry {
             anneal_candidates: Counter::default(),
             forest_flat_infer_ns: Histogram::new(),
             forest_boxed_infer_ns: Histogram::new(),
+            fleet_predict_us: Histogram::new(),
         }
     }
 
@@ -268,6 +274,7 @@ impl MetricsRegistry {
         self.anneal_candidates.reset();
         self.forest_flat_infer_ns.reset();
         self.forest_boxed_infer_ns.reset();
+        self.fleet_predict_us.reset();
     }
 
     /// A point-in-time copy of every family, in [`FAMILY_NAMES`] order.
@@ -316,6 +323,7 @@ impl MetricsRegistry {
                 self.pool_task_run_us.snapshot("pool_task_run_us"),
                 self.forest_flat_infer_ns.snapshot("forest_flat_infer_ns"),
                 self.forest_boxed_infer_ns.snapshot("forest_boxed_infer_ns"),
+                self.fleet_predict_us.snapshot("fleet_predict_us"),
             ],
         }
     }

@@ -48,6 +48,7 @@ mod direct;
 pub mod multiclass;
 pub mod parallel;
 pub mod pool;
+pub mod shared;
 pub mod sim;
 pub mod trace;
 
@@ -58,5 +59,6 @@ pub use parallel::{
     replication_seed, run_batch, run_batch_with, Backend,
 };
 pub use pool::SimPool;
+pub use shared::AtomicTable;
 pub use sim::Qsim;
 pub use trace::{SimTrace, TraceCache};

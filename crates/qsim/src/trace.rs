@@ -20,12 +20,12 @@
 //! exactly that tuple.
 
 use crate::config::QsimConfig;
+use crate::shared::AtomicTable;
 use simcore::dist::{Dist, DistKind};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 /// Pre-drawn inputs for one simulation run: `num_queries` arrival gaps
 /// and service demands, in draw order.
@@ -165,27 +165,52 @@ fn service_fingerprint(service: &Dist) -> u64 {
     h
 }
 
-/// Upper bound on cached traces; the cache is cleared wholesale when
-/// exceeded (an annealing search needs only `replications` entries per
-/// condition, so this is a leak guard, not a tuning knob).
-const MAX_CACHED_TRACES: usize = 4_096;
+/// Slot capacity of a trace table. At the intended load (an annealing
+/// search touches `replications` traces per condition, a fleet run a
+/// few hundred) the table stays far below half full; if it ever fills,
+/// inserts are dropped and runs keep materializing uncached — a leak
+/// guard, not a tuning knob.
+const TRACE_TABLE_SLOTS: usize = 8_192;
 
-/// A shareable, thread-safe memo of materialized traces.
+/// A shareable, thread-safe memo of materialized traces with a
+/// lock-free read path ([`AtomicTable`]): a warm lookup is a hash plus
+/// a few atomic loads — no mutex — so every pool worker and every
+/// model instance can hit one cache concurrently without contention.
 ///
 /// Clones share the underlying cache (it is an `Arc`), so a model can
-/// hand the same cache to every prediction it makes. One cache per
-/// model/profile is the intended granularity; the key fingerprints the
-/// service distribution, so accidentally sharing a cache across
-/// profiles is safe, merely less effective.
-#[derive(Clone, Default)]
+/// hand the same cache to every prediction it makes. The key
+/// fingerprints *everything* that determines the drawn values (seed,
+/// query count, arrival process, service distribution), so sharing a
+/// cache across profiles — including the process-global
+/// [`TraceCache::shared`] instance — is sound: a hit from a foreign
+/// worker is bit-identical to a local materialization.
+#[derive(Clone)]
 pub struct TraceCache {
-    inner: Arc<Mutex<HashMap<TraceKey, Arc<SimTrace>>>>,
+    inner: Arc<AtomicTable<TraceKey, Arc<SimTrace>>>,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache {
+            inner: Arc::new(AtomicTable::new(TRACE_TABLE_SLOTS)),
+        }
+    }
 }
 
 impl TraceCache {
-    /// Creates an empty cache.
+    /// Creates an empty private cache.
     pub fn new() -> TraceCache {
         TraceCache::default()
+    }
+
+    /// The process-global shared cache. All models built with default
+    /// options share this instance, so concurrent workers (and
+    /// repeated model constructions over the same profile) reuse each
+    /// other's materializations instead of redrawing identical traces
+    /// per worker.
+    pub fn shared() -> TraceCache {
+        static SHARED: OnceLock<TraceCache> = OnceLock::new();
+        SHARED.get_or_init(TraceCache::new).clone()
     }
 
     /// Returns the trace a live run of `cfg.with_seed(seed)` would
@@ -198,34 +223,29 @@ impl TraceCache {
             arrival_kind: kind_key(cfg.arrival_kind),
             service_fp: service_fingerprint(&cfg.service),
         };
-        let mut map = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(t) = map.get(&key) {
+        if let Some(t) = self.inner.get(&key) {
             obs::global().trace_cache_hits.incr();
             return Arc::clone(t);
         }
         obs::global().trace_cache_misses.incr();
-        if map.len() >= MAX_CACHED_TRACES {
-            map.clear();
-        }
         let trace = Arc::new(SimTrace::materialize_with_seed(cfg, seed));
-        map.insert(key, Arc::clone(&trace));
-        trace
+        match self.inner.insert(key, Arc::clone(&trace)) {
+            // The canonical entry (ours, or a racer's bit-identical
+            // one — the key pins every drawn value).
+            Some(t) => Arc::clone(t),
+            // Table full: hand back the uncached materialization.
+            None => trace,
+        }
     }
 
     /// Number of traces currently cached.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 }
 

@@ -40,10 +40,14 @@ run ./target/release/fleet_report > /dev/null
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
 # Prediction fast-path gate: asserts fast/reference bit-identity, the
-# >=3X explorer speedup, the <=5% enabled-telemetry overhead, and —
-# when a BENCH_qsim.json baseline is committed — that pooled prediction
-# throughput has not regressed more than 30% below it.
-run ./target/release/perf_smoke > /dev/null
+# >=3X explorer speedup, the >=1M preds/min warm shared-cache
+# throughput, batched-flat-beats-pointer forest inference, and the
+# <=5% enabled-telemetry overhead. When a schema-2 BENCH_qsim.json
+# baseline is committed it also diffs every leg against it with
+# per-leg tolerance bands (10% on the gated warm throughput leg,
+# wider on the load-sensitive cold/ns legs), prints the regression
+# table below, and exits non-zero on any band violation.
+run ./target/release/perf_smoke
 
 # Telemetry completeness gate: renders the flight-recorder timeline and
 # the full metrics table on a fixed seed, and exits non-zero if any
