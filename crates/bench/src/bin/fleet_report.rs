@@ -47,16 +47,20 @@ fn run() -> Result<bool, SprintError> {
         spec.budget_power
     );
     // Planning pass first: per-node model predictions on the pooled
-    // fast path, timed into the fleet_predict_us histogram.
+    // fast path, timed into the fleet_predict_us histogram. Metrics
+    // stay enabled through the run itself so each node's server fills
+    // its per-node scoped registry (sprints, renewals, expiries).
     obs::set_enabled(true);
+    obs::reset_scoped();
     let plan = plan_fleet(&spec)?;
     let predict_snap = obs::global()
         .snapshot()
         .histograms
         .into_iter()
         .find(|h| h.name == "fleet_predict_us");
-    obs::set_enabled(false);
     let result = run_fleet(&spec)?;
+    let per_node = obs::scoped_snapshots();
+    obs::set_enabled(false);
 
     if args.has_flag("json") {
         println!("{}", result.to_json().to_string_pretty());
@@ -87,9 +91,11 @@ fn run() -> Result<bool, SprintError> {
         "prediction path".to_string(),
         match &predict_snap {
             Some(h) if h.count > 0 => format!(
-                "{} node predictions, mean {:.0}us, slowest {:.0}us (shared caches)",
+                "{} node predictions, mean {:.0}us, p50 {}us, p99 {}us, slowest {:.0}us",
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p99(),
                 plan.max_predict_us()
             ),
             _ => "no fleet_predict_us samples recorded".to_string(),
@@ -134,14 +140,6 @@ fn run() -> Result<bool, SprintError> {
             s.elections, s.step_downs, s.max_epoch
         ),
     ]);
-    let d = &result.degradation;
-    t.row(vec![
-        "final degradation".to_string(),
-        format!(
-            "{} sprintable, {} stale, {} no-sprint",
-            d.sprintable, d.stale, d.no_sprint
-        ),
-    ]);
     let classes: Vec<String> = result
         .counters
         .message_classes()
@@ -159,6 +157,38 @@ fn run() -> Result<bool, SprintError> {
         },
     ]);
     print!("{}", t.render());
+
+    // Per-node breakdown from the scoped registries (replaces the old
+    // single aggregate degradation row): how each node's sprinting and
+    // lease traffic actually went, plus its final degradation state.
+    let d = &result.degradation;
+    println!(
+        "\nper-node breakdown (fleet-wide: {} sprintable, {} stale, {} no-sprint):",
+        d.sprintable, d.stale, d.no_sprint
+    );
+    let counter = |snap: &obs::MetricsSnapshot, name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let mut pn = TextTable::new(vec![
+        "node",
+        "sprints engaged",
+        "lease renewals",
+        "lease expiries",
+    ]);
+    for node in 0..result.nodes {
+        let snap = per_node.iter().find(|(n, _)| *n == node).map(|(_, s)| s);
+        let val = |name| snap.map_or(0, |s| counter(s, name)).to_string();
+        pn.row(vec![
+            node.to_string(),
+            val("sprints_engaged"),
+            val("lease_renewals"),
+            val("lease_expiries"),
+        ]);
+    }
+    print!("{}", pn.render());
     for v in &result.violations {
         eprintln!("violation [{}]: {}", v.invariant, v.details);
     }

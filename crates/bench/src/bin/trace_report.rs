@@ -1,0 +1,120 @@
+//! Root-cause trace report: causal chains across the chaos scenarios.
+//!
+//! Reruns every fixed-seed chaos scenario — the three single-node
+//! message-fault scenarios plus the fleet split-brain — with causal
+//! tracing enabled, reconstructs each run's span graph from the
+//! recorded telemetry, and prints per scenario:
+//!
+//! 1. the **root-cause table** — one row per cause chain, walked
+//!    backwards from its final effect (`force-unsprint <- lease-lapse
+//!    <- 3x renewal-timeout <- partition <- partition-window`);
+//! 2. the **virtual-latency table** — exact p50/p99/max per span kind
+//!    (sprint episodes, lease lifecycles, control RPCs, coordinator
+//!    terms, partition windows);
+//! 3. the **critical path** — the slowest sprint episodes and the
+//!    chain that explains each.
+//!
+//! The exit code *is* the root-cause verdict: zero only if every
+//! scenario's reconstructed trace is non-empty, bit-identical across
+//! replay, and dominated by the scenario's documented root cause.
+//! `--smoke` prints just the verdict lines (the `check.sh` gate).
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_report            # full report
+//! cargo run --release -p bench --bin trace_report -- --smoke # verdicts only
+//! ```
+
+use bench::Args;
+use chaos::run_traced_scenarios;
+use obs::CauseReason;
+use simcore::table::TextTable;
+use simcore::SprintError;
+
+/// Slowest sprint episodes shown in the critical-path panel.
+const CRITICAL_PATH_TOP: usize = 5;
+
+fn run(smoke: bool) -> Result<bool, SprintError> {
+    eprintln!("trace_report: rerunning the fixed-seed chaos scenarios traced ...");
+    let reports = run_traced_scenarios()?;
+    let mut all_ok = true;
+    for r in &reports {
+        let ok = r.violations.is_empty() && r.root_cause_recovered();
+        all_ok &= ok;
+        if smoke {
+            println!(
+                "{:<26} expected {:<14} recovered {:<14} {}",
+                r.name,
+                r.expected.name(),
+                r.dominant.map_or("none", CauseReason::name),
+                if ok { "ok" } else { "FAIL" }
+            );
+            for v in &r.violations {
+                eprintln!("  violation [{}]: {}", v.invariant, v.details);
+            }
+            continue;
+        }
+        println!("=== {} ===", r.name);
+        println!(
+            "trace: {} spans, {} cause links, {} chains, horizon {:.1}s{}",
+            r.graph.len(),
+            r.graph.links().len(),
+            r.graph.chains().len(),
+            r.graph.end_us as f64 / 1e6,
+            if r.graph.dropped > 0 {
+                format!(" ({} events evicted)", r.graph.dropped)
+            } else {
+                String::new()
+            }
+        );
+        println!(
+            "root cause: expected {}, trace says {} -> {}\n",
+            r.expected.name(),
+            r.dominant.map_or("none", CauseReason::name),
+            if ok { "ok" } else { "FAIL" }
+        );
+        println!("root-cause table:");
+        print!("{}", r.graph.root_cause_table());
+        println!("\nvirtual latency by span kind:");
+        print!("{}", r.graph.latency_table());
+        println!("\ncritical path (slowest {CRITICAL_PATH_TOP} sprint episodes):");
+        let mut t = TextTable::new(vec!["span", "node", "duration", "outcome", "why"]);
+        for e in r.graph.critical_path(CRITICAL_PATH_TOP) {
+            t.row(vec![
+                format!("#{}", e.span.id),
+                e.span.node.to_string(),
+                format!("{:.3}s", e.span.duration_us() as f64 / 1e6),
+                e.span.outcome.name().to_string(),
+                e.chain
+                    .as_ref()
+                    .map_or("-".to_string(), |c| c.render(e.span.outcome)),
+            ]);
+        }
+        print!("{}", t.render());
+        for v in &r.violations {
+            eprintln!("violation [{}]: {}", v.invariant, v.details);
+        }
+        println!();
+    }
+    if all_ok {
+        println!(
+            "all {} scenarios recovered their documented root cause",
+            reports.len()
+        );
+    }
+    Ok(all_ok)
+}
+
+fn main() -> std::process::ExitCode {
+    let args = Args::parse();
+    match run(args.has_flag("smoke")) {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("FAIL: a traced scenario did not recover its documented root cause");
+            std::process::ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("trace_report failed: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

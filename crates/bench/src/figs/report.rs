@@ -16,7 +16,8 @@ use simcore::SprintError;
 use sprint_core::throughput::measure_throughput_with;
 use sprint_core::{NoMlModel, ResponseTimeModel, SimOptions};
 use testbed::{
-    run_supervised_recorded, ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy, SupervisorConfig,
+    run_supervised_recorded, run_supervised_traced, ArrivalSpec, BudgetSpec, ServerConfig,
+    SprintPolicy, SupervisorConfig,
 };
 use workloads::{QueryMix, WorkloadKind};
 
@@ -43,12 +44,9 @@ pub fn cond() -> Condition {
     }
 }
 
-/// The faulted, supervised flight-recorder scenario.
-///
-/// # Errors
-///
-/// Propagates testbed or fault-plan failures.
-pub fn recorded_run(seed: u64) -> Result<testbed::RunResult, SprintError> {
+/// The (config, fault plan) behind [`recorded_run`], shared with the
+/// traced variant and the tracing-overhead perf leg.
+pub fn recorded_setup(seed: u64) -> (ServerConfig, testbed::FaultPlan) {
     let mech = Dvfs::new();
     let sustained = mech.sustained_rate(WorkloadKind::Jacobi);
     let mean_service_secs = sustained.mean_interval().as_secs_f64();
@@ -69,9 +67,37 @@ pub fn recorded_run(seed: u64) -> Result<testbed::RunResult, SprintError> {
     };
     let horizon_secs = num_queries as f64 * mean_service_secs / utilization;
     let plan = chaos::random_plan(seed ^ 0xFA17, 2, horizon_secs);
+    (scfg, plan)
+}
+
+/// The faulted, supervised flight-recorder scenario.
+///
+/// # Errors
+///
+/// Propagates testbed or fault-plan failures.
+pub fn recorded_run(seed: u64) -> Result<testbed::RunResult, SprintError> {
+    let (scfg, plan) = recorded_setup(seed);
     run_supervised_recorded(
         scfg,
-        &mech,
+        &Dvfs::new(),
+        Some(plan),
+        SupervisorConfig::default(),
+        obs::FlightRecorder::DEFAULT_CAPACITY,
+    )
+}
+
+/// [`recorded_run`] with causal tracing enabled: identical scenario,
+/// identical ring capacity, plus sprint-episode spans and cause links
+/// in the telemetry.
+///
+/// # Errors
+///
+/// Propagates testbed or fault-plan failures.
+pub fn traced_run(seed: u64) -> Result<testbed::RunResult, SprintError> {
+    let (scfg, plan) = recorded_setup(seed);
+    run_supervised_traced(
+        scfg,
+        &Dvfs::new(),
         Some(plan),
         SupervisorConfig::default(),
         obs::FlightRecorder::DEFAULT_CAPACITY,
@@ -147,6 +173,21 @@ pub fn prediction_workload() -> Result<(), SprintError> {
     // Fleet planning pass: per-node prediction-path timings
     // (fleet_predict_us).
     fleet::plan_fleet(&fleet::FleetSpec::small(181, 2)?)?;
+
+    // Faulted fleet run: a partition strands three nodes away from
+    // both coordinators, so leases are granted, renewed on the healthy
+    // side and lapsed on the stranded one — firing sprints_engaged,
+    // lease_renewals and lease_expiries on the live registry.
+    let mut spec = fleet::FleetSpec::small(47, 4)?;
+    spec.queries_total = 24;
+    spec.faults.partitions.push(fleet::FleetPartition {
+        coords_a: vec![0, 1],
+        nodes_a_lo: 0,
+        nodes_a_hi: 0,
+        start_secs: 70.0,
+        duration_secs: 200.0,
+    });
+    fleet::run_fleet(&spec)?;
     Ok(())
 }
 

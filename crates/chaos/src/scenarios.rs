@@ -44,6 +44,22 @@ const DELAY_SECS: f64 = 30.0;
 /// Slack on watchdog-bound assertions, matching the sweep's tolerance.
 const SLACK_SECS: f64 = 2.0;
 
+/// One scenario's full launch recipe: everything needed to rerun the
+/// identical fixed-seed run. Exposed so the tracing layer
+/// ([`crate::trace`]) can replay each scenario instrumented and
+/// reconstruct the causal chain behind its failure signature.
+#[derive(Debug, Clone)]
+pub struct ScenarioSetup {
+    /// Scenario name (doubles as the violation case label).
+    pub name: &'static str,
+    /// Fixed-seed server configuration.
+    pub cfg: ServerConfig,
+    /// The message-fault plan under test.
+    pub plan: FaultPlan,
+    /// Supervisor configuration (short watchdog).
+    pub sup: SupervisorConfig,
+}
+
 /// Outcome of one scenario: its name, the counters that prove the
 /// fault actually fired, and any failed assertions.
 #[derive(Debug, Clone)]
@@ -158,22 +174,82 @@ fn structural_checks(
     Ok(())
 }
 
-fn cfg_mechanism() -> MechanismKind {
+pub(crate) fn cfg_mechanism() -> MechanismKind {
     MechanismKind::CpuThrottle
+}
+
+fn lost_unsprint_setup() -> ScenarioSetup {
+    let (cfg, sup) = scenario_config(0xD207);
+    ScenarioSetup {
+        name: "lost-unsprint-command",
+        cfg,
+        plan: FaultPlan {
+            messages: MessageFaults {
+                drop_prob: 1.0,
+                ..MessageFaults::default()
+            },
+            ..base_plan()
+        },
+        sup,
+    }
+}
+
+fn delayed_telemetry_setup() -> ScenarioSetup {
+    let (cfg, sup) = scenario_config(0xDE1A7);
+    ScenarioSetup {
+        name: "delayed-budget-telemetry",
+        cfg,
+        plan: FaultPlan {
+            messages: MessageFaults {
+                delay_prob: 1.0,
+                delay_secs: DELAY_SECS,
+                ..MessageFaults::default()
+            },
+            ..base_plan()
+        },
+        sup,
+    }
+}
+
+fn watchdog_partition_setup() -> ScenarioSetup {
+    let (cfg, sup) = scenario_config(0x9A271);
+    ScenarioSetup {
+        name: "watchdog-partition",
+        cfg,
+        plan: FaultPlan {
+            messages: MessageFaults {
+                partitions: vec![LinkPartition {
+                    a: Peer::Watchdog,
+                    b: Peer::Controller,
+                    start_secs: 0.0,
+                    duration_secs: 1e9,
+                }],
+                ..MessageFaults::default()
+            },
+            ..base_plan()
+        },
+        sup,
+    }
+}
+
+/// The launch recipes of all fixed-seed scenarios, in report order.
+pub fn scenario_setups() -> Vec<ScenarioSetup> {
+    vec![
+        lost_unsprint_setup(),
+        delayed_telemetry_setup(),
+        watchdog_partition_setup(),
+    ]
 }
 
 /// Lost unsprint commands: `drop_prob = 1.0`. The watchdog fires but
 /// nothing arrives, so stuck sprints overrun until the query finishes.
 fn lost_unsprint_command() -> Result<ScenarioReport, SprintError> {
-    let name = "lost-unsprint-command";
-    let (cfg, sup) = scenario_config(0xD207);
-    let plan = FaultPlan {
-        messages: MessageFaults {
-            drop_prob: 1.0,
-            ..MessageFaults::default()
-        },
-        ..base_plan()
-    };
+    let ScenarioSetup {
+        name,
+        cfg,
+        plan,
+        sup,
+    } = lost_unsprint_setup();
     let run = run_supervised(
         cfg.clone(),
         &*cfg_mechanism().build(),
@@ -224,16 +300,12 @@ fn lost_unsprint_command() -> Result<ScenarioReport, SprintError> {
 /// with delays up to [`DELAY_SECS`]. Commands eventually land, so the
 /// overrun is bounded by watchdog + max delay.
 fn delayed_budget_telemetry() -> Result<ScenarioReport, SprintError> {
-    let name = "delayed-budget-telemetry";
-    let (cfg, sup) = scenario_config(0xDE1A7);
-    let plan = FaultPlan {
-        messages: MessageFaults {
-            delay_prob: 1.0,
-            delay_secs: DELAY_SECS,
-            ..MessageFaults::default()
-        },
-        ..base_plan()
-    };
+    let ScenarioSetup {
+        name,
+        cfg,
+        plan,
+        sup,
+    } = delayed_telemetry_setup();
     let run = run_supervised(
         cfg.clone(),
         &*cfg_mechanism().build(),
@@ -282,20 +354,12 @@ fn delayed_budget_telemetry() -> Result<ScenarioReport, SprintError> {
 /// total loss, but via the scheduled-partition path (no randomness) and
 /// accounted by the partition counter.
 fn watchdog_partition() -> Result<ScenarioReport, SprintError> {
-    let name = "watchdog-partition";
-    let (cfg, sup) = scenario_config(0x9A271);
-    let plan = FaultPlan {
-        messages: MessageFaults {
-            partitions: vec![LinkPartition {
-                a: Peer::Watchdog,
-                b: Peer::Controller,
-                start_secs: 0.0,
-                duration_secs: 1e9,
-            }],
-            ..MessageFaults::default()
-        },
-        ..base_plan()
-    };
+    let ScenarioSetup {
+        name,
+        cfg,
+        plan,
+        sup,
+    } = watchdog_partition_setup();
     let run = run_supervised(
         cfg.clone(),
         &*cfg_mechanism().build(),

@@ -1,0 +1,283 @@
+//! Traced replays of the fixed-seed chaos scenarios.
+//!
+//! The scenario suite ([`crate::scenarios`]) proves each fault produces
+//! its documented failure *signature* — counters and overrun bounds.
+//! This module proves the causal *story* is recoverable: every scenario
+//! is rerun with tracing enabled, the span graph reconstructed from the
+//! recorded telemetry, and the dominant root cause asserted against the
+//! scenario's documented fault class:
+//!
+//! - **lost-unsprint-command** → `message-drop` (the watchdog's command
+//!   vanished);
+//! - **delayed-budget-telemetry** → `message-delay` (the controller
+//!   acted on stale budget state);
+//! - **watchdog-partition** → `partition` (the watchdog↔controller link
+//!   was severed);
+//! - **fleet-split-brain** → `partition`, with the full fleet chain
+//!   `force-unsprint <- lease-lapse <- Nx renewal-timeout <- partition
+//!   <- partition-window` anchored in the scheduled partition window.
+//!
+//! Each traced run is also replayed and the telemetry compared
+//! bit-for-bit, extending the repo's replay guarantee to the trace
+//! itself.
+
+use fleet::{run_fleet_traced, FleetPartition, FleetSpec};
+use obs::{CauseReason, RunTelemetry, SpanKind, TraceGraph};
+use simcore::SprintError;
+use testbed::run_supervised_traced;
+
+use crate::scenarios::{cfg_mechanism, scenario_setups, ScenarioSetup};
+use crate::Violation;
+
+/// Ring capacity for traced scenario runs: large enough that no span
+/// event of a fixed-seed run is ever evicted, so the reconstructed
+/// graph is complete (the sweep's tiny ring is for tail forensics).
+const TRACE_RECORDER_CAPACITY: usize = 16_384;
+
+/// Nodes in the traced split-brain fleet (matches the fleet chaos
+/// scenario).
+const SPLIT_BRAIN_NODES: u32 = 8;
+
+/// Root seed of the traced split-brain run: seed index 1 of the fleet
+/// scenario's decorrelated seed stream, picked because a stranded
+/// side-A lease lapses *mid-sprint* at this seed — so the trace tells
+/// the full `force-unsprint <- lease-lapse <- renewal-timeout <-
+/// partition` story, not just timed-out acquisitions.
+const SPLIT_BRAIN_SEED: u64 = 0x5B11_B4A1u64.wrapping_add(0x9E37_79B9_7F4A_7C15);
+
+/// One traced scenario: the reconstructed graph plus the root-cause
+/// verdict.
+#[derive(Debug, Clone)]
+pub struct TraceScenarioReport {
+    /// Scenario name (doubles as the violation case label).
+    pub name: &'static str,
+    /// The root cause the scenario's fault class must produce.
+    pub expected: CauseReason,
+    /// The dominant root cause the trace actually recovered.
+    pub dominant: Option<CauseReason>,
+    /// The reconstructed causal graph (for report rendering).
+    pub graph: TraceGraph,
+    /// Failed assertions (empty = the trace tells the documented story).
+    pub violations: Vec<Violation>,
+}
+
+impl TraceScenarioReport {
+    /// Whether the trace recovered the documented root cause.
+    pub fn root_cause_recovered(&self) -> bool {
+        self.dominant == Some(self.expected)
+    }
+}
+
+/// Shared verdict checks: the graph must hold spans, at least one
+/// cause chain, and its dominant root cause must match the documented
+/// fault class.
+fn check_graph(
+    name: &'static str,
+    expected: CauseReason,
+    graph: &TraceGraph,
+    violations: &mut Vec<Violation>,
+) {
+    if graph.is_empty() {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "trace-nonempty",
+            details: "a traced faulted run reconstructed zero spans".to_string(),
+        });
+    }
+    if graph.chains().is_empty() {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "chains-present",
+            details: "no cause chain survived reconstruction".to_string(),
+        });
+    }
+    let dominant = graph.dominant_root_cause();
+    if dominant != Some(expected) {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "root-cause",
+            details: format!(
+                "expected dominant root cause {}, trace says {}",
+                expected.name(),
+                dominant.map_or("none", CauseReason::name)
+            ),
+        });
+    }
+}
+
+fn telemetries_identical(a: &[&RunTelemetry], b: &[&RunTelemetry]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// Traces one single-node scenario and checks its root-cause verdict
+/// plus trace-replay bit-identity.
+fn traced_scenario(
+    setup: &ScenarioSetup,
+    expected: CauseReason,
+) -> Result<TraceScenarioReport, SprintError> {
+    let mech = cfg_mechanism().build();
+    let run = run_supervised_traced(
+        setup.cfg.clone(),
+        mech.as_ref(),
+        Some(setup.plan.clone()),
+        setup.sup,
+        TRACE_RECORDER_CAPACITY,
+    )?;
+    let mut violations = Vec::new();
+    let telemetry = run.telemetry().cloned().unwrap_or_default();
+    let graph = TraceGraph::from_telemetry(&[&telemetry]);
+    check_graph(setup.name, expected, &graph, &mut violations);
+    let replay = run_supervised_traced(
+        setup.cfg.clone(),
+        mech.as_ref(),
+        Some(setup.plan.clone()),
+        setup.sup,
+        TRACE_RECORDER_CAPACITY,
+    )?;
+    if replay.telemetry() != run.telemetry() {
+        violations.push(Violation {
+            case: setup.name.to_string(),
+            invariant: "trace-replay",
+            details: "identical (cfg, plan, sup) produced diverging traces".to_string(),
+        });
+    }
+    Ok(TraceScenarioReport {
+        name: setup.name,
+        expected,
+        dominant: graph.dominant_root_cause(),
+        graph,
+        violations,
+    })
+}
+
+/// The traced split-brain fleet spec: the fleet chaos scenario's
+/// partition (primary plus half the nodes on side A) at its base seed.
+fn split_brain_spec() -> Result<FleetSpec, SprintError> {
+    let mut spec = FleetSpec::small(SPLIT_BRAIN_SEED, SPLIT_BRAIN_NODES)?;
+    spec.faults.partitions.push(FleetPartition {
+        coords_a: vec![0],
+        nodes_a_lo: 0,
+        nodes_a_hi: SPLIT_BRAIN_NODES / 2,
+        start_secs: 80.0,
+        duration_secs: 150.0,
+    });
+    Ok(spec)
+}
+
+/// Traces the fleet split-brain scenario: reconstructs one graph from
+/// the control-plane recorder plus every per-node recorder and asserts
+/// the chain roots in the scheduled partition window.
+fn traced_split_brain() -> Result<TraceScenarioReport, SprintError> {
+    let name = "fleet-split-brain";
+    let expected = CauseReason::Partition;
+    let spec = split_brain_spec()?;
+    let run = run_fleet_traced(&spec)?;
+    let mut violations = Vec::new();
+    let mut parts: Vec<&RunTelemetry> = vec![&run.telemetry];
+    parts.extend(run.node_telemetries.iter());
+    let graph = TraceGraph::from_telemetry(&parts);
+    check_graph(name, expected, &graph, &mut violations);
+    // The anchor of at least one chain must be the partition window
+    // itself: the report's "why" bottoms out at the injected fault, not
+    // at an unattributed timeout.
+    let anchored = graph
+        .chains()
+        .iter()
+        .any(|c| c.anchor_kind == Some(SpanKind::PartitionWindow));
+    if !anchored {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "anchored-in-partition",
+            details: "no cause chain reached the scheduled partition window".to_string(),
+        });
+    }
+    let replay = run_fleet_traced(&spec)?;
+    let a: Vec<&RunTelemetry> = std::iter::once(&run.telemetry)
+        .chain(run.node_telemetries.iter())
+        .collect();
+    let b: Vec<&RunTelemetry> = std::iter::once(&replay.telemetry)
+        .chain(replay.node_telemetries.iter())
+        .collect();
+    if !telemetries_identical(&a, &b) {
+        violations.push(Violation {
+            case: name.to_string(),
+            invariant: "trace-replay",
+            details: "identical FleetSpec produced diverging traces".to_string(),
+        });
+    }
+    Ok(TraceScenarioReport {
+        name,
+        expected,
+        dominant: graph.dominant_root_cause(),
+        graph,
+        violations,
+    })
+}
+
+/// The documented root cause of each single-node scenario, by name.
+fn expected_root_cause(name: &str) -> CauseReason {
+    match name {
+        "lost-unsprint-command" => CauseReason::MessageDrop,
+        "delayed-budget-telemetry" => CauseReason::MessageDelay,
+        "watchdog-partition" => CauseReason::Partition,
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// Runs every fixed-seed scenario traced — the three single-node
+/// message-fault scenarios plus the fleet split-brain — and returns
+/// their root-cause verdicts.
+///
+/// # Errors
+///
+/// Propagates the first validation or simulator error — a typed error
+/// is a harness failure, not a trace verdict.
+pub fn run_traced_scenarios() -> Result<Vec<TraceScenarioReport>, SprintError> {
+    let mut out = Vec::new();
+    for setup in scenario_setups() {
+        out.push(traced_scenario(&setup, expected_root_cause(setup.name))?);
+    }
+    out.push(traced_split_brain()?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_recovers_its_documented_root_cause() {
+        let reports = run_traced_scenarios().unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.violations.is_empty(), "{}: {:?}", r.name, r.violations);
+            assert!(r.root_cause_recovered(), "{}: {:?}", r.name, r.dominant);
+        }
+    }
+
+    #[test]
+    fn split_brain_chain_renders_the_documented_story() {
+        let report = run_traced_scenarios()
+            .unwrap()
+            .into_iter()
+            .find(|r| r.name == "fleet-split-brain")
+            .unwrap();
+        let table = report.graph.root_cause_table();
+        assert!(table.contains("partition"), "{table}");
+        // At least one chain walks lease-lapse back to the partition
+        // window through the timed-out renewals.
+        let chains = report.graph.chains();
+        let full_story = chains.iter().any(|c| {
+            c.anchor_kind == Some(SpanKind::PartitionWindow)
+                && c.steps.iter().any(|s| s.reason == CauseReason::LeaseLapse)
+                && c.steps
+                    .iter()
+                    .any(|s| s.reason == CauseReason::RenewalTimeout)
+        });
+        assert!(
+            full_story,
+            "no chain tells lease-lapse <- renewal-timeout <- partition: {}",
+            report.graph.root_cause_table()
+        );
+    }
+}

@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 
 use faults::FaultCounters;
-use obs::{EventKind, FlightRecorder, RunTelemetry};
+use obs::{CauseReason, EventKind, FlightRecorder, RunTelemetry, SpanKind, SpanOutcome, TraceCtx};
 use reactor::{Delivery, Journal, Reactor};
 use simcore::json::Json;
 use simcore::rng::SimRng;
@@ -262,6 +262,11 @@ pub struct FleetResult {
     pub violations: Vec<FleetViolation>,
     /// Control-plane telemetry.
     pub telemetry: RunTelemetry,
+    /// Per-node telemetry, indexed by node id. Empty unless the run was
+    /// traced (see [`run_fleet_traced`]): tracing attaches a recorder to
+    /// every node server so sprint-episode spans can be reconstructed
+    /// alongside the control-plane spans.
+    pub node_telemetries: Vec<RunTelemetry>,
 }
 
 impl FleetResult {
@@ -477,6 +482,139 @@ fn side_a(p: &FleetPartition, addr: Addr) -> bool {
 /// guard.
 const ITER_VALVE_PER_UNIT: u64 = 10_000;
 
+/// Span-id namespace for fleet-level spans (leases, control RPCs,
+/// coordinator terms, partition windows). Node-level sprint-episode
+/// spans live at `(node+1) << 32 | seq`, far below this base, so the
+/// two namespaces never collide in a merged trace.
+const FLEET_SPAN_BASE: u64 = 1 << 48;
+
+/// Causal-span emitter for the fleet control plane. Like the node-side
+/// tracer it is a pure observer: span ids are minted from a sequence
+/// counter (bit-identical across replays), events go into the
+/// control-plane recorder, and no randomness is drawn.
+///
+/// [`TraceCtx`] propagation: every message scheduled through the
+/// simulated network registers the sender's context in `in_flight`,
+/// keyed by the reactor-assigned event id; [`Cluster::dispatch`] takes
+/// it back out at delivery, so a grant opens the node's lease span with
+/// the carrying RPC as its parent even when the envelope crossed a
+/// delayed or duplicated link.
+#[derive(Debug)]
+struct FleetTracer {
+    trace: u64,
+    next_seq: u64,
+    /// Open control-RPC span per node (0 = none).
+    rpc_span: Vec<u64>,
+    /// Open lease-lifecycle span per node (0 = none).
+    lease_span: Vec<u64>,
+    /// Open coordinator-term span per coordinator (0 = none).
+    term_span: Vec<u64>,
+    /// Partition-window spans: `(span, start_secs, end_secs)`.
+    partitions: Vec<(u64, f64, f64)>,
+    /// Trace contexts of in-flight messages, keyed by reactor event id.
+    in_flight: BTreeMap<u64, TraceCtx>,
+    /// Context of the message currently being delivered, if any.
+    current: Option<TraceCtx>,
+    /// Term span closed by the most recent coordinator crash; the next
+    /// election links its fresh term back to it.
+    crashed_term: u64,
+}
+
+impl FleetTracer {
+    fn new(trace: u64, nodes: usize, coordinators: usize) -> FleetTracer {
+        FleetTracer {
+            trace,
+            next_seq: 0,
+            rpc_span: vec![0; nodes],
+            lease_span: vec![0; nodes],
+            term_span: vec![0; coordinators],
+            partitions: Vec::new(),
+            in_flight: BTreeMap::new(),
+            current: None,
+            crashed_term: 0,
+        }
+    }
+
+    fn mint(&mut self) -> u64 {
+        self.next_seq += 1;
+        FLEET_SPAN_BASE | self.next_seq
+    }
+
+    fn open(
+        &mut self,
+        rec: &mut FlightRecorder,
+        at: SimTime,
+        kind: SpanKind,
+        node: u32,
+        parent: u64,
+    ) -> u64 {
+        let span = self.mint();
+        rec.record(
+            at,
+            EventKind::SpanOpened {
+                span,
+                parent,
+                kind,
+                node,
+            },
+        );
+        span
+    }
+
+    fn close(rec: &mut FlightRecorder, at: SimTime, span: u64, outcome: SpanOutcome) {
+        if span != 0 {
+            rec.record(at, EventKind::SpanClosed { span, outcome });
+        }
+    }
+
+    fn link(rec: &mut FlightRecorder, at: SimTime, effect: u64, cause: u64, reason: CauseReason) {
+        if effect != 0 {
+            rec.record(
+                at,
+                EventKind::CauseLinked {
+                    effect,
+                    cause,
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// The partition-window span active at `now_secs`, if any.
+    fn active_partition(&self, now_secs: f64) -> u64 {
+        self.partitions
+            .iter()
+            .find(|&&(_, start, end)| now_secs >= start && now_secs < end)
+            .map_or(0, |&(span, _, _)| span)
+    }
+
+    /// The node whose control RPC a message concerns, if any.
+    fn rpc_node(msg: &FleetMsg, to: Addr) -> Option<usize> {
+        match (msg, to) {
+            (FleetMsg::LeaseRequest { node, .. }, _) => Some(*node as usize),
+            (FleetMsg::LeaseGrant { .. } | FleetMsg::LeaseDeny { .. }, Addr::Node(n)) => {
+                Some(n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The sender-side context a message carries through the network.
+    fn ctx_for(&self, from: Addr, msg: &FleetMsg, to: Addr) -> TraceCtx {
+        let span = match Self::rpc_node(msg, to) {
+            Some(n) => self.rpc_span[n],
+            None => match from {
+                Addr::Coordinator(c) => self.term_span[c as usize],
+                Addr::Node(_) => 0,
+            },
+        };
+        TraceCtx {
+            trace: self.trace,
+            span,
+        }
+    }
+}
+
 struct Cluster<'m> {
     spec: FleetSpec,
     reactor: Reactor<FleetEv>,
@@ -496,6 +634,7 @@ struct Cluster<'m> {
     horizon: SimTime,
     iterations: u64,
     journaled: bool,
+    tracer: Option<FleetTracer>,
 }
 
 impl<'m> Cluster<'m> {
@@ -503,6 +642,7 @@ impl<'m> Cluster<'m> {
         spec: &FleetSpec,
         mech: &'m dyn mechanisms::Mechanism,
         journaled: bool,
+        traced: bool,
     ) -> Result<Cluster<'m>, SprintError> {
         spec.validate()?;
         let n = spec.nodes;
@@ -520,6 +660,13 @@ impl<'m> Cluster<'m> {
             if journaled {
                 server.enable_journal();
             }
+            if traced {
+                server.attach_recorder(16_384);
+                server.enable_tracing(i);
+            }
+            // Metric increments land on both the global and this node's
+            // scoped registry (no-ops while metrics are disabled).
+            server.set_metrics_scope(i);
             // Fail safe from the very first instant: no sprint without
             // a lease.
             server.set_sprint_permit(false);
@@ -588,6 +735,7 @@ impl<'m> Cluster<'m> {
             horizon: SimTime::ZERO,
             iterations: 0,
             journaled,
+            tracer: traced.then(|| FleetTracer::new(spec.seed, n as usize, c as usize)),
             spec: spec.clone(),
         })
     }
@@ -597,6 +745,36 @@ impl<'m> Cluster<'m> {
     }
 
     fn init(&mut self) {
+        // Trace bootstrap: partition windows are spec-defined time
+        // spans, so their open/close events are recorded up front; the
+        // initial primary's term span opens at time zero.
+        if let Some(mut t) = self.tracer.take() {
+            for p in &self.spec.faults.partitions {
+                let span = t.open(
+                    &mut self.recorder,
+                    SimTime::from_secs_f64(p.start_secs),
+                    SpanKind::PartitionWindow,
+                    0,
+                    0,
+                );
+                let end = p.start_secs + p.duration_secs;
+                FleetTracer::close(
+                    &mut self.recorder,
+                    SimTime::from_secs_f64(end),
+                    span,
+                    SpanOutcome::Healed,
+                );
+                t.partitions.push((span, p.start_secs, end));
+            }
+            t.term_span[0] = t.open(
+                &mut self.recorder,
+                SimTime::ZERO,
+                SpanKind::CoordinatorTerm,
+                0,
+                0,
+            );
+            self.tracer = Some(t);
+        }
         let nodes = self.spec.nodes as usize;
         let coordinators = self.spec.coordinators;
         let backoff_base = self.spec.backoff_base_secs;
@@ -688,10 +866,15 @@ impl<'m> Cluster<'m> {
         let verdict = self.net.route(&self.spec, now, from, to);
         let c = self.spec.coordinators;
         let (fi, ti) = (from.flat(c), to.flat(c));
+        let ctx = self.tracer.as_ref().map(|t| t.ctx_for(from, &msg, to));
         match verdict {
             Delivery::Inline => {
-                self.reactor
+                let id = self
+                    .reactor
                     .schedule(now, FleetEv::Deliver { from, to, msg });
+                if let (Some(t), Some(ctx)) = (self.tracer.as_mut(), ctx) {
+                    t.in_flight.insert(id, ctx);
+                }
             }
             Delivery::Delayed { delay } => {
                 self.recorder.record(
@@ -702,13 +885,17 @@ impl<'m> Cluster<'m> {
                         delay_micros: delay.0,
                     },
                 );
+                self.note_net_fault(now, &msg, to, CauseReason::MessageDelay);
                 self.reactor.note(now, || {
                     format!("fleet net: delay {fi}->{ti} by {}us", delay.0)
                 });
-                self.reactor.schedule(
+                let id = self.reactor.schedule(
                     now.saturating_add(delay),
                     FleetEv::Deliver { from, to, msg },
                 );
+                if let (Some(t), Some(ctx)) = (self.tracer.as_mut(), ctx) {
+                    t.in_flight.insert(id, ctx);
+                }
             }
             Delivery::Dropped { partitioned } => {
                 self.recorder.record(
@@ -719,6 +906,12 @@ impl<'m> Cluster<'m> {
                         partitioned,
                     },
                 );
+                let reason = if partitioned {
+                    CauseReason::Partition
+                } else {
+                    CauseReason::MessageDrop
+                };
+                self.note_net_fault(now, &msg, to, reason);
                 self.reactor.note(now, || {
                     format!(
                         "fleet net: drop {fi}->{ti}{}",
@@ -738,7 +931,7 @@ impl<'m> Cluster<'m> {
                 self.reactor.note(now, || {
                     format!("fleet net: dup {fi}->{ti} +{}us", extra_delay.0)
                 });
-                self.reactor.schedule(
+                let id = self.reactor.schedule(
                     now,
                     FleetEv::Deliver {
                         from,
@@ -746,12 +939,34 @@ impl<'m> Cluster<'m> {
                         msg: msg.clone(),
                     },
                 );
-                self.reactor.schedule(
+                let id2 = self.reactor.schedule(
                     now.saturating_add(extra_delay),
                     FleetEv::Deliver { from, to, msg },
                 );
+                if let (Some(t), Some(ctx)) = (self.tracer.as_mut(), ctx) {
+                    t.in_flight.insert(id, ctx);
+                    t.in_flight.insert(id2, ctx);
+                }
             }
         }
+    }
+
+    /// Trace hook: links a delayed or dropped message to the control
+    /// RPC it was carrying, and that drop to the partition window that
+    /// swallowed it when one is active.
+    fn note_net_fault(&mut self, now: SimTime, msg: &FleetMsg, to: Addr, reason: CauseReason) {
+        let Some(t) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(n) = FleetTracer::rpc_node(msg, to) else {
+            return;
+        };
+        let cause = if reason == CauseReason::Partition {
+            t.active_partition(now.as_secs_f64())
+        } else {
+            0
+        };
+        FleetTracer::link(&mut self.recorder, now, t.rpc_span[n], cause, reason);
     }
 
     // -----------------------------------------------------------------
@@ -770,6 +985,12 @@ impl<'m> Cluster<'m> {
         };
         if done || seq != cur_seq {
             return;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            if t.rpc_span[n] == 0 {
+                let parent = t.lease_span[n];
+                t.rpc_span[n] = t.open(&mut self.recorder, now, SpanKind::ControlRpc, node, parent);
+            }
         }
         self.send(
             now,
@@ -801,6 +1022,21 @@ impl<'m> Cluster<'m> {
             )
         };
         self.stats.retries += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            let rpc = std::mem::take(&mut t.rpc_span[n]);
+            if rpc != 0 {
+                // A timed-out round while holding a lease is a failed
+                // renewal: link the lease's eventual fate back to it.
+                FleetTracer::link(
+                    &mut self.recorder,
+                    now,
+                    t.lease_span[n],
+                    rpc,
+                    CauseReason::RenewalTimeout,
+                );
+                FleetTracer::close(&mut self.recorder, now, rpc, SpanOutcome::TimedOut);
+            }
+        }
         self.reactor.note(now, || {
             format!("node {node}: request timeout, retry #{attempt} in {backoff:.2}s")
         });
@@ -857,6 +1093,26 @@ impl<'m> Cluster<'m> {
                 power: 1,
             },
         );
+        if let Some(mut t) = self.tracer.take() {
+            let rpc = std::mem::take(&mut t.rpc_span[n]);
+            FleetTracer::close(&mut self.recorder, now, rpc, SpanOutcome::Granted);
+            if t.lease_span[n] == 0 {
+                // Parent the lease under the RPC that carried the grant
+                // (the propagated context survives delays/duplication).
+                let parent = t.current.map(|c| c.span).filter(|&s| s != 0).unwrap_or(rpc);
+                t.lease_span[n] = t.open(
+                    &mut self.recorder,
+                    now,
+                    SpanKind::LeaseLifecycle,
+                    node,
+                    parent,
+                );
+            }
+            if let Some(server) = self.servers[n].as_mut() {
+                server.set_trace_parent(t.lease_span[n]);
+            }
+            self.tracer = Some(t);
+        }
         self.reactor.note(now, || {
             format!(
                 "node {node}: lease epoch {epoch} until {:.1}s",
@@ -903,6 +1159,14 @@ impl<'m> Cluster<'m> {
         self.stats.expiries += 1;
         self.recorder
             .record(now, EventKind::LeaseExpired { node, epoch });
+        if let Some(t) = self.tracer.as_mut() {
+            let lease = std::mem::take(&mut t.lease_span[n]);
+            FleetTracer::close(&mut self.recorder, now, lease, SpanOutcome::Lapsed);
+        }
+        if obs::is_enabled() {
+            obs::global().lease_expiries.incr();
+            obs::scoped(node).lease_expiries.incr();
+        }
         self.reactor
             .note(now, || format!("node {node}: lease epoch {epoch} lapsed"));
         if let Some(server) = self.servers[n].as_mut() {
@@ -933,6 +1197,12 @@ impl<'m> Cluster<'m> {
 
     fn node_on_deny(&mut self, now: SimTime, n: usize, epoch: u64) {
         let lease_secs = self.spec.lease_secs;
+        if !self.agents[n].done {
+            if let Some(t) = self.tracer.as_mut() {
+                let rpc = std::mem::take(&mut t.rpc_span[n]);
+                FleetTracer::close(&mut self.recorder, now, rpc, SpanOutcome::Denied);
+            }
+        }
         let a = &mut self.agents[n];
         if a.done {
             return;
@@ -971,6 +1241,10 @@ impl<'m> Cluster<'m> {
                     epoch: lease.epoch,
                 },
             );
+            if let Some(t) = self.tracer.as_mut() {
+                let span = std::mem::take(&mut t.lease_span[n]);
+                FleetTracer::close(&mut self.recorder, now, span, SpanOutcome::Released);
+            }
             self.reactor
                 .note(now, || format!("node {node}: done, lease released"));
             let target = self.agents[n].target % self.spec.coordinators;
@@ -1037,6 +1311,10 @@ impl<'m> Cluster<'m> {
             verb => {
                 if verb == "renew" {
                     self.stats.renewals += 1;
+                    if obs::is_enabled() {
+                        obs::global().lease_renewals.incr();
+                        obs::scoped(node).lease_renewals.incr();
+                    }
                 } else {
                     self.stats.grants += 1;
                 }
@@ -1105,6 +1383,10 @@ impl<'m> Cluster<'m> {
             co.last_hb_heard = now;
         }
         self.stats.step_downs += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            let span = std::mem::take(&mut t.term_span[c]);
+            FleetTracer::close(&mut self.recorder, now, span, SpanOutcome::SteppedDown);
+        }
         let reason = why.to_string();
         self.reactor
             .note(now, || format!("coord {coord}: steps down ({reason})"));
@@ -1151,6 +1433,22 @@ impl<'m> Cluster<'m> {
                 epoch,
             },
         );
+        if let Some(mut t) = self.tracer.take() {
+            let span = t.open(&mut self.recorder, now, SpanKind::CoordinatorTerm, coord, 0);
+            t.term_span[c] = span;
+            // The fresh term exists because the previous primary died.
+            let crashed = std::mem::take(&mut t.crashed_term);
+            if crashed != 0 {
+                FleetTracer::link(
+                    &mut self.recorder,
+                    now,
+                    span,
+                    crashed,
+                    CauseReason::CoordinatorCrash,
+                );
+            }
+            self.tracer = Some(t);
+        }
         self.reactor.note(now, || {
             format!("coord {coord}: elected primary, epoch {epoch}")
         });
@@ -1278,10 +1576,18 @@ impl<'m> Cluster<'m> {
         if !co.up {
             return;
         }
+        let was_primary = co.role == Role::Primary;
         co.up = false;
         co.gen += 1;
         self.recorder
             .record(now, EventKind::CoordinatorCrashed { coordinator: coord });
+        if let Some(t) = self.tracer.as_mut() {
+            let span = std::mem::take(&mut t.term_span[c]);
+            if was_primary && span != 0 {
+                t.crashed_term = span;
+            }
+            FleetTracer::close(&mut self.recorder, now, span, SpanOutcome::Crashed);
+        }
         self.reactor.note(now, || format!("coord {coord}: crashed"));
     }
 
@@ -1373,6 +1679,11 @@ impl<'m> Cluster<'m> {
 
     fn dispatch(&mut self, now: SimTime, ev: FleetEv) -> Result<(), SprintError> {
         self.horizon = self.horizon.max(now);
+        if let Some(t) = self.tracer.as_mut() {
+            // The context the in-flight envelope carried, if this event
+            // is a delivery (keyed by the reactor-assigned event id).
+            t.current = t.in_flight.remove(&self.reactor.current_event_id());
+        }
         match ev {
             FleetEv::Deliver { from, to, msg } => match to {
                 Addr::Coordinator(c) => {
@@ -1580,6 +1891,18 @@ impl<'m> Cluster<'m> {
                 ),
             });
         }
+        let node_telemetries = if self.tracer.is_some() {
+            self.results
+                .iter()
+                .map(|r| {
+                    r.as_ref()
+                        .and_then(|r| r.telemetry().cloned())
+                        .unwrap_or_default()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let result = FleetResult {
             nodes: self.spec.nodes,
             served,
@@ -1603,6 +1926,7 @@ impl<'m> Cluster<'m> {
             counters: self.net.counters,
             violations,
             telemetry: self.recorder.finish(),
+            node_telemetries,
         };
         let journal = if self.journaled {
             Some(merge_journals(
@@ -1650,7 +1974,25 @@ fn merge_journals(fleet: Option<Journal>, nodes: Vec<Option<Journal>>) -> Journa
 /// are reported in [`FleetResult::violations`], not as errors).
 pub fn run_fleet(spec: &FleetSpec) -> Result<FleetResult, SprintError> {
     let mech = spec.template.mechanism.build();
-    let cluster = Cluster::new(spec, &*mech, false)?;
+    let cluster = Cluster::new(spec, &*mech, false, false)?;
+    cluster.run().map(|(result, _)| result)
+}
+
+/// Runs a fleet spec with causal tracing enabled: lease lifecycles,
+/// control RPCs, coordinator terms, partition windows and per-node
+/// sprint episodes become spans in the control-plane and node
+/// telemetry ([`FleetResult::telemetry`] /
+/// [`FleetResult::node_telemetries`]), connected by cause links.
+/// Tracing is observation-only — served counts, lease stats and
+/// invariant verdicts are bit-identical to [`run_fleet`], and two
+/// traced runs of the same spec produce bit-identical traces.
+///
+/// # Errors
+///
+/// Returns an error under the same conditions as [`run_fleet`].
+pub fn run_fleet_traced(spec: &FleetSpec) -> Result<FleetResult, SprintError> {
+    let mech = spec.template.mechanism.build();
+    let cluster = Cluster::new(spec, &*mech, false, true)?;
     cluster.run().map(|(result, _)| result)
 }
 
@@ -1663,7 +2005,7 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetResult, SprintError> {
 /// Returns an error under the same conditions as [`run_fleet`].
 pub fn run_fleet_journaled(spec: &FleetSpec) -> Result<(FleetResult, Journal), SprintError> {
     let mech = spec.template.mechanism.build();
-    let cluster = Cluster::new(spec, &*mech, true)?;
+    let cluster = Cluster::new(spec, &*mech, true, false)?;
     let (result, journal) = cluster.run()?;
     journal
         .map(|j| (result, j))
@@ -1724,6 +2066,37 @@ mod tests {
         );
         assert!(result.stats.elections >= 1, "standby must take over");
         assert!(result.stats.max_epoch > u64::from(spec.coordinators));
+    }
+
+    #[test]
+    fn traced_fleet_is_bit_identical_and_carries_spans() {
+        let mut spec = FleetSpec::small(47, 4).expect("small fleet");
+        spec.queries_total = 24;
+        spec.faults.partitions.push(FleetPartition {
+            coords_a: vec![0, 1],
+            nodes_a_lo: 0,
+            nodes_a_hi: 0,
+            start_secs: 70.0,
+            duration_secs: 200.0,
+        });
+        let plain = run_fleet(&spec).expect("plain run");
+        let traced = run_fleet_traced(&spec).expect("traced run");
+        // Tracing is observation-only: the run's outcome is unchanged.
+        assert_eq!(plain.served, traced.served);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.forced_unsprints, traced.forced_unsprints);
+        assert!(plain.node_telemetries.is_empty());
+        // The traced run carries spans on both planes.
+        assert_eq!(traced.node_telemetries.len(), 4);
+        assert!(traced
+            .telemetry
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SpanOpened { .. })));
+        // Replays of the same spec trace bit-identically.
+        let again = run_fleet_traced(&spec).expect("traced replay");
+        assert_eq!(traced.telemetry, again.telemetry);
+        assert_eq!(traced.node_telemetries, again.node_telemetries);
     }
 
     #[test]

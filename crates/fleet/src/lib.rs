@@ -28,7 +28,8 @@ pub mod plan;
 pub mod spec;
 
 pub use cluster::{
-    run_fleet, run_fleet_journaled, FleetDegradation, FleetResult, FleetViolation, LeaseStats,
+    run_fleet, run_fleet_journaled, run_fleet_traced, FleetDegradation, FleetResult,
+    FleetViolation, LeaseStats,
 };
 pub use plan::{plan_fleet, FleetPlan, NodePlan};
 pub use spec::{CoordinatorCrash, FleetFaults, FleetPartition, FleetSpec, FLEET_SPEC_VERSION};

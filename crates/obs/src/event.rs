@@ -5,6 +5,7 @@
 //! reproduces the identical log bit-for-bit. Rendering to JSON or a
 //! text timeline happens after the run, never on the recording path.
 
+use crate::trace::{CauseReason, SpanKind, SpanOutcome};
 use simcore::json::Json;
 use simcore::table::TextTable;
 use simcore::time::SimTime;
@@ -264,6 +265,34 @@ pub enum EventKind {
         /// Nodes without a lease (forced to the sustained rate).
         no_sprint: u32,
     },
+    /// A causal span opened (tracing enabled only).
+    SpanOpened {
+        /// Span id, unique within the trace.
+        span: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Activity kind.
+        kind: SpanKind,
+        /// Owning node (`u32::MAX` for fleet-global spans).
+        node: u32,
+    },
+    /// A causal span closed.
+    SpanClosed {
+        /// Span id.
+        span: u64,
+        /// How the activity ended.
+        outcome: SpanOutcome,
+    },
+    /// A causal edge: the `effect` span was perturbed for `reason`,
+    /// traced back to the `cause` span (0 = no recorded cause span).
+    CauseLinked {
+        /// Span that was perturbed.
+        effect: u64,
+        /// Span that caused it (0 = none recorded).
+        cause: u64,
+        /// Typed reason on the edge.
+        reason: CauseReason,
+    },
 }
 
 impl EventKind {
@@ -293,6 +322,9 @@ impl EventKind {
             EventKind::CoordinatorCrashed { .. } => "coordinator-crashed",
             EventKind::CoordinatorElected { .. } => "coordinator-elected",
             EventKind::FleetDegradationSample { .. } => "fleet-degradation",
+            EventKind::SpanOpened { .. } => "span-opened",
+            EventKind::SpanClosed { .. } => "span-closed",
+            EventKind::CauseLinked { .. } => "cause-linked",
         }
     }
 
@@ -401,6 +433,32 @@ impl EventKind {
             } => {
                 format!("{sprintable} sprintable / {stale} stale / {no_sprint} no-sprint")
             }
+            EventKind::SpanOpened {
+                span,
+                parent,
+                kind,
+                node,
+            } => {
+                if *parent == 0 {
+                    format!("#{span} {} node {node}", kind.name())
+                } else {
+                    format!("#{span} {} node {node}, parent #{parent}", kind.name())
+                }
+            }
+            EventKind::SpanClosed { span, outcome } => {
+                format!("#{span}: {}", outcome.name())
+            }
+            EventKind::CauseLinked {
+                effect,
+                cause,
+                reason,
+            } => {
+                if *cause == 0 {
+                    format!("#{effect} <- {}", reason.name())
+                } else {
+                    format!("#{effect} <- {} <- #{cause}", reason.name())
+                }
+            }
         }
     }
 
@@ -494,6 +552,30 @@ impl EventKind {
                 ("sprintable", n(sprintable as u64)),
                 ("stale", n(stale as u64)),
                 ("no_sprint", n(no_sprint as u64)),
+            ],
+            EventKind::SpanOpened {
+                span,
+                parent,
+                kind,
+                node,
+            } => vec![
+                ("span", n(span)),
+                ("parent", n(parent)),
+                ("kind", Json::Str(kind.name().to_string())),
+                ("node", n(node as u64)),
+            ],
+            EventKind::SpanClosed { span, outcome } => vec![
+                ("span", n(span)),
+                ("outcome", Json::Str(outcome.name().to_string())),
+            ],
+            EventKind::CauseLinked {
+                effect,
+                cause,
+                reason,
+            } => vec![
+                ("effect", n(effect)),
+                ("cause", n(cause)),
+                ("reason", Json::Str(reason.name().to_string())),
             ],
         }
     }

@@ -15,8 +15,9 @@
 
 use simcore::json::Json;
 use simcore::table::TextTable;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -197,6 +198,9 @@ pub const FAMILY_NAMES: &[&str] = &[
     "forest_flat_infer_ns",
     "forest_boxed_infer_ns",
     "fleet_predict_us",
+    "sprints_engaged",
+    "lease_renewals",
+    "lease_expiries",
 ];
 
 /// The process-wide registry of prediction-path metrics. All fields
@@ -237,6 +241,12 @@ pub struct MetricsRegistry {
     /// pass's model evaluations — proves fleet-scale runs ride the
     /// pooled/shared-cache fast path.
     pub fleet_predict_us: Histogram,
+    /// Sprints engaged by the testbed server (per node when scoped).
+    pub sprints_engaged: Counter,
+    /// Fleet lease renewals granted (per node when scoped).
+    pub lease_renewals: Counter,
+    /// Fleet lease expiries — each one a fail-safe unsprint window.
+    pub lease_expiries: Counter,
 }
 
 impl MetricsRegistry {
@@ -256,6 +266,9 @@ impl MetricsRegistry {
             forest_flat_infer_ns: Histogram::new(),
             forest_boxed_infer_ns: Histogram::new(),
             fleet_predict_us: Histogram::new(),
+            sprints_engaged: Counter::default(),
+            lease_renewals: Counter::default(),
+            lease_expiries: Counter::default(),
         }
     }
 
@@ -275,6 +288,9 @@ impl MetricsRegistry {
         self.forest_flat_infer_ns.reset();
         self.forest_boxed_infer_ns.reset();
         self.fleet_predict_us.reset();
+        self.sprints_engaged.reset();
+        self.lease_renewals.reset();
+        self.lease_expiries.reset();
     }
 
     /// A point-in-time copy of every family, in [`FAMILY_NAMES`] order.
@@ -317,6 +333,18 @@ impl MetricsRegistry {
                     name: "anneal_candidates",
                     value: self.anneal_candidates.get(),
                 },
+                CounterSnapshot {
+                    name: "sprints_engaged",
+                    value: self.sprints_engaged.get(),
+                },
+                CounterSnapshot {
+                    name: "lease_renewals",
+                    value: self.lease_renewals.get(),
+                },
+                CounterSnapshot {
+                    name: "lease_expiries",
+                    value: self.lease_expiries.get(),
+                },
             ],
             histograms: vec![
                 self.pool_queue_wait_us.snapshot("pool_queue_wait_us"),
@@ -333,6 +361,38 @@ impl MetricsRegistry {
 pub fn global() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
     GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+fn scoped_map() -> &'static Mutex<BTreeMap<u32, &'static MetricsRegistry>> {
+    static SCOPED: OnceLock<Mutex<BTreeMap<u32, &'static MetricsRegistry>>> = OnceLock::new();
+    SCOPED.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The per-node metrics registry for `node`, created on first use and
+/// kept for the life of the process. Instrumentation sites write
+/// through: the [`global`] registry stays the fleet-wide aggregate,
+/// and the scoped registry holds the per-node view.
+pub fn scoped(node: u32) -> &'static MetricsRegistry {
+    let mut map = scoped_map().lock().unwrap_or_else(|e| e.into_inner());
+    map.entry(node)
+        .or_insert_with(|| Box::leak(Box::new(MetricsRegistry::new())))
+}
+
+/// Point-in-time snapshots of every per-node registry touched so far,
+/// node-ascending. The fleet roll-up is the [`global`] registry.
+pub fn scoped_snapshots() -> Vec<(u32, MetricsSnapshot)> {
+    let map = scoped_map().lock().unwrap_or_else(|e| e.into_inner());
+    map.iter().map(|(&n, r)| (n, r.snapshot())).collect()
+}
+
+/// Zeroes every per-node registry (benchmark/test hygiene; the
+/// registries themselves survive, so outstanding references stay
+/// valid).
+pub fn reset_scoped() {
+    let map = scoped_map().lock().unwrap_or_else(|e| e.into_inner());
+    for r in map.values() {
+        r.reset();
+    }
 }
 
 /// Frozen value of one counter family.
@@ -367,6 +427,37 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Quantile estimate as a bucket bound: the exclusive upper bound
+    /// of the first bucket whose cumulative count reaches `q` of the
+    /// total (0 when empty). **Caveat**: buckets are powers of two, so
+    /// the true quantile lies somewhere below the returned bound —
+    /// within a factor of two for values past the first bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for &(bound, n) in &self.buckets {
+            acc += n;
+            if acc >= target {
+                return bound;
+            }
+        }
+        self.buckets.last().map_or(0, |&(bound, _)| bound)
+    }
+
+    /// Median bucket bound (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile bucket bound (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A frozen copy of the whole registry, renderable as a text table or
@@ -390,14 +481,18 @@ impl MetricsSnapshot {
             .collect()
     }
 
-    /// Aligned text table with one row per family.
+    /// Aligned text table with one row per family. Histogram `p50`/
+    /// `p99` columns are bucket upper bounds (within 2x of the true
+    /// quantile — see [`HistogramSnapshot::quantile`]).
     pub fn render_table(&self) -> String {
-        let mut t = TextTable::new(vec!["metric", "kind", "count", "sum", "mean"]);
+        let mut t = TextTable::new(vec!["metric", "kind", "count", "sum", "mean", "p50", "p99"]);
         for c in &self.counters {
             t.row(vec![
                 c.name.to_string(),
                 "counter".to_string(),
                 c.value.to_string(),
+                String::new(),
+                String::new(),
                 String::new(),
                 String::new(),
             ]);
@@ -409,6 +504,8 @@ impl MetricsSnapshot {
                 h.count.to_string(),
                 h.sum.to_string(),
                 format!("{:.1}", h.mean()),
+                h.p50().to_string(),
+                h.p99().to_string(),
             ]);
         }
         t.render()
@@ -511,6 +608,47 @@ mod tests {
         assert!((snap.mean() - 251.5).abs() < 1e-9);
         let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 4);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_bounds() {
+        set_enabled(true);
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot("t");
+        // Median of 1..=100 is ~50, bucket bound 64; p99 is ~99,
+        // bound 128.
+        assert_eq!(snap.p50(), 64);
+        assert_eq!(snap.p99(), 128);
+        let empty = Histogram::new().snapshot("e");
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn scoped_registries_are_stable_and_isolated() {
+        set_enabled(true);
+        scoped(1001).reset();
+        scoped(1002).reset();
+        scoped(1001).lease_renewals.incr();
+        scoped(1001).lease_renewals.incr();
+        scoped(1002).lease_expiries.incr();
+        assert_eq!(scoped(1001).lease_renewals.get(), 2);
+        assert_eq!(scoped(1001).lease_expiries.get(), 0);
+        assert_eq!(scoped(1002).lease_expiries.get(), 1);
+        // Same node resolves to the same registry.
+        assert!(std::ptr::eq(scoped(1001), scoped(1001)));
+        let snaps = scoped_snapshots();
+        assert!(snaps.iter().any(|(n, s)| {
+            *n == 1001
+                && s.counters
+                    .iter()
+                    .any(|c| c.name == "lease_renewals" && c.value == 2)
+        }));
         set_enabled(false);
     }
 

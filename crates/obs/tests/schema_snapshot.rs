@@ -5,8 +5,8 @@
 //! instead of an accident.
 
 use obs::{
-    AdmissionMode, BreakerLevel, CounterSnapshot, EventKind, FlightRecorder, HistogramSnapshot,
-    MetricsSnapshot, UnsprintReason,
+    AdmissionMode, BreakerLevel, CauseReason, CounterSnapshot, EventKind, FlightRecorder,
+    HistogramSnapshot, MetricsSnapshot, SpanKind, SpanOutcome, UnsprintReason,
 };
 use simcore::json::Json;
 use simcore::time::SimTime;
@@ -85,6 +85,21 @@ fn all_kinds() -> Vec<EventKind> {
             stale: 1,
             no_sprint: 2,
         },
+        EventKind::SpanOpened {
+            span: 4_294_967_297,
+            parent: 17,
+            kind: SpanKind::LeaseLifecycle,
+            node: 7,
+        },
+        EventKind::SpanClosed {
+            span: 4_294_967_297,
+            outcome: SpanOutcome::Lapsed,
+        },
+        EventKind::CauseLinked {
+            effect: 4_294_967_297,
+            cause: 17,
+            reason: CauseReason::RenewalTimeout,
+        },
     ]
 }
 
@@ -116,7 +131,10 @@ fn every_variant_is_constructed(kind: &EventKind) {
         | EventKind::LeaseReleased { .. }
         | EventKind::CoordinatorCrashed { .. }
         | EventKind::CoordinatorElected { .. }
-        | EventKind::FleetDegradationSample { .. } => {}
+        | EventKind::FleetDegradationSample { .. }
+        | EventKind::SpanOpened { .. }
+        | EventKind::SpanClosed { .. }
+        | EventKind::CauseLinked { .. } => {}
     }
 }
 

@@ -7,6 +7,16 @@ use simcore::event::EventQueue;
 use simcore::time::SimTime;
 use std::fmt::Debug;
 
+/// An event plus its causal bookkeeping: the id the reactor assigned to
+/// it at scheduling time and the id of the event whose handler
+/// scheduled it (`0` for root events scheduled outside any handler).
+#[derive(Debug)]
+struct Traced<E> {
+    id: u64,
+    cause: u64,
+    ev: E,
+}
+
 /// A deterministic single-threaded event reactor.
 ///
 /// All state transitions in a run happen at popped events; the clock is
@@ -16,10 +26,22 @@ use std::fmt::Debug;
 /// from `(seed, plan)` alone. Journaling is observation-only: it draws
 /// no randomness and schedules nothing, so a journaled run is
 /// bit-identical to an unjournaled one.
+///
+/// Every event additionally carries a *cause id*: [`Reactor::schedule`]
+/// assigns each event a sequential id and records the id of the event
+/// being handled when it was scheduled. Drivers that build causal
+/// traces read [`Reactor::current_event_id`] /
+/// [`Reactor::current_cause`] after each pop. The ids are derived
+/// purely from scheduling order, so they are bit-identical across
+/// replays of the same `(seed, plan)` and cost two `u64` stores when
+/// unused.
 #[derive(Debug)]
 pub struct Reactor<E> {
-    queue: EventQueue<E>,
+    queue: EventQueue<Traced<E>>,
     journal: Option<Journal>,
+    next_id: u64,
+    /// `(id, cause)` of the most recently popped event.
+    current: (u64, u64),
 }
 
 impl<E: Debug> Default for Reactor<E> {
@@ -34,6 +56,8 @@ impl<E: Debug> Reactor<E> {
         Reactor {
             queue: EventQueue::new(),
             journal: None,
+            next_id: 1,
+            current: (0, 0),
         }
     }
 
@@ -60,23 +84,47 @@ impl<E: Debug> Reactor<E> {
         self.queue.now()
     }
 
-    /// Schedules `event` at `at`.
+    /// Schedules `event` at `at`, returning its assigned event id. The
+    /// event's cause is the event currently being handled (`0` when
+    /// scheduled outside any handler, e.g. during setup).
     ///
     /// # Panics
     ///
     /// Panics if `at` precedes the current virtual time.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        self.queue.schedule(at, event);
+    pub fn schedule(&mut self, at: SimTime, event: E) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.schedule(
+            at,
+            Traced {
+                id,
+                cause: self.current.0,
+                ev: event,
+            },
+        );
+        id
     }
 
     /// Pops the earliest event, advancing the clock and journaling the
     /// decision.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (at, ev) = self.queue.pop()?;
+        let (at, t) = self.queue.pop()?;
+        self.current = (t.id, t.cause);
         if let Some(j) = self.journal.as_mut() {
-            j.push(at, format!("{ev:?}"));
+            j.push(at, format!("{:?}", t.ev));
         }
-        Some((at, ev))
+        Some((at, t.ev))
+    }
+
+    /// Id of the most recently popped event (`0` before the first pop).
+    pub fn current_event_id(&self) -> u64 {
+        self.current.0
+    }
+
+    /// Id of the event whose handler scheduled the most recently popped
+    /// event (`0` for root events).
+    pub fn current_cause(&self) -> u64 {
+        self.current.1
     }
 
     /// Journals a driver decision (e.g. a message-routing verdict) that
@@ -149,6 +197,42 @@ mod tests {
         r.enable_journal();
         r.note(SimTime::ZERO, || "routed".to_string());
         assert_eq!(r.take_journal().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cause_ids_link_events_to_their_scheduler() {
+        let mut r: Reactor<Ev> = Reactor::new();
+        // Root events scheduled outside any handler have cause 0.
+        let root = r.schedule(SimTime::from_secs(1), Ev::Tick(0));
+        assert_eq!(root, 1);
+        assert_eq!(r.current_event_id(), 0);
+        let (_, _) = r.pop().unwrap();
+        assert_eq!(r.current_event_id(), root);
+        assert_eq!(r.current_cause(), 0);
+        // An event scheduled while handling `root` is caused by it.
+        let child = r.schedule(SimTime::from_secs(2), Ev::Tick(1));
+        let (_, _) = r.pop().unwrap();
+        assert_eq!(r.current_event_id(), child);
+        assert_eq!(r.current_cause(), root);
+    }
+
+    #[test]
+    fn cause_ids_are_identical_across_replays() {
+        let drive = || {
+            let mut r: Reactor<Ev> = Reactor::new();
+            let mut seen = Vec::new();
+            for i in 0..8 {
+                r.schedule(SimTime::from_secs(i % 3), Ev::Tick(i as u32));
+            }
+            while let Some((_, ev)) = r.pop() {
+                seen.push((r.current_event_id(), r.current_cause(), ev));
+                if seen.len() < 12 {
+                    r.schedule(r.now(), Ev::Msg { from: 0, to: 1 });
+                }
+            }
+            seen
+        };
+        assert_eq!(drive(), drive());
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub use faults::{FaultCounters, FaultPlan, StormWindow};
 pub use metrics::{RunResult, RunResultBuilder};
 pub use policy::{ArrivalSpec, BudgetSpec, RateSegment, ServerConfig, SprintPolicy};
 pub use query::QueryRecord;
-pub use server::{run_supervised, run_supervised_recorded, run_with_faults, Server};
+pub use server::{
+    run_supervised, run_supervised_recorded, run_supervised_traced, run_with_faults, Server,
+};
 pub use spec::{run_journaled, RunSpec};
 pub use supervision::{RecoveryCounters, Supervisor, SupervisorConfig};

@@ -25,7 +25,7 @@ use crate::query::QueryRecord;
 use crate::supervision::{AdmitOutcome, SlotDirective, Supervisor, SupervisorConfig};
 use faults::{EngageOutcome, FaultInjector, FaultPlan, Peer};
 use mechanisms::Mechanism;
-use obs::{EventKind, FlightRecorder, UnsprintReason};
+use obs::{CauseReason, EventKind, FlightRecorder, SpanKind, SpanOutcome, UnsprintReason};
 use reactor::entropy::ns;
 use reactor::{Delivery, EntropyTower, Journal, Reactor};
 use simcore::dist::Dist;
@@ -213,6 +213,139 @@ pub struct Server<'m> {
     /// schedules no events — so a recorded run is bit-identical to an
     /// unrecorded one.
     recorder: Option<FlightRecorder>,
+    /// Causal tracer; `None` (the default) traces nothing. Like the
+    /// recorder it only writes events, so a traced run is bit-identical
+    /// to an untraced one.
+    tracer: Option<NodeTracer>,
+    /// Node id for per-node metrics scoping; `None` increments only the
+    /// process-global registry.
+    metrics_scope: Option<u32>,
+}
+
+/// Pending-cause list bound: fault links observed before any sprint
+/// span is open are held for the next engage; the bound keeps a
+/// never-engaging run from growing the list without limit.
+const MAX_PENDING_CAUSES: usize = 16;
+
+/// Causal-span emitter for one server (one fleet node, or a standalone
+/// run as node 0). Span ids are `(node+1) << 32 | seq` with `seq`
+/// assigned in engage order, so they are bit-identical across replays
+/// and never collide across nodes sharing a trace. A pure observer:
+/// writes [`EventKind::SpanOpened`]/[`EventKind::SpanClosed`]/
+/// [`EventKind::CauseLinked`] into the attached recorder and draws no
+/// randomness.
+#[derive(Debug)]
+struct NodeTracer {
+    node: u32,
+    next_seq: u64,
+    /// Parent span for sprint episodes (the node's lease span in a
+    /// fleet run; 0 standalone).
+    parent: u64,
+    /// Open sprint-episode span per slot (0 = none).
+    open: Vec<u64>,
+    /// Fault causes sensed before the affected sprint span opened
+    /// (e.g. a dropped budget report while idle); attached to the next
+    /// opened span.
+    pending: Vec<CauseReason>,
+}
+
+impl NodeTracer {
+    fn new(node: u32, slots: usize) -> NodeTracer {
+        NodeTracer {
+            node,
+            next_seq: 0,
+            parent: 0,
+            open: vec![0; slots],
+            pending: Vec::new(),
+        }
+    }
+
+    /// Opens a sprint-episode span on `slot`, attaching any causes
+    /// sensed while no span was open.
+    fn open_sprint(&mut self, rec: &mut Option<FlightRecorder>, at: SimTime, slot: usize) {
+        self.next_seq += 1;
+        let span = ((self.node as u64 + 1) << 32) | self.next_seq;
+        self.open[slot] = span;
+        note(
+            rec,
+            at,
+            EventKind::SpanOpened {
+                span,
+                parent: self.parent,
+                kind: SpanKind::SprintEpisode,
+                node: self.node,
+            },
+        );
+        for reason in self.pending.drain(..) {
+            note(
+                rec,
+                at,
+                EventKind::CauseLinked {
+                    effect: span,
+                    cause: 0,
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// Closes the sprint-episode span open on `slot`, if any. A lease
+    /// lapse additionally links the episode back to the lease span that
+    /// lapsed (the trace parent), so fleet traces connect the forced
+    /// unsprint to its lease lifecycle.
+    fn close_sprint(
+        &mut self,
+        rec: &mut Option<FlightRecorder>,
+        at: SimTime,
+        slot: usize,
+        outcome: SpanOutcome,
+    ) {
+        let span = std::mem::take(&mut self.open[slot]);
+        if span == 0 {
+            return;
+        }
+        if outcome == SpanOutcome::LeaseLapsed && self.parent != 0 {
+            note(
+                rec,
+                at,
+                EventKind::CauseLinked {
+                    effect: span,
+                    cause: self.parent,
+                    reason: CauseReason::LeaseLapse,
+                },
+            );
+        }
+        note(rec, at, EventKind::SpanClosed { span, outcome });
+    }
+
+    /// Records a control-plane fault as a cause of the sprint episode
+    /// on `slot` (or of any open episode, else the next one opened,
+    /// when the fault is not slot-addressed).
+    fn fault(
+        &mut self,
+        rec: &mut Option<FlightRecorder>,
+        at: SimTime,
+        slot: Option<usize>,
+        reason: CauseReason,
+    ) {
+        let effect = match slot {
+            Some(s) => self.open[s],
+            None => self.open.iter().copied().find(|&s| s != 0).unwrap_or(0),
+        };
+        if effect != 0 {
+            note(
+                rec,
+                at,
+                EventKind::CauseLinked {
+                    effect,
+                    cause: 0,
+                    reason,
+                },
+            );
+        } else if self.pending.len() < MAX_PENDING_CAUSES {
+            self.pending.push(reason);
+        }
+    }
 }
 
 /// Records an event if a recorder is attached. A free function over
@@ -290,6 +423,8 @@ impl<'m> Server<'m> {
             end: SimTime::ZERO,
             down,
             recorder: None,
+            tracer: None,
+            metrics_scope: None,
         })
     }
 
@@ -298,6 +433,35 @@ impl<'m> Server<'m> {
     /// RNG streams are bit-identical with or without it.
     pub fn attach_recorder(&mut self, capacity: usize) {
         self.recorder = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Turns on causal tracing: sprint episodes become spans and
+    /// control-plane faults become cause links, written as events into
+    /// the attached recorder (attach one first — without a recorder the
+    /// tracer emits nowhere). `node` labels the spans and picks the
+    /// span-id namespace (`(node+1) << 32 | seq`); standalone runs use
+    /// node 0. Observation-only: records, counters and RNG streams are
+    /// bit-identical to an untraced run.
+    pub fn enable_tracing(&mut self, node: u32) {
+        if self.tracer.is_none() {
+            self.tracer = Some(NodeTracer::new(node, self.cfg.slots));
+        }
+    }
+
+    /// Sets the parent span for subsequently opened sprint-episode
+    /// spans (a fleet driver passes the node's lease span here). No-op
+    /// unless tracing is enabled.
+    pub fn set_trace_parent(&mut self, span: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.parent = span;
+        }
+    }
+
+    /// Scopes this server's metric increments to `node`: counters fire
+    /// on both the process-global registry and the node's scoped
+    /// registry (see `obs::scoped`).
+    pub fn set_metrics_scope(&mut self, node: u32) {
+        self.metrics_scope = Some(node);
     }
 
     /// Builds a server that injects the faults described by `plan`.
@@ -685,6 +849,9 @@ impl<'m> Server<'m> {
                         delay_micros: delay.0,
                     },
                 );
+                if let Some(t) = self.tracer.as_mut() {
+                    t.fault(&mut self.recorder, now, None, CauseReason::MessageDelay);
+                }
                 self.reactor.schedule(now + delay, report);
                 self.budget_cache_secs
             }
@@ -698,6 +865,14 @@ impl<'m> Server<'m> {
                         partitioned,
                     },
                 );
+                if let Some(t) = self.tracer.as_mut() {
+                    let reason = if partitioned {
+                        CauseReason::Partition
+                    } else {
+                        CauseReason::MessageDrop
+                    };
+                    t.fault(&mut self.recorder, now, None, reason);
+                }
                 self.budget_cache_secs
             }
             Delivery::Duplicated { extra_delay } => {
@@ -858,6 +1033,15 @@ impl<'m> Server<'m> {
                                 stuck: matches!(outcome, EngageOutcome::EngagedStuck),
                             },
                         );
+                        if let Some(t) = self.tracer.as_mut() {
+                            t.open_sprint(&mut self.recorder, now, slot);
+                        }
+                        if obs::is_enabled() {
+                            obs::global().sprints_engaged.incr();
+                            if let Some(n) = self.metrics_scope {
+                                obs::scoped(n).sprints_engaged.incr();
+                            }
+                        }
                         self.budget.start_sprint();
                         // Arm the sprint watchdog: if this same engage
                         // is still sprinting when the deadline passes,
@@ -910,6 +1094,9 @@ impl<'m> Server<'m> {
                             reason: UnsprintReason::BudgetDry,
                         },
                     );
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.close_sprint(&mut self.recorder, now, slot, SpanOutcome::BudgetDry);
+                    }
                     self.budget.end_sprint();
                     self.reschedule_all_sprinting(now)?;
                     self.reschedule_slot(now, slot)?;
@@ -973,6 +1160,14 @@ impl<'m> Server<'m> {
                         delay_micros: delay.0,
                     },
                 );
+                if let Some(t) = self.tracer.as_mut() {
+                    t.fault(
+                        &mut self.recorder,
+                        now,
+                        Some(slot),
+                        CauseReason::MessageDelay,
+                    );
+                }
                 self.reactor.schedule(now + delay, command);
                 Ok(())
             }
@@ -989,6 +1184,14 @@ impl<'m> Server<'m> {
                         partitioned,
                     },
                 );
+                if let Some(t) = self.tracer.as_mut() {
+                    let reason = if partitioned {
+                        CauseReason::Partition
+                    } else {
+                        CauseReason::MessageDrop
+                    };
+                    t.fault(&mut self.recorder, now, Some(slot), reason);
+                }
                 Ok(())
             }
             Delivery::Duplicated { extra_delay } => {
@@ -1036,6 +1239,9 @@ impl<'m> Server<'m> {
                 reason: UnsprintReason::Watchdog,
             },
         );
+        if let Some(t) = self.tracer.as_mut() {
+            t.close_sprint(&mut self.recorder, now, slot, SpanOutcome::Watchdog);
+        }
         self.budget.end_sprint();
         if let Some(sup) = self.supervisor.as_mut() {
             sup.record_forced_unsprint();
@@ -1104,6 +1310,9 @@ impl<'m> Server<'m> {
                     reason: UnsprintReason::Crash,
                 },
             );
+            if let Some(t) = self.tracer.as_mut() {
+                t.close_sprint(&mut self.recorder, now, slot, SpanOutcome::Crash);
+            }
             self.budget.end_sprint();
             self.reschedule_all_sprinting(now)?;
         }
@@ -1216,6 +1425,14 @@ impl<'m> Server<'m> {
                     reason,
                 },
             );
+            if let Some(t) = self.tracer.as_mut() {
+                t.close_sprint(
+                    &mut self.recorder,
+                    now,
+                    i,
+                    SpanOutcome::from_unsprint(reason),
+                );
+            }
             self.budget.end_sprint();
             unsprinted += 1;
             self.reschedule_slot(now, i)?;
@@ -1308,6 +1525,9 @@ impl<'m> Server<'m> {
                     reason: UnsprintReason::Completed,
                 },
             );
+            if let Some(t) = self.tracer.as_mut() {
+                t.close_sprint(&mut self.recorder, now, slot, SpanOutcome::Completed);
+            }
             self.budget.end_sprint();
             self.reschedule_all_sprinting(now)?;
         }
@@ -1514,6 +1734,29 @@ pub fn run_supervised_recorded(
 ) -> Result<RunResult, SprintError> {
     let mut server = Server::with_supervision(cfg, mech, plan, sup)?;
     server.attach_recorder(recorder_capacity);
+    server.run()
+}
+
+/// Convenience: [`run_supervised_recorded`] with causal tracing
+/// enabled (as node 0), so the returned telemetry carries sprint
+/// spans and cause links alongside the plain event stream. Tracing is
+/// observation-only — records and counters are bit-identical to the
+/// recorded-but-untraced run.
+///
+/// # Errors
+///
+/// Returns an error if any configuration fails validation, or a
+/// simulation invariant breaks mid-run.
+pub fn run_supervised_traced(
+    cfg: ServerConfig,
+    mech: &dyn Mechanism,
+    plan: Option<FaultPlan>,
+    sup: SupervisorConfig,
+    recorder_capacity: usize,
+) -> Result<RunResult, SprintError> {
+    let mut server = Server::with_supervision(cfg, mech, plan, sup)?;
+    server.attach_recorder(recorder_capacity);
+    server.enable_tracing(0);
     server.run()
 }
 

@@ -54,6 +54,14 @@ run ./target/release/perf_smoke
 # registered metric family is missing from the report or never fired.
 run ./target/release/sprint_report --seed 181 > /dev/null
 
+# Root-cause tracing gate: reruns the fixed-seed chaos scenarios (three
+# single-node message-fault scenarios plus the fleet split-brain) with
+# causal tracing enabled, reconstructs each causal chain from the
+# recorded spans, and exits non-zero unless every scenario's trace is
+# bit-identical across replay and dominated by its documented root
+# cause (message-drop, message-delay, partition, partition).
+run ./target/release/trace_report --smoke > /dev/null
+
 # Paper-parity gate: re-measures every anchored figure relation against
 # the committed golden values (crates/conformance/golden/anchors.json),
 # runs the differential oracles, and proves drift detection by
