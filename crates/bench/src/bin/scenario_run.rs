@@ -1,0 +1,83 @@
+//! Scenario catalog runner: execute every TOML scenario and verdict.
+//!
+//! Loads every `scenarios/*.toml` file (strict parse — unknown keys
+//! are errors), executes each at its committed seed, evaluates its
+//! machine-checked invariants (conservation, replay bit-identity,
+//! SLO/metric bounds, budget conservation, root-cause recovery), and
+//! prints one verdict line per scenario. `--seeds N` additionally
+//! sweeps every `cross_seed` scenario over `N - 1` offset seeds,
+//! mirroring `paper_parity --seeds`, so verdicts are demonstrably not
+//! seed-lottery wins. `--json` emits the full report as a JSON
+//! document on stdout instead of tables.
+//!
+//! The exit code *is* the catalog verdict: zero only if every
+//! scenario at every seed passes every invariant. `--smoke` prints
+//! just the verdict lines (the `check.sh` gate).
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario_run                # catalog
+//! cargo run --release -p bench --bin scenario_run -- --seeds 5   # seed matrix
+//! cargo run --release -p bench --bin scenario_run -- --json      # JSON report
+//! ```
+
+use std::path::Path;
+
+use bench::Args;
+use scenario::{load_catalog, run_catalog, CatalogReport};
+use simcore::SprintError;
+
+fn run(args: &Args) -> Result<CatalogReport, SprintError> {
+    let dir = args.get("dir").unwrap_or("scenarios");
+    let seeds = args.get_usize("seeds", 1)? as u64;
+    let plans = load_catalog(Path::new(dir))?;
+    eprintln!(
+        "scenario_run: {} scenarios from {dir}{} ...",
+        plans.len(),
+        if seeds > 1 {
+            format!(", cross-seed x{seeds}")
+        } else {
+            String::new()
+        }
+    );
+    run_catalog(&plans, seeds)
+}
+
+fn main() -> std::process::ExitCode {
+    let args = Args::parse();
+    let report = match run(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario_run failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    if args.has_flag("json") {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        for s in &report.scenarios {
+            println!(
+                "{:<28} {:<12} seed {:<20} {:>2} invariants  {}",
+                s.name,
+                s.topology,
+                s.seed,
+                s.checked,
+                if s.passed() { "ok" } else { "FAIL" }
+            );
+            for v in &s.violations {
+                eprintln!("  violation [{}]: {}", v.invariant, v.details);
+            }
+        }
+    }
+    if report.all_passed() {
+        if !args.has_flag("smoke") && !args.has_flag("json") {
+            println!(
+                "all {} scenario runs passed every invariant",
+                report.scenarios.len()
+            );
+        }
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: a scenario violated a machine-checked invariant");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -11,20 +11,20 @@
 //! breaker dwell times and the flight-recorder tail of any violating
 //! run — and exits non-zero if any invariant was violated or
 //! supervision failed to improve SLO attainment in every cell. Before
-//! the sweep it runs the fixed-seed message-fault scenarios (lost
-//! unsprint commands, delayed budget telemetry, watchdog partition)
-//! and the fleet chaos scenarios (coordinator crash mid sprint wave,
-//! split-brain partition, lease-renewal storm), the latter swept
+//! the sweep it runs the fleet chaos scenarios (coordinator crash mid
+//! sprint wave, split-brain partition, lease-renewal storm), swept
 //! across `--seeds` root seeds with the four fleet invariants checked
 //! on every run. Scenario lines include a per-class message-fault
-//! breakdown (partitioned/dropped/duplicated/delayed).
+//! breakdown (partitioned/dropped/duplicated/delayed). The fixed-seed
+//! single-node message-fault scenarios live in the declarative TOML
+//! catalog now (`scenarios/*.toml`, run by `scenario_run`).
 //!
 //! `--replay` skips the sweep and re-runs the single case a violation
 //! named (under the same `--seed`/`--seeds`/sizing flags as the sweep
 //! that reported it), re-checking its invariants and printing the
 //! run's flight-recorder tail.
 
-use chaos::{replay_case, run_fleet_scenarios, run_scenarios, sweep, SweepConfig};
+use chaos::{replay_case, run_fleet_scenarios, sweep, SweepConfig};
 use faults::FaultCounters;
 use workloads::WorkloadKind;
 
@@ -117,36 +117,6 @@ fn main() -> std::process::ExitCode {
 
     if let Some(case) = arg_value("--replay") {
         return replay(&cfg, &case);
-    }
-
-    match run_scenarios() {
-        Ok(reports) => {
-            let mut bad = 0;
-            for r in &reports {
-                eprintln!(
-                    "scenario {}: max sprint {:.1}s, {} faulted messages, \
-                     {} forced unsprints, {} violation(s)",
-                    r.name,
-                    r.max_sprint_secs,
-                    r.faulted_messages,
-                    r.forced_unsprints,
-                    r.violations.len(),
-                );
-                eprintln!("  {}", message_class_line(&r.counters));
-                for v in &r.violations {
-                    eprintln!("  {}: {}", v.invariant, v.details);
-                }
-                bad += r.violations.len();
-            }
-            if bad > 0 {
-                eprintln!("{bad} message-fault scenario violation(s)");
-                return std::process::ExitCode::FAILURE;
-            }
-        }
-        Err(e) => {
-            eprintln!("message-fault scenarios failed: {e}");
-            return std::process::ExitCode::FAILURE;
-        }
     }
 
     match run_fleet_scenarios(cfg.seeds_per_cell) {

@@ -57,7 +57,7 @@ pub use fleet_scenarios::{run_fleet_scenarios, FleetScenarioReport};
 pub use plan::random_plan;
 pub use replay::{replay_case, CaseReplay};
 pub use report::{CellReport, SweepReport, Violation};
-pub use scenarios::{run_scenarios, scenario_setups, ScenarioReport, ScenarioSetup};
+pub use scenarios::{scenario_setups, ScenarioSetup};
 pub use trace::{run_traced_scenarios, TraceScenarioReport};
 
 /// Everything a sweep needs: grid axes, run sizing, and invariant

@@ -1,10 +1,9 @@
-//! Fixed-seed message-fault scenarios.
+//! Fixed-seed message-fault scenario setups.
 //!
 //! The randomized sweep keeps control-plane message faults mild (short
 //! delays, idempotent duplicates) because its recovery invariants
-//! assume the watchdog's ForceUnsprint actually lands. These scenarios
-//! probe the aggressive regimes on fixed seeds, each asserting the
-//! precise failure signature the fault must (and must only) produce:
+//! assume the watchdog's ForceUnsprint actually lands. These setups
+//! pin the aggressive regimes on fixed seeds:
 //!
 //! - **lost-unsprint-command** — every control message dropped: the
 //!   watchdog fires but its command never arrives, so a stuck sprint
@@ -16,23 +15,19 @@
 //!   for the whole run: zero forced unsprints land despite the watchdog
 //!   firing, and every cut is accounted by the partition counter.
 //!
-//! Each scenario also re-checks the sweep's structural invariants:
-//! queries are conserved, the run replays bit-identically, and the
-//! same configuration under an *empty* message plan stays inside the
-//! watchdog bound (so the overrun is attributable to the message fault
-//! alone).
+//! The failure-signature assertions themselves live in the declarative
+//! scenario catalog (`scenarios/*.toml`, executed by the `scenario`
+//! crate and the `scenario_run` bin): each setup here has a TOML twin
+//! carrying the same seeds and the machine-checked invariants. This
+//! module keeps only the launch recipes, which the tracing layer
+//! ([`crate::trace`]) replays instrumented to reconstruct causal
+//! chains.
 
-use faults::{FaultCounters, FaultPlan, LinkPartition, MessageFaults, Peer};
+use faults::{FaultPlan, LinkPartition, MessageFaults, Peer};
 use mechanisms::MechanismKind;
 use simcore::time::{Rate, SimDuration};
-use simcore::SprintError;
-use testbed::{
-    run_supervised, ArrivalSpec, BudgetSpec, QueryRecord, RunResult, ServerConfig, SprintPolicy,
-    SupervisorConfig,
-};
+use testbed::{ArrivalSpec, BudgetSpec, ServerConfig, SprintPolicy, SupervisorConfig};
 use workloads::{QueryMix, WorkloadKind};
-
-use crate::{runs_identical, Violation};
 
 /// Watchdog deadline for every scenario, in seconds. Short, so stuck
 /// sprints trip it many times per run.
@@ -40,9 +35,6 @@ const WATCHDOG_SECS: f64 = 20.0;
 
 /// Max in-flight delay for the delayed-telemetry scenario, in seconds.
 const DELAY_SECS: f64 = 30.0;
-
-/// Slack on watchdog-bound assertions, matching the sweep's tolerance.
-const SLACK_SECS: f64 = 2.0;
 
 /// One scenario's full launch recipe: everything needed to rerun the
 /// identical fixed-seed run. Exposed so the tracing layer
@@ -58,25 +50,6 @@ pub struct ScenarioSetup {
     pub plan: FaultPlan,
     /// Supervisor configuration (short watchdog).
     pub sup: SupervisorConfig,
-}
-
-/// Outcome of one scenario: its name, the counters that prove the
-/// fault actually fired, and any failed assertions.
-#[derive(Debug, Clone)]
-pub struct ScenarioReport {
-    /// Scenario name (doubles as the violation case label).
-    pub name: &'static str,
-    /// Longest single-query sprint in the run, in seconds.
-    pub max_sprint_secs: f64,
-    /// Messages perturbed by the scenario's fault class.
-    pub faulted_messages: u64,
-    /// Watchdog commands that actually landed.
-    pub forced_unsprints: u64,
-    /// Full fault counters, for per-class message breakdowns in the
-    /// human report.
-    pub counters: FaultCounters,
-    /// Failed assertions (empty = scenario behaved exactly as modeled).
-    pub violations: Vec<Violation>,
 }
 
 /// A base run whose every sprint sticks on: recovery depends entirely
@@ -109,69 +82,6 @@ fn base_plan() -> FaultPlan {
         stuck_sprint_prob: 1.0,
         ..FaultPlan::default()
     }
-}
-
-fn max_sprint_secs(run: &RunResult) -> f64 {
-    run.records()
-        .iter()
-        .map(|q: &QueryRecord| q.sprint_seconds)
-        .fold(0.0_f64, f64::max)
-}
-
-/// Structural checks shared by every scenario: conservation, replay
-/// determinism, and a clean-message twin that stays watchdog-bounded.
-fn structural_checks(
-    name: &'static str,
-    cfg: &ServerConfig,
-    sup: &SupervisorConfig,
-    plan: &FaultPlan,
-    run: &RunResult,
-    out: &mut Vec<Violation>,
-) -> Result<(), SprintError> {
-    if !run.conserves_queries() {
-        out.push(Violation {
-            case: name.to_string(),
-            invariant: "conservation",
-            details: format!(
-                "served {} + turned away {} != arrived {}",
-                run.served(),
-                run.recovery_counters().turned_away(),
-                run.arrived()
-            ),
-        });
-    }
-    let replay = run_supervised(
-        cfg.clone(),
-        &*cfg_mechanism().build(),
-        Some(plan.clone()),
-        *sup,
-    )?;
-    if !runs_identical(run, &replay) {
-        out.push(Violation {
-            case: name.to_string(),
-            invariant: "replay",
-            details: "identical (cfg, plan, sup) produced diverging runs".to_string(),
-        });
-    }
-    let mut clean_plan = plan.clone();
-    clean_plan.messages = MessageFaults::default();
-    let clean = run_supervised(
-        cfg.clone(),
-        &*cfg_mechanism().build(),
-        Some(clean_plan),
-        *sup,
-    )?;
-    let clean_max = max_sprint_secs(&clean);
-    if clean_max > WATCHDOG_SECS + SLACK_SECS {
-        out.push(Violation {
-            case: name.to_string(),
-            invariant: "clean-twin-bounded",
-            details: format!(
-                "without message faults the watchdog must hold: sprinted {clean_max:.1}s"
-            ),
-        });
-    }
-    Ok(())
 }
 
 pub(crate) fn cfg_mechanism() -> MechanismKind {
@@ -239,218 +149,4 @@ pub fn scenario_setups() -> Vec<ScenarioSetup> {
         delayed_telemetry_setup(),
         watchdog_partition_setup(),
     ]
-}
-
-/// Lost unsprint commands: `drop_prob = 1.0`. The watchdog fires but
-/// nothing arrives, so stuck sprints overrun until the query finishes.
-fn lost_unsprint_command() -> Result<ScenarioReport, SprintError> {
-    let ScenarioSetup {
-        name,
-        cfg,
-        plan,
-        sup,
-    } = lost_unsprint_setup();
-    let run = run_supervised(
-        cfg.clone(),
-        &*cfg_mechanism().build(),
-        Some(plan.clone()),
-        sup,
-    )?;
-    let max_sprint = max_sprint_secs(&run);
-    let mut violations = Vec::new();
-    if run.fault_counters().msgs_dropped == 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "fault-fired",
-            details: "drop_prob=1.0 dropped no messages".to_string(),
-        });
-    }
-    if run.recovery_counters().forced_unsprints != 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "commands-lost",
-            details: format!(
-                "{} ForceUnsprint commands landed despite total loss",
-                run.recovery_counters().forced_unsprints
-            ),
-        });
-    }
-    if max_sprint <= WATCHDOG_SECS + SLACK_SECS {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "overrun-visible",
-            details: format!(
-                "losing every unsprint command must breach the watchdog: \
-                 max sprint {max_sprint:.1}s <= {WATCHDOG_SECS:.0}s + slack"
-            ),
-        });
-    }
-    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
-    Ok(ScenarioReport {
-        name,
-        max_sprint_secs: max_sprint,
-        faulted_messages: run.fault_counters().msgs_dropped,
-        forced_unsprints: run.recovery_counters().forced_unsprints,
-        counters: *run.fault_counters(),
-        violations,
-    })
-}
-
-/// Delayed budget telemetry and unsprint commands: `delay_prob = 1.0`
-/// with delays up to [`DELAY_SECS`]. Commands eventually land, so the
-/// overrun is bounded by watchdog + max delay.
-fn delayed_budget_telemetry() -> Result<ScenarioReport, SprintError> {
-    let ScenarioSetup {
-        name,
-        cfg,
-        plan,
-        sup,
-    } = delayed_telemetry_setup();
-    let run = run_supervised(
-        cfg.clone(),
-        &*cfg_mechanism().build(),
-        Some(plan.clone()),
-        sup,
-    )?;
-    let max_sprint = max_sprint_secs(&run);
-    let mut violations = Vec::new();
-    if run.fault_counters().msgs_delayed == 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "fault-fired",
-            details: "delay_prob=1.0 delayed no messages".to_string(),
-        });
-    }
-    if run.recovery_counters().forced_unsprints == 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "commands-land-late",
-            details: "delayed ForceUnsprint commands must still arrive".to_string(),
-        });
-    }
-    if max_sprint > WATCHDOG_SECS + DELAY_SECS + SLACK_SECS {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "overrun-bounded",
-            details: format!(
-                "a delayed command bounds the overrun at watchdog + delay: \
-                 sprinted {max_sprint:.1}s > {:.0}s",
-                WATCHDOG_SECS + DELAY_SECS + SLACK_SECS
-            ),
-        });
-    }
-    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
-    Ok(ScenarioReport {
-        name,
-        max_sprint_secs: max_sprint,
-        faulted_messages: run.fault_counters().msgs_delayed,
-        forced_unsprints: run.recovery_counters().forced_unsprints,
-        counters: *run.fault_counters(),
-        violations,
-    })
-}
-
-/// Watchdog partitioned from the controller for the entire run: like
-/// total loss, but via the scheduled-partition path (no randomness) and
-/// accounted by the partition counter.
-fn watchdog_partition() -> Result<ScenarioReport, SprintError> {
-    let ScenarioSetup {
-        name,
-        cfg,
-        plan,
-        sup,
-    } = watchdog_partition_setup();
-    let run = run_supervised(
-        cfg.clone(),
-        &*cfg_mechanism().build(),
-        Some(plan.clone()),
-        sup,
-    )?;
-    let max_sprint = max_sprint_secs(&run);
-    let mut violations = Vec::new();
-    if run.fault_counters().partition_drops == 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "fault-fired",
-            details: "a whole-run partition cut no messages".to_string(),
-        });
-    }
-    if run.fault_counters().msgs_dropped != 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "partition-not-random",
-            details: "partition cuts must not count as random drops".to_string(),
-        });
-    }
-    if run.recovery_counters().forced_unsprints != 0 {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "commands-lost",
-            details: format!(
-                "{} ForceUnsprint commands crossed a severed link",
-                run.recovery_counters().forced_unsprints
-            ),
-        });
-    }
-    if max_sprint <= WATCHDOG_SECS + SLACK_SECS {
-        violations.push(Violation {
-            case: name.to_string(),
-            invariant: "overrun-visible",
-            details: format!(
-                "partitioning the watchdog must breach its bound: \
-                 max sprint {max_sprint:.1}s <= {WATCHDOG_SECS:.0}s + slack"
-            ),
-        });
-    }
-    structural_checks(name, &cfg, &sup, &plan, &run, &mut violations)?;
-    Ok(ScenarioReport {
-        name,
-        max_sprint_secs: max_sprint,
-        faulted_messages: run.fault_counters().partition_drops,
-        forced_unsprints: run.recovery_counters().forced_unsprints,
-        counters: *run.fault_counters(),
-        violations,
-    })
-}
-
-/// Runs all fixed-seed message-fault scenarios.
-///
-/// # Errors
-///
-/// Propagates the first validation or simulator error — a typed error
-/// is a harness failure, not a scenario verdict.
-pub fn run_scenarios() -> Result<Vec<ScenarioReport>, SprintError> {
-    Ok(vec![
-        lost_unsprint_command()?,
-        delayed_budget_telemetry()?,
-        watchdog_partition()?,
-    ])
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn all_scenarios_hold() {
-        for report in run_scenarios().unwrap() {
-            assert!(
-                report.violations.is_empty(),
-                "{}: {:?}",
-                report.name,
-                report.violations
-            );
-            assert!(report.faulted_messages > 0, "{}", report.name);
-        }
-    }
-
-    #[test]
-    fn lost_commands_overrun_but_delayed_commands_stay_bounded() {
-        let reports = run_scenarios().unwrap();
-        let lost = &reports[0];
-        let delayed = &reports[1];
-        assert!(lost.max_sprint_secs > delayed.max_sprint_secs);
-        assert_eq!(lost.forced_unsprints, 0);
-        assert!(delayed.forced_unsprints > 0);
-    }
 }

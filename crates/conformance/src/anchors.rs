@@ -718,6 +718,57 @@ pub fn catalogue() -> Vec<Anchor> {
             cross_seed: true,
             value: |m| flag(m.fleet.peak_held_power <= m.fleet.budget_power),
         },
+        // ---- Request cloning (scenario catalog workload) ----
+        Anchor {
+            id: "cloning/p99_fault_free",
+            figure: "cloning",
+            description: "fault-free P99 of the two-clone low-load race, \
+                          seconds",
+            band: Band::Relative(0.25),
+            cross_seed: true,
+            value: |m| Some(m.cloning.cloned.response_quantile_secs(0.99)),
+        },
+        Anchor {
+            id: "cloning/beats_solo_low_load",
+            figure: "cloning",
+            description: "racing two clones beats the solo twin's mean \
+                          response at low load",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| {
+                flag(m.cloning.cloned.mean_response_secs() < m.cloning.solo.mean_response_secs())
+            },
+        },
+        Anchor {
+            id: "cloning/model_tracks_low_load",
+            figure: "cloning",
+            description: "the analytic winner-of-d model predicts the cloned \
+                          mean within 15%",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| {
+                let predicted = m.cloning.predicted_mean_secs;
+                if predicted <= 0.0 {
+                    return None;
+                }
+                let rel = (m.cloning.cloned.mean_response_secs() - predicted).abs() / predicted;
+                flag(rel < 0.15)
+            },
+        },
+        Anchor {
+            id: "cloning/conservation",
+            figure: "cloning",
+            description: "every spawned clone is accounted: winner, cancelled, \
+                          or ghost, with one winner per query",
+            band: Band::Exact,
+            cross_seed: true,
+            value: |m| {
+                flag(
+                    m.cloning.cloned.conserves_clones()
+                        && m.cloning.cloned.winners == m.cloning.requests,
+                )
+            },
+        },
     ]
 }
 
@@ -743,7 +794,7 @@ mod tests {
         let anchors = catalogue();
         for figure in [
             "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fleet",
+            "fleet", "cloning",
         ] {
             assert!(
                 anchors.iter().any(|a| a.figure == figure),

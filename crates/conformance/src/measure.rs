@@ -12,6 +12,8 @@ use bench::figs::{ablation, fig1, fig10, fig11, fig12, fig13, fig14, fig7, fig8,
 use bench::EvalSettings;
 use cloud::SloOptions;
 use fleet::{run_fleet, FleetResult, FleetSpec};
+use qsim::{Cloning, CloningConfig, CloningResult};
+use simcore::time::{Rate, SimDuration};
 use simcore::SprintError;
 
 /// The default conformance seed — the one the committed golden anchor
@@ -52,6 +54,51 @@ pub struct Measurements {
     /// Fault-free small-fleet baseline (§4.4 at fleet scale): leases
     /// arbitrating the shared sprint budget with nothing going wrong.
     pub fleet: FleetResult,
+    /// Request-cloning baseline: a fault-free two-clone race plus its
+    /// solo (no-cloning) twin at the same seed.
+    pub cloning: CloningMeasurement,
+}
+
+/// Cloning conformance measurements: the two-clone low-load race the
+/// `cloning/*` anchors pin, its solo twin, and the analytic model's
+/// prediction for the cloned mean.
+#[derive(Debug, Clone)]
+pub struct CloningMeasurement {
+    /// The two-clone race.
+    pub cloned: CloningResult,
+    /// The same arrivals and service raced with a single clone.
+    pub solo: CloningResult,
+    /// Analytic winner-of-d mean for the cloned run, seconds.
+    pub predicted_mean_secs: f64,
+    /// Total requests simulated per run, warmup included.
+    pub requests: u64,
+}
+
+/// Arrival rate of the cloning baseline, queries per hour.
+const CLONING_RATE_PER_HOUR: f64 = 30.0;
+
+/// Mean exponential service of the cloning baseline, seconds.
+const CLONING_MEAN_SERVICE_SECS: f64 = 60.0;
+
+/// Runs the fault-free cloning baseline the `cloning/*` anchors pin.
+///
+/// # Errors
+///
+/// Propagates config validation or simulator errors.
+pub fn cloning_baseline(seed: u64) -> Result<CloningMeasurement, SprintError> {
+    let rate = Rate::per_hour(CLONING_RATE_PER_HOUR);
+    let service = SimDuration::from_secs_f64(CLONING_MEAN_SERVICE_SECS);
+    let cfg = CloningConfig::low_load(rate, service, 2, seed ^ 0xC10E);
+    let predicted_mean_secs = cfg.predicted_low_load_mean_secs();
+    let requests = cfg.num_queries as u64;
+    let cloned = Cloning::new(cfg)?.run()?;
+    let solo = Cloning::new(CloningConfig::low_load(rate, service, 1, seed ^ 0xC10E))?.run()?;
+    Ok(CloningMeasurement {
+        cloned,
+        solo,
+        predicted_mean_secs,
+        requests,
+    })
 }
 
 /// Nodes in the conformance fleet baseline — ten T2.smalls, whose
@@ -141,6 +188,7 @@ pub fn collect(seed: u64) -> Result<Measurements, SprintError> {
         ..s
     })?;
     let fleet = fleet_baseline(seed)?;
+    let cloning = cloning_baseline(seed)?;
     Ok(Measurements {
         seed,
         fig1,
@@ -157,5 +205,6 @@ pub fn collect(seed: u64) -> Result<Measurements, SprintError> {
         fig14,
         ablation,
         fleet,
+        cloning,
     })
 }

@@ -43,6 +43,7 @@
 //! [`parallel::run_batch`] survives worker panics by converting them to
 //! typed errors.
 
+pub mod cloning;
 pub mod config;
 mod direct;
 pub mod multiclass;
@@ -52,6 +53,7 @@ pub mod shared;
 pub mod sim;
 pub mod trace;
 
+pub use cloning::{results_bit_identical, Cloning, CloningConfig, CloningFaults, CloningResult};
 pub use config::{QsimConfig, QsimResult};
 pub use multiclass::{ClassSpec, MultiClassConfig, MultiClassQsim, MultiClassResult};
 pub use parallel::{

@@ -31,12 +31,11 @@ run ./target/release/reactor_replay --fleet-smoke > /dev/null
 run ./target/release/fleet_report > /dev/null
 
 # Bounded chaos smoke sweep: fixed seeds, full grid, a few seconds.
-# Runs the fixed-seed message-fault scenarios (lost unsprint commands,
-# delayed budget telemetry, watchdog partition) and the fleet scenarios
-# (coordinator crash mid-sprint-wave, split-brain, lease-renewal storm)
-# before the randomized sweep. Exits non-zero on any recovery- or
-# fleet-invariant violation or any cell where supervision fails to
-# improve SLO attainment.
+# Runs the fleet scenarios (coordinator crash mid-sprint-wave,
+# split-brain, lease-renewal storm) before the randomized sweep. Exits
+# non-zero on any recovery- or fleet-invariant violation or any cell
+# where supervision fails to improve SLO attainment. (The fixed-seed
+# single-node message-fault scenarios moved to the TOML catalog below.)
 run ./target/release/chaos_sweep --seeds 8 > /dev/null
 
 # Prediction fast-path gate: asserts fast/reference bit-identity, the
@@ -61,6 +60,14 @@ run ./target/release/sprint_report --seed 181 > /dev/null
 # bit-identical across replay and dominated by its documented root
 # cause (message-drop, message-delay, partition, partition).
 run ./target/release/trace_report --smoke > /dev/null
+
+# Scenario catalog gate: executes every scenarios/*.toml file (strict
+# parse, unknown keys rejected) at its committed seed and evaluates
+# the machine-checked invariants — conservation, replay bit-identity,
+# metric/SLO bounds, budget conservation, clean-twin watchdog bounds,
+# root-cause recovery, cloning fast-vs-reference bit-identity. Exits
+# non-zero if any scenario violates any invariant.
+run ./target/release/scenario_run --smoke > /dev/null
 
 # Paper-parity gate: re-measures every anchored figure relation against
 # the committed golden values (crates/conformance/golden/anchors.json),
